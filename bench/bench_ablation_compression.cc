@@ -1,0 +1,93 @@
+// Ablation: update-compression operators in a live course — accuracy vs
+// uplink bytes for plain float32, 8-bit quantization, and top-k
+// sparsification at several keep fractions. (Not a paper figure; an
+// ablation of the message-transform plug-in mechanism of §4.1.)
+
+#include "bench/common.h"
+#include "fedscope/comm/compression.h"
+
+namespace fedscope {
+namespace bench {
+namespace {
+
+/// Uplink bytes of one update under the given codec (measured on a
+/// representative delta produced by one local-training round).
+int64_t UplinkBytes(const StateDict& delta, const std::string& codec,
+                    double keep_frac) {
+  Payload payload;
+  if (codec == "quant8") {
+    payload = QuantizeStateDict(delta);
+  } else if (codec == "topk") {
+    payload = SparsifyStateDict(delta, keep_frac);
+  } else {
+    payload.SetStateDict("delta", delta);
+  }
+  return payload.ByteSize();
+}
+
+void RunAblation() {
+  QuietLogs();
+  PrintHeader("Ablation: update compression (accuracy vs uplink bytes), "
+              "FEMNIST");
+  SyntheticFemnistOptions data_options;
+  data_options.num_clients = 24;
+  data_options.noise_sigma = 1.6;
+  data_options.seed = 5;
+  FedDataset data = MakeSyntheticFemnist(data_options);
+
+  struct Setting {
+    std::string label;
+    std::string codec;
+    double keep_frac;
+  };
+  std::vector<Setting> settings = {
+      {"float32 (none)", "none", 1.0}, {"quant8", "quant8", 1.0},
+      {"topk 50%", "topk", 0.5},       {"topk 25%", "topk", 0.25},
+      {"topk 10%", "topk", 0.1},       {"topk 2%", "topk", 0.02},
+  };
+
+  Table table({"codec", "final acc", "uplink bytes/update",
+               "vs float32"});
+  int64_t baseline_bytes = 0;
+  for (const auto& setting : settings) {
+    FedJob job;
+    job.data = &data;
+    Rng rng(55);
+    job.init_model = WithFlatten(MakeMlp({64, 32, 10}, &rng));
+    job.server.concurrency = 8;
+    job.server.max_rounds = 25;
+    job.client.train.lr = 0.1;
+    job.client.train.local_steps = 4;
+    job.client.train.batch_size = 8;
+    job.client.compression = setting.codec;
+    job.client.compression_keep_frac = setting.keep_frac;
+    job.seed = 55;
+    RunResult result = FedRunner(std::move(job)).Run();
+
+    // Representative delta for the byte measurement.
+    StateDict delta = SdScale(result.final_model.GetStateDict(), 0.01f);
+    const int64_t bytes =
+        UplinkBytes(delta, setting.codec, setting.keep_frac);
+    if (setting.codec == "none") baseline_bytes = bytes;
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.1fx smaller",
+                  static_cast<double>(baseline_bytes) / bytes);
+    table.Row()
+        .Str(setting.label)
+        .Num(result.server.final_accuracy, 4)
+        .Int(bytes)
+        .Str(setting.codec == "none" ? "-" : ratio);
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\nReading: quant8 is nearly free (256-level grid ~ float32 for "
+      "FedAvg); aggressive top-k trades accuracy for bandwidth, degrading "
+      "gracefully until the kept mass is too small.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fedscope
+
+int main() { fedscope::bench::RunAblation(); }

@@ -1,0 +1,85 @@
+// Ablation (DESIGN.md §5): the two staleness-handling knobs of the async
+// aggregation path — the discount exponent rho in
+// weight *= (1 + staleness)^(-rho) and the toleration threshold beyond
+// which updates are dropped (§3.3.1-i). Sweeps each on the CIFAR workload
+// under heavy staleness (small goal, large concurrency).
+
+#include "bench/common.h"
+
+namespace fedscope {
+namespace bench {
+namespace {
+
+RunResult RunWith(const Workload& w, double rho, int tolerance,
+                  uint64_t seed) {
+  FedJob job;
+  job.data = &w.data;
+  job.init_model = w.model_factory(seed);
+  job.client.train = w.train;
+  job.client.jitter_sigma = 0.25;
+  Rng fleet_rng(seed + 1000);
+  FleetOptions fleet;
+  fleet.compute_median = 5.0;
+  fleet.bandwidth_median = 5e4;
+  fleet.straggler_frac = 0.2;
+  fleet.straggler_slowdown = 0.15;
+  job.fleet = MakeFleet(w.data.num_clients(), fleet, &fleet_rng);
+  job.server.strategy = Strategy::kAsyncGoal;
+  job.server.aggregation_goal = 3;
+  job.server.concurrency = 12;
+  job.server.staleness_tolerance = tolerance;
+  job.server.max_rounds = 60;
+  job.staleness_rho = rho;
+  job.seed = seed;
+  return FedRunner(std::move(job)).Run();
+}
+
+void RunAblation() {
+  QuietLogs();
+  PrintHeader(
+      "Ablation: staleness discount exponent (rho) and toleration "
+      "threshold, async CIFAR-10 under heavy staleness");
+  Workload w = MakeCifarWorkload(0.5, 7);
+  const uint64_t seed = 777;
+
+  std::printf("rho sweep (toleration fixed at 10):\n");
+  Table rho_table({"rho", "final acc", "best acc", "stale contributions"});
+  for (double rho : {0.0, 0.5, 1.0, 2.0}) {
+    RunResult result = RunWith(w, rho, 10, seed);
+    int64_t stale = 0;
+    for (int s : result.server.staleness_log) {
+      if (s > 0) ++stale;
+    }
+    rho_table.Row()
+        .Num(rho, 1)
+        .Num(result.server.final_accuracy, 4)
+        .Num(result.server.best_accuracy, 4)
+        .Int(stale);
+  }
+  rho_table.Print();
+
+  std::printf("\ntoleration sweep (rho fixed at 0.5):\n");
+  Table tol_table({"toleration", "final acc", "dropped updates",
+                   "virtual time (min)"});
+  for (int tolerance : {0, 2, 5, 10, 20}) {
+    RunResult result = RunWith(w, 0.5, tolerance, seed);
+    tol_table.Row()
+        .Int(tolerance)
+        .Num(result.server.final_accuracy, 4)
+        .Int(result.server.dropped_stale)
+        .Num(result.server.finish_time / 60.0, 1);
+  }
+  tol_table.Print();
+  std::printf(
+      "\nReading: at moderate staleness the toleration threshold is the "
+      "bigger lever — toleration 0 (over-selection semantics) wastes the "
+      "most work (dropped updates) and pays ~2x the virtual time; "
+      "aggressive discounting (large rho) mainly slows learning by "
+      "shrinking effective contributions.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fedscope
+
+int main() { fedscope::bench::RunAblation(); }

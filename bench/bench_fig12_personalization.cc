@@ -1,0 +1,127 @@
+// Figure 12: client-wise test accuracy under personalization. Vanilla
+// FedAvg's average and bottom-quantile accuracies are significantly lower
+// than FedBN / FedEM / pFedMe / Ditto, and personalization reduces the
+// across-client standard deviation (paper §5.3.2).
+
+#include "bench/common.h"
+#include "fedscope/personalization/ditto.h"
+#include "fedscope/personalization/fedbn.h"
+#include "fedscope/personalization/fedem.h"
+#include "fedscope/personalization/pfedme.h"
+#include "fedscope/util/stats.h"
+
+namespace fedscope {
+namespace bench {
+namespace {
+
+/// FEMNIST with strong per-writer feature skew (style + private pixel
+/// permutation): the regime in which one global model is conflicted.
+FedDataset MakePersonalizationData(uint64_t seed) {
+  SyntheticFemnistOptions options;
+  options.num_clients = 24;
+  options.mean_samples = 60;
+  options.style_sigma = 1.0;
+  options.noise_sigma = 1.0;
+  options.permute_frac = 1.0;
+  options.seed = seed;
+  return MakeSyntheticFemnist(options);
+}
+
+Model BnModel(uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  m.Add("flat", std::make_unique<Flatten>());
+  Model mlp = MakeMlpBn({64, 32, 10}, &rng);
+  for (int i = 0; i < mlp.num_layers(); ++i) {
+    m.Add(mlp.layer_name(i), mlp.layer(i)->Clone());
+  }
+  return m;
+}
+
+FedJob BaseJob(const FedDataset* data, uint64_t seed) {
+  FedJob job;
+  job.data = data;
+  job.init_model = BnModel(seed);
+  job.server.concurrency = 8;
+  job.server.max_rounds = 30;
+  job.client.train.lr = 0.1;
+  job.client.train.local_steps = 4;
+  job.client.train.batch_size = 8;
+  job.client.jitter_sigma = 0.1;
+  job.seed = seed;
+  return job;
+}
+
+void ReportRow(Table* table, const std::string& name,
+               const RunResult& result) {
+  const auto& acc = result.client_test_accuracy;
+  table->Row()
+      .Str(name)
+      .Num(Mean(acc), 4)
+      .Num(Quantile(acc, 0.1), 4)
+      .Num(Quantile(acc, 0.9), 4)
+      .Num(Stddev(acc), 4);
+}
+
+void RunFig12() {
+  QuietLogs();
+  PrintHeader(
+      "Figure 12: client-wise test accuracy, FedAvg vs personalized FL "
+      "(FEMNIST with per-writer feature skew)");
+  const uint64_t seed = 1212;
+  FedDataset data = MakePersonalizationData(seed);
+
+  Table table({"algorithm", "mean acc", "p10 acc", "p90 acc", "stddev"});
+
+  {
+    RunResult fedavg = FedRunner(BaseJob(&data, seed)).Run();
+    ReportRow(&table, "FedAvg", fedavg);
+  }
+  {
+    FedJob job = BaseJob(&data, seed);
+    ApplyFedBn(&job);
+    ReportRow(&table, "FedBN", FedRunner(std::move(job)).Run());
+  }
+  {
+    FedJob job = BaseJob(&data, seed);
+    job.trainer_factory = [](int) {
+      return std::make_unique<DittoTrainer>(DittoOptions{0.3, 6});
+    };
+    ReportRow(&table, "Ditto", FedRunner(std::move(job)).Run());
+  }
+  {
+    FedJob job = BaseJob(&data, seed);
+    job.trainer_factory = [](int) {
+      return std::make_unique<PFedMeTrainer>(
+          PFedMeOptions{2.0, 5, 0.1, 0.4});
+    };
+    ReportRow(&table, "pFedMe", FedRunner(std::move(job)).Run());
+  }
+  {
+    FedJob job = BaseJob(&data, seed);
+    auto factory = [seed]() {
+      Rng rng(seed + 7);
+      Model m;
+      m.Add("flat", std::make_unique<Flatten>());
+      Model mlp = MakeMlp({64, 24, 10}, &rng);
+      for (int i = 0; i < mlp.num_layers(); ++i) {
+        m.Add(mlp.layer_name(i), mlp.layer(i)->Clone());
+      }
+      return m;
+    };
+    ApplyFedEm(&job, factory, FedEmOptions{3, 0.05});
+    ReportRow(&table, "FedEM", FedRunner(std::move(job)).Run());
+  }
+
+  table.Print();
+  std::printf(
+      "\nPaper reference (Fig. 12): personalized algorithms beat FedAvg "
+      "in mean and bottom-quantile client accuracy and reduce the "
+      "across-client stddev.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fedscope
+
+int main() { fedscope::bench::RunFig12(); }

@@ -1,0 +1,132 @@
+// Figure 13: the privacy-utility trade-off of the DP behaviour plug-in,
+// plus gradient-inversion (DLG/iDLG) attack outcomes with and without
+// noise. As the fraction of noise-injecting clients grows, global accuracy
+// decays gracefully; reconstruction succeeds against clean updates and
+// fails against noised ones (paper §5.3.3).
+
+#include "bench/common.h"
+#include "fedscope/attack/gradient_inversion.h"
+#include "fedscope/data/synthetic_femnist.h"
+#include "fedscope/privacy/dp.h"
+
+namespace fedscope {
+namespace bench {
+namespace {
+
+FedDataset MakeData(uint64_t seed) {
+  SyntheticFemnistOptions options;
+  options.num_clients = 24;
+  options.mean_samples = 60;
+  options.noise_sigma = 2.0;
+  options.seed = seed;
+  return MakeSyntheticFemnist(options);
+}
+
+FedJob BaseJob(const FedDataset* data, uint64_t seed, double dp_fraction) {
+  FedJob job;
+  job.data = data;
+  Rng rng(seed);
+  job.init_model = WithFlatten(MakeMlp({64, 32, 10}, &rng));
+  job.server.concurrency = 8;
+  job.server.max_rounds = 30;
+  job.client.train.lr = 0.1;
+  job.client.train.local_steps = 4;
+  job.client.train.batch_size = 8;
+  job.client.jitter_sigma = 0.1;
+  job.seed = seed;
+  job.client_customizer = [dp_fraction](int id, ClientOptions* options) {
+    // The first dp_fraction of clients opt into the DP plug-in.
+    if (id <= dp_fraction * 24) {
+      options->dp.enable = true;
+      options->dp.clip_norm = 0.3;
+      options->dp.noise_multiplier = 0.25;
+    }
+  };
+  return job;
+}
+
+void UtilitySweep(const FedDataset& data, uint64_t seed) {
+  Table table({"% clients with DP noise", "global test acc"});
+  for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    RunResult result = FedRunner(BaseJob(&data, seed, frac)).Run();
+    table.Row().Num(100.0 * frac, 0).Num(result.server.final_accuracy, 4);
+  }
+  table.Print();
+  std::printf(
+      "Paper reference: accuracy decreases gradually (84%% -> 65%% in the "
+      "paper) as more clients inject noise.\n\n");
+}
+
+void AttackDemo(uint64_t seed) {
+  std::printf(
+      "DLG gradient-inversion attack on a single example "
+      "(softmax-regression layer, lr 0.1, one local step):\n");
+  Table table({"victim", "label inferred", "reconstruction MSE", "PSNR dB"});
+  Rng rng(seed);
+  Model model = MakeLogisticRegression(64, 10, &rng);
+  Tensor secret = Tensor::Randn({1, 64}, &rng);
+  const int64_t label = 7;
+  StateDict grads = ObserveGradients(&model, secret, {label});
+
+  {  // Clean victim: exact recovery.
+    auto result = InvertSoftmaxRegression(grads);
+    if (result.ok()) {
+      table.Row()
+          .Str("no noise")
+          .Str(result->inferred_label == label ? "yes" : "NO")
+          .Num(ReconstructionMse(secret.Reshape({64}),
+                                 result->reconstructed_x),
+               6)
+          .Num(ReconstructionPsnr(secret.Reshape({64}),
+                                  result->reconstructed_x),
+               1);
+    }
+  }
+  for (double z : {0.01, 0.1}) {  // DP-protected victims.
+    StateDict noised = grads;
+    // Configure the mechanism for per-coordinate noise sigma = z while
+    // leaving the gradient unclipped (clip bound = its own norm).
+    DpOptions dp;
+    dp.enable = true;
+    dp.clip_norm = std::max(SdNorm(noised), 1e-9);
+    dp.noise_multiplier = z / dp.clip_norm;
+    Rng noise_rng(seed + 1);
+    ApplyDpToDelta(&noised, dp, &noise_rng);
+    auto result = InvertSoftmaxRegression(noised);
+    char victim[64];
+    std::snprintf(victim, sizeof(victim), "noise sigma=%.2f", z);
+    if (result.ok()) {
+      table.Row()
+          .Str(victim)
+          .Str(result->inferred_label == label ? "yes" : "NO")
+          .Num(ReconstructionMse(secret.Reshape({64}),
+                                 result->reconstructed_x),
+               6)
+          .Num(ReconstructionPsnr(secret.Reshape({64}),
+                                  result->reconstructed_x),
+               1);
+    } else {
+      table.Row().Str(victim).Str("attack failed").Str("-").Str("-");
+    }
+  }
+  table.Print();
+  std::printf(
+      "Paper reference (Fig. 13): reconstructions from clean clients "
+      "expose the ground truth; reconstructions from noise-injecting "
+      "clients carry no meaningful information.\n");
+}
+
+void RunFig13() {
+  QuietLogs();
+  PrintHeader("Figure 13: DP protection strength vs utility + DLG attack");
+  const uint64_t seed = 1313;
+  FedDataset data = MakeData(seed);
+  UtilitySweep(data, seed);
+  AttackDemo(seed);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fedscope
+
+int main() { fedscope::bench::RunFig13(); }

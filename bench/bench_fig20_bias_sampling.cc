@@ -1,0 +1,111 @@
+// Figure 20 (Appendix I): on bias-CIFAR — where rare classes live only on
+// slow clients — responsiveness-related and group sampling noticeably beat
+// uniform sampling, because uniform sampling lets the slow clients' staled
+// (discounted/dropped) updates under-represent the rare classes.
+
+#include "bench/common.h"
+#include "fedscope/sim/device_profile.h"
+#include "fedscope/util/stats.h"
+
+namespace fedscope {
+namespace bench {
+namespace {
+
+constexpr int kClients = 30;
+
+struct BiasSetup {
+  FedDataset data;
+  std::vector<DeviceProfile> fleet;
+  std::vector<int64_t> rare_classes;
+};
+
+BiasSetup MakeBiasSetup(uint64_t seed) {
+  BiasSetup setup;
+  Rng fleet_rng(seed);
+  FleetOptions fleet_options;
+  fleet_options.compute_median = 5.0;
+  fleet_options.compute_sigma = 0.6;
+  fleet_options.bandwidth_median = 5e4;
+  fleet_options.bandwidth_sigma = 0.6;
+  fleet_options.straggler_frac = 0.3;
+  fleet_options.straggler_slowdown = 0.08;
+  setup.fleet = MakeFleet(kClients, fleet_options, &fleet_rng);
+
+  auto groups = GroupByResponsiveness(setup.fleet, 3);
+  SyntheticCifarOptions options;
+  options.num_clients = kClients;
+  options.pool_size = 2400;
+  options.alpha = 1.0;
+  options.noise_sigma = 2.6;
+  options.seed = seed;
+  setup.rare_classes = {8, 9};
+  setup.data =
+      MakeBiasSyntheticCifar(options, setup.rare_classes, groups[2]);
+  return setup;
+}
+
+/// Accuracy on the rare classes only (where the bias hurts).
+double RareClassAccuracy(Model* model, const Dataset& test,
+                         const std::vector<int64_t>& rare) {
+  std::vector<int64_t> idx;
+  for (int64_t i = 0; i < test.size(); ++i) {
+    for (int64_t r : rare) {
+      if (test.labels[i] == r) idx.push_back(i);
+    }
+  }
+  if (idx.empty()) return 0.0;
+  Dataset subset = test.Subset(idx);
+  return EvaluateClassifier(model, subset).accuracy;
+}
+
+void RunFig20() {
+  QuietLogs();
+  PrintHeader(
+      "Figure 20: sampling strategies on bias-CIFAR (rare classes on slow "
+      "clients)");
+  const uint64_t seed = 2020;
+  BiasSetup setup = MakeBiasSetup(seed);
+
+  Table table({"sampler", "overall acc", "rare-class acc"});
+  for (const std::string sampler :
+       {"uniform", "responsiveness_inv", "group"}) {
+    FedJob job;
+    job.data = &setup.data;
+    Rng rng(seed + 1);
+    job.init_model = WithFlatten(MakeMlp({3 * 8 * 8, 32, 10}, &rng));
+    job.fleet = setup.fleet;
+    job.client.train.lr = 0.08;
+    job.client.train.local_steps = 4;
+    job.client.train.batch_size = 16;
+    job.client.jitter_sigma = 0.25;
+    job.server.strategy = Strategy::kAsyncGoal;
+    job.server.aggregation_goal = 4;
+    job.server.concurrency = 10;
+    job.server.staleness_tolerance = 2;
+    job.server.max_rounds = 40;
+    job.server.sampler = sampler;
+    job.server.num_groups = 3;
+    job.seed = seed;
+    job.staleness_rho = 1.0;  // strong discount: staleness really hurts
+    RunResult result = FedRunner(std::move(job)).Run();
+    table.Row()
+        .Str(sampler)
+        .Num(result.server.final_accuracy, 4)
+        .Num(RareClassAccuracy(&result.final_model,
+                               setup.data.server_test, setup.rare_classes),
+             4);
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference (Fig. 20): on bias-CIFAR the responsiveness-"
+      "related and group sampling strategies achieve noticeably better "
+      "accuracy than uniform sampling (uniform under-weights the slow "
+      "clients' rare classes).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fedscope
+
+int main() { fedscope::bench::RunFig20(); }

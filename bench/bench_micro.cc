@@ -1,0 +1,172 @@
+// Substrate microbenchmarks (google-benchmark): tensor kernels, the wire
+// codec, the event queue, aggregation, and Paillier primitives. These are
+// not paper experiments; they characterize the simulator's own cost.
+
+#include <benchmark/benchmark.h>
+
+#include "fedscope/comm/codec.h"
+#include "fedscope/core/aggregator.h"
+#include "fedscope/nn/loss.h"
+#include "fedscope/nn/model_zoo.h"
+#include "fedscope/privacy/paillier.h"
+#include "fedscope/privacy/secret_sharing.h"
+#include "fedscope/sim/event_queue.h"
+#include "fedscope/tensor/tensor_ops.h"
+
+namespace fedscope {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  Conv2d conv(3, 8, 3, 1, &rng);
+  Tensor x = Tensor::Randn({16, 3, 8, 8}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, true));
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_ModelForwardBackward(benchmark::State& state) {
+  Rng rng(3);
+  Model model = MakeConvNet2(3, 8, 10, 64, 0.0, &rng);
+  Tensor x = Tensor::Randn({16, 3, 8, 8}, &rng);
+  SoftmaxCrossEntropy loss;
+  std::vector<int64_t> labels(16, 1);
+  for (auto _ : state) {
+    model.ZeroGrad();
+    Tensor out = model.Forward(x, true);
+    loss.Forward(out, labels);
+    model.Backward(loss.Backward());
+  }
+}
+BENCHMARK(BM_ModelForwardBackward);
+
+void BM_MessageEncode(benchmark::State& state) {
+  Message msg;
+  Rng rng(4);
+  msg.payload.SetStateDict(
+      "model", MakeMlp({64, 64, 10}, &rng).GetStateDict());
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = EncodeMessage(msg);
+    bytes += encoded.size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_MessageEncode);
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  Message msg;
+  Rng rng(5);
+  msg.payload.SetStateDict(
+      "model", MakeMlp({64, 64, 10}, &rng).GetStateDict());
+  for (auto _ : state) {
+    auto decoded = DecodeMessage(EncodeMessage(msg));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_MessageRoundTrip);
+
+void BM_EventQueue(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  for (auto _ : state) {
+    EventQueue queue;
+    for (int i = 0; i < n; ++i) {
+      Message msg;
+      msg.timestamp = rng.Uniform();
+      queue.Push(std::move(msg));
+    }
+    while (!queue.Empty()) {
+      benchmark::DoNotOptimize(queue.Pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueue)->Arg(1000);
+
+void BM_FedAvgAggregate(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Model model = MakeMlp({64, 32, 10}, &rng);
+  StateDict global = model.GetStateDict();
+  std::vector<ClientUpdate> updates(clients);
+  for (int c = 0; c < clients; ++c) {
+    updates[c].client_id = c + 1;
+    updates[c].num_samples = 64;
+    updates[c].delta = SdScale(global, 0.01f);
+  }
+  FedAvgAggregator aggregator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregator.Aggregate(global, updates));
+  }
+}
+BENCHMARK(BM_FedAvgAggregate)->Arg(10)->Arg(50);
+
+void BM_KrumAggregate(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  Rng rng(8);
+  Model model = MakeMlp({64, 16, 10}, &rng);
+  StateDict global = model.GetStateDict();
+  std::vector<ClientUpdate> updates(clients);
+  for (int c = 0; c < clients; ++c) {
+    updates[c].client_id = c + 1;
+    updates[c].delta = SdScale(global, 0.01f * (c + 1));
+  }
+  KrumAggregator aggregator(clients / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregator.Aggregate(global, updates));
+  }
+}
+BENCHMARK(BM_KrumAggregate)->Arg(10)->Arg(20);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  Rng rng(9);
+  auto keys = Paillier::GenerateKeys(static_cast<int>(state.range(0)), &rng);
+  BigInt m = BigInt::FromUint64(123456);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Paillier::Encrypt(keys.pub, m, &rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(96)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierAddDecrypt(benchmark::State& state) {
+  Rng rng(10);
+  auto keys = Paillier::GenerateKeys(96, &rng);
+  BigInt ca = Paillier::Encrypt(keys.pub, BigInt::FromUint64(111), &rng);
+  BigInt cb = Paillier::Encrypt(keys.pub, BigInt::FromUint64(222), &rng);
+  for (auto _ : state) {
+    BigInt sum = Paillier::AddCiphertexts(keys.pub, ca, cb);
+    benchmark::DoNotOptimize(Paillier::Decrypt(keys.pub, keys.priv, sum));
+  }
+}
+BENCHMARK(BM_PaillierAddDecrypt)->Unit(benchmark::kMillisecond);
+
+void BM_SecretSharedSum(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<std::vector<double>> rows(
+      10, std::vector<double>(state.range(0), 0.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SecretSharedSum(rows, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * state.range(0));
+}
+BENCHMARK(BM_SecretSharedSum)->Arg(1000);
+
+}  // namespace
+}  // namespace fedscope
+
+BENCHMARK_MAIN();

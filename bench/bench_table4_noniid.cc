@@ -1,0 +1,112 @@
+// Table 4 (Appendix G): CIFAR-10 with IID vs Dirichlet(alpha) non-IID
+// splits. FedAvg degrades as heterogeneity grows (smaller alpha); FedBN
+// and Ditto — evaluated client-wise, as personalized methods are — improve
+// under heterogeneity and overtake FedAvg.
+
+#include "bench/common.h"
+#include "fedscope/personalization/ditto.h"
+#include "fedscope/personalization/fedbn.h"
+#include "fedscope/util/stats.h"
+
+namespace fedscope {
+namespace bench {
+namespace {
+
+FedDataset MakeData(double alpha, uint64_t seed) {
+  SyntheticCifarOptions options;
+  options.num_clients = 40;
+  options.pool_size = 2400;
+  options.alpha = alpha;  // <= 0 -> IID
+  options.noise_sigma = 3.2;
+  options.seed = seed;
+  return MakeSyntheticCifar(options);
+}
+
+Model BnModel(uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  m.Add("flat", std::make_unique<Flatten>());
+  Model mlp = MakeMlpBn({3 * 8 * 8, 32, 10}, &rng);
+  for (int i = 0; i < mlp.num_layers(); ++i) {
+    m.Add(mlp.layer_name(i), mlp.layer(i)->Clone());
+  }
+  return m;
+}
+
+FedJob BaseJob(const FedDataset* data, uint64_t seed) {
+  FedJob job;
+  job.data = data;
+  job.init_model = BnModel(seed);
+  job.server.concurrency = 10;
+  job.server.max_rounds = 40;
+  job.client.train.lr = 0.08;
+  job.client.train.local_steps = 4;
+  job.client.train.batch_size = 16;
+  job.client.jitter_sigma = 0.1;
+  job.seed = seed;
+  return job;
+}
+
+/// All methods are scored the same way: the client-side deployment model
+/// (the fresh global model for FedAvg; the personalized model for
+/// FedBN/Ditto) evaluated on each client's local test split, averaged.
+double ClientScore(const RunResult& r) {
+  return Mean(r.client_test_accuracy);
+}
+
+void RunTable4() {
+  QuietLogs();
+  PrintHeader(
+      "Table 4: CIFAR-10 accuracy, IID vs non-IID Dirichlet splits");
+  const uint64_t seed = 44;
+  struct Split {
+    std::string label;
+    double alpha;
+  };
+  std::vector<Split> splits = {{"IID", 0.0},
+                               {"alpha=1.0", 1.0},
+                               {"alpha=0.5", 0.5},
+                               {"alpha=0.2", 0.2}};
+
+  Table table({"method", "IID", "alpha=1.0", "alpha=0.5", "alpha=0.2"});
+  std::vector<std::string> fedavg_row = {"FedAvg"};
+  std::vector<std::string> fedbn_row = {"FedBN"};
+  std::vector<std::string> ditto_row = {"Ditto"};
+
+  for (const auto& split : splits) {
+    FedDataset data = MakeData(split.alpha, seed);
+    {
+      RunResult r = FedRunner(BaseJob(&data, seed)).Run();
+      fedavg_row.push_back(FormatDouble(ClientScore(r), 4));
+    }
+    {
+      FedJob job = BaseJob(&data, seed);
+      ApplyFedBn(&job);
+      RunResult r = FedRunner(std::move(job)).Run();
+      fedbn_row.push_back(FormatDouble(ClientScore(r), 4));
+    }
+    {
+      FedJob job = BaseJob(&data, seed);
+      job.trainer_factory = [](int) {
+        return std::make_unique<DittoTrainer>(DittoOptions{0.1, 10});
+      };
+      RunResult r = FedRunner(std::move(job)).Run();
+      ditto_row.push_back(FormatDouble(ClientScore(r), 4));
+    }
+    std::fflush(stdout);
+  }
+  table.AddRow(fedavg_row);
+  table.AddRow(fedbn_row);
+  table.AddRow(ditto_row);
+  table.Print();
+  std::printf(
+      "\nPaper reference (Table 4): FedAvg 0.80 (IID) degrading to 0.77 "
+      "(alpha=0.2); FedBN/Ditto improve with heterogeneity, reaching "
+      "~0.88 at alpha=0.2.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fedscope
+
+int main() { fedscope::bench::RunTable4(); }

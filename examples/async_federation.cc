@@ -1,0 +1,107 @@
+// Asynchronous federated learning over a heterogeneous device fleet
+// (paper §3.3): compares the vanilla synchronous strategy against a
+// goal-triggered asynchronous strategy on the same CIFAR-like workload,
+// and shows how switching the aggregation condition is a one-line change
+// of the server options — the point of the event-driven design.
+
+#include <cstdio>
+
+#include "fedscope/core/fed_runner.h"
+#include "fedscope/data/synthetic_cifar.h"
+#include "fedscope/nn/model_zoo.h"
+
+using namespace fedscope;
+
+namespace {
+
+Model FlatMlp(uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  m.Add("flat", std::make_unique<Flatten>());
+  Model mlp = MakeMlp({3 * 8 * 8, 32, 10}, &rng);
+  for (int i = 0; i < mlp.num_layers(); ++i) {
+    m.Add(mlp.layer_name(i), mlp.layer(i)->Clone());
+  }
+  return m;
+}
+
+FedJob BaseJob(const FedDataset* data,
+               const std::vector<DeviceProfile>& fleet) {
+  FedJob job;
+  job.data = data;
+  job.init_model = FlatMlp(7);
+  job.fleet = fleet;
+  job.client.train.lr = 0.08;
+  job.client.train.local_steps = 4;
+  job.client.train.batch_size = 16;
+  job.server.concurrency = 10;
+  job.server.max_rounds = 40;
+  job.seed = 7;
+  return job;
+}
+
+void Report(const char* name, const RunResult& result) {
+  std::printf(
+      "%-28s rounds=%3d  virtual_time=%7.1f min  final_acc=%.4f  "
+      "stale_contributions=%zu  dropped=%lld\n",
+      name, result.server.rounds, result.server.finish_time / 60.0,
+      result.server.final_accuracy,
+      std::count_if(result.server.staleness_log.begin(),
+                    result.server.staleness_log.end(),
+                    [](int s) { return s > 0; }),
+      static_cast<long long>(result.server.dropped_stale));
+}
+
+}  // namespace
+
+int main() {
+  SyntheticCifarOptions data_options;
+  data_options.num_clients = 30;
+  data_options.pool_size = 1500;
+  data_options.alpha = 0.5;
+  FedDataset data = MakeSyntheticCifar(data_options);
+
+  // A fleet with a realistic straggler tail: the reason async exists.
+  Rng fleet_rng(99);
+  FleetOptions fleet_options;
+  fleet_options.compute_median = 5.0;
+  fleet_options.bandwidth_median = 5e4;
+  fleet_options.straggler_frac = 0.15;
+  auto fleet = MakeFleet(30, fleet_options, &fleet_rng);
+
+  std::printf("strategy comparison on 30 clients (10 concurrent):\n\n");
+
+  {  // Synchronous: aggregation on "all_received".
+    FedJob job = BaseJob(&data, fleet);
+    job.server.strategy = Strategy::kSyncVanilla;
+    Report("Sync (all_received)", FedRunner(std::move(job)).Run());
+  }
+  {  // Async: aggregation on "goal_achieved" — one option changes.
+    FedJob job = BaseJob(&data, fleet);
+    job.server.strategy = Strategy::kAsyncGoal;
+    job.server.aggregation_goal = 4;
+    job.server.staleness_tolerance = 8;
+    Report("Async (goal_achieved)", FedRunner(std::move(job)).Run());
+  }
+  {  // Async with after-receiving broadcasts (FedBuff-style).
+    FedJob job = BaseJob(&data, fleet);
+    job.server.strategy = Strategy::kAsyncGoal;
+    job.server.aggregation_goal = 4;
+    job.server.staleness_tolerance = 8;
+    job.server.broadcast = BroadcastManner::kAfterReceiving;
+    Report("Async (after-receiving)", FedRunner(std::move(job)).Run());
+  }
+  {  // Async driven by a per-round virtual time budget ("time_up").
+    FedJob job = BaseJob(&data, fleet);
+    job.server.strategy = Strategy::kAsyncTime;
+    job.server.time_budget = 60.0;
+    job.server.staleness_tolerance = 8;
+    Report("Async (time_up, 60s budget)", FedRunner(std::move(job)).Run());
+  }
+
+  std::printf(
+      "\nThe async strategies finish the same number of rounds in a "
+      "fraction of the virtual time, tolerating stale updates instead of "
+      "waiting for stragglers.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Cross-backend FL via message translation (paper §3.5): one participant
+// stores parameters row-major, the other transposed ("a different ML
+// framework"). They interoperate because every message is encoded into the
+// pre-agreed backend-independent Payload format before sharing and decoded
+// into the receiver's native representation afterwards — no global
+// computation graph is ever exchanged.
+
+#include <cstdio>
+
+#include "fedscope/comm/codec.h"
+#include "fedscope/comm/translation.h"
+#include "fedscope/nn/model_zoo.h"
+#include "fedscope/tensor/tensor_ops.h"
+#include "fedscope/util/logging.h"
+
+using namespace fedscope;
+
+namespace {
+
+/// A participant with its own backend and native parameter storage.
+struct Participant {
+  std::string name;
+  const Backend* backend;
+  StateDict native_state;
+
+  /// Encoding: native -> consensus format -> wire bytes.
+  std::vector<uint8_t> Share() const {
+    Message msg;
+    msg.msg_type = "model_para";
+    msg.payload.SetStateDict("model", backend->EncodeState(native_state));
+    return EncodeMessage(msg);
+  }
+
+  /// Decoding: wire bytes -> consensus format -> native representation.
+  void Receive(const std::vector<uint8_t>& wire) {
+    auto msg = DecodeMessage(wire);
+    FS_CHECK(msg.ok()) << msg.status().ToString();
+    native_state =
+        backend->DecodeState(msg->payload.GetStateDict("model"));
+  }
+};
+
+}  // namespace
+
+int main() {
+  BackendRegistry registry;
+  Rng rng(3);
+  Model reference = MakeLogisticRegression(4, 3, &rng);
+
+  Participant alice{"alice(row_major)", registry.Find("row_major"), {}};
+  Participant bob{"bob(transposed)", registry.Find("transposed"), {}};
+
+  // Alice owns the initial model in her native layout.
+  alice.native_state = reference.GetStateDict();
+  std::printf("alice's native fc.weight shape: %s\n",
+              alice.native_state.at("fc.weight").ShapeString().c_str());
+
+  // Alice shares; Bob decodes into *his* native layout.
+  bob.Receive(alice.Share());
+  std::printf("bob's   native fc.weight shape: %s (transposed storage)\n",
+              bob.native_state.at("fc.weight").ShapeString().c_str());
+
+  // Bob "trains" (perturbs his native parameters) and shares back.
+  for (auto& [name, tensor] : bob.native_state) {
+    ScaleInPlace(&tensor, 1.5f);
+  }
+  alice.Receive(bob.Share());
+
+  // Alice's recovered parameters equal her originals x 1.5 even though
+  // Bob never used her memory layout.
+  const Tensor expected = Scale(reference.GetStateDict().at("fc.weight"),
+                                1.5f);
+  const Tensor& received = alice.native_state.at("fc.weight");
+  double max_err = 0.0;
+  for (int64_t i = 0; i < expected.numel(); ++i) {
+    max_err = std::max(
+        max_err, std::abs((double)expected.at(i) - received.at(i)));
+  }
+  std::printf(
+      "\nround trip through two different backends: max parameter error "
+      "= %.2e %s\n",
+      max_err, max_err < 1e-6 ? "(exact)" : "(MISMATCH!)");
+
+  // Information minimization: the wire carries only name->tensor pairs.
+  auto wire = alice.Share();
+  std::printf(
+      "wire format carries %zu bytes of named tensors; no computation "
+      "graph, optimizer or training algorithm is exposed.\n",
+      wire.size());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Distributed mode over TCP: the same event-driven Server/Client workers
+// as the standalone simulator, but the messages travel over real sockets
+// (here: loopback, one thread per participant — run the hosts in separate
+// processes for a genuinely distributed federation). Demonstrates that
+// behaviour (workers) and transport (CommChannel) are fully decoupled.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "fedscope/core/distributed.h"
+#include "fedscope/util/logging.h"
+#include "fedscope/data/synthetic_twitter.h"
+#include "fedscope/nn/model_zoo.h"
+
+using namespace fedscope;
+
+int main() {
+  constexpr int kClients = 6;
+
+  // The shared task: Twitter-style sentiment with a logistic model.
+  SyntheticTwitterOptions data_options;
+  data_options.num_clients = kClients;
+  data_options.min_texts = 8;
+  data_options.max_texts = 24;
+  FedDataset data = MakeSyntheticTwitter(data_options);
+
+  Rng init_rng(7);
+  Model init = MakeLogisticRegression(60, 2, &init_rng);
+
+  auto listener = TcpListener::Bind(0);  // ephemeral port
+  FS_CHECK(listener.ok()) << listener.status().ToString();
+  const int port = listener->port();
+  std::printf("server listening on 127.0.0.1:%d\n", port);
+
+  ServerOptions server_options;
+  server_options.strategy = Strategy::kSyncVanilla;
+  server_options.concurrency = kClients;
+  server_options.expected_clients = kClients;
+  server_options.max_rounds = 10;
+  server_options.seed = 7;
+
+  DistributedServerHost server_host(server_options, init,
+                                    std::make_unique<FedAvgAggregator>(),
+                                    std::move(listener.value()));
+  const Dataset* test = &data.server_test;
+  server_host.server()->set_evaluator(
+      [test](Model* model) { return EvaluateClassifier(model, *test); });
+
+  ServerStats stats;
+  std::thread server_thread([&] { stats = server_host.Run(); });
+
+  std::vector<std::thread> client_threads;
+  for (int id = 1; id <= kClients; ++id) {
+    client_threads.emplace_back([&, id] {
+      ClientOptions options;
+      options.train.lr = 0.5;
+      options.train.batch_size = 2;
+      options.seed = 100 + id;
+      DistributedClientHost host(id, std::move(options), init,
+                                 data.clients[id - 1],
+                                 std::make_unique<GeneralTrainer>(),
+                                 "127.0.0.1", port);
+      Status status = host.Run();
+      if (!status.ok()) {
+        std::fprintf(stderr, "client %d: %s\n", id,
+                     status.ToString().c_str());
+      }
+    });
+  }
+  for (auto& t : client_threads) t.join();
+  server_thread.join();
+
+  std::printf("\nround, wall_seconds, test_accuracy\n");
+  for (size_t i = 0; i < stats.curve.size(); ++i) {
+    std::printf("%5zu, %12.3f, %.4f\n", i + 1, stats.curve[i].first,
+                stats.curve[i].second);
+  }
+  std::printf("\ndistributed course finished: %d rounds, final acc %.4f\n",
+              stats.rounds, stats.final_accuracy);
+  return 0;
+}

@@ -1,0 +1,141 @@
+// FL with multiple learning goals (paper §3.4.2): clients solve *different
+// tasks* — different label spaces and head networks — while federally
+// sharing only the body of the model. Mirrors the paper's cross-silo
+// scenario: institutes collaboratively learn common structure (here: the
+// latent cluster geometry of the inputs) while their task heads, labels
+// and objectives stay private.
+//
+// Setup: 12 clients over shared latent clusters in 8-dim inputs.
+//  - 6 "data-rich" clients classify the cluster id (4 classes, 80 examples
+//    each),
+//  - 6 "data-poor" clients classify cluster parity (2 classes, only 10
+//    examples each) — far too little to learn the cluster geometry alone.
+// Sharing body.* transfers the rich clients' structural knowledge to the
+// poor clients without exchanging heads or labels.
+
+#include <cstdio>
+
+#include "fedscope/core/fed_runner.h"
+#include "fedscope/nn/model_zoo.h"
+#include "fedscope/util/stats.h"
+
+using namespace fedscope;
+
+namespace {
+
+constexpr int kClients = 12;
+constexpr int64_t kInput = 8;
+constexpr int64_t kClusters = 4;
+constexpr double kNoise = 1.6;
+
+bool IsDataPoor(int client_id) { return (client_id - 1) % 2 == 0; }
+
+FedDataset MakeMultiGoalData(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> centers;
+  for (int64_t k = 0; k < kClusters; ++k) {
+    centers.push_back(Tensor::Randn({kInput}, &rng, 2.0f));
+  }
+  FedDataset fed;
+  fed.clients.resize(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    const bool poor = IsDataPoor(c + 1);
+    const int64_t n = poor ? 10 : 80;
+    Rng crng = rng.Fork(c + 1);
+    Dataset data;
+    data.x = Tensor({n, kInput});
+    data.labels.resize(n);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t cluster = crng.UniformInt(0, kClusters - 1);
+      Tensor x = centers[cluster];
+      for (int64_t j = 0; j < kInput; ++j) {
+        x.at(j) += static_cast<float>(crng.Normal(0.0, kNoise));
+      }
+      data.x.SetSlice(i, x);
+      data.labels[i] = poor ? cluster % 2 : cluster;
+    }
+    fed.clients[c] = Split(data, 0.5, 0.0, &crng);
+  }
+  // The server never sees task labels; give it an (unused) placeholder.
+  fed.server_test = fed.clients[1].test;
+  return fed;
+}
+
+/// Runs the course; returns mean deployment accuracy of the data-poor
+/// clients after a short private head fine-tune (same budget in both
+/// settings — only the quality of the shared body differs).
+double RunCourse(const FedDataset& data, bool share_body, uint64_t seed) {
+  FedJob job;
+  job.data = &data;
+  Rng rng(seed);
+  job.init_model = MakeBodyHeadMlp(kInput, 16, kClusters, &rng);
+  const NameFilter share = share_body
+                               ? IncludePrefixes({"body."})
+                               : IncludePrefixes({"__nothing__"});
+  job.server.share_filter = share;
+  job.client.share_filter = share;
+  job.server.concurrency = kClients;
+  job.server.max_rounds = 50;
+  job.server.eval_interval = 50;
+  job.client.train.lr = 0.1;
+  job.client.train.local_steps = 4;
+  job.client.train.batch_size = 8;
+  job.seed = seed;
+  job.evaluator = [](Model*) { return EvalResult{}; };  // task-less server
+
+  FedRunner runner(std::move(job));
+  // Task-specific heads: each client declares its own computation graph
+  // (paper §3.5); only body.* names align across participants.
+  for (int id = 1; id <= kClients; ++id) {
+    Rng client_rng(seed + id);
+    *runner.client(id)->model() = MakeBodyHeadMlp(
+        kInput, 16, IsDataPoor(id) ? 2 : kClusters, &client_rng);
+  }
+  runner.Run();
+
+  std::vector<double> poor_accs;
+  for (int id = 1; id <= kClients; ++id) {
+    Client* client = runner.client(id);
+    GeneralTrainer tuner;
+    TrainConfig tune;
+    tune.lr = 0.05;
+    tune.local_steps = 30;
+    tune.batch_size = 8;
+    Rng tune_rng(700 + id);
+    tuner.Train(client->model(), client->data().train, tune, &tune_rng);
+    if (IsDataPoor(id)) {
+      poor_accs.push_back(
+          EvaluateClassifier(client->model(), client->data().test)
+              .accuracy);
+    }
+  }
+  return Mean(poor_accs);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "12 clients, two learning goals (4-class cluster id with plenty of "
+      "data vs 2-class parity with 10 examples), sharing only body.*\n\n");
+  double isolated = 0.0, shared = 0.0;
+  const std::vector<uint64_t> seeds = {31, 131, 231};
+  for (uint64_t seed : seeds) {
+    FedDataset data = MakeMultiGoalData(seed);
+    isolated += RunCourse(data, /*share_body=*/false, seed);
+    shared += RunCourse(data, /*share_body=*/true, seed);
+  }
+  isolated /= seeds.size();
+  shared /= seeds.size();
+  std::printf(
+      "data-poor clients' test accuracy, isolated training : %.4f\n",
+      isolated);
+  std::printf(
+      "data-poor clients' test accuracy, shared-body FL    : %.4f\n",
+      shared);
+  std::printf(
+      "\nThe data-poor clients inherit the cluster geometry learned by "
+      "the data-rich clients through the shared body, while every task "
+      "head (and every label space) stays private.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Personalization (paper §3.4.1): clients whose local data differ sharply
+// benefit from client-specific models. Runs FedAvg, FedBN, Ditto and
+// pFedMe on a writer-skewed FEMNIST and reports client-wise accuracy.
+// Also demonstrates the `performance_drop` condition event: clients raise
+// it when a received global model hurts their local validation accuracy.
+
+#include <cstdio>
+
+#include "fedscope/core/fed_runner.h"
+#include "fedscope/data/synthetic_femnist.h"
+#include "fedscope/nn/model_zoo.h"
+#include "fedscope/personalization/ditto.h"
+#include "fedscope/personalization/fedbn.h"
+#include "fedscope/personalization/pfedme.h"
+#include "fedscope/util/stats.h"
+
+using namespace fedscope;
+
+namespace {
+
+Model BnModel(uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  m.Add("flat", std::make_unique<Flatten>());
+  Model mlp = MakeMlpBn({64, 32, 10}, &rng);
+  for (int i = 0; i < mlp.num_layers(); ++i) {
+    m.Add(mlp.layer_name(i), mlp.layer(i)->Clone());
+  }
+  return m;
+}
+
+FedJob BaseJob(const FedDataset* data) {
+  FedJob job;
+  job.data = data;
+  job.init_model = BnModel(21);
+  job.server.concurrency = 8;
+  job.server.max_rounds = 25;
+  job.client.train.lr = 0.1;
+  job.client.train.local_steps = 4;
+  job.client.train.batch_size = 8;
+  // Clients watch for performance drops caused by incoming global models.
+  job.client.perf_drop_threshold = 0.1;
+  job.seed = 21;
+  return job;
+}
+
+void Report(const char* name, FedRunner* runner, const RunResult& result) {
+  const auto& acc = result.client_test_accuracy;
+  int perf_drops = 0;
+  for (int id = 1; id <= runner->num_clients(); ++id) {
+    perf_drops += runner->client(id)->perf_drop_count();
+  }
+  std::printf(
+      "%-8s mean client acc = %.4f   p10 = %.4f   stddev = %.4f   "
+      "performance_drop events = %d\n",
+      name, Mean(acc), Quantile(acc, 0.1), Stddev(acc), perf_drops);
+}
+
+}  // namespace
+
+int main() {
+  SyntheticFemnistOptions options;
+  options.num_clients = 20;
+  options.mean_samples = 60;
+  options.style_sigma = 1.0;
+  options.noise_sigma = 1.0;
+  options.permute_frac = 1.0;  // each writer's private "handwriting"
+  FedDataset data = MakeSyntheticFemnist(options);
+
+  std::printf(
+      "20 writers with strongly client-specific features; one global "
+      "model is conflicted, personalization adapts locally.\n\n");
+
+  {
+    FedJob job = BaseJob(&data);
+    FedRunner runner(std::move(job));
+    Report("FedAvg", &runner, runner.Run());
+  }
+  {
+    FedJob job = BaseJob(&data);
+    ApplyFedBn(&job);  // just a share filter: don't exchange *.bn.*
+    FedRunner runner(std::move(job));
+    Report("FedBN", &runner, runner.Run());
+  }
+  {
+    FedJob job = BaseJob(&data);
+    job.trainer_factory = [](int) {
+      return std::make_unique<DittoTrainer>(DittoOptions{0.3, 6});
+    };
+    FedRunner runner(std::move(job));
+    Report("Ditto", &runner, runner.Run());
+  }
+  {
+    FedJob job = BaseJob(&data);
+    job.trainer_factory = [](int) {
+      return std::make_unique<PFedMeTrainer>(
+          PFedMeOptions{2.0, 5, 0.1, 0.4});
+    };
+    FedRunner runner(std::move(job));
+    Report("pFedMe", &runner, runner.Run());
+  }
+  return 0;
+}

@@ -1,0 +1,194 @@
+#include "fedscope/attack/backdoor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedscope/tensor/tensor_ops.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+/// Deterministic "random" blend pattern derived from pixel index.
+float BlendPattern(int64_t i) {
+  return static_cast<float>(std::sin(0.7 * static_cast<double>(i + 1)) * 2.0);
+}
+
+}  // namespace
+
+void ApplyTrigger(Tensor* example, const BackdoorOptions& options) {
+  switch (options.kind) {
+    case TriggerKind::kLabelFlip:
+    case TriggerKind::kEdgeCase:
+      return;  // input untouched (edge-case poisoning *adds* examples)
+    case TriggerKind::kBlended: {
+      const float alpha = static_cast<float>(options.blend_alpha);
+      for (int64_t i = 0; i < example->numel(); ++i) {
+        example->at(i) =
+            (1.0f - alpha) * example->at(i) + alpha * BlendPattern(i);
+      }
+      return;
+    }
+    case TriggerKind::kBadNets: {
+      if (example->ndim() == 3) {
+        const int64_t channels = example->dim(0);
+        const int64_t height = example->dim(1), width = example->dim(2);
+        for (int64_t c = 0; c < channels; ++c) {
+          for (int64_t dh = 0; dh < options.trigger_size; ++dh) {
+            for (int64_t dw = 0; dw < options.trigger_size; ++dw) {
+              const int64_t h = options.trigger_offset_h + dh;
+              const int64_t w = options.trigger_offset_w + dw;
+              if (h < height && w < width) {
+                example->at((c * height + h) * width + w) =
+                    options.trigger_value;
+              }
+            }
+          }
+        }
+      } else {
+        // Flat features: stamp the leading trigger_size entries.
+        for (int64_t i = 0;
+             i < std::min<int64_t>(options.trigger_size, example->numel());
+             ++i) {
+          example->at(i) = options.trigger_value;
+        }
+      }
+      return;
+    }
+  }
+}
+
+std::function<void(Dataset*)> MakeDataPoisoner(
+    const BackdoorOptions& options) {
+  return [options](Dataset* data) {
+    if (data->empty()) return;
+    Rng rng(options.seed);
+    const int64_t n_poison =
+        static_cast<int64_t>(options.poison_frac * data->size());
+    if (options.kind == TriggerKind::kEdgeCase) {
+      // Append out-of-distribution examples labeled with the target; the
+      // original (in-distribution) data is untouched.
+      Dataset edge = MakeEdgeCaseSet(*data, n_poison, options);
+      std::vector<int64_t> shape = data->x.shape();
+      shape[0] += edge.size();
+      Tensor combined(shape);
+      for (int64_t i = 0; i < data->size(); ++i) {
+        combined.SetSlice(i, data->x.Slice(i));
+      }
+      for (int64_t i = 0; i < edge.size(); ++i) {
+        combined.SetSlice(data->size() + i, edge.x.Slice(i));
+      }
+      data->x = std::move(combined);
+      data->labels.insert(data->labels.end(), edge.labels.begin(),
+                          edge.labels.end());
+      return;
+    }
+    auto victims = rng.SampleWithoutReplacement(data->size(), n_poison);
+    for (int64_t i : victims) {
+      Tensor example = data->x.Slice(i);
+      ApplyTrigger(&example, options);
+      data->x.SetSlice(i, example);
+      data->labels[i] = options.target_label;
+    }
+  };
+}
+
+Dataset MakeEdgeCaseSet(const Dataset& reference, int64_t n,
+                        const BackdoorOptions& options) {
+  FS_CHECK(!reference.empty());
+  Rng rng(options.seed + 1);
+  std::vector<int64_t> shape = reference.x.shape();
+  shape[0] = n;
+  Dataset edge;
+  edge.x = Tensor(shape);
+  edge.labels.assign(n, options.target_label);
+  const int64_t per_example = reference.x.numel() / reference.x.dim(0);
+  for (int64_t i = 0; i < n * per_example; ++i) {
+    // A consistent rare input region: large alternating-sign pattern,
+    // roughly orthogonal to smooth class-mean directions so the backdoor
+    // is learnable without colliding with the main task.
+    const float sign = (i % 2 == 0) ? 1.0f : -1.0f;
+    edge.x.at(i) = sign * options.edge_scale *
+                   (1.0f + 0.2f * static_cast<float>(rng.Uniform()));
+  }
+  return edge;
+}
+
+Dataset MakeTriggeredTestSet(const Dataset& clean,
+                             const BackdoorOptions& options) {
+  Dataset out = clean;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    Tensor example = out.x.Slice(i);
+    ApplyTrigger(&example, options);
+    out.x.SetSlice(i, example);
+    out.labels[i] = options.target_label;
+  }
+  return out;
+}
+
+double AttackSuccessRate(Model* model, const Dataset& clean,
+                         const BackdoorOptions& options) {
+  if (options.kind == TriggerKind::kEdgeCase) {
+    // Edge-case success: fresh tail inputs classified as the target.
+    Dataset edge = MakeEdgeCaseSet(clean, clean.size(), options);
+    Tensor scores = model->Forward(edge.x, /*train=*/false);
+    auto preds = ArgmaxRows(scores);
+    int64_t hits = 0;
+    for (int64_t p : preds) {
+      if (p == options.target_label) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(preds.size());
+  }
+  // Restrict to examples whose true class differs from the target;
+  // otherwise "success" is conflated with correct classification.
+  std::vector<int64_t> eligible;
+  for (int64_t i = 0; i < clean.size(); ++i) {
+    if (clean.labels[i] != options.target_label) eligible.push_back(i);
+  }
+  if (eligible.empty()) return 0.0;
+  Dataset triggered = MakeTriggeredTestSet(clean.Subset(eligible), options);
+  Tensor scores = model->Forward(triggered.x, /*train=*/false);
+  auto preds = ArgmaxRows(scores);
+  int64_t hits = 0;
+  for (int64_t p : preds) {
+    if (p == options.target_label) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(preds.size());
+}
+
+std::function<void(StateDict*)> MakeScalingPoisoner(double scale) {
+  return [scale](StateDict* delta) {
+    for (auto& [name, tensor] : *delta) {
+      ScaleInPlace(&tensor, static_cast<float>(scale));
+    }
+  };
+}
+
+std::function<void(StateDict*)> MakeNeurotoxinPoisoner(double mask_frac) {
+  FS_CHECK_GE(mask_frac, 0.0);
+  FS_CHECK_LT(mask_frac, 1.0);
+  return [mask_frac](StateDict* delta) {
+    // Collect |value| over all coordinates, find the magnitude cutoff for
+    // the top mask_frac fraction, and zero everything above it.
+    std::vector<float> magnitudes;
+    for (const auto& [name, tensor] : *delta) {
+      for (int64_t i = 0; i < tensor.numel(); ++i) {
+        magnitudes.push_back(std::fabs(tensor.at(i)));
+      }
+    }
+    if (magnitudes.empty() || mask_frac == 0.0) return;
+    const size_t cut =
+        static_cast<size_t>((1.0 - mask_frac) * magnitudes.size());
+    if (cut >= magnitudes.size()) return;
+    std::nth_element(magnitudes.begin(), magnitudes.begin() + cut,
+                     magnitudes.end());
+    const float threshold = magnitudes[cut];
+    for (auto& [name, tensor] : *delta) {
+      for (int64_t i = 0; i < tensor.numel(); ++i) {
+        if (std::fabs(tensor.at(i)) >= threshold) tensor.at(i) = 0.0f;
+      }
+    }
+  };
+}
+
+}  // namespace fedscope

@@ -1,0 +1,87 @@
+#ifndef FEDSCOPE_ATTACK_BACKDOOR_H_
+#define FEDSCOPE_ATTACK_BACKDOOR_H_
+
+#include <functional>
+
+#include "fedscope/data/dataset.h"
+#include "fedscope/nn/model.h"
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+
+/// Backdoor (performance) attacks (paper §4.2): malicious clients poison
+/// their data or their updates so that inputs carrying a trigger are
+/// classified as an attacker-chosen target class, while main-task accuracy
+/// stays high. Implemented as participant plug-ins: data poisoners applied
+/// to a client's train split and update poisoners applied to the outgoing
+/// delta (Figure 7).
+
+enum class TriggerKind {
+  /// BadNets: a solid pixel patch stamped in a corner.
+  kBadNets,
+  /// Blended: the whole image is alpha-blended with a fixed pattern.
+  kBlended,
+  /// Label flipping only (no input modification).
+  kLabelFlip,
+  /// Edge-case backdoor (Wang et al.): out-of-distribution inputs (the
+  /// tail of the input space) are *added* to the training set with the
+  /// target label; in-distribution accuracy is untouched.
+  kEdgeCase,
+};
+
+struct BackdoorOptions {
+  TriggerKind kind = TriggerKind::kBadNets;
+  int64_t target_label = 0;
+  /// Fraction of the malicious client's training examples to poison.
+  double poison_frac = 0.5;
+  /// Side length of the BadNets patch (pixels), stamped at the offset.
+  int64_t trigger_size = 2;
+  int64_t trigger_offset_h = 0;
+  int64_t trigger_offset_w = 0;
+  float trigger_value = 3.0f;
+  /// Blend strength for kBlended.
+  double blend_alpha = 0.2;
+  /// Magnitude of the out-of-distribution region for kEdgeCase.
+  float edge_scale = 4.0f;
+  uint64_t seed = 99;
+};
+
+/// Stamps the trigger on one example tensor ([C, H, W] or flat [D]; flat
+/// inputs are treated as a single row and the patch covers the leading
+/// trigger_size entries).
+void ApplyTrigger(Tensor* example, const BackdoorOptions& options);
+
+/// Returns a data poisoner for Client::PoisonTrainData: stamps the trigger
+/// onto poison_frac of the examples and relabels them to target_label.
+std::function<void(Dataset*)> MakeDataPoisoner(const BackdoorOptions& options);
+
+/// A triggered copy of `clean` with every example stamped and relabeled —
+/// the evaluation set for the attack success rate.
+Dataset MakeTriggeredTestSet(const Dataset& clean,
+                             const BackdoorOptions& options);
+
+/// The kEdgeCase evaluation set: `n` fresh out-of-distribution examples
+/// with the per-example shape of `reference`, labeled with the target.
+Dataset MakeEdgeCaseSet(const Dataset& reference, int64_t n,
+                        const BackdoorOptions& options);
+
+/// Fraction of triggered examples classified as the target label, computed
+/// over examples whose true label differs from the target.
+double AttackSuccessRate(Model* model, const Dataset& clean,
+                         const BackdoorOptions& options);
+
+// -- model-poisoning update poisoners ---------------------------------------
+
+/// Scales the outgoing update by `scale` (model-replacement boosting).
+std::function<void(StateDict*)> MakeScalingPoisoner(double scale);
+
+/// Neurotoxin-style masked poisoning: zeroes the top `mask_frac` fraction
+/// of the update's coordinates by magnitude, hiding the malicious change in
+/// coordinates the benign objective barely uses. (Approximation: the
+/// attacker's own update magnitude serves as the proxy for benign-gradient
+/// mass; see DESIGN.md.)
+std::function<void(StateDict*)> MakeNeurotoxinPoisoner(double mask_frac);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_ATTACK_BACKDOOR_H_

@@ -1,0 +1,182 @@
+#include "fedscope/attack/gradient_inversion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedscope/nn/loss.h"
+#include "fedscope/tensor/tensor_ops.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+StateDict ObserveGradients(Model* model, const Tensor& x,
+                           const std::vector<int64_t>& labels) {
+  SoftmaxCrossEntropy loss;
+  model->ZeroGrad();
+  Tensor logits = model->Forward(x, /*train=*/true);
+  loss.Forward(logits, labels);
+  model->Backward(loss.Backward());
+  StateDict grads;
+  for (auto& p : model->Params()) {
+    if (p.trainable && p.grad != nullptr) grads[p.name] = *p.grad;
+  }
+  model->ZeroGrad();
+  return grads;
+}
+
+StateDict DeltaToGradients(const StateDict& delta, double lr) {
+  FS_CHECK_GT(lr, 0.0);
+  return SdScale(delta, static_cast<float>(-1.0 / lr));
+}
+
+Result<InversionResult> InvertSoftmaxRegression(const StateDict& grads,
+                                                const std::string& layer) {
+  auto w_it = grads.find(layer + ".weight");
+  auto b_it = grads.find(layer + ".bias");
+  if (w_it == grads.end() || b_it == grads.end()) {
+    return Status::NotFound("gradients for layer '" + layer + "' not found");
+  }
+  const Tensor& gw = w_it->second;  // [in, classes]
+  const Tensor& gb = b_it->second;  // [classes]
+  if (gw.ndim() != 2 || gb.ndim() != 1 || gw.dim(1) != gb.dim(0)) {
+    return Status::InvalidArgument("unexpected gradient shapes");
+  }
+  const int64_t classes = gb.dim(0);
+
+  // iDLG label inference: for cross-entropy on one example, grad_b =
+  // softmax(z) - onehot(y); only the true class entry is negative.
+  int64_t label = -1;
+  for (int64_t c = 0; c < classes; ++c) {
+    if (gb.at(c) < 0.0f) {
+      if (label != -1) {
+        return Status::FailedPrecondition(
+            "multiple negative bias gradients: not a single-example "
+            "gradient");
+      }
+      label = c;
+    }
+  }
+  if (label == -1) {
+    return Status::FailedPrecondition("no negative bias gradient entry");
+  }
+
+  // grad_W[:, c] = x * grad_b[c]  =>  x = grad_W[:, c] / grad_b[c].
+  // Use the entry with the largest |grad_b| for numerical stability.
+  int64_t pivot = 0;
+  for (int64_t c = 1; c < classes; ++c) {
+    if (std::fabs(gb.at(c)) > std::fabs(gb.at(pivot))) pivot = c;
+  }
+  if (std::fabs(gb.at(pivot)) < 1e-12) {
+    return Status::FailedPrecondition("bias gradient too small to invert");
+  }
+  InversionResult result;
+  result.inferred_label = label;
+  result.reconstructed_x = Tensor({gw.dim(0)});
+  for (int64_t i = 0; i < gw.dim(0); ++i) {
+    result.reconstructed_x.at(i) = gw.at(i, pivot) / gb.at(pivot);
+  }
+  return result;
+}
+
+namespace {
+
+/// Gradient-matching objective between observed and dummy-induced grads.
+double MatchLoss(Model* model, const Tensor& dummy_x, int64_t label,
+                 const StateDict& observed) {
+  StateDict grads = ObserveGradients(model, dummy_x, {label});
+  double acc = 0.0;
+  for (const auto& [name, g_obs] : observed) {
+    auto it = grads.find(name);
+    if (it == grads.end()) continue;
+    acc += SquaredNorm(Sub(it->second, g_obs));
+  }
+  return acc;
+}
+
+}  // namespace
+
+InversionResult InvertGradientIterative(Model* model,
+                                        const StateDict& observed,
+                                        const std::vector<int64_t>& x_shape,
+                                        const std::string& head_layer,
+                                        const DlgOptions& options, Rng* rng) {
+  // Infer the label first (iDLG trick on the head layer's bias gradient).
+  int64_t label = 0;
+  auto b_it = observed.find(head_layer + ".bias");
+  if (b_it != observed.end()) {
+    const Tensor& gb = b_it->second;
+    for (int64_t c = 0; c < gb.numel(); ++c) {
+      if (gb.at(c) < gb.at(label)) label = c;
+    }
+  }
+
+  std::vector<int64_t> batch_shape = x_shape;
+  batch_shape.insert(batch_shape.begin(), 1);
+  Tensor dummy = Tensor::Randn(batch_shape, rng, 0.5f);
+
+  double loss = MatchLoss(model, dummy, label, observed);
+  double step = options.lr;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // Finite-difference gradient of the match loss w.r.t. every pixel.
+    Tensor grad(dummy.shape());
+    for (int64_t i = 0; i < dummy.numel(); ++i) {
+      const float original = dummy.at(i);
+      dummy.at(i) = original + static_cast<float>(options.fd_epsilon);
+      const double plus = MatchLoss(model, dummy, label, observed);
+      dummy.at(i) = original - static_cast<float>(options.fd_epsilon);
+      const double minus = MatchLoss(model, dummy, label, observed);
+      dummy.at(i) = original;
+      grad.at(i) =
+          static_cast<float>((plus - minus) / (2.0 * options.fd_epsilon));
+    }
+    const double gnorm = Norm(grad);
+    if (gnorm < 1e-12) break;
+    // Backtracking line search: halve the step until the match loss
+    // improves (keeps the descent stable without tuning lr per model).
+    bool accepted = false;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      Tensor candidate = dummy;
+      Axpy(&candidate, static_cast<float>(-step), grad);
+      const double candidate_loss =
+          MatchLoss(model, candidate, label, observed);
+      if (candidate_loss < loss) {
+        dummy = std::move(candidate);
+        loss = candidate_loss;
+        step *= 1.5;
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) break;  // converged to numerical precision
+  }
+
+  InversionResult result;
+  result.inferred_label = label;
+  result.reconstructed_x = dummy.Reshape(x_shape);
+  result.gradient_match_loss = loss;
+  return result;
+}
+
+double ReconstructionMse(const Tensor& truth, const Tensor& reconstruction) {
+  FS_CHECK_EQ(truth.numel(), reconstruction.numel());
+  double acc = 0.0;
+  for (int64_t i = 0; i < truth.numel(); ++i) {
+    const double d = truth.at(i) - reconstruction.at(i);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(truth.numel());
+}
+
+double ReconstructionPsnr(const Tensor& truth, const Tensor& reconstruction) {
+  double lo = truth.at(0), hi = truth.at(0);
+  for (int64_t i = 1; i < truth.numel(); ++i) {
+    lo = std::min(lo, (double)truth.at(i));
+    hi = std::max(hi, (double)truth.at(i));
+  }
+  const double range = std::max(hi - lo, 1e-9);
+  const double mse = std::max(ReconstructionMse(truth, reconstruction), 1e-12);
+  return 10.0 * std::log10(range * range / mse);
+}
+
+}  // namespace fedscope

@@ -1,0 +1,65 @@
+#ifndef FEDSCOPE_ATTACK_GRADIENT_INVERSION_H_
+#define FEDSCOPE_ATTACK_GRADIENT_INVERSION_H_
+
+#include <string>
+#include <vector>
+
+#include "fedscope/nn/model.h"
+#include "fedscope/util/rng.h"
+#include "fedscope/util/status.h"
+
+namespace fedscope {
+
+/// Gradient-inversion privacy attacks (paper §4.2: DLG, iDLG, GradInv):
+/// an honest-but-curious server observes a client's update and tries to
+/// reconstruct the private training example. Figure 13 uses exactly this
+/// to show that DP noise defeats the reconstruction.
+
+/// Captures the parameter gradients of `model` on a batch (what the
+/// attacker effectively sees when a client runs one local step:
+/// delta = -lr * grad).
+StateDict ObserveGradients(Model* model, const Tensor& x,
+                           const std::vector<int64_t>& labels);
+
+/// Converts a one-step SGD delta into the gradient the attacker works on.
+StateDict DeltaToGradients(const StateDict& delta, double lr);
+
+struct InversionResult {
+  Tensor reconstructed_x;
+  int64_t inferred_label = -1;
+  /// Final gradient-matching objective (iterative attack only).
+  double gradient_match_loss = 0.0;
+};
+
+/// Analytic iDLG against softmax regression (a single Linear layer named
+/// `layer`): the true label is the unique class whose bias gradient is
+/// negative, and the example is recovered exactly as
+/// x = grad_W[:, c] / grad_b[c]. Requires a single-example gradient.
+Result<InversionResult> InvertSoftmaxRegression(const StateDict& grads,
+                                                const std::string& layer = "fc");
+
+struct DlgOptions {
+  int iterations = 200;
+  double lr = 0.5;
+  /// Central finite-difference step for the dummy-input gradient.
+  double fd_epsilon = 1e-2;
+};
+
+/// Iterative DLG against an arbitrary (small) model: optimizes a dummy
+/// input to match the observed gradients, inferring the label first via
+/// the iDLG sign trick on the final layer (`head_layer`). Uses finite
+/// differences for d(match)/d(dummy); keep input dimensions small.
+InversionResult InvertGradientIterative(Model* model,
+                                        const StateDict& observed,
+                                        const std::vector<int64_t>& x_shape,
+                                        const std::string& head_layer,
+                                        const DlgOptions& options, Rng* rng);
+
+/// Mean squared error between a reconstruction and the ground truth.
+double ReconstructionMse(const Tensor& truth, const Tensor& reconstruction);
+/// PSNR (dB) given the data range of `truth`.
+double ReconstructionPsnr(const Tensor& truth, const Tensor& reconstruction);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_ATTACK_GRADIENT_INVERSION_H_

@@ -1,0 +1,81 @@
+#include "fedscope/attack/membership.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedscope/nn/loss.h"
+#include "fedscope/tensor/tensor_ops.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+std::vector<double> PerExampleLosses(Model* model, const Dataset& data) {
+  std::vector<double> losses(data.size());
+  if (data.empty()) return losses;
+  Tensor probs = Softmax(model->Forward(data.x, /*train=*/false));
+  for (int64_t i = 0; i < data.size(); ++i) {
+    losses[i] =
+        -std::log(std::max(1e-12, (double)probs.at(i, data.labels[i])));
+  }
+  return losses;
+}
+
+double RocAuc(const std::vector<double>& positive_scores,
+              const std::vector<double>& negative_scores) {
+  FS_CHECK(!positive_scores.empty());
+  FS_CHECK(!negative_scores.empty());
+  // Mann-Whitney U: fraction of (pos, neg) pairs ranked correctly.
+  double wins = 0.0;
+  for (double p : positive_scores) {
+    for (double n : negative_scores) {
+      if (p > n) {
+        wins += 1.0;
+      } else if (p == n) {
+        wins += 0.5;
+      }
+    }
+  }
+  return wins / (static_cast<double>(positive_scores.size()) *
+                 static_cast<double>(negative_scores.size()));
+}
+
+MembershipAttackResult LossThresholdAttack(Model* model,
+                                           const Dataset& members,
+                                           const Dataset& nonmembers) {
+  MembershipAttackResult result;
+  auto member_losses = PerExampleLosses(model, members);
+  auto nonmember_losses = PerExampleLosses(model, nonmembers);
+  if (member_losses.empty() || nonmember_losses.empty()) return result;
+
+  // Members should have LOWER loss; score = -loss.
+  std::vector<double> pos(member_losses.size()), neg(nonmember_losses.size());
+  for (size_t i = 0; i < pos.size(); ++i) pos[i] = -member_losses[i];
+  for (size_t i = 0; i < neg.size(); ++i) neg[i] = -nonmember_losses[i];
+  result.auc = RocAuc(pos, neg);
+
+  // Best single-threshold balanced accuracy: predict member iff
+  // loss <= threshold; sweep over all observed losses.
+  std::vector<double> candidates = member_losses;
+  candidates.insert(candidates.end(), nonmember_losses.begin(),
+                    nonmember_losses.end());
+  std::sort(candidates.begin(), candidates.end());
+  for (double threshold : candidates) {
+    int64_t tp = 0, tn = 0;
+    for (double l : member_losses) {
+      if (l <= threshold) ++tp;
+    }
+    for (double l : nonmember_losses) {
+      if (l > threshold) ++tn;
+    }
+    const double acc =
+        0.5 * (static_cast<double>(tp) / member_losses.size() +
+               static_cast<double>(tn) / nonmember_losses.size());
+    if (acc > result.best_accuracy) {
+      result.best_accuracy = acc;
+      result.best_threshold = threshold;
+    }
+  }
+  return result;
+}
+
+}  // namespace fedscope

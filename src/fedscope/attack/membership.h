@@ -1,0 +1,40 @@
+#ifndef FEDSCOPE_ATTACK_MEMBERSHIP_H_
+#define FEDSCOPE_ATTACK_MEMBERSHIP_H_
+
+#include <vector>
+
+#include "fedscope/data/dataset.h"
+#include "fedscope/nn/model.h"
+
+namespace fedscope {
+
+/// Membership-inference attack (paper §4.2, Nasr et al.): decide whether a
+/// given example was part of a client's training set. The classic black-box
+/// signal is the per-example loss — members have systematically lower loss.
+
+struct MembershipAttackResult {
+  /// Area under the ROC curve of the (negative) loss score; 0.5 = chance.
+  double auc = 0.5;
+  /// Best achievable accuracy with a single loss threshold.
+  double best_accuracy = 0.5;
+  /// The loss threshold achieving best_accuracy.
+  double best_threshold = 0.0;
+};
+
+/// Per-example cross-entropy losses of `model` on `data`.
+std::vector<double> PerExampleLosses(Model* model, const Dataset& data);
+
+/// Runs the loss-threshold attack given known member and non-member sets
+/// (the evaluation protocol: the attacker is scored on how well loss
+/// separates the two).
+MembershipAttackResult LossThresholdAttack(Model* model,
+                                           const Dataset& members,
+                                           const Dataset& nonmembers);
+
+/// AUC of scores where higher score should indicate the positive class.
+double RocAuc(const std::vector<double>& positive_scores,
+              const std::vector<double>& negative_scores);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_ATTACK_MEMBERSHIP_H_

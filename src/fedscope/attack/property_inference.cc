@@ -1,0 +1,86 @@
+#include "fedscope/attack/property_inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedscope/core/trainer.h"
+#include "fedscope/nn/model_zoo.h"
+#include "fedscope/tensor/tensor_ops.h"
+#include "fedscope/util/logging.h"
+#include "fedscope/util/stats.h"
+
+namespace fedscope {
+
+std::vector<float> UpdateFeatures(const StateDict& update) {
+  std::vector<float> features;
+  for (const auto& [name, tensor] : update) {
+    RunningStat stat;
+    for (int64_t i = 0; i < tensor.numel(); ++i) stat.Add(tensor.at(i));
+    features.push_back(static_cast<float>(stat.mean()));
+    features.push_back(static_cast<float>(stat.stddev()));
+    features.push_back(static_cast<float>(Norm(tensor)));
+    features.push_back(static_cast<float>(stat.min()));
+    features.push_back(static_cast<float>(stat.max()));
+  }
+  return features;
+}
+
+PropertyInferenceResult RunPropertyInference(
+    const std::vector<std::vector<float>>& features,
+    const std::vector<int64_t>& property_labels, double test_frac,
+    Rng* rng) {
+  FS_CHECK_EQ(features.size(), property_labels.size());
+  FS_CHECK_GE(features.size(), 4u);
+  const int64_t n = static_cast<int64_t>(features.size());
+  const int64_t dim = static_cast<int64_t>(features[0].size());
+
+  // Standardize features (meta-classifier stability).
+  std::vector<double> mean(dim, 0.0), std(dim, 1e-9);
+  for (const auto& f : features) {
+    for (int64_t j = 0; j < dim; ++j) mean[j] += f[j];
+  }
+  for (auto& m : mean) m /= n;
+  for (const auto& f : features) {
+    for (int64_t j = 0; j < dim; ++j) {
+      std[j] += (f[j] - mean[j]) * (f[j] - mean[j]);
+    }
+  }
+  for (auto& s : std) s = std::sqrt(s / n) + 1e-9;
+
+  Dataset all;
+  all.x = Tensor({n, dim});
+  all.labels = property_labels;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < dim; ++j) {
+      all.x.at(i, j) = static_cast<float>((features[i][j] - mean[j]) /
+                                          std[j]);
+    }
+  }
+
+  auto perm = rng->Permutation(n);
+  const int64_t n_test = std::max<int64_t>(1, (int64_t)(test_frac * n));
+  std::vector<int64_t> test_idx(perm.begin(), perm.begin() + n_test);
+  std::vector<int64_t> train_idx(perm.begin() + n_test, perm.end());
+  Dataset train = all.Subset(train_idx);
+  Dataset test = all.Subset(test_idx);
+
+  const int64_t classes =
+      *std::max_element(property_labels.begin(), property_labels.end()) + 1;
+  Rng init_rng(rng->Next());
+  Model probe = MakeLogisticRegression(dim, classes, &init_rng);
+
+  TrainConfig config;
+  config.lr = 0.3;
+  config.local_steps = 300;
+  config.batch_size = static_cast<int>(std::min<int64_t>(32, train.size()));
+  config.weight_decay = 1e-3;
+  GeneralTrainer trainer;
+  trainer.Train(&probe, train, config, rng);
+
+  PropertyInferenceResult result;
+  result.train_accuracy = EvaluateClassifier(&probe, train).accuracy;
+  result.test_accuracy = EvaluateClassifier(&probe, test).accuracy;
+  return result;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,35 @@
+#ifndef FEDSCOPE_ATTACK_PROPERTY_INFERENCE_H_
+#define FEDSCOPE_ATTACK_PROPERTY_INFERENCE_H_
+
+#include <vector>
+
+#include "fedscope/nn/model.h"
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+
+/// Property-inference attack (paper §4.2, PIA / Melis et al.): the
+/// adversary observes a participant's model updates and infers a *dataset
+/// property* unrelated to the main task (e.g., "this client's data is
+/// dominated by class 0"). The attack trains a meta-classifier on update
+/// features from shadow participants whose property is known.
+
+/// Compact feature vector summarizing one update: per-tensor mean, std,
+/// L2 norm, min, max (order fixed by the state-dict key order).
+std::vector<float> UpdateFeatures(const StateDict& update);
+
+struct PropertyInferenceResult {
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+};
+
+/// Trains a logistic-regression meta-classifier on (features, property)
+/// pairs and reports held-out accuracy. `test_frac` of the examples are
+/// held out for scoring.
+PropertyInferenceResult RunPropertyInference(
+    const std::vector<std::vector<float>>& features,
+    const std::vector<int64_t>& property_labels, double test_frac, Rng* rng);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_ATTACK_PROPERTY_INFERENCE_H_

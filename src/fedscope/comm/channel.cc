@@ -1,0 +1,25 @@
+#include "fedscope/comm/channel.h"
+
+#include "fedscope/comm/codec.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+void QueueChannel::Send(const Message& msg) {
+  if (through_wire_) {
+    auto decoded = DecodeMessage(EncodeMessage(msg));
+    FS_CHECK(decoded.ok()) << decoded.status().ToString();
+    queue_.push_back(std::move(decoded.value()));
+  } else {
+    queue_.push_back(msg);
+  }
+}
+
+Message QueueChannel::Pop() {
+  FS_CHECK(!queue_.empty());
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+}  // namespace fedscope

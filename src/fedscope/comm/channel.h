@@ -1,0 +1,44 @@
+#ifndef FEDSCOPE_COMM_CHANNEL_H_
+#define FEDSCOPE_COMM_CHANNEL_H_
+
+#include <deque>
+#include <functional>
+
+#include "fedscope/comm/message.h"
+
+namespace fedscope {
+
+/// Transport abstraction: something messages can be sent into. In the
+/// standalone simulator the FedRunner implements this and routes messages
+/// through the virtual-time event queue; tests can implement it to capture
+/// traffic.
+class CommChannel {
+ public:
+  virtual ~CommChannel() = default;
+  virtual void Send(const Message& msg) = 0;
+};
+
+/// A channel that queues messages in FIFO order (useful in unit tests and
+/// for driving workers directly without a simulator). Optionally passes
+/// every message through the wire codec to emulate real serialization
+/// (verifying that nothing depends on in-memory object identity).
+class QueueChannel : public CommChannel {
+ public:
+  explicit QueueChannel(bool through_wire = false)
+      : through_wire_(through_wire) {}
+
+  void Send(const Message& msg) override;
+
+  bool Empty() const { return queue_.empty(); }
+  size_t Size() const { return queue_.size(); }
+  /// Pops the oldest message; requires !Empty().
+  Message Pop();
+
+ private:
+  bool through_wire_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_COMM_CHANNEL_H_

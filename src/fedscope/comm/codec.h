@@ -1,0 +1,55 @@
+#ifndef FEDSCOPE_COMM_CODEC_H_
+#define FEDSCOPE_COMM_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fedscope/comm/message.h"
+#include "fedscope/util/status.h"
+
+namespace fedscope {
+
+/// Binary wire format for messages (the *encoding* half of the paper's
+/// message-translation mechanism, §3.5). The format is backend- and
+/// platform-independent: little-endian, explicit tags and lengths, no
+/// in-memory layout assumptions. Decode validates all lengths and returns
+/// an error Status on malformed input rather than crashing.
+///
+/// Layout:
+///   magic "FSMG" | version u16 | sender i32 | receiver i32 |
+///   msg_type (str) | state i32 | timestamp f64 |
+///   n_scalars u32 | { key(str) tag(u8) value } * |
+///   n_tensors u32 | { key(str) ndim u8 dims(i64*) data(f32*) } *
+/// Strings are u32 length + bytes.
+std::vector<uint8_t> EncodeMessage(const Message& msg);
+Result<Message> DecodeMessage(const std::vector<uint8_t>& bytes);
+
+/// Payload-only encode/decode (used by privacy plug-ins that transform
+/// payloads before sending, e.g. message partitioning into frames).
+std::vector<uint8_t> EncodePayload(const Payload& payload);
+Result<Payload> DecodePayload(const std::vector<uint8_t>& bytes);
+
+/// Message partitioning into frames (paper §4.1: "the messages would be
+/// partitioned into several frames" before sharing). Each frame carries a
+/// header (frame index, frame count, total size) so frames can be
+/// reassembled out of order; reassembly validates completeness and
+/// consistency.
+struct Frame {
+  uint32_t index = 0;
+  uint32_t count = 1;
+  uint64_t total_bytes = 0;
+  std::vector<uint8_t> data;
+};
+
+/// Splits an encoded message into frames of at most `max_frame_bytes`
+/// payload bytes each (at least one frame).
+std::vector<Frame> SplitIntoFrames(const std::vector<uint8_t>& bytes,
+                                   size_t max_frame_bytes);
+
+/// Reassembles frames (any order) into the original byte stream. Errors
+/// on missing/duplicate/inconsistent frames.
+Result<std::vector<uint8_t>> ReassembleFrames(std::vector<Frame> frames);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_COMM_CODEC_H_

@@ -1,0 +1,162 @@
+#include "fedscope/comm/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+/// Shapes ride along as small float tensors (dims are < 2^24, exact).
+Tensor ShapeTensor(const Tensor& t) {
+  std::vector<float> dims(t.ndim());
+  for (int d = 0; d < t.ndim(); ++d) {
+    dims[d] = static_cast<float>(t.dim(d));
+  }
+  return Tensor::FromVector(dims);
+}
+
+std::vector<int64_t> ShapeFromTensor(const Tensor& t) {
+  std::vector<int64_t> shape(t.numel());
+  for (int64_t d = 0; d < t.numel(); ++d) {
+    shape[d] = static_cast<int64_t>(t.at(d));
+  }
+  return shape;
+}
+
+}  // namespace
+
+Payload QuantizeStateDict(const StateDict& state) {
+  Payload payload;
+  payload.SetString("codec", "quant8");
+  for (const auto& [name, tensor] : state) {
+    float lo = tensor.numel() > 0 ? tensor.at(0) : 0.0f;
+    float hi = lo;
+    for (int64_t i = 1; i < tensor.numel(); ++i) {
+      lo = std::min(lo, tensor.at(i));
+      hi = std::max(hi, tensor.at(i));
+    }
+    const float range = std::max(hi - lo, 1e-12f);
+    std::string codes(tensor.numel(), '\0');
+    for (int64_t i = 0; i < tensor.numel(); ++i) {
+      const float t = (tensor.at(i) - lo) / range;
+      codes[i] = static_cast<char>(static_cast<uint8_t>(
+          std::lround(t * 255.0f)));
+    }
+    payload.SetString("q/" + name + "/codes", std::move(codes));
+    payload.SetDouble("q/" + name + "/lo", lo);
+    payload.SetDouble("q/" + name + "/hi", hi);
+    payload.SetTensor("q/" + name + "/shape", ShapeTensor(tensor));
+  }
+  return payload;
+}
+
+Result<StateDict> DequantizeStateDict(const Payload& payload) {
+  if (payload.GetString("codec") != "quant8") {
+    return Status::InvalidArgument("not a quant8 payload");
+  }
+  StateDict state;
+  for (const auto& [key, tensor] : payload.tensors()) {
+    // Keys look like "q/<name>/shape".
+    if (key.rfind("q/", 0) != 0 ||
+        key.size() < 8 ||
+        key.substr(key.size() - 6) != "/shape") {
+      continue;
+    }
+    const std::string name = key.substr(2, key.size() - 2 - 6);
+    const std::string codes = payload.GetString("q/" + name + "/codes");
+    const double lo = payload.GetDouble("q/" + name + "/lo");
+    const double hi = payload.GetDouble("q/" + name + "/hi");
+    std::vector<int64_t> shape = ShapeFromTensor(tensor);
+    if (ShapeNumel(shape) != static_cast<int64_t>(codes.size())) {
+      return Status::DataLoss("quant8 code length mismatch for " + name);
+    }
+    Tensor out(shape);
+    const double range = std::max(hi - lo, 1e-12);
+    for (int64_t i = 0; i < out.numel(); ++i) {
+      const uint8_t code = static_cast<uint8_t>(codes[i]);
+      out.at(i) = static_cast<float>(lo + range * code / 255.0);
+    }
+    state[name] = std::move(out);
+  }
+  if (state.empty()) return Status::DataLoss("empty quant8 payload");
+  return state;
+}
+
+Payload SparsifyStateDict(const StateDict& state, double keep_frac) {
+  FS_CHECK_GT(keep_frac, 0.0);
+  FS_CHECK_LE(keep_frac, 1.0);
+  Payload payload;
+  payload.SetString("codec", "topk");
+  for (const auto& [name, tensor] : state) {
+    const int64_t k = std::max<int64_t>(
+        1, static_cast<int64_t>(keep_frac * tensor.numel()));
+    std::vector<int64_t> order(tensor.numel());
+    for (int64_t i = 0; i < tensor.numel(); ++i) order[i] = i;
+    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                     [&](int64_t a, int64_t b) {
+                       return std::fabs(tensor.at(a)) >
+                              std::fabs(tensor.at(b));
+                     });
+    order.resize(k);
+    std::sort(order.begin(), order.end());
+
+    std::string indices(k * sizeof(uint32_t), '\0');
+    std::vector<float> values(k);
+    for (int64_t i = 0; i < k; ++i) {
+      const uint32_t idx = static_cast<uint32_t>(order[i]);
+      std::memcpy(indices.data() + i * sizeof(uint32_t), &idx,
+                  sizeof(uint32_t));
+      values[i] = tensor.at(order[i]);
+    }
+    payload.SetString("s/" + name + "/indices", std::move(indices));
+    payload.SetTensor("s/" + name + "/values",
+                      Tensor::FromVector(values));
+    payload.SetTensor("s/" + name + "/shape", ShapeTensor(tensor));
+  }
+  return payload;
+}
+
+Result<StateDict> DesparsifyStateDict(const Payload& payload) {
+  if (payload.GetString("codec") != "topk") {
+    return Status::InvalidArgument("not a topk payload");
+  }
+  StateDict state;
+  for (const auto& [key, tensor] : payload.tensors()) {
+    if (key.rfind("s/", 0) != 0 ||
+        key.size() < 8 ||
+        key.substr(key.size() - 6) != "/shape") {
+      continue;
+    }
+    const std::string name = key.substr(2, key.size() - 2 - 6);
+    const std::string indices =
+        payload.GetString("s/" + name + "/indices");
+    auto values = payload.GetTensor("s/" + name + "/values");
+    if (!values.ok()) return values.status();
+    if (indices.size() != values->numel() * sizeof(uint32_t)) {
+      return Status::DataLoss("topk index length mismatch for " + name);
+    }
+    Tensor out(ShapeFromTensor(tensor));
+    for (int64_t i = 0; i < values->numel(); ++i) {
+      uint32_t idx = 0;
+      std::memcpy(&idx, indices.data() + i * sizeof(uint32_t),
+                  sizeof(uint32_t));
+      if (static_cast<int64_t>(idx) >= out.numel()) {
+        return Status::DataLoss("topk index out of range for " + name);
+      }
+      out.at(idx) = values->at(i);
+    }
+    state[name] = std::move(out);
+  }
+  if (state.empty()) return Status::DataLoss("empty topk payload");
+  return state;
+}
+
+int64_t CompressedBytes(const Payload& payload) {
+  return payload.ByteSize();
+}
+
+}  // namespace fedscope

@@ -1,0 +1,43 @@
+#ifndef FEDSCOPE_COMM_COMPRESSION_H_
+#define FEDSCOPE_COMM_COMPRESSION_H_
+
+#include <cstdint>
+
+#include "fedscope/comm/message.h"
+#include "fedscope/nn/model.h"
+
+namespace fedscope {
+
+/// Update-compression operators (message-transform plug-ins, in the spirit
+/// of §4.1's operator plug-ins): before sharing, a client may quantize or
+/// sparsify its update to cut bandwidth; the receiver decompresses back to
+/// a dense StateDict. Both transforms are lossy but unbiased enough for
+/// FedAvg-style averaging; tests bound the reconstruction error and the
+/// wire-size savings.
+
+// -- uniform 8-bit quantization ---------------------------------------------
+
+/// Encodes each tensor as int8 codes + per-tensor (min, max) range packed
+/// into a Payload. Wire cost ~ numel bytes instead of 4*numel.
+Payload QuantizeStateDict(const StateDict& state);
+
+/// Reconstructs the dense StateDict (values land on 256-level grids).
+Result<StateDict> DequantizeStateDict(const Payload& payload);
+
+// -- top-k sparsification -----------------------------------------------------
+
+/// Keeps only the `keep_frac` fraction of coordinates with the largest
+/// magnitude (at least 1 per tensor); the rest become exact zeros. The
+/// result is encoded as (indices, values) pairs per tensor.
+Payload SparsifyStateDict(const StateDict& state, double keep_frac);
+
+/// Reconstructs the dense StateDict (dropped coordinates are zero).
+Result<StateDict> DesparsifyStateDict(const Payload& payload);
+
+/// Approximate wire bytes of a payload (same accounting as
+/// Payload::ByteSize; convenience for compression-ratio reporting).
+int64_t CompressedBytes(const Payload& payload);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_COMM_COMPRESSION_H_

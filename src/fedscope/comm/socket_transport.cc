@@ -1,0 +1,176 @@
+#include "fedscope/comm/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "fedscope/comm/codec.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Hard cap against hostile length prefixes (256 MiB).
+constexpr uint32_t kMaxFrameBytes = 256u << 20;
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// TcpConnection
+// --------------------------------------------------------------------------
+
+Result<TcpConnection> TcpConnection::Connect(const std::string& host,
+                                             int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(fd);
+}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpConnection::~TcpConnection() { Close(); }
+
+void TcpConnection::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpConnection::WriteAll(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::send(fd_, p + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status TcpConnection::ReadAll(void* data, size_t size) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n == 0) return Status::DataLoss("connection closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status TcpConnection::SendMessage(const Message& msg) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  const std::vector<uint8_t> bytes = EncodeMessage(msg);
+  const uint32_t length = static_cast<uint32_t>(bytes.size());
+  FS_RETURN_IF_ERROR(WriteAll(&length, sizeof(length)));
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+Result<Message> TcpConnection::ReceiveMessage() {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  uint32_t length = 0;
+  FS_RETURN_IF_ERROR(ReadAll(&length, sizeof(length)));
+  if (length > kMaxFrameBytes) {
+    return Status::DataLoss("oversized frame: " + std::to_string(length));
+  }
+  std::vector<uint8_t> bytes(length);
+  FS_RETURN_IF_ERROR(ReadAll(bytes.data(), bytes.size()));
+  return DecodeMessage(bytes);
+}
+
+// --------------------------------------------------------------------------
+// TcpListener
+// --------------------------------------------------------------------------
+
+Result<TcpListener> TcpListener::Bind(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("bind");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Errno("getsockname");
+  }
+  return TcpListener(fd, ntohs(addr.sin_port));
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpConnection> TcpListener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("listener closed");
+  const int client_fd = ::accept(fd_, nullptr, nullptr);
+  if (client_fd < 0) return Errno("accept");
+  int one = 1;
+  ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(client_fd);
+}
+
+}  // namespace fedscope

@@ -1,0 +1,81 @@
+#ifndef FEDSCOPE_COMM_SOCKET_TRANSPORT_H_
+#define FEDSCOPE_COMM_SOCKET_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "fedscope/comm/message.h"
+#include "fedscope/util/status.h"
+
+namespace fedscope {
+
+/// TCP transport for distributed mode: the same wire format used by the
+/// standalone simulator (comm/codec.h), framed with a 4-byte little-endian
+/// length prefix, flows over real sockets. Blocking I/O; one connection
+/// per participant pair (clients connect to the server).
+///
+/// Move-only RAII wrapper over a connected socket.
+class TcpConnection {
+ public:
+  /// Connects to host:port ("127.0.0.1" for local federations).
+  static Result<TcpConnection> Connect(const std::string& host, int port);
+
+  /// Adopts an already-connected file descriptor (from TcpListener).
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  TcpConnection(TcpConnection&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+  ~TcpConnection();
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Encodes and writes one message (length-prefixed). Thread-compatible:
+  /// callers must serialize concurrent sends on the same connection.
+  Status SendMessage(const Message& msg);
+
+  /// Blocks until a full message arrives. DataLoss with message
+  /// "connection closed" on orderly EOF.
+  Result<Message> ReceiveMessage();
+
+  /// Shuts down and closes the socket (idempotent).
+  void Close();
+
+ private:
+  Status WriteAll(const void* data, size_t size);
+  Status ReadAll(void* data, size_t size);
+
+  int fd_ = -1;
+};
+
+/// Listening socket; Accept yields TcpConnections.
+class TcpListener {
+ public:
+  /// Binds to 127.0.0.1:port; port 0 picks an ephemeral port (see port()).
+  static Result<TcpListener> Bind(int port);
+
+  explicit TcpListener(int fd, int port) : fd_(fd), port_(port) {}
+  TcpListener(TcpListener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  int port() const { return port_; }
+
+  Result<TcpConnection> Accept();
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_COMM_SOCKET_TRANSPORT_H_

@@ -1,0 +1,52 @@
+#include "fedscope/comm/translation.h"
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+Tensor Transpose2d(const Tensor& t) {
+  if (t.ndim() != 2) return t;
+  const int64_t rows = t.dim(0), cols = t.dim(1);
+  Tensor out({cols, rows});
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) out.at(j, i) = t.at(i, j);
+  }
+  return out;
+}
+
+StateDict RowMajorBackend::EncodeState(const StateDict& native) const {
+  return native;
+}
+
+StateDict RowMajorBackend::DecodeState(const StateDict& consensus) const {
+  return consensus;
+}
+
+StateDict TransposedBackend::EncodeState(const StateDict& native) const {
+  StateDict out;
+  for (const auto& [name, tensor] : native) out[name] = Transpose2d(tensor);
+  return out;
+}
+
+StateDict TransposedBackend::DecodeState(const StateDict& consensus) const {
+  StateDict out;
+  for (const auto& [name, tensor] : consensus) out[name] = Transpose2d(tensor);
+  return out;
+}
+
+BackendRegistry::BackendRegistry() {
+  Register(std::make_unique<RowMajorBackend>());
+  Register(std::make_unique<TransposedBackend>());
+}
+
+void BackendRegistry::Register(std::unique_ptr<Backend> backend) {
+  const std::string name = backend->Name();
+  backends_[name] = std::move(backend);
+}
+
+const Backend* BackendRegistry::Find(const std::string& name) const {
+  auto it = backends_.find(name);
+  return it == backends_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace fedscope

@@ -1,0 +1,74 @@
+#ifndef FEDSCOPE_COMM_TRANSLATION_H_
+#define FEDSCOPE_COMM_TRANSLATION_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "fedscope/comm/message.h"
+#include "fedscope/nn/model.h"
+
+namespace fedscope {
+
+/// Cross-backend FL support (paper §3.5). Each participant may run a
+/// different ML backend with its own native parameter representation; the
+/// pre-agreed consensus is the Payload format (an array of name/value
+/// pairs). A Backend implements *encoding* (native -> Payload state dict)
+/// and *decoding* (Payload state dict -> native).
+///
+/// The default RowMajorBackend matches fedscope/nn directly. The library
+/// also ships a TransposedBackend that stores every 2-D parameter
+/// transposed — a stand-in for "a different framework's memory layout" —
+/// to demonstrate that participants on different backends interoperate
+/// as long as they agree on the message format.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual std::string Name() const = 0;
+
+  /// Converts a native state dict into the backend-independent consensus
+  /// format ("encoding").
+  virtual StateDict EncodeState(const StateDict& native) const = 0;
+
+  /// Converts a consensus-format state dict into the native representation
+  /// ("decoding").
+  virtual StateDict DecodeState(const StateDict& consensus) const = 0;
+};
+
+/// Identity mapping: the native representation is the consensus format.
+class RowMajorBackend : public Backend {
+ public:
+  std::string Name() const override { return "row_major"; }
+  StateDict EncodeState(const StateDict& native) const override;
+  StateDict DecodeState(const StateDict& consensus) const override;
+};
+
+/// Stores 2-D tensors transposed natively; transposes on encode/decode.
+class TransposedBackend : public Backend {
+ public:
+  std::string Name() const override { return "transposed"; }
+  StateDict EncodeState(const StateDict& native) const override;
+  StateDict DecodeState(const StateDict& consensus) const override;
+};
+
+/// Registry of available backends by name.
+class BackendRegistry {
+ public:
+  /// Built-in backends pre-registered.
+  BackendRegistry();
+
+  void Register(std::unique_ptr<Backend> backend);
+  /// nullptr if unknown.
+  const Backend* Find(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Backend>> backends_;
+};
+
+/// Transposes a 2-D tensor (identity for other ranks).
+Tensor Transpose2d(const Tensor& t);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_COMM_TRANSLATION_H_

@@ -1,0 +1,193 @@
+#include "fedscope/core/aggregator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fedscope/tensor/tensor_ops.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+std::vector<double> UpdateWeights(const std::vector<ClientUpdate>& updates,
+                                  double staleness_rho) {
+  std::vector<double> weights(updates.size());
+  for (size_t i = 0; i < updates.size(); ++i) {
+    double w = std::max(updates[i].num_samples, 1e-9);
+    if (staleness_rho > 0.0) {
+      w *= std::pow(1.0 + std::max(updates[i].staleness, 0),
+                    -staleness_rho);
+    }
+    weights[i] = w;
+  }
+  return weights;
+}
+
+namespace {
+
+/// Sample+staleness weighted average of deltas.
+StateDict AverageDeltas(const std::vector<ClientUpdate>& updates,
+                        double staleness_rho) {
+  std::vector<const StateDict*> deltas;
+  deltas.reserve(updates.size());
+  for (const auto& u : updates) deltas.push_back(&u.delta);
+  return SdWeightedAverage(deltas, UpdateWeights(updates, staleness_rho));
+}
+
+}  // namespace
+
+StateDict FedAvgAggregator::Aggregate(
+    const StateDict& global, const std::vector<ClientUpdate>& updates) {
+  FS_CHECK(!updates.empty());
+  StateDict avg = AverageDeltas(updates, options_.staleness_rho);
+  StateDict next = global;
+  SdAxpy(&next, static_cast<float>(options_.server_lr), avg);
+  return next;
+}
+
+StateDict FedOptAggregator::Aggregate(
+    const StateDict& global, const std::vector<ClientUpdate>& updates) {
+  FS_CHECK(!updates.empty());
+  StateDict avg = AverageDeltas(updates, staleness_rho_);
+  if (momentum_.empty()) {
+    momentum_ = avg;
+  } else {
+    // m = beta * m + delta_avg
+    StateDict scaled = SdScale(momentum_, static_cast<float>(server_momentum_));
+    momentum_ = SdAdd(scaled, avg);
+  }
+  StateDict next = global;
+  SdAxpy(&next, static_cast<float>(server_lr_), momentum_);
+  return next;
+}
+
+StateDict FedNovaAggregator::Aggregate(
+    const StateDict& global, const std::vector<ClientUpdate>& updates) {
+  FS_CHECK(!updates.empty());
+  // Normalize each delta by its local step count, average with sample
+  // weights, then rescale by the weighted-average step count.
+  std::vector<StateDict> normalized;
+  normalized.reserve(updates.size());
+  std::vector<const StateDict*> ptrs;
+  std::vector<double> weights;
+  double weighted_steps = 0.0, total_weight = 0.0;
+  for (const auto& u : updates) {
+    const double steps = std::max(u.local_steps, 1);
+    normalized.push_back(SdScale(u.delta, static_cast<float>(1.0 / steps)));
+    const double w = std::max(u.num_samples, 1e-9);
+    weights.push_back(w);
+    weighted_steps += w * steps;
+    total_weight += w;
+  }
+  for (const auto& n : normalized) ptrs.push_back(&n);
+  StateDict avg = SdWeightedAverage(ptrs, weights);
+  const double tau_eff = weighted_steps / total_weight;
+  StateDict next = global;
+  SdAxpy(&next, static_cast<float>(tau_eff), avg);
+  return next;
+}
+
+StateDict KrumAggregator::Aggregate(const StateDict& global,
+                                    const std::vector<ClientUpdate>& updates) {
+  const int n = static_cast<int>(updates.size());
+  FS_CHECK_GT(n, 0);
+  last_selection_.clear();
+
+  std::vector<std::vector<float>> flat(n);
+  for (int i = 0; i < n; ++i) flat[i] = SdFlatten(updates[i].delta);
+
+  // Pairwise squared distances.
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < flat[i].size(); ++k) {
+        const double d = static_cast<double>(flat[i][k]) - flat[j][k];
+        acc += d * d;
+      }
+      dist[i][j] = dist[j][i] = acc;
+    }
+  }
+
+  // Krum score: sum of distances to the n - f - 2 closest other updates.
+  const int closest = std::max(1, n - num_malicious_ - 2);
+  std::vector<std::pair<double, int>> scored(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> row;
+    row.reserve(n - 1);
+    for (int j = 0; j < n; ++j) {
+      if (j != i) row.push_back(dist[i][j]);
+    }
+    std::sort(row.begin(), row.end());
+    double score = 0.0;
+    for (int k = 0; k < std::min<int>(closest, row.size()); ++k) {
+      score += row[k];
+    }
+    scored[i] = {score, i};
+  }
+  std::sort(scored.begin(), scored.end());
+
+  const int keep = std::min(multi_k_, n);
+  std::vector<ClientUpdate> selected;
+  for (int k = 0; k < keep; ++k) {
+    last_selection_.push_back(scored[k].second);
+    selected.push_back(updates[scored[k].second]);
+  }
+  StateDict avg = AverageDeltas(selected, /*staleness_rho=*/0.0);
+  StateDict next = global;
+  SdAxpy(&next, 1.0f, avg);
+  return next;
+}
+
+namespace {
+
+/// Applies a per-coordinate reducer over updates and adds to global.
+template <typename Reducer>
+StateDict CoordinateWise(const StateDict& global,
+                         const std::vector<ClientUpdate>& updates,
+                         Reducer reduce) {
+  FS_CHECK(!updates.empty());
+  StateDict next = global;
+  std::vector<float> column(updates.size());
+  for (auto& [name, tensor] : next) {
+    for (int64_t k = 0; k < tensor.numel(); ++k) {
+      for (size_t u = 0; u < updates.size(); ++u) {
+        const auto it = updates[u].delta.find(name);
+        FS_CHECK(it != updates[u].delta.end()) << "missing delta key " << name;
+        column[u] = it->second.at(k);
+      }
+      tensor.at(k) += reduce(&column);
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+StateDict TrimmedMeanAggregator::Aggregate(
+    const StateDict& global, const std::vector<ClientUpdate>& updates) {
+  const int n = static_cast<int>(updates.size());
+  const int trim = std::min(static_cast<int>(trim_frac_ * n), (n - 1) / 2);
+  return CoordinateWise(global, updates, [trim](std::vector<float>* column) {
+    std::sort(column->begin(), column->end());
+    double acc = 0.0;
+    int count = 0;
+    for (int i = trim; i < static_cast<int>(column->size()) - trim; ++i) {
+      acc += (*column)[i];
+      ++count;
+    }
+    return static_cast<float>(acc / std::max(count, 1));
+  });
+}
+
+StateDict MedianAggregator::Aggregate(
+    const StateDict& global, const std::vector<ClientUpdate>& updates) {
+  return CoordinateWise(global, updates, [](std::vector<float>* column) {
+    std::sort(column->begin(), column->end());
+    const size_t n = column->size();
+    if (n % 2 == 1) return (*column)[n / 2];
+    return 0.5f * ((*column)[n / 2 - 1] + (*column)[n / 2]);
+  });
+}
+
+}  // namespace fedscope

@@ -1,0 +1,143 @@
+#ifndef FEDSCOPE_CORE_AGGREGATOR_H_
+#define FEDSCOPE_CORE_AGGREGATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fedscope/nn/model.h"
+
+namespace fedscope {
+
+/// One buffered client contribution. `delta` is the change of the *shared*
+/// parameters produced by local training (theta_local - theta_received);
+/// exchanging deltas rather than full models keeps sync FedAvg, async
+/// staleness discounting, and robust aggregation under one interface.
+struct ClientUpdate {
+  int client_id = 0;
+  /// Round of the global model the client started from.
+  int round_started = 0;
+  /// Version difference at aggregation time (current round - round_started).
+  int staleness = 0;
+  /// Examples processed locally (FedAvg weighting).
+  double num_samples = 1.0;
+  /// Local SGD steps taken (FedNova normalization).
+  int local_steps = 1;
+  StateDict delta;
+};
+
+/// Federated aggregation, decoupled from the server's behaviour
+/// (paper §3.6: "for the aggregator ... users only need to implement how
+/// to aggregate"). Takes the current global shared state and the buffered
+/// updates; returns the new global shared state.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual std::string Name() const = 0;
+  virtual StateDict Aggregate(const StateDict& global,
+                              const std::vector<ClientUpdate>& updates) = 0;
+};
+
+/// Options shared by the averaging-style aggregators.
+struct FedAvgOptions {
+  /// Server-side step size applied to the averaged delta.
+  double server_lr = 1.0;
+  /// Staleness discount exponent: weight *= (1 + staleness)^(-rho).
+  /// rho = 0 disables discounting (vanilla FedAvg).
+  double staleness_rho = 0.5;
+};
+
+/// Weighted averaging of deltas (weights = num_samples x staleness
+/// discount), applied to the global model. With rho=0 and synchronous
+/// updates this is exactly FedAvg; with rho>0 it is the staleness-
+/// discounted aggregation of asynchronous FL (§3.3.1-i).
+class FedAvgAggregator : public Aggregator {
+ public:
+  explicit FedAvgAggregator(FedAvgOptions options = {}) : options_(options) {}
+  std::string Name() const override { return "fedavg"; }
+  StateDict Aggregate(const StateDict& global,
+                      const std::vector<ClientUpdate>& updates) override;
+
+ private:
+  FedAvgOptions options_;
+};
+
+/// FedOpt: server-side momentum SGD on the averaged delta.
+class FedOptAggregator : public Aggregator {
+ public:
+  FedOptAggregator(double server_lr, double server_momentum,
+                   double staleness_rho = 0.0)
+      : server_lr_(server_lr),
+        server_momentum_(server_momentum),
+        staleness_rho_(staleness_rho) {}
+  std::string Name() const override { return "fedopt"; }
+  StateDict Aggregate(const StateDict& global,
+                      const std::vector<ClientUpdate>& updates) override;
+
+ private:
+  double server_lr_;
+  double server_momentum_;
+  double staleness_rho_;
+  StateDict momentum_;
+};
+
+/// FedNova: normalizes each delta by its local step count to remove
+/// objective inconsistency, then applies the sample-weighted mean step.
+class FedNovaAggregator : public Aggregator {
+ public:
+  std::string Name() const override { return "fednova"; }
+  StateDict Aggregate(const StateDict& global,
+                      const std::vector<ClientUpdate>& updates) override;
+};
+
+/// Krum / Multi-Krum Byzantine-robust aggregation (paper §3.6,
+/// "Robustness Against Malicious Participants"). Scores every update by
+/// the sum of squared distances to its n-f-2 nearest neighbours and keeps
+/// the `multi_k` best-scoring updates (multi_k=1 is classic Krum).
+class KrumAggregator : public Aggregator {
+ public:
+  KrumAggregator(int num_malicious, int multi_k = 1)
+      : num_malicious_(num_malicious), multi_k_(multi_k) {}
+  std::string Name() const override { return "krum"; }
+  StateDict Aggregate(const StateDict& global,
+                      const std::vector<ClientUpdate>& updates) override;
+
+  /// Indices of the updates selected in the last Aggregate call.
+  const std::vector<int>& last_selection() const { return last_selection_; }
+
+ private:
+  int num_malicious_;
+  int multi_k_;
+  std::vector<int> last_selection_;
+};
+
+/// Coordinate-wise trimmed mean: drops the `trim_frac` largest and smallest
+/// values per coordinate before averaging (trim_frac=0.5 -> median-like).
+class TrimmedMeanAggregator : public Aggregator {
+ public:
+  explicit TrimmedMeanAggregator(double trim_frac)
+      : trim_frac_(trim_frac) {}
+  std::string Name() const override { return "trimmed_mean"; }
+  StateDict Aggregate(const StateDict& global,
+                      const std::vector<ClientUpdate>& updates) override;
+
+ private:
+  double trim_frac_;
+};
+
+/// Coordinate-wise median of deltas.
+class MedianAggregator : public Aggregator {
+ public:
+  std::string Name() const override { return "median"; }
+  StateDict Aggregate(const StateDict& global,
+                      const std::vector<ClientUpdate>& updates) override;
+};
+
+/// Computes the per-update weights (num_samples x staleness discount) used
+/// by averaging aggregators; exposed for tests.
+std::vector<double> UpdateWeights(const std::vector<ClientUpdate>& updates,
+                                  double staleness_rho);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_CORE_AGGREGATOR_H_

@@ -1,0 +1,44 @@
+#include "fedscope/core/checkpoint.h"
+
+#include "fedscope/comm/codec.h"
+#include "fedscope/comm/message.h"
+
+namespace fedscope {
+namespace {
+
+constexpr char kStateKey[] = "global";
+
+}  // namespace
+
+std::vector<uint8_t> SerializeCheckpoint(const Checkpoint& checkpoint) {
+  Payload payload;
+  payload.SetInt("round", checkpoint.round);
+  payload.SetDouble("virtual_time", checkpoint.virtual_time);
+  payload.SetDouble("best_accuracy", checkpoint.best_accuracy);
+  payload.SetString("format", "fedscope-checkpoint-v1");
+  payload.SetStateDict(kStateKey, checkpoint.global_state);
+  return EncodePayload(payload);
+}
+
+Result<Checkpoint> DeserializeCheckpoint(const std::vector<uint8_t>& bytes) {
+  auto payload = DecodePayload(bytes);
+  if (!payload.ok()) return payload.status();
+  if (payload->GetString("format") != "fedscope-checkpoint-v1") {
+    return Status::InvalidArgument("not a fedscope checkpoint");
+  }
+  Checkpoint checkpoint;
+  checkpoint.round = static_cast<int>(payload->GetInt("round"));
+  checkpoint.virtual_time = payload->GetDouble("virtual_time");
+  checkpoint.best_accuracy = payload->GetDouble("best_accuracy");
+  checkpoint.global_state = payload->GetStateDict(kStateKey);
+  if (checkpoint.global_state.empty()) {
+    return Status::DataLoss("checkpoint carries no parameters");
+  }
+  return checkpoint;
+}
+
+Status RestoreModel(const Checkpoint& checkpoint, Model* model) {
+  return model->LoadStateDict(checkpoint.global_state, /*strict=*/true);
+}
+
+}  // namespace fedscope

@@ -1,0 +1,34 @@
+#ifndef FEDSCOPE_CORE_CHECKPOINT_H_
+#define FEDSCOPE_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fedscope/nn/model.h"
+#include "fedscope/util/status.h"
+
+namespace fedscope {
+
+/// A training-course snapshot (paper §4.3: "FederatedScope can export the
+/// snapshot of a training course to a corresponding checkpoint, from which
+/// another training course can restore") — the mechanism behind the
+/// multi-fidelity HPO methods (SHA, Hyperband, PBT).
+///
+/// Serialized through the same backend-independent wire format as
+/// messages, so checkpoints written by one backend restore on another.
+struct Checkpoint {
+  int round = 0;
+  double virtual_time = 0.0;
+  double best_accuracy = 0.0;
+  StateDict global_state;
+};
+
+std::vector<uint8_t> SerializeCheckpoint(const Checkpoint& checkpoint);
+Result<Checkpoint> DeserializeCheckpoint(const std::vector<uint8_t>& bytes);
+
+/// Applies a checkpoint's parameters to a model (architecture must match).
+Status RestoreModel(const Checkpoint& checkpoint, Model* model);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_CORE_CHECKPOINT_H_

@@ -1,0 +1,257 @@
+#include "fedscope/core/client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fedscope/comm/compression.h"
+#include "fedscope/core/events.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+/// Payload keys used by the built-in FL course.
+constexpr char kModelKey[] = "model";
+constexpr char kDeltaKey[] = "delta";
+
+}  // namespace
+
+Client::Client(int id, ClientOptions options, Model model, SplitDataset data,
+               std::unique_ptr<BaseTrainer> trainer, CommChannel* channel)
+    : BaseWorker(id, channel),
+      options_(std::move(options)),
+      model_(std::move(model)),
+      data_(std::move(data)),
+      trainer_(std::move(trainer)),
+      rng_(options_.seed != 0 ? options_.seed
+                              : static_cast<uint64_t>(id) + 77),
+      response_model_(options_.jitter_sigma) {
+  FS_CHECK(trainer_ != nullptr);
+  RegisterDefaultHandlers();
+}
+
+void Client::RegisterDefaultHandlers() {
+  registry_.Register(
+      events::kModelPara,
+      [this](const Message& msg) { OnModelPara(msg); },
+      /*emits=*/{events::kModelUpdate});
+  registry_.Register(
+      events::kEvaluate, [this](const Message& msg) { OnEvaluate(msg); },
+      /*emits=*/{events::kMetrics});
+  registry_.Register(
+      events::kFinish, [this](const Message& msg) { OnFinish(msg); });
+  registry_.Register(events::kAssignId, [](const Message&) {});
+  // Default performance_drop behaviour: count and log; with
+  // reject_harmful_global the client additionally rolls back to its
+  // pre-load parameters ("choose the most suitable snapshot", §3.4.1).
+  // Users overwrite this handler for other personalization policies.
+  registry_.Register(events::kPerformanceDrop, [this](const Message&) {
+    ++perf_drop_count_;
+    if (options_.reject_harmful_global && !pre_load_snapshot_.empty()) {
+      FS_CHECK_OK(model_.LoadStateDict(pre_load_snapshot_));
+      ++rejected_globals_;
+      FS_LOG(Debug) << "client " << id_
+                    << " rejected a harmful global snapshot";
+    } else {
+      FS_LOG(Debug) << "client " << id_ << " observed a performance drop";
+    }
+  });
+  // Default low_bandwidth behaviour: decline the training request (the
+  // server frees the slot). Combined with the every-other-request check
+  // in OnModelPara this halves the communication frequency.
+  registry_.Register(
+      events::kLowBandwidth,
+      [this](const Message& msg) {
+        ++declined_count_;
+        Message reply;
+        reply.receiver = kServerId;
+        reply.msg_type = events::kModelUpdate;
+        reply.state = msg.state;
+        reply.payload.SetInt("declined", 1);
+        // Only a tiny control message crosses the (slow) uplink.
+        WorkEstimate work;
+        work.up_bytes = 64;
+        ResponseOutcome outcome =
+            response_model_.Simulate(options_.device, work, &rng_);
+        if (outcome.crashed) return;
+        reply.timestamp = msg.timestamp + outcome.latency_seconds;
+        Send(std::move(reply));
+      },
+      /*emits=*/{events::kModelUpdate});
+}
+
+void Client::JoinIn() {
+  Message msg;
+  msg.receiver = kServerId;
+  msg.msg_type = events::kJoinIn;
+  msg.timestamp = current_time_;
+  // Prior responsiveness estimate from device information (paper §3.3.1-ii:
+  // "estimated from device information or historical responses").
+  const double score =
+      ResponsivenessScores({options_.device})[0];
+  msg.payload.SetDouble("resp_score", score);
+  msg.payload.SetInt("num_train", data_.train.size());
+  Send(std::move(msg));
+}
+
+EvalResult Client::EvaluateLocalTest() {
+  return trainer_->Evaluate(&model_, data_.test);
+}
+
+EvalResult Client::EvaluateLocalVal() {
+  return trainer_->Evaluate(&model_, data_.val);
+}
+
+void Client::PoisonTrainData(const std::function<void(Dataset*)>& poisoner) {
+  poisoner(&data_.train);
+}
+
+void Client::OnModelPara(const Message& msg) {
+  if (finished_) return;
+
+  // Bandwidth-aware behaviour: a client below its bandwidth threshold
+  // declines every other training request (condition-checking event of
+  // §3.2, "use low_bandwidth to reduce the communication frequency").
+  if (options_.low_bandwidth_threshold > 0.0 &&
+      std::min(options_.device.up_bandwidth,
+               options_.device.down_bandwidth) <
+          options_.low_bandwidth_threshold) {
+    if (++low_bandwidth_requests_ % 2 == 1) {
+      RaiseEvent(events::kLowBandwidth, msg);
+      return;
+    }
+  }
+
+  // Per-round configuration re-specification (FedEx manager plug-in, §4.3,
+  // Figure 8): the broadcast may carry hpo.* scalars overriding the native
+  // training configuration for this round only.
+  TrainConfig round_config = options_.train;
+  if (msg.payload.HasScalar("hpo.lr")) {
+    round_config.lr = msg.payload.GetDouble("hpo.lr", round_config.lr);
+  }
+  if (msg.payload.HasScalar("hpo.local_steps")) {
+    round_config.local_steps = static_cast<int>(
+        msg.payload.GetInt("hpo.local_steps", round_config.local_steps));
+  }
+  if (msg.payload.HasScalar("hpo.weight_decay")) {
+    round_config.weight_decay =
+        msg.payload.GetDouble("hpo.weight_decay", round_config.weight_decay);
+  }
+  if (msg.payload.HasScalar("hpo.momentum")) {
+    round_config.momentum =
+        msg.payload.GetDouble("hpo.momentum", round_config.momentum);
+  }
+
+  const StateDict global_shared = msg.payload.GetStateDict(kModelKey);
+
+  // Validation feedback before/after incorporating the global model — used
+  // both by performance_drop detection and as FedEx feedback.
+  double val_acc_before = -1.0, val_loss_before = -1.0;
+  const bool want_feedback = options_.perf_drop_threshold > 0.0 ||
+                             msg.payload.HasScalar("hpo.want_feedback");
+  if (want_feedback && !data_.val.empty()) {
+    EvalResult before = trainer_->Evaluate(&model_, data_.val);
+    val_acc_before = before.accuracy;
+    val_loss_before = before.loss;
+  }
+
+  if (options_.perf_drop_threshold > 0.0) {
+    pre_load_snapshot_ = model_.GetStateDict();
+  }
+  trainer_->UpdateModel(&model_, global_shared);
+
+  if (options_.perf_drop_threshold > 0.0 && !data_.val.empty() &&
+      last_val_accuracy_ >= 0.0) {
+    EvalResult after_load = trainer_->Evaluate(&model_, data_.val);
+    if (after_load.accuracy <
+        last_val_accuracy_ - options_.perf_drop_threshold) {
+      RaiseEvent(events::kPerformanceDrop, msg);
+    }
+  }
+  pre_load_snapshot_.clear();
+
+  // Local training, decoupled into the Trainer (Figure 5).
+  const StateDict before =
+      trainer_->GetShareableState(&model_, options_.share_filter);
+  TrainResult train_result =
+      trainer_->Train(&model_, data_.train, round_config, &rng_);
+  ++rounds_trained_;
+  StateDict delta = SdSub(
+      trainer_->GetShareableState(&model_, options_.share_filter), before);
+
+  // Participant plug-in: a malicious client may rewrite the update.
+  if (update_poisoner_) update_poisoner_(&delta);
+
+  // Behaviour plug-in: privacy protection by noise injection (Figure 6).
+  ApplyDpToDelta(&delta, options_.dp, &rng_);
+
+  double val_loss_after = -1.0, val_acc_after = -1.0;
+  if (want_feedback && !data_.val.empty()) {
+    EvalResult after = trainer_->Evaluate(&model_, data_.val);
+    val_loss_after = after.loss;
+    val_acc_after = after.accuracy;
+    last_val_accuracy_ = after.accuracy;
+  } else if (options_.perf_drop_threshold > 0.0 && !data_.val.empty()) {
+    last_val_accuracy_ = trainer_->Evaluate(&model_, data_.val).accuracy;
+  }
+
+  Message reply;
+  reply.receiver = kServerId;
+  reply.msg_type = events::kModelUpdate;
+  reply.state = msg.state;  // the round this update is based on
+  // Message-transform operator: optionally compress the update before it
+  // leaves the device (the server decompresses transparently).
+  if (options_.compression == "quant8") {
+    reply.payload.Merge(QuantizeStateDict(delta));
+  } else if (options_.compression == "topk") {
+    reply.payload.Merge(
+        SparsifyStateDict(delta, options_.compression_keep_frac));
+  } else {
+    reply.payload.SetStateDict(kDeltaKey, delta);
+  }
+  reply.payload.SetInt("num_samples", train_result.num_samples);
+  reply.payload.SetInt("local_steps", train_result.local_steps);
+  reply.payload.SetDouble("train_loss", train_result.mean_loss);
+  if (val_loss_after >= 0.0) {
+    reply.payload.SetDouble("val_loss_before", val_loss_before);
+    reply.payload.SetDouble("val_loss_after", val_loss_after);
+    reply.payload.SetDouble("val_acc_before", val_acc_before);
+    reply.payload.SetDouble("val_acc_after", val_acc_after);
+  }
+
+  // Virtual-time latency of download + local compute + upload
+  // (FedScale-style estimation, §5.3.1).
+  WorkEstimate work;
+  work.samples_processed = train_result.num_samples;
+  work.down_bytes = msg.payload.ByteSize();
+  work.up_bytes = reply.payload.ByteSize();
+  ResponseOutcome outcome =
+      response_model_.Simulate(options_.device, work, &rng_);
+  if (outcome.crashed) {
+    FS_LOG(Debug) << "client " << id_ << " crashed during round "
+                  << msg.state;
+    return;  // never responds
+  }
+  reply.timestamp = msg.timestamp + outcome.latency_seconds;
+  Send(std::move(reply));
+}
+
+void Client::OnEvaluate(const Message& msg) {
+  EvalResult test = trainer_->Evaluate(&model_, data_.test);
+  Message reply;
+  reply.receiver = kServerId;
+  reply.msg_type = events::kMetrics;
+  reply.state = msg.state;
+  reply.timestamp = msg.timestamp;
+  reply.payload.SetDouble("test_loss", test.loss);
+  reply.payload.SetDouble("test_acc", test.accuracy);
+  reply.payload.SetInt("test_n", test.num_examples);
+  Send(std::move(reply));
+}
+
+void Client::OnFinish(const Message& msg) {
+  (void)msg;
+  finished_ = true;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,129 @@
+#ifndef FEDSCOPE_CORE_CLIENT_H_
+#define FEDSCOPE_CORE_CLIENT_H_
+
+#include <functional>
+#include <memory>
+
+#include "fedscope/core/trainer.h"
+#include "fedscope/core/worker.h"
+#include "fedscope/data/dataset.h"
+#include "fedscope/nn/model.h"
+#include "fedscope/privacy/dp.h"
+#include "fedscope/sim/device_profile.h"
+#include "fedscope/sim/response_model.h"
+
+namespace fedscope {
+
+/// Per-client configuration. Each client may differ in every field
+/// (client-specific training configuration is a first-class feature,
+/// paper §3.4.1); the FedRunner applies a user hook to customize clients.
+struct ClientOptions {
+  TrainConfig train;
+  DeviceProfile device;
+  /// Lognormal sigma of run-to-run latency jitter.
+  double jitter_sigma = 0.2;
+  /// Privacy behaviour plug-in (clip + noise before sharing, §4.1).
+  DpOptions dp;
+  /// Which parameters this client exchanges with the server. FedBN passes
+  /// ExcludeSubstrings({".bn."}); multi-goal FL passes
+  /// IncludePrefixes({"body."}).
+  NameFilter share_filter;
+  /// If > 0, raise "performance_drop" when loading the received global
+  /// model reduces local validation accuracy by more than this threshold.
+  double perf_drop_threshold = 0.0;
+  /// With perf_drop_threshold set: when the event fires, roll back to the
+  /// pre-load parameters for this round's training — the paper's "each
+  /// participant can independently choose the most suitable snapshot of
+  /// the global model" (§3.4.1). Off by default (count-and-log only).
+  bool reject_harmful_global = false;
+  /// If > 0 (bytes/sec), raise "low_bandwidth" when this client's uplink
+  /// or downlink bandwidth is below the threshold; the default handler
+  /// declines every other training request to halve the communication
+  /// frequency (paper §3.2's "low_bandwidth" behaviour).
+  double low_bandwidth_threshold = 0.0;
+  /// Update compression before sharing: "none" | "quant8" | "topk"
+  /// (message-transform operator plug-in; the server decompresses).
+  std::string compression = "none";
+  /// Kept coordinate fraction for "topk".
+  double compression_keep_frac = 0.1;
+  /// Seed of this client's private RNG stream.
+  uint64_t seed = 0;
+
+  ClientOptions() : share_filter(AcceptAll()) {}
+};
+
+/// An FL client: owns its private data, local model and Trainer, and
+/// describes its behaviour through <event, handler> pairs. The default
+/// handlers implement the FedAvg client of Example 3.2:
+///   model_para  -> update local model, train locally, return the update
+///   evaluate    -> evaluate the deployment model on local test data
+///   finish      -> stop participating
+/// Users customize by overwriting handlers or swapping the Trainer.
+class Client : public BaseWorker {
+ public:
+  Client(int id, ClientOptions options, Model model, SplitDataset data,
+         std::unique_ptr<BaseTrainer> trainer, CommChannel* channel);
+
+  /// Announces this client to the server (sends join_in with an estimate
+  /// of its responsiveness derived from device info).
+  void JoinIn();
+
+  Model* model() { return &model_; }
+  BaseTrainer* trainer() { return trainer_.get(); }
+  const SplitDataset& data() const { return data_; }
+  ClientOptions& options() { return options_; }
+
+  /// Evaluates the deployment model (personalized, if the trainer
+  /// personalizes) on the local test split.
+  EvalResult EvaluateLocalTest();
+  /// Same on the local validation split.
+  EvalResult EvaluateLocalVal();
+
+  bool finished() const { return finished_; }
+  int rounds_trained() const { return rounds_trained_; }
+  int perf_drop_count() const { return perf_drop_count_; }
+  int declined_count() const { return declined_count_; }
+
+  // -- attack-simulation hooks (participant plug-in, §4.2) ------------------
+
+  /// Applies `poisoner` to the local training split once (data poisoning:
+  /// BadNets triggers, label flips, edge cases).
+  void PoisonTrainData(const std::function<void(Dataset*)>& poisoner);
+
+  /// Installs a hook that may arbitrarily rewrite the outgoing update
+  /// (model poisoning: Neurotoxin-style masked updates, scaling attacks).
+  void set_update_poisoner(std::function<void(StateDict*)> poisoner) {
+    update_poisoner_ = std::move(poisoner);
+  }
+
+ private:
+  void RegisterDefaultHandlers();
+  void OnModelPara(const Message& msg);
+  void OnEvaluate(const Message& msg);
+  void OnFinish(const Message& msg);
+
+  ClientOptions options_;
+  Model model_;
+  SplitDataset data_;
+  std::unique_ptr<BaseTrainer> trainer_;
+  Rng rng_;
+  ResponseModel response_model_;
+  std::function<void(StateDict*)> update_poisoner_;
+  bool finished_ = false;
+  int rounds_trained_ = 0;
+  int perf_drop_count_ = 0;
+  int declined_count_ = 0;
+  int low_bandwidth_requests_ = 0;
+  int rejected_globals_ = 0;
+  double last_val_accuracy_ = -1.0;
+  /// Pre-load snapshot valid while a performance_drop handler may want to
+  /// roll back (set around UpdateModel in OnModelPara).
+  StateDict pre_load_snapshot_;
+
+ public:
+  int rejected_globals() const { return rejected_globals_; }
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_CORE_CLIENT_H_

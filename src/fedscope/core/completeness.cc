@@ -1,0 +1,94 @@
+#include "fedscope/core/completeness.h"
+
+#include <deque>
+#include <sstream>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+constexpr char CompletenessChecker::kStart[];
+constexpr char CompletenessChecker::kTermination[];
+
+CompletenessChecker::CompletenessChecker() {
+  nodes_.insert(kStart);
+  nodes_.insert(kTermination);
+}
+
+void CompletenessChecker::AddEdge(const std::string& from,
+                                  const std::string& to) {
+  adjacency_[from].insert(to);
+  nodes_.insert(from);
+  nodes_.insert(to);
+}
+
+void CompletenessChecker::AddRegistry(const HandlerRegistry& registry) {
+  for (const auto& [event, emits] : registry.Flows()) {
+    nodes_.insert(event);
+    for (const auto& emitted : emits) AddEdge(event, emitted);
+  }
+}
+
+void CompletenessChecker::MarkEntry(const std::string& event) {
+  AddEdge(kStart, event);
+}
+
+void CompletenessChecker::MarkTerminal(const std::string& event) {
+  AddEdge(event, kTermination);
+}
+
+void CompletenessChecker::MarkOptional(const std::string& event) {
+  optional_.insert(event);
+}
+
+CompletenessReport CompletenessChecker::Check() const {
+  CompletenessReport report;
+  // BFS from start.
+  std::set<std::string> visited;
+  std::deque<std::string> frontier{kStart};
+  visited.insert(kStart);
+  while (!frontier.empty()) {
+    const std::string node = frontier.front();
+    frontier.pop_front();
+    auto it = adjacency_.find(node);
+    if (it == adjacency_.end()) continue;
+    for (const auto& next : it->second) {
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+  }
+  report.complete = visited.count(kTermination) > 0;
+  for (const auto& node : nodes_) {
+    if (visited.count(node) > 0) {
+      report.reachable.push_back(node);
+    } else {
+      report.unreachable.push_back(node);
+    }
+  }
+  for (const auto& [from, targets] : adjacency_) {
+    for (const auto& to : targets) report.edges.emplace_back(from, to);
+  }
+  for (const auto& node : report.unreachable) {
+    if (optional_.count(node) > 0) continue;
+    FS_LOG(Warning) << "completeness check: node '" << node
+                    << "' is unreachable from start (redundant)";
+  }
+  if (!report.complete) {
+    FS_LOG(Error) << "completeness check FAILED: no start-to-termination "
+                     "path in the constructed FL course";
+  }
+  return report;
+}
+
+std::string CompletenessReport::ToString() const {
+  std::ostringstream os;
+  os << "complete=" << (complete ? "yes" : "NO") << "\nreachable:";
+  for (const auto& node : reachable) os << " " << node;
+  os << "\nredundant:";
+  for (const auto& node : unreachable) os << " " << node;
+  os << "\nedges:";
+  for (const auto& [from, to] : edges) os << " " << from << "->" << to;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace fedscope

@@ -1,0 +1,66 @@
+#ifndef FEDSCOPE_CORE_COMPLETENESS_H_
+#define FEDSCOPE_CORE_COMPLETENESS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fedscope/core/handler_registry.h"
+#include "fedscope/util/status.h"
+
+namespace fedscope {
+
+/// Result of completeness checking (paper §3.6 + Appendix E): the message-
+/// transmission flow of a constructed FL course is a directed graph; the
+/// course is complete iff there is a path from the "start" node to the
+/// "termination" node. Nodes unreachable from start are redundant and only
+/// produce warnings.
+struct CompletenessReport {
+  bool complete = false;
+  std::vector<std::string> reachable;
+  std::vector<std::string> unreachable;  // redundant nodes -> warnings
+  std::vector<std::pair<std::string, std::string>> edges;
+
+  std::string ToString() const;
+};
+
+/// Builds the flow graph from the workers' declared handler flows and
+/// verifies start -> termination reachability.
+class CompletenessChecker {
+ public:
+  static constexpr char kStart[] = "start";
+  static constexpr char kTermination[] = "termination";
+
+  CompletenessChecker();
+
+  /// Adds an edge trigger-event -> emitted-event.
+  void AddEdge(const std::string& from, const std::string& to);
+
+  /// Imports every declared flow of a worker's registry.
+  void AddRegistry(const HandlerRegistry& registry);
+
+  /// Marks an event as course entry (start -> event). By default "join_in"
+  /// is the entry of the built-in course.
+  void MarkEntry(const std::string& event);
+
+  /// Marks an event as terminating the course (event -> termination).
+  /// By default "finish" terminates the built-in course.
+  void MarkTerminal(const std::string& event);
+
+  /// Marks a node as an optional capability: it is still reported as
+  /// redundant when unreachable, but no warning is logged (built-in
+  /// handlers that a particular course does not exercise).
+  void MarkOptional(const std::string& event);
+
+  CompletenessReport Check() const;
+
+ private:
+  std::map<std::string, std::set<std::string>> adjacency_;
+  std::set<std::string> nodes_;
+  std::set<std::string> optional_;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_CORE_COMPLETENESS_H_

@@ -1,0 +1,207 @@
+#include "fedscope/core/distributed.h"
+
+#include <chrono>
+
+#include "fedscope/core/events.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+double NowSeconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// DistributedServerHost
+// --------------------------------------------------------------------------
+
+/// CommChannel that writes outgoing messages to the receiver's socket.
+class DistributedServerHost::Router : public CommChannel {
+ public:
+  explicit Router(DistributedServerHost* host) : host_(host) {}
+
+  void Send(const Message& msg) override {
+    if (msg.receiver == kServerId) {
+      // Self-addressed messages (timers) are unsupported in distributed
+      // mode; kAsyncTime is standalone-only.
+      FS_LOG(Warning) << "dropping self-addressed message in distributed "
+                         "mode: "
+                      << MessageSummary(msg);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(host_->send_mu_);
+    auto it = host_->connections_.find(msg.receiver);
+    if (it == host_->connections_.end()) {
+      FS_LOG(Warning) << "no connection for client " << msg.receiver;
+      return;
+    }
+    Message stamped = msg;
+    stamped.timestamp = NowSeconds();
+    Status status = it->second.SendMessage(stamped);
+    if (!status.ok()) {
+      FS_LOG(Warning) << "send to client " << msg.receiver
+                      << " failed: " << status.ToString();
+    }
+  }
+
+ private:
+  DistributedServerHost* host_;
+};
+
+DistributedServerHost::DistributedServerHost(
+    ServerOptions options, Model global_model,
+    std::unique_ptr<Aggregator> aggregator, TcpListener listener)
+    : listener_(std::move(listener)), router_(new Router(this)) {
+  FS_CHECK(options.strategy != Strategy::kAsyncTime)
+      << "kAsyncTime needs the standalone simulator's timer service";
+  server_ = std::make_unique<Server>(std::move(options),
+                                     std::move(global_model),
+                                     std::move(aggregator), router_.get());
+}
+
+DistributedServerHost::~DistributedServerHost() {
+  for (auto& [id, conn] : connections_) conn.Close();
+  for (auto& reader : readers_) {
+    if (reader.joinable()) reader.join();
+  }
+}
+
+void DistributedServerHost::PushIncoming(Message msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  incoming_.push_back(std::move(msg));
+  cv_.notify_one();
+}
+
+void DistributedServerHost::ReaderLoop(TcpConnection* connection) {
+  // std::map nodes are stable, so the pointer captured at accept time
+  // stays valid while later clients are still being inserted.
+  while (true) {
+    Result<Message> msg = connection->ReceiveMessage();
+    if (!msg.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++eof_count_;
+      cv_.notify_one();
+      return;
+    }
+    PushIncoming(std::move(msg.value()));
+  }
+}
+
+ServerStats DistributedServerHost::Run() {
+  const int expected = server_->options().expected_clients;
+  FS_CHECK_GT(expected, 0) << "set ServerOptions::expected_clients";
+
+  // Phase 1: accept every client. The first message on each connection
+  // must be join_in, announcing the client's id.
+  for (int i = 0; i < expected; ++i) {
+    auto conn = listener_.Accept();
+    FS_CHECK(conn.ok()) << conn.status().ToString();
+    auto hello = conn->ReceiveMessage();
+    FS_CHECK(hello.ok()) << hello.status().ToString();
+    FS_CHECK_EQ(hello->msg_type, std::string(events::kJoinIn))
+        << "first message must be join_in";
+    const int id = hello->sender;
+    FS_CHECK_GE(id, 1);
+    TcpConnection* connection = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      FS_CHECK(connections_.find(id) == connections_.end())
+          << "duplicate client id " << id;
+      connection = &connections_.emplace(id, std::move(conn.value()))
+                        .first->second;
+    }
+    readers_.emplace_back(
+        [this, connection] { ReaderLoop(connection); });
+    // Deliver the join to the server worker (triggers assign_id and,
+    // on the last join, all_joined_in -> first broadcast).
+    Message join = std::move(hello.value());
+    join.timestamp = NowSeconds();
+    server_->HandleMessage(join);
+  }
+
+  // Phase 2: event loop until the course finishes and clients hang up.
+  while (true) {
+    Message msg;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(200), [&] {
+        return !incoming_.empty() ||
+               (server_->finished() && eof_count_ >= expected);
+      });
+      if (incoming_.empty()) {
+        if (server_->finished() && eof_count_ >= expected) break;
+        continue;
+      }
+      msg = std::move(incoming_.front());
+      incoming_.pop_front();
+    }
+    msg.timestamp = NowSeconds();
+    server_->HandleMessage(msg);
+  }
+  return server_->stats();
+}
+
+// --------------------------------------------------------------------------
+// DistributedClientHost
+// --------------------------------------------------------------------------
+
+/// CommChannel that writes the client's outgoing messages to the server.
+class DistributedClientHost::Uplink : public CommChannel {
+ public:
+  Status Open(const std::string& host, int port) {
+    auto conn = TcpConnection::Connect(host, port);
+    if (!conn.ok()) return conn.status();
+    connection_ = std::move(conn.value());
+    return Status::Ok();
+  }
+
+  void Send(const Message& msg) override {
+    Message stamped = msg;
+    stamped.timestamp = NowSeconds();
+    Status status = connection_.SendMessage(stamped);
+    if (!status.ok()) {
+      FS_LOG(Warning) << "client uplink send failed: " << status.ToString();
+    }
+  }
+
+  Result<Message> Receive() { return connection_.ReceiveMessage(); }
+  void Close() { connection_.Close(); }
+
+ private:
+  TcpConnection connection_{-1};
+};
+
+DistributedClientHost::DistributedClientHost(
+    int client_id, ClientOptions options, Model model, SplitDataset data,
+    std::unique_ptr<BaseTrainer> trainer, const std::string& server_host,
+    int server_port)
+    : uplink_(new Uplink()) {
+  connect_status_ = uplink_->Open(server_host, server_port);
+  client_ = std::make_unique<Client>(client_id, std::move(options),
+                                     std::move(model), std::move(data),
+                                     std::move(trainer), uplink_.get());
+}
+
+DistributedClientHost::~DistributedClientHost() = default;
+
+Status DistributedClientHost::Run() {
+  FS_RETURN_IF_ERROR(connect_status_);
+  client_->JoinIn();
+  while (!client_->finished()) {
+    auto msg = uplink_->Receive();
+    if (!msg.ok()) {
+      uplink_->Close();
+      return msg.status();
+    }
+    client_->HandleMessage(*msg);
+  }
+  uplink_->Close();
+  return Status::Ok();
+}
+
+}  // namespace fedscope

@@ -1,0 +1,98 @@
+#ifndef FEDSCOPE_CORE_DISTRIBUTED_H_
+#define FEDSCOPE_CORE_DISTRIBUTED_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fedscope/comm/socket_transport.h"
+#include "fedscope/core/client.h"
+#include "fedscope/core/server.h"
+
+namespace fedscope {
+
+/// Distributed mode: the same Server/Client workers as the standalone
+/// simulator, but messages travel over TCP between real processes (or
+/// threads). This is the paper's second deployment mode; the event-driven
+/// workers are unchanged — only the CommChannel implementation differs,
+/// which is the point of the abstraction.
+///
+/// Scope: the synchronous and goal-triggered strategies (kSyncVanilla /
+/// kSyncOverselect / kAsyncGoal). kAsyncTime needs a wall-clock timer
+/// service and is standalone-only.
+///
+/// Timestamps carry wall-clock seconds since the host started; they order
+/// messages but are not the virtual-time measurements of the simulator.
+
+/// Hosts the FL server: accepts `expected_clients` connections, routes
+/// incoming messages into the Server worker, and routes the worker's
+/// outgoing messages to the right connection.
+class DistributedServerHost {
+ public:
+  /// The listener determines the port (use TcpListener::Bind(0) and
+  /// publish listener.port() to clients).
+  DistributedServerHost(ServerOptions options, Model global_model,
+                        std::unique_ptr<Aggregator> aggregator,
+                        TcpListener listener);
+  ~DistributedServerHost();
+
+  Server* server() { return server_.get(); }
+
+  /// Accepts clients, runs the course to completion, disconnects.
+  /// Returns the server stats.
+  ServerStats Run();
+
+ private:
+  /// Outgoing channel: routes by msg.receiver over the TCP connections.
+  class Router;
+
+  void ReaderLoop(TcpConnection* connection);
+  void PushIncoming(Message msg);
+
+  TcpListener listener_;
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<Server> server_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> incoming_;
+  int eof_count_ = 0;
+
+  std::map<int, TcpConnection> connections_;
+  std::mutex send_mu_;
+  std::vector<std::thread> readers_;
+};
+
+/// Hosts one FL client: connects to the server, joins in, and serves
+/// events until the course finishes.
+class DistributedClientHost {
+ public:
+  /// `client_id` must be unique across the federation (1-based) and is
+  /// announced to the server in the join_in message.
+  DistributedClientHost(int client_id, ClientOptions options, Model model,
+                        SplitDataset data,
+                        std::unique_ptr<BaseTrainer> trainer,
+                        const std::string& server_host, int server_port);
+  ~DistributedClientHost();
+
+  Client* client() { return client_.get(); }
+
+  /// Joins the course and processes messages until "finish" (or the
+  /// connection drops). Returns Ok on a clean finish.
+  Status Run();
+
+ private:
+  class Uplink;
+
+  std::unique_ptr<Uplink> uplink_;
+  std::unique_ptr<Client> client_;
+  Status connect_status_;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_CORE_DISTRIBUTED_H_

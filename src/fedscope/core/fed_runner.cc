@@ -1,0 +1,174 @@
+#include "fedscope/core/fed_runner.h"
+
+#include <utility>
+
+#include "fedscope/comm/codec.h"
+#include "fedscope/core/events.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+FedRunner::FedRunner(FedJob job) : job_(std::move(job)) {
+  FS_CHECK(job_.data != nullptr);
+  FS_CHECK_GT(job_.data->num_clients(), 0);
+  BuildWorkers();
+}
+
+Client* FedRunner::client(int id) {
+  FS_CHECK_GE(id, 1);
+  FS_CHECK_LE(id, static_cast<int>(clients_.size()));
+  return clients_[id - 1].get();
+}
+
+void FedRunner::BuildWorkers() {
+  const int n = job_.data->num_clients();
+
+  if (job_.fleet.empty()) {
+    job_.fleet.assign(n, DeviceProfile{});
+  }
+  FS_CHECK_EQ(static_cast<int>(job_.fleet.size()), n);
+
+  if (!job_.trainer_factory) {
+    job_.trainer_factory = [](int) { return std::make_unique<GeneralTrainer>(); };
+  }
+  if (!job_.aggregator_factory) {
+    const double rho = job_.staleness_rho;
+    job_.aggregator_factory = [rho]() {
+      return std::make_unique<FedAvgAggregator>(FedAvgOptions{1.0, rho});
+    };
+  }
+
+  ServerOptions server_options = job_.server;
+  server_options.expected_clients = n;
+  if (server_options.seed == 0) server_options.seed = job_.seed;
+  server_ = std::make_unique<Server>(server_options, job_.init_model,
+                                     job_.aggregator_factory(), this);
+  if (job_.evaluator) {
+    server_->set_evaluator(job_.evaluator);
+  } else {
+    const Dataset* test = &job_.data->server_test;
+    server_->set_evaluator(
+        [test](Model* model) { return EvaluateClassifier(model, *test); });
+  }
+
+  Rng seeder(job_.seed);
+  clients_.clear();
+  clients_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const int id = i + 1;
+    ClientOptions options = job_.client;
+    options.device = job_.fleet[i];
+    options.seed = seeder.Fork(static_cast<uint64_t>(id)).Next();
+    if (job_.client_customizer) job_.client_customizer(id, &options);
+    clients_.push_back(std::make_unique<Client>(
+        id, std::move(options), job_.init_model, job_.data->clients[i],
+        job_.trainer_factory(id), this));
+  }
+}
+
+void FedRunner::Send(const Message& msg) {
+  if (job_.through_wire) {
+    auto decoded = DecodeMessage(EncodeMessage(msg));
+    FS_CHECK(decoded.ok()) << decoded.status().ToString();
+    queue_.Push(std::move(decoded.value()));
+  } else {
+    queue_.Push(msg);
+  }
+}
+
+CompletenessReport FedRunner::CheckCompleteness() const {
+  CompletenessChecker checker;
+  checker.AddRegistry(server_->registry());
+  if (!clients_.empty()) checker.AddRegistry(clients_[0]->registry());
+  checker.MarkEntry(events::kJoinIn);
+  checker.MarkTerminal(events::kFinish);
+  // Bridge the server's internal condition chain: join_in completion leads
+  // to all_joined_in; an update can satisfy the aggregation trigger; the
+  // evaluation step can reach the target or trip early stopping.
+  // Bridge the server's condition chain — but only for conditions whose
+  // raising handler is actually registered, so removing a handler really
+  // severs the graph (the Figure 16 error case).
+  const HandlerRegistry& server_registry = server_->registry();
+  auto bridge = [&](const char* from, const char* to) {
+    if (server_registry.Has(from) && server_registry.Has(to)) {
+      checker.AddEdge(from, to);
+    }
+  };
+  bridge(events::kJoinIn, events::kAllJoinedIn);
+  bridge(events::kModelUpdate, events::kAllReceived);
+  bridge(events::kModelUpdate, events::kGoalAchieved);
+  bridge(events::kModelUpdate, events::kTargetReached);
+  bridge(events::kModelUpdate, events::kEarlyStop);
+  if (job_.server.strategy == Strategy::kAsyncTime) {
+    // The server schedules timer messages to itself at course start and
+    // after each aggregation.
+    bridge(events::kAllJoinedIn, events::kTimer);
+    bridge(events::kTimer, events::kTimeUp);
+    bridge(events::kTimeUp, events::kTimer);
+  } else {
+    checker.MarkOptional(events::kTimer);
+    checker.MarkOptional(events::kTimeUp);
+  }
+  // Built-in capabilities that a particular course may not exercise.
+  checker.MarkOptional(events::kEvaluate);
+  checker.MarkOptional(events::kMetrics);
+  checker.MarkOptional(events::kPerformanceDrop);
+  checker.MarkOptional(events::kLowBandwidth);
+  return checker.Check();
+}
+
+RunResult FedRunner::Run() {
+  RunResult result;
+  if (job_.check_completeness) {
+    result.completeness = CheckCompleteness();
+    FS_CHECK(result.completeness.complete)
+        << "constructed FL course is incomplete:\n"
+        << result.completeness.ToString();
+  }
+
+  // Building up: every client requests to join at t = 0.
+  for (auto& client : clients_) client->JoinIn();
+
+  // Pump the virtual-time event loop. Messages to finished/unknown workers
+  // are dropped. The loop ends when the course terminated and the queue
+  // drained, or when nothing remains to deliver.
+  int64_t delivered = 0;
+  while (!queue_.Empty()) {
+    Message msg = queue_.Pop();
+    ++delivered;
+    if (msg.receiver == kServerId) {
+      server_->HandleMessage(msg);
+    } else if (msg.receiver >= 1 &&
+               msg.receiver <= static_cast<int>(clients_.size())) {
+      clients_[msg.receiver - 1]->HandleMessage(msg);
+    } else {
+      FS_LOG(Warning) << "message to unknown receiver " << msg.receiver;
+    }
+    // Fast exit: once the server finished, remaining traffic is moot
+    // except "finish" notifications which were already queued by the
+    // server; keep draining but stop early if only client replies remain.
+    if (server_->finished() && queue_.Empty()) break;
+  }
+  FS_LOG(Info) << "FL course done: rounds=" << server_->stats().rounds
+               << " delivered=" << delivered
+               << " final_acc=" << server_->stats().final_accuracy;
+
+  result.server = server_->stats();
+  result.final_model = *server_->global_model();
+
+  // Deployment: push the final global (shared part) to every client —
+  // including clients that were never sampled — then evaluate each
+  // client's deployment model on its local test split.
+  result.client_test_accuracy.reserve(clients_.size());
+  for (auto& client : clients_) {
+    const StateDict final_shared = server_->global_model()->GetStateDict(
+        client->options().share_filter);
+    client->trainer()->UpdateModel(client->model(), final_shared);
+    EvalResult eval = client->EvaluateLocalTest();
+    result.client_test_accuracy.push_back(eval.accuracy);
+    result.client_test_loss.push_back(eval.loss);
+  }
+  return result;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,118 @@
+#include "fedscope/core/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+std::vector<int> UniformSampler::Sample(const std::vector<int>& candidates,
+                                        int k, Rng* rng) {
+  const int take = std::min<int>(k, candidates.size());
+  auto idx = rng->SampleWithoutReplacement(candidates.size(), take);
+  std::vector<int> out(take);
+  for (int i = 0; i < take; ++i) out[i] = candidates[idx[i]];
+  return out;
+}
+
+std::vector<int> ResponsivenessSampler::Sample(
+    const std::vector<int>& candidates, int k, Rng* rng) {
+  const int take = std::min<int>(k, candidates.size());
+  std::vector<int> pool = candidates;
+  std::vector<double> weights(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    // Client ids are 1-based; scores_ is indexed by id - 1. Unknown ids get
+    // a neutral weight.
+    const int idx = pool[i] - 1;
+    const double s = (idx >= 0 && idx < static_cast<int>(scores_.size()))
+                         ? scores_[idx]
+                         : 1.0;
+    weights[i] = std::pow(std::max(s, 1e-9), exponent_);
+  }
+  std::vector<int> out;
+  out.reserve(take);
+  for (int draw = 0; draw < take; ++draw) {
+    const int64_t pick = rng->Categorical(weights);
+    out.push_back(pool[pick]);
+    pool.erase(pool.begin() + pick);
+    weights.erase(weights.begin() + pick);
+  }
+  return out;
+}
+
+GroupSampler::GroupSampler(std::vector<std::vector<int>> groups)
+    : groups_(std::move(groups)) {
+  int max_id = 0;
+  for (const auto& group : groups_) {
+    for (int id : group) max_id = std::max(max_id, id);
+  }
+  group_of_.assign(max_id + 1, 0);
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (int id : groups_[g]) group_of_[id] = static_cast<int>(g);
+  }
+}
+
+std::vector<int> GroupSampler::Sample(const std::vector<int>& candidates,
+                                      int k, Rng* rng) {
+  const int take = std::min<int>(k, candidates.size());
+  std::vector<int> out;
+  out.reserve(take);
+  std::set<int> remaining(candidates.begin(), candidates.end());
+  // Cycle groups round-robin, draining each group's idle members first.
+  for (size_t attempt = 0; attempt < groups_.size() && !remaining.empty();
+       ++attempt) {
+    const auto& group = groups_[next_group_];
+    next_group_ = (next_group_ + 1) % groups_.size();
+    std::vector<int> in_group;
+    for (int id : group) {
+      if (remaining.count(id) > 0) in_group.push_back(id);
+    }
+    UniformSampler uniform;
+    for (int id : uniform.Sample(in_group, take - out.size(), rng)) {
+      out.push_back(id);
+      remaining.erase(id);
+    }
+    if (static_cast<int>(out.size()) >= take) return out;
+  }
+  // Fill the remainder uniformly from whatever is left.
+  std::vector<int> rest(remaining.begin(), remaining.end());
+  UniformSampler uniform;
+  for (int id : uniform.Sample(rest, take - out.size(), rng)) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::unique_ptr<Sampler> MakeSampler(const std::string& name,
+                                     const std::vector<double>& scores,
+                                     int num_groups) {
+  if (name == "uniform") return std::make_unique<UniformSampler>();
+  if (name == "responsiveness") {
+    return std::make_unique<ResponsivenessSampler>(scores, 1.0);
+  }
+  if (name == "responsiveness_inv") {
+    return std::make_unique<ResponsivenessSampler>(scores, -1.0);
+  }
+  if (name == "group") {
+    // Build groups from scores: sort ids (1-based) by score descending.
+    std::vector<int> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return scores[a] > scores[b]; });
+    std::vector<std::vector<int>> groups(std::max(num_groups, 1));
+    const size_t per_group =
+        (order.size() + groups.size() - 1) / groups.size();
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      groups[std::min(rank / per_group, groups.size() - 1)].push_back(
+          order[rank] + 1);  // client ids are 1-based
+    }
+    return std::make_unique<GroupSampler>(std::move(groups));
+  }
+  FS_LOG(Fatal) << "unknown sampler: " << name;
+  return nullptr;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,78 @@
+#ifndef FEDSCOPE_CORE_SAMPLER_H_
+#define FEDSCOPE_CORE_SAMPLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+
+/// Client sampling strategies (paper §3.3.1-ii). Candidates are the ids of
+/// currently *idle* clients; the sampler returns up to `k` of them.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+  virtual std::string Name() const = 0;
+  virtual std::vector<int> Sample(const std::vector<int>& candidates, int k,
+                                  Rng* rng) = 0;
+};
+
+/// Uniform sampling without replacement (vanilla FedAvg).
+class UniformSampler : public Sampler {
+ public:
+  std::string Name() const override { return "uniform"; }
+  std::vector<int> Sample(const std::vector<int>& candidates, int k,
+                          Rng* rng) override;
+};
+
+/// Responsiveness-related sampling: inclusion probability proportional to
+/// score^exponent, where the score is a prior per-client responsiveness
+/// estimate (from device info or historical responses). exponent > 0
+/// favors fast clients (efficiency: fewer staled updates); exponent < 0
+/// favors slow clients (fairness: compensates for the staleness discount
+/// their contributions suffer — the bias-CIFAR remedy of Appendix I).
+/// Sampling is without replacement via successive weighted draws.
+class ResponsivenessSampler : public Sampler {
+ public:
+  explicit ResponsivenessSampler(std::vector<double> scores,
+                                 double exponent = 1.0)
+      : scores_(std::move(scores)), exponent_(exponent) {}
+  std::string Name() const override { return "responsiveness"; }
+  std::vector<int> Sample(const std::vector<int>& candidates, int k,
+                          Rng* rng) override;
+
+ private:
+  std::vector<double> scores_;  // indexed by client id - 1
+  double exponent_;
+};
+
+/// Group sampling: clients with similar responsiveness are grouped; each
+/// call samples uniformly *within* one group, cycling through groups round-
+/// robin, so every round's cohort has homogeneous speed (limiting staleness
+/// spread). Falls back to other groups when the chosen group has too few
+/// idle members.
+class GroupSampler : public Sampler {
+ public:
+  explicit GroupSampler(std::vector<std::vector<int>> groups);
+  std::string Name() const override { return "group"; }
+  std::vector<int> Sample(const std::vector<int>& candidates, int k,
+                          Rng* rng) override;
+
+ private:
+  std::vector<std::vector<int>> groups_;
+  std::vector<int> group_of_;  // client id -> group index
+  size_t next_group_ = 0;
+};
+
+/// Factory by name:
+///   "uniform" | "responsiveness" (p ~ score) |
+///   "responsiveness_inv" (p ~ 1/score) | "group".
+std::unique_ptr<Sampler> MakeSampler(const std::string& name,
+                                     const std::vector<double>& scores,
+                                     int num_groups);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_CORE_SAMPLER_H_

@@ -1,0 +1,397 @@
+#include "fedscope/core/server.h"
+
+#include <algorithm>
+
+#include "fedscope/comm/compression.h"
+#include "fedscope/core/events.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+constexpr char kModelKey[] = "model";
+constexpr char kDeltaKey[] = "delta";
+
+}  // namespace
+
+Server::Server(ServerOptions options, Model global_model,
+               std::unique_ptr<Aggregator> aggregator, CommChannel* channel)
+    : BaseWorker(kServerId, channel),
+      options_(std::move(options)),
+      global_model_(std::move(global_model)),
+      aggregator_(std::move(aggregator)),
+      rng_(options_.seed != 0 ? options_.seed : 0x5E17E5) {
+  FS_CHECK(aggregator_ != nullptr);
+  FS_CHECK_GT(options_.concurrency, 0);
+  RegisterDefaultHandlers();
+}
+
+void Server::RegisterDefaultHandlers() {
+  registry_.Register(
+      events::kJoinIn, [this](const Message& msg) { OnJoinIn(msg); },
+      /*emits=*/{events::kAssignId});
+  registry_.Register(
+      events::kModelUpdate,
+      [this](const Message& msg) { OnModelUpdate(msg); },
+      /*emits=*/{events::kModelPara});
+  registry_.Register(events::kTimer,
+                     [this](const Message& msg) { OnTimer(msg); });
+  registry_.Register(events::kMetrics,
+                     [this](const Message& msg) { OnMetrics(msg); });
+
+  // Condition events of §3.3: which one fires is decided by the checks in
+  // OnModelUpdate / OnTimer; what it does is a swappable handler.
+  registry_.Register(
+      events::kAllJoinedIn,
+      [this](const Message& msg) { StartTraining(msg); },
+      /*emits=*/{events::kModelPara});
+  registry_.Register(
+      events::kAllReceived,
+      [this](const Message& msg) { PerformAggregation(msg); },
+      /*emits=*/{events::kModelPara});
+  registry_.Register(
+      events::kGoalAchieved,
+      [this](const Message& msg) { PerformAggregation(msg); },
+      /*emits=*/{events::kModelPara});
+  registry_.Register(
+      events::kTimeUp, [this](const Message& msg) { PerformAggregation(msg); },
+      /*emits=*/{events::kModelPara});
+  std::vector<std::string> finish_emits = {events::kFinish};
+  if (options_.collect_client_metrics) {
+    finish_emits.push_back(events::kEvaluate);
+  }
+  registry_.Register(
+      events::kTargetReached,
+      [this](const Message& msg) { FinishCourse(msg); }, finish_emits);
+  registry_.Register(
+      events::kEarlyStop, [this](const Message& msg) { FinishCourse(msg); },
+      finish_emits);
+}
+
+void Server::OnJoinIn(const Message& msg) {
+  if (started_) {
+    FS_LOG(Warning) << "client " << msg.sender << " joined after start";
+    return;
+  }
+  clients_.insert(msg.sender);
+  const int idx = msg.sender - 1;
+  if (idx >= 0) {
+    if (idx >= static_cast<int>(resp_scores_.size())) {
+      resp_scores_.resize(idx + 1, 1.0);
+    }
+    resp_scores_[idx] = msg.payload.GetDouble("resp_score", 1.0);
+  }
+
+  Message ack;
+  ack.receiver = msg.sender;
+  ack.msg_type = events::kAssignId;
+  ack.timestamp = msg.timestamp;
+  ack.payload.SetInt("assigned_id", msg.sender);
+  Send(std::move(ack));
+
+  if (options_.expected_clients > 0 &&
+      static_cast<int>(clients_.size()) >= options_.expected_clients) {
+    RaiseEvent(events::kAllJoinedIn, msg);
+  }
+}
+
+void Server::StartTraining(const Message& context) {
+  if (started_) return;
+  started_ = true;
+  sampler_ = MakeSampler(options_.sampler, resp_scores_, options_.num_groups);
+  stats_.agg_count.assign(resp_scores_.size() + 1, 0);
+
+  FS_LOG(Info) << "FL course started with " << clients_.size()
+               << " clients; strategy handlers: "
+               << registry_.RegisteredEvents().size();
+  Replenish(context.timestamp);
+  if (options_.strategy == Strategy::kAsyncTime) {
+    ScheduleTimer(context.timestamp);
+  }
+}
+
+std::vector<int> Server::SampleIdle(int k) {
+  std::vector<int> idle;
+  idle.reserve(clients_.size());
+  for (int id : clients_) {
+    if (busy_.count(id) == 0) idle.push_back(id);
+  }
+  return sampler_->Sample(idle, k, &rng_);
+}
+
+void Server::BroadcastModel(const std::vector<int>& client_ids,
+                            double timestamp) {
+  const StateDict shared = global_model_.GetStateDict(options_.share_filter);
+  for (int id : client_ids) {
+    Message msg;
+    msg.receiver = id;
+    msg.msg_type = events::kModelPara;
+    msg.state = round_;
+    msg.timestamp = timestamp;
+    msg.payload.SetStateDict(kModelKey, shared);
+    if (config_provider_) {
+      Config config = config_provider_(id, round_);
+      for (const auto& key : config.Keys()) {
+        msg.payload.SetDouble(key, config.GetDouble(key, 0.0));
+      }
+      msg.payload.SetInt("hpo.want_feedback", 1);
+    }
+    busy_[id] = round_;
+    Send(std::move(msg));
+  }
+}
+
+void Server::Replenish(double timestamp) {
+  int want = options_.concurrency;
+  if (options_.strategy == Strategy::kSyncOverselect) {
+    want = static_cast<int>(options_.concurrency *
+                            (1.0 + options_.overselect_frac));
+  }
+  // Only workers whose eventual update can still be tolerated count
+  // against the concurrency target; workers stuck on rounds older than
+  // the staleness toleration will be dropped anyway (with toleration 0
+  // this is exactly the fresh-cohort rule of over-selection).
+  int in_flight = 0;
+  for (const auto& [id, round] : busy_) {
+    if (round_ - round <= options_.staleness_tolerance) ++in_flight;
+  }
+  const int missing = want - in_flight;
+  if (missing <= 0) return;
+  auto cohort = SampleIdle(missing);
+  sampled_this_round_ = in_flight + static_cast<int>(cohort.size());
+  BroadcastModel(cohort, timestamp);
+}
+
+void Server::ScheduleTimer(double now) {
+  Message timer;
+  timer.receiver = id_;
+  timer.msg_type = events::kTimer;
+  timer.state = round_;
+  timer.timestamp = now + options_.time_budget;
+  Send(std::move(timer));
+}
+
+void Server::OnModelUpdate(const Message& msg) {
+  if (finished_ || !started_) return;
+  busy_.erase(msg.sender);
+
+  if (msg.payload.GetInt("declined", 0) != 0) {
+    // The client declined this round (low_bandwidth behaviour): free the
+    // slot, shrink the cohort the synchronous trigger waits for, and keep
+    // the concurrency up under after-receiving broadcasts.
+    ++stats_.declined;
+    if (sampled_this_round_ > 0) --sampled_this_round_;
+    switch (options_.strategy) {
+      case Strategy::kSyncVanilla:
+        if (static_cast<int>(buffer_.size()) >= sampled_this_round_) {
+          RaiseEvent(events::kAllReceived, msg);
+        }
+        break;
+      default:
+        break;
+    }
+    if (!finished_ &&
+        options_.broadcast == BroadcastManner::kAfterReceiving) {
+      BroadcastModel(SampleIdle(1), msg.timestamp);
+    }
+    return;
+  }
+
+  const int staleness = round_ - msg.state;
+  if (staleness > options_.staleness_tolerance) {
+    // Outdated beyond toleration: dropped entirely (§3.3.1-i).
+    ++stats_.dropped_stale;
+  } else {
+    ClientUpdate update;
+    update.client_id = msg.sender;
+    update.round_started = msg.state;
+    update.staleness = staleness;
+    update.num_samples =
+        static_cast<double>(msg.payload.GetInt("num_samples", 1));
+    update.local_steps =
+        static_cast<int>(msg.payload.GetInt("local_steps", 1));
+    // Transparent decompression of operator-transformed updates.
+    const std::string codec = msg.payload.GetString("codec");
+    if (codec == "quant8") {
+      auto decoded = DequantizeStateDict(msg.payload);
+      if (!decoded.ok()) {
+        FS_LOG(Warning) << "dropping undecodable quant8 update from "
+                        << msg.sender << ": "
+                        << decoded.status().ToString();
+        return;
+      }
+      update.delta = std::move(decoded.value());
+    } else if (codec == "topk") {
+      auto decoded = DesparsifyStateDict(msg.payload);
+      if (!decoded.ok()) {
+        FS_LOG(Warning) << "dropping undecodable topk update from "
+                        << msg.sender << ": "
+                        << decoded.status().ToString();
+        return;
+      }
+      update.delta = std::move(decoded.value());
+    } else {
+      update.delta = msg.payload.GetStateDict(kDeltaKey);
+    }
+    buffer_.push_back(std::move(update));
+  }
+
+  if (feedback_consumer_) {
+    feedback_consumer_(msg.sender, msg.state, msg.payload);
+  }
+
+  // Condition checking (§3.2): has the aggregation trigger fired?
+  switch (options_.strategy) {
+    case Strategy::kSyncVanilla:
+      if (static_cast<int>(buffer_.size()) >= sampled_this_round_) {
+        RaiseEvent(events::kAllReceived, msg);
+      }
+      break;
+    case Strategy::kSyncOverselect:
+      if (static_cast<int>(buffer_.size()) >= options_.concurrency) {
+        RaiseEvent(events::kGoalAchieved, msg);
+      }
+      break;
+    case Strategy::kAsyncGoal:
+      if (static_cast<int>(buffer_.size()) >= options_.aggregation_goal) {
+        RaiseEvent(events::kGoalAchieved, msg);
+      }
+      break;
+    case Strategy::kAsyncTime:
+      break;  // aggregation is driven by the timer
+  }
+
+  // After-receiving broadcast (§3.3.1-iii): hand the up-to-date model to
+  // one idle client as soon as feedback arrives, keeping concurrency
+  // constant (FedBuff-style).
+  if (!finished_ && options_.broadcast == BroadcastManner::kAfterReceiving) {
+    BroadcastModel(SampleIdle(1), msg.timestamp);
+  }
+}
+
+void Server::OnTimer(const Message& msg) {
+  if (finished_ || !started_) return;
+  if (msg.state != round_) return;  // a timer from a completed round
+  if (static_cast<int>(buffer_.size()) >= options_.min_received) {
+    RaiseEvent(events::kTimeUp, msg);
+  } else {
+    // Remedial measures (§3.3.2): extend the round, pull in more clients.
+    FS_LOG(Debug) << "round " << round_
+                  << " time budget expired with too little feedback; "
+                     "extending round";
+    Replenish(msg.timestamp);
+    ScheduleTimer(msg.timestamp);
+  }
+}
+
+void Server::PerformAggregation(const Message& context) {
+  if (finished_ || buffer_.empty()) return;
+
+  // Staleness is measured against the version at aggregation time; updates
+  // that aged beyond the toleration while buffered are dropped now.
+  std::vector<ClientUpdate> usable;
+  usable.reserve(buffer_.size());
+  for (auto& update : buffer_) {
+    update.staleness = round_ - update.round_started;
+    if (update.staleness > options_.staleness_tolerance) {
+      ++stats_.dropped_stale;
+      continue;
+    }
+    usable.push_back(std::move(update));
+  }
+  buffer_.clear();
+  if (usable.empty()) return;
+
+  for (const auto& update : usable) {
+    stats_.staleness_log.push_back(update.staleness);
+    if (update.client_id >= 1 &&
+        update.client_id < static_cast<int>(stats_.agg_count.size())) {
+      ++stats_.agg_count[update.client_id];
+    }
+  }
+
+  const StateDict global_shared =
+      global_model_.GetStateDict(options_.share_filter);
+  StateDict next = aggregator_->Aggregate(global_shared, usable);
+  FS_CHECK_OK(global_model_.LoadStateDict(next));
+
+  ++round_;
+  stats_.rounds = round_;
+
+  if (EvaluateAndCheckStop(context)) return;
+
+  if (options_.broadcast == BroadcastManner::kAfterAggregating) {
+    Replenish(context.timestamp);
+  }
+  if (options_.strategy == Strategy::kAsyncTime) {
+    ScheduleTimer(context.timestamp);
+  }
+}
+
+bool Server::EvaluateAndCheckStop(const Message& context) {
+  if (evaluator_ &&
+      (round_ % std::max(options_.eval_interval, 1) == 0 ||
+       round_ >= options_.max_rounds)) {
+    EvalResult eval = evaluator_(&global_model_);
+    stats_.curve.emplace_back(context.timestamp, eval.accuracy);
+    stats_.final_accuracy = eval.accuracy;
+    if (eval.accuracy > stats_.best_accuracy) {
+      stats_.best_accuracy = eval.accuracy;
+      evals_since_best_ = 0;
+    } else {
+      ++evals_since_best_;
+    }
+    if (options_.target_accuracy > 0.0 &&
+        eval.accuracy >= options_.target_accuracy) {
+      stats_.reached_target = true;
+      stats_.time_to_target = context.timestamp;
+      RaiseEvent(events::kTargetReached, context);
+      return true;
+    }
+    if (options_.early_stop_patience > 0 &&
+        evals_since_best_ >= options_.early_stop_patience) {
+      RaiseEvent(events::kEarlyStop, context);
+      return true;
+    }
+  }
+  if (round_ >= options_.max_rounds) {
+    FinishCourse(context);
+    return true;
+  }
+  return false;
+}
+
+void Server::FinishCourse(const Message& context) {
+  if (finished_) return;
+  finished_ = true;
+  stats_.finish_time = context.timestamp;
+  if (options_.collect_client_metrics) {
+    // Final evaluation round: ask every client for its local metrics
+    // before dismissing it (the evaluate/metrics flow of Table 2).
+    for (int id : clients_) {
+      Message msg;
+      msg.receiver = id;
+      msg.msg_type = events::kEvaluate;
+      msg.state = round_;
+      msg.timestamp = context.timestamp;
+      Send(std::move(msg));
+    }
+  }
+  for (int id : clients_) {
+    Message msg;
+    msg.receiver = id;
+    msg.msg_type = events::kFinish;
+    msg.state = round_;
+    msg.timestamp = context.timestamp;
+    Send(std::move(msg));
+  }
+}
+
+void Server::OnMetrics(const Message& msg) {
+  stats_.client_metrics[msg.sender] =
+      msg.payload.GetDouble("test_acc", -1.0);
+  FS_LOG(Debug) << "metrics from client " << msg.sender << ": acc="
+                << msg.payload.GetDouble("test_acc", -1.0);
+}
+
+}  // namespace fedscope

@@ -1,0 +1,186 @@
+#ifndef FEDSCOPE_CORE_SERVER_H_
+#define FEDSCOPE_CORE_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fedscope/core/aggregator.h"
+#include "fedscope/core/sampler.h"
+#include "fedscope/core/trainer.h"
+#include "fedscope/core/worker.h"
+#include "fedscope/nn/model.h"
+#include "fedscope/util/config.h"
+
+namespace fedscope {
+
+/// Which condition event triggers federated aggregation (paper §3.3):
+///   kSyncVanilla    : "all_received"  — wait for every sampled client.
+///   kSyncOverselect : "goal_achieved" with staleness toleration 0 and
+///                     over-sampled cohorts (the over-selection mechanism).
+///   kAsyncGoal      : "goal_achieved" — aggregate once `aggregation_goal`
+///                     updates are buffered (FedBuff/SAFA family).
+///   kAsyncTime      : "time_up"       — aggregate when the round's virtual
+///                     time budget expires.
+enum class Strategy { kSyncVanilla, kSyncOverselect, kAsyncGoal, kAsyncTime };
+
+/// When the server sends out models (§3.3.1-iii): in one batch right after
+/// aggregating, or one-at-a-time as each update arrives (keeping the
+/// training concurrency constant).
+enum class BroadcastManner { kAfterAggregating, kAfterReceiving };
+
+struct ServerOptions {
+  Strategy strategy = Strategy::kSyncVanilla;
+  BroadcastManner broadcast = BroadcastManner::kAfterAggregating;
+  /// "uniform" | "responsiveness" | "group".
+  std::string sampler = "uniform";
+  int num_groups = 5;
+  /// Number of clients training concurrently.
+  int concurrency = 10;
+  /// Extra fraction sampled by the over-selection mechanism.
+  double overselect_frac = 0.3;
+  /// Updates needed to trigger "goal_achieved".
+  int aggregation_goal = 5;
+  /// Updates staler than this are dropped from aggregation.
+  int staleness_tolerance = 10;
+  /// Virtual-seconds budget per round for the kAsyncTime strategy.
+  double time_budget = 60.0;
+  /// Minimum buffered updates for a time_up aggregation to proceed;
+  /// otherwise the server takes remedial measures (extends the round).
+  int min_received = 1;
+  int max_rounds = 50;
+  /// Stop once global test accuracy reaches this (0 disables).
+  double target_accuracy = 0.0;
+  /// Evaluate the global model every N rounds.
+  int eval_interval = 1;
+  /// Terminate after this many evaluations without improvement (0 = off).
+  int early_stop_patience = 0;
+  /// Number of join_in messages to wait for before starting.
+  int expected_clients = 0;
+  /// Request a final local evaluation from every client at course end
+  /// (exercises the evaluate/metrics message flow; results land in
+  /// ServerStats::client_metrics).
+  bool collect_client_metrics = false;
+  /// The shared part of the model (must match the clients' share filter).
+  NameFilter share_filter;
+  uint64_t seed = 0;
+
+  ServerOptions() : share_filter(AcceptAll()) {}
+};
+
+/// Everything the benches read out of a finished FL course.
+struct ServerStats {
+  /// (virtual seconds, global test accuracy) after each evaluation.
+  std::vector<std::pair<double, double>> curve;
+  /// Effective aggregation count per client id (1-based; index 0 unused) —
+  /// the quantity of Figure 10.
+  std::vector<int64_t> agg_count;
+  /// Staleness of every update that contributed to an aggregation —
+  /// the distribution of Figure 11.
+  std::vector<int> staleness_log;
+  int64_t dropped_stale = 0;
+  /// Training requests declined by clients (e.g. low_bandwidth behaviour).
+  int64_t declined = 0;
+  /// Client-reported test accuracy from the final metrics round
+  /// (client id -> accuracy); filled when collect_client_metrics is on.
+  std::map<int, double> client_metrics;
+  int rounds = 0;
+  bool reached_target = false;
+  /// Virtual seconds to reach target accuracy (-1 if never).
+  double time_to_target = -1.0;
+  double best_accuracy = 0.0;
+  double final_accuracy = 0.0;
+  double finish_time = 0.0;
+};
+
+/// The FL server: coordinates the course with the condition events of §3.3,
+/// delegates aggregation to an Aggregator and client selection to a
+/// Sampler (both swappable), and never blocks on slow clients unless the
+/// synchronous strategy demands it.
+class Server : public BaseWorker {
+ public:
+  /// Evaluates a model on the server's held-out data (installed by the
+  /// runner; what the paper logs as global accuracy).
+  using Evaluator = std::function<EvalResult(Model*)>;
+  /// Manager plug-in hook: per-client, per-round configuration sampling
+  /// (FedEx). The returned config's hpo.* keys ride along the broadcast.
+  using ConfigProvider = std::function<Config(int client_id, int round)>;
+  /// Manager plug-in hook: consumes client feedback from update messages.
+  using FeedbackConsumer =
+      std::function<void(int client_id, int round, const Payload& payload)>;
+
+  Server(ServerOptions options, Model global_model,
+         std::unique_ptr<Aggregator> aggregator, CommChannel* channel);
+
+  void set_evaluator(Evaluator evaluator) {
+    evaluator_ = std::move(evaluator);
+  }
+  void set_config_provider(ConfigProvider provider) {
+    config_provider_ = std::move(provider);
+  }
+  void set_feedback_consumer(FeedbackConsumer consumer) {
+    feedback_consumer_ = std::move(consumer);
+  }
+
+  Model* global_model() { return &global_model_; }
+  Aggregator* aggregator() { return aggregator_.get(); }
+  const ServerOptions& options() const { return options_; }
+  const ServerStats& stats() const { return stats_; }
+  bool finished() const { return finished_; }
+  int round() const { return round_; }
+  int joined_clients() const { return static_cast<int>(clients_.size()); }
+  const std::vector<ClientUpdate>& buffer() const { return buffer_; }
+
+ private:
+  void RegisterDefaultHandlers();
+  void OnJoinIn(const Message& msg);
+  void OnModelUpdate(const Message& msg);
+  void OnTimer(const Message& msg);
+  void OnMetrics(const Message& msg);
+
+  /// Handler bodies for the condition events.
+  void StartTraining(const Message& context);
+  void PerformAggregation(const Message& context);
+  void FinishCourse(const Message& context);
+
+  /// Sends the current global model to the given clients at round round_.
+  void BroadcastModel(const std::vector<int>& client_ids, double timestamp);
+  /// Samples up to `k` idle clients.
+  std::vector<int> SampleIdle(int k);
+  /// Brings the number of in-flight clients back up to the configured
+  /// concurrency (+ over-selection margin for kSyncOverselect).
+  void Replenish(double timestamp);
+  /// Schedules a "timer" message to self at now + time_budget.
+  void ScheduleTimer(double now);
+  /// Evaluates the global model, updates the curve, and checks the
+  /// termination conditions. Returns true if the course terminated.
+  bool EvaluateAndCheckStop(const Message& context);
+
+  ServerOptions options_;
+  Model global_model_;
+  std::unique_ptr<Aggregator> aggregator_;
+  std::unique_ptr<Sampler> sampler_;
+  Rng rng_;
+
+  Evaluator evaluator_;
+  ConfigProvider config_provider_;
+  FeedbackConsumer feedback_consumer_;
+
+  std::set<int> clients_;        // joined client ids
+  std::map<int, int> busy_;      // in-flight clients -> round they work on
+  std::vector<double> resp_scores_;  // by client id - 1
+  std::vector<ClientUpdate> buffer_;
+  int sampled_this_round_ = 0;   // cohort size for all_received
+  int round_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+  int evals_since_best_ = 0;
+  ServerStats stats_;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_CORE_SERVER_H_

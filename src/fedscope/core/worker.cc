@@ -1,0 +1,31 @@
+#include "fedscope/core/worker.h"
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+void BaseWorker::HandleMessage(const Message& msg) {
+  current_time_ = std::max(current_time_, msg.timestamp);
+  Status status = registry_.Dispatch(msg.msg_type, msg);
+  if (!status.ok()) {
+    FS_LOG(Debug) << "worker " << id_ << " has no handler for message type '"
+                  << msg.msg_type << "'; dropped";
+  }
+}
+
+void BaseWorker::RaiseEvent(const std::string& event, const Message& context) {
+  Status status = registry_.Dispatch(event, context);
+  if (!status.ok()) {
+    FS_LOG(Debug) << "worker " << id_ << " raised event '" << event
+                  << "' with no handler";
+  }
+}
+
+void BaseWorker::Send(Message msg) {
+  msg.sender = id_;
+  if (msg.timestamp < current_time_) msg.timestamp = current_time_;
+  FS_CHECK(channel_ != nullptr);
+  channel_->Send(msg);
+}
+
+}  // namespace fedscope

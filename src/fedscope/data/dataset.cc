@@ -1,0 +1,75 @@
+#include "fedscope/data/dataset.h"
+
+#include <algorithm>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+Dataset Dataset::Subset(const std::vector<int64_t>& indices) const {
+  Dataset out;
+  out.x = BatchX(indices);
+  out.labels = BatchY(indices);
+  return out;
+}
+
+Tensor Dataset::BatchX(const std::vector<int64_t>& indices) const {
+  FS_CHECK_GE(x.ndim(), 1);
+  std::vector<int64_t> shape = x.shape();
+  shape[0] = static_cast<int64_t>(indices.size());
+  Tensor batch(shape);
+  const int64_t stride = x.numel() / x.dim(0);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    FS_CHECK_GE(indices[i], 0);
+    FS_CHECK_LT(indices[i], x.dim(0));
+    std::copy(x.data() + indices[i] * stride,
+              x.data() + (indices[i] + 1) * stride,
+              batch.data() + static_cast<int64_t>(i) * stride);
+  }
+  return batch;
+}
+
+std::vector<int64_t> Dataset::BatchY(const std::vector<int64_t>& indices) const {
+  std::vector<int64_t> out(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) out[i] = labels[indices[i]];
+  return out;
+}
+
+int64_t Dataset::NumClasses() const {
+  int64_t max_label = -1;
+  for (int64_t label : labels) max_label = std::max(max_label, label);
+  return max_label + 1;
+}
+
+std::vector<int64_t> Dataset::ClassCounts() const {
+  std::vector<int64_t> counts(NumClasses(), 0);
+  for (int64_t label : labels) ++counts[label];
+  return counts;
+}
+
+SplitDataset Split(const Dataset& data, double train_frac, double val_frac,
+                   Rng* rng) {
+  FS_CHECK_GE(train_frac, 0.0);
+  FS_CHECK_GE(val_frac, 0.0);
+  FS_CHECK_LE(train_frac + val_frac, 1.0);
+  auto perm = rng->Permutation(data.size());
+  const int64_t n_train = static_cast<int64_t>(train_frac * data.size());
+  const int64_t n_val = static_cast<int64_t>(val_frac * data.size());
+  std::vector<int64_t> train_idx(perm.begin(), perm.begin() + n_train);
+  std::vector<int64_t> val_idx(perm.begin() + n_train,
+                               perm.begin() + n_train + n_val);
+  std::vector<int64_t> test_idx(perm.begin() + n_train + n_val, perm.end());
+  SplitDataset out;
+  out.train = data.Subset(train_idx);
+  out.val = data.Subset(val_idx);
+  out.test = data.Subset(test_idx);
+  return out;
+}
+
+int64_t FedDataset::total_train_examples() const {
+  int64_t n = 0;
+  for (const auto& client : clients) n += client.train.size();
+  return n;
+}
+
+}  // namespace fedscope

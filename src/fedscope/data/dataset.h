@@ -1,0 +1,59 @@
+#ifndef FEDSCOPE_DATA_DATASET_H_
+#define FEDSCOPE_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fedscope/tensor/tensor.h"
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+
+/// A supervised dataset: features x (leading dim = examples) and integer
+/// labels. Value type; subsets copy data (datasets here are small by
+/// construction).
+struct Dataset {
+  Tensor x;
+  std::vector<int64_t> labels;
+
+  int64_t size() const { return static_cast<int64_t>(labels.size()); }
+  bool empty() const { return labels.empty(); }
+
+  /// Selects the given examples into a new dataset.
+  Dataset Subset(const std::vector<int64_t>& indices) const;
+
+  /// Features of the given examples as a batch tensor.
+  Tensor BatchX(const std::vector<int64_t>& indices) const;
+  /// Labels of the given examples.
+  std::vector<int64_t> BatchY(const std::vector<int64_t>& indices) const;
+
+  /// Number of distinct label values (max label + 1).
+  int64_t NumClasses() const;
+
+  /// Per-class example counts (indexable up to NumClasses()).
+  std::vector<int64_t> ClassCounts() const;
+};
+
+/// Splits a dataset into train/val/test by shuffled fractions.
+struct SplitDataset {
+  Dataset train;
+  Dataset val;
+  Dataset test;
+};
+SplitDataset Split(const Dataset& data, double train_frac, double val_frac,
+                   Rng* rng);
+
+/// A federated dataset: per-client splits plus a global held-out test set
+/// at the server (how the paper tracks global-model accuracy).
+struct FedDataset {
+  std::vector<SplitDataset> clients;
+  Dataset server_test;
+
+  int num_clients() const { return static_cast<int>(clients.size()); }
+  int64_t total_train_examples() const;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_DATA_DATASET_H_

@@ -1,0 +1,135 @@
+#include "fedscope/data/partition.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+/// Distributes the index lists of each class to clients according to
+/// per-client Dirichlet proportions.
+std::vector<std::vector<int64_t>> DirichletAssign(
+    const std::vector<std::vector<int64_t>>& by_class, int num_clients,
+    double alpha, Rng* rng) {
+  std::vector<std::vector<int64_t>> parts(num_clients);
+  for (const auto& class_indices : by_class) {
+    if (class_indices.empty()) continue;
+    std::vector<double> proportions =
+        rng->Dirichlet(std::vector<double>(num_clients, alpha));
+    // Turn proportions into contiguous cut points over the shuffled class.
+    std::vector<int64_t> shuffled = class_indices;
+    rng->Shuffle(&shuffled);
+    const int64_t n = static_cast<int64_t>(shuffled.size());
+    int64_t start = 0;
+    double cum = 0.0;
+    for (int c = 0; c < num_clients; ++c) {
+      cum += proportions[c];
+      int64_t end =
+          (c == num_clients - 1) ? n : static_cast<int64_t>(cum * n);
+      end = std::clamp<int64_t>(end, start, n);
+      for (int64_t i = start; i < end; ++i) {
+        parts[c].push_back(shuffled[i]);
+      }
+      start = end;
+    }
+  }
+  return parts;
+}
+
+/// Moves examples from the largest clients to clients below the minimum.
+void EnforceMinimum(std::vector<std::vector<int64_t>>* parts,
+                    int64_t min_per_client) {
+  auto largest = [&] {
+    size_t best = 0;
+    for (size_t c = 1; c < parts->size(); ++c) {
+      if ((*parts)[c].size() > (*parts)[best].size()) best = c;
+    }
+    return best;
+  };
+  for (auto& part : *parts) {
+    while (static_cast<int64_t>(part.size()) < min_per_client) {
+      auto& donor = (*parts)[largest()];
+      if (donor.size() <= 1 || &donor == &part) break;
+      part.push_back(donor.back());
+      donor.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int64_t>> UniformPartition(
+    const std::vector<int64_t>& labels, int num_clients, Rng* rng) {
+  FS_CHECK_GT(num_clients, 0);
+  auto perm = rng->Permutation(static_cast<int64_t>(labels.size()));
+  std::vector<std::vector<int64_t>> parts(num_clients);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    parts[i % num_clients].push_back(perm[i]);
+  }
+  return parts;
+}
+
+std::vector<std::vector<int64_t>> DirichletPartition(
+    const std::vector<int64_t>& labels, int num_clients, double alpha,
+    Rng* rng, int64_t min_per_client) {
+  FS_CHECK_GT(num_clients, 0);
+  FS_CHECK_GT(alpha, 0.0);
+  int64_t num_classes = 0;
+  for (int64_t label : labels) num_classes = std::max(num_classes, label + 1);
+  std::vector<std::vector<int64_t>> by_class(num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    by_class[labels[i]].push_back(static_cast<int64_t>(i));
+  }
+  auto parts = DirichletAssign(by_class, num_clients, alpha, rng);
+  EnforceMinimum(&parts, min_per_client);
+  return parts;
+}
+
+std::vector<std::vector<int64_t>> BiasedPartition(
+    const std::vector<int64_t>& labels, int num_clients, double alpha,
+    const std::vector<int64_t>& rare_classes,
+    const std::vector<int>& rare_owners, Rng* rng) {
+  FS_CHECK_GT(num_clients, 0);
+  FS_CHECK(!rare_owners.empty());
+  std::set<int64_t> rare(rare_classes.begin(), rare_classes.end());
+
+  int64_t num_classes = 0;
+  for (int64_t label : labels) num_classes = std::max(num_classes, label + 1);
+  std::vector<std::vector<int64_t>> common_by_class(num_classes);
+  std::vector<int64_t> rare_pool;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (rare.count(labels[i]) > 0) {
+      rare_pool.push_back(static_cast<int64_t>(i));
+    } else {
+      common_by_class[labels[i]].push_back(static_cast<int64_t>(i));
+    }
+  }
+
+  auto parts = DirichletAssign(common_by_class, num_clients, alpha, rng);
+  // Rare-class examples are dealt only to the designated owners (the slow
+  // clients, in the bias-CIFAR construction).
+  rng->Shuffle(&rare_pool);
+  for (size_t i = 0; i < rare_pool.size(); ++i) {
+    parts[rare_owners[i % rare_owners.size()]].push_back(rare_pool[i]);
+  }
+  EnforceMinimum(&parts, 2);
+  return parts;
+}
+
+std::vector<std::vector<int64_t>> PartitionClassCounts(
+    const std::vector<int64_t>& labels,
+    const std::vector<std::vector<int64_t>>& parts, int64_t num_classes) {
+  std::vector<std::vector<int64_t>> counts(
+      parts.size(), std::vector<int64_t>(num_classes, 0));
+  for (size_t c = 0; c < parts.size(); ++c) {
+    for (int64_t i : parts[c]) {
+      FS_CHECK_LT(labels[i], num_classes);
+      ++counts[c][labels[i]];
+    }
+  }
+  return counts;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,44 @@
+#ifndef FEDSCOPE_DATA_PARTITION_H_
+#define FEDSCOPE_DATA_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+
+/// Partitioners assign example indices (given their labels) to clients.
+/// The Dirichlet / latent-Dirichlet-allocation partitioner is the actual
+/// algorithm used by the paper for CIFAR-10 (Hsu et al., "Measuring the
+/// effects of non-identical data distribution", §5.2 / Appendix G):
+/// for each client, class proportions ~ Dirichlet(alpha); a smaller alpha
+/// gives a more heterogeneous split.
+
+/// IID: examples are shuffled and dealt uniformly to clients.
+std::vector<std::vector<int64_t>> UniformPartition(
+    const std::vector<int64_t>& labels, int num_clients, Rng* rng);
+
+/// Non-IID label-skew partition via per-client Dirichlet class proportions.
+/// Every client receives at least `min_per_client` examples.
+std::vector<std::vector<int64_t>> DirichletPartition(
+    const std::vector<int64_t>& labels, int num_clients, double alpha,
+    Rng* rng, int64_t min_per_client = 2);
+
+/// Partition where the given `rare_classes` are exclusively assigned to the
+/// clients listed in `rare_owners` (bias-CIFAR of Appendix I / Figure 19);
+/// remaining classes are spread Dirichlet(alpha) over *all* clients.
+std::vector<std::vector<int64_t>> BiasedPartition(
+    const std::vector<int64_t>& labels, int num_clients, double alpha,
+    const std::vector<int64_t>& rare_classes,
+    const std::vector<int>& rare_owners, Rng* rng);
+
+/// Per-client class histograms: result[c][k] = #examples of class k held by
+/// client c. Used to print the distribution figures (18 / 19).
+std::vector<std::vector<int64_t>> PartitionClassCounts(
+    const std::vector<int64_t>& labels,
+    const std::vector<std::vector<int64_t>>& parts, int64_t num_classes);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_DATA_PARTITION_H_

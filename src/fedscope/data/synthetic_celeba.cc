@@ -1,0 +1,87 @@
+#include "fedscope/data/synthetic_celeba.h"
+
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+/// The shared attribute pattern: a horizontal band through the middle of
+/// the image (think "smile" region), fixed across all identities.
+Tensor AttributePattern(int64_t s, double strength) {
+  Tensor pattern = Tensor::Zeros({1, s, s});
+  const int64_t band = s / 2;
+  for (int64_t w = 1; w + 1 < s; ++w) {
+    pattern.at(band * s + w) = static_cast<float>(strength);
+    if (band + 1 < s) {
+      pattern.at((band + 1) * s + w) =
+          static_cast<float>(strength * 0.5);
+    }
+  }
+  return pattern;
+}
+
+}  // namespace
+
+FedDataset MakeSyntheticCeleba(const SyntheticCelebaOptions& options) {
+  FS_CHECK_GT(options.num_clients, 0);
+  Rng rng(options.seed);
+  const int64_t s = options.image_size;
+  const Tensor attribute = AttributePattern(s, options.attribute_strength);
+  // A shared "average face" all identities vary around.
+  const Tensor mean_face = Tensor::Randn({1, s, s}, &rng, 0.5f);
+
+  auto render = [&](const Tensor& identity, bool positive, double noise,
+                    Rng* r) {
+    Tensor x = mean_face;
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      x.at(i) += identity.at(i) +
+                 (positive ? attribute.at(i) : 0.0f) +
+                 static_cast<float>(r->Normal(0.0, noise));
+    }
+    return x;
+  };
+
+  FedDataset fed;
+  fed.clients.resize(options.num_clients);
+  for (int c = 0; c < options.num_clients; ++c) {
+    Rng client_rng = rng.Fork(c + 1);
+    const Tensor identity = Tensor::Randn(
+        {1, s, s}, &client_rng,
+        static_cast<float>(options.identity_sigma));
+    const int64_t n = std::max<int64_t>(
+        6, static_cast<int64_t>(client_rng.Lognormal(
+               std::log(static_cast<double>(options.mean_samples)), 0.4)));
+    Dataset data;
+    data.x = Tensor({n, 1, s, s});
+    data.labels.resize(n);
+    for (int64_t i = 0; i < n; ++i) {
+      const bool positive = client_rng.Bernoulli(0.5);
+      data.labels[i] = positive ? 1 : 0;
+      data.x.SetSlice(
+          i, render(identity, positive, options.noise_sigma, &client_rng));
+    }
+    fed.clients[c] =
+        Split(data, options.train_frac, options.val_frac, &client_rng);
+  }
+
+  // Server test: unseen identities.
+  Rng test_rng = rng.Fork(0xCE1B);
+  Dataset test;
+  test.x = Tensor({options.server_test_size, 1, s, s});
+  test.labels.resize(options.server_test_size);
+  for (int64_t i = 0; i < options.server_test_size; ++i) {
+    const Tensor identity = Tensor::Randn(
+        {1, s, s}, &test_rng,
+        static_cast<float>(options.identity_sigma));
+    const bool positive = test_rng.Bernoulli(0.5);
+    test.labels[i] = positive ? 1 : 0;
+    test.x.SetSlice(
+        i, render(identity, positive, options.noise_sigma, &test_rng));
+  }
+  fed.server_test = std::move(test);
+  return fed;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,31 @@
+#ifndef FEDSCOPE_DATA_SYNTHETIC_CELEBA_H_
+#define FEDSCOPE_DATA_SYNTHETIC_CELEBA_H_
+
+#include "fedscope/data/dataset.h"
+
+namespace fedscope {
+
+/// Laptop-scale stand-in for CelebA (LEAF partitions by celebrity; the task
+/// is binary attribute classification, e.g. "smiling"): every client is an
+/// identity with a private base face (identity prototype); the positive
+/// class adds a localized attribute pattern (a band across the image).
+/// Preserves the benchmark's structure: many small clients, a shared
+/// binary concept on top of strong per-client appearance variation.
+struct SyntheticCelebaOptions {
+  int num_clients = 40;
+  int64_t image_size = 8;     // images are [1, S, S]
+  int64_t mean_samples = 24;  // images per identity
+  double identity_sigma = 0.8;  // strength of the private base face
+  double attribute_strength = 1.4;
+  double noise_sigma = 0.5;
+  double train_frac = 0.7;
+  double val_frac = 0.1;
+  int64_t server_test_size = 256;
+  uint64_t seed = 8;
+};
+
+FedDataset MakeSyntheticCeleba(const SyntheticCelebaOptions& options);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_DATA_SYNTHETIC_CELEBA_H_

@@ -1,0 +1,96 @@
+#include "fedscope/data/synthetic_cifar.h"
+
+#include "fedscope/data/partition.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+/// Generates `n` examples from the class prototypes with pixel noise.
+Dataset GeneratePool(const std::vector<Tensor>& prototypes, int64_t n,
+                     double noise_sigma, Rng* rng) {
+  const auto& shape = prototypes[0].shape();
+  Dataset pool;
+  pool.x = Tensor({n, shape[0], shape[1], shape[2]});
+  pool.labels.resize(n);
+  const int64_t classes = static_cast<int64_t>(prototypes.size());
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = rng->UniformInt(0, classes - 1);
+    pool.labels[i] = y;
+    Tensor example = prototypes[y];
+    for (int64_t j = 0; j < example.numel(); ++j) {
+      example.at(j) += static_cast<float>(rng->Normal(0.0, noise_sigma));
+    }
+    pool.x.SetSlice(i, example);
+  }
+  return pool;
+}
+
+FedDataset AssembleFromPartition(
+    const Dataset& pool, const std::vector<std::vector<int64_t>>& parts,
+    const SyntheticCifarOptions& options, Rng* rng) {
+  FedDataset fed;
+  fed.clients.resize(parts.size());
+  for (size_t c = 0; c < parts.size(); ++c) {
+    Rng client_rng = rng->Fork(static_cast<uint64_t>(c) + 1000);
+    fed.clients[c] = Split(pool.Subset(parts[c]), options.train_frac,
+                           options.val_frac, &client_rng);
+  }
+  return fed;
+}
+
+std::vector<Tensor> MakePrototypes(const SyntheticCifarOptions& options,
+                                   Rng* rng) {
+  std::vector<Tensor> prototypes;
+  prototypes.reserve(options.classes);
+  for (int64_t k = 0; k < options.classes; ++k) {
+    prototypes.push_back(Tensor::Randn(
+        {options.channels, options.image_size, options.image_size}, rng));
+  }
+  return prototypes;
+}
+
+}  // namespace
+
+FedDataset MakeSyntheticCifar(const SyntheticCifarOptions& options) {
+  Rng rng(options.seed);
+  auto prototypes = MakePrototypes(options, &rng);
+  Dataset pool =
+      GeneratePool(prototypes, options.pool_size, options.noise_sigma, &rng);
+
+  std::vector<std::vector<int64_t>> parts;
+  if (options.alpha <= 0.0) {
+    parts = UniformPartition(pool.labels, options.num_clients, &rng);
+  } else {
+    parts =
+        DirichletPartition(pool.labels, options.num_clients, options.alpha,
+                           &rng, /*min_per_client=*/8);
+  }
+  FedDataset fed = AssembleFromPartition(pool, parts, options, &rng);
+
+  Rng test_rng = rng.Fork(0xC1FA);
+  fed.server_test = GeneratePool(prototypes, options.server_test_size,
+                                 options.noise_sigma, &test_rng);
+  return fed;
+}
+
+FedDataset MakeBiasSyntheticCifar(const SyntheticCifarOptions& options,
+                                  const std::vector<int64_t>& rare_classes,
+                                  const std::vector<int>& rare_owners) {
+  FS_CHECK(!rare_owners.empty());
+  Rng rng(options.seed);
+  auto prototypes = MakePrototypes(options, &rng);
+  Dataset pool =
+      GeneratePool(prototypes, options.pool_size, options.noise_sigma, &rng);
+  auto parts = BiasedPartition(
+      pool.labels, options.num_clients,
+      options.alpha > 0.0 ? options.alpha : 1.0, rare_classes, rare_owners,
+      &rng);
+  FedDataset fed = AssembleFromPartition(pool, parts, options, &rng);
+  Rng test_rng = rng.Fork(0xC1FB);
+  fed.server_test = GeneratePool(prototypes, options.server_test_size,
+                                 options.noise_sigma, &test_rng);
+  return fed;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,41 @@
+#ifndef FEDSCOPE_DATA_SYNTHETIC_CIFAR_H_
+#define FEDSCOPE_DATA_SYNTHETIC_CIFAR_H_
+
+#include <vector>
+
+#include "fedscope/data/dataset.h"
+
+namespace fedscope {
+
+/// Laptop-scale stand-in for CIFAR-10 (DESIGN.md §2): a 10-class image pool
+/// (class-prototype Gaussians over [C, S, S] pixels) partitioned across
+/// clients with the *actual* Dirichlet/LDA partitioner of Hsu et al. used
+/// by the paper. The non-IIDness knob is `alpha` exactly as in Table 4 and
+/// Appendix G.
+struct SyntheticCifarOptions {
+  int num_clients = 100;
+  int64_t classes = 10;
+  int64_t channels = 3;
+  int64_t image_size = 8;
+  int64_t pool_size = 6000;   // size of the global example pool
+  double noise_sigma = 0.6;   // per-example pixel noise
+  /// Dirichlet concentration; <= 0 means IID (uniform partition).
+  double alpha = 0.5;
+  double train_frac = 0.7;
+  double val_frac = 0.1;
+  int64_t server_test_size = 512;
+  uint64_t seed = 2;
+};
+
+FedDataset MakeSyntheticCifar(const SyntheticCifarOptions& options);
+
+/// bias-CIFAR (Appendix I, Figure 19): `rare_classes` occur only on the
+/// clients listed in `rare_owners` (in the experiments: the slow clients),
+/// coupling the data distribution to system resources.
+FedDataset MakeBiasSyntheticCifar(const SyntheticCifarOptions& options,
+                                  const std::vector<int64_t>& rare_classes,
+                                  const std::vector<int>& rare_owners);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_DATA_SYNTHETIC_CIFAR_H_

@@ -1,0 +1,111 @@
+#include "fedscope/data/synthetic_femnist.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+struct WriterStyle {
+  double contrast;
+  double offset;
+  Tensor style;  // additive pattern [1, S, S]
+  /// Private pixel permutation (identity when empty).
+  std::vector<int64_t> permutation;
+};
+
+/// Builds a permutation that shuffles `frac` of the positions and fixes
+/// the rest.
+std::vector<int64_t> MakePartialPermutation(int64_t n, double frac,
+                                            Rng* rng) {
+  std::vector<int64_t> perm(n);
+  for (int64_t i = 0; i < n; ++i) perm[i] = i;
+  if (frac <= 0.0) return perm;
+  auto chosen = rng->SampleWithoutReplacement(
+      n, std::max<int64_t>(2, static_cast<int64_t>(frac * n)));
+  std::vector<int64_t> targets = chosen;
+  rng->Shuffle(&targets);
+  for (size_t i = 0; i < chosen.size(); ++i) perm[chosen[i]] = targets[i];
+  return perm;
+}
+
+Tensor RenderExample(const Tensor& prototype, const WriterStyle& style,
+                     double noise_sigma, Rng* rng) {
+  Tensor base = prototype;
+  for (int64_t i = 0; i < base.numel(); ++i) {
+    base.at(i) = static_cast<float>(
+        style.contrast * base.at(i) + style.offset + style.style.at(i) +
+        rng->Normal(0.0, noise_sigma));
+  }
+  if (style.permutation.empty()) return base;
+  Tensor x(base.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.at(i) = base.at(style.permutation[i]);
+  }
+  return x;
+}
+
+}  // namespace
+
+FedDataset MakeSyntheticFemnist(const SyntheticFemnistOptions& options) {
+  FS_CHECK_GT(options.num_clients, 0);
+  Rng rng(options.seed);
+  const int64_t s = options.image_size;
+
+  // Global class prototypes, shared across all writers.
+  std::vector<Tensor> prototypes;
+  prototypes.reserve(options.classes);
+  for (int64_t k = 0; k < options.classes; ++k) {
+    prototypes.push_back(Tensor::Randn({1, s, s}, &rng));
+  }
+
+  FedDataset fed;
+  fed.clients.resize(options.num_clients);
+  for (int c = 0; c < options.num_clients; ++c) {
+    Rng client_rng = rng.Fork(static_cast<uint64_t>(c) + 1);
+    WriterStyle style{
+        client_rng.Uniform(0.7, 1.3),
+        client_rng.Normal(0.0, 0.3),
+        Tensor::Randn({1, s, s}, &client_rng,
+                      static_cast<float>(options.style_sigma)),
+        MakePartialPermutation(s * s, options.permute_frac, &client_rng),
+    };
+    auto label_mix = client_rng.Dirichlet(
+        std::vector<double>(options.classes, options.label_alpha));
+    const int64_t n = std::max<int64_t>(
+        8, static_cast<int64_t>(client_rng.Lognormal(
+               std::log(static_cast<double>(options.mean_samples)), 0.4)));
+
+    Dataset data;
+    data.x = Tensor({n, 1, s, s});
+    data.labels.resize(n);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t y = client_rng.Categorical(label_mix);
+      data.labels[i] = y;
+      data.x.SetSlice(i, RenderExample(prototypes[y], style,
+                                       options.noise_sigma, &client_rng));
+    }
+    fed.clients[c] =
+        Split(data, options.train_frac, options.val_frac, &client_rng);
+  }
+
+  // Server-side held-out test set: style-neutral examples (no writer
+  // distortion) with uniform labels, measuring global-model quality.
+  Rng test_rng = rng.Fork(0xFEDC);
+  WriterStyle neutral{1.0, 0.0, Tensor::Zeros({1, s, s}), {}};
+  Dataset test;
+  test.x = Tensor({options.server_test_size, 1, s, s});
+  test.labels.resize(options.server_test_size);
+  for (int64_t i = 0; i < options.server_test_size; ++i) {
+    const int64_t y = test_rng.UniformInt(0, options.classes - 1);
+    test.labels[i] = y;
+    test.x.SetSlice(i, RenderExample(prototypes[y], neutral,
+                                     options.noise_sigma, &test_rng));
+  }
+  fed.server_test = std::move(test);
+  return fed;
+}
+
+}  // namespace fedscope

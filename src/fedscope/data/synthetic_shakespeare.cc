@@ -1,0 +1,109 @@
+#include "fedscope/data/synthetic_shakespeare.h"
+
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+/// A row-stochastic character-transition matrix with zipf-ish rows.
+std::vector<std::vector<double>> MakeTransitions(int64_t vocab, Rng* rng) {
+  std::vector<std::vector<double>> rows(vocab, std::vector<double>(vocab));
+  for (auto& row : rows) {
+    auto perm = rng->Permutation(vocab);
+    double total = 0.0;
+    for (int64_t j = 0; j < vocab; ++j) {
+      row[perm[j]] = 1.0 / std::pow(static_cast<double>(j + 1), 1.3);
+      total += row[perm[j]];
+    }
+    for (auto& p : row) p /= total;
+  }
+  return rows;
+}
+
+std::vector<std::vector<double>> MixTransitions(
+    const std::vector<std::vector<double>>& a,
+    const std::vector<std::vector<double>>& b, double t) {
+  std::vector<std::vector<double>> out = a;
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (size_t j = 0; j < out[i].size(); ++j) {
+      out[i][j] = (1.0 - t) * a[i][j] + t * b[i][j];
+    }
+  }
+  return out;
+}
+
+/// Samples a character sequence from the chain.
+std::vector<int64_t> SampleText(
+    const std::vector<std::vector<double>>& transitions, int64_t length,
+    double temperature, Rng* rng) {
+  const int64_t vocab = static_cast<int64_t>(transitions.size());
+  std::vector<int64_t> text(length);
+  text[0] = rng->UniformInt(0, vocab - 1);
+  std::vector<double> weights(vocab);
+  for (int64_t i = 1; i < length; ++i) {
+    const auto& row = transitions[text[i - 1]];
+    for (int64_t j = 0; j < vocab; ++j) {
+      weights[j] = std::pow(row[j], 1.0 / temperature);
+    }
+    text[i] = rng->Categorical(weights);
+  }
+  return text;
+}
+
+/// Converts a text into (one-hot context window -> next char) examples.
+Dataset TextToExamples(const std::vector<int64_t>& text, int64_t vocab,
+                       int64_t context) {
+  const int64_t n =
+      std::max<int64_t>(0, static_cast<int64_t>(text.size()) - context);
+  Dataset data;
+  data.x = Tensor({n, context * vocab});
+  data.labels.resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < context; ++c) {
+      data.x.at(i, c * vocab + text[i + c]) = 1.0f;
+    }
+    data.labels[i] = text[i + context];
+  }
+  return data;
+}
+
+}  // namespace
+
+FedDataset MakeSyntheticShakespeare(
+    const SyntheticShakespeareOptions& options) {
+  FS_CHECK_GT(options.num_clients, 0);
+  FS_CHECK_GE(options.vocab, 2);
+  FS_CHECK_GE(options.context, 1);
+  Rng rng(options.seed);
+  auto global = MakeTransitions(options.vocab, &rng);
+
+  FedDataset fed;
+  fed.clients.resize(options.num_clients);
+  for (int c = 0; c < options.num_clients; ++c) {
+    Rng client_rng = rng.Fork(c + 1);
+    auto habit = MakeTransitions(options.vocab, &client_rng);
+    auto chain = MixTransitions(global, habit, options.style_strength);
+    const int64_t length = std::max<int64_t>(
+        options.context + 8,
+        static_cast<int64_t>(client_rng.Lognormal(
+            std::log(static_cast<double>(options.mean_text_length)), 0.4)));
+    auto text = SampleText(chain, length, options.temperature, &client_rng);
+    fed.clients[c] = Split(TextToExamples(text, options.vocab,
+                                          options.context),
+                           options.train_frac, options.val_frac,
+                           &client_rng);
+  }
+
+  // Server test: style-neutral text from the global chain.
+  Rng test_rng = rng.Fork(0x5AFE);
+  auto text = SampleText(global,
+                         options.server_test_size + options.context,
+                         options.temperature, &test_rng);
+  fed.server_test =
+      TextToExamples(text, options.vocab, options.context);
+  return fed;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,33 @@
+#ifndef FEDSCOPE_DATA_SYNTHETIC_SHAKESPEARE_H_
+#define FEDSCOPE_DATA_SYNTHETIC_SHAKESPEARE_H_
+
+#include "fedscope/data/dataset.h"
+
+namespace fedscope {
+
+/// Laptop-scale stand-in for the Shakespeare next-character-prediction
+/// dataset (LEAF partitions the play by *speaking role*): text is drawn
+/// from a global character-level Markov chain, each client ("role") mixes
+/// in its own private transition habits, and the task is predicting the
+/// next character from a one-hot window of the previous `context` ones.
+/// Preserves what the benchmark exercises: sequence structure shared
+/// across clients plus per-client stylistic skew.
+struct SyntheticShakespeareOptions {
+  int num_clients = 30;
+  int64_t vocab = 16;          // character alphabet size
+  int64_t context = 3;         // characters of context (input = context*vocab)
+  int64_t mean_text_length = 120;  // characters per client corpus
+  double style_strength = 0.4; // mix of the client's private transitions
+  double temperature = 1.0;    // sampling temperature of the chain
+  double train_frac = 0.7;
+  double val_frac = 0.1;
+  int64_t server_test_size = 512;
+  uint64_t seed = 6;
+};
+
+FedDataset MakeSyntheticShakespeare(
+    const SyntheticShakespeareOptions& options);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_DATA_SYNTHETIC_SHAKESPEARE_H_

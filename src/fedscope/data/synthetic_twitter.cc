@@ -1,0 +1,96 @@
+#include "fedscope/data/synthetic_twitter.h"
+
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+/// Power-law (zipf-like) weights over the vocabulary, randomly permuted so
+/// each distribution emphasizes different words.
+std::vector<double> MakeWordDistribution(int64_t vocab, Rng* rng) {
+  std::vector<double> weights(vocab);
+  auto perm = rng->Permutation(vocab);
+  for (int64_t i = 0; i < vocab; ++i) {
+    weights[perm[i]] = 1.0 / std::pow(static_cast<double>(i + 1), 1.1);
+  }
+  return weights;
+}
+
+std::vector<double> Mix(const std::vector<double>& a,
+                        const std::vector<double>& b, double t) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = (1.0 - t) * a[i] + t * b[i];
+  }
+  return out;
+}
+
+/// One BoW text of class `y`: word counts normalized by text length.
+Tensor MakeText(const std::vector<double>& dist, int64_t vocab,
+                int64_t mean_words, Rng* rng) {
+  Tensor x({vocab});
+  const int64_t len =
+      std::max<int64_t>(4, mean_words + rng->UniformInt(-mean_words / 2,
+                                                        mean_words / 2));
+  for (int64_t w = 0; w < len; ++w) {
+    x.at(rng->Categorical(dist)) += 1.0f;
+  }
+  for (int64_t i = 0; i < vocab; ++i) {
+    x.at(i) /= static_cast<float>(len);
+  }
+  return x;
+}
+
+}  // namespace
+
+FedDataset MakeSyntheticTwitter(const SyntheticTwitterOptions& options) {
+  Rng rng(options.seed);
+  // Global per-sentiment word distributions.
+  auto positive = MakeWordDistribution(options.vocab, &rng);
+  auto negative = MakeWordDistribution(options.vocab, &rng);
+
+  FedDataset fed;
+  fed.clients.resize(options.num_clients);
+  for (int c = 0; c < options.num_clients; ++c) {
+    Rng client_rng = rng.Fork(static_cast<uint64_t>(c) + 1);
+    auto user_habit = MakeWordDistribution(options.vocab, &client_rng);
+    auto user_pos =
+        Mix(positive, user_habit, options.user_style_strength);
+    auto user_neg =
+        Mix(negative, user_habit, options.user_style_strength);
+    // Power-law text count: most users have few texts.
+    const double u = client_rng.Uniform();
+    const int64_t n = options.min_texts +
+                      static_cast<int64_t>((options.max_texts -
+                                            options.min_texts) *
+                                           u * u * u);
+    Dataset data;
+    data.x = Tensor({n, options.vocab});
+    data.labels.resize(n);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t y = client_rng.Bernoulli(0.5) ? 1 : 0;
+      data.labels[i] = y;
+      data.x.SetSlice(i, MakeText(y == 1 ? user_pos : user_neg, options.vocab,
+                                  options.words_per_text, &client_rng));
+    }
+    fed.clients[c] =
+        Split(data, options.train_frac, options.val_frac, &client_rng);
+  }
+
+  Rng test_rng = rng.Fork(0x7417);
+  Dataset test;
+  test.x = Tensor({options.server_test_size, options.vocab});
+  test.labels.resize(options.server_test_size);
+  for (int64_t i = 0; i < options.server_test_size; ++i) {
+    const int64_t y = test_rng.Bernoulli(0.5) ? 1 : 0;
+    test.labels[i] = y;
+    test.x.SetSlice(i, MakeText(y == 1 ? positive : negative, options.vocab,
+                                options.words_per_text, &test_rng));
+  }
+  fed.server_test = std::move(test);
+  return fed;
+}
+
+}  // namespace fedscope

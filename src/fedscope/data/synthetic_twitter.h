@@ -1,0 +1,30 @@
+#ifndef FEDSCOPE_DATA_SYNTHETIC_TWITTER_H_
+#define FEDSCOPE_DATA_SYNTHETIC_TWITTER_H_
+
+#include "fedscope/data/dataset.h"
+
+namespace fedscope {
+
+/// Laptop-scale stand-in for the Twitter sentiment dataset (DESIGN.md §2):
+/// bag-of-words texts with a power-law vocabulary, two sentiment classes
+/// with distinct word distributions, per-user topic mixtures, and highly
+/// variable (power-law-ish) per-user text counts — matching the model
+/// family (logistic regression on BoW) and heterogeneity style of §5.2.
+struct SyntheticTwitterOptions {
+  int num_clients = 200;
+  int64_t vocab = 60;            // embedding_size stand-in
+  int64_t words_per_text = 20;   // mean tokens per text
+  int64_t min_texts = 2;         // min texts per user
+  int64_t max_texts = 16;        // max texts per user (power-law between)
+  double user_style_strength = 0.4;  // mix of user-specific word habits
+  double train_frac = 0.6;
+  double val_frac = 0.2;
+  int64_t server_test_size = 512;
+  uint64_t seed = 3;
+};
+
+FedDataset MakeSyntheticTwitter(const SyntheticTwitterOptions& options);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_DATA_SYNTHETIC_TWITTER_H_

@@ -1,0 +1,113 @@
+#include "fedscope/hpo/fedex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+FedExPolicy::FedExPolicy(std::vector<Config> arms, double step_size,
+                         uint64_t seed)
+    : arms_(std::move(arms)),
+      log_weights_(arms_.size(), 0.0),
+      probs_(arms_.size(), 1.0 / std::max<size_t>(arms_.size(), 1)),
+      step_size_(step_size),
+      rng_(seed) {
+  FS_CHECK(!arms_.empty());
+}
+
+void FedExPolicy::Normalize() {
+  const double max_log =
+      *std::max_element(log_weights_.begin(), log_weights_.end());
+  double total = 0.0;
+  for (size_t a = 0; a < log_weights_.size(); ++a) {
+    probs_[a] = std::exp(log_weights_[a] - max_log);
+    total += probs_[a];
+  }
+  for (auto& p : probs_) p /= total;
+  // Epsilon floor keeps every arm explorable (importance weights bounded).
+  const double eps = 0.01 / probs_.size();
+  double renorm = 0.0;
+  for (auto& p : probs_) {
+    p = std::max(p, eps);
+    renorm += p;
+  }
+  for (auto& p : probs_) p /= renorm;
+}
+
+Server::ConfigProvider FedExPolicy::MakeConfigProvider() {
+  return [this](int client_id, int /*round*/) {
+    const int arm = static_cast<int>(rng_.Categorical(probs_));
+    arm_of_client_[client_id] = arm;
+    return arms_[arm];
+  };
+}
+
+Server::FeedbackConsumer FedExPolicy::MakeFeedbackConsumer() {
+  return [this](int client_id, int /*round*/, const Payload& payload) {
+    auto it = arm_of_client_.find(client_id);
+    if (it == arm_of_client_.end()) return;
+    if (!payload.HasScalar("val_loss_after")) return;
+    // Cost = post-training validation loss (lower is better).
+    const double cost = payload.GetDouble("val_loss_after", 0.0);
+    Update(it->second, cost);
+    arm_of_client_.erase(it);
+  };
+}
+
+void FedExPolicy::Update(int arm, double cost) {
+  // Running-mean baseline reduces the variance of the importance-weighted
+  // gradient estimate.
+  ++num_updates_;
+  baseline_ += (cost - baseline_) / num_updates_;
+  const double advantage = cost - baseline_;
+  const double grad = advantage / std::max(probs_[arm], 1e-6);
+  log_weights_[arm] -= step_size_ * grad;
+  // Guard against drift.
+  const double cap = 50.0;
+  for (auto& w : log_weights_) w = std::clamp(w, -cap, cap);
+  Normalize();
+}
+
+const Config& FedExPolicy::BestArm() const {
+  return arms_[best_arm_index()];
+}
+
+int FedExPolicy::best_arm_index() const {
+  return static_cast<int>(
+      std::max_element(probs_.begin(), probs_.end()) - probs_.begin());
+}
+
+std::vector<Config> FedExPolicy::SampleArms(const SearchSpace& space,
+                                            int num_arms, Rng* rng) {
+  std::vector<Config> arms;
+  arms.reserve(num_arms);
+  for (int a = 0; a < num_arms; ++a) arms.push_back(space.Sample(rng));
+  return arms;
+}
+
+HpoResult RunFedExWrapped(const SearchSpace& wrapper_space,
+                          const SearchSpace& client_space, int num_arms,
+                          const FedExCourseRunner& runner, int wrapper_trials,
+                          int budget_rounds, double step_size, Rng* rng) {
+  HpoResult result;
+  double spent = 0.0;
+  for (int trial = 0; trial < wrapper_trials; ++trial) {
+    Config wrapper_config = wrapper_space.Sample(rng);
+    FedExPolicy policy(
+        FedExPolicy::SampleArms(client_space, num_arms, rng), step_size,
+        rng->Next());
+    FedExCourseResult course =
+        runner(wrapper_config, &policy, budget_rounds);
+    spent += budget_rounds;
+    // Record the wrapper config merged with FedEx's chosen arm.
+    Config merged = wrapper_config;
+    merged.Merge(policy.BestArm());
+    RecordTrial(&result, spent, merged, course.val_loss,
+                course.test_accuracy);
+  }
+  return result;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,79 @@
+#ifndef FEDSCOPE_HPO_FEDEX_H_
+#define FEDSCOPE_HPO_FEDEX_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "fedscope/core/server.h"
+#include "fedscope/hpo/search_space.h"
+
+namespace fedscope {
+
+/// FedEx (Khodak et al., NeurIPS'21) — the Federated-HPO method of §4.3:
+/// instead of treating a whole FL course as one black-box evaluation,
+/// client-wise configurations are *explored concurrently within a single
+/// FL round*. The policy keeps a distribution over a finite set of
+/// candidate configurations ("arms"); each sampled client draws an arm,
+/// re-specifies its native configuration (Figure 8), trains, and returns
+/// validation feedback. The policy is updated by exponentiated gradient
+/// with importance weighting.
+///
+/// Installed into a Server through the ConfigProvider / FeedbackConsumer
+/// plug-in hooks.
+class FedExPolicy {
+ public:
+  /// `arms` use hpo.* config keys (hpo.lr, hpo.local_steps, ...), which
+  /// clients understand natively. `step_size` is the exponentiated-
+  /// gradient learning rate.
+  FedExPolicy(std::vector<Config> arms, double step_size, uint64_t seed);
+
+  /// Hook for Server::set_config_provider.
+  Server::ConfigProvider MakeConfigProvider();
+  /// Hook for Server::set_feedback_consumer.
+  Server::FeedbackConsumer MakeFeedbackConsumer();
+
+  const std::vector<double>& probabilities() const { return probs_; }
+  /// The currently most-probable arm.
+  const Config& BestArm() const;
+  int best_arm_index() const;
+  int num_updates() const { return num_updates_; }
+
+  /// Builds `num_arms` arms by sampling a client-side search space.
+  static std::vector<Config> SampleArms(const SearchSpace& space,
+                                        int num_arms, Rng* rng);
+
+ private:
+  void Update(int arm, double cost);
+  void Normalize();
+
+  std::vector<Config> arms_;
+  std::vector<double> log_weights_;
+  std::vector<double> probs_;
+  double step_size_;
+  Rng rng_;
+  std::map<int, int> arm_of_client_;  // last arm handed to each client
+  double baseline_ = 0.0;
+  int num_updates_ = 0;
+};
+
+/// Result of one FedEx-instrumented FL course (provided by the caller,
+/// who owns the FedRunner wiring).
+struct FedExCourseResult {
+  double val_loss = 0.0;
+  double test_accuracy = 0.0;
+};
+using FedExCourseRunner = std::function<FedExCourseResult(
+    const Config& wrapper_config, FedExPolicy* policy, int budget_rounds)>;
+
+/// "FedEx wrapped by RS" (Figure 14): the wrapper (random search) proposes
+/// server-side configurations; for each, a full FL course runs with FedEx
+/// exploring the client-side space concurrently.
+HpoResult RunFedExWrapped(const SearchSpace& wrapper_space,
+                          const SearchSpace& client_space, int num_arms,
+                          const FedExCourseRunner& runner, int wrapper_trials,
+                          int budget_rounds, double step_size, Rng* rng);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_HPO_FEDEX_H_

@@ -1,0 +1,49 @@
+#include "fedscope/hpo/fl_objective.h"
+
+#include "fedscope/core/trainer.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+FlObjective::FlObjective(std::function<FedJob()> job_factory,
+                         uint64_t split_seed)
+    : job_factory_(std::move(job_factory)), split_seed_(split_seed) {}
+
+void FlObjective::EnsureSplit(const FedJob& job) {
+  if (split_done_) return;
+  Rng rng(split_seed_);
+  const Dataset& pool = job.data->server_test;
+  auto perm = rng.Permutation(pool.size());
+  const int64_t half = pool.size() / 2;
+  val_half_ = pool.Subset(
+      std::vector<int64_t>(perm.begin(), perm.begin() + half));
+  test_half_ =
+      pool.Subset(std::vector<int64_t>(perm.begin() + half, perm.end()));
+  split_done_ = true;
+}
+
+HpoObjective::Outcome FlObjective::Evaluate(const Config& config,
+                                            int budget_rounds,
+                                            const Model* warm_start) {
+  FedJob job = job_factory_();
+  EnsureSplit(job);
+  job.client.train = TrainConfig::FromConfig(config, job.client.train);
+  job.server.max_rounds = budget_rounds;
+  job.server.target_accuracy = 0.0;
+  job.server.eval_interval = std::max(budget_rounds, 1);  // eval at the end
+  if (warm_start != nullptr) {
+    job.init_model = *warm_start;
+  }
+  FedRunner runner(std::move(job));
+  RunResult run = runner.Run();
+  total_rounds_ += run.server.rounds;
+
+  Outcome outcome;
+  outcome.val_loss = EvaluateClassifier(&run.final_model, val_half_).loss;
+  outcome.test_accuracy =
+      EvaluateClassifier(&run.final_model, test_half_).accuracy;
+  outcome.checkpoint = std::move(run.final_model);
+  return outcome;
+}
+
+}  // namespace fedscope

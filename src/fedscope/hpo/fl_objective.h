@@ -1,0 +1,46 @@
+#ifndef FEDSCOPE_HPO_FL_OBJECTIVE_H_
+#define FEDSCOPE_HPO_FL_OBJECTIVE_H_
+
+#include <functional>
+
+#include "fedscope/core/fed_runner.h"
+#include "fedscope/hpo/search_space.h"
+
+namespace fedscope {
+
+/// HpoObjective backed by a real FL course: each Evaluate call applies the
+/// sampled config to a FedJob template (train.* keys override the client
+/// training configuration), runs `budget_rounds` rounds — warm-starting
+/// from a checkpoint model when given — and reports validation loss and
+/// test accuracy of the resulting global model.
+///
+/// The server-side test set is split once into a validation half (the HPO
+/// target) and a test half (reported only), so methods can never overfit
+/// the reported metric.
+class FlObjective : public HpoObjective {
+ public:
+  /// `job_factory` builds a fresh FedJob (the dataset pointer must stay
+  /// valid). The runner mutates seeds/rounds per evaluation.
+  explicit FlObjective(std::function<FedJob()> job_factory,
+                       uint64_t split_seed = 17);
+
+  Outcome Evaluate(const Config& config, int budget_rounds,
+                   const Model* warm_start) override;
+
+  /// Total FL rounds executed across all evaluations.
+  int64_t total_rounds() const { return total_rounds_; }
+
+ private:
+  void EnsureSplit(const FedJob& job);
+
+  std::function<FedJob()> job_factory_;
+  uint64_t split_seed_;
+  bool split_done_ = false;
+  Dataset val_half_;
+  Dataset test_half_;
+  int64_t total_rounds_ = 0;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_HPO_FL_OBJECTIVE_H_

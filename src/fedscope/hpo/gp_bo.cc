@@ -1,0 +1,158 @@
+#include "fedscope/hpo/gp_bo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+bool CholeskyFactor(std::vector<double>* a, int n) {
+  std::vector<double>& m = *a;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = m[i * n + j];
+      for (int k = 0; k < j; ++k) sum -= m[i * n + k] * m[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        m[i * n + j] = std::sqrt(sum);
+      } else {
+        m[i * n + j] = sum / m[j * n + j];
+      }
+    }
+    for (int j = i + 1; j < n; ++j) m[i * n + j] = 0.0;
+  }
+  return true;
+}
+
+std::vector<double> CholeskySolve(const std::vector<double>& l, int n,
+                                  std::vector<double> b) {
+  // Forward: L y = b.
+  for (int i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (int k = 0; k < i; ++k) sum -= l[i * n + k] * b[k];
+    b[i] = sum / l[i * n + i];
+  }
+  // Backward: L^T x = y.
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = b[i];
+    for (int k = i + 1; k < n; ++k) sum -= l[k * n + i] * b[k];
+    b[i] = sum / l[i * n + i];
+  }
+  return b;
+}
+
+namespace {
+
+double RbfKernel(const std::vector<double>& a, const std::vector<double>& b,
+                 double length_scale) {
+  double sq = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    const double diff = a[d] - b[d];
+    sq += diff * diff;
+  }
+  return std::exp(-0.5 * sq / (length_scale * length_scale));
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+double NormalPdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+/// GP posterior at x given observations (xs, ys) and the Cholesky factor
+/// of the kernel matrix; alpha = K^{-1} y.
+struct Posterior {
+  double mean;
+  double stddev;
+};
+
+Posterior GpPredict(const std::vector<std::vector<double>>& xs,
+                    const std::vector<double>& alpha,
+                    const std::vector<double>& l_factor, int n,
+                    const std::vector<double>& x, double length_scale,
+                    double y_mean) {
+  std::vector<double> k_star(n);
+  for (int i = 0; i < n; ++i) k_star[i] = RbfKernel(xs[i], x, length_scale);
+  double mean = y_mean;
+  for (int i = 0; i < n; ++i) mean += k_star[i] * alpha[i];
+  // v = L^{-1} k_star (forward substitution only).
+  std::vector<double> v = k_star;
+  for (int i = 0; i < n; ++i) {
+    double sum = v[i];
+    for (int k = 0; k < i; ++k) sum -= l_factor[i * n + k] * v[k];
+    v[i] = sum / l_factor[i * n + i];
+  }
+  double var = 1.0;  // k(x, x) for RBF
+  for (int i = 0; i < n; ++i) var -= v[i] * v[i];
+  return {mean, std::sqrt(std::max(var, 1e-12))};
+}
+
+}  // namespace
+
+HpoResult RunGpBo(const SearchSpace& space, HpoObjective* objective,
+                  const GpBoOptions& options, Rng* rng) {
+  HpoResult result;
+  double spent = 0.0;
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+
+  auto evaluate = [&](const Config& config) {
+    auto outcome = objective->Evaluate(config, options.budget_rounds, nullptr);
+    spent += options.budget_rounds;
+    RecordTrial(&result, spent, config, outcome.val_loss,
+                outcome.test_accuracy);
+    xs.push_back(space.ToUnit(config));
+    ys.push_back(outcome.val_loss);
+  };
+
+  for (int i = 0; i < options.init_points; ++i) {
+    evaluate(space.Sample(rng));
+  }
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const int n = static_cast<int>(xs.size());
+    // Center observations.
+    double y_mean = 0.0;
+    for (double y : ys) y_mean += y;
+    y_mean /= n;
+
+    // K + noise I, factorized.
+    std::vector<double> kernel(n * n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        kernel[i * n + j] = RbfKernel(xs[i], xs[j], options.length_scale);
+      }
+      kernel[i * n + i] += options.noise;
+    }
+    if (!CholeskyFactor(&kernel, n)) {
+      // Degenerate kernel (duplicate points): fall back to random.
+      evaluate(space.Sample(rng));
+      continue;
+    }
+    std::vector<double> centered(n);
+    for (int i = 0; i < n; ++i) centered[i] = ys[i] - y_mean;
+    std::vector<double> alpha = CholeskySolve(kernel, n, centered);
+
+    // Expected improvement over random candidates (minimization).
+    const double best_y = *std::min_element(ys.begin(), ys.end());
+    Config best_candidate;
+    double best_ei = -1.0;
+    for (int c = 0; c < options.acq_candidates; ++c) {
+      Config candidate = space.Sample(rng);
+      Posterior post =
+          GpPredict(xs, alpha, kernel, n, space.ToUnit(candidate),
+                    options.length_scale, y_mean);
+      const double z = (best_y - post.mean) / post.stddev;
+      const double ei =
+          (best_y - post.mean) * NormalCdf(z) + post.stddev * NormalPdf(z);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_candidate = candidate;
+      }
+    }
+    evaluate(best_candidate);
+  }
+  return result;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,39 @@
+#ifndef FEDSCOPE_HPO_GP_BO_H_
+#define FEDSCOPE_HPO_GP_BO_H_
+
+#include "fedscope/hpo/search_space.h"
+
+namespace fedscope {
+
+struct GpBoOptions {
+  /// Random evaluations before the GP takes over.
+  int init_points = 4;
+  /// GP-guided evaluations.
+  int iterations = 8;
+  int budget_rounds = 10;
+  /// RBF kernel length scale on the unit cube.
+  double length_scale = 0.3;
+  /// Observation noise added to the kernel diagonal.
+  double noise = 1e-4;
+  /// Random candidates scored by expected improvement per iteration.
+  int acq_candidates = 256;
+};
+
+/// Bayesian optimization with a Gaussian-process surrogate (RBF kernel,
+/// Cholesky inference) and expected-improvement acquisition — the
+/// "traditional HPO" family of §4.3 that treats a complete FL course as a
+/// black-box function.
+HpoResult RunGpBo(const SearchSpace& space, HpoObjective* objective,
+                  const GpBoOptions& options, Rng* rng);
+
+/// Small dense Cholesky utilities (exposed for testing).
+/// Factorizes the SPD matrix a (n x n, row-major) in place into L (lower).
+/// Returns false if not positive definite.
+bool CholeskyFactor(std::vector<double>* a, int n);
+/// Solves L L^T x = b given the factor from CholeskyFactor.
+std::vector<double> CholeskySolve(const std::vector<double>& l, int n,
+                                  std::vector<double> b);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_HPO_GP_BO_H_

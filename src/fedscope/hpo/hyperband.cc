@@ -1,0 +1,42 @@
+#include "fedscope/hpo/hyperband.h"
+
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+HpoResult RunHyperband(const SearchSpace& space, HpoObjective* objective,
+                       const HyperbandOptions& options, Rng* rng) {
+  FS_CHECK_GE(options.eta, 2);
+  const int s_max = static_cast<int>(
+      std::log(static_cast<double>(options.max_budget)) /
+      std::log(static_cast<double>(options.eta)));
+
+  HpoResult result;
+  double spent = 0.0;
+  for (int s = s_max; s >= 0; --s) {
+    // Bracket s: n configs at initial budget max_budget / eta^s.
+    const int n = static_cast<int>(
+        std::ceil(static_cast<double>(s_max + 1) /
+                  (s + 1) * std::pow(options.eta, s)));
+    ShaOptions sha;
+    sha.eta = options.eta;
+    sha.num_rungs = s + 1;
+    sha.min_budget = std::max(
+        1, options.max_budget /
+               static_cast<int>(std::pow(options.eta, s)));
+    std::vector<Config> configs;
+    configs.reserve(n);
+    for (int i = 0; i < n; ++i) configs.push_back(space.Sample(rng));
+    HpoResult bracket =
+        RunShaOnConfigs(std::move(configs), objective, sha, &spent);
+    for (const auto& event : bracket.trace) {
+      RecordTrial(&result, event.cumulative_budget, event.config,
+                  event.val_loss, event.test_accuracy);
+    }
+  }
+  return result;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,22 @@
+#ifndef FEDSCOPE_HPO_HYPERBAND_H_
+#define FEDSCOPE_HPO_HYPERBAND_H_
+
+#include "fedscope/hpo/search_space.h"
+#include "fedscope/hpo/successive_halving.h"
+
+namespace fedscope {
+
+struct HyperbandOptions {
+  /// Maximum per-configuration budget (rounds) of the final rung.
+  int max_budget = 18;
+  int eta = 3;
+};
+
+/// Hyperband (Li et al., ICLR'17): runs several SHA brackets trading off
+/// the number of configurations against per-configuration budget.
+HpoResult RunHyperband(const SearchSpace& space, HpoObjective* objective,
+                       const HyperbandOptions& options, Rng* rng);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_HPO_HYPERBAND_H_

@@ -1,0 +1,87 @@
+#include "fedscope/hpo/pbt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+/// Multiplicative (log-space) perturbation of continuous dimensions;
+/// categorical/int dims are resampled with probability 0.25.
+Config Perturb(const SearchSpace& space, const Config& config, double factor,
+               Rng* rng) {
+  Config out = config;
+  for (const auto& dim : space.dims()) {
+    using Type = SearchSpace::Dimension::Type;
+    if (dim.type == Type::kDouble) {
+      const double mult = rng->Bernoulli(0.5) ? factor : 1.0 / factor;
+      double v = config.GetDouble(dim.name, dim.lo) * mult;
+      v = std::clamp(v, dim.lo, dim.hi);
+      out.Set(dim.name, v);
+    } else if (rng->Bernoulli(0.25)) {
+      Config fresh = space.Sample(rng);
+      if (dim.type == Type::kInt) {
+        out.Set(dim.name, fresh.GetInt(dim.name, 0));
+      } else {
+        out.Set(dim.name, fresh.GetDouble(dim.name, dim.choices[0]));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+HpoResult RunPbt(const SearchSpace& space, HpoObjective* objective,
+                 const PbtOptions& options, Rng* rng) {
+  FS_CHECK_GE(options.population, 2);
+  struct Member {
+    Config config;
+    Model checkpoint;
+    bool has_checkpoint = false;
+    double val_loss = 1e300;
+    double test_accuracy = 0.0;
+  };
+  std::vector<Member> population(options.population);
+  for (auto& member : population) member.config = space.Sample(rng);
+
+  HpoResult result;
+  double spent = 0.0;
+  for (int step = 0; step < options.num_steps; ++step) {
+    for (auto& member : population) {
+      auto outcome = objective->Evaluate(
+          member.config, options.step_budget,
+          member.has_checkpoint ? &member.checkpoint : nullptr);
+      spent += options.step_budget;
+      member.checkpoint = std::move(outcome.checkpoint);
+      member.has_checkpoint = true;
+      member.val_loss = outcome.val_loss;
+      member.test_accuracy = outcome.test_accuracy;
+      RecordTrial(&result, spent, member.config, outcome.val_loss,
+                  outcome.test_accuracy);
+    }
+    if (step + 1 >= options.num_steps) break;
+
+    // Exploit: bottom copies top; explore: perturb the copied config.
+    std::vector<size_t> order(population.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return population[a].val_loss < population[b].val_loss;
+    });
+    const size_t k = std::max<size_t>(
+        1, static_cast<size_t>(options.exploit_frac * population.size()));
+    for (size_t rank = 0; rank < k && rank + k < order.size(); ++rank) {
+      Member& loser = population[order[order.size() - 1 - rank]];
+      const Member& winner = population[order[rank]];
+      loser.checkpoint = winner.checkpoint;
+      loser.has_checkpoint = winner.has_checkpoint;
+      loser.config =
+          Perturb(space, winner.config, options.perturb_factor, rng);
+    }
+  }
+  return result;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,28 @@
+#ifndef FEDSCOPE_HPO_PBT_H_
+#define FEDSCOPE_HPO_PBT_H_
+
+#include "fedscope/hpo/search_space.h"
+
+namespace fedscope {
+
+struct PbtOptions {
+  int population = 6;
+  /// Rounds of training between exploit/explore steps.
+  int step_budget = 3;
+  int num_steps = 5;
+  /// Bottom fraction replaced by (perturbed) copies of the top fraction.
+  double exploit_frac = 0.3;
+  /// Multiplicative perturbation applied to continuous dims on explore.
+  double perturb_factor = 1.25;
+};
+
+/// Population-based training (Jaderberg/Li et al.): a population of FL
+/// courses trains in parallel; periodically the worst members copy the
+/// checkpoints *and* hyperparameters of the best members, with perturbed
+/// hyperparameters — online HPO built on the checkpoint mechanism of §4.3.
+HpoResult RunPbt(const SearchSpace& space, HpoObjective* objective,
+                 const PbtOptions& options, Rng* rng);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_HPO_PBT_H_

@@ -1,0 +1,32 @@
+#include "fedscope/hpo/random_search.h"
+
+namespace fedscope {
+
+HpoResult RunRandomSearch(const SearchSpace& space, HpoObjective* objective,
+                          int num_trials, int budget_rounds, Rng* rng) {
+  HpoResult result;
+  double spent = 0.0;
+  for (int trial = 0; trial < num_trials; ++trial) {
+    Config config = space.Sample(rng);
+    auto outcome = objective->Evaluate(config, budget_rounds, nullptr);
+    spent += budget_rounds;
+    RecordTrial(&result, spent, config, outcome.val_loss,
+                outcome.test_accuracy);
+  }
+  return result;
+}
+
+HpoResult RunGridSearch(const SearchSpace& space, HpoObjective* objective,
+                        int per_dim, int budget_rounds) {
+  HpoResult result;
+  double spent = 0.0;
+  for (const Config& config : space.Grid(per_dim)) {
+    auto outcome = objective->Evaluate(config, budget_rounds, nullptr);
+    spent += budget_rounds;
+    RecordTrial(&result, spent, config, outcome.val_loss,
+                outcome.test_accuracy);
+  }
+  return result;
+}
+
+}  // namespace fedscope

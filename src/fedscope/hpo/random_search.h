@@ -1,0 +1,20 @@
+#ifndef FEDSCOPE_HPO_RANDOM_SEARCH_H_
+#define FEDSCOPE_HPO_RANDOM_SEARCH_H_
+
+#include "fedscope/hpo/search_space.h"
+
+namespace fedscope {
+
+/// Random search (Bergstra & Bengio): samples `num_trials` configurations
+/// uniformly from the space, evaluating each at full budget. The baseline
+/// wrapper of Figure 14.
+HpoResult RunRandomSearch(const SearchSpace& space, HpoObjective* objective,
+                          int num_trials, int budget_rounds, Rng* rng);
+
+/// Grid search over a full-factorial grid with `per_dim` points.
+HpoResult RunGridSearch(const SearchSpace& space, HpoObjective* objective,
+                        int per_dim, int budget_rounds);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_HPO_RANDOM_SEARCH_H_

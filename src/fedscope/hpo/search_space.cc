@@ -1,0 +1,218 @@
+#include "fedscope/hpo/search_space.h"
+
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+SearchSpace& SearchSpace::AddDouble(const std::string& name, double lo,
+                                    double hi, bool log_scale) {
+  FS_CHECK_LT(lo, hi);
+  if (log_scale) FS_CHECK_GT(lo, 0.0);
+  Dimension dim;
+  dim.type = Dimension::Type::kDouble;
+  dim.name = name;
+  dim.lo = lo;
+  dim.hi = hi;
+  dim.log_scale = log_scale;
+  dims_.push_back(std::move(dim));
+  return *this;
+}
+
+SearchSpace& SearchSpace::AddInt(const std::string& name, int64_t lo,
+                                 int64_t hi) {
+  FS_CHECK_LE(lo, hi);
+  Dimension dim;
+  dim.type = Dimension::Type::kInt;
+  dim.name = name;
+  dim.lo = static_cast<double>(lo);
+  dim.hi = static_cast<double>(hi);
+  dims_.push_back(std::move(dim));
+  return *this;
+}
+
+SearchSpace& SearchSpace::AddCategorical(const std::string& name,
+                                         std::vector<double> choices) {
+  FS_CHECK(!choices.empty());
+  Dimension dim;
+  dim.type = Dimension::Type::kCategorical;
+  dim.name = name;
+  dim.choices = std::move(choices);
+  dims_.push_back(std::move(dim));
+  return *this;
+}
+
+namespace {
+
+void SetDim(Config* config, const SearchSpace::Dimension& dim, double value) {
+  switch (dim.type) {
+    case SearchSpace::Dimension::Type::kDouble:
+      config->Set(dim.name, value);
+      break;
+    case SearchSpace::Dimension::Type::kInt:
+      config->Set(dim.name, static_cast<int64_t>(std::llround(value)));
+      break;
+    case SearchSpace::Dimension::Type::kCategorical:
+      config->Set(dim.name, value);
+      break;
+  }
+}
+
+}  // namespace
+
+Config SearchSpace::Sample(Rng* rng) const {
+  Config config;
+  for (const auto& dim : dims_) {
+    switch (dim.type) {
+      case Dimension::Type::kDouble: {
+        double v;
+        if (dim.log_scale) {
+          v = std::exp(rng->Uniform(std::log(dim.lo), std::log(dim.hi)));
+        } else {
+          v = rng->Uniform(dim.lo, dim.hi);
+        }
+        SetDim(&config, dim, v);
+        break;
+      }
+      case Dimension::Type::kInt:
+        SetDim(&config, dim,
+               static_cast<double>(rng->UniformInt(
+                   static_cast<int64_t>(dim.lo),
+                   static_cast<int64_t>(dim.hi))));
+        break;
+      case Dimension::Type::kCategorical:
+        SetDim(&config, dim,
+               dim.choices[rng->UniformInt(0, dim.choices.size() - 1)]);
+        break;
+    }
+  }
+  return config;
+}
+
+std::vector<Config> SearchSpace::Grid(int per_dim) const {
+  FS_CHECK_GE(per_dim, 1);
+  std::vector<Config> grid{Config()};
+  for (const auto& dim : dims_) {
+    std::vector<double> values;
+    switch (dim.type) {
+      case Dimension::Type::kCategorical:
+        values = dim.choices;
+        break;
+      case Dimension::Type::kInt: {
+        const int64_t lo = static_cast<int64_t>(dim.lo);
+        const int64_t hi = static_cast<int64_t>(dim.hi);
+        const int64_t count =
+            std::min<int64_t>(per_dim, hi - lo + 1);
+        for (int64_t i = 0; i < count; ++i) {
+          values.push_back(static_cast<double>(
+              lo + i * std::max<int64_t>(1, (hi - lo) /
+                                                std::max<int64_t>(
+                                                    1, count - 1))));
+        }
+        break;
+      }
+      case Dimension::Type::kDouble:
+        for (int i = 0; i < per_dim; ++i) {
+          const double t =
+              per_dim == 1 ? 0.5
+                           : static_cast<double>(i) / (per_dim - 1);
+          if (dim.log_scale) {
+            values.push_back(std::exp(std::log(dim.lo) +
+                                      t * (std::log(dim.hi) -
+                                           std::log(dim.lo))));
+          } else {
+            values.push_back(dim.lo + t * (dim.hi - dim.lo));
+          }
+        }
+        break;
+    }
+    std::vector<Config> expanded;
+    expanded.reserve(grid.size() * values.size());
+    for (const auto& base : grid) {
+      for (double v : values) {
+        Config next = base;
+        SetDim(&next, dim, v);
+        expanded.push_back(std::move(next));
+      }
+    }
+    grid = std::move(expanded);
+  }
+  return grid;
+}
+
+std::vector<double> SearchSpace::ToUnit(const Config& config) const {
+  std::vector<double> unit(dims_.size(), 0.5);
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    const auto& dim = dims_[d];
+    const double v = config.GetDouble(dim.name, dim.lo);
+    switch (dim.type) {
+      case Dimension::Type::kCategorical: {
+        // Index position normalized.
+        size_t idx = 0;
+        for (size_t c = 0; c < dim.choices.size(); ++c) {
+          if (dim.choices[c] == v) idx = c;
+        }
+        unit[d] = dim.choices.size() > 1
+                      ? static_cast<double>(idx) / (dim.choices.size() - 1)
+                      : 0.5;
+        break;
+      }
+      default:
+        if (dim.log_scale) {
+          unit[d] = (std::log(v) - std::log(dim.lo)) /
+                    (std::log(dim.hi) - std::log(dim.lo));
+        } else {
+          unit[d] = (v - dim.lo) / (dim.hi - dim.lo);
+        }
+    }
+  }
+  return unit;
+}
+
+Config SearchSpace::FromUnit(const std::vector<double>& unit) const {
+  FS_CHECK_EQ(unit.size(), dims_.size());
+  Config config;
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    const auto& dim = dims_[d];
+    const double t = std::clamp(unit[d], 0.0, 1.0);
+    switch (dim.type) {
+      case Dimension::Type::kCategorical: {
+        const size_t idx = std::min<size_t>(
+            static_cast<size_t>(t * dim.choices.size()),
+            dim.choices.size() - 1);
+        SetDim(&config, dim, dim.choices[idx]);
+        break;
+      }
+      default: {
+        double v;
+        if (dim.log_scale) {
+          v = std::exp(std::log(dim.lo) +
+                       t * (std::log(dim.hi) - std::log(dim.lo)));
+        } else {
+          v = dim.lo + t * (dim.hi - dim.lo);
+        }
+        SetDim(&config, dim, v);
+      }
+    }
+  }
+  return config;
+}
+
+void RecordTrial(HpoResult* result, double budget_spent, const Config& config,
+                 double val_loss, double test_accuracy) {
+  if (val_loss < result->best_val_loss) {
+    result->best_val_loss = val_loss;
+    result->best_config = config;
+    result->best_test_accuracy = test_accuracy;
+  }
+  HpoEvent event;
+  event.cumulative_budget = budget_spent;
+  event.val_loss = val_loss;
+  event.best_seen_val_loss = result->best_val_loss;
+  event.test_accuracy = test_accuracy;
+  event.config = config;
+  result->trace.push_back(std::move(event));
+}
+
+}  // namespace fedscope

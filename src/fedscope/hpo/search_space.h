@@ -1,0 +1,97 @@
+#ifndef FEDSCOPE_HPO_SEARCH_SPACE_H_
+#define FEDSCOPE_HPO_SEARCH_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "fedscope/nn/model.h"
+#include "fedscope/util/config.h"
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+
+/// Hyperparameter search space (auto-tuning plug-in, paper §4.3).
+/// Dimensions map to dotted config keys (e.g. "train.lr"), so a sampled
+/// point is a Config that can be merged onto a client or job configuration.
+class SearchSpace {
+ public:
+  struct Dimension {
+    enum class Type { kDouble, kInt, kCategorical };
+    Type type = Type::kDouble;
+    std::string name;
+    double lo = 0.0, hi = 1.0;
+    bool log_scale = false;
+    std::vector<double> choices;  // kCategorical
+  };
+
+  SearchSpace& AddDouble(const std::string& name, double lo, double hi,
+                         bool log_scale = false);
+  SearchSpace& AddInt(const std::string& name, int64_t lo, int64_t hi);
+  SearchSpace& AddCategorical(const std::string& name,
+                              std::vector<double> choices);
+
+  const std::vector<Dimension>& dims() const { return dims_; }
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+
+  /// Uniform random point (log-uniform on log dimensions).
+  Config Sample(Rng* rng) const;
+
+  /// Full-factorial grid with `per_dim` points per continuous dimension
+  /// (categoricals enumerate their choices).
+  std::vector<Config> Grid(int per_dim) const;
+
+  /// Normalizes a config into [0,1]^d (for GP-based optimization).
+  std::vector<double> ToUnit(const Config& config) const;
+  /// Maps a unit vector back to a Config.
+  Config FromUnit(const std::vector<double>& unit) const;
+
+ private:
+  std::vector<Dimension> dims_;
+};
+
+/// The black-box function HPO methods optimize (lower objective = better).
+/// Budget is measured in FL rounds; `warm_start` (nullable) restores from
+/// a checkpoint — the mechanism behind multi-fidelity methods (§4.3:
+/// "FederatedScope can export the snapshot of a training course to a
+/// corresponding checkpoint, from which another training course can
+/// restore").
+class HpoObjective {
+ public:
+  struct Outcome {
+    /// Validation loss (the optimization target).
+    double val_loss = 0.0;
+    /// Test accuracy of the same model (reported, never optimized on).
+    double test_accuracy = 0.0;
+    /// Checkpoint for restore.
+    Model checkpoint;
+  };
+
+  virtual ~HpoObjective() = default;
+  virtual Outcome Evaluate(const Config& config, int budget_rounds,
+                           const Model* warm_start) = 0;
+};
+
+/// One point on the best-seen curve (what Figure 14 plots).
+struct HpoEvent {
+  double cumulative_budget = 0.0;  // rounds spent so far
+  double val_loss = 0.0;           // this evaluation's result
+  double best_seen_val_loss = 0.0;
+  double test_accuracy = 0.0;
+  Config config;
+};
+
+struct HpoResult {
+  std::vector<HpoEvent> trace;
+  Config best_config;
+  double best_val_loss = 1e300;
+  /// Test accuracy of the best-validation configuration.
+  double best_test_accuracy = 0.0;
+};
+
+/// Appends an evaluation to the result, maintaining best-seen bookkeeping.
+void RecordTrial(HpoResult* result, double budget_spent, const Config& config,
+                 double val_loss, double test_accuracy);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_HPO_SEARCH_SPACE_H_

@@ -1,0 +1,72 @@
+#include "fedscope/hpo/successive_halving.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+HpoResult RunShaOnConfigs(std::vector<Config> configs,
+                          HpoObjective* objective, const ShaOptions& options,
+                          double* budget_spent) {
+  HpoResult result;
+  FS_CHECK(!configs.empty());
+
+  struct Member {
+    Config config;
+    Model checkpoint;
+    bool has_checkpoint = false;
+    double val_loss = 1e300;
+    double test_accuracy = 0.0;
+  };
+  std::vector<Member> population;
+  population.reserve(configs.size());
+  for (auto& config : configs) {
+    Member member;
+    member.config = std::move(config);
+    population.push_back(std::move(member));
+  }
+
+  int budget = options.min_budget;
+  for (int rung = 0; rung < options.num_rungs && !population.empty();
+       ++rung) {
+    for (auto& member : population) {
+      auto outcome = objective->Evaluate(
+          member.config, budget,
+          member.has_checkpoint ? &member.checkpoint : nullptr);
+      *budget_spent += budget;
+      member.checkpoint = std::move(outcome.checkpoint);
+      member.has_checkpoint = true;
+      member.val_loss = outcome.val_loss;
+      member.test_accuracy = outcome.test_accuracy;
+      RecordTrial(&result, *budget_spent, member.config, outcome.val_loss,
+                  outcome.test_accuracy);
+    }
+    if (rung + 1 >= options.num_rungs) break;
+    // Keep the best 1/eta (at least one).
+    std::sort(population.begin(), population.end(),
+              [](const Member& a, const Member& b) {
+                return a.val_loss < b.val_loss;
+              });
+    const size_t keep = std::max<size_t>(
+        1, population.size() / std::max(options.eta, 2));
+    population.resize(keep);
+    budget *= options.eta;
+  }
+  return result;
+}
+
+HpoResult RunSuccessiveHalving(const SearchSpace& space,
+                               HpoObjective* objective,
+                               const ShaOptions& options, Rng* rng) {
+  std::vector<Config> configs;
+  configs.reserve(options.num_configs);
+  for (int i = 0; i < options.num_configs; ++i) {
+    configs.push_back(space.Sample(rng));
+  }
+  double spent = 0.0;
+  return RunShaOnConfigs(std::move(configs), objective, options, &spent);
+}
+
+}  // namespace fedscope

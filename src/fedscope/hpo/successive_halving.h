@@ -1,0 +1,34 @@
+#ifndef FEDSCOPE_HPO_SUCCESSIVE_HALVING_H_
+#define FEDSCOPE_HPO_SUCCESSIVE_HALVING_H_
+
+#include "fedscope/hpo/search_space.h"
+
+namespace fedscope {
+
+struct ShaOptions {
+  /// Initial number of configurations.
+  int num_configs = 9;
+  /// Keep top 1/eta per rung.
+  int eta = 3;
+  /// Budget (rounds) of the first rung; later rungs multiply by eta.
+  int min_budget = 2;
+  /// Number of rungs (num_configs should be ~ eta^(rungs-1)).
+  int num_rungs = 3;
+};
+
+/// Successive halving (SHA, Li et al. Hyperband paper): evaluates many
+/// configurations cheaply, repeatedly keeping the best 1/eta and
+/// continuing them *from their checkpoints* with eta-times the budget —
+/// exercising the checkpoint/restore mechanism of §4.3.
+HpoResult RunSuccessiveHalving(const SearchSpace& space,
+                               HpoObjective* objective,
+                               const ShaOptions& options, Rng* rng);
+
+/// SHA over a caller-provided initial population (used by Hyperband).
+HpoResult RunShaOnConfigs(std::vector<Config> configs,
+                          HpoObjective* objective, const ShaOptions& options,
+                          double* budget_spent);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_HPO_SUCCESSIVE_HALVING_H_

@@ -1,0 +1,31 @@
+#ifndef FEDSCOPE_NN_GRAD_CHECK_H_
+#define FEDSCOPE_NN_GRAD_CHECK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fedscope/nn/loss.h"
+#include "fedscope/nn/model.h"
+
+namespace fedscope {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  int64_t checked = 0;
+};
+
+/// Compares the analytic parameter gradients of `model` under `loss` on
+/// (x, labels) with central finite differences. Only the first
+/// `max_params_per_tensor` entries of each parameter are probed to keep the
+/// cost manageable. Dropout should be disabled (checked in eval-train mode
+/// would break determinism).
+GradCheckResult CheckModelGradients(Model* model, Loss* loss, const Tensor& x,
+                                    const std::vector<int64_t>& labels,
+                                    double epsilon = 1e-3,
+                                    int64_t max_params_per_tensor = 24);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_NN_GRAD_CHECK_H_

@@ -1,0 +1,445 @@
+#include "fedscope/nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedscope/tensor/tensor_ops.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+// He-uniform bound for fan_in inputs.
+float HeBound(int64_t fan_in) {
+  return std::sqrt(6.0f / static_cast<float>(fan_in));
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Linear
+// --------------------------------------------------------------------------
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  const float bound = HeBound(in_features);
+  weight_ = Tensor::Rand({in_features, out_features}, rng, -bound, bound);
+  bias_ = Tensor::Zeros({out_features});
+  weight_grad_ = Tensor::Zeros({in_features, out_features});
+  bias_grad_ = Tensor::Zeros({out_features});
+}
+
+Tensor Linear::Forward(const Tensor& x, bool /*train*/) {
+  FS_CHECK_EQ(x.ndim(), 2);
+  FS_CHECK_EQ(x.dim(1), in_features_);
+  cached_input_ = x;
+  Tensor y = MatMul(x, weight_);
+  for (int64_t i = 0; i < y.dim(0); ++i) {
+    for (int64_t j = 0; j < out_features_; ++j) y.at(i, j) += bias_.at(j);
+  }
+  return y;
+}
+
+Tensor Linear::Backward(const Tensor& grad_out) {
+  FS_CHECK_EQ(grad_out.ndim(), 2);
+  FS_CHECK_EQ(grad_out.dim(1), out_features_);
+  // dW = x^T g, db = colsum(g), dx = g W^T.
+  AddInPlace(&weight_grad_, MatMulTransA(cached_input_, grad_out));
+  for (int64_t i = 0; i < grad_out.dim(0); ++i) {
+    for (int64_t j = 0; j < out_features_; ++j) {
+      bias_grad_.at(j) += grad_out.at(i, j);
+    }
+  }
+  return MatMulTransB(grad_out, weight_);
+}
+
+void Linear::CollectParams(const std::string& prefix,
+                           std::vector<ParamRef>* out) {
+  out->push_back({prefix + ".weight", &weight_, &weight_grad_, true});
+  out->push_back({prefix + ".bias", &bias_, &bias_grad_, true});
+}
+
+std::unique_ptr<Layer> Linear::Clone() const {
+  auto copy = std::unique_ptr<Linear>(new Linear());
+  *copy = *this;
+  return copy;
+}
+
+// --------------------------------------------------------------------------
+// Conv2d
+// --------------------------------------------------------------------------
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+               int64_t padding, Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel_size),
+      padding_(padding) {
+  const float bound = HeBound(in_channels * kernel_size * kernel_size);
+  weight_ = Tensor::Rand({out_channels, in_channels, kernel_size, kernel_size},
+                         rng, -bound, bound);
+  bias_ = Tensor::Zeros({out_channels});
+  weight_grad_ = Tensor::Zeros(weight_.shape());
+  bias_grad_ = Tensor::Zeros({out_channels});
+}
+
+Tensor Conv2d::Forward(const Tensor& x, bool /*train*/) {
+  FS_CHECK_EQ(x.ndim(), 4);
+  FS_CHECK_EQ(x.dim(1), in_channels_);
+  cached_input_ = x;
+  const int64_t batch = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+  const int64_t out_h = in_h + 2 * padding_ - kernel_ + 1;
+  const int64_t out_w = in_w + 2 * padding_ - kernel_ + 1;
+  FS_CHECK_GT(out_h, 0);
+  FS_CHECK_GT(out_w, 0);
+  Tensor y({batch, out_channels_, out_h, out_w});
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          double acc = bias_.at(oc);
+          for (int64_t ic = 0; ic < in_channels_; ++ic) {
+            for (int64_t kh = 0; kh < kernel_; ++kh) {
+              const int64_t ih = oh + kh - padding_;
+              if (ih < 0 || ih >= in_h) continue;
+              for (int64_t kw = 0; kw < kernel_; ++kw) {
+                const int64_t iw = ow + kw - padding_;
+                if (iw < 0 || iw >= in_w) continue;
+                acc += x.at4(n, ic, ih, iw) * weight_.at4(oc, ic, kh, kw);
+              }
+            }
+          }
+          y.at4(n, oc, oh, ow) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const int64_t batch = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
+  const int64_t out_h = grad_out.dim(2), out_w = grad_out.dim(3);
+  Tensor grad_in(x.shape());
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          const float g = grad_out.at4(n, oc, oh, ow);
+          if (g == 0.0f) continue;
+          bias_grad_.at(oc) += g;
+          for (int64_t ic = 0; ic < in_channels_; ++ic) {
+            for (int64_t kh = 0; kh < kernel_; ++kh) {
+              const int64_t ih = oh + kh - padding_;
+              if (ih < 0 || ih >= in_h) continue;
+              for (int64_t kw = 0; kw < kernel_; ++kw) {
+                const int64_t iw = ow + kw - padding_;
+                if (iw < 0 || iw >= in_w) continue;
+                weight_grad_.at4(oc, ic, kh, kw) += g * x.at4(n, ic, ih, iw);
+                grad_in.at4(n, ic, ih, iw) += g * weight_.at4(oc, ic, kh, kw);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2d::CollectParams(const std::string& prefix,
+                           std::vector<ParamRef>* out) {
+  out->push_back({prefix + ".weight", &weight_, &weight_grad_, true});
+  out->push_back({prefix + ".bias", &bias_, &bias_grad_, true});
+}
+
+std::unique_ptr<Layer> Conv2d::Clone() const {
+  auto copy = std::unique_ptr<Conv2d>(new Conv2d());
+  *copy = *this;
+  return copy;
+}
+
+// --------------------------------------------------------------------------
+// ReLU / Tanh
+// --------------------------------------------------------------------------
+
+Tensor ReLU::Forward(const Tensor& x, bool /*train*/) {
+  cached_input_ = x;
+  Tensor y = x;
+  float* p = y.data();
+  for (int64_t i = 0; i < y.numel(); ++i) p[i] = std::max(p[i], 0.0f);
+  return y;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  const float* x = cached_input_.data();
+  float* g = grad_in.data();
+  for (int64_t i = 0; i < grad_in.numel(); ++i) {
+    if (x[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> ReLU::Clone() const {
+  return std::make_unique<ReLU>(*this);
+}
+
+Tensor Tanh::Forward(const Tensor& x, bool /*train*/) {
+  Tensor y = x;
+  float* p = y.data();
+  for (int64_t i = 0; i < y.numel(); ++i) p[i] = std::tanh(p[i]);
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  const float* y = cached_output_.data();
+  float* g = grad_in.data();
+  for (int64_t i = 0; i < grad_in.numel(); ++i) g[i] *= 1.0f - y[i] * y[i];
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Tanh::Clone() const {
+  return std::make_unique<Tanh>(*this);
+}
+
+// --------------------------------------------------------------------------
+// Dropout
+// --------------------------------------------------------------------------
+
+Dropout::Dropout(double rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  FS_CHECK_GE(rate, 0.0);
+  FS_CHECK_LT(rate, 1.0);
+}
+
+Tensor Dropout::Forward(const Tensor& x, bool train) {
+  last_train_ = train;
+  if (!train || rate_ == 0.0) return x;
+  mask_ = Tensor(x.shape());
+  Tensor y = x;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  float* pm = mask_.data();
+  float* py = y.data();
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    if (rng_.Bernoulli(rate_)) {
+      pm[i] = 0.0f;
+      py[i] = 0.0f;
+    } else {
+      pm[i] = keep_scale;
+      py[i] *= keep_scale;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_out) {
+  if (!last_train_ || rate_ == 0.0) return grad_out;
+  return Mul(grad_out, mask_);
+}
+
+std::unique_ptr<Layer> Dropout::Clone() const {
+  return std::make_unique<Dropout>(*this);
+}
+
+// --------------------------------------------------------------------------
+// MaxPool2d
+// --------------------------------------------------------------------------
+
+Tensor MaxPool2d::Forward(const Tensor& x, bool /*train*/) {
+  FS_CHECK_EQ(x.ndim(), 4);
+  in_shape_ = x.shape();
+  const int64_t batch = x.dim(0), channels = x.dim(1);
+  const int64_t in_h = x.dim(2), in_w = x.dim(3);
+  const int64_t out_h = in_h / 2, out_w = in_w / 2;
+  FS_CHECK_GT(out_h, 0);
+  FS_CHECK_GT(out_w, 0);
+  Tensor y({batch, channels, out_h, out_w});
+  argmax_.assign(y.numel(), 0);
+  int64_t out_idx = 0;
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < channels; ++c) {
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_flat = 0;
+          for (int64_t dh = 0; dh < 2; ++dh) {
+            for (int64_t dw = 0; dw < 2; ++dw) {
+              const int64_t ih = oh * 2 + dh, iw = ow * 2 + dw;
+              const int64_t flat =
+                  ((n * channels + c) * in_h + ih) * in_w + iw;
+              if (x.at(flat) > best) {
+                best = x.at(flat);
+                best_flat = flat;
+              }
+            }
+          }
+          y.at(out_idx) = best;
+          argmax_[out_idx] = best_flat;
+          ++out_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::Backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_);
+  for (int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in.at(argmax_[i]) += grad_out.at(i);
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> MaxPool2d::Clone() const {
+  return std::make_unique<MaxPool2d>(*this);
+}
+
+// --------------------------------------------------------------------------
+// Flatten
+// --------------------------------------------------------------------------
+
+Tensor Flatten::Forward(const Tensor& x, bool /*train*/) {
+  in_shape_ = x.shape();
+  return x.Reshape({x.dim(0), x.numel() / x.dim(0)});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_out) {
+  return grad_out.Reshape(in_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::Clone() const {
+  return std::make_unique<Flatten>(*this);
+}
+
+// --------------------------------------------------------------------------
+// BatchNorm
+// --------------------------------------------------------------------------
+
+BatchNorm::BatchNorm(int64_t num_features, double momentum, double eps)
+    : num_features_(num_features), momentum_(momentum), eps_(eps) {
+  gamma_ = Tensor::Full({num_features}, 1.0f);
+  beta_ = Tensor::Zeros({num_features});
+  gamma_grad_ = Tensor::Zeros({num_features});
+  beta_grad_ = Tensor::Zeros({num_features});
+  running_mean_ = Tensor::Zeros({num_features});
+  running_var_ = Tensor::Full({num_features}, 1.0f);
+}
+
+// Iterates a [B, F] or [B, C, H, W] tensor grouped by feature/channel f.
+// Calls fn(f, flat_index) for every element belonging to feature f.
+template <typename Fn>
+static void ForEachByFeature(const std::vector<int64_t>& shape,
+                             int64_t num_features, Fn fn) {
+  if (shape.size() == 2) {
+    const int64_t batch = shape[0];
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t f = 0; f < num_features; ++f) {
+        fn(f, n * num_features + f);
+      }
+    }
+  } else {
+    const int64_t batch = shape[0], spatial = shape[2] * shape[3];
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t f = 0; f < num_features; ++f) {
+        const int64_t base = (n * num_features + f) * spatial;
+        for (int64_t s = 0; s < spatial; ++s) fn(f, base + s);
+      }
+    }
+  }
+}
+
+Tensor BatchNorm::Forward(const Tensor& x, bool train) {
+  FS_CHECK(x.ndim() == 2 || x.ndim() == 4) << x.ShapeString();
+  FS_CHECK_EQ(x.dim(1), num_features_);
+  in_shape_ = x.shape();
+  last_train_ = train;
+  const int64_t per_feature = x.numel() / num_features_;
+
+  std::vector<double> mean(num_features_, 0.0), var(num_features_, 0.0);
+  if (train) {
+    ForEachByFeature(x.shape(), num_features_,
+                     [&](int64_t f, int64_t i) { mean[f] += x.at(i); });
+    for (auto& m : mean) m /= static_cast<double>(per_feature);
+    ForEachByFeature(x.shape(), num_features_, [&](int64_t f, int64_t i) {
+      const double d = x.at(i) - mean[f];
+      var[f] += d * d;
+    });
+    for (auto& v : var) v /= static_cast<double>(per_feature);
+    for (int64_t f = 0; f < num_features_; ++f) {
+      running_mean_.at(f) = static_cast<float>(
+          (1.0 - momentum_) * running_mean_.at(f) + momentum_ * mean[f]);
+      running_var_.at(f) = static_cast<float>(
+          (1.0 - momentum_) * running_var_.at(f) + momentum_ * var[f]);
+    }
+  } else {
+    for (int64_t f = 0; f < num_features_; ++f) {
+      mean[f] = running_mean_.at(f);
+      var[f] = running_var_.at(f);
+    }
+  }
+
+  cached_invstd_.assign(num_features_, 0.0);
+  for (int64_t f = 0; f < num_features_; ++f) {
+    cached_invstd_[f] = 1.0 / std::sqrt(var[f] + eps_);
+  }
+  cached_xhat_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  ForEachByFeature(x.shape(), num_features_, [&](int64_t f, int64_t i) {
+    const double xhat = (x.at(i) - mean[f]) * cached_invstd_[f];
+    cached_xhat_.at(i) = static_cast<float>(xhat);
+    y.at(i) = static_cast<float>(gamma_.at(f) * xhat + beta_.at(f));
+  });
+  return y;
+}
+
+Tensor BatchNorm::Backward(const Tensor& grad_out) {
+  const int64_t per_feature = grad_out.numel() / num_features_;
+  std::vector<double> sum_dy(num_features_, 0.0);
+  std::vector<double> sum_dy_xhat(num_features_, 0.0);
+  ForEachByFeature(in_shape_, num_features_, [&](int64_t f, int64_t i) {
+    sum_dy[f] += grad_out.at(i);
+    sum_dy_xhat[f] += grad_out.at(i) * cached_xhat_.at(i);
+  });
+  for (int64_t f = 0; f < num_features_; ++f) {
+    gamma_grad_.at(f) += static_cast<float>(sum_dy_xhat[f]);
+    beta_grad_.at(f) += static_cast<float>(sum_dy[f]);
+  }
+  Tensor grad_in(in_shape_);
+  if (last_train_) {
+    // dx = gamma * invstd * (dy - mean(dy) - xhat * mean(dy*xhat)).
+    const double inv_n = 1.0 / static_cast<double>(per_feature);
+    ForEachByFeature(in_shape_, num_features_, [&](int64_t f, int64_t i) {
+      const double dy = grad_out.at(i);
+      const double dx =
+          gamma_.at(f) * cached_invstd_[f] *
+          (dy - sum_dy[f] * inv_n - cached_xhat_.at(i) * sum_dy_xhat[f] * inv_n);
+      grad_in.at(i) = static_cast<float>(dx);
+    });
+  } else {
+    // Eval mode: running stats are constants.
+    ForEachByFeature(in_shape_, num_features_, [&](int64_t f, int64_t i) {
+      grad_in.at(i) = static_cast<float>(grad_out.at(i) * gamma_.at(f) *
+                                         cached_invstd_[f]);
+    });
+  }
+  return grad_in;
+}
+
+void BatchNorm::CollectParams(const std::string& prefix,
+                              std::vector<ParamRef>* out) {
+  out->push_back({prefix + ".bn.gamma", &gamma_, &gamma_grad_, true});
+  out->push_back({prefix + ".bn.beta", &beta_, &beta_grad_, true});
+  out->push_back(
+      {prefix + ".bn.running_mean", &running_mean_, nullptr, false});
+  out->push_back({prefix + ".bn.running_var", &running_var_, nullptr, false});
+}
+
+std::unique_ptr<Layer> BatchNorm::Clone() const {
+  return std::make_unique<BatchNorm>(*this);
+}
+
+}  // namespace fedscope

@@ -1,0 +1,73 @@
+#include "fedscope/nn/loss.h"
+
+#include <cmath>
+
+#include "fedscope/tensor/tensor_ops.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+double SoftmaxCrossEntropy::Forward(const Tensor& logits,
+                                    const std::vector<int64_t>& labels) {
+  FS_CHECK_EQ(logits.ndim(), 2);
+  FS_CHECK_EQ(logits.dim(0), static_cast<int64_t>(labels.size()));
+  probs_ = Softmax(logits);
+  labels_ = labels;
+  double loss = 0.0;
+  for (int64_t i = 0; i < logits.dim(0); ++i) {
+    FS_CHECK_GE(labels[i], 0);
+    FS_CHECK_LT(labels[i], logits.dim(1));
+    loss -= std::log(std::max(1e-12, (double)probs_.at(i, labels[i])));
+  }
+  return loss / static_cast<double>(logits.dim(0));
+}
+
+Tensor SoftmaxCrossEntropy::Backward() {
+  Tensor grad = probs_;
+  const int64_t batch = grad.dim(0);
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int64_t i = 0; i < batch; ++i) {
+    grad.at(i, labels_[i]) -= 1.0f;
+  }
+  ScaleInPlace(&grad, inv_batch);
+  return grad;
+}
+
+double MseLoss::Forward(const Tensor& output,
+                        const std::vector<int64_t>& labels) {
+  FS_CHECK_EQ(output.ndim(), 2);
+  FS_CHECK_EQ(output.dim(1), 1);
+  FS_CHECK_EQ(output.dim(0), static_cast<int64_t>(labels.size()));
+  output_ = output;
+  labels_ = labels;
+  double loss = 0.0;
+  for (int64_t i = 0; i < output.dim(0); ++i) {
+    const double d = output.at(i, 0) - static_cast<double>(labels[i]);
+    loss += d * d;
+  }
+  return loss / static_cast<double>(output.dim(0));
+}
+
+Tensor MseLoss::Backward() {
+  Tensor grad(output_.shape());
+  const int64_t batch = output_.dim(0);
+  for (int64_t i = 0; i < batch; ++i) {
+    grad.at(i, 0) = static_cast<float>(
+        2.0 * (output_.at(i, 0) - static_cast<double>(labels_[i])) /
+        static_cast<double>(batch));
+  }
+  return grad;
+}
+
+double Accuracy(const Tensor& scores, const std::vector<int64_t>& labels) {
+  FS_CHECK_EQ(scores.dim(0), static_cast<int64_t>(labels.size()));
+  if (labels.empty()) return 0.0;
+  auto preds = ArgmaxRows(scores);
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace fedscope

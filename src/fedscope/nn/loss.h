@@ -1,0 +1,57 @@
+#ifndef FEDSCOPE_NN_LOSS_H_
+#define FEDSCOPE_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fedscope/tensor/tensor.h"
+
+namespace fedscope {
+
+/// Loss functions pair a scalar Forward with a Backward returning the
+/// gradient w.r.t. the model output. Losses are mean-reduced over the batch.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  /// Returns the mean loss over the batch; caches state for Backward.
+  virtual double Forward(const Tensor& output,
+                         const std::vector<int64_t>& labels) = 0;
+  /// Gradient of the mean loss w.r.t. `output`.
+  virtual Tensor Backward() = 0;
+};
+
+/// Softmax + cross-entropy over [batch, classes] logits.
+class SoftmaxCrossEntropy : public Loss {
+ public:
+  double Forward(const Tensor& logits,
+                 const std::vector<int64_t>& labels) override;
+  Tensor Backward() override;
+
+  /// The cached softmax probabilities from the last Forward.
+  const Tensor& probs() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int64_t> labels_;
+};
+
+/// Mean squared error against integer labels interpreted as scalar targets
+/// (used for regression-goal clients in multi-goal FL). Output must be
+/// [batch, 1].
+class MseLoss : public Loss {
+ public:
+  double Forward(const Tensor& output,
+                 const std::vector<int64_t>& labels) override;
+  Tensor Backward() override;
+
+ private:
+  Tensor output_;
+  std::vector<int64_t> labels_;
+};
+
+/// Top-1 accuracy of [batch, classes] scores against labels.
+double Accuracy(const Tensor& scores, const std::vector<int64_t>& labels);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_NN_LOSS_H_

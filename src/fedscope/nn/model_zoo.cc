@@ -1,0 +1,75 @@
+#include "fedscope/nn/model_zoo.h"
+
+#include <memory>
+#include <string>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+Model MakeConvNet2(int64_t in_channels, int64_t image_size, int64_t classes,
+                   int64_t hidden, double dropout, Rng* rng) {
+  FS_CHECK_EQ(image_size % 4, 0) << "two 2x2 pools need size % 4 == 0";
+  Model m;
+  m.Add("conv1", std::make_unique<Conv2d>(in_channels, 8, 3, 1, rng));
+  m.Add("relu1", std::make_unique<ReLU>());
+  m.Add("pool1", std::make_unique<MaxPool2d>());
+  m.Add("conv2", std::make_unique<Conv2d>(8, 16, 3, 1, rng));
+  m.Add("relu2", std::make_unique<ReLU>());
+  m.Add("pool2", std::make_unique<MaxPool2d>());
+  m.Add("flatten", std::make_unique<Flatten>());
+  const int64_t flat = 16 * (image_size / 4) * (image_size / 4);
+  m.Add("fc1", std::make_unique<Linear>(flat, hidden, rng));
+  m.Add("relu3", std::make_unique<ReLU>());
+  if (dropout > 0.0) {
+    m.Add("drop", std::make_unique<Dropout>(dropout, rng->Next()));
+  }
+  m.Add("fc2", std::make_unique<Linear>(hidden, classes, rng));
+  return m;
+}
+
+Model MakeMlp(const std::vector<int64_t>& dims, Rng* rng) {
+  FS_CHECK_GE(dims.size(), 2u);
+  Model m;
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    const std::string idx = std::to_string(i + 1);
+    m.Add("fc" + idx, std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    if (i + 2 < dims.size()) {
+      m.Add("relu" + idx, std::make_unique<ReLU>());
+    }
+  }
+  return m;
+}
+
+Model MakeMlpBn(const std::vector<int64_t>& dims, Rng* rng) {
+  FS_CHECK_GE(dims.size(), 2u);
+  Model m;
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    const std::string idx = std::to_string(i + 1);
+    m.Add("fc" + idx, std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    if (i + 2 < dims.size()) {
+      m.Add("norm" + idx, std::make_unique<BatchNorm>(dims[i + 1]));
+      m.Add("relu" + idx, std::make_unique<ReLU>());
+    }
+  }
+  return m;
+}
+
+Model MakeLogisticRegression(int64_t features, int64_t classes, Rng* rng) {
+  Model m;
+  m.Add("fc", std::make_unique<Linear>(features, classes, rng));
+  return m;
+}
+
+Model MakeBodyHeadMlp(int64_t in_features, int64_t body_hidden,
+                      int64_t head_out, Rng* rng) {
+  Model m;
+  m.Add("body.fc1", std::make_unique<Linear>(in_features, body_hidden, rng));
+  m.Add("body.relu1", std::make_unique<ReLU>());
+  m.Add("body.fc2", std::make_unique<Linear>(body_hidden, body_hidden, rng));
+  m.Add("body.relu2", std::make_unique<ReLU>());
+  m.Add("head.fc", std::make_unique<Linear>(body_hidden, head_out, rng));
+  return m;
+}
+
+}  // namespace fedscope

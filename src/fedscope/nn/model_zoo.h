@@ -1,0 +1,42 @@
+#ifndef FEDSCOPE_NN_MODEL_ZOO_H_
+#define FEDSCOPE_NN_MODEL_ZOO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fedscope/nn/model.h"
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+
+/// The ModelZoo (paper §5.1): off-the-shelf model builders so that users can
+/// "conveniently develop various trainers". All builders take an explicit
+/// Rng for reproducible initialization.
+
+/// Two-conv-layer CNN ("ConvNet2", used for FEMNIST / CIFAR-10 in §5.2):
+/// Conv(k3,p1) -> ReLU -> MaxPool2 -> Conv(k3,p1) -> ReLU -> MaxPool2 ->
+/// Flatten -> Linear(hidden) -> ReLU -> Dropout -> Linear(classes).
+Model MakeConvNet2(int64_t in_channels, int64_t image_size, int64_t classes,
+                   int64_t hidden, double dropout, Rng* rng);
+
+/// Multi-layer perceptron: Linear/ReLU stack ending in a linear head.
+/// `dims` is {in, h1, ..., out}.
+Model MakeMlp(const std::vector<int64_t>& dims, Rng* rng);
+
+/// MLP with BatchNorm after each hidden linear layer (the model family used
+/// to exercise FedBN). `dims` is {in, h1, ..., out}.
+Model MakeMlpBn(const std::vector<int64_t>& dims, Rng* rng);
+
+/// Logistic regression (a single linear layer producing class logits; the
+/// Twitter sentiment model of §5.2).
+Model MakeLogisticRegression(int64_t features, int64_t classes, Rng* rng);
+
+/// Two-part model for multi-goal FL: a shared body (prefix "body.") and a
+/// private task head (prefix "head."). Only "body.*" parameters are
+/// exchanged (paper §3.4.2).
+Model MakeBodyHeadMlp(int64_t in_features, int64_t body_hidden,
+                      int64_t head_out, Rng* rng);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_NN_MODEL_ZOO_H_

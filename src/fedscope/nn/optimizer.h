@@ -1,0 +1,51 @@
+#ifndef FEDSCOPE_NN_OPTIMIZER_H_
+#define FEDSCOPE_NN_OPTIMIZER_H_
+
+#include <map>
+#include <string>
+
+#include "fedscope/nn/model.h"
+
+namespace fedscope {
+
+/// Options for the SGD optimizer. `prox_mu > 0` adds a proximal term
+/// mu * (w - w_center) to the gradient, which implements FedProx local
+/// training and the inner problems of Ditto / pFedMe.
+struct SgdOptions {
+  double lr = 0.1;
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+  double prox_mu = 0.0;
+  /// Per-parameter gradient clipping by global L2 norm; 0 disables.
+  double grad_clip_norm = 0.0;
+};
+
+/// SGD with momentum, weight decay, optional proximal term and gradient
+/// clipping. Operates on a Model's trainable parameters; momentum buffers
+/// are keyed by parameter name so the optimizer survives model reloads.
+class Sgd {
+ public:
+  explicit Sgd(SgdOptions options) : options_(options) {}
+
+  const SgdOptions& options() const { return options_; }
+  void set_lr(double lr) { options_.lr = lr; }
+
+  /// Sets the proximal center (copy of the reference parameters). Pass an
+  /// empty dict to disable.
+  void SetProxCenter(StateDict center) { prox_center_ = std::move(center); }
+
+  /// One optimization step over the model's accumulated gradients.
+  void Step(Model* model);
+
+  /// Clears momentum state.
+  void Reset() { momentum_buffers_.clear(); }
+
+ private:
+  SgdOptions options_;
+  StateDict prox_center_;
+  std::map<std::string, Tensor> momentum_buffers_;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_NN_OPTIMIZER_H_

@@ -1,0 +1,50 @@
+#include "fedscope/personalization/ditto.h"
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+void DittoTrainer::UpdateModel(Model* model, const StateDict& global_shared) {
+  GeneralTrainer::UpdateModel(model, global_shared);
+  received_global_ = global_shared;
+  if (!personal_initialized_) {
+    personal_ = *model;  // personal model starts from the first global
+    personal_initialized_ = true;
+  }
+}
+
+TrainResult DittoTrainer::Train(Model* model, const Dataset& train,
+                                const TrainConfig& config, Rng* rng) {
+  // (1) Global-objective local training — produces the shared update.
+  TrainResult result = GeneralTrainer::Train(model, train, config, rng);
+
+  // (2) Personal-objective training with proximal regularization toward
+  //     the *received* global parameters.
+  if (!personal_initialized_) {
+    personal_ = *model;
+    personal_initialized_ = true;
+  }
+  const int steps =
+      options_.personal_steps > 0 ? options_.personal_steps
+                                  : config.local_steps;
+  if (!train.empty() && steps > 0) {
+    Sgd optimizer(SgdOptions{config.lr, config.momentum, config.weight_decay,
+                             options_.lambda, config.grad_clip});
+    optimizer.SetProxCenter(received_global_);
+    for (int step = 0; step < steps; ++step) {
+      auto idx = SampleBatchIndices(train.size(), config.batch_size, rng);
+      SgdStepOnBatch(&personal_, &optimizer, train.BatchX(idx),
+                     train.BatchY(idx));
+    }
+  }
+  return result;
+}
+
+EvalResult DittoTrainer::Evaluate(Model* model, const Dataset& data) {
+  if (!personal_initialized_) {
+    return GeneralTrainer::Evaluate(model, data);
+  }
+  return EvaluateClassifier(&personal_, data);
+}
+
+}  // namespace fedscope

@@ -1,0 +1,46 @@
+#ifndef FEDSCOPE_PERSONALIZATION_DITTO_H_
+#define FEDSCOPE_PERSONALIZATION_DITTO_H_
+
+#include "fedscope/core/trainer.h"
+
+namespace fedscope {
+
+/// Ditto (Li et al., ICML'21): each client keeps a *personal* model v_m
+/// alongside the global model. Per round, the client (1) trains the global
+/// model normally (that update is what the federation aggregates) and
+/// (2) takes additional SGD steps on the personal model with a proximal
+/// pull lambda/2 * ||v_m - w_global||^2 toward the received global
+/// parameters. Deployment/evaluation uses the personal model.
+///
+/// Per the paper's cost analysis (§5.3.2): same communication as FedAvg,
+/// more local computation (the extra personal steps).
+struct DittoOptions {
+  /// Strength of the proximal pull toward the global model.
+  double lambda = 0.5;
+  /// Personal-model SGD steps per round (defaults to the round's
+  /// local_steps when 0).
+  int personal_steps = 0;
+};
+
+class DittoTrainer : public GeneralTrainer {
+ public:
+  explicit DittoTrainer(DittoOptions options = {}) : options_(options) {}
+
+  void UpdateModel(Model* model, const StateDict& global_shared) override;
+  TrainResult Train(Model* model, const Dataset& train,
+                    const TrainConfig& config, Rng* rng) override;
+  /// Evaluates the personal model.
+  EvalResult Evaluate(Model* model, const Dataset& data) override;
+
+  Model* personal_model() { return &personal_; }
+
+ private:
+  DittoOptions options_;
+  Model personal_;
+  bool personal_initialized_ = false;
+  StateDict received_global_;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_PERSONALIZATION_DITTO_H_

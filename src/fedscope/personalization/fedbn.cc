@@ -1,0 +1,12 @@
+#include "fedscope/personalization/fedbn.h"
+
+namespace fedscope {
+
+NameFilter FedBnShareFilter() { return ExcludeSubstrings({".bn."}); }
+
+void ApplyFedBn(FedJob* job) {
+  job->client.share_filter = FedBnShareFilter();
+  job->server.share_filter = FedBnShareFilter();
+}
+
+}  // namespace fedscope

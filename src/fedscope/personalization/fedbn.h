@@ -1,0 +1,27 @@
+#ifndef FEDSCOPE_PERSONALIZATION_FEDBN_H_
+#define FEDSCOPE_PERSONALIZATION_FEDBN_H_
+
+#include "fedscope/core/fed_runner.h"
+#include "fedscope/nn/model.h"
+
+namespace fedscope {
+
+/// FedBN (Li et al., ICLR'21): personalize by *not* sharing BatchNorm
+/// parameters — each client keeps its own normalization statistics and
+/// affine transform, which absorbs client-specific feature shift. In
+/// fedscope this is purely a share-filter: everything except parameters
+/// whose name contains ".bn." is exchanged.
+///
+/// Per the paper's cost analysis (§5.3.2): FedBN has the same computation
+/// as FedAvg but *lower* communication (BN parameters stay home).
+
+/// The FedBN share filter.
+NameFilter FedBnShareFilter();
+
+/// Configures a FedJob for FedBN: sets the client and server share filters.
+/// The trainer remains the plain GeneralTrainer.
+void ApplyFedBn(FedJob* job);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_PERSONALIZATION_FEDBN_H_

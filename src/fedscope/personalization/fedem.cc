@@ -1,0 +1,193 @@
+#include "fedscope/personalization/fedem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedscope/nn/loss.h"
+#include "fedscope/nn/optimizer.h"
+#include "fedscope/tensor/tensor_ops.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+std::string CompPrefix(int k) { return "comp" + std::to_string(k) + "."; }
+
+/// Mixture probabilities over `data` given component models and weights.
+Tensor MixtureProbs(std::vector<Model>* components,
+                    const std::vector<double>& pi, const Tensor& x) {
+  Tensor mix;
+  for (size_t k = 0; k < components->size(); ++k) {
+    Tensor probs = Softmax((*components)[k].Forward(x, /*train=*/false));
+    if (k == 0) {
+      mix = Scale(probs, static_cast<float>(pi[0]));
+    } else {
+      Axpy(&mix, static_cast<float>(pi[k]), probs);
+    }
+  }
+  return mix;
+}
+
+EvalResult MixtureEvaluate(std::vector<Model>* components,
+                           const std::vector<double>& pi,
+                           const Dataset& data) {
+  EvalResult result;
+  result.num_examples = data.size();
+  if (data.empty()) return result;
+  Tensor mix = MixtureProbs(components, pi, data.x);
+  result.accuracy = Accuracy(mix, data.labels);
+  double loss = 0.0;
+  for (int64_t i = 0; i < mix.dim(0); ++i) {
+    loss -= std::log(std::max(1e-12, (double)mix.at(i, data.labels[i])));
+  }
+  result.loss = loss / static_cast<double>(mix.dim(0));
+  return result;
+}
+
+}  // namespace
+
+Model MakeFedEmGlobalModel(const std::function<Model()>& base_factory,
+                           int k) {
+  Model container;
+  for (int c = 0; c < k; ++c) {
+    Model base = base_factory();
+    for (int layer = 0; layer < base.num_layers(); ++layer) {
+      container.Add(CompPrefix(c) + base.layer_name(layer),
+                    base.layer(layer)->Clone());
+    }
+  }
+  return container;
+}
+
+Server::Evaluator MakeFedEmEvaluator(std::function<Model()> base_factory,
+                                     int k, const Dataset* test) {
+  return [base_factory = std::move(base_factory), k,
+          test](Model* container) {
+    const StateDict state = container->GetStateDict();
+    std::vector<Model> components;
+    components.reserve(k);
+    for (int c = 0; c < k; ++c) {
+      Model component = base_factory();
+      StateDict local;
+      const std::string prefix = CompPrefix(c);
+      for (const auto& [name, tensor] : state) {
+        if (name.rfind(prefix, 0) == 0) {
+          local[name.substr(prefix.size())] = tensor;
+        }
+      }
+      FS_CHECK_OK(component.LoadStateDict(local));
+      components.push_back(std::move(component));
+    }
+    const std::vector<double> uniform(k, 1.0 / k);
+    return MixtureEvaluate(&components, uniform, *test);
+  };
+}
+
+FedEmTrainer::FedEmTrainer(std::function<Model()> base_factory,
+                           FedEmOptions options)
+    : options_(options) {
+  FS_CHECK_GT(options_.num_components, 0);
+  components_.reserve(options_.num_components);
+  for (int k = 0; k < options_.num_components; ++k) {
+    components_.push_back(base_factory());
+  }
+  pi_.assign(options_.num_components, 1.0 / options_.num_components);
+}
+
+void FedEmTrainer::UpdateModel(Model* /*model*/,
+                               const StateDict& global_shared) {
+  for (int k = 0; k < options_.num_components; ++k) {
+    StateDict local;
+    const std::string prefix = CompPrefix(k);
+    for (const auto& [name, tensor] : global_shared) {
+      if (name.rfind(prefix, 0) == 0) {
+        local[name.substr(prefix.size())] = tensor;
+      }
+    }
+    FS_CHECK_OK(components_[k].LoadStateDict(local));
+  }
+}
+
+StateDict FedEmTrainer::GetShareableState(Model* /*model*/,
+                                          const NameFilter& filter) {
+  StateDict out;
+  for (int k = 0; k < options_.num_components; ++k) {
+    for (const auto& [name, tensor] : components_[k].GetStateDict()) {
+      const std::string full = CompPrefix(k) + name;
+      if (filter(full)) out[full] = tensor;
+    }
+  }
+  return out;
+}
+
+std::vector<double> FedEmTrainer::ComponentLosses(int k, const Dataset& data) {
+  Tensor probs = Softmax(components_[k].Forward(data.x, /*train=*/false));
+  std::vector<double> losses(data.size());
+  for (int64_t i = 0; i < data.size(); ++i) {
+    losses[i] =
+        -std::log(std::max(1e-12, (double)probs.at(i, data.labels[i])));
+  }
+  return losses;
+}
+
+TrainResult FedEmTrainer::Train(Model* /*model*/, const Dataset& train,
+                                const TrainConfig& config, Rng* rng) {
+  TrainResult result;
+  result.local_steps = config.local_steps;
+  if (train.empty() || config.local_steps == 0) return result;
+  const int K = options_.num_components;
+
+  // E-step: hard assignment of each local example to its best component.
+  std::vector<std::vector<double>> losses(K);
+  for (int k = 0; k < K; ++k) losses[k] = ComponentLosses(k, train);
+  std::vector<std::vector<int64_t>> assigned(K);
+  for (int64_t i = 0; i < train.size(); ++i) {
+    int best = 0;
+    for (int k = 1; k < K; ++k) {
+      if (losses[k][i] < losses[best][i]) best = k;
+    }
+    assigned[best].push_back(i);
+  }
+
+  // Personal mixture weights with Laplace smoothing.
+  for (int k = 0; k < K; ++k) {
+    pi_[k] = (assigned[k].size() + options_.pi_smoothing) /
+             (train.size() + options_.pi_smoothing * K);
+  }
+
+  // M-step: SGD on each component over its assigned examples.
+  double loss_sum = 0.0;
+  int steps_total = 0;
+  for (int k = 0; k < K; ++k) {
+    if (assigned[k].empty()) continue;
+    Dataset subset = train.Subset(assigned[k]);
+    Sgd optimizer(SgdOptions{config.lr, config.momentum,
+                             config.weight_decay, 0.0, config.grad_clip});
+    for (int step = 0; step < config.local_steps; ++step) {
+      auto idx = SampleBatchIndices(subset.size(), config.batch_size, rng);
+      loss_sum += SgdStepOnBatch(&components_[k], &optimizer,
+                                 subset.BatchX(idx), subset.BatchY(idx));
+      ++steps_total;
+    }
+  }
+  result.mean_loss = steps_total > 0 ? loss_sum / steps_total : 0.0;
+  result.num_samples =
+      static_cast<int64_t>(steps_total) * config.batch_size;
+  return result;
+}
+
+EvalResult FedEmTrainer::Evaluate(Model* /*model*/, const Dataset& data) {
+  return MixtureEvaluate(&components_, pi_, data);
+}
+
+void ApplyFedEm(FedJob* job, std::function<Model()> base_factory,
+                FedEmOptions options) {
+  job->init_model = MakeFedEmGlobalModel(base_factory, options.num_components);
+  job->trainer_factory = [base_factory, options](int) {
+    return std::make_unique<FedEmTrainer>(base_factory, options);
+  };
+  job->evaluator = MakeFedEmEvaluator(base_factory, options.num_components,
+                                      &job->data->server_test);
+}
+
+}  // namespace fedscope

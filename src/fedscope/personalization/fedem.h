@@ -1,0 +1,76 @@
+#ifndef FEDSCOPE_PERSONALIZATION_FEDEM_H_
+#define FEDSCOPE_PERSONALIZATION_FEDEM_H_
+
+#include <functional>
+#include <vector>
+
+#include "fedscope/core/fed_runner.h"
+#include "fedscope/core/server.h"
+#include "fedscope/core/trainer.h"
+
+namespace fedscope {
+
+/// FedEM (Marfoq et al., NeurIPS'21): clients' data distributions are
+/// modelled as mixtures of K shared component distributions. All K
+/// component models are learned federally; each client additionally learns
+/// *personal* mixture weights pi_m. Local training is hard-assignment EM:
+///   E-step: assign each local example to its best-loss component;
+///   M-step: one epoch of SGD per component on its assigned examples;
+///   pi_m <- smoothed assignment frequencies.
+/// Prediction mixes the component softmax outputs with pi_m.
+struct FedEmOptions {
+  int num_components = 3;
+  /// Laplace smoothing of the mixture weights.
+  double pi_smoothing = 0.05;
+};
+
+/// Builds a federation-level "model" physically containing the K component
+/// parameter sets under names "comp<k>.<layer>.<param>". NOTE: this model
+/// is a parameter *container* for aggregation/broadcast only — its
+/// Forward() must not be called (component stacks are concatenated, not
+/// composed). Use MakeFedEmEvaluator for evaluation.
+Model MakeFedEmGlobalModel(const std::function<Model()>& base_factory, int k);
+
+/// Evaluator for the FedEM global state: reconstructs the K component
+/// models from the container's state dict and reports uniform-mixture
+/// accuracy on `test` (the server has no personal pi).
+Server::Evaluator MakeFedEmEvaluator(std::function<Model()> base_factory,
+                                     int k, const Dataset* test);
+
+class FedEmTrainer : public BaseTrainer {
+ public:
+  FedEmTrainer(std::function<Model()> base_factory, FedEmOptions options);
+
+  /// Loads "comp<k>.*" entries into the local component copies. The
+  /// `model` argument (the client's placeholder model) is ignored.
+  void UpdateModel(Model* model, const StateDict& global_shared) override;
+  TrainResult Train(Model* model, const Dataset& train,
+                    const TrainConfig& config, Rng* rng) override;
+  /// Personal-mixture evaluation.
+  EvalResult Evaluate(Model* model, const Dataset& data) override;
+  /// Shares all component parameters (prefixed), regardless of `model`.
+  StateDict GetShareableState(Model* model, const NameFilter& filter) override;
+
+  const std::vector<double>& mixture_weights() const { return pi_; }
+
+ private:
+  /// Per-example losses under component k.
+  std::vector<double> ComponentLosses(int k, const Dataset& data);
+
+  FedEmOptions options_;
+  std::vector<Model> components_;
+  std::vector<double> pi_;
+};
+
+/// Configures a FedJob for FedEM: swaps the init model for the component
+/// container, installs FedEmTrainer on clients and the mixture evaluator on
+/// the server (via the returned evaluator — FedRunner installs a default
+/// classifier evaluator, so call runner.server()->set_evaluator(...) with
+/// this value, or use ApplyFedEm before constructing the runner and then
+/// re-set the evaluator).
+void ApplyFedEm(FedJob* job, std::function<Model()> base_factory,
+                FedEmOptions options);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_PERSONALIZATION_FEDEM_H_

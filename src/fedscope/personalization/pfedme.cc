@@ -1,0 +1,54 @@
+#include "fedscope/personalization/pfedme.h"
+
+#include "fedscope/tensor/tensor_ops.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+TrainResult PFedMeTrainer::Train(Model* model, const Dataset& train,
+                                 const TrainConfig& config, Rng* rng) {
+  TrainResult result;
+  result.local_steps = config.local_steps;
+  if (train.empty() || config.local_steps == 0) return result;
+
+  const double inner_lr =
+      options_.inner_lr > 0.0 ? options_.inner_lr : config.lr;
+  double loss_sum = 0.0;
+
+  for (int outer = 0; outer < config.local_steps; ++outer) {
+    const StateDict w = model->GetStateDict();
+    // Inner loop: theta ~ prox_{f/lambda}(w), warm-started at w.
+    Model theta = *model;
+    Sgd inner(SgdOptions{inner_lr, 0.0, config.weight_decay,
+                         options_.lambda, config.grad_clip});
+    inner.SetProxCenter(w);
+    for (int k = 0; k < options_.inner_steps; ++k) {
+      auto idx = SampleBatchIndices(train.size(), config.batch_size, rng);
+      loss_sum += SgdStepOnBatch(&theta, &inner, train.BatchX(idx),
+                                 train.BatchY(idx));
+    }
+    // Outer update: w <- w - eta * lambda * (w - theta).
+    const StateDict theta_state = theta.GetStateDict();
+    StateDict next_w = w;
+    const float step =
+        static_cast<float>(options_.outer_lr * options_.lambda);
+    SdAxpy(&next_w, -step, w);
+    SdAxpy(&next_w, step, theta_state);
+    FS_CHECK_OK(model->LoadStateDict(next_w));
+
+    personalized_ = std::move(theta);
+    personalized_valid_ = true;
+  }
+  result.mean_loss =
+      loss_sum / (config.local_steps * std::max(options_.inner_steps, 1));
+  result.num_samples = static_cast<int64_t>(config.local_steps) *
+                       options_.inner_steps * config.batch_size;
+  return result;
+}
+
+EvalResult PFedMeTrainer::Evaluate(Model* model, const Dataset& data) {
+  if (!personalized_valid_) return EvaluateClassifier(model, data);
+  return EvaluateClassifier(&personalized_, data);
+}
+
+}  // namespace fedscope

@@ -1,0 +1,42 @@
+#ifndef FEDSCOPE_PERSONALIZATION_PFEDME_H_
+#define FEDSCOPE_PERSONALIZATION_PFEDME_H_
+
+#include "fedscope/core/trainer.h"
+
+namespace fedscope {
+
+/// pFedMe (T. Dinh et al., NeurIPS'20): personalization via Moreau
+/// envelopes. Each outer step approximately solves the proximal problem
+///   theta* = argmin_theta f_m(theta) + (lambda/2) ||theta - w||^2
+/// with K inner SGD steps started from the local copy w of the global
+/// model, then moves w toward theta*:
+///   w <- w - eta_outer * lambda * (w - theta*).
+/// The federation aggregates w; the deployment model is theta*.
+struct PFedMeOptions {
+  double lambda = 1.0;
+  /// Inner SGD steps (K) used to approximate the prox solution.
+  int inner_steps = 3;
+  /// Inner learning rate; 0 -> use the round config's lr.
+  double inner_lr = 0.0;
+  /// Outer step size (eta in the w-update).
+  double outer_lr = 0.05;
+};
+
+class PFedMeTrainer : public BaseTrainer {
+ public:
+  explicit PFedMeTrainer(PFedMeOptions options = {}) : options_(options) {}
+
+  TrainResult Train(Model* model, const Dataset& train,
+                    const TrainConfig& config, Rng* rng) override;
+  /// Evaluates the personalized model theta* from the last round.
+  EvalResult Evaluate(Model* model, const Dataset& data) override;
+
+ private:
+  PFedMeOptions options_;
+  Model personalized_;
+  bool personalized_valid_ = false;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_PERSONALIZATION_PFEDME_H_

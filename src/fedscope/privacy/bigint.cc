@@ -1,0 +1,370 @@
+#include "fedscope/privacy/bigint.h"
+
+#include <algorithm>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+constexpr uint64_t kBase = 1ULL << 32;
+
+}  // namespace
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::FromUint64(uint64_t v) {
+  BigInt out;
+  if (v != 0) {
+    out.limbs_.push_back(static_cast<uint32_t>(v & 0xFFFFFFFFULL));
+    if (v >> 32) out.limbs_.push_back(static_cast<uint32_t>(v >> 32));
+  }
+  return out;
+}
+
+BigInt BigInt::FromHex(const std::string& hex) {
+  BigInt out;
+  for (char c : hex) {
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = 10 + (c - 'a');
+    } else if (c >= 'A' && c <= 'F') {
+      digit = 10 + (c - 'A');
+    } else {
+      FS_LOG(Fatal) << "bad hex digit: " << c;
+      return out;
+    }
+    out = out.ShiftLeft(4);
+    out = Add(out, FromUint64(digit));
+  }
+  return out;
+}
+
+int BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  int bits = static_cast<int>(limbs_.size() - 1) * 32;
+  uint32_t top = limbs_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::GetBit(int i) const {
+  const size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+uint64_t BigInt::ToUint64() const {
+  uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+std::string BigInt::ToHex() const {
+  if (limbs_.empty()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(digits[(limbs_[i] >> shift) & 0xF]);
+    }
+  }
+  const size_t first = out.find_first_not_of('0');
+  return first == std::string::npos ? "0" : out.substr(first);
+}
+
+int BigInt::Compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) {
+      return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt BigInt::Add(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<uint32_t>(sum & 0xFFFFFFFFULL);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<uint32_t>(carry);
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::Sub(const BigInt& a, const BigInt& b) {
+  FS_CHECK_GE(Compare(a, b), 0) << "BigInt::Sub underflow";
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::Mul(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t ai = a.limbs_[i];
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xFFFFFFFFULL);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.limbs_.size();
+    while (carry) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur & 0xFFFFFFFFULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::ShiftLeft(int bits) const {
+  if (IsZero() || bits == 0) return *this;
+  const int limb_shift = bits / 32, bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v & 0xFFFFFFFFULL);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::ShiftRight(int bits) const {
+  if (IsZero() || bits == 0) return *this;
+  const int limb_shift = bits / 32, bit_shift = bits % 32;
+  if (limb_shift >= static_cast<int>(limbs_.size())) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift > 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v & 0xFFFFFFFFULL);
+  }
+  out.Trim();
+  return out;
+}
+
+std::pair<BigInt, BigInt> BigInt::DivMod(const BigInt& a, const BigInt& b) {
+  FS_CHECK(!b.IsZero()) << "BigInt division by zero";
+  if (Compare(a, b) < 0) return {BigInt(), a};
+
+  // Schoolbook long division in base 2: walk a's bits from the top,
+  // shifting the remainder left and subtracting b when possible.
+  BigInt quotient, remainder;
+  const int bits = a.BitLength();
+  quotient.limbs_.assign((bits + 31) / 32, 0);
+  for (int i = bits - 1; i >= 0; --i) {
+    remainder = remainder.ShiftLeft(1);
+    if (a.GetBit(i)) {
+      if (remainder.limbs_.empty()) remainder.limbs_.push_back(0);
+      remainder.limbs_[0] |= 1;
+    }
+    if (Compare(remainder, b) >= 0) {
+      remainder = Sub(remainder, b);
+      quotient.limbs_[i / 32] |= (1U << (i % 32));
+    }
+  }
+  quotient.Trim();
+  remainder.Trim();
+  return {quotient, remainder};
+}
+
+BigInt BigInt::Mod(const BigInt& a, const BigInt& m) {
+  return DivMod(a, m).second;
+}
+
+BigInt BigInt::ModPow(const BigInt& base, const BigInt& exp,
+                      const BigInt& m) {
+  FS_CHECK_GT(m.BitLength(), 1);
+  BigInt result = FromUint64(1);
+  BigInt b = Mod(base, m);
+  const int bits = exp.BitLength();
+  for (int i = 0; i < bits; ++i) {
+    if (exp.GetBit(i)) result = Mod(Mul(result, b), m);
+    b = Mod(Mul(b, b), m);
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  while (!b.IsZero()) {
+    BigInt r = Mod(a, b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::Lcm(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  return DivMod(Mul(a, b), Gcd(a, b)).first;
+}
+
+BigInt BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid with sign tracking: old_s may be negative.
+  BigInt r0 = Mod(a, m), r1 = m;
+  BigInt s0 = FromUint64(1), s1;
+  bool s0_neg = false, s1_neg = false;
+  // Invariants: r0 = ±s0 * a (mod m), r1 = ±s1 * a (mod m).
+  while (!r1.IsZero()) {
+    auto [q, r2] = DivMod(r0, r1);
+    // s2 = s0 - q * s1 (with signs).
+    BigInt qs1 = Mul(q, s1);
+    BigInt s2;
+    bool s2_neg;
+    if (s0_neg == s1_neg) {
+      // s0 and q*s1 have the same sign: subtraction.
+      if (Compare(s0, qs1) >= 0) {
+        s2 = Sub(s0, qs1);
+        s2_neg = s0_neg;
+      } else {
+        s2 = Sub(qs1, s0);
+        s2_neg = !s0_neg;
+      }
+    } else {
+      s2 = Add(s0, qs1);
+      s2_neg = s0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    s0 = std::move(s1);
+    s0_neg = s1_neg;
+    s1 = std::move(s2);
+    s1_neg = s2_neg;
+  }
+  if (Compare(r0, FromUint64(1)) != 0) return BigInt();  // not invertible
+  if (s0_neg) return Sub(m, Mod(s0, m));
+  return Mod(s0, m);
+}
+
+BigInt BigInt::Random(int bits, Rng* rng) {
+  FS_CHECK_GT(bits, 0);
+  BigInt out;
+  out.limbs_.assign((bits + 31) / 32, 0);
+  for (auto& limb : out.limbs_) {
+    limb = static_cast<uint32_t>(rng->Next());
+  }
+  // Clear bits above `bits`, set the top bit.
+  const int top = (bits - 1) % 32;
+  uint32_t mask = (top == 31) ? 0xFFFFFFFFU : ((1U << (top + 1)) - 1);
+  out.limbs_.back() &= mask;
+  out.limbs_.back() |= (1U << top);
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::RandomBelow(const BigInt& bound, Rng* rng) {
+  FS_CHECK(!bound.IsZero());
+  const int bits = bound.BitLength();
+  while (true) {
+    BigInt candidate;
+    candidate.limbs_.assign((bits + 31) / 32, 0);
+    for (auto& limb : candidate.limbs_) {
+      limb = static_cast<uint32_t>(rng->Next());
+    }
+    const int top = (bits - 1) % 32;
+    uint32_t mask = (top == 31) ? 0xFFFFFFFFU : ((1U << (top + 1)) - 1);
+    candidate.limbs_.back() &= mask;
+    candidate.Trim();
+    if (Compare(candidate, bound) < 0) return candidate;
+  }
+}
+
+bool BigInt::IsProbablePrime(const BigInt& n, Rng* rng, int rounds) {
+  if (n.BitLength() <= 1) return false;  // 0, 1
+  const BigInt one = FromUint64(1);
+  const BigInt two = FromUint64(2);
+  if (Compare(n, FromUint64(3)) <= 0) return true;  // 2, 3
+  if (!n.IsOdd()) return false;
+
+  // Quick trial division by small primes.
+  static const uint32_t kSmallPrimes[] = {3,  5,  7,  11, 13, 17, 19, 23,
+                                          29, 31, 37, 41, 43, 47, 53, 59};
+  for (uint32_t p : kSmallPrimes) {
+    BigInt bp = FromUint64(p);
+    if (Compare(n, bp) == 0) return true;
+    if (Mod(n, bp).IsZero()) return false;
+  }
+
+  // n - 1 = d * 2^r with d odd.
+  BigInt n_minus_1 = Sub(n, one);
+  BigInt d = n_minus_1;
+  int r = 0;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++r;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2].
+    BigInt a = Add(two, RandomBelow(Sub(n, FromUint64(4)), rng));
+    BigInt x = ModPow(a, d, n);
+    if (Compare(x, one) == 0 || Compare(x, n_minus_1) == 0) continue;
+    bool witness = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = Mod(Mul(x, x), n);
+      if (Compare(x, n_minus_1) == 0) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::GeneratePrime(int bits, Rng* rng) {
+  FS_CHECK_GE(bits, 4);
+  while (true) {
+    BigInt candidate = Random(bits, rng);
+    if (!candidate.IsOdd()) {
+      candidate = Add(candidate, FromUint64(1));
+      if (candidate.BitLength() != bits) continue;
+    }
+    if (IsProbablePrime(candidate, rng, 16)) return candidate;
+  }
+}
+
+}  // namespace fedscope

@@ -1,0 +1,82 @@
+#ifndef FEDSCOPE_PRIVACY_BIGINT_H_
+#define FEDSCOPE_PRIVACY_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+
+/// Arbitrary-precision unsigned integer — the substrate for the Paillier
+/// homomorphic cryptosystem (paper §4.1). Little-endian base-2^32 limbs.
+/// Supports exactly the operations public-key crypto needs: +, -, *,
+/// divmod, modular exponentiation, gcd/lcm, modular inverse, Miller-Rabin
+/// primality, and random prime generation.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  static BigInt FromUint64(uint64_t v);
+  /// Parses a hexadecimal string (no prefix).
+  static BigInt FromHex(const std::string& hex);
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  /// Number of significant bits (0 for zero).
+  int BitLength() const;
+  bool GetBit(int i) const;
+
+  /// Lowest 64 bits.
+  uint64_t ToUint64() const;
+  std::string ToHex() const;
+
+  // Comparison: -1 / 0 / +1.
+  static int Compare(const BigInt& a, const BigInt& b);
+  bool operator==(const BigInt& other) const {
+    return limbs_ == other.limbs_;
+  }
+  bool operator<(const BigInt& other) const {
+    return Compare(*this, other) < 0;
+  }
+  bool operator<=(const BigInt& other) const {
+    return Compare(*this, other) <= 0;
+  }
+
+  static BigInt Add(const BigInt& a, const BigInt& b);
+  /// a - b; requires a >= b.
+  static BigInt Sub(const BigInt& a, const BigInt& b);
+  static BigInt Mul(const BigInt& a, const BigInt& b);
+  /// Returns {quotient, remainder}; requires b != 0.
+  static std::pair<BigInt, BigInt> DivMod(const BigInt& a, const BigInt& b);
+  static BigInt Mod(const BigInt& a, const BigInt& m);
+
+  BigInt ShiftLeft(int bits) const;
+  BigInt ShiftRight(int bits) const;
+
+  /// (base^exp) mod m, square-and-multiply. Requires m > 1.
+  static BigInt ModPow(const BigInt& base, const BigInt& exp,
+                       const BigInt& m);
+  static BigInt Gcd(BigInt a, BigInt b);
+  static BigInt Lcm(const BigInt& a, const BigInt& b);
+  /// Modular inverse of a mod m; returns zero BigInt if none exists.
+  static BigInt ModInverse(const BigInt& a, const BigInt& m);
+
+  /// Uniformly random integer with exactly `bits` bits (top bit set).
+  static BigInt Random(int bits, Rng* rng);
+  /// Uniformly random integer in [0, bound).
+  static BigInt RandomBelow(const BigInt& bound, Rng* rng);
+  /// Miller-Rabin with `rounds` random bases.
+  static bool IsProbablePrime(const BigInt& n, Rng* rng, int rounds = 20);
+  /// Random probable prime with exactly `bits` bits.
+  static BigInt GeneratePrime(int bits, Rng* rng);
+
+ private:
+  void Trim();
+  std::vector<uint32_t> limbs_;  // little-endian, no trailing zeros
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_PRIVACY_BIGINT_H_

@@ -1,0 +1,74 @@
+#include "fedscope/privacy/dp.h"
+
+#include <cmath>
+
+#include "fedscope/tensor/tensor_ops.h"
+#include "fedscope/util/config.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+DpOptions DpOptions::FromConfig(const Config& config) {
+  return FromConfig(config, DpOptions());
+}
+
+DpOptions DpOptions::FromConfig(const Config& config, DpOptions base) {
+  base.enable = config.GetBool("dp.enable", base.enable);
+  base.clip_norm = config.GetDouble("dp.clip_norm", base.clip_norm);
+  base.noise_multiplier =
+      config.GetDouble("dp.noise_multiplier", base.noise_multiplier);
+  base.mechanism = config.GetString("dp.mechanism", base.mechanism);
+  return base;
+}
+
+double ApplyDpToDelta(StateDict* delta, const DpOptions& options, Rng* rng) {
+  if (!options.enable) return 0.0;
+  FS_CHECK_GT(options.clip_norm, 0.0);
+
+  // Global L2 clip across the whole update.
+  double sq = 0.0;
+  for (const auto& [name, tensor] : *delta) sq += SquaredNorm(tensor);
+  const double norm = std::sqrt(sq);
+  if (norm > options.clip_norm) {
+    const float scale = static_cast<float>(options.clip_norm / norm);
+    for (auto& [name, tensor] : *delta) ScaleInPlace(&tensor, scale);
+  }
+
+  const double sigma = options.noise_multiplier * options.clip_norm;
+  if (sigma > 0.0) {
+    const bool laplace = options.mechanism == "laplace";
+    for (auto& [name, tensor] : *delta) {
+      for (int64_t i = 0; i < tensor.numel(); ++i) {
+        double noise;
+        if (laplace) {
+          // Laplace(b = sigma / sqrt(2)) has stddev sigma.
+          const double b = sigma / std::sqrt(2.0);
+          const double u = rng->Uniform() - 0.5;
+          noise = -b * std::copysign(1.0, u) *
+                  std::log(1.0 - 2.0 * std::fabs(u) + 1e-300);
+        } else {
+          noise = rng->Normal(0.0, sigma);
+        }
+        tensor.at(i) += static_cast<float>(noise);
+      }
+    }
+  }
+  return norm;
+}
+
+double GaussianEpsilon(double noise_multiplier, int steps, double delta) {
+  FS_CHECK_GT(noise_multiplier, 0.0);
+  FS_CHECK_GT(delta, 0.0);
+  FS_CHECK_GT(steps, 0);
+  // Single-release epsilon for the Gaussian mechanism:
+  //   eps_1 = sqrt(2 ln(1.25/delta)) / z
+  // composed over `steps` releases with strong composition:
+  //   eps ~= sqrt(2 k ln(1/delta')) eps_1 + k eps_1 (e^{eps_1} - 1)
+  const double eps1 =
+      std::sqrt(2.0 * std::log(1.25 / delta)) / noise_multiplier;
+  const double k = static_cast<double>(steps);
+  return std::sqrt(2.0 * k * std::log(1.0 / delta)) * eps1 +
+         k * eps1 * (std::exp(eps1) - 1.0);
+}
+
+}  // namespace fedscope

@@ -1,0 +1,42 @@
+#ifndef FEDSCOPE_PRIVACY_DP_H_
+#define FEDSCOPE_PRIVACY_DP_H_
+
+#include "fedscope/nn/model.h"
+#include "fedscope/util/config.h"
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+
+/// Differential-privacy behaviour plug-in (paper §4.1, Figure 6): before a
+/// client shares its model update, the update is clipped to a maximum L2
+/// norm and perturbed with calibrated noise. Enabled per client via
+/// configuration, which is how Figure 13 varies the percentage of
+/// protected clients.
+struct DpOptions {
+  bool enable = false;
+  /// L2 clipping bound applied to the whole update.
+  double clip_norm = 1.0;
+  /// Noise multiplier z: per-coordinate sigma = z * clip_norm.
+  double noise_multiplier = 0.0;
+  /// "gaussian" or "laplace".
+  std::string mechanism = "gaussian";
+
+  /// Reads dp.* keys from a Config (dp.enable, dp.clip_norm,
+  /// dp.noise_multiplier, dp.mechanism).
+  static DpOptions FromConfig(const Config& config);
+  static DpOptions FromConfig(const Config& config, DpOptions base);
+};
+
+/// Clips `delta` to options.clip_norm and adds noise; no-op when disabled.
+/// Returns the pre-clip norm (0 when disabled).
+double ApplyDpToDelta(StateDict* delta, const DpOptions& options, Rng* rng);
+
+/// Simple moments-accountant-lite: epsilon for the Gaussian mechanism after
+/// `steps` compositions at noise multiplier z and target delta
+/// (strong-composition bound; advisory, as the paper notes users must pick
+/// budgets for formal guarantees).
+double GaussianEpsilon(double noise_multiplier, int steps, double delta);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_PRIVACY_DP_H_

@@ -1,0 +1,131 @@
+#include "fedscope/privacy/paillier.h"
+
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+Paillier::KeyPair Paillier::GenerateKeys(int modulus_bits, Rng* rng) {
+  FS_CHECK_GE(modulus_bits, 16);
+  const int prime_bits = modulus_bits / 2;
+  const BigInt one = BigInt::FromUint64(1);
+  BigInt p, q, n;
+  while (true) {
+    p = BigInt::GeneratePrime(prime_bits, rng);
+    do {
+      q = BigInt::GeneratePrime(prime_bits, rng);
+    } while (BigInt::Compare(p, q) == 0);
+    n = BigInt::Mul(p, q);
+    // gcd(n, (p-1)(q-1)) must be 1; holds for distinct equal-length
+    // primes in practice, but re-check to be safe with tiny keys.
+    BigInt phi = BigInt::Mul(BigInt::Sub(p, one), BigInt::Sub(q, one));
+    if (BigInt::Compare(BigInt::Gcd(n, phi), one) == 0) break;
+  }
+
+  KeyPair keys;
+  keys.pub.n = n;
+  keys.pub.n_squared = BigInt::Mul(n, n);
+  keys.priv.lambda =
+      BigInt::Lcm(BigInt::Sub(p, BigInt::FromUint64(1)),
+                  BigInt::Sub(q, BigInt::FromUint64(1)));
+  keys.priv.mu = BigInt::ModInverse(keys.priv.lambda, n);
+  FS_CHECK(!keys.priv.mu.IsZero()) << "lambda not invertible mod n";
+  return keys;
+}
+
+BigInt Paillier::Encrypt(const PublicKey& pub, const BigInt& message,
+                         Rng* rng) {
+  FS_CHECK(BigInt::Compare(message, pub.n) < 0)
+      << "plaintext exceeds modulus";
+  // r uniform in [1, n) with gcd(r, n) = 1.
+  BigInt r;
+  do {
+    r = BigInt::RandomBelow(pub.n, rng);
+  } while (r.IsZero() ||
+           BigInt::Compare(BigInt::Gcd(r, pub.n), BigInt::FromUint64(1)) !=
+               0);
+  // c = (1 + m*n) * r^n mod n^2 (g = n + 1 shortcut).
+  BigInt gm = BigInt::Mod(
+      BigInt::Add(BigInt::FromUint64(1), BigInt::Mul(message, pub.n)),
+      pub.n_squared);
+  BigInt rn = BigInt::ModPow(r, pub.n, pub.n_squared);
+  return BigInt::Mod(BigInt::Mul(gm, rn), pub.n_squared);
+}
+
+BigInt Paillier::Decrypt(const PublicKey& pub, const PrivateKey& priv,
+                         const BigInt& ciphertext) {
+  BigInt x = BigInt::ModPow(ciphertext, priv.lambda, pub.n_squared);
+  // L(x) = (x - 1) / n.
+  BigInt l = BigInt::DivMod(BigInt::Sub(x, BigInt::FromUint64(1)), pub.n)
+                 .first;
+  return BigInt::Mod(BigInt::Mul(l, priv.mu), pub.n);
+}
+
+BigInt Paillier::AddCiphertexts(const PublicKey& pub, const BigInt& a,
+                                const BigInt& b) {
+  return BigInt::Mod(BigInt::Mul(a, b), pub.n_squared);
+}
+
+BigInt Paillier::MulPlain(const PublicKey& pub, const BigInt& ciphertext,
+                          const BigInt& scalar) {
+  return BigInt::ModPow(ciphertext, scalar, pub.n_squared);
+}
+
+FixedPointCodec::FixedPointCodec(BigInt modulus, int frac_bits)
+    : modulus_(std::move(modulus)),
+      half_modulus_(modulus_.ShiftRight(1)),
+      frac_bits_(frac_bits) {
+  FS_CHECK_GE(frac_bits, 0);
+  FS_CHECK_GT(modulus_.BitLength(), frac_bits + 16)
+      << "modulus too small for the fixed-point scale";
+}
+
+BigInt FixedPointCodec::Encode(double v) const {
+  const double scaled = std::round(v * std::pow(2.0, frac_bits_));
+  FS_CHECK(std::fabs(scaled) < 9.0e18) << "fixed-point overflow";
+  if (scaled >= 0.0) {
+    return BigInt::Mod(BigInt::FromUint64(static_cast<uint64_t>(scaled)),
+                       modulus_);
+  }
+  return BigInt::Sub(
+      modulus_, BigInt::Mod(BigInt::FromUint64(
+                                static_cast<uint64_t>(-scaled)),
+                            modulus_));
+}
+
+double FixedPointCodec::Decode(const BigInt& enc) const {
+  const double scale = std::pow(2.0, -frac_bits_);
+  if (BigInt::Compare(enc, half_modulus_) <= 0) {
+    return static_cast<double>(enc.ToUint64()) * scale;
+  }
+  return -static_cast<double>(BigInt::Sub(modulus_, enc).ToUint64()) * scale;
+}
+
+std::vector<double> EncryptedSum(const std::vector<std::vector<double>>& rows,
+                                 int modulus_bits, Rng* rng) {
+  FS_CHECK(!rows.empty());
+  const size_t width = rows[0].size();
+  for (const auto& row : rows) FS_CHECK_EQ(row.size(), width);
+
+  auto keys = Paillier::GenerateKeys(modulus_bits, rng);
+  FixedPointCodec codec(keys.pub.n);
+
+  // Each "client" encrypts its row; the "server" multiplies ciphertexts.
+  std::vector<BigInt> acc(width);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      BigInt enc = Paillier::Encrypt(keys.pub, codec.Encode(rows[r][c]), rng);
+      acc[c] = (r == 0) ? enc
+                        : Paillier::AddCiphertexts(keys.pub, acc[c], enc);
+    }
+  }
+
+  std::vector<double> out(width);
+  for (size_t c = 0; c < width; ++c) {
+    out[c] = codec.Decode(Paillier::Decrypt(keys.pub, keys.priv, acc[c]));
+  }
+  return out;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,123 @@
+#include "fedscope/privacy/secret_sharing.h"
+
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+AdditiveSecretSharing::AdditiveSecretSharing(int num_shares, int frac_bits)
+    : num_shares_(num_shares), frac_bits_(frac_bits) {
+  FS_CHECK_GE(num_shares, 2);
+  FS_CHECK_GE(frac_bits, 0);
+  FS_CHECK_LE(frac_bits, 40);
+}
+
+uint64_t AdditiveSecretSharing::Encode(double v) const {
+  const double scaled = std::round(v * std::pow(2.0, frac_bits_));
+  FS_CHECK(std::fabs(scaled) < 9.0e17) << "secret-sharing overflow";
+  // Two's-complement wrap into Z_{2^64}.
+  return static_cast<uint64_t>(static_cast<int64_t>(scaled));
+}
+
+double AdditiveSecretSharing::Decode(uint64_t enc) const {
+  return static_cast<double>(static_cast<int64_t>(enc)) *
+         std::pow(2.0, -frac_bits_);
+}
+
+std::vector<uint64_t> AdditiveSecretSharing::Split(double value,
+                                                   Rng* rng) const {
+  std::vector<uint64_t> shares(num_shares_);
+  uint64_t acc = 0;
+  for (int i = 1; i < num_shares_; ++i) {
+    shares[i] = rng->Next();
+    acc += shares[i];
+  }
+  shares[0] = Encode(value) - acc;  // mod 2^64 wraparound
+  return shares;
+}
+
+std::vector<std::vector<uint64_t>> AdditiveSecretSharing::SplitVector(
+    const std::vector<double>& values, Rng* rng) const {
+  std::vector<std::vector<uint64_t>> shares(
+      num_shares_, std::vector<uint64_t>(values.size()));
+  for (size_t j = 0; j < values.size(); ++j) {
+    auto s = Split(values[j], rng);
+    for (int i = 0; i < num_shares_; ++i) shares[i][j] = s[i];
+  }
+  return shares;
+}
+
+std::vector<uint64_t> AdditiveSecretSharing::SumShares(
+    const std::vector<std::vector<uint64_t>>& shares) {
+  FS_CHECK(!shares.empty());
+  std::vector<uint64_t> out(shares[0].size(), 0);
+  for (const auto& share : shares) {
+    FS_CHECK_EQ(share.size(), out.size());
+    for (size_t j = 0; j < out.size(); ++j) out[j] += share[j];
+  }
+  return out;
+}
+
+std::vector<double> AdditiveSecretSharing::DecodeVector(
+    const std::vector<uint64_t>& enc) const {
+  std::vector<double> out(enc.size());
+  for (size_t j = 0; j < enc.size(); ++j) out[j] = Decode(enc[j]);
+  return out;
+}
+
+std::vector<double> SecretSharedSum(
+    const std::vector<std::vector<double>>& client_values, Rng* rng,
+    int frac_bits) {
+  const int m = static_cast<int>(client_values.size());
+  FS_CHECK_GE(m, 2);
+  const size_t width = client_values[0].size();
+  AdditiveSecretSharing sharing(m, frac_bits);
+
+  // Phase 1: every client splits its vector; share i goes to peer i.
+  // peer_sums[i] accumulates everything peer i received.
+  std::vector<std::vector<uint64_t>> peer_sums(
+      m, std::vector<uint64_t>(width, 0));
+  for (int c = 0; c < m; ++c) {
+    FS_CHECK_EQ(client_values[c].size(), width);
+    auto shares = sharing.SplitVector(client_values[c], rng);
+    for (int peer = 0; peer < m; ++peer) {
+      for (size_t j = 0; j < width; ++j) {
+        peer_sums[peer][j] += shares[peer][j];
+      }
+    }
+  }
+  // Phase 2: the server sums the m partial sums and decodes.
+  return sharing.DecodeVector(AdditiveSecretSharing::SumShares(peer_sums));
+}
+
+StateDict SecretSharedAverage(const std::vector<StateDict>& updates,
+                              Rng* rng, int frac_bits) {
+  FS_CHECK_GE(updates.size(), 2u);
+  // Flatten every dict in key order (keys must match across updates).
+  std::vector<std::vector<double>> rows;
+  rows.reserve(updates.size());
+  for (const auto& update : updates) {
+    std::vector<double> row;
+    for (const auto& [name, tensor] : update) {
+      for (int64_t i = 0; i < tensor.numel(); ++i) {
+        row.push_back(tensor.at(i));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::vector<double> sums = SecretSharedSum(rows, rng, frac_bits);
+
+  StateDict avg = updates[0];
+  size_t offset = 0;
+  const float inv_m = 1.0f / static_cast<float>(updates.size());
+  for (auto& [name, tensor] : avg) {
+    for (int64_t i = 0; i < tensor.numel(); ++i) {
+      tensor.at(i) = static_cast<float>(sums[offset++]) * inv_m;
+    }
+  }
+  FS_CHECK_EQ(offset, sums.size());
+  return avg;
+}
+
+}  // namespace fedscope

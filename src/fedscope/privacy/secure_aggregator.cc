@@ -1,0 +1,24 @@
+#include "fedscope/privacy/secure_aggregator.h"
+
+#include "fedscope/privacy/secret_sharing.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+StateDict SecureAverageAggregator::Aggregate(
+    const StateDict& global, const std::vector<ClientUpdate>& updates) {
+  FS_CHECK(!updates.empty());
+  StateDict next = global;
+  if (updates.size() == 1) {
+    SdAxpy(&next, 1.0f, updates[0].delta);
+    return next;
+  }
+  std::vector<StateDict> deltas;
+  deltas.reserve(updates.size());
+  for (const auto& update : updates) deltas.push_back(update.delta);
+  StateDict avg = SecretSharedAverage(deltas, &rng_, frac_bits_);
+  SdAxpy(&next, 1.0f, avg);
+  return next;
+}
+
+}  // namespace fedscope

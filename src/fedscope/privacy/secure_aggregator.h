@@ -1,0 +1,35 @@
+#ifndef FEDSCOPE_PRIVACY_SECURE_AGGREGATOR_H_
+#define FEDSCOPE_PRIVACY_SECURE_AGGREGATOR_H_
+
+#include "fedscope/core/aggregator.h"
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+
+/// Secure aggregation plugged into the FL course (paper §4.1: "we develop
+/// a secret sharing mechanism for FedAvg"): the round's updates are
+/// combined through the n-of-n additive secret-sharing protocol, so the
+/// aggregator only ever handles sums of masked shares — no individual
+/// update is visible in plaintext. The result is the *unweighted* mean of
+/// the deltas (per-client weights would leak |D_i|), applied to the
+/// global model.
+///
+/// Falls back to handing the single update through when only one client
+/// reported (secret sharing needs >= 2 parties).
+class SecureAverageAggregator : public Aggregator {
+ public:
+  explicit SecureAverageAggregator(uint64_t seed, int frac_bits = 24)
+      : rng_(seed), frac_bits_(frac_bits) {}
+
+  std::string Name() const override { return "secure_average"; }
+  StateDict Aggregate(const StateDict& global,
+                      const std::vector<ClientUpdate>& updates) override;
+
+ private:
+  Rng rng_;
+  int frac_bits_;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_PRIVACY_SECURE_AGGREGATOR_H_

@@ -1,0 +1,26 @@
+#include "fedscope/sim/event_queue.h"
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+void EventQueue::Push(Message msg) {
+  heap_.push(Entry{msg.timestamp, seq_++, std::move(msg)});
+}
+
+double EventQueue::PeekTime() const {
+  FS_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+Message EventQueue::Pop() {
+  FS_CHECK(!heap_.empty());
+  // priority_queue::top() is const; the copy here is acceptable because
+  // message payloads are shared-nothing value types and Pop is not on the
+  // inner training loop's critical path.
+  Message msg = heap_.top().msg;
+  heap_.pop();
+  return msg;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,53 @@
+#ifndef FEDSCOPE_SIM_EVENT_QUEUE_H_
+#define FEDSCOPE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "fedscope/comm/message.h"
+
+namespace fedscope {
+
+/// Discrete-event queue keyed by virtual timestamps. This implements the
+/// paper's measurement methodology (§5.3.1): the server "handles the
+/// received messages in the order of their timestamps", and broadcasts
+/// inherit the timestamp of the triggering message. Ties are broken by
+/// insertion sequence to keep runs deterministic.
+class EventQueue {
+ public:
+  /// Enqueues a message for delivery at msg.timestamp.
+  void Push(Message msg);
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+
+  /// Virtual time of the earliest pending message.
+  double PeekTime() const;
+
+  /// Removes and returns the earliest message.
+  Message Pop();
+
+  /// Total number of messages ever pushed (diagnostics).
+  int64_t total_pushed() const { return seq_; }
+
+ private:
+  struct Entry {
+    double time;
+    int64_t seq;
+    Message msg;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  int64_t seq_ = 0;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_SIM_EVENT_QUEUE_H_

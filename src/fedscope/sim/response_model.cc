@@ -1,0 +1,37 @@
+#include "fedscope/sim/response_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+double ResponseModel::ExpectedLatency(const DeviceProfile& device,
+                                      const WorkEstimate& work) const {
+  const double down = static_cast<double>(work.down_bytes) /
+                      std::max(device.down_bandwidth, 1e-9);
+  const double compute = static_cast<double>(work.samples_processed) /
+                         std::max(device.compute_speed, 1e-9);
+  const double up = static_cast<double>(work.up_bytes) /
+                    std::max(device.up_bandwidth, 1e-9);
+  return down + compute + up;
+}
+
+ResponseOutcome ResponseModel::Simulate(const DeviceProfile& device,
+                                        const WorkEstimate& work,
+                                        Rng* rng) const {
+  ResponseOutcome outcome;
+  if (device.crash_prob > 0.0 && rng->Bernoulli(device.crash_prob)) {
+    outcome.crashed = true;
+    return outcome;
+  }
+  double latency = ExpectedLatency(device, work);
+  if (jitter_sigma_ > 0.0) {
+    latency *= rng->Lognormal(0.0, jitter_sigma_);
+  }
+  outcome.latency_seconds = std::max(latency, 1e-6);
+  return outcome;
+}
+
+}  // namespace fedscope

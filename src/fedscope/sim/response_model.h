@@ -1,0 +1,57 @@
+#ifndef FEDSCOPE_SIM_RESPONSE_MODEL_H_
+#define FEDSCOPE_SIM_RESPONSE_MODEL_H_
+
+#include <cstdint>
+
+#include "fedscope/sim/device_profile.h"
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+
+/// Describes one unit of simulated client work, used to estimate virtual
+/// execution time the same way FedScale estimates client latency from
+/// device traces (paper §5.3.1).
+struct WorkEstimate {
+  /// Number of examples processed during local training
+  /// (local_steps * batch_size).
+  int64_t samples_processed = 0;
+  /// Downlink message size (server -> client), bytes.
+  int64_t down_bytes = 0;
+  /// Uplink message size (client -> server), bytes.
+  int64_t up_bytes = 0;
+};
+
+/// Outcome of simulating one client response.
+struct ResponseOutcome {
+  /// The client crashed / dropped off and will never answer.
+  bool crashed = false;
+  /// Virtual seconds from receiving the broadcast to the server receiving
+  /// the reply (download + compute + upload + jitter).
+  double latency_seconds = 0.0;
+};
+
+/// Converts device profiles + work into virtual latencies, with
+/// multiplicative lognormal jitter to model run-to-run variation.
+class ResponseModel {
+ public:
+  /// `jitter_sigma` is the sigma of the lognormal noise multiplier
+  /// (0 disables jitter).
+  explicit ResponseModel(double jitter_sigma = 0.2)
+      : jitter_sigma_(jitter_sigma) {}
+
+  ResponseOutcome Simulate(const DeviceProfile& device,
+                           const WorkEstimate& work, Rng* rng) const;
+
+  /// Deterministic expected latency (no jitter, no crash), used by
+  /// group/responsiveness samplers that rely on *prior* knowledge of
+  /// response speed.
+  double ExpectedLatency(const DeviceProfile& device,
+                         const WorkEstimate& work) const;
+
+ private:
+  double jitter_sigma_;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_SIM_RESPONSE_MODEL_H_

@@ -1,0 +1,103 @@
+#include "fedscope/tensor/tensor.h"
+
+#include <sstream>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+int64_t ShapeNumel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    FS_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)), data_(ShapeNumel(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  FS_CHECK_EQ(ShapeNumel(shape_), static_cast<int64_t>(data_.size()));
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = value;
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  return Tensor({static_cast<int64_t>(values.size())}, values);
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng, float scale) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) {
+    x = static_cast<float>(rng->Normal()) * scale;
+  }
+  return t;
+}
+
+Tensor Tensor::Rand(std::vector<int64_t> shape, Rng* rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) {
+    x = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+float& Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  FS_CHECK_EQ(ShapeNumel(new_shape), numel())
+      << "reshape from " << ShapeString();
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::Slice(int64_t i) const {
+  FS_CHECK_GE(ndim(), 1);
+  FS_CHECK_GE(i, 0);
+  FS_CHECK_LT(i, shape_[0]);
+  std::vector<int64_t> sub_shape(shape_.begin() + 1, shape_.end());
+  int64_t stride = ShapeNumel(sub_shape);
+  std::vector<float> sub(data_.begin() + i * stride,
+                         data_.begin() + (i + 1) * stride);
+  if (sub_shape.empty()) sub_shape.push_back(1);
+  return Tensor(std::move(sub_shape), std::move(sub));
+}
+
+void Tensor::SetSlice(int64_t i, const Tensor& src) {
+  FS_CHECK_GE(ndim(), 1);
+  FS_CHECK_GE(i, 0);
+  FS_CHECK_LT(i, shape_[0]);
+  int64_t stride = numel() / shape_[0];
+  FS_CHECK_EQ(src.numel(), stride);
+  std::copy(src.data_.begin(), src.data_.end(),
+            data_.begin() + i * stride);
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (int i = 0; i < ndim(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace fedscope

@@ -1,0 +1,84 @@
+#ifndef FEDSCOPE_TENSOR_TENSOR_H_
+#define FEDSCOPE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+
+/// Dense, row-major float tensor. This is the numeric substrate that stands
+/// in for the PyTorch/TensorFlow backends of the paper: model parameters,
+/// activations, gradients and exchanged messages are all Tensors.
+///
+/// Deliberately simple: contiguous row-major storage, float32 only, value
+/// semantics (copyable, movable).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape);
+  Tensor(std::vector<int64_t> shape, std::vector<float> data);
+
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor FromVector(const std::vector<float>& values);
+  /// N(0, 1) entries scaled by `scale`.
+  static Tensor Randn(std::vector<int64_t> shape, Rng* rng,
+                      float scale = 1.0f);
+  /// Uniform(lo, hi) entries.
+  static Tensor Rand(std::vector<int64_t> shape, Rng* rng, float lo,
+                     float hi);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int i) const { return shape_[i]; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  /// Flat element access.
+  float& at(int64_t i) { return data_[i]; }
+  float at(int64_t i) const { return data_[i]; }
+
+  /// 2-D access (requires ndim()==2).
+  float& at(int64_t i, int64_t j) { return data_[i * shape_[1] + j]; }
+  float at(int64_t i, int64_t j) const { return data_[i * shape_[1] + j]; }
+
+  /// 4-D access (requires ndim()==4), NCHW.
+  float& at4(int64_t n, int64_t c, int64_t h, int64_t w);
+  float at4(int64_t n, int64_t c, int64_t h, int64_t w) const;
+
+  /// Returns a tensor with the same data and a new shape (numel preserved).
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  /// Row `i` of a 2-D (or higher: leading-dim slice) tensor, copied out.
+  Tensor Slice(int64_t i) const;
+
+  /// Copies `src` into leading-dim slice `i`.
+  void SetSlice(int64_t i, const Tensor& src);
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::string ShapeString() const;
+
+  bool operator==(const Tensor& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Product of dims; checks non-negative dims.
+int64_t ShapeNumel(const std::vector<int64_t>& shape);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_TENSOR_TENSOR_H_

@@ -1,0 +1,193 @@
+#include "fedscope/tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  FS_CHECK(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  Tensor out = a;
+  AddInPlace(&out, b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  FS_CHECK(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  Tensor out = a;
+  Axpy(&out, -1.0f, b);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  FS_CHECK(a.SameShape(b));
+  Tensor out = a;
+  float* po = out.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < out.numel(); ++i) po[i] *= pb[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a;
+  ScaleInPlace(&out, s);
+  return out;
+}
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  FS_CHECK(a->SameShape(b)) << a->ShapeString() << " vs " << b.ShapeString();
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a->numel(); ++i) pa[i] += pb[i];
+}
+
+void Axpy(Tensor* a, float alpha, const Tensor& b) {
+  FS_CHECK_EQ(a->numel(), b.numel());
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a->numel(); ++i) pa[i] += alpha * pb[i];
+}
+
+void ScaleInPlace(Tensor* a, float s) {
+  float* pa = a->data();
+  for (int64_t i = 0; i < a->numel(); ++i) pa[i] *= s;
+}
+
+void ZeroInPlace(Tensor* a) {
+  std::fill(a->storage().begin(), a->storage().end(), 0.0f);
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  FS_CHECK_EQ(a.numel(), b.numel());
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(pa[i]) * static_cast<double>(pb[i]);
+  }
+  return acc;
+}
+
+double SquaredNorm(const Tensor& a) { return Dot(a, a); }
+
+double Norm(const Tensor& a) { return std::sqrt(SquaredNorm(a)); }
+
+double Sum(const Tensor& a) {
+  double acc = 0.0;
+  const float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += pa[i];
+  return acc;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  FS_CHECK_EQ(a.ndim(), 2);
+  FS_CHECK_EQ(b.ndim(), 2);
+  FS_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: streams through b and c rows (cache friendly).
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  FS_CHECK_EQ(a.ndim(), 2);
+  FS_CHECK_EQ(b.ndim(), 2);
+  FS_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  FS_CHECK_EQ(a.ndim(), 2);
+  FS_CHECK_EQ(b.ndim(), 2);
+  FS_CHECK_EQ(a.dim(1), b.dim(1));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor Softmax(const Tensor& logits) {
+  FS_CHECK_EQ(logits.ndim(), 2);
+  const int64_t batch = logits.dim(0), classes = logits.dim(1);
+  Tensor probs({batch, classes});
+  for (int64_t i = 0; i < batch; ++i) {
+    float max_logit = logits.at(i, 0);
+    for (int64_t c = 1; c < classes; ++c) {
+      max_logit = std::max(max_logit, logits.at(i, c));
+    }
+    double denom = 0.0;
+    for (int64_t c = 0; c < classes; ++c) {
+      double e = std::exp(static_cast<double>(logits.at(i, c) - max_logit));
+      probs.at(i, c) = static_cast<float>(e);
+      denom += e;
+    }
+    for (int64_t c = 0; c < classes; ++c) {
+      probs.at(i, c) = static_cast<float>(probs.at(i, c) / denom);
+    }
+  }
+  return probs;
+}
+
+std::vector<int64_t> ArgmaxRows(const Tensor& scores) {
+  FS_CHECK_EQ(scores.ndim(), 2);
+  std::vector<int64_t> out(scores.dim(0));
+  for (int64_t i = 0; i < scores.dim(0); ++i) {
+    int64_t best = 0;
+    for (int64_t c = 1; c < scores.dim(1); ++c) {
+      if (scores.at(i, c) > scores.at(i, best)) best = c;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+double ClipByNorm(Tensor* t, double max_norm) {
+  FS_CHECK_GT(max_norm, 0.0);
+  double norm = Norm(*t);
+  if (norm > max_norm) {
+    ScaleInPlace(t, static_cast<float>(max_norm / norm));
+  }
+  return norm;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,62 @@
+#ifndef FEDSCOPE_TENSOR_TENSOR_OPS_H_
+#define FEDSCOPE_TENSOR_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "fedscope/tensor/tensor.h"
+
+namespace fedscope {
+
+// ---------------------------------------------------------------------------
+// Elementwise / BLAS-lite operations on Tensors. These back both the NN
+// library (forward/backward passes) and the federated aggregators
+// (weighted averaging of state dicts).
+// ---------------------------------------------------------------------------
+
+/// out = a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// out = a - b (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// out = a * b elementwise (same shape).
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// out = a * s.
+Tensor Scale(const Tensor& a, float s);
+
+/// a += b (same shape).
+void AddInPlace(Tensor* a, const Tensor& b);
+/// a += alpha * b (axpy; same shape).
+void Axpy(Tensor* a, float alpha, const Tensor& b);
+/// a *= s.
+void ScaleInPlace(Tensor* a, float s);
+/// a = 0.
+void ZeroInPlace(Tensor* a);
+
+/// Inner product of flattened tensors (same numel).
+double Dot(const Tensor& a, const Tensor& b);
+/// Sum of squares of all entries.
+double SquaredNorm(const Tensor& a);
+/// L2 norm.
+double Norm(const Tensor& a);
+/// Sum of entries.
+double Sum(const Tensor& a);
+
+/// c = a @ b for 2-D tensors: [m, k] x [k, n] -> [m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// c = a^T @ b: [k, m]^T x [k, n] -> [m, n].
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+/// c = a @ b^T: [m, k] x [n, k]^T -> [m, n].
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+/// Row-wise softmax on a [batch, classes] tensor.
+Tensor Softmax(const Tensor& logits);
+
+/// Argmax per row of a [batch, classes] tensor.
+std::vector<int64_t> ArgmaxRows(const Tensor& scores);
+
+/// Clips the flattened tensor to the given L2 norm (no-op if already below).
+/// Returns the pre-clip norm.
+double ClipByNorm(Tensor* t, double max_norm);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,169 @@
+#include "fedscope/util/config.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace fedscope {
+namespace {
+
+std::string ValueToString(const Config::Value& v) {
+  if (std::holds_alternative<bool>(v)) {
+    return std::get<bool>(v) ? "true" : "false";
+  }
+  if (std::holds_alternative<int64_t>(v)) {
+    return std::to_string(std::get<int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) {
+    std::ostringstream os;
+    os << std::get<double>(v);
+    return os.str();
+  }
+  return std::get<std::string>(v);
+}
+
+}  // namespace
+
+bool Config::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (std::holds_alternative<bool>(it->second)) {
+    return std::get<bool>(it->second);
+  }
+  if (std::holds_alternative<int64_t>(it->second)) {
+    return std::get<int64_t>(it->second) != 0;
+  }
+  return def;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (std::holds_alternative<int64_t>(it->second)) {
+    return std::get<int64_t>(it->second);
+  }
+  if (std::holds_alternative<double>(it->second)) {
+    return static_cast<int64_t>(std::get<double>(it->second));
+  }
+  if (std::holds_alternative<bool>(it->second)) {
+    return std::get<bool>(it->second) ? 1 : 0;
+  }
+  return def;
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (std::holds_alternative<double>(it->second)) {
+    return std::get<double>(it->second);
+  }
+  if (std::holds_alternative<int64_t>(it->second)) {
+    return static_cast<double>(std::get<int64_t>(it->second));
+  }
+  return def;
+}
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (std::holds_alternative<std::string>(it->second)) {
+    return std::get<std::string>(it->second);
+  }
+  return ValueToString(it->second);
+}
+
+Result<bool> Config::Bool(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("config key: " + key);
+  if (!std::holds_alternative<bool>(it->second)) {
+    return Status::InvalidArgument("config key " + key + " is not a bool");
+  }
+  return std::get<bool>(it->second);
+}
+
+Result<int64_t> Config::Int(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("config key: " + key);
+  if (!std::holds_alternative<int64_t>(it->second)) {
+    return Status::InvalidArgument("config key " + key + " is not an int");
+  }
+  return std::get<int64_t>(it->second);
+}
+
+Result<double> Config::Double(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("config key: " + key);
+  if (std::holds_alternative<double>(it->second)) {
+    return std::get<double>(it->second);
+  }
+  if (std::holds_alternative<int64_t>(it->second)) {
+    return static_cast<double>(std::get<int64_t>(it->second));
+  }
+  return Status::InvalidArgument("config key " + key + " is not numeric");
+}
+
+Result<std::string> Config::String(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::NotFound("config key: " + key);
+  if (!std::holds_alternative<std::string>(it->second)) {
+    return Status::InvalidArgument("config key " + key + " is not a string");
+  }
+  return std::get<std::string>(it->second);
+}
+
+void Config::Merge(const Config& other) {
+  for (const auto& [key, value] : other.values_) {
+    values_[key] = value;
+  }
+}
+
+Status Config::ParseAssignment(const std::string& assignment) {
+  auto eq = assignment.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("expected key=value, got: " + assignment);
+  }
+  std::string key = assignment.substr(0, eq);
+  std::string raw = assignment.substr(eq + 1);
+  if (raw == "true" || raw == "false") {
+    Set(key, raw == "true");
+    return Status::Ok();
+  }
+  // Try integer, then double, then fall back to string.
+  if (!raw.empty()) {
+    char* end = nullptr;
+    long long as_int = std::strtoll(raw.c_str(), &end, 10);
+    if (end && *end == '\0') {
+      Set(key, static_cast<int64_t>(as_int));
+      return Status::Ok();
+    }
+    double as_double = std::strtod(raw.c_str(), &end);
+    if (end && *end == '\0') {
+      Set(key, as_double);
+      return Status::Ok();
+    }
+  }
+  Set(key, raw);
+  return Status::Ok();
+}
+
+std::vector<std::string> Config::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+std::string Config::ToString() const {
+  std::ostringstream os;
+  for (const auto& [key, value] : values_) {
+    os << key << "=" << ValueToString(value) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fedscope

@@ -1,0 +1,80 @@
+#ifndef FEDSCOPE_UTIL_CONFIG_H_
+#define FEDSCOPE_UTIL_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fedscope/util/status.h"
+
+namespace fedscope {
+
+/// A yacs-like configuration: dotted keys mapped to typed values.
+///
+/// This is the mechanism behind several paper features:
+///  * client-specific training configuration (personalization, §3.4.1),
+///  * the FedEx manager plug-in that re-specifies a client's native
+///    configuration each round (§4.3, Figure 8),
+///  * enabling behaviour plug-ins (e.g. `privacy.dp.enable = true`).
+class Config {
+ public:
+  using Value = std::variant<bool, int64_t, double, std::string>;
+
+  Config() = default;
+
+  bool Has(const std::string& key) const;
+
+  /// Typed setters.
+  void Set(const std::string& key, bool v) { values_[key] = v; }
+  void Set(const std::string& key, int v) {
+    values_[key] = static_cast<int64_t>(v);
+  }
+  void Set(const std::string& key, int64_t v) { values_[key] = v; }
+  void Set(const std::string& key, double v) { values_[key] = v; }
+  void Set(const std::string& key, const char* v) {
+    values_[key] = std::string(v);
+  }
+  void Set(const std::string& key, std::string v) {
+    values_[key] = std::move(v);
+  }
+
+  /// Typed getters with defaults. Numeric getters convert between int64 and
+  /// double when needed (an int-valued key can be read as double and vice
+  /// versa when lossless).
+  bool GetBool(const std::string& key, bool def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  std::string GetString(const std::string& key, const std::string& def) const;
+
+  /// Strict getters: error if the key is absent or type-incompatible.
+  Result<bool> Bool(const std::string& key) const;
+  Result<int64_t> Int(const std::string& key) const;
+  Result<double> Double(const std::string& key) const;
+  Result<std::string> String(const std::string& key) const;
+
+  /// Overlays `other` on top of this config (other wins on conflicts).
+  /// This implements client-specific overrides: global config merged with
+  /// a per-client patch.
+  void Merge(const Config& other);
+
+  /// Parses "key=value" assignments; value type inferred (bool/int/double/
+  /// string). Used by example binaries for command-line overrides.
+  Status ParseAssignment(const std::string& assignment);
+
+  /// All keys in sorted order (map iteration order).
+  std::vector<std::string> Keys() const;
+
+  /// Serializes to "key=value" lines, for logging experiment settings.
+  std::string ToString() const;
+
+  bool operator==(const Config& other) const { return values_ == other.values_; }
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_UTIL_CONFIG_H_

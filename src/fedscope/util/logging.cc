@@ -1,0 +1,59 @@
+#include "fedscope/util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace fedscope {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kFatal: return "FATAL";
+  }
+  return "?";
+}
+
+struct LoggingState {
+  std::mutex mu;
+  LogLevel min_level = LogLevel::kInfo;
+  Logging::Sink sink;
+};
+
+LoggingState& State() {
+  static LoggingState& state = *new LoggingState();
+  return state;
+}
+
+}  // namespace
+
+LogLevel Logging::min_level() { return State().min_level; }
+
+void Logging::set_min_level(LogLevel level) { State().min_level = level; }
+
+void Logging::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(State().mu);
+  State().sink = std::move(sink);
+}
+
+void Logging::Emit(LogLevel level, const char* file, int line,
+                   const std::string& text) {
+  // Strip directories from the file path for compact output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(State().mu);
+  if (State().sink) {
+    State().sink(level, text);
+    if (level != LogLevel::kFatal) return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+               text.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace fedscope

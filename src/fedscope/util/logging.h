@@ -1,0 +1,89 @@
+#ifndef FEDSCOPE_UTIL_LOGGING_H_
+#define FEDSCOPE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace fedscope {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide logging configuration. Messages below the minimum level are
+/// dropped. A sink can be installed (e.g., by tests) to capture log lines;
+/// otherwise lines go to stderr.
+class Logging {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel min_level();
+  static void set_min_level(LogLevel level);
+
+  /// Installs a capture sink (nullptr restores stderr output).
+  static void set_sink(Sink sink);
+
+  /// Emits one formatted log line (internal; used by LogMessage).
+  static void Emit(LogLevel level, const char* file, int line,
+                   const std::string& text);
+};
+
+/// Stream-style log message collector. Destructor emits; kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() {
+    Logging::Emit(level_, file_, line_, stream_.str());
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Discards the streamed expression when the level is disabled.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+#define FS_LOG_INTERNAL(level)                                              \
+  ::fedscope::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define FS_LOG(severity)                                                    \
+  (::fedscope::LogLevel::k##severity < ::fedscope::Logging::min_level())    \
+      ? (void)0                                                             \
+      : ::fedscope::LogMessageVoidify() &                                   \
+            FS_LOG_INTERNAL(::fedscope::LogLevel::k##severity)
+
+/// FS_CHECK: invariant checking, active in all build types.
+#define FS_CHECK(cond)                                                      \
+  (cond) ? (void)0                                                          \
+         : ::fedscope::LogMessageVoidify() &                                \
+               FS_LOG_INTERNAL(::fedscope::LogLevel::kFatal)                \
+                   << "Check failed: " #cond " "
+
+#define FS_CHECK_OP(a, b, op)                                               \
+  FS_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define FS_CHECK_EQ(a, b) FS_CHECK_OP(a, b, ==)
+#define FS_CHECK_NE(a, b) FS_CHECK_OP(a, b, !=)
+#define FS_CHECK_LT(a, b) FS_CHECK_OP(a, b, <)
+#define FS_CHECK_LE(a, b) FS_CHECK_OP(a, b, <=)
+#define FS_CHECK_GT(a, b) FS_CHECK_OP(a, b, >)
+#define FS_CHECK_GE(a, b) FS_CHECK_OP(a, b, >=)
+
+#define FS_CHECK_OK(expr)                                                   \
+  do {                                                                      \
+    ::fedscope::Status fs_check_status_ = (expr);                           \
+    FS_CHECK(fs_check_status_.ok()) << fs_check_status_.ToString();         \
+  } while (0)
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_UTIL_LOGGING_H_

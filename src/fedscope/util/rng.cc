@@ -1,0 +1,176 @@
+#include "fedscope/util/rng.h"
+
+#include <cmath>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256**
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  FS_CHECK_LE(lo, hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t r;
+  do {
+    r = Next();
+  } while (r >= limit);
+  return lo + static_cast<int64_t>(r % range);
+}
+
+double Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = Uniform();
+  double u2 = Uniform();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  have_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Lognormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+double Rng::Exponential(double rate) {
+  FS_CHECK_GT(rate, 0.0);
+  double u = 0.0;
+  while (u <= 1e-300) u = Uniform();
+  return -std::log(u) / rate;
+}
+
+double Rng::Gamma(double shape) {
+  FS_CHECK_GT(shape, 0.0);
+  if (shape < 1.0) {
+    // Boost to shape >= 1 then scale back (Marsaglia-Tsang trick).
+    double u = 0.0;
+    while (u <= 1e-300) u = Uniform();
+    return Gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = Normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 1e-300 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+std::vector<double> Rng::Dirichlet(const std::vector<double>& alpha) {
+  std::vector<double> out(alpha.size());
+  double total = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    out[i] = Gamma(alpha[i]);
+    total += out[i];
+  }
+  if (total <= 0.0) {
+    // Degenerate draw: fall back to uniform.
+    for (auto& x : out) x = 1.0 / static_cast<double>(out.size());
+    return out;
+  }
+  for (auto& x : out) x /= total;
+  return out;
+}
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  FS_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FS_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  FS_CHECK_GT(total, 0.0) << "all categorical weights are zero";
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+std::vector<int64_t> Rng::Permutation(int64_t n) {
+  std::vector<int64_t> idx(n);
+  for (int64_t i = 0; i < n; ++i) idx[i] = i;
+  Shuffle(&idx);
+  return idx;
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  FS_CHECK_LE(k, n);
+  FS_CHECK_GE(k, 0);
+  // Partial Fisher-Yates: O(n) memory, O(k) swaps.
+  std::vector<int64_t> idx(n);
+  for (int64_t i = 0; i < n; ++i) idx[i] = i;
+  for (int64_t i = 0; i < k; ++i) {
+    int64_t j = UniformInt(i, n - 1);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Mix the original seed with the stream id through splitmix to derive an
+  // independent, reproducible child stream.
+  uint64_t state = seed_ ^ (0x517cc1b727220a95ULL * (stream_id + 1));
+  return Rng(SplitMix64(&state));
+}
+
+}  // namespace fedscope

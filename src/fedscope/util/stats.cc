@@ -1,0 +1,100 @@
+#include "fedscope/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Quantile(std::vector<double> values, double q) {
+  FS_CHECK(!values.empty());
+  FS_CHECK_GE(q, 0.0);
+  FS_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mu = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mu) * (v - mu);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+Histogram::Histogram(double lo, double hi, int num_bins)
+    : lo_(lo), hi_(hi), counts_(num_bins, 0) {
+  FS_CHECK_GT(num_bins, 0);
+  FS_CHECK_LT(lo, hi);
+}
+
+void Histogram::Add(double x) {
+  double t = (x - lo_) / (hi_ - lo_);
+  int bin = static_cast<int>(t * num_bins());
+  bin = std::clamp(bin, 0, num_bins() - 1);
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::bin_lo(int bin) const {
+  return lo_ + (hi_ - lo_) * bin / num_bins();
+}
+
+double Histogram::bin_hi(int bin) const {
+  return lo_ + (hi_ - lo_) * (bin + 1) / num_bins();
+}
+
+double Histogram::bin_frac(int bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToAscii(int width) const {
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (int b = 0; b < num_bins(); ++b) {
+    int bar = static_cast<int>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) * width);
+    char line[64];
+    std::snprintf(line, sizeof(line), "[%8.2f, %8.2f) %6.3f ", bin_lo(b),
+                  bin_hi(b), bin_frac(b));
+    os << line << std::string(bar, '#') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fedscope

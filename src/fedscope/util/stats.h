@@ -1,0 +1,65 @@
+#ifndef FEDSCOPE_UTIL_STATS_H_
+#define FEDSCOPE_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedscope {
+
+/// Streaming mean / variance (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample (linear interpolation between order statistics).
+/// q in [0, 1]. The input is copied and sorted.
+double Quantile(std::vector<double> values, double q);
+
+double Mean(const std::vector<double>& values);
+double Stddev(const std::vector<double>& values);
+
+/// Fixed-bin histogram over [lo, hi]; values outside are clamped into the
+/// first/last bin. Used for staleness / aggregation-count distributions
+/// (Figures 10 and 11).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_bins);
+
+  void Add(double x);
+  int64_t total() const { return total_; }
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  int64_t bin_count(int bin) const { return counts_[bin]; }
+  double bin_lo(int bin) const;
+  double bin_hi(int bin) const;
+  /// Fraction of mass in the bin.
+  double bin_frac(int bin) const;
+
+  /// Multi-line ASCII rendering (bar chart), for bench output.
+  std::string ToAscii(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_UTIL_STATS_H_

@@ -1,0 +1,122 @@
+#ifndef FEDSCOPE_UTIL_STATUS_H_
+#define FEDSCOPE_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fedscope {
+
+/// Error codes for fallible operations. The library does not use exceptions
+/// (per the project style); fallible APIs return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kDataLoss,
+};
+
+/// A Status carries an error code plus a human-readable message.
+/// A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+      case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+      case StatusCode::kInternal: return "INTERNAL";
+      case StatusCode::kDataLoss: return "DATA_LOSS";
+    }
+    return "UNKNOWN";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value or an error Status (StatusOr-lite).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value / Status so `return value;` and `return status;`
+  /// both work, mirroring absl::StatusOr.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status from an expression, absl-style.
+#define FS_RETURN_IF_ERROR(expr)                       \
+  do {                                                 \
+    ::fedscope::Status fs_status_ = (expr);            \
+    if (!fs_status_.ok()) return fs_status_;           \
+  } while (0)
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_UTIL_STATUS_H_

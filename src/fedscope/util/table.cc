@@ -1,0 +1,69 @@
+#include "fedscope/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fedscope {
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+Table::RowBuilder::~RowBuilder() { table_->AddRow(std::move(cells_)); }
+
+Table::RowBuilder& Table::RowBuilder::Str(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::Num(double v, int precision) {
+  cells_.push_back(FormatDouble(v, precision));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::Int(int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto hline = [&] {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::ostringstream os;
+  os << hline() << format_row(header_) << hline();
+  for (const auto& row : rows_) os << format_row(row);
+  os << hline();
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace fedscope

@@ -1,0 +1,46 @@
+#ifndef FEDSCOPE_UTIL_TABLE_H_
+#define FEDSCOPE_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace fedscope {
+
+/// Simple ASCII table used by the benchmark harness to print the rows of
+/// the paper's tables/figures.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience for mixed-type rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table* table) : table_(table) {}
+    ~RowBuilder();
+    RowBuilder& Str(const std::string& s);
+    RowBuilder& Num(double v, int precision = 4);
+    RowBuilder& Int(int64_t v);
+
+   private:
+    Table* table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder Row() { return RowBuilder(this); }
+
+  std::string ToString() const;
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_UTIL_TABLE_H_

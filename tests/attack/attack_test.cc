@@ -1,0 +1,523 @@
+#include <gtest/gtest.h>
+
+#include "fedscope/attack/backdoor.h"
+#include "fedscope/attack/gradient_inversion.h"
+#include "fedscope/attack/membership.h"
+#include "fedscope/attack/property_inference.h"
+#include "fedscope/core/trainer.h"
+#include "fedscope/nn/model_zoo.h"
+#include "fedscope/privacy/dp.h"
+#include "fedscope/tensor/tensor_ops.h"
+
+namespace fedscope {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Gradient inversion (DLG / iDLG)
+// ---------------------------------------------------------------------------
+
+TEST(GradientInversionTest, ObserveGradientsNonEmpty) {
+  Rng rng(1);
+  Model model = MakeLogisticRegression(8, 3, &rng);
+  Tensor x = Tensor::Randn({1, 8}, &rng);
+  auto grads = ObserveGradients(&model, x, {1});
+  EXPECT_EQ(grads.size(), 2u);
+  EXPECT_GT(SdNorm(grads), 0.0);
+}
+
+TEST(GradientInversionTest, DeltaToGradientsInvertsSgdStep) {
+  StateDict delta;
+  delta["fc.weight"] = Tensor::FromVector({-0.5f, 1.0f});
+  auto grads = DeltaToGradients(delta, 0.5);
+  EXPECT_FLOAT_EQ(grads.at("fc.weight").at(0), 1.0f);
+  EXPECT_FLOAT_EQ(grads.at("fc.weight").at(1), -2.0f);
+}
+
+TEST(GradientInversionTest, IdlgRecoversLabelAndInput) {
+  // The headline iDLG result: a single example is recovered *exactly*
+  // from a softmax-regression gradient.
+  Rng rng(2);
+  Model model = MakeLogisticRegression(16, 5, &rng);
+  Tensor secret = Tensor::Randn({1, 16}, &rng);
+  const int64_t secret_label = 3;
+  auto grads = ObserveGradients(&model, secret, {secret_label});
+
+  auto result = InvertSoftmaxRegression(grads);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->inferred_label, secret_label);
+  EXPECT_LT(ReconstructionMse(secret.Reshape({16}),
+                              result->reconstructed_x),
+            1e-6);
+}
+
+TEST(GradientInversionTest, BatchGradientRejectedByIdlg) {
+  Rng rng(3);
+  Model model = MakeLogisticRegression(8, 4, &rng);
+  Tensor batch = Tensor::Randn({4, 8}, &rng);
+  auto grads = ObserveGradients(&model, batch, {0, 1, 2, 3});
+  // Multiple negative bias-grad entries -> single-example recovery fails.
+  EXPECT_FALSE(InvertSoftmaxRegression(grads).ok());
+}
+
+TEST(GradientInversionTest, DpNoiseDefeatsAnalyticInversion) {
+  // The Figure 13 mechanism: noise on the update destroys reconstruction.
+  Rng rng(4);
+  Model model = MakeLogisticRegression(16, 5, &rng);
+  Tensor secret = Tensor::Randn({1, 16}, &rng);
+  auto grads = ObserveGradients(&model, secret, {2});
+
+  StateDict noised = grads;
+  DpOptions dp;
+  dp.enable = true;
+  dp.clip_norm = SdNorm(grads);  // no clipping effect, pure noise
+  dp.noise_multiplier = 0.5;
+  Rng noise_rng(5);
+  ApplyDpToDelta(&noised, dp, &noise_rng);
+
+  auto clean = InvertSoftmaxRegression(grads);
+  ASSERT_TRUE(clean.ok());
+  const double clean_mse =
+      ReconstructionMse(secret.Reshape({16}), clean->reconstructed_x);
+  auto attacked = InvertSoftmaxRegression(noised);
+  if (attacked.ok()) {
+    const double noisy_mse =
+        ReconstructionMse(secret.Reshape({16}), attacked->reconstructed_x);
+    EXPECT_GT(noisy_mse, 100.0 * std::max(clean_mse, 1e-9));
+  }
+  // Either the attack errored out or produced garbage — both are a win
+  // for the defender.
+  SUCCEED();
+}
+
+TEST(GradientInversionTest, IterativeDlgReducesMatchLoss) {
+  Rng rng(6);
+  Model model = MakeLogisticRegression(6, 3, &rng);
+  Tensor secret = Tensor::Randn({1, 6}, &rng);
+  auto observed = ObserveGradients(&model, secret, {1});
+
+  DlgOptions options;
+  options.iterations = 40;
+  options.lr = 1.0;
+  Rng attack_rng(7);
+  auto result = InvertGradientIterative(&model, observed, {6}, "fc",
+                                        options, &attack_rng);
+  EXPECT_EQ(result.inferred_label, 1);
+  EXPECT_LT(result.gradient_match_loss, 1e-3);
+  // Reconstruction correlates with the secret.
+  EXPECT_LT(ReconstructionMse(secret.Reshape({6}), result.reconstructed_x),
+            0.5);
+}
+
+TEST(GradientInversionTest, PsnrHigherForBetterReconstruction) {
+  Tensor truth = Tensor::FromVector({0, 1, 2, 3});
+  Tensor good = Tensor::FromVector({0.01f, 1.02f, 1.98f, 3.0f});
+  Tensor bad = Tensor::FromVector({3, 2, 1, 0});
+  EXPECT_GT(ReconstructionPsnr(truth, good),
+            ReconstructionPsnr(truth, bad));
+}
+
+// ---------------------------------------------------------------------------
+// Membership inference
+// ---------------------------------------------------------------------------
+
+Dataset Blobs(int64_t n, uint64_t seed, double spread = 0.6) {
+  Rng rng(seed);
+  Dataset d;
+  d.x = Tensor({n, 4});
+  d.labels.resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = i % 2;
+    d.labels[i] = y;
+    for (int64_t j = 0; j < 4; ++j) {
+      d.x.at(i, j) =
+          static_cast<float>((y ? 1.0 : -1.0) + rng.Normal(0, spread));
+    }
+  }
+  return d;
+}
+
+TEST(MembershipTest, RocAucBasics) {
+  EXPECT_DOUBLE_EQ(RocAuc({2.0, 3.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.0}, {1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(RocAuc({1.0}, {1.0}), 0.5);
+}
+
+TEST(MembershipTest, OverfitModelLeaksMembership) {
+  // A nearly-unlearnable task (label noise dominates) forces the model to
+  // memorize members — the regime where the loss-threshold attack shines.
+  Dataset members = Blobs(40, 10, 3.0);
+  Dataset nonmembers = Blobs(40, 11, 3.0);
+  Rng rng(12);
+  Model model = MakeMlp({4, 64, 64, 2}, &rng);
+  GeneralTrainer trainer;
+  TrainConfig config;
+  config.lr = 0.3;
+  config.local_steps = 1500;
+  config.batch_size = 40;
+  Rng trng(13);
+  trainer.Train(&model, members, config, &trng);
+
+  // Memorization happened: near-perfect accuracy on members.
+  ASSERT_GT(EvaluateClassifier(&model, members).accuracy, 0.95);
+  auto result = LossThresholdAttack(&model, members, nonmembers);
+  EXPECT_GT(result.auc, 0.7);
+  EXPECT_GT(result.best_accuracy, 0.6);
+}
+
+TEST(MembershipTest, UntrainedModelDoesNotLeak) {
+  Dataset members = Blobs(40, 14);
+  Dataset nonmembers = Blobs(40, 15);
+  Rng rng(16);
+  Model model = MakeMlp({4, 8, 2}, &rng);
+  auto result = LossThresholdAttack(&model, members, nonmembers);
+  EXPECT_NEAR(result.auc, 0.5, 0.2);
+}
+
+TEST(MembershipTest, PerExampleLossesMatchBatchLoss) {
+  Rng rng(17);
+  Model model = MakeLogisticRegression(4, 2, &rng);
+  Dataset data = Blobs(16, 18);
+  auto losses = PerExampleLosses(&model, data);
+  double mean = 0.0;
+  for (double l : losses) mean += l;
+  mean /= losses.size();
+  EXPECT_NEAR(mean, EvaluateClassifier(&model, data).loss, 1e-4);
+}
+
+// ---------------------------------------------------------------------------
+// Property inference
+// ---------------------------------------------------------------------------
+
+TEST(PropertyInferenceTest, UpdateFeaturesFixedWidth) {
+  StateDict update;
+  update["a"] = Tensor::FromVector({1, 2, 3});
+  update["b"] = Tensor::FromVector({4});
+  auto features = UpdateFeatures(update);
+  EXPECT_EQ(features.size(), 10u);  // 5 per tensor
+}
+
+TEST(PropertyInferenceTest, SeparableUpdatesAreClassified) {
+  // Shadow "updates" whose statistics depend on the property bit.
+  Rng rng(19);
+  std::vector<std::vector<float>> features;
+  std::vector<int64_t> labels;
+  for (int i = 0; i < 60; ++i) {
+    const int64_t property = i % 2;
+    StateDict update;
+    const float mean = property ? 0.8f : -0.8f;
+    Tensor t({16});
+    for (int64_t j = 0; j < 16; ++j) {
+      t.at(j) = mean + static_cast<float>(rng.Normal(0, 0.3));
+    }
+    update["w"] = t;
+    features.push_back(UpdateFeatures(update));
+    labels.push_back(property);
+  }
+  auto result = RunPropertyInference(features, labels, 0.3, &rng);
+  EXPECT_GT(result.test_accuracy, 0.8);
+}
+
+TEST(PropertyInferenceTest, DetectsLabelSkewFromRealTrainerUpdates) {
+  // The full PIA pipeline against *actual* training updates: shadow
+  // participants train one local round; the property is whether their
+  // data is dominated by class 0. The meta-classifier must recover it
+  // from update statistics alone.
+  Rng rng(40);
+  std::vector<std::vector<float>> features;
+  std::vector<int64_t> labels;
+  Rng init_rng(41);
+  Model reference = MakeLogisticRegression(4, 2, &init_rng);
+  for (int shadow = 0; shadow < 60; ++shadow) {
+    const int64_t skewed = shadow % 2;
+    // Skewed shadows hold 90% class 0; balanced hold 50/50.
+    Dataset data = Blobs(40, 1000 + shadow);
+    if (skewed) {
+      for (auto& y : data.labels) {
+        if (rng.Bernoulli(0.8)) y = 0;
+      }
+    }
+    Model model = reference;
+    GeneralTrainer trainer;
+    TrainConfig config;
+    config.lr = 0.2;
+    config.local_steps = 8;
+    config.batch_size = 16;
+    Rng trng(2000 + shadow);
+    StateDict before = model.GetStateDict();
+    trainer.Train(&model, data, config, &trng);
+    features.push_back(UpdateFeatures(SdSub(model.GetStateDict(), before)));
+    labels.push_back(skewed);
+  }
+  auto result = RunPropertyInference(features, labels, 0.3, &rng);
+  EXPECT_GT(result.test_accuracy, 0.75);
+}
+
+TEST(PropertyInferenceTest, UnrelatedUpdatesNearChance) {
+  Rng rng(20);
+  std::vector<std::vector<float>> features;
+  std::vector<int64_t> labels;
+  for (int i = 0; i < 60; ++i) {
+    StateDict update;
+    update["w"] = Tensor::Randn({16}, &rng);
+    features.push_back(UpdateFeatures(update));
+    labels.push_back(i % 2);  // property independent of features
+  }
+  auto result = RunPropertyInference(features, labels, 0.3, &rng);
+  EXPECT_LT(result.test_accuracy, 0.85);
+}
+
+// ---------------------------------------------------------------------------
+// Backdoor attacks
+// ---------------------------------------------------------------------------
+
+Dataset Images(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  d.x = Tensor({n, 1, 4, 4});
+  d.labels.resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    d.labels[i] = i % 2;
+    Tensor img = Tensor::Randn({1, 4, 4}, &rng, 0.5f);
+    // class signal in the mean
+    for (int64_t j = 0; j < img.numel(); ++j) {
+      img.at(j) += d.labels[i] ? 1.0f : -1.0f;
+    }
+    d.x.SetSlice(i, img);
+  }
+  return d;
+}
+
+TEST(BackdoorTest, BadNetsTriggerStampsPatch) {
+  BackdoorOptions options;
+  options.trigger_size = 2;
+  options.trigger_value = 9.0f;
+  Tensor img = Tensor::Zeros({1, 4, 4});
+  ApplyTrigger(&img, options);
+  EXPECT_EQ(img.at(0), 9.0f);       // (0,0)
+  EXPECT_EQ(img.at(1), 9.0f);       // (0,1)
+  EXPECT_EQ(img.at(4), 9.0f);       // (1,0)
+  EXPECT_EQ(img.at(15), 0.0f);      // untouched far corner
+}
+
+TEST(BackdoorTest, BlendedTriggerMixes) {
+  BackdoorOptions options;
+  options.kind = TriggerKind::kBlended;
+  options.blend_alpha = 0.5;
+  Tensor img = Tensor::Zeros({1, 4, 4});
+  Tensor before = img;
+  ApplyTrigger(&img, options);
+  EXPECT_FALSE(img == before);
+}
+
+TEST(BackdoorTest, LabelFlipLeavesInputUntouched) {
+  BackdoorOptions options;
+  options.kind = TriggerKind::kLabelFlip;
+  Rng rng(27);
+  Tensor img = Tensor::Randn({1, 4, 4}, &rng);
+  Tensor before = img;
+  ApplyTrigger(&img, options);
+  EXPECT_TRUE(img == before);
+}
+
+TEST(BackdoorTest, DataPoisonerRelabelsFraction) {
+  Dataset data = Images(100, 21);
+  BackdoorOptions options;
+  options.target_label = 1;
+  options.poison_frac = 0.4;
+  auto poisoner = MakeDataPoisoner(options);
+  const auto original_labels = data.labels;
+  poisoner(&data);
+  int changed_to_target = 0;
+  for (size_t i = 0; i < data.labels.size(); ++i) {
+    if (data.labels[i] == 1 && original_labels[i] != 1) ++changed_to_target;
+  }
+  EXPECT_GT(changed_to_target, 10);
+  EXPECT_LE(changed_to_target, 40);
+}
+
+TEST(BackdoorTest, PoisonedTrainingPlantsBackdoor) {
+  Dataset train = Images(200, 22);
+  BackdoorOptions options;
+  options.target_label = 0;
+  options.poison_frac = 0.5;
+  options.trigger_value = 5.0f;
+  MakeDataPoisoner(options)(&train);
+
+  Rng rng(23);
+  Model model;
+  model.Add("flat", std::make_unique<Flatten>());
+  model.Add("fc", std::make_unique<Linear>(16, 2, &rng));
+  GeneralTrainer trainer;
+  TrainConfig config;
+  config.lr = 0.2;
+  config.local_steps = 150;
+  config.batch_size = 32;
+  Rng trng(24);
+  trainer.Train(&model, train, config, &trng);
+
+  Dataset clean_test = Images(100, 25);
+  const double main_acc = EvaluateClassifier(&model, clean_test).accuracy;
+  const double asr = AttackSuccessRate(&model, clean_test, options);
+  EXPECT_GT(main_acc, 0.8);  // main task intact
+  EXPECT_GT(asr, 0.8);       // trigger flips predictions
+}
+
+TEST(BackdoorTest, AttackSuccessRateIgnoresTargetClassExamples) {
+  // A model that always predicts the target gets ASR 1 on non-target
+  // examples; with an empty eligible set ASR is 0.
+  Dataset data;
+  data.x = Tensor({4, 1, 4, 4});
+  data.labels = {1, 1, 1, 1};
+  BackdoorOptions options;
+  options.target_label = 1;
+  Rng rng(26);
+  Model model;
+  model.Add("flat", std::make_unique<Flatten>());
+  model.Add("fc", std::make_unique<Linear>(16, 2, &rng));
+  EXPECT_EQ(AttackSuccessRate(&model, data, options), 0.0);
+}
+
+TEST(BackdoorTest, EdgeCasePoisonerAppendsOodExamples) {
+  Dataset data = Images(50, 31);
+  const int64_t before = data.size();
+  BackdoorOptions options;
+  options.kind = TriggerKind::kEdgeCase;
+  options.target_label = 1;
+  options.poison_frac = 0.2;
+  MakeDataPoisoner(options)(&data);
+  EXPECT_EQ(data.size(), before + 10);
+  // Appended examples carry the target label and live far out of
+  // distribution; originals are untouched.
+  for (int64_t i = before; i < data.size(); ++i) {
+    EXPECT_EQ(data.labels[i], 1);
+    EXPECT_GT(data.x.Slice(i).at(0), 3.0f);
+  }
+}
+
+TEST(BackdoorTest, EdgeCaseBackdoorPlantsAndMeasures) {
+  Dataset train = Images(200, 32);
+  BackdoorOptions options;
+  options.kind = TriggerKind::kEdgeCase;
+  options.target_label = 0;
+  options.poison_frac = 0.2;
+  options.edge_scale = 2.0f;  // rare-but-plausible input region
+  MakeDataPoisoner(options)(&train);
+
+  Rng rng(33);
+  Model model;
+  model.Add("flat", std::make_unique<Flatten>());
+  model.Add("fc", std::make_unique<Linear>(16, 2, &rng));
+  GeneralTrainer trainer;
+  TrainConfig config;
+  config.lr = 0.05;
+  config.local_steps = 400;
+  config.batch_size = 32;
+  Rng trng(34);
+  trainer.Train(&model, train, config, &trng);
+
+  Dataset clean_test = Images(100, 35);
+  EXPECT_GT(EvaluateClassifier(&model, clean_test).accuracy, 0.8);
+  EXPECT_GT(AttackSuccessRate(&model, clean_test, options), 0.9);
+}
+
+TEST(BackdoorTest, DistributedTriggerComposesFromParts) {
+  // DBA: two attackers stamp different halves of the trigger; the full
+  // trigger (both halves) activates the backdoor at inference time.
+  Dataset train = Images(300, 36);
+
+  BackdoorOptions left;
+  left.target_label = 0;
+  left.poison_frac = 0.4;
+  left.trigger_size = 2;
+  left.trigger_offset_w = 0;
+  left.trigger_value = 5.0f;
+  BackdoorOptions right = left;
+  right.trigger_offset_w = 2;
+
+  // Attacker 1 poisons the first half of the data with the left part,
+  // attacker 2 the second half with the right part.
+  Dataset half1 = train.Subset([&] {
+    std::vector<int64_t> idx;
+    for (int64_t i = 0; i < 150; ++i) idx.push_back(i);
+    return idx;
+  }());
+  Dataset half2 = train.Subset([&] {
+    std::vector<int64_t> idx;
+    for (int64_t i = 150; i < 300; ++i) idx.push_back(i);
+    return idx;
+  }());
+  MakeDataPoisoner(left)(&half1);
+  MakeDataPoisoner(right)(&half2);
+  Dataset poisoned;
+  poisoned.x = Tensor({300, 1, 4, 4});
+  poisoned.labels.resize(300);
+  for (int64_t i = 0; i < 150; ++i) {
+    poisoned.x.SetSlice(i, half1.x.Slice(i));
+    poisoned.labels[i] = half1.labels[i];
+    poisoned.x.SetSlice(150 + i, half2.x.Slice(i));
+    poisoned.labels[150 + i] = half2.labels[i];
+  }
+
+  Rng rng(37);
+  Model model;
+  model.Add("flat", std::make_unique<Flatten>());
+  model.Add("fc", std::make_unique<Linear>(16, 2, &rng));
+  GeneralTrainer trainer;
+  TrainConfig config;
+  config.lr = 0.2;
+  config.local_steps = 200;
+  config.batch_size = 32;
+  Rng trng(38);
+  trainer.Train(&model, poisoned, config, &trng);
+
+  // Evaluate with the COMBINED trigger (apply both halves).
+  Dataset clean_test = Images(100, 39);
+  std::vector<int64_t> eligible;
+  for (int64_t i = 0; i < clean_test.size(); ++i) {
+    if (clean_test.labels[i] != 0) eligible.push_back(i);
+  }
+  Dataset triggered = clean_test.Subset(eligible);
+  for (int64_t i = 0; i < triggered.size(); ++i) {
+    Tensor img = triggered.x.Slice(i);
+    ApplyTrigger(&img, left);
+    ApplyTrigger(&img, right);
+    triggered.x.SetSlice(i, img);
+  }
+  Tensor scores = model.Forward(triggered.x, false);
+  auto preds = ArgmaxRows(scores);
+  int64_t hits = 0;
+  for (int64_t p : preds) {
+    if (p == 0) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / preds.size(), 0.8);
+}
+
+TEST(BackdoorTest, ScalingPoisonerScales) {
+  StateDict delta;
+  delta["w"] = Tensor::FromVector({1, -2});
+  MakeScalingPoisoner(10.0)(&delta);
+  EXPECT_EQ(delta.at("w").at(0), 10.0f);
+  EXPECT_EQ(delta.at("w").at(1), -20.0f);
+}
+
+TEST(BackdoorTest, NeurotoxinMasksLargestCoordinates) {
+  StateDict delta;
+  delta["w"] = Tensor::FromVector({0.1f, 5.0f, 0.2f, -6.0f, 0.05f});
+  MakeNeurotoxinPoisoner(0.4)(&delta);
+  // The two largest-magnitude coordinates are zeroed.
+  EXPECT_EQ(delta.at("w").at(1), 0.0f);
+  EXPECT_EQ(delta.at("w").at(3), 0.0f);
+  EXPECT_FLOAT_EQ(delta.at("w").at(0), 0.1f);
+  EXPECT_FLOAT_EQ(delta.at("w").at(2), 0.2f);
+}
+
+TEST(BackdoorTest, NeurotoxinZeroFracIsNoop) {
+  StateDict delta;
+  delta["w"] = Tensor::FromVector({1, 2, 3});
+  StateDict before = delta;
+  MakeNeurotoxinPoisoner(0.0)(&delta);
+  EXPECT_TRUE(delta == before);
+}
+
+}  // namespace
+}  // namespace fedscope

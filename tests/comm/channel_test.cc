@@ -1,0 +1,39 @@
+#include "fedscope/comm/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+TEST(QueueChannelTest, FifoOrder) {
+  QueueChannel ch;
+  Message a, b;
+  a.msg_type = "first";
+  b.msg_type = "second";
+  ch.Send(a);
+  ch.Send(b);
+  EXPECT_EQ(ch.Size(), 2u);
+  EXPECT_EQ(ch.Pop().msg_type, "first");
+  EXPECT_EQ(ch.Pop().msg_type, "second");
+  EXPECT_TRUE(ch.Empty());
+}
+
+TEST(QueueChannelTest, ThroughWireRoundTrips) {
+  QueueChannel ch(/*through_wire=*/true);
+  Message m;
+  m.sender = 2;
+  m.msg_type = "model_para";
+  m.payload.SetTensor("model/w", Tensor::FromVector({1.5f, -2.5f}));
+  ch.Send(m);
+  Message back = ch.Pop();
+  EXPECT_EQ(back.sender, 2);
+  EXPECT_TRUE(back.payload == m.payload);
+}
+
+TEST(QueueChannelTest, PopEmptyDies) {
+  QueueChannel ch;
+  EXPECT_DEATH(ch.Pop(), "");
+}
+
+}  // namespace
+}  // namespace fedscope

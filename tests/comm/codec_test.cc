@@ -1,0 +1,176 @@
+#include "fedscope/comm/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+Message SampleMessage() {
+  Message m;
+  m.sender = 3;
+  m.receiver = 0;
+  m.msg_type = "model_update";
+  m.state = 12;
+  m.timestamp = 42.5;
+  m.payload.SetInt("num_samples", 80);
+  m.payload.SetDouble("train_loss", 0.321);
+  m.payload.SetString("backend", "row_major");
+  m.payload.SetTensor("delta/fc.weight",
+                      Tensor({2, 3}, {1, 2, 3, 4, 5, 6}));
+  m.payload.SetTensor("delta/fc.bias", Tensor::FromVector({-1, -2, -3}));
+  return m;
+}
+
+TEST(CodecTest, RoundTripPreservesEverything) {
+  Message m = SampleMessage();
+  auto decoded = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->sender, m.sender);
+  EXPECT_EQ(decoded->receiver, m.receiver);
+  EXPECT_EQ(decoded->msg_type, m.msg_type);
+  EXPECT_EQ(decoded->state, m.state);
+  EXPECT_DOUBLE_EQ(decoded->timestamp, m.timestamp);
+  EXPECT_TRUE(decoded->payload == m.payload);
+}
+
+TEST(CodecTest, EmptyMessageRoundTrips) {
+  Message m;
+  auto decoded = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->payload == m.payload);
+}
+
+TEST(CodecTest, EmptyTensorRoundTrips) {
+  Message m;
+  m.payload.SetTensor("empty", Tensor({0}));
+  m.payload.SetTensor("scalar_shape", Tensor({1}, {5.0f}));
+  auto decoded = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->payload.GetTensor("empty")->numel(), 0);
+  EXPECT_EQ(decoded->payload.GetTensor("scalar_shape")->at(0), 5.0f);
+}
+
+TEST(CodecTest, FourDimTensorShapePreserved) {
+  Message m;
+  m.payload.SetTensor("conv", Tensor({2, 3, 4, 5}));
+  auto decoded = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(decoded.ok());
+  auto t = decoded->payload.GetTensor("conv");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->shape(), (std::vector<int64_t>{2, 3, 4, 5}));
+}
+
+TEST(CodecTest, BadMagicRejected) {
+  auto bytes = EncodeMessage(SampleMessage());
+  bytes[0] = 'X';
+  EXPECT_FALSE(DecodeMessage(bytes).ok());
+}
+
+TEST(CodecTest, TruncationRejectedEverywhere) {
+  auto bytes = EncodeMessage(SampleMessage());
+  // Every strict prefix must fail cleanly, never crash.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(DecodeMessage(truncated).ok()) << "len=" << len;
+  }
+}
+
+TEST(CodecTest, TrailingBytesRejected) {
+  auto bytes = EncodeMessage(SampleMessage());
+  bytes.push_back(0);
+  EXPECT_FALSE(DecodeMessage(bytes).ok());
+}
+
+TEST(CodecTest, CorruptTensorLengthRejected) {
+  Message m;
+  m.payload.SetTensor("t", Tensor::FromVector({1, 2, 3}));
+  auto bytes = EncodeMessage(m);
+  // Flip a byte in the middle and make sure decode never crashes; it may
+  // or may not fail depending on which byte, but must be well-defined.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    auto corrupted = bytes;
+    corrupted[i] ^= 0xFF;
+    auto result = DecodeMessage(corrupted);
+    (void)result;  // no crash is the assertion
+  }
+  SUCCEED();
+}
+
+TEST(CodecTest, PayloadOnlyRoundTrip) {
+  Payload p;
+  p.SetInt("a", 1);
+  p.SetTensor("t", Tensor::FromVector({9}));
+  auto decoded = DecodePayload(EncodePayload(p));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(*decoded == p);
+}
+
+TEST(FrameTest, SplitAndReassembleRoundTrip) {
+  auto bytes = EncodeMessage(SampleMessage());
+  for (size_t frame_size : {1u, 7u, 64u, 4096u}) {
+    auto frames = SplitIntoFrames(bytes, frame_size);
+    EXPECT_EQ(frames.size(), (bytes.size() + frame_size - 1) / frame_size);
+    auto reassembled = ReassembleFrames(frames);
+    ASSERT_TRUE(reassembled.ok()) << frame_size;
+    EXPECT_EQ(*reassembled, bytes);
+  }
+}
+
+TEST(FrameTest, OutOfOrderReassembly) {
+  auto bytes = EncodeMessage(SampleMessage());
+  auto frames = SplitIntoFrames(bytes, 16);
+  ASSERT_GT(frames.size(), 2u);
+  std::reverse(frames.begin(), frames.end());
+  auto reassembled = ReassembleFrames(frames);
+  ASSERT_TRUE(reassembled.ok());
+  EXPECT_EQ(*reassembled, bytes);
+}
+
+TEST(FrameTest, MissingFrameRejected) {
+  auto frames = SplitIntoFrames(std::vector<uint8_t>(100, 7), 16);
+  frames.pop_back();
+  EXPECT_FALSE(ReassembleFrames(frames).ok());
+}
+
+TEST(FrameTest, DuplicateFrameRejected) {
+  auto frames = SplitIntoFrames(std::vector<uint8_t>(100, 7), 16);
+  frames.back() = frames.front();
+  EXPECT_FALSE(ReassembleFrames(frames).ok());
+}
+
+TEST(FrameTest, InconsistentHeaderRejected) {
+  auto frames = SplitIntoFrames(std::vector<uint8_t>(100, 7), 16);
+  frames[1].total_bytes += 1;
+  EXPECT_FALSE(ReassembleFrames(frames).ok());
+}
+
+TEST(FrameTest, EmptyMessageProducesOneFrame) {
+  auto frames = SplitIntoFrames({}, 16);
+  ASSERT_EQ(frames.size(), 1u);
+  auto reassembled = ReassembleFrames(frames);
+  ASSERT_TRUE(reassembled.ok());
+  EXPECT_TRUE(reassembled->empty());
+}
+
+TEST(FrameTest, FramedMessageStillDecodes) {
+  Message msg = SampleMessage();
+  auto frames = SplitIntoFrames(EncodeMessage(msg), 32);
+  auto bytes = ReassembleFrames(frames);
+  ASSERT_TRUE(bytes.ok());
+  auto decoded = DecodeMessage(*bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->payload == msg.payload);
+}
+
+TEST(CodecTest, WireSizeMatchesByteSizeEstimateOrder) {
+  Message m = SampleMessage();
+  auto bytes = EncodeMessage(m);
+  // The estimate is approximate, but must be within 2x of reality.
+  EXPECT_GT(static_cast<int64_t>(bytes.size()),
+            m.payload.ByteSize() / 2);
+  EXPECT_LT(static_cast<int64_t>(bytes.size()),
+            m.payload.ByteSize() * 2 + 128);
+}
+
+}  // namespace
+}  // namespace fedscope

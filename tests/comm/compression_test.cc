@@ -1,0 +1,129 @@
+#include "fedscope/comm/compression.h"
+
+#include <gtest/gtest.h>
+
+#include "fedscope/comm/codec.h"
+#include "fedscope/nn/model_zoo.h"
+#include "fedscope/tensor/tensor_ops.h"
+
+namespace fedscope {
+namespace {
+
+StateDict SampleState(uint64_t seed = 1) {
+  Rng rng(seed);
+  return MakeMlp({16, 12, 4}, &rng).GetStateDict();
+}
+
+TEST(Quant8Test, RoundTripWithinGridResolution) {
+  StateDict state = SampleState();
+  auto decoded = DequantizeStateDict(QuantizeStateDict(state));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), state.size());
+  for (const auto& [name, tensor] : state) {
+    const Tensor& back = decoded->at(name);
+    ASSERT_TRUE(back.SameShape(tensor)) << name;
+    float lo = tensor.at(0), hi = tensor.at(0);
+    for (int64_t i = 1; i < tensor.numel(); ++i) {
+      lo = std::min(lo, tensor.at(i));
+      hi = std::max(hi, tensor.at(i));
+    }
+    const float grid = (hi - lo) / 255.0f;
+    for (int64_t i = 0; i < tensor.numel(); ++i) {
+      EXPECT_NEAR(back.at(i), tensor.at(i), grid * 0.51f + 1e-7f)
+          << name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(Quant8Test, ShrinksWireSize) {
+  // Big enough that per-tensor header overhead is amortized.
+  Rng rng(9);
+  StateDict state = MakeMlp({64, 64, 10}, &rng).GetStateDict();
+  Payload plain;
+  plain.SetStateDict("model", state);
+  Payload quantized = QuantizeStateDict(state);
+  // float32 -> ~1 byte/coefficient: at least 2.5x smaller.
+  EXPECT_LT(CompressedBytes(quantized) * 2.5, plain.ByteSize());
+}
+
+TEST(Quant8Test, SurvivesWireCodec) {
+  StateDict state = SampleState();
+  auto bytes = EncodePayload(QuantizeStateDict(state));
+  auto payload = DecodePayload(bytes);
+  ASSERT_TRUE(payload.ok());
+  auto decoded = DequantizeStateDict(*payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), state.size());
+}
+
+TEST(Quant8Test, ConstantTensorHandled) {
+  StateDict state;
+  state["b"] = Tensor::Full({8}, 3.0f);  // zero range
+  auto decoded = DequantizeStateDict(QuantizeStateDict(state));
+  ASSERT_TRUE(decoded.ok());
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(decoded->at("b").at(i), 3.0f, 1e-5f);
+  }
+}
+
+TEST(Quant8Test, RejectsForeignPayload) {
+  Payload p;
+  p.SetString("codec", "something_else");
+  EXPECT_FALSE(DequantizeStateDict(p).ok());
+  EXPECT_FALSE(DequantizeStateDict(Payload{}).ok());
+}
+
+TEST(TopKTest, KeepsLargestMagnitudes) {
+  StateDict state;
+  state["w"] = Tensor::FromVector({0.1f, -5.0f, 0.2f, 4.0f, -0.05f});
+  auto decoded = DesparsifyStateDict(SparsifyStateDict(state, 0.4));
+  ASSERT_TRUE(decoded.ok());
+  const Tensor& back = decoded->at("w");
+  EXPECT_FLOAT_EQ(back.at(1), -5.0f);
+  EXPECT_FLOAT_EQ(back.at(3), 4.0f);
+  EXPECT_FLOAT_EQ(back.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(back.at(2), 0.0f);
+  EXPECT_FLOAT_EQ(back.at(4), 0.0f);
+}
+
+TEST(TopKTest, FullKeepIsLossless) {
+  StateDict state = SampleState(2);
+  auto decoded = DesparsifyStateDict(SparsifyStateDict(state, 1.0));
+  ASSERT_TRUE(decoded.ok());
+  for (const auto& [name, tensor] : state) {
+    EXPECT_TRUE(decoded->at(name) == tensor) << name;
+  }
+}
+
+TEST(TopKTest, AtLeastOneCoordinatePerTensor) {
+  StateDict state;
+  state["w"] = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  auto decoded = DesparsifyStateDict(SparsifyStateDict(state, 1e-9));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FLOAT_EQ(decoded->at("w").at(2), 3.0f);  // largest survives
+}
+
+TEST(TopKTest, ShrinksWireSizeAtLowKeepFrac) {
+  StateDict state = SampleState(3);
+  Payload plain;
+  plain.SetStateDict("model", state);
+  Payload sparse = SparsifyStateDict(state, 0.1);
+  EXPECT_LT(CompressedBytes(sparse), plain.ByteSize());
+}
+
+TEST(TopKTest, PreservesErrorBoundForAveraging) {
+  // The dropped mass is bounded by the kept fraction: reconstruction
+  // error norm is strictly below the original norm.
+  StateDict state = SampleState(4);
+  auto decoded = DesparsifyStateDict(SparsifyStateDict(state, 0.3));
+  ASSERT_TRUE(decoded.ok());
+  double err_sq = 0.0, total_sq = 0.0;
+  for (const auto& [name, tensor] : state) {
+    err_sq += SquaredNorm(Sub(tensor, decoded->at(name)));
+    total_sq += SquaredNorm(tensor);
+  }
+  EXPECT_LT(err_sq, total_sq);
+}
+
+}  // namespace
+}  // namespace fedscope

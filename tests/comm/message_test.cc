@@ -1,0 +1,86 @@
+#include "fedscope/comm/message.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+TEST(PayloadTest, ScalarsRoundTrip) {
+  Payload p;
+  p.SetInt("round", 7);
+  p.SetDouble("lr", 0.5);
+  p.SetString("name", "fedavg");
+  EXPECT_TRUE(p.HasScalar("round"));
+  EXPECT_EQ(p.GetInt("round", 0), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("lr", 0.0), 0.5);
+  EXPECT_EQ(p.GetString("name", ""), "fedavg");
+}
+
+TEST(PayloadTest, NumericConversion) {
+  Payload p;
+  p.SetInt("n", 3);
+  p.SetDouble("d", 2.7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("n", 0.0), 3.0);
+  EXPECT_EQ(p.GetInt("d", 0), 2);
+}
+
+TEST(PayloadTest, MissingScalarDefaults) {
+  Payload p;
+  EXPECT_EQ(p.GetInt("missing", -1), -1);
+  EXPECT_EQ(p.GetString("missing", "x"), "x");
+  EXPECT_FALSE(p.HasScalar("missing"));
+}
+
+TEST(PayloadTest, TensorsRoundTrip) {
+  Payload p;
+  p.SetTensor("w", Tensor::FromVector({1, 2, 3}));
+  EXPECT_TRUE(p.HasTensor("w"));
+  auto t = p.GetTensor("w");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->numel(), 3);
+  EXPECT_FALSE(p.GetTensor("missing").ok());
+}
+
+TEST(PayloadTest, StateDictRoundTrip) {
+  StateDict state;
+  state["fc.weight"] = Tensor::FromVector({1, 2});
+  state["fc.bias"] = Tensor::FromVector({3});
+  Payload p;
+  p.SetStateDict("model", state);
+  StateDict back = p.GetStateDict("model");
+  EXPECT_TRUE(back == state);
+}
+
+TEST(PayloadTest, StateDictPrefixIsolation) {
+  Payload p;
+  StateDict a, b;
+  a["w"] = Tensor::FromVector({1});
+  b["w"] = Tensor::FromVector({2});
+  p.SetStateDict("model", a);
+  p.SetStateDict("delta", b);
+  EXPECT_EQ(p.GetStateDict("model").at("w").at(0), 1.0f);
+  EXPECT_EQ(p.GetStateDict("delta").at("w").at(0), 2.0f);
+  EXPECT_TRUE(p.GetStateDict("other").empty());
+}
+
+TEST(PayloadTest, ByteSizeGrowsWithContent) {
+  Payload small, big;
+  small.SetInt("x", 1);
+  big.SetInt("x", 1);
+  big.SetTensor("t", Tensor::Zeros({1000}));
+  EXPECT_GT(big.ByteSize(), small.ByteSize() + 3900);
+}
+
+TEST(MessageTest, SummaryContainsFields) {
+  Message m;
+  m.sender = 3;
+  m.receiver = 0;
+  m.msg_type = "model_update";
+  m.state = 5;
+  std::string s = MessageSummary(m);
+  EXPECT_NE(s.find("model_update"), std::string::npos);
+  EXPECT_NE(s.find("3->0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,109 @@
+#include "fedscope/core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "fedscope/comm/codec.h"
+#include "fedscope/core/fed_runner.h"
+#include "fedscope/data/synthetic_twitter.h"
+#include "fedscope/nn/model_zoo.h"
+
+namespace fedscope {
+namespace {
+
+Checkpoint SampleCheckpoint() {
+  Rng rng(1);
+  Model model = MakeMlp({4, 6, 2}, &rng);
+  Checkpoint ckpt;
+  ckpt.round = 17;
+  ckpt.virtual_time = 1234.5;
+  ckpt.best_accuracy = 0.87;
+  ckpt.global_state = model.GetStateDict();
+  return ckpt;
+}
+
+TEST(CheckpointTest, SerializeRoundTrip) {
+  Checkpoint ckpt = SampleCheckpoint();
+  auto bytes = SerializeCheckpoint(ckpt);
+  auto restored = DeserializeCheckpoint(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->round, 17);
+  EXPECT_DOUBLE_EQ(restored->virtual_time, 1234.5);
+  EXPECT_DOUBLE_EQ(restored->best_accuracy, 0.87);
+  EXPECT_TRUE(restored->global_state == ckpt.global_state);
+}
+
+TEST(CheckpointTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeCheckpoint({1, 2, 3}).ok());
+  // A valid payload that isn't a checkpoint.
+  Payload p;
+  p.SetInt("round", 1);
+  EXPECT_FALSE(DeserializeCheckpoint(EncodePayload(p)).ok());
+}
+
+TEST(CheckpointTest, RejectsTruncation) {
+  auto bytes = SerializeCheckpoint(SampleCheckpoint());
+  for (size_t len = 0; len < bytes.size(); len += 11) {
+    std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(DeserializeCheckpoint(cut).ok());
+  }
+}
+
+TEST(CheckpointTest, RestoreModelLoadsParameters) {
+  Checkpoint ckpt = SampleCheckpoint();
+  Rng rng(9);
+  Model other = MakeMlp({4, 6, 2}, &rng);
+  ASSERT_FALSE(other.GetStateDict() == ckpt.global_state);
+  ASSERT_TRUE(RestoreModel(ckpt, &other).ok());
+  EXPECT_TRUE(other.GetStateDict() == ckpt.global_state);
+}
+
+TEST(CheckpointTest, RestoreModelRejectsWrongArchitecture) {
+  Checkpoint ckpt = SampleCheckpoint();
+  Rng rng(9);
+  Model wrong = MakeMlp({4, 8, 2}, &rng);  // different hidden width
+  EXPECT_FALSE(RestoreModel(ckpt, &wrong).ok());
+}
+
+TEST(CheckpointTest, FedCourseResumesFromCheckpoint) {
+  // Export a snapshot of a short course, restore a second course from it,
+  // and confirm the combined trajectory continues improving — the SHA/PBT
+  // mechanism of §4.3.
+  SyntheticTwitterOptions options;
+  options.num_clients = 20;
+  options.seed = 4;
+  FedDataset data = MakeSyntheticTwitter(options);
+
+  auto make_job = [&]() {
+    FedJob job;
+    job.data = &data;
+    Rng rng(5);
+    job.init_model = MakeLogisticRegression(60, 2, &rng);
+    job.server.concurrency = 8;
+    job.server.max_rounds = 5;
+    job.client.train.lr = 0.5;
+    job.client.train.batch_size = 2;
+    job.seed = 5;
+    return job;
+  };
+
+  RunResult first = FedRunner(make_job()).Run();
+  Checkpoint ckpt;
+  ckpt.round = first.server.rounds;
+  ckpt.global_state = first.final_model.GetStateDict();
+  auto bytes = SerializeCheckpoint(ckpt);
+
+  auto restored = DeserializeCheckpoint(bytes);
+  ASSERT_TRUE(restored.ok());
+  FedJob resumed = make_job();
+  ASSERT_TRUE(RestoreModel(*restored, &resumed.init_model).ok());
+  RunResult second = FedRunner(std::move(resumed)).Run();
+
+  EXPECT_GE(second.server.final_accuracy,
+            first.server.final_accuracy - 0.05);
+  // A cold 5-round run should not beat the 5+5 resumed run by much.
+  RunResult cold = FedRunner(make_job()).Run();
+  EXPECT_GE(second.server.final_accuracy, cold.server.final_accuracy - 0.1);
+}
+
+}  // namespace
+}  // namespace fedscope

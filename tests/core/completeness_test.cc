@@ -1,0 +1,131 @@
+#include "fedscope/core/completeness.h"
+
+#include <gtest/gtest.h>
+
+#include "fedscope/core/events.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+TEST(CompletenessTest, EmptyGraphIsIncomplete) {
+  CompletenessChecker checker;
+  auto report = checker.Check();
+  EXPECT_FALSE(report.complete);
+}
+
+TEST(CompletenessTest, DirectPathIsComplete) {
+  CompletenessChecker checker;
+  checker.MarkEntry("join_in");
+  checker.AddEdge("join_in", "finish");
+  checker.MarkTerminal("finish");
+  auto report = checker.Check();
+  EXPECT_TRUE(report.complete);
+}
+
+TEST(CompletenessTest, BuiltinFedAvgFlowIsComplete) {
+  // Mirrors the left subgraph of Figure 16.
+  CompletenessChecker checker;
+  checker.MarkEntry(events::kJoinIn);
+  checker.AddEdge(events::kJoinIn, events::kAllJoinedIn);
+  checker.AddEdge(events::kAllJoinedIn, events::kModelPara);
+  checker.AddEdge(events::kModelPara, events::kModelUpdate);
+  checker.AddEdge(events::kModelUpdate, events::kAllReceived);
+  checker.AddEdge(events::kAllReceived, events::kModelPara);
+  checker.AddEdge(events::kModelUpdate, events::kTargetReached);
+  checker.AddEdge(events::kTargetReached, events::kFinish);
+  checker.MarkTerminal(events::kFinish);
+  auto report = checker.Check();
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.unreachable.empty());
+}
+
+TEST(CompletenessTest, RedundantNodesReportedAsWarnings) {
+  // The middle subgraph of Figure 16: reachable start->end plus dangling
+  // nodes that only produce warnings.
+  std::vector<std::string> warnings;
+  Logging::set_sink([&](LogLevel level, const std::string& text) {
+    if (level == LogLevel::kWarning) warnings.push_back(text);
+  });
+  CompletenessChecker checker;
+  checker.MarkEntry("m1");
+  checker.AddEdge("m1", "finish");
+  checker.MarkTerminal("finish");
+  checker.AddEdge("m3", "m4");  // unreachable island
+  auto report = checker.Check();
+  Logging::set_sink(nullptr);
+
+  EXPECT_TRUE(report.complete);
+  ASSERT_EQ(report.unreachable.size(), 2u);
+  EXPECT_EQ(warnings.size(), 2u);
+}
+
+TEST(CompletenessTest, MissingPathIsError) {
+  // The right subgraph of Figure 16: no start-to-end path.
+  std::vector<std::string> errors;
+  Logging::set_sink([&](LogLevel level, const std::string& text) {
+    if (level == LogLevel::kError) errors.push_back(text);
+  });
+  CompletenessChecker checker;
+  checker.MarkEntry("m1");
+  checker.AddEdge("m1", "m2");
+  checker.AddEdge("m3", "finish");  // finish only reachable from m3
+  checker.MarkTerminal("finish");
+  auto report = checker.Check();
+  Logging::set_sink(nullptr);
+
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(errors.size(), 1u);
+}
+
+TEST(CompletenessTest, OptionalNodesSuppressWarnings) {
+  std::vector<std::string> warnings;
+  Logging::set_sink([&](LogLevel level, const std::string& text) {
+    if (level == LogLevel::kWarning) warnings.push_back(text);
+  });
+  CompletenessChecker checker;
+  checker.MarkEntry("a");
+  checker.AddEdge("a", "finish");
+  checker.MarkTerminal("finish");
+  checker.AddEdge("island", "island2");
+  checker.MarkOptional("island");
+  checker.MarkOptional("island2");
+  auto report = checker.Check();
+  Logging::set_sink(nullptr);
+
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.unreachable.size(), 2u);  // still reported
+  EXPECT_TRUE(warnings.empty());             // but not logged
+}
+
+TEST(CompletenessTest, AddRegistryImportsFlows) {
+  HandlerRegistry registry;
+  registry.Register(events::kModelPara, [](const Message&) {},
+                    {events::kModelUpdate});
+  CompletenessChecker checker;
+  checker.AddRegistry(registry);
+  checker.MarkEntry(events::kModelPara);
+  checker.MarkTerminal(events::kModelUpdate);
+  EXPECT_TRUE(checker.Check().complete);
+}
+
+TEST(CompletenessTest, ReportToStringMentionsStatus) {
+  CompletenessChecker checker;
+  checker.MarkEntry("a");
+  checker.MarkTerminal("a");
+  auto report = checker.Check();
+  EXPECT_NE(report.ToString().find("complete=yes"), std::string::npos);
+}
+
+TEST(CompletenessTest, CyclesDoNotHang) {
+  CompletenessChecker checker;
+  checker.MarkEntry("a");
+  checker.AddEdge("a", "b");
+  checker.AddEdge("b", "a");  // cycle
+  checker.AddEdge("b", "finish");
+  checker.MarkTerminal("finish");
+  EXPECT_TRUE(checker.Check().complete);
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,231 @@
+#include "fedscope/core/distributed.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "fedscope/comm/socket_transport.h"
+#include "fedscope/nn/model_zoo.h"
+
+namespace fedscope {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Transport layer
+// ---------------------------------------------------------------------------
+
+TEST(TcpTransportTest, MessageRoundTripOverLoopback) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const int port = listener->port();
+  EXPECT_GT(port, 0);
+
+  Message sent;
+  sent.sender = 3;
+  sent.receiver = 0;
+  sent.msg_type = "model_update";
+  sent.state = 5;
+  sent.payload.SetTensor("delta/w", Tensor::FromVector({1.5f, -2.5f}));
+  sent.payload.SetInt("num_samples", 40);
+
+  std::thread client_thread([&] {
+    auto conn = TcpConnection::Connect("127.0.0.1", port);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    ASSERT_TRUE(conn->SendMessage(sent).ok());
+  });
+
+  auto server_conn = listener->Accept();
+  ASSERT_TRUE(server_conn.ok());
+  auto received = server_conn->ReceiveMessage();
+  client_thread.join();
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received->sender, 3);
+  EXPECT_EQ(received->msg_type, "model_update");
+  EXPECT_TRUE(received->payload == sent.payload);
+}
+
+TEST(TcpTransportTest, MultipleMessagesInOrder) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const int port = listener->port();
+  std::thread client_thread([&] {
+    auto conn = TcpConnection::Connect("127.0.0.1", port);
+    ASSERT_TRUE(conn.ok());
+    for (int i = 0; i < 20; ++i) {
+      Message msg;
+      msg.state = i;
+      msg.msg_type = "seq";
+      ASSERT_TRUE(conn->SendMessage(msg).ok());
+    }
+  });
+  auto conn = listener->Accept();
+  ASSERT_TRUE(conn.ok());
+  for (int i = 0; i < 20; ++i) {
+    auto msg = conn->ReceiveMessage();
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->state, i);
+  }
+  client_thread.join();
+}
+
+TEST(TcpTransportTest, EofReportedAsClosed) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const int port = listener->port();
+  std::thread client_thread([&] {
+    auto conn = TcpConnection::Connect("127.0.0.1", port);
+    ASSERT_TRUE(conn.ok());
+    conn->Close();
+  });
+  auto conn = listener->Accept();
+  ASSERT_TRUE(conn.ok());
+  auto msg = conn->ReceiveMessage();
+  client_thread.join();
+  EXPECT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(TcpTransportTest, ConnectToClosedPortFails) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const int port = listener->port();
+  listener->Close();
+  EXPECT_FALSE(TcpConnection::Connect("127.0.0.1", port).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Distributed FL course
+// ---------------------------------------------------------------------------
+
+Dataset Blobs(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  d.x = Tensor({n, 2});
+  d.labels.resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = i % 2;
+    d.labels[i] = y;
+    d.x.at(i, 0) = static_cast<float>((y ? 1.5 : -1.5) + rng.Normal(0, 0.5));
+    d.x.at(i, 1) = static_cast<float>((y ? 1.5 : -1.5) + rng.Normal(0, 0.5));
+  }
+  return d;
+}
+
+TEST(DistributedTest, FourClientFedAvgOverTcp) {
+  constexpr int kClients = 4;
+  Rng init_rng(1);
+  Model init = MakeLogisticRegression(2, 2, &init_rng);
+
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const int port = listener->port();
+
+  ServerOptions server_options;
+  server_options.strategy = Strategy::kSyncVanilla;
+  server_options.concurrency = kClients;
+  server_options.expected_clients = kClients;
+  server_options.max_rounds = 6;
+  server_options.seed = 2;
+
+  DistributedServerHost server_host(
+      server_options, init, std::make_unique<FedAvgAggregator>(),
+      std::move(listener.value()));
+  Dataset server_test = Blobs(64, 99);
+  server_host.server()->set_evaluator([&server_test](Model* model) {
+    return EvaluateClassifier(model, server_test);
+  });
+
+  ServerStats stats;
+  std::thread server_thread([&] { stats = server_host.Run(); });
+
+  std::vector<std::thread> client_threads;
+  std::vector<Status> client_statuses(kClients);
+  for (int id = 1; id <= kClients; ++id) {
+    client_threads.emplace_back([&, id] {
+      ClientOptions options;
+      options.jitter_sigma = 0.0;
+      options.seed = 100 + id;
+      Rng split_rng(id);
+      SplitDataset data = Split(Blobs(40, id), 0.7, 0.1, &split_rng);
+      DistributedClientHost host(id, std::move(options), init,
+                                 std::move(data),
+                                 std::make_unique<GeneralTrainer>(),
+                                 "127.0.0.1", port);
+      client_statuses[id - 1] = host.Run();
+    });
+  }
+  for (auto& t : client_threads) t.join();
+  server_thread.join();
+
+  for (const auto& status : client_statuses) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  EXPECT_EQ(stats.rounds, 6);
+  EXPECT_GT(stats.final_accuracy, 0.85);  // the course actually learned
+  EXPECT_EQ(stats.curve.size(), 6u);
+}
+
+TEST(DistributedTest, AsyncGoalStrategyOverTcp) {
+  constexpr int kClients = 5;
+  Rng init_rng(3);
+  Model init = MakeLogisticRegression(2, 2, &init_rng);
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const int port = listener->port();
+
+  ServerOptions server_options;
+  server_options.strategy = Strategy::kAsyncGoal;
+  server_options.aggregation_goal = 2;
+  server_options.concurrency = kClients;
+  server_options.expected_clients = kClients;
+  server_options.staleness_tolerance = 5;
+  server_options.max_rounds = 8;
+  server_options.seed = 4;
+
+  DistributedServerHost server_host(
+      server_options, init,
+      std::make_unique<FedAvgAggregator>(FedAvgOptions{1.0, 0.5}),
+      std::move(listener.value()));
+  Dataset server_test = Blobs(64, 98);
+  server_host.server()->set_evaluator([&server_test](Model* model) {
+    return EvaluateClassifier(model, server_test);
+  });
+
+  ServerStats stats;
+  std::thread server_thread([&] { stats = server_host.Run(); });
+  std::vector<std::thread> client_threads;
+  for (int id = 1; id <= kClients; ++id) {
+    client_threads.emplace_back([&, id] {
+      ClientOptions options;
+      options.seed = 200 + id;
+      Rng split_rng(10 + id);
+      SplitDataset data = Split(Blobs(40, 10 + id), 0.7, 0.1, &split_rng);
+      DistributedClientHost host(id, std::move(options), init,
+                                 std::move(data),
+                                 std::make_unique<GeneralTrainer>(),
+                                 "127.0.0.1", port);
+      host.Run().ok();
+    });
+  }
+  for (auto& t : client_threads) t.join();
+  server_thread.join();
+  EXPECT_EQ(stats.rounds, 8);
+  EXPECT_GT(stats.final_accuracy, 0.8);
+}
+
+TEST(DistributedTest, TimeStrategyRejected) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  ServerOptions options;
+  options.strategy = Strategy::kAsyncTime;
+  options.expected_clients = 1;
+  Rng rng(1);
+  EXPECT_DEATH(DistributedServerHost(options,
+                                     MakeLogisticRegression(2, 2, &rng),
+                                     std::make_unique<FedAvgAggregator>(),
+                                     std::move(listener.value())),
+               "");
+}
+
+}  // namespace
+}  // namespace fedscope

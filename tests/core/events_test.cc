@@ -1,0 +1,42 @@
+#include "fedscope/core/events.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+TEST(EventsTest, MessageEventsClassified) {
+  EXPECT_EQ(ClassifyEvent(events::kModelPara),
+            EventClass::kMessagePassing);
+  EXPECT_EQ(ClassifyEvent(events::kJoinIn), EventClass::kMessagePassing);
+  EXPECT_EQ(ClassifyEvent(events::kMetrics), EventClass::kMessagePassing);
+}
+
+TEST(EventsTest, ConditionEventsClassified) {
+  EXPECT_EQ(ClassifyEvent(events::kAllReceived),
+            EventClass::kConditionChecking);
+  EXPECT_EQ(ClassifyEvent(events::kGoalAchieved),
+            EventClass::kConditionChecking);
+  EXPECT_EQ(ClassifyEvent(events::kTimeUp),
+            EventClass::kConditionChecking);
+  EXPECT_EQ(ClassifyEvent(events::kPerformanceDrop),
+            EventClass::kConditionChecking);
+}
+
+TEST(EventsTest, UserDefinedEventsAreConditions) {
+  EXPECT_EQ(ClassifyEvent("my_custom_event"),
+            EventClass::kConditionChecking);
+}
+
+TEST(EventsTest, BuiltinListsAreDisjoint) {
+  auto msgs = BuiltinMessageEvents();
+  auto conds = BuiltinConditionEvents();
+  for (const auto& m : msgs) {
+    for (const auto& c : conds) EXPECT_NE(m, c);
+  }
+  EXPECT_GE(msgs.size(), 7u);
+  EXPECT_GE(conds.size(), 6u);
+}
+
+}  // namespace
+}  // namespace fedscope

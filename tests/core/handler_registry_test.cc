@@ -1,0 +1,97 @@
+#include "fedscope/core/handler_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+TEST(HandlerRegistryTest, DispatchInvokesHandler) {
+  HandlerRegistry registry;
+  int calls = 0;
+  registry.Register("ping", [&](const Message&) { ++calls; });
+  Message m;
+  EXPECT_TRUE(registry.Dispatch("ping", m).ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(HandlerRegistryTest, DispatchUnknownEventIsNotFound) {
+  HandlerRegistry registry;
+  Message m;
+  EXPECT_EQ(registry.Dispatch("nope", m).code(), StatusCode::kNotFound);
+}
+
+TEST(HandlerRegistryTest, HandlerReceivesMessage) {
+  HandlerRegistry registry;
+  std::string seen;
+  registry.Register("x", [&](const Message& msg) { seen = msg.msg_type; });
+  Message m;
+  m.msg_type = "x";
+  ASSERT_TRUE(registry.Dispatch("x", m).ok());
+  EXPECT_EQ(seen, "x");
+}
+
+TEST(HandlerRegistryTest, OverwritingPrincipleLatestWins) {
+  // The paper's §3.2 conflict resolution: re-registration warns and the
+  // latest handler takes effect.
+  std::vector<std::string> warnings;
+  Logging::set_sink([&](LogLevel level, const std::string& text) {
+    if (level == LogLevel::kWarning) warnings.push_back(text);
+  });
+
+  HandlerRegistry registry;
+  int first = 0, second = 0;
+  EXPECT_FALSE(registry.Register("evt", [&](const Message&) { ++first; }));
+  EXPECT_TRUE(registry.Register("evt", [&](const Message&) { ++second; }));
+  Logging::set_sink(nullptr);
+
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("overwrites"), std::string::npos);
+  EXPECT_EQ(registry.overwrite_count(), 1);
+
+  Message m;
+  ASSERT_TRUE(registry.Dispatch("evt", m).ok());
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(HandlerRegistryTest, UnregisterRemovesHandler) {
+  HandlerRegistry registry;
+  registry.Register("evt", [](const Message&) {});
+  EXPECT_TRUE(registry.Has("evt"));
+  EXPECT_TRUE(registry.Unregister("evt"));
+  EXPECT_FALSE(registry.Has("evt"));
+  EXPECT_FALSE(registry.Unregister("evt"));
+  Message m;
+  EXPECT_FALSE(registry.Dispatch("evt", m).ok());
+}
+
+TEST(HandlerRegistryTest, RegisteredEventsInOrder) {
+  HandlerRegistry registry;
+  registry.Register("a", [](const Message&) {});
+  registry.Register("b", [](const Message&) {});
+  registry.Register("a", [](const Message&) {});  // re-register moves a last
+  auto events = registry.RegisteredEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "b");
+  EXPECT_EQ(events[1], "a");
+}
+
+TEST(HandlerRegistryTest, FlowsRecorded) {
+  HandlerRegistry registry;
+  registry.Register("model_para", [](const Message&) {},
+                    {"model_update"});
+  const auto& flows = registry.Flows();
+  ASSERT_TRUE(flows.count("model_para"));
+  ASSERT_EQ(flows.at("model_para").size(), 1u);
+  EXPECT_EQ(flows.at("model_para")[0], "model_update");
+}
+
+TEST(HandlerRegistryTest, NullHandlerDies) {
+  HandlerRegistry registry;
+  EXPECT_DEATH(registry.Register("x", nullptr), "");
+}
+
+}  // namespace
+}  // namespace fedscope

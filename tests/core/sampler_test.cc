@@ -1,0 +1,156 @@
+#include "fedscope/core/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace fedscope {
+namespace {
+
+std::vector<int> Ids(int n) {
+  std::vector<int> ids(n);
+  for (int i = 0; i < n; ++i) ids[i] = i + 1;  // 1-based client ids
+  return ids;
+}
+
+TEST(UniformSamplerTest, DistinctAndWithinCandidates) {
+  UniformSampler sampler;
+  Rng rng(1);
+  auto picked = sampler.Sample(Ids(20), 8, &rng);
+  EXPECT_EQ(picked.size(), 8u);
+  std::set<int> seen(picked.begin(), picked.end());
+  EXPECT_EQ(seen.size(), 8u);
+  for (int id : picked) {
+    EXPECT_GE(id, 1);
+    EXPECT_LE(id, 20);
+  }
+}
+
+TEST(UniformSamplerTest, KLargerThanPoolReturnsAll) {
+  UniformSampler sampler;
+  Rng rng(2);
+  auto picked = sampler.Sample(Ids(3), 10, &rng);
+  EXPECT_EQ(picked.size(), 3u);
+}
+
+TEST(UniformSamplerTest, EmptyPool) {
+  UniformSampler sampler;
+  Rng rng(3);
+  EXPECT_TRUE(sampler.Sample({}, 5, &rng).empty());
+}
+
+TEST(UniformSamplerTest, ApproximatelyUniform) {
+  UniformSampler sampler;
+  Rng rng(4);
+  std::map<int, int> counts;
+  for (int t = 0; t < 4000; ++t) {
+    for (int id : sampler.Sample(Ids(10), 2, &rng)) ++counts[id];
+  }
+  for (const auto& [id, count] : counts) {
+    EXPECT_NEAR(count / 8000.0, 0.1, 0.02) << id;
+  }
+}
+
+TEST(ResponsivenessSamplerTest, FavorsFastClients) {
+  // Scores indexed by id-1: client 1 is 10x faster than the rest.
+  std::vector<double> scores = {10.0, 1.0, 1.0, 1.0};
+  ResponsivenessSampler sampler(scores);
+  Rng rng(5);
+  int fast_picks = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    auto picked = sampler.Sample(Ids(4), 1, &rng);
+    if (picked[0] == 1) ++fast_picks;
+  }
+  // p(client 1) = 10/13 ~ 0.77.
+  EXPECT_NEAR(static_cast<double>(fast_picks) / trials, 10.0 / 13.0, 0.05);
+}
+
+TEST(ResponsivenessSamplerTest, NegativeExponentFavorsSlowClients) {
+  // Fairness mode (p ~ 1/score): the slow client is picked most often.
+  std::vector<double> scores = {10.0, 1.0, 10.0, 10.0};
+  ResponsivenessSampler sampler(scores, -1.0);
+  Rng rng(55);
+  int slow_picks = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    if (sampler.Sample(Ids(4), 1, &rng)[0] == 2) ++slow_picks;
+  }
+  // p(client 2) = 1 / (0.1 * 3 + 1) = 0.769.
+  EXPECT_NEAR(static_cast<double>(slow_picks) / trials, 1.0 / 1.3, 0.05);
+}
+
+TEST(MakeSamplerTest, InverseResponsivenessFactory) {
+  auto sampler = MakeSampler("responsiveness_inv", {1.0, 2.0}, 1);
+  EXPECT_EQ(sampler->Name(), "responsiveness");
+}
+
+TEST(ResponsivenessSamplerTest, WithoutReplacement) {
+  ResponsivenessSampler sampler({5.0, 1.0, 1.0});
+  Rng rng(6);
+  auto picked = sampler.Sample(Ids(3), 3, &rng);
+  std::set<int> seen(picked.begin(), picked.end());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(GroupSamplerTest, SamplesWithinOneGroupPerCall) {
+  GroupSampler sampler({{1, 2, 3}, {4, 5, 6}});
+  Rng rng(7);
+  auto first = sampler.Sample(Ids(6), 3, &rng);
+  std::set<int> s1(first.begin(), first.end());
+  // All three came from the same group.
+  const bool all_g0 = s1.count(1) + s1.count(2) + s1.count(3) == 3;
+  const bool all_g1 = s1.count(4) + s1.count(5) + s1.count(6) == 3;
+  EXPECT_TRUE(all_g0 || all_g1);
+  // Next call rotates to the other group.
+  auto second = sampler.Sample(Ids(6), 3, &rng);
+  std::set<int> s2(second.begin(), second.end());
+  const bool second_g0 = s2.count(1) + s2.count(2) + s2.count(3) == 3;
+  EXPECT_NE(all_g0, second_g0);
+}
+
+TEST(GroupSamplerTest, FallsBackAcrossGroups) {
+  GroupSampler sampler({{1, 2}, {3, 4}});
+  Rng rng(8);
+  // Requesting more than one group holds spills into the next.
+  auto picked = sampler.Sample(Ids(4), 4, &rng);
+  std::set<int> seen(picked.begin(), picked.end());
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(GroupSamplerTest, RespectsCandidateSet) {
+  GroupSampler sampler({{1, 2, 3}, {4, 5, 6}});
+  Rng rng(9);
+  // Only clients 5 and 6 are idle.
+  auto picked = sampler.Sample({5, 6}, 2, &rng);
+  std::set<int> seen(picked.begin(), picked.end());
+  EXPECT_TRUE(seen.count(5));
+  EXPECT_TRUE(seen.count(6));
+}
+
+TEST(MakeSamplerTest, FactoryBuildsAllKinds) {
+  std::vector<double> scores = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(MakeSampler("uniform", scores, 2)->Name(), "uniform");
+  EXPECT_EQ(MakeSampler("responsiveness", scores, 2)->Name(),
+            "responsiveness");
+  EXPECT_EQ(MakeSampler("group", scores, 2)->Name(), "group");
+}
+
+TEST(MakeSamplerTest, UnknownNameDies) {
+  EXPECT_DEATH(MakeSampler("bogus", {}, 1), "");
+}
+
+TEST(MakeSamplerTest, GroupFactoryGroupsBySpeed) {
+  // Clients 1..4 with scores 4,3,2,1 -> group 0 = {1,2}, group 1 = {3,4}.
+  auto sampler = MakeSampler("group", {4.0, 3.0, 2.0, 1.0}, 2);
+  Rng rng(10);
+  auto picked = sampler->Sample(Ids(4), 2, &rng);
+  std::set<int> seen(picked.begin(), picked.end());
+  const bool fast_group = seen.count(1) && seen.count(2);
+  const bool slow_group = seen.count(3) && seen.count(4);
+  EXPECT_TRUE(fast_group || slow_group);
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,96 @@
+#include "fedscope/core/worker.h"
+
+#include <gtest/gtest.h>
+
+#include "fedscope/comm/channel.h"
+#include "fedscope/core/events.h"
+
+namespace fedscope {
+namespace {
+
+/// A minimal concrete worker exposing the protected Send.
+class TestWorker : public BaseWorker {
+ public:
+  using BaseWorker::BaseWorker;
+  void SendNow(Message msg) { Send(std::move(msg)); }
+};
+
+TEST(BaseWorkerTest, HandleMessageDispatchesByType) {
+  QueueChannel channel;
+  TestWorker worker(3, &channel);
+  int pings = 0;
+  worker.registry().Register("ping", [&](const Message&) { ++pings; });
+  Message msg;
+  msg.msg_type = "ping";
+  worker.HandleMessage(msg);
+  worker.HandleMessage(msg);
+  EXPECT_EQ(pings, 2);
+}
+
+TEST(BaseWorkerTest, UnknownMessageTypeIsDroppedSilently) {
+  QueueChannel channel;
+  TestWorker worker(1, &channel);
+  Message msg;
+  msg.msg_type = "never_registered";
+  worker.HandleMessage(msg);  // must not crash
+  SUCCEED();
+}
+
+TEST(BaseWorkerTest, ClockAdvancesWithMessages) {
+  QueueChannel channel;
+  TestWorker worker(1, &channel);
+  worker.registry().Register("tick", [](const Message&) {});
+  Message msg;
+  msg.msg_type = "tick";
+  msg.timestamp = 10.0;
+  worker.HandleMessage(msg);
+  EXPECT_DOUBLE_EQ(worker.current_time(), 10.0);
+  // Time never goes backwards, even for an out-of-order message.
+  msg.timestamp = 5.0;
+  worker.HandleMessage(msg);
+  EXPECT_DOUBLE_EQ(worker.current_time(), 10.0);
+}
+
+TEST(BaseWorkerTest, SendStampsSenderAndClampsTimestamp) {
+  QueueChannel channel;
+  TestWorker worker(7, &channel);
+  worker.registry().Register("tick", [](const Message&) {});
+  Message advance;
+  advance.msg_type = "tick";
+  advance.timestamp = 100.0;
+  worker.HandleMessage(advance);
+
+  Message out;
+  out.receiver = 0;
+  out.msg_type = "model_update";
+  out.timestamp = 1.0;  // in the worker's past
+  worker.SendNow(std::move(out));
+  Message sent = channel.Pop();
+  EXPECT_EQ(sent.sender, 7);
+  EXPECT_DOUBLE_EQ(sent.timestamp, 100.0);  // clamped to now
+}
+
+TEST(BaseWorkerTest, SendKeepsFutureTimestamps) {
+  QueueChannel channel;
+  TestWorker worker(2, &channel);
+  Message out;
+  out.msg_type = "timer";
+  out.timestamp = 55.0;
+  worker.SendNow(std::move(out));
+  EXPECT_DOUBLE_EQ(channel.Pop().timestamp, 55.0);
+}
+
+TEST(BaseWorkerTest, RaiseEventWithoutHandlerIsTolerated) {
+  QueueChannel channel;
+  TestWorker worker(1, &channel);
+  Message context;
+  worker.RaiseEvent("custom_condition", context);  // no crash
+  int fired = 0;
+  worker.registry().Register("custom_condition",
+                             [&](const Message&) { ++fired; });
+  worker.RaiseEvent("custom_condition", context);
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,90 @@
+#include "fedscope/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset d;
+  d.x = Tensor({4, 2}, {0, 0, 1, 1, 2, 2, 3, 3});
+  d.labels = {0, 1, 0, 2};
+  return d;
+}
+
+TEST(DatasetTest, SizeAndClasses) {
+  Dataset d = TinyDataset();
+  EXPECT_EQ(d.size(), 4);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.NumClasses(), 3);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  Dataset d = TinyDataset();
+  auto counts = d.ClassCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+}
+
+TEST(DatasetTest, SubsetSelectsRows) {
+  Dataset d = TinyDataset();
+  Dataset s = d.Subset({3, 1});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.x.at(0, 0), 3.0f);
+  EXPECT_EQ(s.labels[0], 2);
+  EXPECT_EQ(s.labels[1], 1);
+}
+
+TEST(DatasetTest, BatchXPreservesTrailingShape) {
+  Dataset d;
+  d.x = Tensor({3, 2, 2, 2});
+  d.labels = {0, 0, 0};
+  Tensor batch = d.BatchX({0, 2});
+  EXPECT_EQ(batch.shape(), (std::vector<int64_t>{2, 2, 2, 2}));
+}
+
+TEST(DatasetTest, BatchOutOfRangeDies) {
+  Dataset d = TinyDataset();
+  EXPECT_DEATH(d.BatchX({4}), "");
+}
+
+TEST(SplitTest, FractionsRespected) {
+  Dataset d;
+  d.x = Tensor({100, 1});
+  d.labels.assign(100, 0);
+  Rng rng(1);
+  SplitDataset s = Split(d, 0.7, 0.1, &rng);
+  EXPECT_EQ(s.train.size(), 70);
+  EXPECT_EQ(s.val.size(), 10);
+  EXPECT_EQ(s.test.size(), 20);
+}
+
+TEST(SplitTest, PartitionsAreDisjointAndComplete) {
+  Dataset d;
+  d.x = Tensor({20, 1});
+  for (int i = 0; i < 20; ++i) d.x.at(i, 0) = static_cast<float>(i);
+  d.labels.assign(20, 0);
+  Rng rng(2);
+  SplitDataset s = Split(d, 0.5, 0.25, &rng);
+  std::set<float> seen;
+  for (const Dataset* part : {&s.train, &s.val, &s.test}) {
+    for (int64_t i = 0; i < part->size(); ++i) {
+      EXPECT_TRUE(seen.insert(part->x.at(i, 0)).second) << "duplicate row";
+    }
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(FedDatasetTest, TotalTrainExamples) {
+  FedDataset fed;
+  fed.clients.resize(2);
+  fed.clients[0].train = TinyDataset();
+  fed.clients[1].train = TinyDataset();
+  EXPECT_EQ(fed.num_clients(), 2);
+  EXPECT_EQ(fed.total_train_examples(), 8);
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,141 @@
+#include "fedscope/data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace fedscope {
+namespace {
+
+std::vector<int64_t> BalancedLabels(int64_t n, int64_t classes) {
+  std::vector<int64_t> labels(n);
+  for (int64_t i = 0; i < n; ++i) labels[i] = i % classes;
+  return labels;
+}
+
+/// Checks a partition covers every index exactly once.
+void ExpectExactCover(const std::vector<std::vector<int64_t>>& parts,
+                      int64_t n) {
+  std::set<int64_t> seen;
+  for (const auto& part : parts) {
+    for (int64_t i : part) {
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), n);
+}
+
+TEST(UniformPartitionTest, ExactCoverAndBalance) {
+  auto labels = BalancedLabels(100, 10);
+  Rng rng(1);
+  auto parts = UniformPartition(labels, 7, &rng);
+  ExpectExactCover(parts, 100);
+  for (const auto& part : parts) {
+    EXPECT_GE(part.size(), 14u);
+    EXPECT_LE(part.size(), 15u);
+  }
+}
+
+TEST(DirichletPartitionTest, ExactCover) {
+  auto labels = BalancedLabels(600, 10);
+  Rng rng(2);
+  auto parts = DirichletPartition(labels, 20, 0.5, &rng);
+  ExpectExactCover(parts, 600);
+}
+
+TEST(DirichletPartitionTest, MinimumEnforced) {
+  auto labels = BalancedLabels(500, 5);
+  Rng rng(3);
+  auto parts = DirichletPartition(labels, 25, 0.1, &rng, 4);
+  for (const auto& part : parts) EXPECT_GE(part.size(), 4u);
+}
+
+/// Label-distribution divergence from uniform, averaged over clients.
+double MeanLabelSkew(const std::vector<std::vector<int64_t>>& parts,
+                     const std::vector<int64_t>& labels, int64_t classes) {
+  auto counts = PartitionClassCounts(labels, parts, classes);
+  double total_skew = 0.0;
+  int used = 0;
+  for (const auto& row : counts) {
+    int64_t n = 0;
+    for (int64_t c : row) n += c;
+    if (n == 0) continue;
+    double skew = 0.0;
+    for (int64_t c : row) {
+      double p = static_cast<double>(c) / n;
+      skew += std::fabs(p - 1.0 / classes);
+    }
+    total_skew += skew;
+    ++used;
+  }
+  return total_skew / used;
+}
+
+TEST(DirichletPartitionTest, SmallerAlphaIsMoreSkewed) {
+  auto labels = BalancedLabels(3000, 10);
+  Rng r1(4), r2(4);
+  auto skewed = DirichletPartition(labels, 30, 0.1, &r1);
+  auto mild = DirichletPartition(labels, 30, 10.0, &r2);
+  EXPECT_GT(MeanLabelSkew(skewed, labels, 10),
+            2.0 * MeanLabelSkew(mild, labels, 10));
+}
+
+TEST(DirichletPartitionTest, UniformPartitionHasLowSkew) {
+  auto labels = BalancedLabels(3000, 10);
+  Rng rng(5);
+  auto parts = UniformPartition(labels, 30, &rng);
+  // 100 examples/client, 10 classes: sampling noise alone gives mean
+  // absolute deviation ~0.24; anything below 0.35 is "unskewed" here
+  // (compare: Dirichlet(0.1) sits near 1.2).
+  EXPECT_LT(MeanLabelSkew(parts, labels, 10), 0.35);
+}
+
+TEST(BiasedPartitionTest, RareClassesOnlyOnOwners) {
+  auto labels = BalancedLabels(1000, 10);
+  Rng rng(6);
+  std::vector<int64_t> rare = {8, 9};
+  std::vector<int> owners = {0, 1, 2};
+  auto parts = BiasedPartition(labels, 20, 1.0, rare, owners, &rng);
+  ExpectExactCover(parts, 1000);
+  for (size_t c = 0; c < parts.size(); ++c) {
+    if (c <= 2) continue;
+    for (int64_t i : parts[c]) {
+      EXPECT_NE(labels[i], 8) << "rare class leaked to client " << c;
+      EXPECT_NE(labels[i], 9) << "rare class leaked to client " << c;
+    }
+  }
+  // Owners actually received the rare classes.
+  int64_t rare_count = 0;
+  for (int owner : owners) {
+    for (int64_t i : parts[owner]) {
+      if (labels[i] >= 8) ++rare_count;
+    }
+  }
+  EXPECT_EQ(rare_count, 200);
+}
+
+TEST(PartitionClassCountsTest, CountsMatch) {
+  std::vector<int64_t> labels = {0, 0, 1, 2};
+  std::vector<std::vector<int64_t>> parts = {{0, 2}, {1, 3}};
+  auto counts = PartitionClassCounts(labels, parts, 3);
+  EXPECT_EQ(counts[0][0], 1);
+  EXPECT_EQ(counts[0][1], 1);
+  EXPECT_EQ(counts[1][0], 1);
+  EXPECT_EQ(counts[1][2], 1);
+}
+
+class DirichletAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletAlphaSweep, AlwaysExactCover) {
+  auto labels = BalancedLabels(400, 10);
+  Rng rng(static_cast<uint64_t>(GetParam() * 1000));
+  auto parts = DirichletPartition(labels, 10, GetParam(), &rng);
+  ExpectExactCover(parts, 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DirichletAlphaSweep,
+                         ::testing::Values(0.05, 0.2, 0.5, 1.0, 5.0, 100.0));
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fedscope/data/synthetic_celeba.h"
+#include "fedscope/data/synthetic_cifar.h"
+#include "fedscope/data/synthetic_femnist.h"
+#include "fedscope/data/synthetic_shakespeare.h"
+#include "fedscope/data/synthetic_twitter.h"
+
+namespace fedscope {
+namespace {
+
+TEST(SyntheticFemnistTest, ShapesAndSplits) {
+  SyntheticFemnistOptions options;
+  options.num_clients = 10;
+  options.mean_samples = 40;
+  FedDataset fed = MakeSyntheticFemnist(options);
+  EXPECT_EQ(fed.num_clients(), 10);
+  for (const auto& client : fed.clients) {
+    EXPECT_GT(client.train.size(), 0);
+    EXPECT_EQ(client.train.x.ndim(), 4);
+    EXPECT_EQ(client.train.x.dim(1), 1);
+    EXPECT_EQ(client.train.x.dim(2), options.image_size);
+  }
+  EXPECT_EQ(fed.server_test.size(), options.server_test_size);
+}
+
+TEST(SyntheticFemnistTest, DeterministicBySeed) {
+  SyntheticFemnistOptions options;
+  options.num_clients = 4;
+  FedDataset a = MakeSyntheticFemnist(options);
+  FedDataset b = MakeSyntheticFemnist(options);
+  EXPECT_TRUE(a.clients[0].train.x == b.clients[0].train.x);
+  options.seed = 2;
+  FedDataset c = MakeSyntheticFemnist(options);
+  EXPECT_FALSE(a.clients[0].train.x == c.clients[0].train.x);
+}
+
+TEST(SyntheticFemnistTest, ClientSizesVary) {
+  SyntheticFemnistOptions options;
+  options.num_clients = 30;
+  FedDataset fed = MakeSyntheticFemnist(options);
+  int64_t lo = 1 << 30, hi = 0;
+  for (const auto& client : fed.clients) {
+    int64_t n = client.train.size() + client.val.size() + client.test.size();
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+  }
+  EXPECT_GT(hi, lo);
+}
+
+TEST(SyntheticFemnistTest, LabelsInRange) {
+  SyntheticFemnistOptions options;
+  options.num_clients = 5;
+  FedDataset fed = MakeSyntheticFemnist(options);
+  for (const auto& client : fed.clients) {
+    for (int64_t y : client.train.labels) {
+      EXPECT_GE(y, 0);
+      EXPECT_LT(y, options.classes);
+    }
+  }
+}
+
+TEST(SyntheticCifarTest, DirichletPartitionApplied) {
+  SyntheticCifarOptions options;
+  options.num_clients = 20;
+  options.pool_size = 1000;
+  options.alpha = 0.2;
+  FedDataset fed = MakeSyntheticCifar(options);
+  EXPECT_EQ(fed.num_clients(), 20);
+  // Strong label skew: most clients should miss at least one class.
+  int missing_class_clients = 0;
+  for (const auto& client : fed.clients) {
+    std::vector<int64_t> counts(options.classes, 0);
+    for (int64_t y : client.train.labels) ++counts[y];
+    for (int64_t c : counts) {
+      if (c == 0) {
+        ++missing_class_clients;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(missing_class_clients, 10);
+}
+
+TEST(SyntheticCifarTest, IidModeIsBalanced) {
+  SyntheticCifarOptions options;
+  options.num_clients = 10;
+  options.pool_size = 2000;
+  options.alpha = 0.0;  // IID
+  FedDataset fed = MakeSyntheticCifar(options);
+  for (const auto& client : fed.clients) {
+    std::vector<int64_t> counts(options.classes, 0);
+    int64_t n = client.train.size();
+    for (int64_t y : client.train.labels) ++counts[y];
+    for (int64_t c : counts) {
+      EXPECT_GT(c, 0);
+      EXPECT_LT(std::fabs(static_cast<double>(c) / n - 0.1), 0.1);
+    }
+  }
+}
+
+TEST(SyntheticCifarTest, ImageShape) {
+  SyntheticCifarOptions options;
+  options.num_clients = 4;
+  options.pool_size = 200;
+  FedDataset fed = MakeSyntheticCifar(options);
+  EXPECT_EQ(fed.clients[0].train.x.dim(1), options.channels);
+  EXPECT_EQ(fed.clients[0].train.x.dim(2), options.image_size);
+}
+
+TEST(BiasSyntheticCifarTest, RareLabelsConfinedToOwners) {
+  SyntheticCifarOptions options;
+  options.num_clients = 10;
+  options.pool_size = 1000;
+  std::vector<int64_t> rare = {9};
+  std::vector<int> owners = {7, 8, 9};
+  FedDataset fed = MakeBiasSyntheticCifar(options, rare, owners);
+  for (int c = 0; c < 7; ++c) {
+    const auto& client = fed.clients[c];
+    for (const Dataset* part :
+         {&client.train, &client.val, &client.test}) {
+      for (int64_t y : part->labels) EXPECT_NE(y, 9) << "client " << c;
+    }
+  }
+}
+
+TEST(SyntheticTwitterTest, SparseBowFeatures) {
+  SyntheticTwitterOptions options;
+  options.num_clients = 20;
+  FedDataset fed = MakeSyntheticTwitter(options);
+  EXPECT_EQ(fed.num_clients(), 20);
+  const auto& x = fed.clients[0].train.x;
+  EXPECT_EQ(x.dim(1), options.vocab);
+  // Bag-of-words rows are normalized counts: non-negative, sum ~1.
+  for (int64_t i = 0; i < x.dim(0); ++i) {
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < x.dim(1); ++j) {
+      EXPECT_GE(x.at(i, j), 0.0f);
+      row_sum += x.at(i, j);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-4);
+  }
+}
+
+TEST(SyntheticTwitterTest, BinaryLabelsAndVariableSizes) {
+  SyntheticTwitterOptions options;
+  options.num_clients = 50;
+  FedDataset fed = MakeSyntheticTwitter(options);
+  std::set<int64_t> sizes;
+  for (const auto& client : fed.clients) {
+    sizes.insert(client.train.size() + client.val.size() +
+                 client.test.size());
+    for (int64_t y : client.train.labels) {
+      EXPECT_TRUE(y == 0 || y == 1);
+    }
+  }
+  EXPECT_GT(sizes.size(), 3u);  // power-law-ish variety
+}
+
+TEST(SyntheticShakespeareTest, OneHotContextWindows) {
+  SyntheticShakespeareOptions options;
+  options.num_clients = 8;
+  FedDataset fed = MakeSyntheticShakespeare(options);
+  EXPECT_EQ(fed.num_clients(), 8);
+  const auto& x = fed.clients[0].train.x;
+  EXPECT_EQ(x.dim(1), options.context * options.vocab);
+  // Each context slot is exactly one-hot.
+  for (int64_t i = 0; i < std::min<int64_t>(x.dim(0), 10); ++i) {
+    for (int64_t c = 0; c < options.context; ++c) {
+      double slot_sum = 0.0;
+      for (int64_t v = 0; v < options.vocab; ++v) {
+        slot_sum += x.at(i, c * options.vocab + v);
+      }
+      EXPECT_DOUBLE_EQ(slot_sum, 1.0);
+    }
+  }
+  for (int64_t y : fed.clients[0].train.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, options.vocab);
+  }
+}
+
+TEST(SyntheticShakespeareTest, NextCharIsLearnable) {
+  // The Markov structure must carry signal: a bigram frequency predictor
+  // built from the server text should beat the uniform baseline.
+  SyntheticShakespeareOptions options;
+  options.num_clients = 4;
+  options.server_test_size = 2000;
+  FedDataset fed = MakeSyntheticShakespeare(options);
+  const Dataset& test = fed.server_test;
+  // Count (last context char -> next char) frequencies on one half,
+  // predict on the other.
+  const int64_t v = options.vocab;
+  std::vector<std::vector<int64_t>> counts(v, std::vector<int64_t>(v, 0));
+  const int64_t half = test.size() / 2;
+  auto last_char = [&](int64_t i) {
+    for (int64_t c = 0; c < v; ++c) {
+      if (test.x.at(i, (options.context - 1) * v + c) > 0.5f) return c;
+    }
+    return int64_t{0};
+  };
+  for (int64_t i = 0; i < half; ++i) {
+    ++counts[last_char(i)][test.labels[i]];
+  }
+  int64_t correct = 0;
+  for (int64_t i = half; i < test.size(); ++i) {
+    const auto& row = counts[last_char(i)];
+    int64_t best = 0;
+    for (int64_t c = 1; c < v; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    if (best == test.labels[i]) ++correct;
+  }
+  const double acc = static_cast<double>(correct) / (test.size() - half);
+  EXPECT_GT(acc, 2.0 / static_cast<double>(v));
+}
+
+TEST(SyntheticShakespeareTest, DeterministicBySeed) {
+  SyntheticShakespeareOptions options;
+  options.num_clients = 3;
+  FedDataset a = MakeSyntheticShakespeare(options);
+  FedDataset b = MakeSyntheticShakespeare(options);
+  EXPECT_TRUE(a.clients[0].train.x == b.clients[0].train.x);
+}
+
+TEST(SyntheticCelebaTest, BinaryAttributeImages) {
+  SyntheticCelebaOptions options;
+  options.num_clients = 10;
+  FedDataset fed = MakeSyntheticCeleba(options);
+  EXPECT_EQ(fed.num_clients(), 10);
+  for (const auto& client : fed.clients) {
+    EXPECT_EQ(client.train.x.dim(1), 1);
+    EXPECT_EQ(client.train.x.dim(2), options.image_size);
+    for (int64_t y : client.train.labels) {
+      EXPECT_TRUE(y == 0 || y == 1);
+    }
+  }
+}
+
+TEST(SyntheticCelebaTest, AttributeBandCarriesSignal) {
+  // Positive-class images have elevated mass in the attribute band.
+  SyntheticCelebaOptions options;
+  options.num_clients = 6;
+  options.noise_sigma = 0.3;
+  FedDataset fed = MakeSyntheticCeleba(options);
+  const Dataset& test = fed.server_test;
+  const int64_t s = options.image_size;
+  const int64_t band = s / 2;
+  double pos_band = 0.0, neg_band = 0.0;
+  int64_t n_pos = 0, n_neg = 0;
+  for (int64_t i = 0; i < test.size(); ++i) {
+    double mass = 0.0;
+    for (int64_t w = 0; w < s; ++w) {
+      mass += test.x.at(i * s * s + band * s + w);
+    }
+    if (test.labels[i] == 1) {
+      pos_band += mass;
+      ++n_pos;
+    } else {
+      neg_band += mass;
+      ++n_neg;
+    }
+  }
+  ASSERT_GT(n_pos, 0);
+  ASSERT_GT(n_neg, 0);
+  EXPECT_GT(pos_band / n_pos, neg_band / n_neg + 2.0);
+}
+
+TEST(SyntheticCelebaTest, IdentitiesDifferAcrossClients) {
+  SyntheticCelebaOptions options;
+  options.num_clients = 4;
+  options.noise_sigma = 0.0;  // isolate the identity component
+  FedDataset fed = MakeSyntheticCeleba(options);
+  // Mean image of client 0 vs client 1 differ substantially.
+  auto mean_image = [&](int c) {
+    const Dataset& d = fed.clients[c].train;
+    Tensor mean = Tensor::Zeros({d.x.numel() / d.x.dim(0)});
+    for (int64_t i = 0; i < d.size(); ++i) {
+      for (int64_t j = 0; j < mean.numel(); ++j) {
+        mean.at(j) += d.x.at(i * mean.numel() + j) / d.size();
+      }
+    }
+    return mean;
+  };
+  Tensor m0 = mean_image(0), m1 = mean_image(1);
+  double diff = 0.0;
+  for (int64_t j = 0; j < m0.numel(); ++j) {
+    diff += std::fabs(m0.at(j) - m1.at(j));
+  }
+  EXPECT_GT(diff / m0.numel(), 0.3);
+}
+
+TEST(SyntheticTwitterTest, ClassesAreSeparable) {
+  // Sanity: the positive/negative word distributions must differ enough
+  // that the server test set carries signal (mean feature vectors differ).
+  SyntheticTwitterOptions options;
+  options.num_clients = 5;
+  FedDataset fed = MakeSyntheticTwitter(options);
+  const Dataset& test = fed.server_test;
+  std::vector<double> mean_pos(options.vocab, 0.0), mean_neg(options.vocab);
+  int64_t n_pos = 0, n_neg = 0;
+  for (int64_t i = 0; i < test.size(); ++i) {
+    for (int64_t j = 0; j < options.vocab; ++j) {
+      if (test.labels[i] == 1) {
+        mean_pos[j] += test.x.at(i, j);
+      } else {
+        mean_neg[j] += test.x.at(i, j);
+      }
+    }
+    (test.labels[i] == 1 ? n_pos : n_neg) += 1;
+  }
+  double diff = 0.0;
+  for (int64_t j = 0; j < options.vocab; ++j) {
+    diff += std::fabs(mean_pos[j] / n_pos - mean_neg[j] / n_neg);
+  }
+  EXPECT_GT(diff, 0.2);
+}
+
+}  // namespace
+}  // namespace fedscope

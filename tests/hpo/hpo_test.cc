@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fedscope/hpo/fedex.h"
+#include "fedscope/hpo/fl_objective.h"
+#include "fedscope/hpo/gp_bo.h"
+#include "fedscope/hpo/hyperband.h"
+#include "fedscope/hpo/pbt.h"
+#include "fedscope/hpo/random_search.h"
+#include "fedscope/hpo/successive_halving.h"
+#include "fedscope/nn/model_zoo.h"
+
+namespace fedscope {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SearchSpace
+// ---------------------------------------------------------------------------
+
+SearchSpace QuadraticSpace() {
+  SearchSpace space;
+  space.AddDouble("x", -2.0, 2.0);
+  space.AddDouble("y", 0.01, 100.0, /*log_scale=*/true);
+  return space;
+}
+
+TEST(SearchSpaceTest, SampleWithinBounds) {
+  SearchSpace space = QuadraticSpace();
+  space.AddInt("steps", 1, 10);
+  space.AddCategorical("batch", {8, 16, 32});
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    Config c = space.Sample(&rng);
+    EXPECT_GE(c.GetDouble("x", -99), -2.0);
+    EXPECT_LE(c.GetDouble("x", 99), 2.0);
+    EXPECT_GE(c.GetDouble("y", 0), 0.01);
+    EXPECT_LE(c.GetDouble("y", 1e9), 100.0);
+    const int64_t steps = c.GetInt("steps", -1);
+    EXPECT_GE(steps, 1);
+    EXPECT_LE(steps, 10);
+    const double batch = c.GetDouble("batch", 0);
+    EXPECT_TRUE(batch == 8 || batch == 16 || batch == 32);
+  }
+}
+
+TEST(SearchSpaceTest, LogScaleCoversOrdersOfMagnitude) {
+  SearchSpace space;
+  space.AddDouble("lr", 1e-4, 1.0, true);
+  Rng rng(2);
+  int tiny = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (space.Sample(&rng).GetDouble("lr", 1) < 1e-2) ++tiny;
+  }
+  // Log-uniform: half the draws are below the geometric midpoint 1e-2.
+  EXPECT_NEAR(tiny / 1000.0, 0.5, 0.08);
+}
+
+TEST(SearchSpaceTest, GridEnumerates) {
+  SearchSpace space;
+  space.AddDouble("a", 0.0, 1.0);
+  space.AddCategorical("b", {1, 2, 3});
+  auto grid = space.Grid(2);
+  EXPECT_EQ(grid.size(), 2u * 3u);
+}
+
+TEST(SearchSpaceTest, UnitRoundTrip) {
+  SearchSpace space = QuadraticSpace();
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    Config c = space.Sample(&rng);
+    Config back = space.FromUnit(space.ToUnit(c));
+    EXPECT_NEAR(back.GetDouble("x", 0), c.GetDouble("x", 0), 1e-9);
+    EXPECT_NEAR(std::log(back.GetDouble("y", 1)),
+                std::log(c.GetDouble("y", 1)), 1e-9);
+  }
+}
+
+TEST(RecordTrialTest, TracksBestSeen) {
+  HpoResult result;
+  Config c1, c2;
+  c1.Set("x", 1);
+  c2.Set("x", 2);
+  RecordTrial(&result, 1.0, c1, 0.5, 0.8);
+  RecordTrial(&result, 2.0, c2, 0.7, 0.9);  // worse, best stays
+  EXPECT_EQ(result.trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.best_val_loss, 0.5);
+  EXPECT_DOUBLE_EQ(result.best_test_accuracy, 0.8);
+  EXPECT_DOUBLE_EQ(result.trace[1].best_seen_val_loss, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic objective: val_loss = (x - 0.5)^2 + log10(y)^2 noisy-free,
+// improves with budget (simulating training convergence).
+// ---------------------------------------------------------------------------
+
+class QuadraticObjective : public HpoObjective {
+ public:
+  Outcome Evaluate(const Config& config, int budget_rounds,
+                   const Model* warm_start) override {
+    ++evaluations;
+    const double x = config.GetDouble("x", 0.0);
+    const double y = config.GetDouble("y", 1.0);
+    const double base =
+        (x - 0.5) * (x - 0.5) + std::pow(std::log10(y), 2.0);
+    // Accumulated budget improves the result (checkpoint semantics:
+    // warm_start carries the budget already spent, encoded in a weight).
+    double spent = budget_rounds;
+    if (warm_start != nullptr && warm_start->num_layers() > 0) {
+      Model* ws = const_cast<Model*>(warm_start);
+      spent += ws->Params()[0].value->at(0);
+    }
+    Outcome outcome;
+    outcome.val_loss = base + 2.0 / (1.0 + spent);
+    outcome.test_accuracy = 1.0 / (1.0 + outcome.val_loss);
+    Rng rng(1);
+    outcome.checkpoint = MakeLogisticRegression(1, 1, &rng);
+    outcome.checkpoint.Params()[0].value->at(0) =
+        static_cast<float>(spent);
+    return outcome;
+  }
+  int evaluations = 0;
+};
+
+TEST(RandomSearchTest, FindsReasonableOptimum) {
+  QuadraticObjective objective;
+  Rng rng(4);
+  HpoResult result =
+      RunRandomSearch(QuadraticSpace(), &objective, 40, 10, &rng);
+  EXPECT_EQ(objective.evaluations, 40);
+  EXPECT_EQ(result.trace.size(), 40u);
+  EXPECT_NEAR(result.best_config.GetDouble("x", 0), 0.5, 0.5);
+  EXPECT_LT(result.best_val_loss, 1.0);
+}
+
+TEST(RandomSearchTest, BestSeenIsMonotone) {
+  QuadraticObjective objective;
+  Rng rng(5);
+  HpoResult result =
+      RunRandomSearch(QuadraticSpace(), &objective, 20, 5, &rng);
+  double last = 1e300;
+  for (const auto& event : result.trace) {
+    EXPECT_LE(event.best_seen_val_loss, last + 1e-12);
+    last = event.best_seen_val_loss;
+  }
+}
+
+TEST(GridSearchTest, EvaluatesFullGrid) {
+  QuadraticObjective objective;
+  HpoResult result = RunGridSearch(QuadraticSpace(), &objective, 4, 5);
+  EXPECT_EQ(objective.evaluations, 16);
+}
+
+TEST(SuccessiveHalvingTest, SpendsMoreOnSurvivors) {
+  QuadraticObjective objective;
+  Rng rng(6);
+  ShaOptions options;
+  options.num_configs = 9;
+  options.eta = 3;
+  options.min_budget = 2;
+  options.num_rungs = 3;
+  HpoResult result =
+      RunSuccessiveHalving(QuadraticSpace(), &objective, options, &rng);
+  // Rung sizes 9, 3, 1 -> 13 evaluations.
+  EXPECT_EQ(objective.evaluations, 13);
+  // The last evaluation used the most budget (checkpoint accumulated).
+  EXPECT_LT(result.best_val_loss, 1.5);
+}
+
+TEST(SuccessiveHalvingTest, CheckpointRestoreAccumulatesBudget) {
+  // The survivor's final loss must beat a fresh evaluation at the rung
+  // budget alone, proving the checkpoint was actually restored.
+  QuadraticObjective objective;
+  Rng rng(7);
+  ShaOptions options;
+  options.num_configs = 3;
+  options.eta = 3;
+  options.min_budget = 4;
+  options.num_rungs = 2;
+  HpoResult sha = RunSuccessiveHalving(QuadraticSpace(), &objective,
+                                       options, &rng);
+  const auto& final_event = sha.trace.back();
+  QuadraticObjective fresh;
+  auto cold = fresh.Evaluate(final_event.config, options.min_budget * 3,
+                             nullptr);
+  EXPECT_LT(final_event.val_loss, cold.val_loss + 1e-9);
+}
+
+TEST(HyperbandTest, RunsMultipleBrackets) {
+  QuadraticObjective objective;
+  Rng rng(8);
+  HyperbandOptions options;
+  options.max_budget = 9;
+  options.eta = 3;
+  HpoResult result = RunHyperband(QuadraticSpace(), &objective, options,
+                                  &rng);
+  EXPECT_GT(objective.evaluations, 10);
+  EXPECT_LT(result.best_val_loss, 1.5);
+}
+
+TEST(PbtTest, PopulationImprovesOverSteps) {
+  QuadraticObjective objective;
+  Rng rng(9);
+  PbtOptions options;
+  options.population = 6;
+  options.num_steps = 4;
+  options.step_budget = 3;
+  HpoResult result = RunPbt(QuadraticSpace(), &objective, options, &rng);
+  EXPECT_EQ(objective.evaluations, 6 * 4);
+  // Mean loss of the last generation beats the first generation.
+  double first_gen = 0.0, last_gen = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    first_gen += result.trace[i].val_loss;
+    last_gen += result.trace[result.trace.size() - 6 + i].val_loss;
+  }
+  EXPECT_LT(last_gen, first_gen);
+}
+
+TEST(GpBoTest, CholeskyFactorAndSolve) {
+  // A = [[4, 2], [2, 3]]; solve A x = [8, 7] -> x = [1.25, 1.5].
+  std::vector<double> a = {4, 2, 2, 3};
+  ASSERT_TRUE(CholeskyFactor(&a, 2));
+  auto x = CholeskySolve(a, 2, {8, 7});
+  EXPECT_NEAR(x[0], 1.25, 1e-9);
+  EXPECT_NEAR(x[1], 1.5, 1e-9);
+}
+
+TEST(GpBoTest, CholeskyRejectsIndefinite) {
+  std::vector<double> a = {1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor(&a, 2));
+}
+
+TEST(GpBoTest, OutperformsPureRandomOnBudget) {
+  GpBoOptions options;
+  options.init_points = 4;
+  options.iterations = 10;
+  options.budget_rounds = 5;
+  QuadraticObjective gp_objective;
+  Rng rng(10);
+  HpoResult gp = RunGpBo(QuadraticSpace(), &gp_objective, options, &rng);
+  EXPECT_EQ(gp_objective.evaluations, 14);
+  EXPECT_LT(gp.best_val_loss, 1.2);
+}
+
+// ---------------------------------------------------------------------------
+// FedEx policy
+// ---------------------------------------------------------------------------
+
+std::vector<Config> TwoArms() {
+  Config good, bad;
+  good.Set("hpo.lr", 0.1);
+  bad.Set("hpo.lr", 10.0);
+  return {good, bad};
+}
+
+TEST(FedExPolicyTest, StartsUniform) {
+  FedExPolicy policy(TwoArms(), 0.1, 1);
+  EXPECT_NEAR(policy.probabilities()[0], 0.5, 1e-9);
+  EXPECT_NEAR(policy.probabilities()[1], 0.5, 1e-9);
+}
+
+TEST(FedExPolicyTest, LearnsToPreferLowCostArm) {
+  FedExPolicy policy(TwoArms(), 0.3, 2);
+  auto provider = policy.MakeConfigProvider();
+  auto consumer = policy.MakeFeedbackConsumer();
+  Rng rng(11);
+  for (int round = 0; round < 300; ++round) {
+    const int client = 1;
+    Config arm = provider(client, round);
+    // Arm 0 (lr 0.1) yields low val loss; arm 1 high.
+    const double cost = arm.GetDouble("hpo.lr", 0) < 1.0
+                            ? 0.2 + rng.Uniform() * 0.05
+                            : 1.0 + rng.Uniform() * 0.05;
+    Payload feedback;
+    feedback.SetDouble("val_loss_after", cost);
+    consumer(client, round, feedback);
+  }
+  EXPECT_EQ(policy.best_arm_index(), 0);
+  EXPECT_GT(policy.probabilities()[0], 0.8);
+  EXPECT_GT(policy.num_updates(), 250);
+}
+
+TEST(FedExPolicyTest, IgnoresFeedbackWithoutAssignment) {
+  FedExPolicy policy(TwoArms(), 0.3, 3);
+  auto consumer = policy.MakeFeedbackConsumer();
+  Payload feedback;
+  feedback.SetDouble("val_loss_after", 1.0);
+  consumer(/*client=*/5, 0, feedback);  // never assigned
+  EXPECT_EQ(policy.num_updates(), 0);
+}
+
+TEST(FedExPolicyTest, IgnoresFeedbackWithoutValLoss) {
+  FedExPolicy policy(TwoArms(), 0.3, 4);
+  auto provider = policy.MakeConfigProvider();
+  auto consumer = policy.MakeFeedbackConsumer();
+  provider(1, 0);
+  Payload empty;
+  consumer(1, 0, empty);
+  EXPECT_EQ(policy.num_updates(), 0);
+}
+
+TEST(FedExPolicyTest, SampleArmsUsesSpace) {
+  SearchSpace space;
+  space.AddDouble("hpo.lr", 0.01, 1.0, true);
+  Rng rng(12);
+  auto arms = FedExPolicy::SampleArms(space, 5, &rng);
+  EXPECT_EQ(arms.size(), 5u);
+  for (const auto& arm : arms) {
+    EXPECT_TRUE(arm.Has("hpo.lr"));
+  }
+}
+
+TEST(RunFedExWrappedTest, ProducesTrace) {
+  SearchSpace wrapper;
+  wrapper.AddDouble("x", 0.0, 1.0);
+  SearchSpace client_space;
+  client_space.AddDouble("hpo.lr", 0.01, 1.0, true);
+  Rng rng(13);
+  auto runner = [](const Config& config, FedExPolicy* policy,
+                   int budget) -> FedExCourseResult {
+    // Fake course: feed the policy some updates; wrapper x controls loss.
+    auto provider = policy->MakeConfigProvider();
+    auto consumer = policy->MakeFeedbackConsumer();
+    for (int r = 0; r < budget; ++r) {
+      provider(1, r);
+      Payload p;
+      p.SetDouble("val_loss_after", 0.5);
+      consumer(1, r, p);
+    }
+    FedExCourseResult result;
+    result.val_loss = config.GetDouble("x", 0.0);
+    result.test_accuracy = 1.0 - result.val_loss;
+    return result;
+  };
+  HpoResult result = RunFedExWrapped(wrapper, client_space, 3, runner, 5,
+                                     4, 0.2, &rng);
+  EXPECT_EQ(result.trace.size(), 5u);
+  EXPECT_TRUE(result.best_config.Has("hpo.lr"));  // arm merged in
+}
+
+}  // namespace
+}  // namespace fedscope

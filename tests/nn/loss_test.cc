@@ -1,0 +1,74 @@
+#include "fedscope/nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedscope {
+namespace {
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::Zeros({2, 4});
+  double l = loss.Forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectIsNearZero) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3}, {20.0f, 0.0f, 0.0f});
+  EXPECT_LT(loss.Forward(logits, {0}), 1e-4);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentWrongIsLarge) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3}, {20.0f, 0.0f, 0.0f});
+  EXPECT_GT(loss.Forward(logits, {1}), 10.0);
+}
+
+TEST(SoftmaxCrossEntropyTest, BackwardIsProbsMinusOnehotOverBatch) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::Zeros({2, 2});
+  loss.Forward(logits, {0, 1});
+  Tensor g = loss.Backward();
+  // probs = 0.5 everywhere; grad = (p - y)/B.
+  EXPECT_NEAR(g.at(0, 0), (0.5 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(g.at(0, 1), 0.5 / 2.0, 1e-6);
+  EXPECT_NEAR(g.at(1, 1), (0.5 - 1.0) / 2.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientSumsToZeroPerRow) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3}, {1, 2, 3, -1, 0, 4});
+  loss.Forward(logits, {2, 0});
+  Tensor g = loss.Backward();
+  for (int64_t i = 0; i < 2; ++i) {
+    double row = 0.0;
+    for (int64_t c = 0; c < 3; ++c) row += g.at(i, c);
+    EXPECT_NEAR(row, 0.0, 1e-6);
+  }
+}
+
+TEST(MseLossTest, ForwardAndBackward) {
+  MseLoss loss;
+  Tensor out({2, 1}, {1.0f, 3.0f});
+  double l = loss.Forward(out, {0, 1});  // errors: 1, 2
+  EXPECT_NEAR(l, (1.0 + 4.0) / 2.0, 1e-6);
+  Tensor g = loss.Backward();
+  EXPECT_NEAR(g.at(0, 0), 2.0 * 1.0 / 2.0, 1e-6);
+  EXPECT_NEAR(g.at(1, 0), 2.0 * 2.0 / 2.0, 1e-6);
+}
+
+TEST(AccuracyTest, CountsCorrectRows) {
+  Tensor scores({3, 2}, {0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f});
+  EXPECT_NEAR(Accuracy(scores, {0, 1, 1}), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(Accuracy(scores, {0, 1, 0}), 1.0, 1e-9);
+}
+
+TEST(AccuracyTest, EmptyIsZero) {
+  Tensor scores({0, 2});
+  EXPECT_EQ(Accuracy(scores, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace fedscope

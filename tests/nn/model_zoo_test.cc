@@ -1,0 +1,76 @@
+#include "fedscope/nn/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+TEST(ModelZooTest, ConvNet2ForwardShape) {
+  Rng rng(1);
+  Model m = MakeConvNet2(3, 8, 10, 32, 0.5, &rng);
+  Tensor x({2, 3, 8, 8});
+  Tensor y = m.Forward(x, /*train=*/false);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 10);
+}
+
+TEST(ModelZooTest, ConvNet2GrayscaleInput) {
+  Rng rng(2);
+  Model m = MakeConvNet2(1, 8, 62, 64, 0.0, &rng);
+  Tensor x({1, 1, 8, 8});
+  EXPECT_EQ(m.Forward(x, false).dim(1), 62);
+}
+
+TEST(ModelZooTest, ConvNet2RequiresDivisibleSize) {
+  Rng rng(3);
+  EXPECT_DEATH(MakeConvNet2(1, 6, 10, 32, 0.0, &rng), "");
+}
+
+TEST(ModelZooTest, MlpShapesAndDepth) {
+  Rng rng(4);
+  Model m = MakeMlp({10, 20, 20, 5}, &rng);
+  Tensor x({3, 10});
+  EXPECT_EQ(m.Forward(x, true).dim(1), 5);
+  // 3 linear layers + 2 relus.
+  EXPECT_EQ(m.num_layers(), 5);
+}
+
+TEST(ModelZooTest, MlpBnContainsBatchNorm) {
+  Rng rng(5);
+  Model m = MakeMlpBn({4, 8, 2}, &rng);
+  bool has_bn = false;
+  for (auto& p : m.Params()) {
+    if (p.name.find(".bn.") != std::string::npos) has_bn = true;
+  }
+  EXPECT_TRUE(has_bn);
+  Tensor x({4, 4});
+  EXPECT_EQ(m.Forward(x, true).dim(1), 2);
+}
+
+TEST(ModelZooTest, LogisticRegressionIsSingleLayer) {
+  Rng rng(6);
+  Model m = MakeLogisticRegression(60, 2, &rng);
+  EXPECT_EQ(m.num_layers(), 1);
+  EXPECT_EQ(m.NumParams(), 60 * 2 + 2);
+}
+
+TEST(ModelZooTest, BodyHeadSplitsNamespaces) {
+  Rng rng(7);
+  Model m = MakeBodyHeadMlp(6, 8, 3, &rng);
+  auto body = m.GetStateDict(IncludePrefixes({"body."}));
+  auto head = m.GetStateDict(IncludePrefixes({"head."}));
+  EXPECT_EQ(body.size(), 4u);
+  EXPECT_EQ(head.size(), 2u);
+  Tensor x({2, 6});
+  EXPECT_EQ(m.Forward(x, true).dim(1), 3);
+}
+
+TEST(ModelZooTest, SameSeedSameInit) {
+  Rng a(9), b(9);
+  Model ma = MakeMlp({3, 3}, &a);
+  Model mb = MakeMlp({3, 3}, &b);
+  EXPECT_TRUE(ma.GetStateDict() == mb.GetStateDict());
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,111 @@
+#include "fedscope/nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "fedscope/nn/model_zoo.h"
+#include "fedscope/tensor/tensor_ops.h"
+
+namespace fedscope {
+namespace {
+
+/// A one-parameter "model" for exact optimizer math: a single 1x1 Linear.
+Model ScalarModel(float w0) {
+  Rng rng(1);
+  Model m = MakeLogisticRegression(1, 1, &rng);
+  auto params = m.Params();
+  params[0].value->at(0) = w0;  // weight
+  params[1].value->at(0) = 0.0f;  // bias
+  return m;
+}
+
+void SetGrad(Model* m, float gw, float gb) {
+  auto params = m->Params();
+  params[0].grad->at(0) = gw;
+  params[1].grad->at(0) = gb;
+}
+
+float Weight(Model* m) { return m->Params()[0].value->at(0); }
+
+TEST(SgdTest, PlainStep) {
+  Model m = ScalarModel(1.0f);
+  Sgd sgd(SgdOptions{.lr = 0.1});
+  SetGrad(&m, 2.0f, 0.0f);
+  sgd.Step(&m);
+  EXPECT_NEAR(Weight(&m), 1.0f - 0.1f * 2.0f, 1e-6);
+}
+
+TEST(SgdTest, WeightDecayAddsToGradient) {
+  Model m = ScalarModel(1.0f);
+  Sgd sgd(SgdOptions{.lr = 0.1, .weight_decay = 0.5});
+  SetGrad(&m, 0.0f, 0.0f);
+  sgd.Step(&m);
+  // grad_eff = 0 + 0.5 * w = 0.5; w <- 1 - 0.1*0.5 = 0.95.
+  EXPECT_NEAR(Weight(&m), 0.95f, 1e-6);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Model m = ScalarModel(0.0f);
+  Sgd sgd(SgdOptions{.lr = 1.0, .momentum = 0.9});
+  SetGrad(&m, 1.0f, 0.0f);
+  sgd.Step(&m);  // buf = 1, w = -1
+  EXPECT_NEAR(Weight(&m), -1.0f, 1e-6);
+  SetGrad(&m, 1.0f, 0.0f);
+  sgd.Step(&m);  // buf = 0.9 + 1 = 1.9, w = -1 - 1.9 = -2.9
+  EXPECT_NEAR(Weight(&m), -2.9f, 1e-6);
+}
+
+TEST(SgdTest, ProximalTermPullsTowardCenter) {
+  Model m = ScalarModel(2.0f);
+  Sgd sgd(SgdOptions{.lr = 0.1, .prox_mu = 1.0});
+  StateDict center = ScalarModel(0.0f).GetStateDict();
+  sgd.SetProxCenter(center);
+  SetGrad(&m, 0.0f, 0.0f);
+  sgd.Step(&m);
+  // grad_eff = mu*(w - 0) = 2; w <- 2 - 0.1*2 = 1.8.
+  EXPECT_NEAR(Weight(&m), 1.8f, 1e-6);
+}
+
+TEST(SgdTest, GradClipBoundsStep) {
+  Model m = ScalarModel(0.0f);
+  Sgd sgd(SgdOptions{.lr = 1.0, .grad_clip_norm = 1.0});
+  SetGrad(&m, 100.0f, 0.0f);
+  sgd.Step(&m);
+  EXPECT_NEAR(Weight(&m), -1.0f, 1e-4);  // clipped to norm 1
+}
+
+TEST(SgdTest, ResetClearsMomentum) {
+  Model m = ScalarModel(0.0f);
+  Sgd sgd(SgdOptions{.lr = 1.0, .momentum = 0.9});
+  SetGrad(&m, 1.0f, 0.0f);
+  sgd.Step(&m);
+  sgd.Reset();
+  SetGrad(&m, 1.0f, 0.0f);
+  sgd.Step(&m);
+  // Without reset the second step would be -1.9; with reset it's -1.
+  EXPECT_NEAR(Weight(&m), -2.0f, 1e-6);
+}
+
+TEST(SgdTest, BuffersUntouchedByOptimizer) {
+  Rng rng(2);
+  Model m = MakeMlpBn({2, 4, 2}, &rng);
+  StateDict before = m.GetStateDict(
+      [](const std::string& name) {
+        return name.find("running") != std::string::npos;
+      });
+  // Force nonzero grads on trainable params and step.
+  for (auto& p : m.Params()) {
+    if (p.trainable && p.grad) {
+      for (int64_t i = 0; i < p.grad->numel(); ++i) p.grad->at(i) = 1.0f;
+    }
+  }
+  Sgd sgd(SgdOptions{.lr = 0.5});
+  sgd.Step(&m);
+  StateDict after = m.GetStateDict(
+      [](const std::string& name) {
+        return name.find("running") != std::string::npos;
+      });
+  EXPECT_TRUE(before == after);
+}
+
+}  // namespace
+}  // namespace fedscope

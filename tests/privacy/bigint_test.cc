@@ -1,0 +1,181 @@
+#include "fedscope/privacy/bigint.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+TEST(BigIntTest, FromUint64AndBack) {
+  EXPECT_EQ(BigInt::FromUint64(0).ToUint64(), 0u);
+  EXPECT_EQ(BigInt::FromUint64(12345).ToUint64(), 12345u);
+  EXPECT_EQ(BigInt::FromUint64(UINT64_MAX).ToUint64(), UINT64_MAX);
+  EXPECT_TRUE(BigInt().IsZero());
+  EXPECT_FALSE(BigInt::FromUint64(1).IsZero());
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  BigInt v = BigInt::FromHex("deadbeefcafebabe1234567890abcdef");
+  EXPECT_EQ(v.ToHex(), "deadbeefcafebabe1234567890abcdef");
+  EXPECT_EQ(BigInt().ToHex(), "0");
+  EXPECT_EQ(BigInt::FromHex("0").ToHex(), "0");
+  EXPECT_EQ(BigInt::FromHex("ff").ToUint64(), 255u);
+}
+
+TEST(BigIntTest, BitLengthAndGetBit) {
+  EXPECT_EQ(BigInt().BitLength(), 0);
+  EXPECT_EQ(BigInt::FromUint64(1).BitLength(), 1);
+  EXPECT_EQ(BigInt::FromUint64(255).BitLength(), 8);
+  EXPECT_EQ(BigInt::FromUint64(256).BitLength(), 9);
+  BigInt v = BigInt::FromUint64(0b1010);
+  EXPECT_FALSE(v.GetBit(0));
+  EXPECT_TRUE(v.GetBit(1));
+  EXPECT_TRUE(v.GetBit(3));
+  EXPECT_FALSE(v.GetBit(100));
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  BigInt a = BigInt::FromUint64(100), b = BigInt::FromUint64(200);
+  EXPECT_LT(BigInt::Compare(a, b), 0);
+  EXPECT_GT(BigInt::Compare(b, a), 0);
+  EXPECT_EQ(BigInt::Compare(a, a), 0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= a);
+}
+
+TEST(BigIntTest, AddCarriesAcrossLimbs) {
+  BigInt a = BigInt::FromUint64(UINT64_MAX);
+  BigInt sum = BigInt::Add(a, BigInt::FromUint64(1));
+  EXPECT_EQ(sum.BitLength(), 65);
+  EXPECT_EQ(sum.ToHex(), "10000000000000000");
+}
+
+TEST(BigIntTest, SubBorrows) {
+  BigInt a = BigInt::FromHex("10000000000000000");
+  BigInt diff = BigInt::Sub(a, BigInt::FromUint64(1));
+  EXPECT_EQ(diff.ToUint64(), UINT64_MAX);
+}
+
+TEST(BigIntTest, SubUnderflowDies) {
+  EXPECT_DEATH(
+      BigInt::Sub(BigInt::FromUint64(1), BigInt::FromUint64(2)), "");
+}
+
+TEST(BigIntTest, MulKnownValues) {
+  BigInt a = BigInt::FromUint64(0xFFFFFFFFULL);
+  BigInt sq = BigInt::Mul(a, a);
+  EXPECT_EQ(sq.ToHex(), "fffffffe00000001");
+  EXPECT_TRUE(BigInt::Mul(a, BigInt()).IsZero());
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  BigInt v = BigInt::FromHex("123456789abcdef");
+  EXPECT_EQ(v.ShiftLeft(36).ShiftRight(36).ToHex(), v.ToHex());
+  EXPECT_EQ(BigInt::FromUint64(1).ShiftLeft(100).BitLength(), 101);
+  EXPECT_TRUE(v.ShiftRight(200).IsZero());
+}
+
+TEST(BigIntTest, DivModIdentity) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    BigInt a = BigInt::Random(120, &rng);
+    BigInt b = BigInt::Random(50, &rng);
+    auto [q, r] = BigInt::DivMod(a, b);
+    EXPECT_LT(BigInt::Compare(r, b), 0);
+    BigInt reconstructed = BigInt::Add(BigInt::Mul(q, b), r);
+    EXPECT_EQ(BigInt::Compare(reconstructed, a), 0);
+  }
+}
+
+TEST(BigIntTest, DivByZeroDies) {
+  EXPECT_DEATH(BigInt::DivMod(BigInt::FromUint64(5), BigInt()), "");
+}
+
+TEST(BigIntTest, ModPowSmallKnown) {
+  // 3^7 mod 11 = 2187 mod 11 = 9.
+  BigInt r = BigInt::ModPow(BigInt::FromUint64(3), BigInt::FromUint64(7),
+                            BigInt::FromUint64(11));
+  EXPECT_EQ(r.ToUint64(), 9u);
+}
+
+TEST(BigIntTest, ModPowFermat) {
+  // Fermat: a^(p-1) = 1 mod p for prime p and gcd(a,p)=1.
+  const uint64_t p = 1000000007ULL;
+  BigInt r = BigInt::ModPow(BigInt::FromUint64(123456789),
+                            BigInt::FromUint64(p - 1),
+                            BigInt::FromUint64(p));
+  EXPECT_EQ(r.ToUint64(), 1u);
+}
+
+TEST(BigIntTest, GcdLcm) {
+  EXPECT_EQ(
+      BigInt::Gcd(BigInt::FromUint64(48), BigInt::FromUint64(36)).ToUint64(),
+      12u);
+  EXPECT_EQ(
+      BigInt::Lcm(BigInt::FromUint64(4), BigInt::FromUint64(6)).ToUint64(),
+      12u);
+  EXPECT_EQ(BigInt::Gcd(BigInt::FromUint64(17), BigInt()).ToUint64(), 17u);
+}
+
+TEST(BigIntTest, ModInverseCorrect) {
+  Rng rng(2);
+  BigInt m = BigInt::FromUint64(1000000007ULL);  // prime
+  for (int trial = 0; trial < 10; ++trial) {
+    BigInt a = BigInt::Add(BigInt::RandomBelow(m, &rng),
+                           BigInt::FromUint64(1));
+    BigInt inv = BigInt::ModInverse(a, m);
+    ASSERT_FALSE(inv.IsZero());
+    BigInt prod = BigInt::Mod(BigInt::Mul(a, inv), m);
+    EXPECT_EQ(prod.ToUint64(), 1u);
+  }
+}
+
+TEST(BigIntTest, ModInverseNonInvertibleReturnsZero) {
+  // gcd(6, 9) = 3 != 1.
+  EXPECT_TRUE(
+      BigInt::ModInverse(BigInt::FromUint64(6), BigInt::FromUint64(9))
+          .IsZero());
+}
+
+TEST(BigIntTest, RandomHasExactBitLength) {
+  Rng rng(3);
+  for (int bits : {8, 33, 64, 100}) {
+    BigInt v = BigInt::Random(bits, &rng);
+    EXPECT_EQ(v.BitLength(), bits);
+  }
+}
+
+TEST(BigIntTest, RandomBelowStaysBelow) {
+  Rng rng(4);
+  BigInt bound = BigInt::FromUint64(1000);
+  for (int trial = 0; trial < 100; ++trial) {
+    EXPECT_LT(BigInt::Compare(BigInt::RandomBelow(bound, &rng), bound), 0);
+  }
+}
+
+TEST(BigIntTest, PrimalityKnownValues) {
+  Rng rng(5);
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 17ULL, 97ULL, 1000000007ULL}) {
+    EXPECT_TRUE(BigInt::IsProbablePrime(BigInt::FromUint64(p), &rng))
+        << p;
+  }
+  for (uint64_t c : {1ULL, 4ULL, 15ULL, 91ULL, 1000000008ULL}) {
+    EXPECT_FALSE(BigInt::IsProbablePrime(BigInt::FromUint64(c), &rng))
+        << c;
+  }
+}
+
+TEST(BigIntTest, CarmichaelNumberRejected) {
+  Rng rng(6);
+  // 561 = 3 * 11 * 17 fools Fermat but not Miller-Rabin.
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt::FromUint64(561), &rng));
+}
+
+TEST(BigIntTest, GeneratePrimeHasRequestedBits) {
+  Rng rng(7);
+  BigInt p = BigInt::GeneratePrime(48, &rng);
+  EXPECT_EQ(p.BitLength(), 48);
+  EXPECT_TRUE(BigInt::IsProbablePrime(p, &rng));
+}
+
+}  // namespace
+}  // namespace fedscope

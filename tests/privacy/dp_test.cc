@@ -1,0 +1,112 @@
+#include "fedscope/privacy/dp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fedscope/util/stats.h"
+
+namespace fedscope {
+namespace {
+
+StateDict BigDelta() {
+  StateDict d;
+  d["w"] = Tensor::Full({100}, 1.0f);  // norm 10
+  return d;
+}
+
+TEST(DpTest, DisabledIsNoop) {
+  StateDict d = BigDelta();
+  StateDict before = d;
+  Rng rng(1);
+  DpOptions options;  // enable = false
+  EXPECT_EQ(ApplyDpToDelta(&d, options, &rng), 0.0);
+  EXPECT_TRUE(d == before);
+}
+
+TEST(DpTest, ClipsToNorm) {
+  StateDict d = BigDelta();
+  Rng rng(2);
+  DpOptions options;
+  options.enable = true;
+  options.clip_norm = 1.0;
+  options.noise_multiplier = 0.0;
+  double pre = ApplyDpToDelta(&d, options, &rng);
+  EXPECT_NEAR(pre, 10.0, 1e-4);
+  EXPECT_NEAR(SdNorm(d), 1.0, 1e-4);
+}
+
+TEST(DpTest, ShortDeltaNotScaledUp) {
+  StateDict d;
+  d["w"] = Tensor::Full({4}, 0.1f);  // norm 0.2
+  Rng rng(3);
+  DpOptions options;
+  options.enable = true;
+  options.clip_norm = 10.0;
+  options.noise_multiplier = 0.0;
+  ApplyDpToDelta(&d, options, &rng);
+  EXPECT_NEAR(SdNorm(d), 0.2, 1e-5);
+}
+
+TEST(DpTest, GaussianNoiseHasExpectedScale) {
+  DpOptions options;
+  options.enable = true;
+  options.clip_norm = 1.0;
+  options.noise_multiplier = 0.5;  // sigma = 0.5
+  Rng rng(4);
+  RunningStat stat;
+  for (int trial = 0; trial < 50; ++trial) {
+    StateDict d;
+    d["w"] = Tensor::Zeros({200});
+    ApplyDpToDelta(&d, options, &rng);
+    for (int64_t i = 0; i < 200; ++i) stat.Add(d.at("w").at(i));
+  }
+  EXPECT_NEAR(stat.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stat.stddev(), 0.5, 0.02);
+}
+
+TEST(DpTest, LaplaceNoiseHasExpectedScale) {
+  DpOptions options;
+  options.enable = true;
+  options.clip_norm = 1.0;
+  options.noise_multiplier = 0.5;
+  options.mechanism = "laplace";
+  Rng rng(5);
+  RunningStat stat;
+  for (int trial = 0; trial < 50; ++trial) {
+    StateDict d;
+    d["w"] = Tensor::Zeros({200});
+    ApplyDpToDelta(&d, options, &rng);
+    for (int64_t i = 0; i < 200; ++i) stat.Add(d.at("w").at(i));
+  }
+  EXPECT_NEAR(stat.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stat.stddev(), 0.5, 0.05);
+}
+
+TEST(DpTest, FromConfigReadsKeys) {
+  Config c;
+  c.Set("dp.enable", true);
+  c.Set("dp.clip_norm", 2.0);
+  c.Set("dp.noise_multiplier", 0.7);
+  c.Set("dp.mechanism", "laplace");
+  DpOptions options = DpOptions::FromConfig(c);
+  EXPECT_TRUE(options.enable);
+  EXPECT_DOUBLE_EQ(options.clip_norm, 2.0);
+  EXPECT_DOUBLE_EQ(options.noise_multiplier, 0.7);
+  EXPECT_EQ(options.mechanism, "laplace");
+}
+
+TEST(DpTest, EpsilonDecreasesWithMoreNoise) {
+  const double weak = GaussianEpsilon(0.5, 10, 1e-5);
+  const double strong = GaussianEpsilon(2.0, 10, 1e-5);
+  EXPECT_GT(weak, strong);
+  EXPECT_GT(strong, 0.0);
+}
+
+TEST(DpTest, EpsilonGrowsWithSteps) {
+  EXPECT_GT(GaussianEpsilon(1.0, 100, 1e-5),
+            GaussianEpsilon(1.0, 10, 1e-5));
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,103 @@
+#include "fedscope/privacy/paillier.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  // Generate once; key generation dominates runtime.
+  static void SetUpTestSuite() {
+    rng_ = new Rng(101);
+    keys_ = new Paillier::KeyPair(Paillier::GenerateKeys(128, rng_));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete rng_;
+    keys_ = nullptr;
+    rng_ = nullptr;
+  }
+  static Rng* rng_;
+  static Paillier::KeyPair* keys_;
+};
+
+Rng* PaillierTest::rng_ = nullptr;
+Paillier::KeyPair* PaillierTest::keys_ = nullptr;
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  for (uint64_t m : {0ULL, 1ULL, 42ULL, 123456789ULL}) {
+    BigInt ct = Paillier::Encrypt(keys_->pub, BigInt::FromUint64(m), rng_);
+    BigInt pt = Paillier::Decrypt(keys_->pub, keys_->priv, ct);
+    EXPECT_EQ(pt.ToUint64(), m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  BigInt m = BigInt::FromUint64(7);
+  BigInt c1 = Paillier::Encrypt(keys_->pub, m, rng_);
+  BigInt c2 = Paillier::Encrypt(keys_->pub, m, rng_);
+  EXPECT_NE(BigInt::Compare(c1, c2), 0);  // semantic security
+  EXPECT_EQ(Paillier::Decrypt(keys_->pub, keys_->priv, c1).ToUint64(), 7u);
+  EXPECT_EQ(Paillier::Decrypt(keys_->pub, keys_->priv, c2).ToUint64(), 7u);
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  BigInt ca = Paillier::Encrypt(keys_->pub, BigInt::FromUint64(1000), rng_);
+  BigInt cb = Paillier::Encrypt(keys_->pub, BigInt::FromUint64(234), rng_);
+  BigInt sum_ct = Paillier::AddCiphertexts(keys_->pub, ca, cb);
+  EXPECT_EQ(Paillier::Decrypt(keys_->pub, keys_->priv, sum_ct).ToUint64(),
+            1234u);
+}
+
+TEST_F(PaillierTest, HomomorphicScalarMultiplication) {
+  BigInt ct = Paillier::Encrypt(keys_->pub, BigInt::FromUint64(21), rng_);
+  BigInt doubled = Paillier::MulPlain(keys_->pub, ct, BigInt::FromUint64(2));
+  EXPECT_EQ(Paillier::Decrypt(keys_->pub, keys_->priv, doubled).ToUint64(),
+            42u);
+}
+
+TEST_F(PaillierTest, ManyTermAggregation) {
+  // Sum 10 encrypted values the way the server aggregates updates.
+  uint64_t expected = 0;
+  BigInt acc;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    expected += i * i;
+    BigInt ct =
+        Paillier::Encrypt(keys_->pub, BigInt::FromUint64(i * i), rng_);
+    acc = (i == 1) ? ct : Paillier::AddCiphertexts(keys_->pub, acc, ct);
+  }
+  EXPECT_EQ(Paillier::Decrypt(keys_->pub, keys_->priv, acc).ToUint64(),
+            expected);
+}
+
+TEST_F(PaillierTest, FixedPointCodecSignedRoundTrip) {
+  FixedPointCodec codec(keys_->pub.n, 20);
+  for (double v : {0.0, 1.0, -1.0, 3.14159, -2.71828, 1000.5, -0.0001}) {
+    const double decoded = codec.Decode(codec.Encode(v));
+    EXPECT_NEAR(decoded, v, 1e-5) << v;
+  }
+}
+
+TEST_F(PaillierTest, EncryptedNegativeNumbersSum) {
+  FixedPointCodec codec(keys_->pub.n, 20);
+  BigInt ca = Paillier::Encrypt(keys_->pub, codec.Encode(2.5), rng_);
+  BigInt cb = Paillier::Encrypt(keys_->pub, codec.Encode(-1.25), rng_);
+  BigInt sum = Paillier::AddCiphertexts(keys_->pub, ca, cb);
+  EXPECT_NEAR(codec.Decode(Paillier::Decrypt(keys_->pub, keys_->priv, sum)),
+              1.25, 1e-5);
+}
+
+TEST(EncryptedSumTest, MatchesPlainSum) {
+  Rng rng(202);
+  std::vector<std::vector<double>> rows = {
+      {0.5, -1.0, 2.0}, {1.5, 0.25, -0.5}, {-2.0, 0.75, 0.25}};
+  auto sums = EncryptedSum(rows, 96, &rng);
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_NEAR(sums[0], 0.0, 1e-5);
+  EXPECT_NEAR(sums[1], 0.0, 1e-5);
+  EXPECT_NEAR(sums[2], 1.75, 1e-5);
+}
+
+}  // namespace
+}  // namespace fedscope

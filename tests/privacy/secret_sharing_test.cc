@@ -1,0 +1,137 @@
+#include "fedscope/privacy/secret_sharing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fedscope/core/fed_runner.h"
+#include "fedscope/data/synthetic_twitter.h"
+#include "fedscope/nn/model_zoo.h"
+#include "fedscope/privacy/secure_aggregator.h"
+
+namespace fedscope {
+namespace {
+
+TEST(SecretSharingTest, EncodeDecodeSigned) {
+  AdditiveSecretSharing sharing(3, 24);
+  for (double v : {0.0, 1.0, -1.0, 123.456, -0.001, 1e6}) {
+    EXPECT_NEAR(sharing.Decode(sharing.Encode(v)), v, 1e-6) << v;
+  }
+}
+
+TEST(SecretSharingTest, SharesReconstructValue) {
+  AdditiveSecretSharing sharing(5, 24);
+  Rng rng(1);
+  for (double v : {3.25, -7.5, 0.0, 999.999}) {
+    auto shares = sharing.Split(v, &rng);
+    ASSERT_EQ(shares.size(), 5u);
+    uint64_t total = 0;
+    for (uint64_t s : shares) total += s;
+    EXPECT_NEAR(sharing.Decode(total), v, 1e-6);
+  }
+}
+
+TEST(SecretSharingTest, IndividualSharesLookRandom) {
+  // Any m-1 shares are uniform: the same secret split twice must produce
+  // different shares, and a share alone is unrelated to the secret.
+  AdditiveSecretSharing sharing(2, 24);
+  Rng rng(2);
+  auto s1 = sharing.Split(1.0, &rng);
+  auto s2 = sharing.Split(1.0, &rng);
+  EXPECT_NE(s1[1], s2[1]);
+}
+
+TEST(SecretSharingTest, VectorSplitAndSum) {
+  AdditiveSecretSharing sharing(3, 24);
+  Rng rng(3);
+  std::vector<double> values = {1.0, -2.0, 3.5};
+  auto shares = sharing.SplitVector(values, &rng);
+  ASSERT_EQ(shares.size(), 3u);
+  auto sum = AdditiveSecretSharing::SumShares(shares);
+  auto decoded = sharing.DecodeVector(sum);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(decoded[i], values[i], 1e-6);
+  }
+}
+
+TEST(SecretSharedSumTest, MatchesPlainSum) {
+  Rng rng(4);
+  std::vector<std::vector<double>> values = {
+      {1.0, 2.0}, {-0.5, 0.25}, {3.0, -3.0}, {0.125, 0.125}};
+  auto sums = SecretSharedSum(values, &rng);
+  EXPECT_NEAR(sums[0], 3.625, 1e-6);
+  EXPECT_NEAR(sums[1], -0.625, 1e-6);
+}
+
+TEST(SecretSharedAverageTest, MatchesPlainAverage) {
+  Rng rng(5);
+  std::vector<StateDict> updates(3);
+  for (int c = 0; c < 3; ++c) {
+    StateDict d;
+    d["w"] = Tensor::FromVector(
+        {static_cast<float>(c), static_cast<float>(c) - 1.5f});
+    d["b"] = Tensor::FromVector({0.25f * c});
+    updates[c] = d;
+  }
+  StateDict avg = SecretSharedAverage(updates, &rng);
+  EXPECT_NEAR(avg.at("w").at(0), 1.0f, 1e-4);    // (0+1+2)/3
+  EXPECT_NEAR(avg.at("w").at(1), -0.5f, 1e-4);   // (-1.5-0.5+0.5)/3
+  EXPECT_NEAR(avg.at("b").at(0), 0.25f, 1e-4);   // (0+0.25+0.5)/3
+}
+
+TEST(SecretSharingTest, TooFewSharesDies) {
+  EXPECT_DEATH(AdditiveSecretSharing(1), "");
+}
+
+TEST(SecureAverageAggregatorTest, MatchesPlainUnweightedMean) {
+  SecureAverageAggregator secure(/*seed=*/7);
+  StateDict global;
+  global["w"] = Tensor::FromVector({1.0f, -1.0f});
+  std::vector<ClientUpdate> updates(3);
+  for (int c = 0; c < 3; ++c) {
+    updates[c].client_id = c + 1;
+    updates[c].delta["w"] =
+        Tensor::FromVector({0.5f * (c + 1), -0.25f * (c + 1)});
+  }
+  StateDict next = secure.Aggregate(global, updates);
+  // mean delta = (0.5+1.0+1.5)/3 = 1.0 and (-0.25-0.5-0.75)/3 = -0.5.
+  EXPECT_NEAR(next.at("w").at(0), 2.0f, 1e-4);
+  EXPECT_NEAR(next.at("w").at(1), -1.5f, 1e-4);
+}
+
+TEST(SecureAverageAggregatorTest, SingleUpdatePassesThrough) {
+  SecureAverageAggregator secure(8);
+  StateDict global;
+  global["w"] = Tensor::FromVector({0.0f});
+  ClientUpdate update;
+  update.delta["w"] = Tensor::FromVector({3.0f});
+  StateDict next = secure.Aggregate(global, {update});
+  EXPECT_NEAR(next.at("w").at(0), 3.0f, 1e-6);
+}
+
+TEST(SecureAverageAggregatorTest, RunsWholeFlCourse) {
+  // Secret-shared FedAvg end-to-end: the server never aggregates
+  // plaintext updates, and the course still learns.
+  SyntheticTwitterOptions options;
+  options.num_clients = 20;
+  options.seed = 12;
+  FedDataset data = MakeSyntheticTwitter(options);
+  FedJob job;
+  job.data = &data;
+  Rng rng(13);
+  job.init_model = MakeLogisticRegression(60, 2, &rng);
+  job.server.concurrency = 8;
+  job.server.max_rounds = 12;
+  job.client.train.lr = 0.5;
+  job.client.train.batch_size = 2;
+  job.seed = 13;
+  job.aggregator_factory = []() {
+    return std::make_unique<SecureAverageAggregator>(99);
+  };
+  RunResult result = FedRunner(std::move(job)).Run();
+  EXPECT_EQ(result.server.rounds, 12);
+  EXPECT_GT(result.server.final_accuracy, 0.65);
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,131 @@
+#include "fedscope/sim/device_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fedscope {
+namespace {
+
+TEST(MakeFleetTest, ProducesRequestedCount) {
+  Rng rng(1);
+  auto fleet = MakeFleet(50, FleetOptions{}, &rng);
+  EXPECT_EQ(fleet.size(), 50u);
+  for (const auto& d : fleet) {
+    EXPECT_GT(d.compute_speed, 0.0);
+    EXPECT_GT(d.up_bandwidth, 0.0);
+  }
+}
+
+TEST(MakeFleetTest, IsHeterogeneous) {
+  Rng rng(2);
+  FleetOptions options;
+  options.compute_sigma = 0.8;
+  auto fleet = MakeFleet(200, options, &rng);
+  double lo = 1e18, hi = 0.0;
+  for (const auto& d : fleet) {
+    lo = std::min(lo, d.compute_speed);
+    hi = std::max(hi, d.compute_speed);
+  }
+  // Lognormal sigma 0.8 + stragglers spans > 10x.
+  EXPECT_GT(hi / lo, 10.0);
+}
+
+TEST(MakeFleetTest, StragglersAreSlower) {
+  Rng rng(3);
+  FleetOptions with, without;
+  with.straggler_frac = 0.5;
+  without.straggler_frac = 0.0;
+  auto slow_fleet = MakeFleet(500, with, &rng);
+  Rng rng2(3);
+  auto fast_fleet = MakeFleet(500, without, &rng2);
+  double slow_mean = 0.0, fast_mean = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    slow_mean += slow_fleet[i].compute_speed;
+    fast_mean += fast_fleet[i].compute_speed;
+  }
+  EXPECT_LT(slow_mean, fast_mean);
+}
+
+TEST(MakeFleetTest, CrashProbPropagates) {
+  Rng rng(4);
+  FleetOptions options;
+  options.crash_prob = 0.07;
+  auto fleet = MakeFleet(5, options, &rng);
+  for (const auto& d : fleet) EXPECT_DOUBLE_EQ(d.crash_prob, 0.07);
+}
+
+TEST(FleetTraceTest, ParsesWellFormedTrace) {
+  const std::string trace =
+      "# my trace\n"
+      "100,1e6,2e6\n"
+      "50,5e5,5e5,0.1\n"
+      "\n"
+      "200,2e6,2e6,0  # fast device\n";
+  auto fleet = ParseFleetTrace(trace);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  ASSERT_EQ(fleet->size(), 3u);
+  EXPECT_DOUBLE_EQ((*fleet)[0].compute_speed, 100.0);
+  EXPECT_DOUBLE_EQ((*fleet)[0].crash_prob, 0.0);
+  EXPECT_DOUBLE_EQ((*fleet)[1].crash_prob, 0.1);
+  EXPECT_DOUBLE_EQ((*fleet)[2].down_bandwidth, 2e6);
+}
+
+TEST(FleetTraceTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseFleetTrace("abc,1,1\n").ok());
+  EXPECT_FALSE(ParseFleetTrace("1,2\n").ok());          // too few fields
+  EXPECT_FALSE(ParseFleetTrace("1,2,3,4,5\n").ok());    // too many
+  EXPECT_FALSE(ParseFleetTrace("-1,2,3\n").ok());       // non-positive
+  EXPECT_FALSE(ParseFleetTrace("1,2,3,1.5\n").ok());    // bad crash prob
+  EXPECT_FALSE(ParseFleetTrace("").ok());               // empty
+  EXPECT_FALSE(ParseFleetTrace("# only comments\n").ok());
+}
+
+TEST(FleetTraceTest, RoundTripsGeneratedFleet) {
+  Rng rng(11);
+  FleetOptions options;
+  options.crash_prob = 0.05;
+  auto fleet = MakeFleet(25, options, &rng);
+  auto parsed = ParseFleetTrace(FleetToTrace(fleet));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), fleet.size());
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_NEAR((*parsed)[i].compute_speed, fleet[i].compute_speed,
+                1e-4 * fleet[i].compute_speed);
+    EXPECT_NEAR((*parsed)[i].crash_prob, fleet[i].crash_prob, 1e-9);
+  }
+}
+
+TEST(ResponsivenessScoresTest, FasterDeviceScoresHigher) {
+  DeviceProfile fast{1000.0, 1e7, 1e7, 0.0};
+  DeviceProfile slow{10.0, 1e5, 1e5, 0.0};
+  auto scores = ResponsivenessScores({fast, slow});
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(GroupByResponsivenessTest, PartitionsAllClients) {
+  Rng rng(5);
+  auto fleet = MakeFleet(47, FleetOptions{}, &rng);
+  auto groups = GroupByResponsiveness(fleet, 5);
+  EXPECT_EQ(groups.size(), 5u);
+  std::set<int> seen;
+  for (const auto& group : groups) {
+    for (int id : group) seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 47u);
+}
+
+TEST(GroupByResponsivenessTest, GroupZeroIsFastest) {
+  Rng rng(6);
+  auto fleet = MakeFleet(60, FleetOptions{}, &rng);
+  auto groups = GroupByResponsiveness(fleet, 3);
+  auto scores = ResponsivenessScores(fleet);
+  double g0_min = 1e18, g2_max = 0.0;
+  for (int id : groups[0]) g0_min = std::min(g0_min, scores[id]);
+  for (int id : groups[2]) g2_max = std::max(g2_max, scores[id]);
+  EXPECT_GE(g0_min, g2_max);
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,70 @@
+#include "fedscope/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+Message At(double t, const std::string& type = "m") {
+  Message m;
+  m.timestamp = t;
+  m.msg_type = type;
+  return m;
+}
+
+TEST(EventQueueTest, PopsInTimestampOrder) {
+  EventQueue q;
+  q.Push(At(3.0, "c"));
+  q.Push(At(1.0, "a"));
+  q.Push(At(2.0, "b"));
+  EXPECT_EQ(q.Pop().msg_type, "a");
+  EXPECT_EQ(q.Pop().msg_type, "b");
+  EXPECT_EQ(q.Pop().msg_type, "c");
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  q.Push(At(1.0, "first"));
+  q.Push(At(1.0, "second"));
+  q.Push(At(1.0, "third"));
+  EXPECT_EQ(q.Pop().msg_type, "first");
+  EXPECT_EQ(q.Pop().msg_type, "second");
+  EXPECT_EQ(q.Pop().msg_type, "third");
+}
+
+TEST(EventQueueTest, PeekTimeMatchesEarliest) {
+  EventQueue q;
+  q.Push(At(5.5));
+  q.Push(At(2.25));
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 2.25);
+  q.Pop();
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 5.5);
+}
+
+TEST(EventQueueTest, SizeAndTotalPushed) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.Push(At(i));
+  EXPECT_EQ(q.Size(), 10u);
+  q.Pop();
+  EXPECT_EQ(q.Size(), 9u);
+  EXPECT_EQ(q.total_pushed(), 10);
+}
+
+TEST(EventQueueTest, PopEmptyDies) {
+  EventQueue q;
+  EXPECT_DEATH(q.Pop(), "");
+}
+
+TEST(EventQueueTest, InterleavedPushPopStaysSorted) {
+  EventQueue q;
+  q.Push(At(10.0, "late"));
+  q.Push(At(1.0, "early"));
+  EXPECT_EQ(q.Pop().msg_type, "early");
+  q.Push(At(5.0, "mid"));
+  EXPECT_EQ(q.Pop().msg_type, "mid");
+  EXPECT_EQ(q.Pop().msg_type, "late");
+}
+
+}  // namespace
+}  // namespace fedscope

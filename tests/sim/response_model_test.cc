@@ -1,0 +1,83 @@
+#include "fedscope/sim/response_model.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+TEST(ResponseModelTest, ExpectedLatencyComposition) {
+  ResponseModel model(0.0);
+  DeviceProfile device{100.0, 1000.0, 2000.0, 0.0};
+  WorkEstimate work;
+  work.samples_processed = 200;  // 2s compute
+  work.down_bytes = 4000;        // 2s download
+  work.up_bytes = 1000;          // 1s upload
+  EXPECT_DOUBLE_EQ(model.ExpectedLatency(device, work), 5.0);
+}
+
+TEST(ResponseModelTest, NoJitterIsDeterministic) {
+  ResponseModel model(0.0);
+  DeviceProfile device{50.0, 1e6, 1e6, 0.0};
+  WorkEstimate work{100, 1000, 1000};
+  Rng rng(1);
+  auto a = model.Simulate(device, work, &rng);
+  auto b = model.Simulate(device, work, &rng);
+  EXPECT_FALSE(a.crashed);
+  EXPECT_DOUBLE_EQ(a.latency_seconds, b.latency_seconds);
+}
+
+TEST(ResponseModelTest, JitterVariesLatency) {
+  ResponseModel model(0.3);
+  DeviceProfile device{50.0, 1e6, 1e6, 0.0};
+  WorkEstimate work{100, 1000, 1000};
+  Rng rng(2);
+  auto a = model.Simulate(device, work, &rng);
+  auto b = model.Simulate(device, work, &rng);
+  EXPECT_NE(a.latency_seconds, b.latency_seconds);
+  EXPECT_GT(a.latency_seconds, 0.0);
+}
+
+TEST(ResponseModelTest, SlowerDeviceTakesLonger) {
+  ResponseModel model(0.0);
+  DeviceProfile fast{1000.0, 1e7, 1e7, 0.0};
+  DeviceProfile slow{10.0, 1e4, 1e4, 0.0};
+  WorkEstimate work{100, 10000, 10000};
+  EXPECT_GT(model.ExpectedLatency(slow, work),
+            10.0 * model.ExpectedLatency(fast, work));
+}
+
+TEST(ResponseModelTest, CrashProbabilityRespected) {
+  ResponseModel model(0.0);
+  DeviceProfile device{50.0, 1e6, 1e6, 0.5};
+  WorkEstimate work{10, 100, 100};
+  Rng rng(3);
+  int crashes = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    if (model.Simulate(device, work, &rng).crashed) ++crashes;
+  }
+  EXPECT_NEAR(static_cast<double>(crashes) / trials, 0.5, 0.05);
+}
+
+TEST(ResponseModelTest, ZeroCrashNeverCrashes) {
+  ResponseModel model(0.2);
+  DeviceProfile device{50.0, 1e6, 1e6, 0.0};
+  WorkEstimate work{10, 100, 100};
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(model.Simulate(device, work, &rng).crashed);
+  }
+}
+
+TEST(ResponseModelTest, LatencyAlwaysPositive) {
+  ResponseModel model(1.0);
+  DeviceProfile device{1e9, 1e12, 1e12, 0.0};
+  WorkEstimate work{0, 0, 0};
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GT(model.Simulate(device, work, &rng).latency_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,133 @@
+#include "fedscope/tensor/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedscope {
+namespace {
+
+TEST(TensorOpsTest, ElementwiseAddSubMulScale) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = Tensor::FromVector({4, 5, 6});
+  EXPECT_EQ(Add(a, b).at(1), 7.0f);
+  EXPECT_EQ(Sub(b, a).at(2), 3.0f);
+  EXPECT_EQ(Mul(a, b).at(0), 4.0f);
+  EXPECT_EQ(Scale(a, 2.0f).at(2), 6.0f);
+}
+
+TEST(TensorOpsTest, InPlaceOps) {
+  Tensor a = Tensor::FromVector({1, 1});
+  AddInPlace(&a, Tensor::FromVector({2, 3}));
+  EXPECT_EQ(a.at(0), 3.0f);
+  Axpy(&a, 0.5f, Tensor::FromVector({2, 2}));
+  EXPECT_EQ(a.at(0), 4.0f);
+  ScaleInPlace(&a, 0.0f);
+  EXPECT_EQ(a.at(1), 0.0f);
+  a = Tensor::FromVector({5, 5});
+  ZeroInPlace(&a);
+  EXPECT_EQ(a.at(0), 0.0f);
+}
+
+TEST(TensorOpsTest, ShapeMismatchDies) {
+  Tensor a({2}), b({3});
+  EXPECT_DEATH(Add(a, b), "");
+}
+
+TEST(TensorOpsTest, DotNormSum) {
+  Tensor a = Tensor::FromVector({3, 4});
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(a), 25.0);
+  EXPECT_DOUBLE_EQ(Norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(Sum(a), 7.0);
+}
+
+TEST(TensorOpsTest, MatMulKnownValues) {
+  // [[1, 2], [3, 4]] x [[5, 6], [7, 8]] = [[19, 22], [43, 50]].
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(TensorOpsTest, MatMulRectangular) {
+  Tensor a({1, 3}, {1, 2, 3});
+  Tensor b({3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.dim(0), 1);
+  EXPECT_EQ(c.dim(1), 2);
+  EXPECT_EQ(c.at(0, 0), 4.0f);
+  EXPECT_EQ(c.at(0, 1), 5.0f);
+}
+
+TEST(TensorOpsTest, MatMulTransVariantsAgree) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 3}, &rng);
+  Tensor b = Tensor::Randn({3, 5}, &rng);
+  Tensor c = MatMul(a, b);
+
+  // a^T stored: at[k][m] => MatMulTransA(at, b) == a^T... construct aT.
+  Tensor at({3, 4});
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 3; ++k) at.at(k, i) = a.at(i, k);
+  }
+  Tensor c2 = MatMulTransA(at, b);
+  // bT stored: [5, 3].
+  Tensor bt({5, 3});
+  for (int k = 0; k < 3; ++k) {
+    for (int j = 0; j < 5; ++j) bt.at(j, k) = b.at(k, j);
+  }
+  Tensor c3 = MatMulTransB(a, bt);
+  for (int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c.at(i), c2.at(i), 1e-4);
+    EXPECT_NEAR(c.at(i), c3.at(i), 1e-4);
+  }
+}
+
+TEST(TensorOpsTest, SoftmaxRowsSumToOne) {
+  Tensor logits({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor p = Softmax(logits);
+  for (int64_t i = 0; i < 2; ++i) {
+    double total = 0.0;
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_GT(p.at(i, c), 0.0f);
+      total += p.at(i, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+  // Monotone in logits.
+  EXPECT_GT(p.at(0, 2), p.at(0, 1));
+}
+
+TEST(TensorOpsTest, SoftmaxNumericallyStable) {
+  Tensor logits({1, 2}, {1000.0f, 1001.0f});
+  Tensor p = Softmax(logits);
+  EXPECT_FALSE(std::isnan(p.at(0, 0)));
+  EXPECT_NEAR(p.at(0, 0) + p.at(0, 1), 1.0, 1e-5);
+}
+
+TEST(TensorOpsTest, ArgmaxRows) {
+  Tensor s({2, 3}, {0, 5, 1, 9, 2, 3});
+  auto idx = ArgmaxRows(s);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(TensorOpsTest, ClipByNormShrinksLongVectors) {
+  Tensor t = Tensor::FromVector({3, 4});  // norm 5
+  double pre = ClipByNorm(&t, 1.0);
+  EXPECT_DOUBLE_EQ(pre, 5.0);
+  EXPECT_NEAR(Norm(t), 1.0, 1e-5);
+}
+
+TEST(TensorOpsTest, ClipByNormNoopForShortVectors) {
+  Tensor t = Tensor::FromVector({0.3f, 0.4f});
+  ClipByNorm(&t, 1.0);
+  EXPECT_NEAR(Norm(t), 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,98 @@
+#include "fedscope/tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FullAndFromVector) {
+  Tensor f = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(f.at(i), 2.5f);
+  Tensor v = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(v.ndim(), 1);
+  EXPECT_EQ(v.at(2), 3.0f);
+}
+
+TEST(TensorTest, TwoDimAccess) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t.at(1 * 3 + 2), 7.0f);
+  EXPECT_EQ(t.at(1, 2), 7.0f);
+}
+
+TEST(TensorTest, FourDimAccessNchw) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t.at(((1 * 3 + 2) * 4 + 3) * 5 + 4), 9.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({2, 3});
+  EXPECT_EQ(r.at(1, 0), 4.0f);
+  EXPECT_EQ(r.numel(), 6);
+}
+
+TEST(TensorTest, ReshapeBadNumelDies) {
+  Tensor t = Tensor::FromVector({1, 2, 3});
+  EXPECT_DEATH(t.Reshape({2, 2}), "");
+}
+
+TEST(TensorTest, SliceAndSetSlice) {
+  Tensor t({3, 2});
+  for (int64_t i = 0; i < 6; ++i) t.at(i) = static_cast<float>(i);
+  Tensor row = t.Slice(1);
+  EXPECT_EQ(row.numel(), 2);
+  EXPECT_EQ(row.at(0), 2.0f);
+  EXPECT_EQ(row.at(1), 3.0f);
+
+  t.SetSlice(0, Tensor::FromVector({10.0f, 11.0f}));
+  EXPECT_EQ(t.at(0, 0), 10.0f);
+  EXPECT_EQ(t.at(0, 1), 11.0f);
+}
+
+TEST(TensorTest, RandnIsSeeded) {
+  Rng a(5), b(5);
+  Tensor x = Tensor::Randn({10}, &a);
+  Tensor y = Tensor::Randn({10}, &b);
+  EXPECT_TRUE(x == y);
+}
+
+TEST(TensorTest, RandBounds) {
+  Rng rng(6);
+  Tensor t = Tensor::Rand({100}, &rng, -0.5f, 0.5f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.at(i), -0.5f);
+    EXPECT_LT(t.at(i), 0.5f);
+  }
+}
+
+TEST(TensorTest, SameShapeAndEquality) {
+  Tensor a({2, 2}), b({2, 2}), c({4});
+  EXPECT_TRUE(a.SameShape(b));
+  EXPECT_FALSE(a.SameShape(c));
+  EXPECT_TRUE(a == b);
+  b.at(0) = 1.0f;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).ShapeString(), "[2, 3]");
+  EXPECT_EQ(Tensor().ShapeString(), "[]");
+}
+
+TEST(ShapeNumelTest, Product) {
+  EXPECT_EQ(ShapeNumel({2, 3, 4}), 24);
+  EXPECT_EQ(ShapeNumel({}), 1);
+  EXPECT_EQ(ShapeNumel({0, 5}), 0);
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,100 @@
+#include "fedscope/util/config.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+TEST(ConfigTest, SetGetTyped) {
+  Config c;
+  c.Set("a.bool", true);
+  c.Set("a.int", 42);
+  c.Set("a.double", 2.5);
+  c.Set("a.string", "hello");
+  EXPECT_TRUE(c.GetBool("a.bool", false));
+  EXPECT_EQ(c.GetInt("a.int", 0), 42);
+  EXPECT_DOUBLE_EQ(c.GetDouble("a.double", 0.0), 2.5);
+  EXPECT_EQ(c.GetString("a.string", ""), "hello");
+}
+
+TEST(ConfigTest, DefaultsWhenAbsent) {
+  Config c;
+  EXPECT_FALSE(c.Has("missing"));
+  EXPECT_EQ(c.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(c.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(c.GetString("missing", "def"), "def");
+  EXPECT_TRUE(c.GetBool("missing", true));
+}
+
+TEST(ConfigTest, NumericCrossTyping) {
+  Config c;
+  c.Set("x", 3);
+  EXPECT_DOUBLE_EQ(c.GetDouble("x", 0.0), 3.0);
+  c.Set("y", 2.9);
+  EXPECT_EQ(c.GetInt("y", 0), 2);
+}
+
+TEST(ConfigTest, StrictGetters) {
+  Config c;
+  c.Set("i", 5);
+  EXPECT_TRUE(c.Int("i").ok());
+  EXPECT_EQ(c.Int("i").value(), 5);
+  EXPECT_FALSE(c.Bool("i").ok());
+  EXPECT_FALSE(c.Int("missing").ok());
+  // Double() accepts int values (lossless widening).
+  EXPECT_TRUE(c.Double("i").ok());
+  EXPECT_DOUBLE_EQ(c.Double("i").value(), 5.0);
+}
+
+TEST(ConfigTest, MergeOverwrites) {
+  Config base, patch;
+  base.Set("lr", 0.1);
+  base.Set("steps", 4);
+  patch.Set("lr", 0.5);
+  patch.Set("extra", "yes");
+  base.Merge(patch);
+  EXPECT_DOUBLE_EQ(base.GetDouble("lr", 0.0), 0.5);
+  EXPECT_EQ(base.GetInt("steps", 0), 4);
+  EXPECT_EQ(base.GetString("extra", ""), "yes");
+}
+
+TEST(ConfigTest, ParseAssignmentInfersTypes) {
+  Config c;
+  EXPECT_TRUE(c.ParseAssignment("flag=true").ok());
+  EXPECT_TRUE(c.ParseAssignment("count=12").ok());
+  EXPECT_TRUE(c.ParseAssignment("rate=0.25").ok());
+  EXPECT_TRUE(c.ParseAssignment("name=sgd").ok());
+  EXPECT_TRUE(c.Bool("flag").value());
+  EXPECT_EQ(c.Int("count").value(), 12);
+  EXPECT_DOUBLE_EQ(c.Double("rate").value(), 0.25);
+  EXPECT_EQ(c.String("name").value(), "sgd");
+}
+
+TEST(ConfigTest, ParseAssignmentRejectsMalformed) {
+  Config c;
+  EXPECT_FALSE(c.ParseAssignment("no-equals-here").ok());
+  EXPECT_FALSE(c.ParseAssignment("=value").ok());
+}
+
+TEST(ConfigTest, KeysSortedAndToString) {
+  Config c;
+  c.Set("b", 1);
+  c.Set("a", 2);
+  auto keys = c.Keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+  EXPECT_NE(c.ToString().find("a=2"), std::string::npos);
+}
+
+TEST(ConfigTest, Equality) {
+  Config a, b;
+  a.Set("x", 1);
+  b.Set("x", 1);
+  EXPECT_TRUE(a == b);
+  b.Set("x", 2);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,60 @@
+#include "fedscope/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fedscope {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lines_.clear();
+    Logging::set_sink([this](LogLevel level, const std::string& text) {
+      lines_.push_back({level, text});
+    });
+    saved_level_ = Logging::min_level();
+    Logging::set_min_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logging::set_sink(nullptr);
+    Logging::set_min_level(saved_level_);
+  }
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+  LogLevel saved_level_;
+};
+
+TEST_F(LoggingTest, CapturesMessages) {
+  FS_LOG(Info) << "hello " << 42;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(lines_[0].second, "hello 42");
+}
+
+TEST_F(LoggingTest, RespectsMinLevel) {
+  Logging::set_min_level(LogLevel::kWarning);
+  FS_LOG(Info) << "dropped";
+  FS_LOG(Warning) << "kept";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].second, "kept");
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  FS_CHECK(true) << "should not log";
+  FS_CHECK_EQ(1, 1);
+  FS_CHECK_LT(1, 2);
+  FS_CHECK_GE(2.5, 2.5);
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LoggingTest, CheckFailureAborts) {
+  EXPECT_DEATH({ FS_CHECK(false) << "boom"; }, "");
+}
+
+TEST_F(LoggingTest, CheckOpFailureAborts) {
+  EXPECT_DEATH({ FS_CHECK_EQ(1, 2); }, "");
+}
+
+}  // namespace
+}  // namespace fedscope

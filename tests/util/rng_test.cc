@@ -1,0 +1,178 @@
+#include "fedscope/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace fedscope {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of 3..7 appear
+}
+
+TEST(RngTest, NormalMomentsApproximate) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.05);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(19);
+  for (double shape : {0.5, 1.0, 3.0}) {
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.Gamma(shape);
+    EXPECT_NEAR(sum / n, shape, 0.1 * std::max(shape, 1.0)) << shape;
+  }
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(21);
+  for (double alpha : {0.2, 1.0, 5.0}) {
+    auto p = rng.Dirichlet(std::vector<double>(10, alpha));
+    double total = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(RngTest, DirichletSmallAlphaIsSkewed) {
+  Rng rng(23);
+  // With tiny alpha, mass concentrates: the max component should dominate.
+  double max_sum = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    auto p = rng.Dirichlet(std::vector<double>(10, 0.1));
+    max_sum += *std::max_element(p.begin(), p.end());
+  }
+  EXPECT_GT(max_sum / trials, 0.5);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(25);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(27);
+  auto p = rng.Permutation(50);
+  std::set<int64_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  auto s = rng.SampleWithoutReplacement(100, 30);
+  std::set<int64_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 30u);
+  for (int64_t v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(31);
+  auto s = rng.SampleWithoutReplacement(10, 10);
+  std::set<int64_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng parent(77);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(1);
+  Rng c = parent.Fork(2);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng(33);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.Lognormal(0.0, 1.0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fedscope

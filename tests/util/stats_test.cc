@@ -1,0 +1,81 @@
+#include "fedscope/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedscope {
+namespace {
+
+TEST(RunningStatTest, MeanVarianceMinMax) {
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(v);
+  EXPECT_EQ(stat.count(), 8);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(stat.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(RunningStatTest, SingleSampleHasZeroVariance) {
+  RunningStat stat;
+  stat.Add(3.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.9), 9.0);
+}
+
+TEST(MeanStddevTest, Basics) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.0);
+  EXPECT_NEAR(Stddev(v), std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Stddev({1.0}), 0.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);    // bin 0
+  h.Add(3.0);    // bin 1
+  h.Add(9.99);   // bin 4
+  h.Add(-5.0);   // clamped to bin 0
+  h.Add(100.0);  // clamped to bin 4
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(1), 1);
+  EXPECT_EQ(h.bin_count(4), 2);
+  EXPECT_DOUBLE_EQ(h.bin_frac(0), 0.4);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(HistogramTest, AsciiRenders) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  std::string ascii = h.ToAscii(10);
+  EXPECT_NE(ascii.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(ascii.begin(), ascii.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace fedscope

@@ -1,0 +1,34 @@
+#include "fedscope/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace fedscope {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.Row().Str("alpha").Num(1.5, 2);
+  t.Row().Str("beta").Int(42);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(TableTest, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  std::string s = t.ToString();
+  // Row renders with empty cells rather than crashing.
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace fedscope
