@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_personalization.dir/bench_fig12_personalization.cc.o"
+  "CMakeFiles/bench_fig12_personalization.dir/bench_fig12_personalization.cc.o.d"
+  "bench_fig12_personalization"
+  "bench_fig12_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

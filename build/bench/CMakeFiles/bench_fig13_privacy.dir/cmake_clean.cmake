@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_privacy.dir/bench_fig13_privacy.cc.o"
+  "CMakeFiles/bench_fig13_privacy.dir/bench_fig13_privacy.cc.o.d"
+  "bench_fig13_privacy"
+  "bench_fig13_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_hpo.dir/bench_fig14_hpo.cc.o"
+  "CMakeFiles/bench_fig14_hpo.dir/bench_fig14_hpo.cc.o.d"
+  "bench_fig14_hpo"
+  "bench_fig14_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_async_ext.dir/bench_fig17_async_ext.cc.o"
+  "CMakeFiles/bench_fig17_async_ext.dir/bench_fig17_async_ext.cc.o.d"
+  "bench_fig17_async_ext"
+  "bench_fig17_async_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_async_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

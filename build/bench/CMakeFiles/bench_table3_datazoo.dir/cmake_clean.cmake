@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_datazoo.dir/bench_table3_datazoo.cc.o"
+  "CMakeFiles/bench_table3_datazoo.dir/bench_table3_datazoo.cc.o.d"
+  "bench_table3_datazoo"
+  "bench_table3_datazoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_datazoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

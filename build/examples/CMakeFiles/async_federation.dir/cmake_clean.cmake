@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_federation.dir/async_federation.cc.o"
+  "CMakeFiles/async_federation.dir/async_federation.cc.o.d"
+  "async_federation"
+  "async_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_tuning.dir/auto_tuning.cc.o"
+  "CMakeFiles/auto_tuning.dir/auto_tuning.cc.o.d"
+  "auto_tuning"
+  "auto_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_backend.dir/cross_backend.cc.o"
+  "CMakeFiles/cross_backend.dir/cross_backend.cc.o.d"
+  "cross_backend"
+  "cross_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

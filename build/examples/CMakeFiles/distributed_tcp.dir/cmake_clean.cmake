@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_tcp.dir/distributed_tcp.cc.o"
+  "CMakeFiles/distributed_tcp.dir/distributed_tcp.cc.o.d"
+  "distributed_tcp"
+  "distributed_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for distributed_tcp.
+# This may be replaced when dependencies are built.

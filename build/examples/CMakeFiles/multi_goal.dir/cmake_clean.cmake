@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_goal.dir/multi_goal.cc.o"
+  "CMakeFiles/multi_goal.dir/multi_goal.cc.o.d"
+  "multi_goal"
+  "multi_goal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_goal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_attack.dir/privacy_attack.cc.o"
+  "CMakeFiles/privacy_attack.dir/privacy_attack.cc.o.d"
+  "privacy_attack"
+  "privacy_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

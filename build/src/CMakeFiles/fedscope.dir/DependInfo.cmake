@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedscope/attack/backdoor.cc" "src/CMakeFiles/fedscope.dir/fedscope/attack/backdoor.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/attack/backdoor.cc.o.d"
+  "/root/repo/src/fedscope/attack/gradient_inversion.cc" "src/CMakeFiles/fedscope.dir/fedscope/attack/gradient_inversion.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/attack/gradient_inversion.cc.o.d"
+  "/root/repo/src/fedscope/attack/membership.cc" "src/CMakeFiles/fedscope.dir/fedscope/attack/membership.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/attack/membership.cc.o.d"
+  "/root/repo/src/fedscope/attack/property_inference.cc" "src/CMakeFiles/fedscope.dir/fedscope/attack/property_inference.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/attack/property_inference.cc.o.d"
+  "/root/repo/src/fedscope/comm/channel.cc" "src/CMakeFiles/fedscope.dir/fedscope/comm/channel.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/comm/channel.cc.o.d"
+  "/root/repo/src/fedscope/comm/codec.cc" "src/CMakeFiles/fedscope.dir/fedscope/comm/codec.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/comm/codec.cc.o.d"
+  "/root/repo/src/fedscope/comm/compression.cc" "src/CMakeFiles/fedscope.dir/fedscope/comm/compression.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/comm/compression.cc.o.d"
+  "/root/repo/src/fedscope/comm/message.cc" "src/CMakeFiles/fedscope.dir/fedscope/comm/message.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/comm/message.cc.o.d"
+  "/root/repo/src/fedscope/comm/socket_transport.cc" "src/CMakeFiles/fedscope.dir/fedscope/comm/socket_transport.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/comm/socket_transport.cc.o.d"
+  "/root/repo/src/fedscope/comm/translation.cc" "src/CMakeFiles/fedscope.dir/fedscope/comm/translation.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/comm/translation.cc.o.d"
+  "/root/repo/src/fedscope/core/aggregator.cc" "src/CMakeFiles/fedscope.dir/fedscope/core/aggregator.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/core/aggregator.cc.o.d"
+  "/root/repo/src/fedscope/core/checkpoint.cc" "src/CMakeFiles/fedscope.dir/fedscope/core/checkpoint.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/core/checkpoint.cc.o.d"
+  "/root/repo/src/fedscope/core/client.cc" "src/CMakeFiles/fedscope.dir/fedscope/core/client.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/core/client.cc.o.d"
+  "/root/repo/src/fedscope/core/completeness.cc" "src/CMakeFiles/fedscope.dir/fedscope/core/completeness.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/core/completeness.cc.o.d"
+  "/root/repo/src/fedscope/core/distributed.cc" "src/CMakeFiles/fedscope.dir/fedscope/core/distributed.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/core/distributed.cc.o.d"
+  "/root/repo/src/fedscope/core/events.cc" "src/CMakeFiles/fedscope.dir/fedscope/core/events.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/core/events.cc.o.d"
+  "/root/repo/src/fedscope/core/fed_runner.cc" "src/CMakeFiles/fedscope.dir/fedscope/core/fed_runner.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/core/fed_runner.cc.o.d"
+  "/root/repo/src/fedscope/core/handler_registry.cc" "src/CMakeFiles/fedscope.dir/fedscope/core/handler_registry.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/core/handler_registry.cc.o.d"
+  "/root/repo/src/fedscope/core/sampler.cc" "src/CMakeFiles/fedscope.dir/fedscope/core/sampler.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/core/sampler.cc.o.d"
+  "/root/repo/src/fedscope/core/server.cc" "src/CMakeFiles/fedscope.dir/fedscope/core/server.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/core/server.cc.o.d"
+  "/root/repo/src/fedscope/core/trainer.cc" "src/CMakeFiles/fedscope.dir/fedscope/core/trainer.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/core/trainer.cc.o.d"
+  "/root/repo/src/fedscope/core/worker.cc" "src/CMakeFiles/fedscope.dir/fedscope/core/worker.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/core/worker.cc.o.d"
+  "/root/repo/src/fedscope/data/dataset.cc" "src/CMakeFiles/fedscope.dir/fedscope/data/dataset.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/data/dataset.cc.o.d"
+  "/root/repo/src/fedscope/data/partition.cc" "src/CMakeFiles/fedscope.dir/fedscope/data/partition.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/data/partition.cc.o.d"
+  "/root/repo/src/fedscope/data/synthetic_celeba.cc" "src/CMakeFiles/fedscope.dir/fedscope/data/synthetic_celeba.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/data/synthetic_celeba.cc.o.d"
+  "/root/repo/src/fedscope/data/synthetic_cifar.cc" "src/CMakeFiles/fedscope.dir/fedscope/data/synthetic_cifar.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/data/synthetic_cifar.cc.o.d"
+  "/root/repo/src/fedscope/data/synthetic_femnist.cc" "src/CMakeFiles/fedscope.dir/fedscope/data/synthetic_femnist.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/data/synthetic_femnist.cc.o.d"
+  "/root/repo/src/fedscope/data/synthetic_shakespeare.cc" "src/CMakeFiles/fedscope.dir/fedscope/data/synthetic_shakespeare.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/data/synthetic_shakespeare.cc.o.d"
+  "/root/repo/src/fedscope/data/synthetic_twitter.cc" "src/CMakeFiles/fedscope.dir/fedscope/data/synthetic_twitter.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/data/synthetic_twitter.cc.o.d"
+  "/root/repo/src/fedscope/hpo/fedex.cc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/fedex.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/fedex.cc.o.d"
+  "/root/repo/src/fedscope/hpo/fl_objective.cc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/fl_objective.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/fl_objective.cc.o.d"
+  "/root/repo/src/fedscope/hpo/gp_bo.cc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/gp_bo.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/gp_bo.cc.o.d"
+  "/root/repo/src/fedscope/hpo/hyperband.cc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/hyperband.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/hyperband.cc.o.d"
+  "/root/repo/src/fedscope/hpo/pbt.cc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/pbt.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/pbt.cc.o.d"
+  "/root/repo/src/fedscope/hpo/random_search.cc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/random_search.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/random_search.cc.o.d"
+  "/root/repo/src/fedscope/hpo/search_space.cc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/search_space.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/search_space.cc.o.d"
+  "/root/repo/src/fedscope/hpo/successive_halving.cc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/successive_halving.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/hpo/successive_halving.cc.o.d"
+  "/root/repo/src/fedscope/nn/grad_check.cc" "src/CMakeFiles/fedscope.dir/fedscope/nn/grad_check.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/nn/grad_check.cc.o.d"
+  "/root/repo/src/fedscope/nn/layers.cc" "src/CMakeFiles/fedscope.dir/fedscope/nn/layers.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/nn/layers.cc.o.d"
+  "/root/repo/src/fedscope/nn/loss.cc" "src/CMakeFiles/fedscope.dir/fedscope/nn/loss.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/nn/loss.cc.o.d"
+  "/root/repo/src/fedscope/nn/model.cc" "src/CMakeFiles/fedscope.dir/fedscope/nn/model.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/nn/model.cc.o.d"
+  "/root/repo/src/fedscope/nn/model_zoo.cc" "src/CMakeFiles/fedscope.dir/fedscope/nn/model_zoo.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/nn/model_zoo.cc.o.d"
+  "/root/repo/src/fedscope/nn/optimizer.cc" "src/CMakeFiles/fedscope.dir/fedscope/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/nn/optimizer.cc.o.d"
+  "/root/repo/src/fedscope/personalization/ditto.cc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/ditto.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/ditto.cc.o.d"
+  "/root/repo/src/fedscope/personalization/fedbn.cc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/fedbn.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/fedbn.cc.o.d"
+  "/root/repo/src/fedscope/personalization/fedem.cc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/fedem.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/fedem.cc.o.d"
+  "/root/repo/src/fedscope/personalization/pfedme.cc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/pfedme.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/pfedme.cc.o.d"
+  "/root/repo/src/fedscope/privacy/bigint.cc" "src/CMakeFiles/fedscope.dir/fedscope/privacy/bigint.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/privacy/bigint.cc.o.d"
+  "/root/repo/src/fedscope/privacy/dp.cc" "src/CMakeFiles/fedscope.dir/fedscope/privacy/dp.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/privacy/dp.cc.o.d"
+  "/root/repo/src/fedscope/privacy/paillier.cc" "src/CMakeFiles/fedscope.dir/fedscope/privacy/paillier.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/privacy/paillier.cc.o.d"
+  "/root/repo/src/fedscope/privacy/secret_sharing.cc" "src/CMakeFiles/fedscope.dir/fedscope/privacy/secret_sharing.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/privacy/secret_sharing.cc.o.d"
+  "/root/repo/src/fedscope/privacy/secure_aggregator.cc" "src/CMakeFiles/fedscope.dir/fedscope/privacy/secure_aggregator.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/privacy/secure_aggregator.cc.o.d"
+  "/root/repo/src/fedscope/sim/device_profile.cc" "src/CMakeFiles/fedscope.dir/fedscope/sim/device_profile.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/sim/device_profile.cc.o.d"
+  "/root/repo/src/fedscope/sim/event_queue.cc" "src/CMakeFiles/fedscope.dir/fedscope/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/sim/event_queue.cc.o.d"
+  "/root/repo/src/fedscope/sim/response_model.cc" "src/CMakeFiles/fedscope.dir/fedscope/sim/response_model.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/sim/response_model.cc.o.d"
+  "/root/repo/src/fedscope/tensor/tensor.cc" "src/CMakeFiles/fedscope.dir/fedscope/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/tensor/tensor.cc.o.d"
+  "/root/repo/src/fedscope/tensor/tensor_ops.cc" "src/CMakeFiles/fedscope.dir/fedscope/tensor/tensor_ops.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/tensor/tensor_ops.cc.o.d"
+  "/root/repo/src/fedscope/util/config.cc" "src/CMakeFiles/fedscope.dir/fedscope/util/config.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/util/config.cc.o.d"
+  "/root/repo/src/fedscope/util/logging.cc" "src/CMakeFiles/fedscope.dir/fedscope/util/logging.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/util/logging.cc.o.d"
+  "/root/repo/src/fedscope/util/rng.cc" "src/CMakeFiles/fedscope.dir/fedscope/util/rng.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/util/rng.cc.o.d"
+  "/root/repo/src/fedscope/util/stats.cc" "src/CMakeFiles/fedscope.dir/fedscope/util/stats.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/util/stats.cc.o.d"
+  "/root/repo/src/fedscope/util/table.cc" "src/CMakeFiles/fedscope.dir/fedscope/util/table.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack/attack_test.cc" "tests/CMakeFiles/fedscope_tests.dir/attack/attack_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/attack/attack_test.cc.o.d"
+  "/root/repo/tests/comm/channel_test.cc" "tests/CMakeFiles/fedscope_tests.dir/comm/channel_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/comm/channel_test.cc.o.d"
+  "/root/repo/tests/comm/codec_test.cc" "tests/CMakeFiles/fedscope_tests.dir/comm/codec_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/comm/codec_test.cc.o.d"
+  "/root/repo/tests/comm/compression_test.cc" "tests/CMakeFiles/fedscope_tests.dir/comm/compression_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/comm/compression_test.cc.o.d"
+  "/root/repo/tests/comm/message_test.cc" "tests/CMakeFiles/fedscope_tests.dir/comm/message_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/comm/message_test.cc.o.d"
+  "/root/repo/tests/comm/translation_test.cc" "tests/CMakeFiles/fedscope_tests.dir/comm/translation_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/comm/translation_test.cc.o.d"
+  "/root/repo/tests/core/aggregator_test.cc" "tests/CMakeFiles/fedscope_tests.dir/core/aggregator_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/core/aggregator_test.cc.o.d"
+  "/root/repo/tests/core/async_strategies_test.cc" "tests/CMakeFiles/fedscope_tests.dir/core/async_strategies_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/core/async_strategies_test.cc.o.d"
+  "/root/repo/tests/core/checkpoint_test.cc" "tests/CMakeFiles/fedscope_tests.dir/core/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/core/checkpoint_test.cc.o.d"
+  "/root/repo/tests/core/client_server_test.cc" "tests/CMakeFiles/fedscope_tests.dir/core/client_server_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/core/client_server_test.cc.o.d"
+  "/root/repo/tests/core/completeness_test.cc" "tests/CMakeFiles/fedscope_tests.dir/core/completeness_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/core/completeness_test.cc.o.d"
+  "/root/repo/tests/core/distributed_test.cc" "tests/CMakeFiles/fedscope_tests.dir/core/distributed_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/core/distributed_test.cc.o.d"
+  "/root/repo/tests/core/events_test.cc" "tests/CMakeFiles/fedscope_tests.dir/core/events_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/core/events_test.cc.o.d"
+  "/root/repo/tests/core/fed_runner_test.cc" "tests/CMakeFiles/fedscope_tests.dir/core/fed_runner_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/core/fed_runner_test.cc.o.d"
+  "/root/repo/tests/core/handler_registry_test.cc" "tests/CMakeFiles/fedscope_tests.dir/core/handler_registry_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/core/handler_registry_test.cc.o.d"
+  "/root/repo/tests/core/sampler_test.cc" "tests/CMakeFiles/fedscope_tests.dir/core/sampler_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/core/sampler_test.cc.o.d"
+  "/root/repo/tests/core/trainer_test.cc" "tests/CMakeFiles/fedscope_tests.dir/core/trainer_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/core/trainer_test.cc.o.d"
+  "/root/repo/tests/core/worker_test.cc" "tests/CMakeFiles/fedscope_tests.dir/core/worker_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/core/worker_test.cc.o.d"
+  "/root/repo/tests/data/dataset_test.cc" "tests/CMakeFiles/fedscope_tests.dir/data/dataset_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/data/dataset_test.cc.o.d"
+  "/root/repo/tests/data/partition_test.cc" "tests/CMakeFiles/fedscope_tests.dir/data/partition_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/data/partition_test.cc.o.d"
+  "/root/repo/tests/data/synthetic_test.cc" "tests/CMakeFiles/fedscope_tests.dir/data/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/data/synthetic_test.cc.o.d"
+  "/root/repo/tests/hpo/hpo_test.cc" "tests/CMakeFiles/fedscope_tests.dir/hpo/hpo_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/hpo/hpo_test.cc.o.d"
+  "/root/repo/tests/integration/convergence_test.cc" "tests/CMakeFiles/fedscope_tests.dir/integration/convergence_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/integration/convergence_test.cc.o.d"
+  "/root/repo/tests/nn/layers_test.cc" "tests/CMakeFiles/fedscope_tests.dir/nn/layers_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/nn/layers_test.cc.o.d"
+  "/root/repo/tests/nn/loss_test.cc" "tests/CMakeFiles/fedscope_tests.dir/nn/loss_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/nn/loss_test.cc.o.d"
+  "/root/repo/tests/nn/model_test.cc" "tests/CMakeFiles/fedscope_tests.dir/nn/model_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/nn/model_test.cc.o.d"
+  "/root/repo/tests/nn/model_zoo_test.cc" "tests/CMakeFiles/fedscope_tests.dir/nn/model_zoo_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/nn/model_zoo_test.cc.o.d"
+  "/root/repo/tests/nn/optimizer_test.cc" "tests/CMakeFiles/fedscope_tests.dir/nn/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/nn/optimizer_test.cc.o.d"
+  "/root/repo/tests/personalization/personalization_test.cc" "tests/CMakeFiles/fedscope_tests.dir/personalization/personalization_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/personalization/personalization_test.cc.o.d"
+  "/root/repo/tests/privacy/bigint_test.cc" "tests/CMakeFiles/fedscope_tests.dir/privacy/bigint_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/privacy/bigint_test.cc.o.d"
+  "/root/repo/tests/privacy/dp_test.cc" "tests/CMakeFiles/fedscope_tests.dir/privacy/dp_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/privacy/dp_test.cc.o.d"
+  "/root/repo/tests/privacy/paillier_test.cc" "tests/CMakeFiles/fedscope_tests.dir/privacy/paillier_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/privacy/paillier_test.cc.o.d"
+  "/root/repo/tests/privacy/secret_sharing_test.cc" "tests/CMakeFiles/fedscope_tests.dir/privacy/secret_sharing_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/privacy/secret_sharing_test.cc.o.d"
+  "/root/repo/tests/sim/device_profile_test.cc" "tests/CMakeFiles/fedscope_tests.dir/sim/device_profile_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/sim/device_profile_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/fedscope_tests.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/sim/event_queue_test.cc.o.d"
+  "/root/repo/tests/sim/response_model_test.cc" "tests/CMakeFiles/fedscope_tests.dir/sim/response_model_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/sim/response_model_test.cc.o.d"
+  "/root/repo/tests/tensor/tensor_ops_test.cc" "tests/CMakeFiles/fedscope_tests.dir/tensor/tensor_ops_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/tensor/tensor_ops_test.cc.o.d"
+  "/root/repo/tests/tensor/tensor_test.cc" "tests/CMakeFiles/fedscope_tests.dir/tensor/tensor_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/tensor/tensor_test.cc.o.d"
+  "/root/repo/tests/util/config_test.cc" "tests/CMakeFiles/fedscope_tests.dir/util/config_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/util/config_test.cc.o.d"
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/fedscope_tests.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/fedscope_tests.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/fedscope_tests.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/util/stats_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/fedscope_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/table_test.cc" "tests/CMakeFiles/fedscope_tests.dir/util/table_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/util/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedscope.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
