@@ -5,24 +5,23 @@
 
 #include "bench/common.h"
 #include "fedscope/comm/compression.h"
+#include "fedscope/obs/metrics.h"
 
 namespace fedscope {
 namespace bench {
 namespace {
 
-/// Uplink bytes of one update under the given codec (measured on a
-/// representative delta produced by one local-training round).
-int64_t UplinkBytes(const StateDict& delta, const std::string& codec,
-                    double keep_frac) {
-  Payload payload;
-  if (codec == "quant8") {
-    payload = QuantizeStateDict(delta);
-  } else if (codec == "topk") {
-    payload = SparsifyStateDict(delta, keep_frac);
-  } else {
-    payload.SetStateDict("delta", delta);
-  }
-  return payload.ByteSize();
+/// Mean uplink bytes per update, read back from the run's metrics registry
+/// (fs_client_update_bytes_total / fs_client_updates_total for the codec).
+/// The codecs' payload sizes are shape-determined, so every update costs
+/// the same and the mean is exact.
+int64_t UplinkBytes(const MetricsRegistry& metrics, const std::string& codec) {
+  const MetricLabels label = {{"codec", codec}};
+  const double updates = metrics.CounterValue("fs_client_updates_total", label);
+  const double bytes =
+      metrics.CounterValue("fs_client_update_bytes_total", label);
+  FS_CHECK_GT(updates, 0.0);
+  return static_cast<int64_t>(bytes / updates);
 }
 
 void RunAblation() {
@@ -62,12 +61,11 @@ void RunAblation() {
     job.client.compression = setting.codec;
     job.client.compression_keep_frac = setting.keep_frac;
     job.seed = 55;
+    MetricsRegistry metrics;
+    job.obs.metrics = &metrics;
     RunResult result = FedRunner(std::move(job)).Run();
 
-    // Representative delta for the byte measurement.
-    StateDict delta = SdScale(result.final_model.GetStateDict(), 0.01f);
-    const int64_t bytes =
-        UplinkBytes(delta, setting.codec, setting.keep_frac);
+    const int64_t bytes = UplinkBytes(metrics, setting.codec);
     if (setting.codec == "none") baseline_bytes = bytes;
     char ratio[32];
     std::snprintf(ratio, sizeof(ratio), "%.1fx smaller",

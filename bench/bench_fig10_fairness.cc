@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "bench/common.h"
+#include "fedscope/obs/course_log.h"
 #include "fedscope/util/stats.h"
 
 namespace fedscope {
@@ -22,14 +23,16 @@ struct FairnessRow {
   int64_t max = 0;
 };
 
-FairnessRow Summarize(const std::string& name, const RunResult& result) {
+/// Summarizes the per-client effective aggregation counts recovered from
+/// the course log (1-indexed by client id, like ServerStats::agg_count).
+FairnessRow Summarize(const std::string& name,
+                      const std::vector<int64_t>& agg_count) {
   FairnessRow row;
   row.name = name;
   std::vector<double> counts;
   int zero = 0;
-  // agg_count is 1-indexed by client id.
-  for (size_t id = 1; id < result.server.agg_count.size(); ++id) {
-    const int64_t c = result.server.agg_count[id];
+  for (size_t id = 1; id < agg_count.size(); ++id) {
+    const int64_t c = agg_count[id];
     counts.push_back(static_cast<double>(c));
     if (c == 0) ++zero;
   }
@@ -61,8 +64,14 @@ void RunFig10() {
         strategy.name != "Goal-Rece-Unif") {
       continue;
     }
-    RunResult result = RunStrategy(w, strategy, seed, budget);
-    FairnessRow row = Summarize(strategy.name, result);
+    // Per-client participation comes out of the obs course log, the
+    // same record a production run would export as JSONL.
+    CourseLog course_log;
+    ObsContext obs;
+    obs.course_log = &course_log;
+    RunStrategy(w, strategy, seed, budget, obs);
+    FairnessRow row = Summarize(
+        strategy.name, course_log.AggCountPerClient(w.data.num_clients()));
     rows.push_back(row);
     table.Row()
         .Str(row.name)
@@ -77,15 +86,19 @@ void RunFig10() {
   // Histogram of the over-selection case, the paper's visual.
   for (const auto& strategy : Table1Strategies()) {
     if (strategy.name != "Sync-OS") continue;
-    RunResult result = RunStrategy(w, strategy, seed, budget);
+    CourseLog course_log;
+    ObsContext obs;
+    obs.course_log = &course_log;
+    RunStrategy(w, strategy, seed, budget, obs);
+    const std::vector<int64_t> agg_count =
+        course_log.AggCountPerClient(w.data.num_clients());
     double max_count = 1.0;
-    for (size_t id = 1; id < result.server.agg_count.size(); ++id) {
-      max_count = std::max(
-          max_count, static_cast<double>(result.server.agg_count[id]));
+    for (size_t id = 1; id < agg_count.size(); ++id) {
+      max_count = std::max(max_count, static_cast<double>(agg_count[id]));
     }
     Histogram hist(0.0, max_count + 1.0, 8);
-    for (size_t id = 1; id < result.server.agg_count.size(); ++id) {
-      hist.Add(static_cast<double>(result.server.agg_count[id]));
+    for (size_t id = 1; id < agg_count.size(); ++id) {
+      hist.Add(static_cast<double>(agg_count[id]));
     }
     std::printf("\nSync-OS aggregation-count histogram:\n%s",
                 hist.ToAscii().c_str());

@@ -4,10 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "fedscope/comm/channel.h"
 #include "fedscope/comm/codec.h"
 #include "fedscope/core/aggregator.h"
 #include "fedscope/nn/loss.h"
 #include "fedscope/nn/model_zoo.h"
+#include "fedscope/obs/obs_context.h"
 #include "fedscope/privacy/paillier.h"
 #include "fedscope/privacy/secret_sharing.h"
 #include "fedscope/sim/event_queue.h"
@@ -97,6 +99,65 @@ void BM_EventQueue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueue)->Arg(1000);
+
+// Observability overhead: the same event-queue workload with a metrics
+// registry attached. Compare against BM_EventQueue to price the hooks.
+void BM_EventQueueWithObs(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  MetricsRegistry metrics;
+  ObsContext obs;
+  obs.metrics = &metrics;
+  for (auto _ : state) {
+    EventQueue queue;
+    queue.set_obs(&obs);
+    for (int i = 0; i < n; ++i) {
+      Message msg;
+      msg.msg_type = "model_update";
+      msg.timestamp = rng.Uniform();
+      queue.Push(std::move(msg));
+    }
+    while (!queue.Empty()) {
+      benchmark::DoNotOptimize(queue.Pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueWithObs)->Arg(1000);
+
+void BM_ChannelSend(benchmark::State& state) {
+  QueueChannel channel;
+  Message msg;
+  Rng rng(12);
+  msg.msg_type = "model_update";
+  msg.payload.SetStateDict("delta", MakeMlp({64, 32, 10}, &rng).GetStateDict());
+  for (auto _ : state) {
+    channel.Send(msg);
+    benchmark::DoNotOptimize(channel.Pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelSend);
+
+// Channel send with the per-message traffic counters attached (the
+// fs_comm_* instrumentation every transport shares).
+void BM_ChannelSendWithObs(benchmark::State& state) {
+  QueueChannel channel;
+  MetricsRegistry metrics;
+  ObsContext obs;
+  obs.metrics = &metrics;
+  channel.set_obs(&obs);
+  Message msg;
+  Rng rng(12);
+  msg.msg_type = "model_update";
+  msg.payload.SetStateDict("delta", MakeMlp({64, 32, 10}, &rng).GetStateDict());
+  for (auto _ : state) {
+    channel.Send(msg);
+    benchmark::DoNotOptimize(channel.Pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelSendWithObs);
 
 void BM_FedAvgAggregate(benchmark::State& state) {
   const int clients = static_cast<int>(state.range(0));

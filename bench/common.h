@@ -179,10 +179,14 @@ inline std::vector<StrategySpec> Table1Strategies() {
   };
 }
 
-/// Builds the FedJob for a workload + strategy and runs the course.
+/// Builds the FedJob for a workload + strategy and runs the course. `obs`
+/// optionally attaches observability sinks (benches that report per-client
+/// participation or traffic read them back instead of ad-hoc counters).
 inline RunResult RunStrategy(const Workload& w, const StrategySpec& strategy,
-                             uint64_t seed, double time_budget_hint = 0.0) {
+                             uint64_t seed, double time_budget_hint = 0.0,
+                             const ObsContext& obs = {}) {
   FedJob job;
+  job.obs = obs;
   job.data = &w.data;
   job.init_model = w.model_factory(seed);
   job.client.train = w.train;

@@ -183,16 +183,16 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/fedscope/comm/codec.h \
- /root/repo/src/fedscope/comm/message.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/fedscope/nn/model.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/fedscope/comm/channel.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/memory \
+ /root/repo/src/fedscope/comm/message.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/fedscope/nn/model.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -224,12 +224,16 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o: \
  /root/repo/src/fedscope/nn/layers.h \
  /root/repo/src/fedscope/tensor/tensor.h \
  /root/repo/src/fedscope/util/rng.h /root/repo/src/fedscope/util/status.h \
- /usr/include/c++/12/optional /root/repo/src/fedscope/core/aggregator.h \
+ /usr/include/c++/12/optional /root/repo/src/fedscope/obs/obs_context.h \
+ /root/repo/src/fedscope/obs/course_log.h \
+ /root/repo/src/fedscope/obs/metrics.h \
+ /root/repo/src/fedscope/obs/tracer.h \
+ /root/repo/src/fedscope/comm/codec.h \
+ /root/repo/src/fedscope/core/aggregator.h \
  /root/repo/src/fedscope/nn/loss.h /root/repo/src/fedscope/nn/model_zoo.h \
  /root/repo/src/fedscope/privacy/paillier.h \
  /root/repo/src/fedscope/privacy/bigint.h \
  /root/repo/src/fedscope/privacy/secret_sharing.h \
  /root/repo/src/fedscope/sim/event_queue.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/fedscope/tensor/tensor_ops.h

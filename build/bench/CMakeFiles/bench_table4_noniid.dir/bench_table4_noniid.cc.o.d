@@ -228,6 +228,10 @@ bench/CMakeFiles/bench_table4_noniid.dir/bench_table4_noniid.cc.o: \
  /root/repo/src/fedscope/comm/channel.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/fedscope/comm/message.h \
+ /root/repo/src/fedscope/obs/obs_context.h \
+ /root/repo/src/fedscope/obs/course_log.h \
+ /root/repo/src/fedscope/obs/metrics.h \
+ /root/repo/src/fedscope/obs/tracer.h \
  /root/repo/src/fedscope/core/handler_registry.h \
  /root/repo/src/fedscope/privacy/dp.h \
  /root/repo/src/fedscope/sim/device_profile.h \

@@ -239,6 +239,10 @@ examples/CMakeFiles/distributed_tcp.dir/distributed_tcp.cc.o: \
  /root/repo/src/fedscope/util/config.h \
  /root/repo/src/fedscope/core/worker.h \
  /root/repo/src/fedscope/comm/channel.h \
+ /root/repo/src/fedscope/obs/obs_context.h \
+ /root/repo/src/fedscope/obs/course_log.h \
+ /root/repo/src/fedscope/obs/metrics.h \
+ /root/repo/src/fedscope/obs/tracer.h \
  /root/repo/src/fedscope/core/handler_registry.h \
  /root/repo/src/fedscope/privacy/dp.h \
  /root/repo/src/fedscope/sim/device_profile.h \

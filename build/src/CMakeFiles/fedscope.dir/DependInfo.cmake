@@ -51,6 +51,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/fedscope/nn/model.cc" "src/CMakeFiles/fedscope.dir/fedscope/nn/model.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/nn/model.cc.o.d"
   "/root/repo/src/fedscope/nn/model_zoo.cc" "src/CMakeFiles/fedscope.dir/fedscope/nn/model_zoo.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/nn/model_zoo.cc.o.d"
   "/root/repo/src/fedscope/nn/optimizer.cc" "src/CMakeFiles/fedscope.dir/fedscope/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/nn/optimizer.cc.o.d"
+  "/root/repo/src/fedscope/obs/course_log.cc" "src/CMakeFiles/fedscope.dir/fedscope/obs/course_log.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/obs/course_log.cc.o.d"
+  "/root/repo/src/fedscope/obs/metrics.cc" "src/CMakeFiles/fedscope.dir/fedscope/obs/metrics.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/obs/metrics.cc.o.d"
+  "/root/repo/src/fedscope/obs/tracer.cc" "src/CMakeFiles/fedscope.dir/fedscope/obs/tracer.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/obs/tracer.cc.o.d"
   "/root/repo/src/fedscope/personalization/ditto.cc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/ditto.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/ditto.cc.o.d"
   "/root/repo/src/fedscope/personalization/fedbn.cc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/fedbn.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/fedbn.cc.o.d"
   "/root/repo/src/fedscope/personalization/fedem.cc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/fedem.cc.o" "gcc" "src/CMakeFiles/fedscope.dir/fedscope/personalization/fedem.cc.o.d"

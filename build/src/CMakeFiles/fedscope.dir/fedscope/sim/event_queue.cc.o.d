@@ -220,6 +220,10 @@ src/CMakeFiles/fedscope.dir/fedscope/sim/event_queue.cc.o: \
  /root/repo/src/fedscope/util/rng.h /root/repo/src/fedscope/util/status.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/fedscope/obs/obs_context.h \
+ /root/repo/src/fedscope/obs/course_log.h \
+ /root/repo/src/fedscope/obs/metrics.h \
+ /root/repo/src/fedscope/obs/tracer.h \
  /root/repo/src/fedscope/util/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

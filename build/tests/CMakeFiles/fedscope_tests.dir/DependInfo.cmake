@@ -36,6 +36,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/nn/model_test.cc" "tests/CMakeFiles/fedscope_tests.dir/nn/model_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/nn/model_test.cc.o.d"
   "/root/repo/tests/nn/model_zoo_test.cc" "tests/CMakeFiles/fedscope_tests.dir/nn/model_zoo_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/nn/model_zoo_test.cc.o.d"
   "/root/repo/tests/nn/optimizer_test.cc" "tests/CMakeFiles/fedscope_tests.dir/nn/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/nn/optimizer_test.cc.o.d"
+  "/root/repo/tests/obs/course_log_test.cc" "tests/CMakeFiles/fedscope_tests.dir/obs/course_log_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/obs/course_log_test.cc.o.d"
+  "/root/repo/tests/obs/metrics_test.cc" "tests/CMakeFiles/fedscope_tests.dir/obs/metrics_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/obs/metrics_test.cc.o.d"
+  "/root/repo/tests/obs/obs_integration_test.cc" "tests/CMakeFiles/fedscope_tests.dir/obs/obs_integration_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/obs/obs_integration_test.cc.o.d"
+  "/root/repo/tests/obs/tracer_test.cc" "tests/CMakeFiles/fedscope_tests.dir/obs/tracer_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/obs/tracer_test.cc.o.d"
   "/root/repo/tests/personalization/personalization_test.cc" "tests/CMakeFiles/fedscope_tests.dir/personalization/personalization_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/personalization/personalization_test.cc.o.d"
   "/root/repo/tests/privacy/bigint_test.cc" "tests/CMakeFiles/fedscope_tests.dir/privacy/bigint_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/privacy/bigint_test.cc.o.d"
   "/root/repo/tests/privacy/dp_test.cc" "tests/CMakeFiles/fedscope_tests.dir/privacy/dp_test.cc.o" "gcc" "tests/CMakeFiles/fedscope_tests.dir/privacy/dp_test.cc.o.d"

@@ -223,6 +223,10 @@ tests/CMakeFiles/fedscope_tests.dir/comm/channel_test.cc.o: \
  /root/repo/src/fedscope/util/rng.h /root/repo/src/fedscope/util/status.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/fedscope/obs/obs_context.h \
+ /root/repo/src/fedscope/obs/course_log.h \
+ /root/repo/src/fedscope/obs/metrics.h \
+ /root/repo/src/fedscope/obs/tracer.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

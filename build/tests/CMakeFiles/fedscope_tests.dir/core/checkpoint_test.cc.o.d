@@ -308,6 +308,10 @@ tests/CMakeFiles/fedscope_tests.dir/core/checkpoint_test.cc.o: \
  /root/repo/src/fedscope/core/worker.h \
  /root/repo/src/fedscope/comm/channel.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/fedscope/obs/obs_context.h \
+ /root/repo/src/fedscope/obs/course_log.h \
+ /root/repo/src/fedscope/obs/metrics.h \
+ /root/repo/src/fedscope/obs/tracer.h \
  /root/repo/src/fedscope/core/handler_registry.h \
  /root/repo/src/fedscope/privacy/dp.h \
  /root/repo/src/fedscope/sim/device_profile.h \

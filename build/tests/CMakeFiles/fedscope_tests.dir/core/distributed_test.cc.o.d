@@ -239,6 +239,10 @@ tests/CMakeFiles/fedscope_tests.dir/core/distributed_test.cc.o: \
  /root/repo/src/fedscope/util/config.h \
  /root/repo/src/fedscope/core/worker.h \
  /root/repo/src/fedscope/comm/channel.h \
+ /root/repo/src/fedscope/obs/obs_context.h \
+ /root/repo/src/fedscope/obs/course_log.h \
+ /root/repo/src/fedscope/obs/metrics.h \
+ /root/repo/src/fedscope/obs/tracer.h \
  /root/repo/src/fedscope/core/handler_registry.h \
  /root/repo/src/fedscope/privacy/dp.h \
  /root/repo/src/fedscope/sim/device_profile.h \
@@ -323,4 +327,5 @@ tests/CMakeFiles/fedscope_tests.dir/core/distributed_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/repo/src/fedscope/core/events.h \
  /root/repo/src/fedscope/nn/model_zoo.h

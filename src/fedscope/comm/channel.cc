@@ -6,6 +6,7 @@
 namespace fedscope {
 
 void QueueChannel::Send(const Message& msg) {
+  if (obs_ != nullptr) obs_->OnChannelSend(msg);
   if (through_wire_) {
     auto decoded = DecodeMessage(EncodeMessage(msg));
     FS_CHECK(decoded.ok()) << decoded.status().ToString();

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "fedscope/comm/message.h"
+#include "fedscope/obs/obs_context.h"
 
 namespace fedscope {
 
@@ -29,6 +30,10 @@ class QueueChannel : public CommChannel {
 
   void Send(const Message& msg) override;
 
+  /// Attaches observability sinks (borrowed; null restores the no-op
+  /// default). Send then counts messages/bytes by message type.
+  void set_obs(const ObsContext* obs) { obs_ = obs; }
+
   bool Empty() const { return queue_.empty(); }
   size_t Size() const { return queue_.size(); }
   /// Pops the oldest message; requires !Empty().
@@ -36,6 +41,7 @@ class QueueChannel : public CommChannel {
 
  private:
   bool through_wire_;
+  const ObsContext* obs_ = nullptr;
   std::deque<Message> queue_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "fedscope/comm/compression.h"
 #include "fedscope/core/events.h"
+#include "fedscope/obs/obs_context.h"
 #include "fedscope/util/logging.h"
 
 namespace fedscope {
@@ -13,6 +14,20 @@ namespace {
 /// Payload keys used by the built-in FL course.
 constexpr char kModelKey[] = "model";
 constexpr char kDeltaKey[] = "delta";
+
+/// Wire bytes of a state dict stored under a key prefix of `prefix_size`
+/// characters, matching Payload::ByteSize accounting ("<prefix>/<name>"
+/// keys) without materializing the payload. Used for pre-compression size
+/// metrics so the off path builds nothing extra.
+int64_t StateDictPayloadBytes(const StateDict& state, size_t prefix_size) {
+  int64_t bytes = 0;
+  for (const auto& [name, tensor] : state) {
+    bytes += static_cast<int64_t>(prefix_size + 1 + name.size()) + 16 +
+             tensor.numel() * static_cast<int64_t>(sizeof(float)) +
+             tensor.ndim() * 8;
+  }
+  return bytes;
+}
 
 }  // namespace
 
@@ -63,6 +78,7 @@ void Client::RegisterDefaultHandlers() {
       events::kLowBandwidth,
       [this](const Message& msg) {
         ++declined_count_;
+        if (obs_ != nullptr) obs_->Count("fs_client_declines_total");
         Message reply;
         reply.receiver = kServerId;
         reply.msg_type = events::kModelUpdate;
@@ -195,19 +211,47 @@ void Client::OnModelPara(const Message& msg) {
     last_val_accuracy_ = trainer_->Evaluate(&model_, data_.val).accuracy;
   }
 
+  const bool record_obs = obs_ != nullptr && obs_->metrics != nullptr;
+
   Message reply;
   reply.receiver = kServerId;
   reply.msg_type = events::kModelUpdate;
   reply.state = msg.state;  // the round this update is based on
   // Message-transform operator: optionally compress the update before it
   // leaves the device (the server decompresses transparently).
+  // `update_bytes` is the wire size of the (possibly compressed) update
+  // alone, excluding the scalar metadata added below.
+  int64_t update_bytes = 0;
   if (options_.compression == "quant8") {
-    reply.payload.Merge(QuantizeStateDict(delta));
+    Payload compressed = QuantizeStateDict(delta);
+    if (record_obs) update_bytes = compressed.ByteSize();
+    reply.payload.Merge(compressed);
   } else if (options_.compression == "topk") {
-    reply.payload.Merge(
-        SparsifyStateDict(delta, options_.compression_keep_frac));
+    Payload compressed =
+        SparsifyStateDict(delta, options_.compression_keep_frac);
+    if (record_obs) update_bytes = compressed.ByteSize();
+    reply.payload.Merge(compressed);
   } else {
     reply.payload.SetStateDict(kDeltaKey, delta);
+    if (record_obs) {
+      update_bytes = StateDictPayloadBytes(delta, sizeof(kDeltaKey) - 1);
+    }
+  }
+  if (record_obs) {
+    const MetricLabels codec_label = {{"codec", options_.compression}};
+    obs_->Count("fs_client_updates_total", 1.0, codec_label);
+    obs_->Count("fs_client_update_bytes_total",
+                static_cast<double>(update_bytes), codec_label);
+    obs_->Count("fs_client_update_raw_bytes_total",
+                static_cast<double>(
+                    StateDictPayloadBytes(delta, sizeof(kDeltaKey) - 1)),
+                codec_label);
+    const MetricLabels client_label = {{"client", std::to_string(id_)}};
+    obs_->Count("fs_client_rounds_total", 1.0, client_label);
+    obs_->Count("fs_client_train_steps_total",
+                static_cast<double>(train_result.local_steps), client_label);
+    obs_->Count("fs_client_train_samples_total",
+                static_cast<double>(train_result.num_samples), client_label);
   }
   reply.payload.SetInt("num_samples", train_result.num_samples);
   reply.payload.SetInt("local_steps", train_result.local_steps);
@@ -230,7 +274,17 @@ void Client::OnModelPara(const Message& msg) {
   if (outcome.crashed) {
     FS_LOG(Debug) << "client " << id_ << " crashed during round "
                   << msg.state;
+    if (obs_ != nullptr) obs_->Count("fs_client_crashes_total");
     return;  // never responds
+  }
+  if (obs_ != nullptr) {
+    obs_->Observe("fs_client_latency_seconds", LatencyBounds(),
+                  outcome.latency_seconds);
+    if (obs_->tracer != nullptr) {
+      obs_->tracer->Span("client_round", msg.timestamp,
+                         outcome.latency_seconds, id_,
+                         {{"round", std::to_string(msg.state)}});
+    }
   }
   reply.timestamp = msg.timestamp + outcome.latency_seconds;
   Send(std::move(reply));

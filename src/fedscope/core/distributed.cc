@@ -42,6 +42,7 @@ class DistributedServerHost::Router : public CommChannel {
     }
     Message stamped = msg;
     stamped.timestamp = NowSeconds();
+    if (host_->obs_ != nullptr) host_->obs_->OnChannelSend(stamped);
     Status status = it->second.SendMessage(stamped);
     if (!status.ok()) {
       FS_LOG(Warning) << "send to client " << msg.receiver
@@ -163,18 +164,27 @@ class DistributedClientHost::Uplink : public CommChannel {
   void Send(const Message& msg) override {
     Message stamped = msg;
     stamped.timestamp = NowSeconds();
+    if (obs_ != nullptr) obs_->OnChannelSend(stamped);
     Status status = connection_.SendMessage(stamped);
     if (!status.ok()) {
       FS_LOG(Warning) << "client uplink send failed: " << status.ToString();
     }
   }
 
+  void set_obs(const ObsContext* obs) { obs_ = obs; }
+
   Result<Message> Receive() { return connection_.ReceiveMessage(); }
   void Close() { connection_.Close(); }
 
  private:
   TcpConnection connection_{-1};
+  const ObsContext* obs_ = nullptr;
 };
+
+void DistributedClientHost::set_obs(const ObsContext* obs) {
+  uplink_->set_obs(obs);
+  client_->set_obs(obs);
+}
 
 DistributedClientHost::DistributedClientHost(
     int client_id, ClientOptions options, Model model, SplitDataset data,

@@ -42,6 +42,14 @@ class DistributedServerHost {
 
   Server* server() { return server_.get(); }
 
+  /// Attaches observability sinks (borrowed; must outlive the host) to the
+  /// server worker and the outgoing router. Distributed-mode timestamps are
+  /// wall seconds, so traces/metrics are not bit-reproducible across runs.
+  void set_obs(const ObsContext* obs) {
+    obs_ = obs;
+    server_->set_obs(obs);
+  }
+
   /// Accepts clients, runs the course to completion, disconnects.
   /// Returns the server stats.
   ServerStats Run();
@@ -56,6 +64,7 @@ class DistributedServerHost {
   TcpListener listener_;
   std::unique_ptr<Router> router_;
   std::unique_ptr<Server> server_;
+  const ObsContext* obs_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -80,6 +89,10 @@ class DistributedClientHost {
   ~DistributedClientHost();
 
   Client* client() { return client_.get(); }
+
+  /// Attaches observability sinks (borrowed; must outlive the host) to the
+  /// client worker and the uplink channel.
+  void set_obs(const ObsContext* obs);
 
   /// Joins the course and processes messages until "finish" (or the
   /// connection drops). Returns Ok on a clean finish.

@@ -64,9 +64,16 @@ void FedRunner::BuildWorkers() {
         id, std::move(options), job_.init_model, job_.data->clients[i],
         job_.trainer_factory(id), this));
   }
+
+  if (job_.obs.enabled()) {
+    queue_.set_obs(&job_.obs);
+    server_->set_obs(&job_.obs);
+    for (auto& client : clients_) client->set_obs(&job_.obs);
+  }
 }
 
 void FedRunner::Send(const Message& msg) {
+  job_.obs.OnChannelSend(msg);
   if (job_.through_wire) {
     auto decoded = DecodeMessage(EncodeMessage(msg));
     FS_CHECK(decoded.ok()) << decoded.status().ToString();
@@ -126,6 +133,10 @@ RunResult FedRunner::Run() {
         << result.completeness.ToString();
   }
 
+  // Course-lifecycle span: opens at virtual t = 0 and closes at the
+  // server's final virtual time (inert when no tracer is attached).
+  ScopedSpan course_span(job_.obs.tracer, "fl_course", 0.0, kServerId);
+
   // Building up: every client requests to join at t = 0.
   for (auto& client : clients_) client->JoinIn();
 
@@ -152,6 +163,19 @@ RunResult FedRunner::Run() {
   FS_LOG(Info) << "FL course done: rounds=" << server_->stats().rounds
                << " delivered=" << delivered
                << " final_acc=" << server_->stats().final_accuracy;
+
+  course_span.set_end(server_->current_time());
+  course_span.AddArg("rounds", std::to_string(server_->stats().rounds));
+  if (job_.obs.metrics != nullptr) {
+    job_.obs.SetGauge("fs_course_rounds",
+                      static_cast<double>(server_->stats().rounds));
+    job_.obs.SetGauge("fs_course_final_accuracy",
+                      server_->stats().final_accuracy);
+    job_.obs.SetGauge("fs_course_finish_time_seconds",
+                      server_->stats().finish_time);
+    job_.obs.SetGauge("fs_course_messages_delivered",
+                      static_cast<double>(delivered));
+  }
 
   result.server = server_->stats();
   result.final_model = *server_->global_model();

@@ -9,6 +9,7 @@
 #include "fedscope/core/completeness.h"
 #include "fedscope/core/server.h"
 #include "fedscope/data/dataset.h"
+#include "fedscope/obs/obs_context.h"
 #include "fedscope/sim/event_queue.h"
 
 namespace fedscope {
@@ -43,6 +44,12 @@ struct FedJob {
   bool through_wire = false;
   /// Run the completeness check before starting (error if incomplete).
   bool check_completeness = true;
+  /// Observability sinks (borrowed; must outlive the runner). All-null by
+  /// default: the course runs with zero instrumentation overhead and
+  /// byte-identical behaviour. In standalone mode every recorded timestamp
+  /// is virtual, so same-seed runs produce identical metric snapshots,
+  /// traces, and course logs.
+  ObsContext obs;
   uint64_t seed = 1234;
 };
 

@@ -4,6 +4,7 @@
 
 #include "fedscope/comm/compression.h"
 #include "fedscope/core/events.h"
+#include "fedscope/obs/obs_context.h"
 #include "fedscope/util/logging.h"
 
 namespace fedscope {
@@ -47,14 +48,19 @@ void Server::RegisterDefaultHandlers() {
       /*emits=*/{events::kModelPara});
   registry_.Register(
       events::kAllReceived,
-      [this](const Message& msg) { PerformAggregation(msg); },
+      [this](const Message& msg) {
+        PerformAggregation(events::kAllReceived, msg);
+      },
       /*emits=*/{events::kModelPara});
   registry_.Register(
       events::kGoalAchieved,
-      [this](const Message& msg) { PerformAggregation(msg); },
+      [this](const Message& msg) {
+        PerformAggregation(events::kGoalAchieved, msg);
+      },
       /*emits=*/{events::kModelPara});
   registry_.Register(
-      events::kTimeUp, [this](const Message& msg) { PerformAggregation(msg); },
+      events::kTimeUp,
+      [this](const Message& msg) { PerformAggregation(events::kTimeUp, msg); },
       /*emits=*/{events::kModelPara});
   std::vector<std::string> finish_emits = {events::kFinish};
   if (options_.collect_client_metrics) {
@@ -137,6 +143,10 @@ void Server::BroadcastModel(const std::vector<int>& client_ids,
       msg.payload.SetInt("hpo.want_feedback", 1);
     }
     busy_[id] = round_;
+    if (obs_ != nullptr && obs_->enabled()) {
+      pending_downlink_bytes_ += msg.payload.ByteSize();
+      ++pending_broadcasts_;
+    }
     Send(std::move(msg));
   }
 }
@@ -174,12 +184,18 @@ void Server::ScheduleTimer(double now) {
 void Server::OnModelUpdate(const Message& msg) {
   if (finished_ || !started_) return;
   busy_.erase(msg.sender);
+  const bool record_obs = obs_ != nullptr && obs_->enabled();
+  if (record_obs) pending_uplink_bytes_ += msg.payload.ByteSize();
 
   if (msg.payload.GetInt("declined", 0) != 0) {
     // The client declined this round (low_bandwidth behaviour): free the
     // slot, shrink the cohort the synchronous trigger waits for, and keep
     // the concurrency up under after-receiving broadcasts.
     ++stats_.declined;
+    if (record_obs) {
+      ++pending_declined_;
+      obs_->Count("fs_server_declined_total");
+    }
     if (sampled_this_round_ > 0) --sampled_this_round_;
     switch (options_.strategy) {
       case Strategy::kSyncVanilla:
@@ -201,6 +217,10 @@ void Server::OnModelUpdate(const Message& msg) {
   if (staleness > options_.staleness_tolerance) {
     // Outdated beyond toleration: dropped entirely (§3.3.1-i).
     ++stats_.dropped_stale;
+    if (record_obs) {
+      ++pending_dropped_;
+      obs_->Count("fs_server_dropped_stale_total");
+    }
   } else {
     ClientUpdate update;
     update.client_id = msg.sender;
@@ -284,8 +304,10 @@ void Server::OnTimer(const Message& msg) {
   }
 }
 
-void Server::PerformAggregation(const Message& context) {
+void Server::PerformAggregation(const std::string& trigger,
+                                const Message& context) {
   if (finished_ || buffer_.empty()) return;
+  const bool record_obs = obs_ != nullptr && obs_->enabled();
 
   // Staleness is measured against the version at aggregation time; updates
   // that aged beyond the toleration while buffered are dropped now.
@@ -295,6 +317,10 @@ void Server::PerformAggregation(const Message& context) {
     update.staleness = round_ - update.round_started;
     if (update.staleness > options_.staleness_tolerance) {
       ++stats_.dropped_stale;
+      if (record_obs) {
+        ++pending_dropped_;
+        obs_->Count("fs_server_dropped_stale_total");
+      }
       continue;
     }
     usable.push_back(std::move(update));
@@ -318,7 +344,13 @@ void Server::PerformAggregation(const Message& context) {
   ++round_;
   stats_.rounds = round_;
 
-  if (EvaluateAndCheckStop(context)) return;
+  const size_t curve_size_before = stats_.curve.size();
+  const bool stopped = EvaluateAndCheckStop(context);
+  if (record_obs) {
+    RecordRound(trigger, context, usable,
+                stats_.curve.size() > curve_size_before);
+  }
+  if (stopped) return;
 
   if (options_.broadcast == BroadcastManner::kAfterAggregating) {
     Replenish(context.timestamp);
@@ -328,12 +360,63 @@ void Server::PerformAggregation(const Message& context) {
   }
 }
 
+void Server::RecordRound(const std::string& trigger, const Message& context,
+                         const std::vector<ClientUpdate>& usable,
+                         bool evaluated) {
+  const double now = context.timestamp;
+  for (const auto& update : usable) {
+    obs_->Observe("fs_server_staleness", StalenessBounds(),
+                  static_cast<double>(update.staleness));
+    obs_->Count("fs_server_agg_contributions_total", 1.0,
+                {{"client", std::to_string(update.client_id)}});
+  }
+  obs_->Count("fs_server_aggregations_total", 1.0, {{"trigger", trigger}});
+  obs_->Observe("fs_server_round_duration_seconds", LatencyBounds(),
+                now - last_agg_time_);
+  if (obs_->tracer != nullptr) {
+    obs_->tracer->Span(
+        "round " + std::to_string(round_), last_agg_time_, now - last_agg_time_,
+        kServerId,
+        {{"trigger", trigger}, {"updates", std::to_string(usable.size())}});
+  }
+  if (obs_->course_log != nullptr) {
+    CourseRoundRecord record;
+    record.round = round_;
+    record.trigger = trigger;
+    record.time = now;
+    record.contributors.reserve(usable.size());
+    record.staleness.reserve(usable.size());
+    for (const auto& update : usable) {
+      record.contributors.push_back(update.client_id);
+      record.staleness.push_back(update.staleness);
+    }
+    record.uplink_bytes = pending_uplink_bytes_;
+    record.downlink_bytes = pending_downlink_bytes_;
+    record.broadcasts = pending_broadcasts_;
+    record.dropped_stale = pending_dropped_;
+    record.declined = pending_declined_;
+    if (evaluated) {
+      record.evaluated = true;
+      record.eval_accuracy = stats_.curve.back().second;
+      record.eval_loss = last_eval_loss_;
+    }
+    obs_->course_log->Append(std::move(record));
+  }
+  last_agg_time_ = now;
+  pending_uplink_bytes_ = 0;
+  pending_downlink_bytes_ = 0;
+  pending_broadcasts_ = 0;
+  pending_dropped_ = 0;
+  pending_declined_ = 0;
+}
+
 bool Server::EvaluateAndCheckStop(const Message& context) {
   if (evaluator_ &&
       (round_ % std::max(options_.eval_interval, 1) == 0 ||
        round_ >= options_.max_rounds)) {
     EvalResult eval = evaluator_(&global_model_);
     stats_.curve.emplace_back(context.timestamp, eval.accuracy);
+    last_eval_loss_ = eval.loss;
     stats_.final_accuracy = eval.accuracy;
     if (eval.accuracy > stats_.best_accuracy) {
       stats_.best_accuracy = eval.accuracy;

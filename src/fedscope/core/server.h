@@ -141,10 +141,16 @@ class Server : public BaseWorker {
   void OnTimer(const Message& msg);
   void OnMetrics(const Message& msg);
 
-  /// Handler bodies for the condition events.
+  /// Handler bodies for the condition events. `trigger` names the
+  /// condition event that fired (all_received / goal_achieved / time_up);
+  /// it feeds the course log and aggregation metrics.
   void StartTraining(const Message& context);
-  void PerformAggregation(const Message& context);
+  void PerformAggregation(const std::string& trigger, const Message& context);
   void FinishCourse(const Message& context);
+  /// Flushes the pending-round observability accumulators into the course
+  /// log / metrics / tracer after an aggregation (obs-attached runs only).
+  void RecordRound(const std::string& trigger, const Message& context,
+                   const std::vector<ClientUpdate>& usable, bool evaluated);
 
   /// Sends the current global model to the given clients at round round_.
   void BroadcastModel(const std::vector<int>& client_ids, double timestamp);
@@ -178,7 +184,18 @@ class Server : public BaseWorker {
   bool started_ = false;
   bool finished_ = false;
   int evals_since_best_ = 0;
+  double last_eval_loss_ = 0.0;
   ServerStats stats_;
+
+  // Pending-round observability accumulators: traffic and drop counts
+  // since the previous aggregation. Maintained only when obs() is attached
+  // (zero cost on the default path); flushed by RecordRound.
+  double last_agg_time_ = 0.0;
+  int64_t pending_uplink_bytes_ = 0;
+  int64_t pending_downlink_bytes_ = 0;
+  int pending_broadcasts_ = 0;
+  int64_t pending_dropped_ = 0;
+  int64_t pending_declined_ = 0;
 };
 
 }  // namespace fedscope

@@ -6,6 +6,7 @@
 #include "fedscope/comm/channel.h"
 #include "fedscope/comm/message.h"
 #include "fedscope/core/handler_registry.h"
+#include "fedscope/obs/obs_context.h"
 
 namespace fedscope {
 
@@ -40,6 +41,12 @@ class BaseWorker {
   /// This worker's current virtual time (timestamp of the last message).
   double current_time() const { return current_time_; }
 
+  /// Attaches observability sinks (borrowed; must outlive the worker; null
+  /// restores the no-op default). Subclass handlers consult `obs()` for
+  /// metric / trace / course-log instrumentation.
+  void set_obs(const ObsContext* obs) { obs_ = obs; }
+  const ObsContext* obs() const { return obs_; }
+
  protected:
   /// Sends a message, stamping the sender id. The timestamp must not be in
   /// the sender's past.
@@ -49,6 +56,7 @@ class BaseWorker {
   CommChannel* channel_;
   HandlerRegistry registry_;
   double current_time_ = 0.0;
+  const ObsContext* obs_ = nullptr;
 };
 
 }  // namespace fedscope

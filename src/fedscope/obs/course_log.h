@@ -1,0 +1,83 @@
+#ifndef FEDSCOPE_OBS_COURSE_LOG_H_
+#define FEDSCOPE_OBS_COURSE_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fedscope/util/status.h"
+
+namespace fedscope {
+
+/// One aggregation round of an FL course, as the server observed it. This
+/// is the structured record the paper's evaluation is built from: who
+/// contributed (Fig. 10), how stale the updates were (Fig. 11), how many
+/// bytes crossed the wire (compression ablation), and what the global
+/// model scored (Table 1 / Fig. 9 curves).
+struct CourseRoundRecord {
+  /// Round number after this aggregation (1-based).
+  int round = 0;
+  /// Condition event that triggered the aggregation (all_received /
+  /// goal_achieved / time_up).
+  std::string trigger;
+  /// Virtual timestamp of the aggregation (wall seconds in distributed
+  /// mode).
+  double time = 0.0;
+  /// Client ids whose updates entered this aggregation, in buffer order.
+  std::vector<int> contributors;
+  /// Staleness of each contributing update (parallel to `contributors`).
+  std::vector<int> staleness;
+  /// Payload bytes of model_update messages received since the previous
+  /// aggregation (including declined-notices; what crossed the uplink).
+  int64_t uplink_bytes = 0;
+  /// Payload bytes of model_para broadcasts sent since the previous
+  /// aggregation.
+  int64_t downlink_bytes = 0;
+  /// model_para broadcasts sent since the previous aggregation.
+  int broadcasts = 0;
+  /// Updates dropped for exceeding the staleness toleration this round.
+  int64_t dropped_stale = 0;
+  /// Training requests declined by clients this round.
+  int64_t declined = 0;
+  /// True when the server evaluated the global model after this round.
+  bool evaluated = false;
+  double eval_accuracy = 0.0;
+  double eval_loss = 0.0;
+};
+
+/// Append-only per-round course record with JSONL/CSV export and the
+/// aggregations the benches need. Deterministic: rounds are stored in
+/// append order and exports use fixed number formatting.
+class CourseLog {
+ public:
+  void Append(CourseRoundRecord record);
+
+  const std::vector<CourseRoundRecord>& rounds() const { return rounds_; }
+  int num_rounds() const { return static_cast<int>(rounds_.size()); }
+  void Clear() { rounds_.clear(); }
+
+  /// Effective aggregation count per client id (1-based, index 0 unused;
+  /// size num_clients + 1) — the quantity of Figure 10.
+  std::vector<int64_t> AggCountPerClient(int num_clients) const;
+  /// Staleness of every contributing update across all rounds, in
+  /// aggregation order — the distribution of Figure 11.
+  std::vector<int> AllStaleness() const;
+  /// Total contributing updates across all rounds.
+  int64_t TotalContributions() const;
+  int64_t TotalUplinkBytes() const;
+  int64_t TotalDownlinkBytes() const;
+
+  /// One JSON object per line per round.
+  std::string ToJsonl() const;
+  /// Flat CSV (contributors/staleness joined with ';' inside one cell).
+  std::string ToCsv() const;
+  Status WriteJsonl(const std::string& path) const;
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<CourseRoundRecord> rounds_;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_OBS_COURSE_LOG_H_

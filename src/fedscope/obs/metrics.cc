@@ -1,0 +1,277 @@
+#include "fedscope/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+/// Renders labels as {k="v",k2="v2"}; empty labels render as "".
+std::string LabelsText(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ",";
+    first = false;
+    os << k << "=\"" << v << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+/// Labels with one extra pair appended (for histogram `le` buckets).
+std::string LabelsTextWith(const MetricLabels& labels, const std::string& key,
+                           const std::string& value) {
+  MetricLabels extended = labels;
+  extended[key] = value;
+  return LabelsText(extended);
+}
+
+/// Semicolon-joined k=v form for CSV cells (no commas, deterministic).
+std::string LabelsCsv(const MetricLabels& labels) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ";";
+    first = false;
+    os << k << "=" << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void Counter::Increment(double delta) {
+  FS_CHECK_GE(delta, 0.0);
+  value_ += delta;
+}
+
+void Gauge::SetMax(double v) { value_ = std::max(value_, v); }
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {
+  FS_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    FS_CHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+}
+
+void HistogramMetric::Observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++buckets_[static_cast<size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+MetricKind* MetricsRegistry::FamilyKind(const std::string& name,
+                                        MetricKind kind) {
+  auto [it, inserted] = kinds_.emplace(name, kind);
+  FS_CHECK(it->second == kind)
+      << "metric family '" << name << "' already registered as "
+      << KindName(it->second) << ", requested as " << KindName(kind);
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
+  FamilyKind(name, MetricKind::kCounter);
+  auto& slot = counters_[{name, labels}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  FamilyKind(name, MetricKind::kGauge);
+  auto& slot = gauges_[{name, labels}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               const std::vector<double>& bounds,
+                                               const MetricLabels& labels) {
+  FamilyKind(name, MetricKind::kHistogram);
+  auto& slot = histograms_[{name, labels}];
+  if (!slot) slot = std::make_unique<HistogramMetric>(bounds);
+  return slot.get();
+}
+
+double MetricsRegistry::CounterValue(const std::string& name,
+                                     const MetricLabels& labels) const {
+  auto it = counters_.find({name, labels});
+  return it == counters_.end() ? 0.0 : it->second->value();
+}
+
+double MetricsRegistry::SumCounters(const std::string& name) const {
+  double sum = 0.0;
+  for (auto it = counters_.lower_bound({name, MetricLabels{}});
+       it != counters_.end() && it->first.first == name; ++it) {
+    sum += it->second->value();
+  }
+  return sum;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const auto& [key, counter] : counters_) {
+    MetricSample sample;
+    sample.name = key.first;
+    sample.kind = MetricKind::kCounter;
+    sample.labels = key.second;
+    sample.value = counter->value();
+    snapshot.samples.push_back(std::move(sample));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    MetricSample sample;
+    sample.name = key.first;
+    sample.kind = MetricKind::kGauge;
+    sample.labels = key.second;
+    sample.value = gauge->value();
+    snapshot.samples.push_back(std::move(sample));
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    MetricSample sample;
+    sample.name = key.first;
+    sample.kind = MetricKind::kHistogram;
+    sample.labels = key.second;
+    sample.value = static_cast<double>(histogram->count());
+    sample.bounds = histogram->bounds();
+    sample.buckets.resize(sample.bounds.size() + 1);
+    for (size_t i = 0; i < sample.buckets.size(); ++i) {
+      sample.buckets[i] = histogram->bucket_count(static_cast<int>(i));
+    }
+    sample.sum = histogram->sum();
+    snapshot.samples.push_back(std::move(sample));
+  }
+  std::sort(snapshot.samples.begin(), snapshot.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snapshot;
+}
+
+const MetricSample* MetricsSnapshot::Find(const std::string& name,
+                                          const MetricLabels& labels) const {
+  for (const auto& sample : samples) {
+    if (sample.name == name && sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream os;
+  std::string last_family;
+  for (const auto& sample : samples) {
+    if (sample.name != last_family) {
+      os << "# TYPE " << sample.name << " " << KindName(sample.kind) << "\n";
+      last_family = sample.name;
+    }
+    if (sample.kind == MetricKind::kHistogram) {
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < sample.bounds.size(); ++i) {
+        cumulative += sample.buckets[i];
+        os << sample.name << "_bucket"
+           << LabelsTextWith(sample.labels, "le",
+                             FormatMetricValue(sample.bounds[i]))
+           << " " << cumulative << "\n";
+      }
+      cumulative += sample.buckets.back();
+      os << sample.name << "_bucket"
+         << LabelsTextWith(sample.labels, "le", "+Inf") << " " << cumulative
+         << "\n";
+      os << sample.name << "_sum" << LabelsText(sample.labels) << " "
+         << FormatMetricValue(sample.sum) << "\n";
+      os << sample.name << "_count" << LabelsText(sample.labels) << " "
+         << FormatMetricValue(sample.value) << "\n";
+    } else {
+      os << sample.name << LabelsText(sample.labels) << " "
+         << FormatMetricValue(sample.value) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToCsv() const {
+  std::ostringstream os;
+  os << "name,kind,labels,field,value\n";
+  for (const auto& sample : samples) {
+    const std::string labels = LabelsCsv(sample.labels);
+    const char* kind = KindName(sample.kind);
+    if (sample.kind == MetricKind::kHistogram) {
+      for (size_t i = 0; i < sample.bounds.size(); ++i) {
+        os << sample.name << "," << kind << "," << labels << ",le="
+           << FormatMetricValue(sample.bounds[i]) << "," << sample.buckets[i]
+           << "\n";
+      }
+      os << sample.name << "," << kind << "," << labels << ",le=+Inf,"
+         << sample.buckets.back() << "\n";
+      os << sample.name << "," << kind << "," << labels << ",sum,"
+         << FormatMetricValue(sample.sum) << "\n";
+      os << sample.name << "," << kind << "," << labels << ",count,"
+         << FormatMetricValue(sample.value) << "\n";
+    } else {
+      os << sample.name << "," << kind << "," << labels << ",value,"
+         << FormatMetricValue(sample.value) << "\n";
+    }
+  }
+  return os.str();
+}
+
+Status MetricsRegistry::WritePrometheusText(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const std::string text = PrometheusText();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::DataLoss("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+void MetricsRegistry::Clear() {
+  kinds_.clear();
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+int64_t MetricsRegistry::num_series() const {
+  return static_cast<int64_t>(counters_.size() + gauges_.size() +
+                              histograms_.size());
+}
+
+}  // namespace fedscope

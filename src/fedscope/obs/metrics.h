@@ -1,0 +1,141 @@
+#ifndef FEDSCOPE_OBS_METRICS_H_
+#define FEDSCOPE_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fedscope/util/status.h"
+
+namespace fedscope {
+
+/// Labels attached to one metric time series ("client" -> "7"). Stored
+/// sorted so snapshots and expositions are deterministic.
+using MetricLabels = std::map<std::string, std::string>;
+
+/// Monotonically increasing count (messages sent, updates dropped, ...).
+class Counter {
+ public:
+  /// Adds `delta` (must be >= 0; counters never decrease).
+  void Increment(double delta = 1.0);
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A value that can go up and down (queue depth, rounds completed, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  /// Keeps the maximum of the current value and `v` (peak tracking).
+  void SetMax(double v);
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram in the Prometheus style: `bounds` are ascending
+/// bucket upper limits; an implicit +inf bucket catches the overflow.
+class HistogramMetric {
+ public:
+  /// `bounds` must be strictly ascending and non-empty.
+  explicit HistogramMetric(std::vector<double> bounds);
+
+  void Observe(double x);
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket i counts observations <= bounds[i]; bucket bounds().size() is
+  /// the +inf overflow bucket. Counts are per-bucket, not cumulative.
+  int64_t bucket_count(int i) const { return buckets_[i]; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<int64_t> buckets_;  // bounds_.size() + 1 entries
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One time series frozen at snapshot time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  MetricLabels labels;
+  /// Counter/gauge value; for histograms the observation count.
+  double value = 0.0;
+  // Histogram-only fields.
+  std::vector<double> bounds;
+  std::vector<int64_t> buckets;
+  double sum = 0.0;
+};
+
+/// A consistent copy of every registered series, ordered by (name, labels)
+/// so two snapshots of identical registries compare and print identically.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// Prometheus text exposition (# TYPE lines, name{labels} value, and
+  /// _bucket/_sum/_count expansion for histograms).
+  std::string ToPrometheusText() const;
+  /// CSV with columns name,kind,labels,field,value. Histograms expand to
+  /// one row per bucket plus sum and count rows.
+  std::string ToCsv() const;
+  /// Finds a sample by exact name + labels (nullptr if absent).
+  const MetricSample* Find(const std::string& name,
+                           const MetricLabels& labels = {}) const;
+};
+
+/// Registry of labeled metric families. Get* returns a stable pointer,
+/// creating the series on first use; re-using a family name with a
+/// different kind is a programmer error (FS_CHECK). Not thread-safe: in
+/// standalone simulation everything runs on one thread, and distributed
+/// hosts serialize sends through their router lock.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name, const MetricLabels& labels = {});
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels = {});
+  /// `bounds` is consulted only when the series does not exist yet.
+  HistogramMetric* GetHistogram(const std::string& name,
+                                const std::vector<double>& bounds,
+                                const MetricLabels& labels = {});
+
+  /// Value of one counter series (0 if it was never touched).
+  double CounterValue(const std::string& name,
+                      const MetricLabels& labels = {}) const;
+  /// Sum of a counter family across every label combination.
+  double SumCounters(const std::string& name) const;
+
+  MetricsSnapshot Snapshot() const;
+  std::string PrometheusText() const { return Snapshot().ToPrometheusText(); }
+  std::string Csv() const { return Snapshot().ToCsv(); }
+  /// Writes the Prometheus exposition to a file.
+  Status WritePrometheusText(const std::string& path) const;
+
+  void Clear();
+  int64_t num_series() const;
+
+ private:
+  using SeriesKey = std::pair<std::string, MetricLabels>;
+  /// Guards one family name against kind collisions.
+  MetricKind* FamilyKind(const std::string& name, MetricKind kind);
+
+  std::map<std::string, MetricKind> kinds_;
+  std::map<SeriesKey, std::unique_ptr<Counter>> counters_;
+  std::map<SeriesKey, std::unique_ptr<Gauge>> gauges_;
+  std::map<SeriesKey, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// Formats a metric value the way the expositions do: integers without a
+/// decimal point, everything else with %.9g (deterministic, locale-free).
+std::string FormatMetricValue(double v);
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_OBS_METRICS_H_

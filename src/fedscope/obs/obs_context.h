@@ -1,0 +1,79 @@
+#ifndef FEDSCOPE_OBS_OBS_CONTEXT_H_
+#define FEDSCOPE_OBS_OBS_CONTEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "fedscope/comm/message.h"
+#include "fedscope/obs/course_log.h"
+#include "fedscope/obs/metrics.h"
+#include "fedscope/obs/tracer.h"
+
+namespace fedscope {
+
+/// Injectable observability sinks. All pointers are borrowed (caller owns
+/// the registries and must keep them alive for the run) and default to
+/// null, which makes every instrumentation hook a no-op: with a default
+/// ObsContext the platform behaves and performs exactly as without
+/// observability. Copyable by value (it is just three pointers).
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  CourseLog* course_log = nullptr;
+
+  bool enabled() const {
+    return metrics != nullptr || tracer != nullptr || course_log != nullptr;
+  }
+
+  // -- null-safe convenience wrappers ---------------------------------------
+  // Each forwards to the registry when present; otherwise a no-op. They let
+  // instrumentation sites stay one-liners without null checks.
+
+  void Count(const std::string& name, double delta = 1.0,
+             const MetricLabels& labels = {}) const {
+    if (metrics != nullptr) metrics->GetCounter(name, labels)->Increment(delta);
+  }
+  void SetGauge(const std::string& name, double value,
+                const MetricLabels& labels = {}) const {
+    if (metrics != nullptr) metrics->GetGauge(name, labels)->Set(value);
+  }
+  void MaxGauge(const std::string& name, double value,
+                const MetricLabels& labels = {}) const {
+    if (metrics != nullptr) metrics->GetGauge(name, labels)->SetMax(value);
+  }
+  void Observe(const std::string& name, const std::vector<double>& bounds,
+               double value, const MetricLabels& labels = {}) const {
+    if (metrics != nullptr) {
+      metrics->GetHistogram(name, bounds, labels)->Observe(value);
+    }
+  }
+
+  /// Shared CommChannel::Send instrumentation: message and payload-byte
+  /// counters by message type. Called by every channel implementation
+  /// (FedRunner's virtual-time queue, QueueChannel, TCP routers) so traffic
+  /// accounting is transport-independent.
+  void OnChannelSend(const Message& msg) const {
+    if (metrics == nullptr) return;
+    const MetricLabels labels = {{"type", msg.msg_type}};
+    metrics->GetCounter("fs_comm_messages_total", labels)->Increment();
+    metrics->GetCounter("fs_comm_payload_bytes_total", labels)
+        ->Increment(static_cast<double>(msg.payload.ByteSize()));
+  }
+};
+
+/// Default histogram bounds used by the built-in instrumentation.
+/// Staleness in rounds (Fig. 11 ranges).
+inline const std::vector<double>& StalenessBounds() {
+  static const std::vector<double> bounds = {0, 1, 2, 3, 4, 5, 8, 12, 16, 24};
+  return bounds;
+}
+/// Virtual-seconds latencies (client rounds, server rounds).
+inline const std::vector<double>& LatencyBounds() {
+  static const std::vector<double> bounds = {1,    5,    15,   60,   120,
+                                             300,  600,  1800, 3600, 7200};
+  return bounds;
+}
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_OBS_OBS_CONTEXT_H_

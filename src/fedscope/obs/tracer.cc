@@ -1,0 +1,146 @@
+#include "fedscope/obs/tracer.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace fedscope {
+namespace {
+
+int64_t SecondsToMicros(double seconds) {
+  return static_cast<int64_t>(std::llround(seconds * 1e6));
+}
+
+/// JSON string escaping for names/args (quotes, backslash, control bytes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Tracer::Span(const std::string& name, double begin_seconds,
+                  double duration_seconds, int tid,
+                  std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'X';
+  event.ts_us = SecondsToMicros(begin_seconds);
+  event.dur_us = SecondsToMicros(duration_seconds);
+  event.tid = tid;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::Instant(const std::string& name, double at_seconds, int tid,
+                     std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'i';
+  event.ts_us = SecondsToMicros(at_seconds);
+  event.tid = tid;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& event : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << JsonEscape(event.name) << "\",\"ph\":\""
+       << event.phase << "\",\"ts\":" << event.ts_us;
+    if (event.phase == 'X') os << ",\"dur\":" << event.dur_us;
+    os << ",\"pid\":1,\"tid\":" << event.tid;
+    if (event.phase == 'i') os << ",\"s\":\"t\"";
+    if (!event.args.empty()) {
+      os << ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) os << ",";
+        first_arg = false;
+        os << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const std::string text = ToChromeJson();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::DataLoss("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string name, double begin_seconds,
+                       int tid)
+    : tracer_(tracer),
+      name_(std::move(name)),
+      begin_seconds_(begin_seconds),
+      end_seconds_(begin_seconds),
+      tid_(tid) {}
+
+void ScopedSpan::set_end(double end_seconds) {
+  end_seconds_ = end_seconds < begin_seconds_ ? begin_seconds_ : end_seconds;
+}
+
+void ScopedSpan::AddArg(std::string key, std::string value) {
+  args_.emplace_back(std::move(key), std::move(value));
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  tracer_->Span(name_, begin_seconds_, end_seconds_ - begin_seconds_, tid_,
+                std::move(args_));
+}
+
+double WallTimeSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace fedscope

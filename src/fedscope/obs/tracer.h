@@ -1,0 +1,91 @@
+#ifndef FEDSCOPE_OBS_TRACER_H_
+#define FEDSCOPE_OBS_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fedscope/util/status.h"
+
+namespace fedscope {
+
+/// One Chrome trace_event entry. Timestamps are microseconds; `tid` maps to
+/// the participant id (server 0, client ids 1..n), so chrome://tracing lays
+/// out one row per participant.
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';  // 'X' complete span, 'i' instant event
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;  // 'X' only
+  int tid = 0;
+  /// Extra key/value context rendered into the event's "args" object.
+  std::vector<std::pair<std::string, std::string>> args;
+
+  bool operator==(const TraceEvent& other) const = default;
+};
+
+/// Collects spans and instant events for one run. Every API takes explicit
+/// timestamps in seconds: in standalone mode callers pass *virtual* time so
+/// traces are bit-reproducible under a fixed seed (CLAUDE.md determinism);
+/// distributed hosts pass wall time (WallTimeSeconds below). The tracer
+/// itself never reads a clock.
+class Tracer {
+ public:
+  /// Records a complete span [begin, begin + duration].
+  void Span(const std::string& name, double begin_seconds,
+            double duration_seconds, int tid = 0,
+            std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Records an instant event at `at_seconds`.
+  void Instant(const std::string& name, double at_seconds, int tid = 0,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  int64_t num_events() const { return static_cast<int64_t>(events_.size()); }
+  void Clear() { events_.clear(); }
+
+  /// Serializes to the Chrome trace_event JSON array format, loadable in
+  /// chrome://tracing / Perfetto. Deterministic: events appear in record
+  /// order with fixed number formatting.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span helper. Virtual time does not advance during a C++ scope, so
+/// the end timestamp is provided explicitly via set_end before destruction;
+/// without it the span closes at its begin time (zero duration). Null
+/// tracer => fully inert.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string name, double begin_seconds,
+             int tid = 0);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Sets the span's end time (clamped to not precede the begin time).
+  void set_end(double end_seconds);
+  /// Attaches one args entry to the emitted span.
+  void AddArg(std::string key, std::string value);
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  double begin_seconds_;
+  double end_seconds_;
+  int tid_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Monotonic wall time in seconds since the first call; the time source for
+/// distributed-mode traces (never used in standalone simulation).
+double WallTimeSeconds();
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_OBS_TRACER_H_

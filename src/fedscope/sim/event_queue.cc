@@ -5,6 +5,12 @@
 namespace fedscope {
 
 void EventQueue::Push(Message msg) {
+  if (obs_ != nullptr && obs_->metrics != nullptr) {
+    obs_->Count("fs_sim_events_pushed_total", 1.0, {{"type", msg.msg_type}});
+    const double depth = static_cast<double>(heap_.size() + 1);
+    obs_->SetGauge("fs_sim_queue_depth", depth);
+    obs_->MaxGauge("fs_sim_queue_depth_peak", depth);
+  }
   heap_.push(Entry{msg.timestamp, seq_++, std::move(msg)});
 }
 
@@ -20,6 +26,11 @@ Message EventQueue::Pop() {
   // inner training loop's critical path.
   Message msg = heap_.top().msg;
   heap_.pop();
+  if (obs_ != nullptr && obs_->metrics != nullptr) {
+    obs_->Count("fs_sim_events_dispatched_total", 1.0,
+                {{"type", msg.msg_type}});
+    obs_->SetGauge("fs_sim_queue_depth", static_cast<double>(heap_.size()));
+  }
   return msg;
 }
 

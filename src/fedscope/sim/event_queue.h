@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "fedscope/comm/message.h"
+#include "fedscope/obs/obs_context.h"
 
 namespace fedscope {
 
@@ -32,6 +33,11 @@ class EventQueue {
   /// Total number of messages ever pushed (diagnostics).
   int64_t total_pushed() const { return seq_; }
 
+  /// Attaches observability sinks (borrowed; null restores the no-op
+  /// default). Push/Pop then maintain event counters and queue-depth
+  /// gauges (fs_sim_events_*_total, fs_sim_queue_depth{,_peak}).
+  void set_obs(const ObsContext* obs) { obs_ = obs; }
+
  private:
   struct Entry {
     double time;
@@ -46,6 +52,7 @@ class EventQueue {
   };
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   int64_t seq_ = 0;
+  const ObsContext* obs_ = nullptr;
 };
 
 }  // namespace fedscope

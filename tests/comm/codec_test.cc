@@ -50,6 +50,54 @@ TEST(CodecTest, EmptyTensorRoundTrips) {
   EXPECT_EQ(decoded->payload.GetTensor("scalar_shape")->at(0), 5.0f);
 }
 
+TEST(CodecTest, EmptyPayloadReencodesBitExactly) {
+  Message m;
+  auto bytes = EncodeMessage(m);
+  auto decoded = DecodeMessage(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(EncodeMessage(*decoded), bytes);
+}
+
+TEST(CodecTest, ZeroElementTensorReencodesBitExactly) {
+  Message m;
+  m.payload.SetTensor("empty", Tensor({0}));
+  m.payload.SetTensor("empty_matrix", Tensor({0, 4}));
+  auto bytes = EncodeMessage(m);
+  auto decoded = DecodeMessage(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->payload.GetTensor("empty_matrix")->shape(),
+            (std::vector<int64_t>{0, 4}));
+  EXPECT_EQ(EncodeMessage(*decoded), bytes);
+}
+
+TEST(CodecTest, NamesWithSeparatorBytesRoundTrip) {
+  // Keys containing the StateDict prefix separator, NUL, high bytes, and
+  // whitespace must survive the wire: the codec is length-prefixed, never
+  // delimiter-based.
+  Message m;
+  m.msg_type = "model/update\nweird";
+  m.payload.SetTensor("delta/fc.weight/extra", Tensor::FromVector({1, 2}));
+  m.payload.SetTensor(std::string("nul\0inside", 10),
+                      Tensor::FromVector({3}));
+  m.payload.SetTensor("high\xff\xfe bytes", Tensor::FromVector({4}));
+  m.payload.SetString(std::string("key with,comma\tand\0nul", 22),
+                      std::string("value\0with nul", 14));
+  auto bytes = EncodeMessage(m);
+  auto decoded = DecodeMessage(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->msg_type, m.msg_type);
+  EXPECT_TRUE(decoded->payload == m.payload);
+  ASSERT_TRUE(decoded->payload.GetTensor(std::string("nul\0inside", 10)).ok());
+  EXPECT_EQ(EncodeMessage(*decoded), bytes);
+}
+
+TEST(CodecTest, ReencodeIsBitExactForRichPayload) {
+  auto bytes = EncodeMessage(SampleMessage());
+  auto decoded = DecodeMessage(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(EncodeMessage(*decoded), bytes);
+}
+
 TEST(CodecTest, FourDimTensorShapePreserved) {
   Message m;
   m.payload.SetTensor("conv", Tensor({2, 3, 4, 5}));

@@ -1,0 +1,192 @@
+#include "fedscope/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fedscope {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0.0);
+  c.Increment();
+  c.Increment(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(CounterTest, NegativeDeltaDies) {
+  Counter c;
+  EXPECT_DEATH(c.Increment(-1.0), "");
+}
+
+TEST(GaugeTest, SetAddAndMax) {
+  Gauge g;
+  g.Set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.Add(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.SetMax(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.SetMax(1.0);  // lower value is ignored
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+}
+
+TEST(HistogramTest, ObservationsLandInCorrectBuckets) {
+  HistogramMetric h({1.0, 2.0, 5.0});
+  h.Observe(0.5);   // <= 1      -> bucket 0
+  h.Observe(1.0);   // <= 1      -> bucket 0 (inclusive upper bound)
+  h.Observe(1.5);   // <= 2      -> bucket 1
+  h.Observe(4.0);   // <= 5      -> bucket 2
+  h.Observe(100.0);  // overflow -> bucket 3 (+inf)
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);
+}
+
+TEST(HistogramTest, UnsortedBoundsDie) {
+  EXPECT_DEATH(HistogramMetric({2.0, 1.0}), "");
+  EXPECT_DEATH(HistogramMetric({}), "");
+}
+
+TEST(FormatMetricValueTest, IntegersDropDecimalPoint) {
+  EXPECT_EQ(FormatMetricValue(0.0), "0");
+  EXPECT_EQ(FormatMetricValue(42.0), "42");
+  EXPECT_EQ(FormatMetricValue(-7.0), "-7");
+  EXPECT_EQ(FormatMetricValue(0.5), "0.5");
+  EXPECT_EQ(FormatMetricValue(0.125), "0.125");
+}
+
+TEST(MetricsRegistryTest, ReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("msgs", {{"type", "a"}});
+  Counter* c2 = registry.GetCounter("msgs", {{"type", "a"}});
+  Counter* c3 = registry.GetCounter("msgs", {{"type", "b"}});
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, c3);
+  c1->Increment(3);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("msgs", {{"type", "a"}}), 3.0);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("msgs", {{"type", "b"}}), 0.0);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("absent"), 0.0);
+}
+
+TEST(MetricsRegistryTest, SumCountersSpansLabelCombinations) {
+  MetricsRegistry registry;
+  registry.GetCounter("updates", {{"codec", "none"}})->Increment(2);
+  registry.GetCounter("updates", {{"codec", "topk"}})->Increment(5);
+  registry.GetCounter("updates2", {{"codec", "none"}})->Increment(100);
+  EXPECT_DOUBLE_EQ(registry.SumCounters("updates"), 7.0);
+  EXPECT_DOUBLE_EQ(registry.SumCounters("missing"), 0.0);
+}
+
+TEST(MetricsRegistryTest, KindCollisionDies) {
+  MetricsRegistry registry;
+  registry.GetCounter("series");
+  EXPECT_DEATH(registry.GetGauge("series"), "already registered");
+}
+
+TEST(MetricsRegistryTest, ClearAndNumSeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("a");
+  registry.GetGauge("b");
+  registry.GetHistogram("c", {1.0});
+  EXPECT_EQ(registry.num_series(), 3);
+  registry.Clear();
+  EXPECT_EQ(registry.num_series(), 0);
+  // After Clear the name may be re-registered with a different kind.
+  registry.GetGauge("a");
+  EXPECT_EQ(registry.num_series(), 1);
+}
+
+TEST(MetricsSnapshotTest, SamplesSortedByNameThenLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("z_metric")->Increment();
+  registry.GetGauge("a_metric", {{"id", "2"}})->Set(2);
+  registry.GetGauge("a_metric", {{"id", "1"}})->Set(1);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 3u);
+  EXPECT_EQ(snapshot.samples[0].name, "a_metric");
+  EXPECT_EQ(snapshot.samples[0].labels.at("id"), "1");
+  EXPECT_EQ(snapshot.samples[1].labels.at("id"), "2");
+  EXPECT_EQ(snapshot.samples[2].name, "z_metric");
+  const MetricSample* found = snapshot.Find("a_metric", {{"id", "2"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->value, 2.0);
+  EXPECT_EQ(snapshot.Find("a_metric", {{"id", "9"}}), nullptr);
+}
+
+TEST(MetricsSnapshotTest, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("fs_msgs_total", {{"type", "model_update"}})
+      ->Increment(12);
+  registry.GetGauge("fs_depth")->Set(3);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const std::string text = snapshot.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE fs_msgs_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("fs_msgs_total{type=\"model_update\"} 12\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fs_depth gauge\nfs_depth 3\n"),
+            std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.GetHistogram("fs_lat", {1.0, 5.0});
+  h->Observe(0.5);
+  h->Observe(0.5);
+  h->Observe(3.0);
+  h->Observe(9.0);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("fs_lat_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("fs_lat_bucket{le=\"5\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("fs_lat_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("fs_lat_sum 13\n"), std::string::npos);
+  EXPECT_NE(text.find("fs_lat_count 4\n"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, CsvExpandsHistogramRows) {
+  MetricsRegistry registry;
+  registry.GetHistogram("h", {2.0}, {{"k", "v"}})->Observe(1.0);
+  registry.GetCounter("c")->Increment();
+  const std::string csv = registry.Csv();
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "name,kind,labels,field,value");
+  EXPECT_NE(csv.find("c,counter,,value,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("h,histogram,k=v,le=2,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("h,histogram,k=v,le=+Inf,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("h,histogram,k=v,sum,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("h,histogram,k=v,count,1\n"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, IdenticalRegistriesProduceIdenticalText) {
+  auto build = [] {
+    MetricsRegistry registry;
+    registry.GetCounter("a", {{"x", "1"}})->Increment(4);
+    registry.GetGauge("b")->Set(0.25);
+    registry.GetHistogram("c", {1.0, 2.0})->Observe(1.5);
+    return registry.PrometheusText();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(MetricsRegistryTest, WritePrometheusTextRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("file_metric")->Increment(7);
+  const std::string path = ::testing::TempDir() + "/metrics.prom";
+  ASSERT_TRUE(registry.WritePrometheusText(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), registry.PrometheusText());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fedscope
