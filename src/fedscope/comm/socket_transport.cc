@@ -4,13 +4,18 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "fedscope/comm/codec.h"
 #include "fedscope/util/logging.h"
+#include "fedscope/util/rng.h"
 
 namespace fedscope {
 namespace {
@@ -18,9 +23,6 @@ namespace {
 Status Errno(const std::string& what) {
   return Status::Internal(what + ": " + std::strerror(errno));
 }
-
-/// Hard cap against hostile length prefixes (256 MiB).
-constexpr uint32_t kMaxFrameBytes = 256u << 20;
 
 }  // namespace
 
@@ -48,13 +50,57 @@ Result<TcpConnection> TcpConnection::Connect(const std::string& host,
   return TcpConnection(fd);
 }
 
+Result<TcpConnection> TcpConnection::ConnectWithRetry(
+    const std::string& host, int port, const TransportOptions& options) {
+  Rng jitter(options.retry_seed);
+  const int attempts = std::max(options.connect_attempts, 1);
+  Status last = Status::Internal("no connect attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      double delay_ms = static_cast<double>(options.retry_base_delay_ms);
+      for (int i = 1; i < attempt; ++i) delay_ms *= 2.0;
+      delay_ms = std::min(delay_ms,
+                          static_cast<double>(options.retry_max_delay_ms));
+      delay_ms *= jitter.Uniform(0.5, 1.5);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    auto conn = Connect(host, port);
+    if (conn.ok()) {
+      FS_RETURN_IF_ERROR(
+          conn->SetTimeouts(options.send_timeout, options.recv_timeout));
+      return conn;
+    }
+    last = conn.status();
+  }
+  return last;
+}
+
 TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    max_frame_bytes_ = other.max_frame_bytes_;
     other.fd_ = -1;
   }
   return *this;
+}
+
+Status TcpConnection::SetTimeouts(double send_seconds, double recv_seconds) {
+  if (fd_ < 0) return Status::FailedPrecondition("connection closed");
+  const auto set = [this](int opt, double seconds) -> Status {
+    if (seconds <= 0.0) return Status::Ok();
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    if (::setsockopt(fd_, SOL_SOCKET, opt, &tv, sizeof(tv)) != 0) {
+      return Errno("setsockopt");
+    }
+    return Status::Ok();
+  };
+  FS_RETURN_IF_ERROR(set(SO_SNDTIMEO, send_seconds));
+  return set(SO_RCVTIMEO, recv_seconds);
 }
 
 TcpConnection::~TcpConnection() { Close(); }
@@ -89,6 +135,13 @@ Status TcpConnection::ReadAll(void* data, size_t size) {
     if (n == 0) return Status::DataLoss("connection closed");
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired. With no bytes of this read consumed the
+        // peer is merely idle (retryable); a partial read means the
+        // stream is truncated mid-object.
+        return got == 0 ? Status::DeadlineExceeded("recv timeout")
+                        : Status::DataLoss("recv timeout mid-frame");
+      }
       return Errno("recv");
     }
     got += static_cast<size_t>(n);
@@ -107,12 +160,23 @@ Status TcpConnection::SendMessage(const Message& msg) {
 Result<Message> TcpConnection::ReceiveMessage() {
   if (fd_ < 0) return Status::FailedPrecondition("connection closed");
   uint32_t length = 0;
+  // A recv timeout while waiting for the length prefix propagates as
+  // DeadlineExceeded (idle between messages, retryable).
   FS_RETURN_IF_ERROR(ReadAll(&length, sizeof(length)));
-  if (length > kMaxFrameBytes) {
+  // Validate the prefix before allocating: a hostile or corrupt frame must
+  // not drive a multi-GB allocation.
+  if (length > max_frame_bytes_) {
     return Status::DataLoss("oversized frame: " + std::to_string(length));
   }
   std::vector<uint8_t> bytes(length);
-  FS_RETURN_IF_ERROR(ReadAll(bytes.data(), bytes.size()));
+  Status body = ReadAll(bytes.data(), bytes.size());
+  if (!body.ok()) {
+    // Once the length prefix is consumed, any timeout truncates the frame.
+    if (body.code() == StatusCode::kDeadlineExceeded) {
+      return Status::DataLoss("recv timeout mid-frame");
+    }
+    return body;
+  }
   return DecodeMessage(bytes);
 }
 

@@ -1,6 +1,7 @@
 #ifndef FEDSCOPE_COMM_SOCKET_TRANSPORT_H_
 #define FEDSCOPE_COMM_SOCKET_TRANSPORT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -8,6 +9,31 @@
 #include "fedscope/util/status.h"
 
 namespace fedscope {
+
+/// Hard cap against hostile/corrupt length prefixes: frames claiming more
+/// than this are rejected with DataLoss before any allocation happens.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 256u << 20;  // 256 MiB
+
+/// Transport tuning for distributed mode. Defaults reproduce the
+/// untuned behaviour: one connect attempt, blocking I/O, default frame cap.
+struct TransportOptions {
+  /// Connection attempts before giving up (values < 1 behave as 1).
+  /// Retries back off exponentially from `retry_base_delay_ms`, doubling
+  /// per attempt up to `retry_max_delay_ms`; each delay is multiplied by a
+  /// seeded uniform jitter in [0.5, 1.5) so a fleet of clients does not
+  /// reconnect in lockstep.
+  int connect_attempts = 1;
+  int retry_base_delay_ms = 20;
+  int retry_max_delay_ms = 1000;
+  /// Seed of the jitter stream (vary per client for decorrelated retries).
+  uint64_t retry_seed = 1;
+  /// Socket send/recv timeouts in seconds; 0 keeps fully blocking I/O.
+  /// A recv timeout between messages surfaces as DeadlineExceeded
+  /// (retryable: the peer is just idle); a timeout mid-frame surfaces as
+  /// DataLoss (the stream is truncated and unrecoverable).
+  double send_timeout = 0.0;
+  double recv_timeout = 0.0;
+};
 
 /// TCP transport for distributed mode: the same wire format used by the
 /// standalone simulator (comm/codec.h), framed with a 4-byte little-endian
@@ -20,9 +46,16 @@ class TcpConnection {
   /// Connects to host:port ("127.0.0.1" for local federations).
   static Result<TcpConnection> Connect(const std::string& host, int port);
 
+  /// Connect with seeded exponential backoff and the options' socket
+  /// timeouts applied to the resulting connection (self-healing startup:
+  /// clients may come up before the server's listener is bound).
+  static Result<TcpConnection> ConnectWithRetry(
+      const std::string& host, int port, const TransportOptions& options);
+
   /// Adopts an already-connected file descriptor (from TcpListener).
   explicit TcpConnection(int fd) : fd_(fd) {}
-  TcpConnection(TcpConnection&& other) noexcept : fd_(other.fd_) {
+  TcpConnection(TcpConnection&& other) noexcept
+      : fd_(other.fd_), max_frame_bytes_(other.max_frame_bytes_) {
     other.fd_ = -1;
   }
   TcpConnection& operator=(TcpConnection&& other) noexcept;
@@ -37,8 +70,17 @@ class TcpConnection {
   Status SendMessage(const Message& msg);
 
   /// Blocks until a full message arrives. DataLoss with message
-  /// "connection closed" on orderly EOF.
+  /// "connection closed" on orderly EOF; DataLoss on malformed frames
+  /// (length prefix beyond max_frame_bytes, validated before allocating);
+  /// DeadlineExceeded when a configured recv timeout expires between
+  /// messages (retryable — see TransportOptions::recv_timeout).
   Result<Message> ReceiveMessage();
+
+  /// Applies SO_SNDTIMEO / SO_RCVTIMEO (0 disables the respective one).
+  Status SetTimeouts(double send_seconds, double recv_seconds);
+
+  /// Overrides the frame-size cap (testing / small-memory deployments).
+  void set_max_frame_bytes(uint32_t limit) { max_frame_bytes_ = limit; }
 
   /// Shuts down and closes the socket (idempotent).
   void Close();
@@ -48,6 +90,7 @@ class TcpConnection {
   Status ReadAll(void* data, size_t size);
 
   int fd_ = -1;
+  uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
 };
 
 /// Listening socket; Accept yields TcpConnections.

@@ -40,6 +40,11 @@ class DistributedServerHost::Router : public CommChannel {
       FS_LOG(Warning) << "no connection for client " << msg.receiver;
       return;
     }
+    // The first finish broadcast marks course end. The flag must be set
+    // before the bytes hit the wire: a client can receive finish and hang
+    // up before the event loop regains control, and its EOF must already
+    // read as orderly.
+    if (msg.msg_type == events::kFinish) host_->course_finished_.store(true);
     Message stamped = msg;
     stamped.timestamp = NowSeconds();
     if (host_->obs_ != nullptr) host_->obs_->OnChannelSend(stamped);
@@ -56,17 +61,26 @@ class DistributedServerHost::Router : public CommChannel {
 
 DistributedServerHost::DistributedServerHost(
     ServerOptions options, Model global_model,
-    std::unique_ptr<Aggregator> aggregator, TcpListener listener)
-    : listener_(std::move(listener)), router_(new Router(this)) {
+    std::unique_ptr<Aggregator> aggregator, TcpListener listener,
+    TransportOptions transport)
+    : listener_(std::move(listener)),
+      transport_(transport),
+      router_(new Router(this)) {
   FS_CHECK(options.strategy != Strategy::kAsyncTime)
       << "kAsyncTime needs the standalone simulator's timer service";
+  FS_CHECK_EQ(options.receive_deadline, 0.0)
+      << "receive_deadline rides the standalone simulator's timer service; "
+         "the distributed host detects failure through mid-course EOF";
   server_ = std::make_unique<Server>(std::move(options),
                                      std::move(global_model),
                                      std::move(aggregator), router_.get());
 }
 
 DistributedServerHost::~DistributedServerHost() {
-  for (auto& [id, conn] : connections_) conn.Close();
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    for (auto& [id, conn] : connections_) conn.Close();
+  }
   for (auto& reader : readers_) {
     if (reader.joinable()) reader.join();
   }
@@ -74,18 +88,46 @@ DistributedServerHost::~DistributedServerHost() {
 
 void DistributedServerHost::PushIncoming(Message msg) {
   std::lock_guard<std::mutex> lock(mu_);
+  // At-least-once delivery makes retransmissions possible; suppress exact
+  // repeats here so the Server worker never sees them.
+  if (dedup_.IsDuplicate(msg)) return;
   incoming_.push_back(std::move(msg));
   cv_.notify_one();
 }
 
-void DistributedServerHost::ReaderLoop(TcpConnection* connection) {
+void DistributedServerHost::ReaderLoop(int client_id,
+                                       TcpConnection* connection) {
   // std::map nodes are stable, so the pointer captured at accept time
   // stays valid while later clients are still being inserted.
   while (true) {
     Result<Message> msg = connection->ReceiveMessage();
     if (!msg.ok()) {
+      if (msg.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // idle between messages (recv_timeout), not a failure
+      }
+      const bool orderly = course_finished_.load();
+      if (!orderly) {
+        // Mid-course EOF/corruption: treat the client as failed. Drop the
+        // connection so the router stops addressing it, and report the
+        // failure to the Server worker as an event — the worker decides
+        // how to degrade; no obs calls from this thread (MetricsRegistry
+        // is confined to the event-loop thread).
+        FS_LOG(Warning) << "client " << client_id
+                        << " failed mid-course: " << msg.status().ToString();
+        {
+          std::lock_guard<std::mutex> lock(send_mu_);
+          connections_.erase(client_id);  // `connection` dangles hereafter
+        }
+        Message failure;
+        failure.sender = client_id;
+        failure.receiver = kServerId;
+        failure.msg_type = events::kClientFailure;
+        failure.timestamp = NowSeconds();
+        PushIncoming(std::move(failure));
+      }
       std::lock_guard<std::mutex> lock(mu_);
       ++eof_count_;
+      if (!orderly) ++failed_clients_;
       cv_.notify_one();
       return;
     }
@@ -115,14 +157,26 @@ ServerStats DistributedServerHost::Run() {
           << "duplicate client id " << id;
       connection = &connections_.emplace(id, std::move(conn.value()))
                         .first->second;
+      Status timeouts = connection->SetTimeouts(transport_.send_timeout,
+                                                transport_.recv_timeout);
+      if (!timeouts.ok()) {
+        FS_LOG(Warning) << "timeouts for client " << id
+                        << " not applied: " << timeouts.ToString();
+      }
     }
-    readers_.emplace_back(
-        [this, connection] { ReaderLoop(connection); });
     // Deliver the join to the server worker (triggers assign_id and,
-    // on the last join, all_joined_in -> first broadcast).
+    // on the last join, all_joined_in -> first broadcast). Record it in
+    // the suppressor first so a retransmitted join_in is caught.
     Message join = std::move(hello.value());
     join.timestamp = NowSeconds();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      dedup_.IsDuplicate(join);
+    }
+    readers_.emplace_back(
+        [this, id, connection] { ReaderLoop(id, connection); });
     server_->HandleMessage(join);
+    if (server_->finished()) course_finished_.store(true);
   }
 
   // Phase 2: event loop until the course finishes and clients hang up.
@@ -143,6 +197,7 @@ ServerStats DistributedServerHost::Run() {
     }
     msg.timestamp = NowSeconds();
     server_->HandleMessage(msg);
+    if (server_->finished()) course_finished_.store(true);
   }
   return server_->stats();
 }
@@ -154,8 +209,9 @@ ServerStats DistributedServerHost::Run() {
 /// CommChannel that writes the client's outgoing messages to the server.
 class DistributedClientHost::Uplink : public CommChannel {
  public:
-  Status Open(const std::string& host, int port) {
-    auto conn = TcpConnection::Connect(host, port);
+  Status Open(const std::string& host, int port,
+              const TransportOptions& transport) {
+    auto conn = TcpConnection::ConnectWithRetry(host, port, transport);
     if (!conn.ok()) return conn.status();
     connection_ = std::move(conn.value());
     return Status::Ok();
@@ -189,9 +245,9 @@ void DistributedClientHost::set_obs(const ObsContext* obs) {
 DistributedClientHost::DistributedClientHost(
     int client_id, ClientOptions options, Model model, SplitDataset data,
     std::unique_ptr<BaseTrainer> trainer, const std::string& server_host,
-    int server_port)
+    int server_port, TransportOptions transport)
     : uplink_(new Uplink()) {
-  connect_status_ = uplink_->Open(server_host, server_port);
+  connect_status_ = uplink_->Open(server_host, server_port, transport);
   client_ = std::make_unique<Client>(client_id, std::move(options),
                                      std::move(model), std::move(data),
                                      std::move(trainer), uplink_.get());
@@ -205,6 +261,9 @@ Status DistributedClientHost::Run() {
   while (!client_->finished()) {
     auto msg = uplink_->Receive();
     if (!msg.ok()) {
+      if (msg.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // idle between rounds (recv_timeout), keep waiting
+      }
       uplink_->Close();
       return msg.status();
     }

@@ -1,6 +1,7 @@
 #ifndef FEDSCOPE_CORE_DISTRIBUTED_H_
 #define FEDSCOPE_CORE_DISTRIBUTED_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -12,6 +13,7 @@
 #include "fedscope/comm/socket_transport.h"
 #include "fedscope/core/client.h"
 #include "fedscope/core/server.h"
+#include "fedscope/fault/dedup.h"
 
 namespace fedscope {
 
@@ -34,13 +36,31 @@ namespace fedscope {
 class DistributedServerHost {
  public:
   /// The listener determines the port (use TcpListener::Bind(0) and
-  /// publish listener.port() to clients).
+  /// publish listener.port() to clients). `transport` timeouts are applied
+  /// to every accepted connection; a recv timeout keeps reader threads
+  /// responsive without treating idle clients as failed.
+  /// ServerOptions::receive_deadline must stay 0 here: the distributed host
+  /// detects failure through mid-course EOF, not virtual-time deadlines.
   DistributedServerHost(ServerOptions options, Model global_model,
                         std::unique_ptr<Aggregator> aggregator,
-                        TcpListener listener);
+                        TcpListener listener,
+                        TransportOptions transport = {});
   ~DistributedServerHost();
 
   Server* server() { return server_.get(); }
+
+  /// Clients whose connection dropped before the course finished. Each one
+  /// was reported to the Server worker as a client_failure event.
+  int64_t failed_clients() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failed_clients_;
+  }
+
+  /// Retransmitted messages suppressed before reaching the Server worker.
+  int64_t duplicates_suppressed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dedup_.suppressed();
+  }
 
   /// Attaches observability sinks (borrowed; must outlive the host) to the
   /// server worker and the outgoing router. Distributed-mode timestamps are
@@ -58,17 +78,24 @@ class DistributedServerHost {
   /// Outgoing channel: routes by msg.receiver over the TCP connections.
   class Router;
 
-  void ReaderLoop(TcpConnection* connection);
+  void ReaderLoop(int client_id, TcpConnection* connection);
   void PushIncoming(Message msg);
 
   TcpListener listener_;
+  TransportOptions transport_;
   std::unique_ptr<Router> router_;
   std::unique_ptr<Server> server_;
   const ObsContext* obs_ = nullptr;
 
-  std::mutex mu_;
+  /// Set by the event-loop thread once the Server worker finished; readers
+  /// use it to tell an orderly course-end hangup from a mid-course failure.
+  std::atomic<bool> course_finished_{false};
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> incoming_;
+  DuplicateSuppressor dedup_;  // guarded by mu_
+  int64_t failed_clients_ = 0;  // guarded by mu_
   int eof_count_ = 0;
 
   std::map<int, TcpConnection> connections_;
@@ -81,11 +108,14 @@ class DistributedServerHost {
 class DistributedClientHost {
  public:
   /// `client_id` must be unique across the federation (1-based) and is
-  /// announced to the server in the join_in message.
+  /// announced to the server in the join_in message. `transport` governs
+  /// connect retry/backoff (clients may start before the server's listener
+  /// is bound) and socket timeouts; defaults keep the untuned behaviour.
   DistributedClientHost(int client_id, ClientOptions options, Model model,
                         SplitDataset data,
                         std::unique_ptr<BaseTrainer> trainer,
-                        const std::string& server_host, int server_port);
+                        const std::string& server_host, int server_port,
+                        TransportOptions transport = {});
   ~DistributedClientHost();
 
   Client* client() { return client_.get(); }

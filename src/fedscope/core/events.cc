@@ -22,6 +22,9 @@ EventClass ClassifyEvent(const std::string& event) {
   if (std::find(msgs.begin(), msgs.end(), event) != msgs.end()) {
     return EventClass::kMessagePassing;
   }
+  // Delivered as a message despite being a Table 2 extension (it is kept
+  // out of BuiltinMessageEvents, which reproduces the table verbatim).
+  if (event == events::kClientFailure) return EventClass::kMessagePassing;
   return EventClass::kConditionChecking;
 }
 

@@ -28,6 +28,11 @@ inline constexpr char kMetrics[] = "metrics";
 inline constexpr char kFinish[] = "finish";
 /// Simulator -> server: a scheduled timer fired (drives "time_up").
 inline constexpr char kTimer[] = "timer";
+/// Transport/simulator -> server: a participant failed mid-course (its
+/// connection dropped, or the fault model declared it dead). Extension
+/// beyond the paper's Table 2, so deliberately not in
+/// BuiltinMessageEvents (which reproduces the table verbatim).
+inline constexpr char kClientFailure[] = "client_failure";
 
 // ---------------------------------------------------------------------------
 // Events related to condition checking (paper §3.2). Raised internally by a
@@ -51,6 +56,10 @@ inline constexpr char kPerformanceDrop[] = "performance_drop";
 /// The client's available bandwidth is below its configured threshold;
 /// the default handler reduces communication frequency (paper §3.2).
 inline constexpr char kLowBandwidth[] = "low_bandwidth";
+/// The synchronous receive deadline expired with enough updates buffered:
+/// aggregate the partial cohort (graceful degradation; extension beyond
+/// Table 2, so deliberately not in BuiltinConditionEvents).
+inline constexpr char kReceiveDeadline[] = "receive_deadline";
 
 }  // namespace events
 

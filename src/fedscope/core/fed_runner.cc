@@ -38,11 +38,21 @@ void FedRunner::BuildWorkers() {
     };
   }
 
+  fault_plan_ = FaultPlan(job_.fault, n);
+  CommChannel* channel = this;
+  if (fault_plan_.enabled()) {
+    // Workers are wired to the fault decorator instead of the queue; the
+    // workers themselves stay unchanged (architecture invariant).
+    fault_channel_ =
+        std::make_unique<FaultInjectingChannel>(this, &fault_plan_);
+    channel = fault_channel_.get();
+  }
+
   ServerOptions server_options = job_.server;
   server_options.expected_clients = n;
   if (server_options.seed == 0) server_options.seed = job_.seed;
   server_ = std::make_unique<Server>(server_options, job_.init_model,
-                                     job_.aggregator_factory(), this);
+                                     job_.aggregator_factory(), channel);
   if (job_.evaluator) {
     server_->set_evaluator(job_.evaluator);
   } else {
@@ -62,13 +72,14 @@ void FedRunner::BuildWorkers() {
     if (job_.client_customizer) job_.client_customizer(id, &options);
     clients_.push_back(std::make_unique<Client>(
         id, std::move(options), job_.init_model, job_.data->clients[i],
-        job_.trainer_factory(id), this));
+        job_.trainer_factory(id), channel));
   }
 
   if (job_.obs.enabled()) {
     queue_.set_obs(&job_.obs);
     server_->set_obs(&job_.obs);
     for (auto& client : clients_) client->set_obs(&job_.obs);
+    if (fault_channel_ != nullptr) fault_channel_->set_obs(&job_.obs);
   }
 }
 
@@ -106,16 +117,30 @@ CompletenessReport FedRunner::CheckCompleteness() const {
   bridge(events::kModelUpdate, events::kGoalAchieved);
   bridge(events::kModelUpdate, events::kTargetReached);
   bridge(events::kModelUpdate, events::kEarlyStop);
+  const bool deadline =
+      job_.server.receive_deadline > 0.0 &&
+      (job_.server.strategy == Strategy::kSyncVanilla ||
+       job_.server.strategy == Strategy::kSyncOverselect);
   if (job_.server.strategy == Strategy::kAsyncTime) {
     // The server schedules timer messages to itself at course start and
     // after each aggregation.
     bridge(events::kAllJoinedIn, events::kTimer);
     bridge(events::kTimer, events::kTimeUp);
     bridge(events::kTimeUp, events::kTimer);
+  } else if (deadline) {
+    // The receive deadline drives the same timer chain, firing the
+    // partial-aggregation condition instead of time_up.
+    bridge(events::kAllJoinedIn, events::kTimer);
+    bridge(events::kTimer, events::kReceiveDeadline);
+    bridge(events::kReceiveDeadline, events::kTimer);
+    checker.MarkOptional(events::kTimeUp);
   } else {
     checker.MarkOptional(events::kTimer);
     checker.MarkOptional(events::kTimeUp);
   }
+  if (!deadline) checker.MarkOptional(events::kReceiveDeadline);
+  // Failure handling is registered but only exercised when faults occur.
+  checker.MarkOptional(events::kClientFailure);
   // Built-in capabilities that a particular course may not exercise.
   checker.MarkOptional(events::kEvaluate);
   checker.MarkOptional(events::kMetrics);

@@ -9,6 +9,8 @@
 #include "fedscope/core/completeness.h"
 #include "fedscope/core/server.h"
 #include "fedscope/data/dataset.h"
+#include "fedscope/fault/fault_channel.h"
+#include "fedscope/fault/fault_plan.h"
 #include "fedscope/obs/obs_context.h"
 #include "fedscope/sim/event_queue.h"
 
@@ -42,6 +44,11 @@ struct FedJob {
   /// Route every message through the binary wire codec (encode + decode),
   /// proving backend independence at a small CPU cost.
   bool through_wire = false;
+  /// Fault model applied to the course through a FaultInjectingChannel
+  /// decorator (workers stay unchanged). All-null by default: the
+  /// decorator is not even constructed and behaviour is byte-identical to
+  /// a fault-free build. Seeded plans replay identically for equal seeds.
+  FaultPlanOptions fault;
   /// Run the completeness check before starting (error if incomplete).
   bool check_completeness = true;
   /// Observability sinks (borrowed; must outlive the runner). All-null by
@@ -84,6 +91,8 @@ class FedRunner : public CommChannel {
   Server* server() { return server_.get(); }
   Client* client(int id);
   int num_clients() const { return static_cast<int>(clients_.size()); }
+  /// The instantiated fault model (disabled when FedJob::fault is null).
+  const FaultPlan& fault_plan() const { return fault_plan_; }
 
  private:
   void BuildWorkers();
@@ -91,6 +100,8 @@ class FedRunner : public CommChannel {
 
   FedJob job_;
   EventQueue queue_;
+  FaultPlan fault_plan_;
+  std::unique_ptr<FaultInjectingChannel> fault_channel_;
   std::unique_ptr<Server> server_;
   std::vector<std::unique_ptr<Client>> clients_;  // index 0 -> client id 1
 };

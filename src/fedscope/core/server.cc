@@ -39,6 +39,10 @@ void Server::RegisterDefaultHandlers() {
                      [this](const Message& msg) { OnTimer(msg); });
   registry_.Register(events::kMetrics,
                      [this](const Message& msg) { OnMetrics(msg); });
+  registry_.Register(
+      events::kClientFailure,
+      [this](const Message& msg) { OnClientFailure(msg); },
+      /*emits=*/{events::kModelPara});
 
   // Condition events of §3.3: which one fires is decided by the checks in
   // OnModelUpdate / OnTimer; what it does is a swappable handler.
@@ -61,6 +65,12 @@ void Server::RegisterDefaultHandlers() {
   registry_.Register(
       events::kTimeUp,
       [this](const Message& msg) { PerformAggregation(events::kTimeUp, msg); },
+      /*emits=*/{events::kModelPara});
+  registry_.Register(
+      events::kReceiveDeadline,
+      [this](const Message& msg) {
+        PerformAggregation(events::kReceiveDeadline, msg);
+      },
       /*emits=*/{events::kModelPara});
   std::vector<std::string> finish_emits = {events::kFinish};
   if (options_.collect_client_metrics) {
@@ -111,7 +121,7 @@ void Server::StartTraining(const Message& context) {
                << " clients; strategy handlers: "
                << registry_.RegisteredEvents().size();
   Replenish(context.timestamp);
-  if (options_.strategy == Strategy::kAsyncTime) {
+  if (options_.strategy == Strategy::kAsyncTime || deadline_active()) {
     ScheduleTimer(context.timestamp);
   }
 }
@@ -173,11 +183,14 @@ void Server::Replenish(double timestamp) {
 }
 
 void Server::ScheduleTimer(double now) {
+  const double delay = options_.strategy == Strategy::kAsyncTime
+                           ? options_.time_budget
+                           : options_.receive_deadline;
   Message timer;
   timer.receiver = id_;
   timer.msg_type = events::kTimer;
   timer.state = round_;
-  timer.timestamp = now + options_.time_budget;
+  timer.timestamp = now + delay;
   Send(std::move(timer));
 }
 
@@ -292,6 +305,11 @@ void Server::OnModelUpdate(const Message& msg) {
 void Server::OnTimer(const Message& msg) {
   if (finished_ || !started_) return;
   if (msg.state != round_) return;  // a timer from a completed round
+  if (deadline_active()) {
+    HandleReceiveDeadline(msg);
+    return;
+  }
+  if (options_.strategy != Strategy::kAsyncTime) return;  // stray timer
   if (static_cast<int>(buffer_.size()) >= options_.min_received) {
     RaiseEvent(events::kTimeUp, msg);
   } else {
@@ -299,8 +317,114 @@ void Server::OnTimer(const Message& msg) {
     FS_LOG(Debug) << "round " << round_
                   << " time budget expired with too little feedback; "
                      "extending round";
+    if (CountExtensionAndCheckBackstop(events::kTimeUp, msg)) return;
     Replenish(msg.timestamp);
     ScheduleTimer(msg.timestamp);
+  }
+}
+
+bool Server::CountExtensionAndCheckBackstop(const std::string& aggregate_event,
+                                            const Message& msg) {
+  ++stats_.round_extensions;
+  ++extensions_this_round_;
+  if (obs_ != nullptr && obs_->enabled()) {
+    obs_->Count("fs_server_round_extensions_total");
+  }
+  if (extensions_this_round_ <= options_.max_round_extensions) return false;
+  // Liveness backstop: a round that stays starved through this many
+  // extensions will never complete normally (e.g. the whole fleet is
+  // dead). Aggregate whatever arrived, or give the course up.
+  if (!buffer_.empty()) {
+    FS_LOG(Warning) << "round " << round_ << " starved after "
+                    << options_.max_round_extensions
+                    << " extensions; aggregating " << buffer_.size()
+                    << " updates below min_received";
+    RaiseEvent(aggregate_event, msg);
+    return true;
+  }
+  FS_LOG(Warning) << "round " << round_ << " starved after "
+                  << options_.max_round_extensions
+                  << " extensions with no feedback at all; aborting course";
+  stats_.aborted = true;
+  FinishCourse(msg);
+  return true;
+}
+
+void Server::HandleReceiveDeadline(const Message& msg) {
+  if (static_cast<int>(buffer_.size()) >= options_.min_received) {
+    // Graceful degradation: aggregate the partial cohort instead of
+    // blocking on the missing members.
+    RaiseEvent(events::kReceiveDeadline, msg);
+    return;
+  }
+  if (CountExtensionAndCheckBackstop(events::kReceiveDeadline, msg)) return;
+  // Too little feedback to degrade onto: presume the outstanding cohort
+  // dead and hand its slots to idle clients. Replacements are sampled
+  // before the slots are freed, so a presumed-dead client cannot be drawn
+  // as its own replacement.
+  std::vector<int> outstanding;
+  for (const auto& [id, round] : busy_) {
+    if (round == round_) outstanding.push_back(id);
+  }
+  std::vector<int> replacements =
+      SampleIdle(static_cast<int>(outstanding.size()));
+  for (int id : outstanding) busy_.erase(id);
+  stats_.dropouts += static_cast<int64_t>(outstanding.size());
+  stats_.replacements += static_cast<int64_t>(replacements.size());
+  if (obs_ != nullptr && obs_->enabled()) {
+    pending_dropouts_ += static_cast<int64_t>(outstanding.size());
+    pending_replacements_ += static_cast<int64_t>(replacements.size());
+    obs_->Count("fs_server_dropouts_total",
+                static_cast<double>(outstanding.size()));
+    obs_->Count("fs_server_replacements_total",
+                static_cast<double>(replacements.size()));
+  }
+  FS_LOG(Debug) << "round " << round_ << " receive deadline expired; "
+                << outstanding.size() << " presumed dead, "
+                << replacements.size() << " replacements";
+  sampled_this_round_ =
+      static_cast<int>(buffer_.size() + replacements.size());
+  BroadcastModel(replacements, msg.timestamp);
+  ScheduleTimer(msg.timestamp);
+  if (replacements.empty() && busy_.empty() && !buffer_.empty()) {
+    // Nobody is left in flight, so no further update can arrive; waiting
+    // out more deadlines cannot improve on what is buffered.
+    RaiseEvent(events::kReceiveDeadline, msg);
+  }
+}
+
+void Server::OnClientFailure(const Message& msg) {
+  if (finished_) return;
+  const int id = msg.sender;
+  FS_LOG(Warning) << "client " << id << " failed; removed from the course";
+  clients_.erase(id);
+  ++stats_.dropouts;
+  const bool record_obs = obs_ != nullptr && obs_->enabled();
+  if (record_obs) {
+    ++pending_dropouts_;
+    obs_->Count("fs_server_dropouts_total");
+  }
+  const auto it = busy_.find(id);
+  if (it == busy_.end()) return;  // nothing was in flight on this client
+  busy_.erase(it);
+  if (!started_) return;
+  // Hand the dead client's cohort slot to an idle client, keeping the
+  // cohort (and the synchronous trigger) at its size; shrink the cohort
+  // when nobody is available.
+  std::vector<int> replacement = SampleIdle(1);
+  if (!replacement.empty()) {
+    ++stats_.replacements;
+    if (record_obs) {
+      ++pending_replacements_;
+      obs_->Count("fs_server_replacements_total");
+    }
+    BroadcastModel(replacement, msg.timestamp);
+    return;
+  }
+  if (sampled_this_round_ > 0) --sampled_this_round_;
+  if (options_.strategy == Strategy::kSyncVanilla && !buffer_.empty() &&
+      static_cast<int>(buffer_.size()) >= sampled_this_round_) {
+    RaiseEvent(events::kAllReceived, msg);
   }
 }
 
@@ -326,7 +450,14 @@ void Server::PerformAggregation(const std::string& trigger,
     usable.push_back(std::move(update));
   }
   buffer_.clear();
-  if (usable.empty()) return;
+  if (usable.empty()) {
+    // Everything buffered had gone stale: keep the round's timer chain
+    // alive so a deadline/budget-driven course cannot silently stall.
+    if (options_.strategy == Strategy::kAsyncTime || deadline_active()) {
+      ScheduleTimer(context.timestamp);
+    }
+    return;
+  }
 
   for (const auto& update : usable) {
     stats_.staleness_log.push_back(update.staleness);
@@ -343,6 +474,7 @@ void Server::PerformAggregation(const std::string& trigger,
 
   ++round_;
   stats_.rounds = round_;
+  extensions_this_round_ = 0;
 
   const size_t curve_size_before = stats_.curve.size();
   const bool stopped = EvaluateAndCheckStop(context);
@@ -355,7 +487,7 @@ void Server::PerformAggregation(const std::string& trigger,
   if (options_.broadcast == BroadcastManner::kAfterAggregating) {
     Replenish(context.timestamp);
   }
-  if (options_.strategy == Strategy::kAsyncTime) {
+  if (options_.strategy == Strategy::kAsyncTime || deadline_active()) {
     ScheduleTimer(context.timestamp);
   }
 }
@@ -395,6 +527,8 @@ void Server::RecordRound(const std::string& trigger, const Message& context,
     record.broadcasts = pending_broadcasts_;
     record.dropped_stale = pending_dropped_;
     record.declined = pending_declined_;
+    record.dropouts = pending_dropouts_;
+    record.replacements = pending_replacements_;
     if (evaluated) {
       record.evaluated = true;
       record.eval_accuracy = stats_.curve.back().second;
@@ -408,6 +542,8 @@ void Server::RecordRound(const std::string& trigger, const Message& context,
   pending_broadcasts_ = 0;
   pending_dropped_ = 0;
   pending_declined_ = 0;
+  pending_dropouts_ = 0;
+  pending_replacements_ = 0;
 }
 
 bool Server::EvaluateAndCheckStop(const Message& context) {

@@ -51,6 +51,18 @@ struct ServerOptions {
   /// Minimum buffered updates for a time_up aggregation to proceed;
   /// otherwise the server takes remedial measures (extends the round).
   int min_received = 1;
+  /// Per-round receive deadline (virtual seconds) for the synchronous
+  /// strategies: on expiry the server aggregates the partial cohort when
+  /// >= min_received updates are buffered, otherwise it presumes the
+  /// outstanding clients dead and samples replacements. 0 disables the
+  /// deadline (the paper-faithful blocking behaviour). Needs the
+  /// simulator's timer service, so standalone-only like kAsyncTime.
+  double receive_deadline = 0.0;
+  /// Backstop for the deadline / time-budget extension loop: after this
+  /// many consecutive extensions within one round the server aggregates
+  /// whatever is buffered, or aborts the course when the buffer is empty
+  /// (every participant presumed dead).
+  int max_round_extensions = 25;
   int max_rounds = 50;
   /// Stop once global test accuracy reaches this (0 disables).
   double target_accuracy = 0.0;
@@ -84,6 +96,17 @@ struct ServerStats {
   int64_t dropped_stale = 0;
   /// Training requests declined by clients (e.g. low_bandwidth behaviour).
   int64_t declined = 0;
+  /// Clients presumed dead: receive-deadline expiries in standalone mode,
+  /// mid-course connection failures in distributed mode.
+  int64_t dropouts = 0;
+  /// Replacement clients sampled into slots vacated by presumed-dead ones.
+  int64_t replacements = 0;
+  /// Round extensions taken (receive-deadline expiries with too little
+  /// feedback, plus the time_up remedial measures of §3.3.2).
+  int64_t round_extensions = 0;
+  /// The extension backstop gave up on a starved round and ended the
+  /// course early.
+  bool aborted = false;
   /// Client-reported test accuracy from the final metrics round
   /// (client id -> accuracy); filled when collect_client_metrics is on.
   std::map<int, double> client_metrics;
@@ -140,6 +163,16 @@ class Server : public BaseWorker {
   void OnModelUpdate(const Message& msg);
   void OnTimer(const Message& msg);
   void OnMetrics(const Message& msg);
+  void OnClientFailure(const Message& msg);
+  /// Sync-strategy receive-deadline expiry: partial aggregation when
+  /// enough updates are buffered, otherwise replace the presumed-dead
+  /// cohort and extend the round.
+  void HandleReceiveDeadline(const Message& msg);
+  /// Extension bookkeeping shared by the deadline and time_up remedial
+  /// paths. Returns true when the backstop fired (aggregate-or-abort was
+  /// taken and the caller must not extend further).
+  bool CountExtensionAndCheckBackstop(const std::string& aggregate_event,
+                                      const Message& msg);
 
   /// Handler bodies for the condition events. `trigger` names the
   /// condition event that fired (all_received / goal_achieved / time_up);
@@ -159,8 +192,15 @@ class Server : public BaseWorker {
   /// Brings the number of in-flight clients back up to the configured
   /// concurrency (+ over-selection margin for kSyncOverselect).
   void Replenish(double timestamp);
-  /// Schedules a "timer" message to self at now + time_budget.
+  /// Schedules a "timer" message to self at now + time_budget (kAsyncTime)
+  /// or now + receive_deadline (sync strategies with a deadline).
   void ScheduleTimer(double now);
+  /// True when the sync receive deadline is configured and applies.
+  bool deadline_active() const {
+    return options_.receive_deadline > 0.0 &&
+           (options_.strategy == Strategy::kSyncVanilla ||
+            options_.strategy == Strategy::kSyncOverselect);
+  }
   /// Evaluates the global model, updates the curve, and checks the
   /// termination conditions. Returns true if the course terminated.
   bool EvaluateAndCheckStop(const Message& context);
@@ -180,6 +220,7 @@ class Server : public BaseWorker {
   std::vector<double> resp_scores_;  // by client id - 1
   std::vector<ClientUpdate> buffer_;
   int sampled_this_round_ = 0;   // cohort size for all_received
+  int extensions_this_round_ = 0;  // consecutive extensions (backstop)
   int round_ = 0;
   bool started_ = false;
   bool finished_ = false;
@@ -196,6 +237,8 @@ class Server : public BaseWorker {
   int pending_broadcasts_ = 0;
   int64_t pending_dropped_ = 0;
   int64_t pending_declined_ = 0;
+  int64_t pending_dropouts_ = 0;
+  int64_t pending_replacements_ = 0;
 };
 
 }  // namespace fedscope

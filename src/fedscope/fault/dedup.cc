@@ -1,0 +1,20 @@
+#include "fedscope/fault/dedup.h"
+
+namespace fedscope {
+
+bool DuplicateSuppressor::IsDuplicate(const Message& msg) {
+  auto it = last_.find(msg.sender);
+  if (it != last_.end() && it->second.state == msg.state &&
+      it->second.msg_type == msg.msg_type &&
+      it->second.payload == msg.payload) {
+    ++suppressed_;
+    return true;
+  }
+  LastSeen& seen = last_[msg.sender];
+  seen.state = msg.state;
+  seen.msg_type = msg.msg_type;
+  seen.payload = msg.payload;
+  return false;
+}
+
+}  // namespace fedscope

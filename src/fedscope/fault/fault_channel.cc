@@ -1,0 +1,37 @@
+#include "fedscope/fault/fault_channel.h"
+
+namespace fedscope {
+
+void FaultInjectingChannel::Send(const Message& msg) {
+  if (plan_ == nullptr || !plan_->enabled()) {
+    inner_->Send(msg);
+    return;
+  }
+  const FaultPlan::MessageFate fate = plan_->Judge(msg);
+  if (fate.drop) {
+    if (obs_ != nullptr) {
+      obs_->Count("fs_fault_messages_dropped_total", 1.0,
+                  {{"type", msg.msg_type}});
+    }
+    return;
+  }
+  if (fate.extra_delay > 0.0) {
+    if (obs_ != nullptr) {
+      obs_->Count("fs_fault_messages_delayed_total", 1.0,
+                  {{"type", msg.msg_type}});
+    }
+    Message delayed = msg;
+    delayed.timestamp += fate.extra_delay;
+    inner_->Send(delayed);
+    if (fate.duplicate) inner_->Send(delayed);
+  } else {
+    inner_->Send(msg);
+    if (fate.duplicate) inner_->Send(msg);
+  }
+  if (fate.duplicate && obs_ != nullptr) {
+    obs_->Count("fs_fault_messages_duplicated_total", 1.0,
+                {{"type", msg.msg_type}});
+  }
+}
+
+}  // namespace fedscope

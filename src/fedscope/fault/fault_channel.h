@@ -1,0 +1,35 @@
+#ifndef FEDSCOPE_FAULT_FAULT_CHANNEL_H_
+#define FEDSCOPE_FAULT_FAULT_CHANNEL_H_
+
+#include "fedscope/comm/channel.h"
+#include "fedscope/fault/fault_plan.h"
+#include "fedscope/obs/obs_context.h"
+
+namespace fedscope {
+
+/// CommChannel decorator that applies a FaultPlan to in-flight messages:
+/// drops, duplicates, or delays them before they reach the inner channel.
+/// Workers stay unchanged (the architecture invariant) — they just happen
+/// to be wired to a lossy channel. With a disabled plan every message is
+/// forwarded verbatim, so the decorator adds no behaviour.
+class FaultInjectingChannel : public CommChannel {
+ public:
+  /// Both pointers are borrowed and must outlive the channel.
+  FaultInjectingChannel(CommChannel* inner, FaultPlan* plan)
+      : inner_(inner), plan_(plan) {}
+
+  void Send(const Message& msg) override;
+
+  /// Attaches observability sinks (borrowed; null restores the no-op
+  /// default). Injected faults are then counted by type and cause.
+  void set_obs(const ObsContext* obs) { obs_ = obs; }
+
+ private:
+  CommChannel* inner_;
+  FaultPlan* plan_;
+  const ObsContext* obs_ = nullptr;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_FAULT_FAULT_CHANNEL_H_

@@ -1,0 +1,99 @@
+#include "fedscope/fault/fault_plan.h"
+
+#include <cmath>
+
+#include "fedscope/core/events.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+constexpr uint64_t kDefaultSeed = 0xFA017;
+
+bool IsDataPlane(const std::string& msg_type) {
+  return msg_type == events::kModelPara || msg_type == events::kModelUpdate ||
+         msg_type == events::kEvaluate || msg_type == events::kMetrics;
+}
+
+bool IsUplink(const std::string& msg_type) {
+  return msg_type == events::kModelUpdate || msg_type == events::kMetrics;
+}
+
+std::set<int> PickClients(double frac, int num_clients, Rng* rng) {
+  std::set<int> picked;
+  if (frac <= 0.0 || num_clients <= 0) return picked;
+  const auto k = static_cast<int64_t>(
+      std::lround(frac * static_cast<double>(num_clients)));
+  for (int64_t idx : rng->SampleWithoutReplacement(num_clients, k)) {
+    picked.insert(static_cast<int>(idx) + 1);  // client ids are 1-based
+  }
+  return picked;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultPlanOptions& options, int num_clients)
+    : options_(options) {
+  FS_CHECK_GE(options_.dropout_frac, 0.0);
+  FS_CHECK_LE(options_.dropout_frac, 1.0);
+  FS_CHECK_GE(options_.straggler_frac, 0.0);
+  FS_CHECK_LE(options_.straggler_frac, 1.0);
+  enabled_ = options_.dropout_frac > 0.0 ||
+             options_.crash_after_training_prob > 0.0 ||
+             (options_.straggler_frac > 0.0 &&
+              options_.straggler_delay > 0.0) ||
+             options_.msg_loss_prob > 0.0 ||
+             options_.msg_duplicate_prob > 0.0 ||
+             (options_.msg_delay_prob > 0.0 && options_.msg_delay_max > 0.0);
+  if (!enabled_) return;
+  const Rng seeder(options_.seed != 0 ? options_.seed : kDefaultSeed);
+  Rng dropout_rng = seeder.Fork(1);
+  Rng straggler_rng = seeder.Fork(2);
+  dropped_ = PickClients(options_.dropout_frac, num_clients, &dropout_rng);
+  stragglers_ =
+      PickClients(options_.straggler_frac, num_clients, &straggler_rng);
+  rng_ = seeder.Fork(3);
+}
+
+FaultPlan::MessageFate FaultPlan::Judge(const Message& msg) {
+  MessageFate fate;
+  if (!enabled_ || !IsDataPlane(msg.msg_type)) return fate;
+
+  if (IsUplink(msg.msg_type)) {
+    if (IsDropped(msg.sender)) {
+      // The device went dark after joining: its uplink never arrives.
+      fate.drop = true;
+      ++counters_.dropout_suppressed;
+      return fate;
+    }
+    if (msg.msg_type == events::kModelUpdate &&
+        options_.crash_after_training_prob > 0.0 &&
+        rng_.Bernoulli(options_.crash_after_training_prob)) {
+      fate.drop = true;
+      ++counters_.crashes;
+      return fate;
+    }
+    if (IsStraggler(msg.sender)) {
+      fate.extra_delay += options_.straggler_delay;
+    }
+  }
+
+  if (options_.msg_loss_prob > 0.0 && rng_.Bernoulli(options_.msg_loss_prob)) {
+    fate.drop = true;
+    ++counters_.lost;
+    return fate;
+  }
+  if (options_.msg_duplicate_prob > 0.0 &&
+      rng_.Bernoulli(options_.msg_duplicate_prob)) {
+    fate.duplicate = true;
+    ++counters_.duplicated;
+  }
+  if (options_.msg_delay_prob > 0.0 && options_.msg_delay_max > 0.0 &&
+      rng_.Bernoulli(options_.msg_delay_prob)) {
+    fate.extra_delay += rng_.Uniform(0.0, options_.msg_delay_max);
+    ++counters_.delayed;
+  }
+  return fate;
+}
+
+}  // namespace fedscope

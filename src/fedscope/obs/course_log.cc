@@ -95,8 +95,14 @@ std::string CourseLog::ToJsonl() const {
        << ",\"downlink_bytes\":" << r.downlink_bytes
        << ",\"broadcasts\":" << r.broadcasts
        << ",\"dropped_stale\":" << r.dropped_stale
-       << ",\"declined\":" << r.declined
-       << ",\"evaluated\":" << (r.evaluated ? "true" : "false");
+       << ",\"declined\":" << r.declined;
+    // Fault fields appear only when faults occurred, keeping fault-free
+    // course logs byte-identical to the pre-fault format.
+    if (r.dropouts != 0 || r.replacements != 0) {
+      os << ",\"dropouts\":" << r.dropouts
+         << ",\"replacements\":" << r.replacements;
+    }
+    os << ",\"evaluated\":" << (r.evaluated ? "true" : "false");
     if (r.evaluated) {
       os << ",\"eval_accuracy\":" << FormatEval(r.eval_accuracy)
          << ",\"eval_loss\":" << FormatEval(r.eval_loss);
@@ -109,13 +115,14 @@ std::string CourseLog::ToJsonl() const {
 std::string CourseLog::ToCsv() const {
   std::ostringstream os;
   os << "round,trigger,time,contributors,staleness,uplink_bytes,"
-        "downlink_bytes,broadcasts,dropped_stale,declined,evaluated,"
-        "eval_accuracy,eval_loss\n";
+        "downlink_bytes,broadcasts,dropped_stale,declined,dropouts,"
+        "replacements,evaluated,eval_accuracy,eval_loss\n";
   for (const auto& r : rounds_) {
     os << r.round << "," << r.trigger << "," << FormatTime(r.time) << ","
        << JoinInts(r.contributors, ";") << "," << JoinInts(r.staleness, ";")
        << "," << r.uplink_bytes << "," << r.downlink_bytes << ","
        << r.broadcasts << "," << r.dropped_stale << "," << r.declined << ","
+       << r.dropouts << "," << r.replacements << ","
        << (r.evaluated ? 1 : 0) << ","
        << (r.evaluated ? FormatEval(r.eval_accuracy) : "") << ","
        << (r.evaluated ? FormatEval(r.eval_loss) : "") << "\n";

@@ -39,6 +39,11 @@ struct CourseRoundRecord {
   int64_t dropped_stale = 0;
   /// Training requests declined by clients this round.
   int64_t declined = 0;
+  /// Clients presumed dead this round (receive-deadline expiries /
+  /// connection failures).
+  int64_t dropouts = 0;
+  /// Replacement clients sampled into vacated cohort slots this round.
+  int64_t replacements = 0;
   /// True when the server evaluated the global model after this round.
   bool evaluated = false;
   double eval_accuracy = 0.0;

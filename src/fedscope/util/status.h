@@ -19,6 +19,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kDataLoss,
+  kDeadlineExceeded,
 };
 
 /// A Status carries an error code plus a human-readable message.
@@ -54,6 +55,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +79,7 @@ class Status {
       case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
       case StatusCode::kInternal: return "INTERNAL";
       case StatusCode::kDataLoss: return "DATA_LOSS";
+      case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     }
     return "UNKNOWN";
   }

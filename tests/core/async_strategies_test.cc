@@ -161,6 +161,39 @@ TEST(AsyncStrategiesTest, CrashyFleetStallsSyncButNotTimeUp) {
   EXPECT_LT(stalled.server.rounds, 5);  // queue drained before finishing
 }
 
+TEST(AsyncStrategiesTest, TimeUpRemedialExtensionsAreCounted) {
+  // min_received = 8 of 10 concurrent with a budget far below even the
+  // fastest device's response time forces the remedial path (replenish +
+  // extend); the extension counter surfaces how often it fired. The cap is
+  // raised so the short budget cannot trip the starvation backstop.
+  FedJob job = BaseJob();
+  job.server.strategy = Strategy::kAsyncTime;
+  job.server.time_budget = 0.02;
+  job.server.min_received = 8;
+  job.server.max_round_extensions = 1000;
+  job.server.max_rounds = 4;
+  RunResult result = FedRunner(std::move(job)).Run();
+  EXPECT_EQ(result.server.rounds, 4);
+  EXPECT_GT(result.server.round_extensions, 0);
+  EXPECT_FALSE(result.server.aborted);
+}
+
+TEST(AsyncStrategiesTest, TimeUpBackstopAbortsWhenFleetIsDead) {
+  // Every device crashes on every task, so no extension can ever gather
+  // min_received updates. Without the backstop this configuration would
+  // re-arm timers forever; with it the course aborts after the cap.
+  FedJob job = BaseJob();
+  for (auto& device : job.fleet) device.crash_prob = 1.0;
+  job.server.strategy = Strategy::kAsyncTime;
+  job.server.time_budget = 5.0;
+  job.server.max_round_extensions = 2;
+  job.server.max_rounds = 4;
+  RunResult result = FedRunner(std::move(job)).Run();
+  EXPECT_TRUE(result.server.aborted);
+  EXPECT_EQ(result.server.rounds, 0);
+  EXPECT_GT(result.server.round_extensions, 0);
+}
+
 // ---------------------------------------------------------------------------
 // Property sweep: every strategy/broadcast/sampler combination is exactly
 // reproducible from its seed and respects the core invariants.

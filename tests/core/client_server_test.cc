@@ -545,6 +545,57 @@ TEST(ServerTest, StalenessLogRecordsContributions) {
   EXPECT_EQ(log[1], 1);
 }
 
+TEST(ServerTest, StalenessExactlyAtToleranceIsKept) {
+  // §3.3.1-i boundary: an update whose staleness equals the toleration is
+  // the oldest acceptable contribution — it must be aggregated, not dropped.
+  QueueChannel channel;
+  ServerOptions options;
+  options.expected_clients = 2;
+  options.concurrency = 2;
+  options.strategy = Strategy::kAsyncGoal;
+  options.aggregation_goal = 1;
+  options.staleness_tolerance = 1;
+  options.max_rounds = 10;
+  auto server = MakeServer(&channel, options);
+  server->HandleMessage(JoinFrom(1));
+  server->HandleMessage(JoinFrom(2));
+  while (!channel.Empty()) channel.Pop();
+  Model ref = TestModel(7);
+  server->HandleMessage(UpdateFrom(1, 0, &ref, 0.1f));  // round 0 -> 1
+  EXPECT_EQ(server->round(), 1);
+  server->HandleMessage(UpdateFrom(2, 0, &ref, 0.1f));  // staleness == 1
+  EXPECT_EQ(server->round(), 2);  // aggregated, round advanced
+  EXPECT_EQ(server->stats().dropped_stale, 0);
+  const auto& log = server->stats().staleness_log;
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[1], 1);  // kept at exactly the toleration
+}
+
+TEST(ServerTest, StalenessOnePastToleranceIsDropped) {
+  // One version past the toleration flips the verdict: the update is
+  // discarded entirely and contributes nothing to any aggregation.
+  QueueChannel channel;
+  ServerOptions options;
+  options.expected_clients = 2;
+  options.concurrency = 2;
+  options.strategy = Strategy::kAsyncGoal;
+  options.aggregation_goal = 1;
+  options.staleness_tolerance = 1;
+  options.max_rounds = 10;
+  auto server = MakeServer(&channel, options);
+  server->HandleMessage(JoinFrom(1));
+  server->HandleMessage(JoinFrom(2));
+  while (!channel.Empty()) channel.Pop();
+  Model ref = TestModel(7);
+  server->HandleMessage(UpdateFrom(1, 0, &ref, 0.1f));  // round 0 -> 1
+  server->HandleMessage(UpdateFrom(1, 1, &ref, 0.1f));  // round 1 -> 2
+  EXPECT_EQ(server->round(), 2);
+  server->HandleMessage(UpdateFrom(2, 0, &ref, 0.1f));  // staleness == 2
+  EXPECT_EQ(server->round(), 2);  // dropped: no aggregation happened
+  EXPECT_EQ(server->stats().dropped_stale, 1);
+  EXPECT_EQ(server->stats().staleness_log.size(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Extensibility: new <event, handler> pairs with user-defined message
 // types (paper §3.6 — "users can add new events related to message passing

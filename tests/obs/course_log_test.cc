@@ -73,6 +73,16 @@ TEST(CourseLogTest, JsonlOneObjectPerRound) {
   // Eval fields are omitted for unevaluated rounds.
   EXPECT_EQ(line2.find("eval_accuracy"), std::string::npos);
   EXPECT_NE(line2.find("\"evaluated\":false"), std::string::npos);
+  // Fault fields are omitted for fault-free rounds (both lines above), and
+  // appear when a round saw dropouts or replacements.
+  EXPECT_EQ(line1.find("dropouts"), std::string::npos);
+  CourseRoundRecord faulty = MakeRound(3, {4}, {0});
+  faulty.dropouts = 2;
+  faulty.replacements = 1;
+  log.Append(faulty);
+  const std::string jsonl3 = log.ToJsonl();
+  EXPECT_NE(jsonl3.find("\"dropouts\":2,\"replacements\":1"),
+            std::string::npos);
 }
 
 TEST(CourseLogTest, CsvHeaderAndJoinedCells) {
@@ -85,9 +95,9 @@ TEST(CourseLogTest, CsvHeaderAndJoinedCells) {
   ASSERT_TRUE(std::getline(is, row));
   EXPECT_EQ(header,
             "round,trigger,time,contributors,staleness,uplink_bytes,"
-            "downlink_bytes,broadcasts,dropped_stale,declined,evaluated,"
-            "eval_accuracy,eval_loss");
-  EXPECT_EQ(row, "1,all_received,10.000000,1;2,0;3,100,200,2,0,0,0,,");
+            "downlink_bytes,broadcasts,dropped_stale,declined,dropouts,"
+            "replacements,evaluated,eval_accuracy,eval_loss");
+  EXPECT_EQ(row, "1,all_received,10.000000,1;2,0;3,100,200,2,0,0,0,0,0,,");
 }
 
 TEST(CourseLogTest, IdenticalLogsExportIdentically) {
