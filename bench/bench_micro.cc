@@ -13,6 +13,7 @@
 #include "fedscope/privacy/paillier.h"
 #include "fedscope/privacy/secret_sharing.h"
 #include "fedscope/sim/event_queue.h"
+#include "fedscope/tensor/kernels.h"
 #include "fedscope/tensor/tensor_ops.h"
 
 namespace fedscope {
@@ -39,6 +40,54 @@ void BM_Conv2dForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2dForward);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransB(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulTransB)->Arg(64)->Arg(128);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(2);
+  Conv2d conv(3, 8, 3, 1, &rng);
+  Tensor x = Tensor::Randn({16, 3, 8, 8}, &rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor grad = Tensor::Randn(y.shape(), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Backward(grad));
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_Im2Col(benchmark::State& state) {
+  Rng rng(2);
+  const int64_t c = 8, hw = 16, k = 3, p = 1;
+  Tensor x = Tensor::Randn({c, hw, hw}, &rng);
+  const int64_t out = kernels::ConvOutDim(hw, k, p);
+  std::vector<float> cols(c * k * k * out * out);
+  for (auto _ : state) {
+    kernels::Im2Col(x.data(), c, hw, hw, k, p, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+  state.SetBytesProcessed(state.iterations() * cols.size() * sizeof(float));
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(13);
+  Tensor logits = Tensor::Randn({256, 64}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(logits));
+  }
+  state.SetItemsProcessed(state.iterations() * logits.numel());
+}
+BENCHMARK(BM_Softmax);
 
 void BM_ModelForwardBackward(benchmark::State& state) {
   Rng rng(3);

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Merge two google-benchmark JSON outputs into BENCH_kernels.json.
+
+The perf trajectory file keeps both the pre-optimization baseline and the
+current numbers so later PRs can regress-check against either:
+
+    ./bench/bench_micro --benchmark_filter='BM_MatMul|BM_MatMulTransB|...' \
+        --benchmark_out=now.json --benchmark_out_format=json \
+        --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+    python3 bench/make_bench_kernels.py baseline.json now.json \
+        > BENCH_kernels.json
+
+A benchmark present in only one input is kept with a null on the other side
+(new benchmarks have no pre-rewrite baseline).
+"""
+
+import json
+import sys
+
+
+def load_means(path):
+    """Returns {benchmark_name: real_time_ns}, preferring _mean aggregates."""
+    with open(path) as f:
+        doc = json.load(f)
+    means = {}
+    raw = {}
+    for b in doc.get("benchmarks", []):
+        name = b["name"]
+        if name.endswith("_mean"):
+            means[name[: -len("_mean")]] = b["real_time"]
+        elif b.get("run_type") != "aggregate":
+            raw.setdefault(name, b["real_time"])
+    return {**raw, **means}, doc.get("context", {})
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} baseline.json optimized.json")
+    baseline, _ = load_means(sys.argv[1])
+    optimized, context = load_means(sys.argv[2])
+    rows = {}
+    for name in sorted(set(baseline) | set(optimized)):
+        base = baseline.get(name)
+        opt = optimized.get(name)
+        rows[name] = {
+            "baseline_ns": round(base, 1) if base is not None else None,
+            "optimized_ns": round(opt, 1) if opt is not None else None,
+            "speedup": round(base / opt, 2) if base and opt else None,
+        }
+    out = {
+        "schema": 1,
+        "time_unit": "ns",
+        "note": "baseline = naive scalar kernels before the kernels.cc "
+                "rewrite; optimized = tiled GEMM / im2col conv. real_time "
+                "means of 3 repetitions.",
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+        },
+        "benchmarks": rows,
+    }
+    json.dump(out, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()

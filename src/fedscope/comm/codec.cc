@@ -155,8 +155,35 @@ Status ReadPayload(Reader* r, Payload* payload) {
 
 }  // namespace
 
+size_t EncodedPayloadSize(const Payload& payload) {
+  size_t size = sizeof(uint32_t);  // n_scalars
+  for (const auto& [key, value] : payload.scalars()) {
+    size += sizeof(uint32_t) + key.size() + sizeof(uint8_t);
+    if (std::holds_alternative<int64_t>(value)) {
+      size += sizeof(int64_t);
+    } else if (std::holds_alternative<double>(value)) {
+      size += sizeof(double);
+    } else {
+      size += sizeof(uint32_t) + std::get<std::string>(value).size();
+    }
+  }
+  size += sizeof(uint32_t);  // n_tensors
+  for (const auto& [key, tensor] : payload.tensors()) {
+    size += sizeof(uint32_t) + key.size() + sizeof(uint8_t) +
+            tensor.ndim() * sizeof(int64_t) + tensor.numel() * sizeof(float);
+  }
+  return size;
+}
+
+size_t EncodedMessageSize(const Message& msg) {
+  return sizeof(kMagic) + sizeof(uint16_t) + 2 * sizeof(int32_t) +
+         sizeof(uint32_t) + msg.msg_type.size() + sizeof(int32_t) +
+         sizeof(double) + EncodedPayloadSize(msg.payload);
+}
+
 std::vector<uint8_t> EncodeMessage(const Message& msg) {
   std::vector<uint8_t> out;
+  out.reserve(EncodedMessageSize(msg));
   Writer w(&out);
   w.Raw(kMagic, sizeof(kMagic));
   w.U16(kVersion);
@@ -194,6 +221,7 @@ Result<Message> DecodeMessage(const std::vector<uint8_t>& bytes) {
 
 std::vector<uint8_t> EncodePayload(const Payload& payload) {
   std::vector<uint8_t> out;
+  out.reserve(EncodedPayloadSize(payload));
   Writer w(&out);
   WritePayload(payload, &w);
   return out;

@@ -29,6 +29,12 @@ Result<Message> DecodeMessage(const std::vector<uint8_t>& bytes);
 std::vector<uint8_t> EncodePayload(const Payload& payload);
 Result<Payload> DecodePayload(const std::vector<uint8_t>& bytes);
 
+/// Exact encoded sizes, computed without encoding. Encode* reserves these
+/// up front so the send path does a single allocation; also usable by
+/// response models that cost a message before serializing it.
+size_t EncodedMessageSize(const Message& msg);
+size_t EncodedPayloadSize(const Payload& payload);
+
 /// Message partitioning into frames (paper §4.1: "the messages would be
 /// partitioned into several frames" before sharing). Each frame carries a
 /// header (frame index, frame count, total size) so frames can be

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "fedscope/tensor/kernels.h"
 #include "fedscope/tensor/tensor_ops.h"
 #include "fedscope/util/logging.h"
 
@@ -34,22 +36,21 @@ Tensor Linear::Forward(const Tensor& x, bool /*train*/) {
   FS_CHECK_EQ(x.dim(1), in_features_);
   cached_input_ = x;
   Tensor y = MatMul(x, weight_);
-  for (int64_t i = 0; i < y.dim(0); ++i) {
-    for (int64_t j = 0; j < out_features_; ++j) y.at(i, j) += bias_.at(j);
-  }
+  kernels::AddColBias(y.data(), bias_.data(), y.dim(0), out_features_);
   return y;
 }
 
 Tensor Linear::Backward(const Tensor& grad_out) {
   FS_CHECK_EQ(grad_out.ndim(), 2);
   FS_CHECK_EQ(grad_out.dim(1), out_features_);
-  // dW = x^T g, db = colsum(g), dx = g W^T.
-  AddInPlace(&weight_grad_, MatMulTransA(cached_input_, grad_out));
-  for (int64_t i = 0; i < grad_out.dim(0); ++i) {
-    for (int64_t j = 0; j < out_features_; ++j) {
-      bias_grad_.at(j) += grad_out.at(i, j);
-    }
-  }
+  const int64_t batch = grad_out.dim(0);
+  // dW = x^T g (accumulated straight into the grad tensor), db = colsum(g),
+  // dx = g W^T.
+  kernels::GemmTransA(in_features_, out_features_, batch,
+                      cached_input_.data(), grad_out.data(),
+                      weight_grad_.data());
+  kernels::ColSumsAccum(grad_out.data(), batch, out_features_,
+                        bias_grad_.data());
   return MatMulTransB(grad_out, weight_);
 }
 
@@ -92,27 +93,18 @@ Tensor Conv2d::Forward(const Tensor& x, bool /*train*/) {
   const int64_t out_w = in_w + 2 * padding_ - kernel_ + 1;
   FS_CHECK_GT(out_h, 0);
   FS_CHECK_GT(out_w, 0);
+  // im2col lowering: per image, y[oc, oh*ow] = W[oc, ic*k*k] @ cols + bias.
   Tensor y({batch, out_channels_, out_h, out_w});
+  const int64_t patch = in_channels_ * kernel_ * kernel_;
+  const int64_t spatial = out_h * out_w;
+  std::vector<float> cols(patch * spatial);
   for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t oc = 0; oc < out_channels_; ++oc) {
-      for (int64_t oh = 0; oh < out_h; ++oh) {
-        for (int64_t ow = 0; ow < out_w; ++ow) {
-          double acc = bias_.at(oc);
-          for (int64_t ic = 0; ic < in_channels_; ++ic) {
-            for (int64_t kh = 0; kh < kernel_; ++kh) {
-              const int64_t ih = oh + kh - padding_;
-              if (ih < 0 || ih >= in_h) continue;
-              for (int64_t kw = 0; kw < kernel_; ++kw) {
-                const int64_t iw = ow + kw - padding_;
-                if (iw < 0 || iw >= in_w) continue;
-                acc += x.at4(n, ic, ih, iw) * weight_.at4(oc, ic, kh, kw);
-              }
-            }
-          }
-          y.at4(n, oc, oh, ow) = static_cast<float>(acc);
-        }
-      }
-    }
+    kernels::Im2Col(x.data() + n * in_channels_ * in_h * in_w, in_channels_,
+                    in_h, in_w, kernel_, padding_, cols.data());
+    float* yn = y.data() + n * out_channels_ * spatial;
+    kernels::Gemm(out_channels_, spatial, patch, weight_.data(), cols.data(),
+                  yn);
+    kernels::AddRowBias(yn, bias_.data(), out_channels_, spatial);
   }
   return y;
 }
@@ -121,29 +113,25 @@ Tensor Conv2d::Backward(const Tensor& grad_out) {
   const Tensor& x = cached_input_;
   const int64_t batch = x.dim(0), in_h = x.dim(2), in_w = x.dim(3);
   const int64_t out_h = grad_out.dim(2), out_w = grad_out.dim(3);
+  const int64_t patch = in_channels_ * kernel_ * kernel_;
+  const int64_t spatial = out_h * out_w;
   Tensor grad_in(x.shape());
+  // Per image: db += rowsum(G), dW += G @ cols^T, d(cols) = W^T @ G, then
+  // col2im scatters d(cols) back into grad_in.
+  std::vector<float> cols(patch * spatial);
+  std::vector<float> grad_cols(patch * spatial);
   for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t oc = 0; oc < out_channels_; ++oc) {
-      for (int64_t oh = 0; oh < out_h; ++oh) {
-        for (int64_t ow = 0; ow < out_w; ++ow) {
-          const float g = grad_out.at4(n, oc, oh, ow);
-          if (g == 0.0f) continue;
-          bias_grad_.at(oc) += g;
-          for (int64_t ic = 0; ic < in_channels_; ++ic) {
-            for (int64_t kh = 0; kh < kernel_; ++kh) {
-              const int64_t ih = oh + kh - padding_;
-              if (ih < 0 || ih >= in_h) continue;
-              for (int64_t kw = 0; kw < kernel_; ++kw) {
-                const int64_t iw = ow + kw - padding_;
-                if (iw < 0 || iw >= in_w) continue;
-                weight_grad_.at4(oc, ic, kh, kw) += g * x.at4(n, ic, ih, iw);
-                grad_in.at4(n, ic, ih, iw) += g * weight_.at4(oc, ic, kh, kw);
-              }
-            }
-          }
-        }
-      }
-    }
+    const float* gn = grad_out.data() + n * out_channels_ * spatial;
+    kernels::RowSumsAccum(gn, out_channels_, spatial, bias_grad_.data());
+    kernels::Im2Col(x.data() + n * in_channels_ * in_h * in_w, in_channels_,
+                    in_h, in_w, kernel_, padding_, cols.data());
+    kernels::GemmTransB(out_channels_, patch, spatial, gn, cols.data(),
+                        weight_grad_.data());
+    std::fill(grad_cols.begin(), grad_cols.end(), 0.0f);
+    kernels::GemmTransA(patch, spatial, out_channels_, weight_.data(), gn,
+                        grad_cols.data());
+    kernels::Col2Im(grad_cols.data(), in_channels_, in_h, in_w, kernel_,
+                    padding_, grad_in.data() + n * in_channels_ * in_h * in_w);
   }
   return grad_in;
 }
@@ -167,18 +155,14 @@ std::unique_ptr<Layer> Conv2d::Clone() const {
 Tensor ReLU::Forward(const Tensor& x, bool /*train*/) {
   cached_input_ = x;
   Tensor y = x;
-  float* p = y.data();
-  for (int64_t i = 0; i < y.numel(); ++i) p[i] = std::max(p[i], 0.0f);
+  kernels::ReluForward(x.data(), y.data(), y.numel());
   return y;
 }
 
 Tensor ReLU::Backward(const Tensor& grad_out) {
   Tensor grad_in = grad_out;
-  const float* x = cached_input_.data();
-  float* g = grad_in.data();
-  for (int64_t i = 0; i < grad_in.numel(); ++i) {
-    if (x[i] <= 0.0f) g[i] = 0.0f;
-  }
+  kernels::ReluBackward(cached_input_.data(), grad_in.data(),
+                        grad_in.numel());
   return grad_in;
 }
 
@@ -188,17 +172,15 @@ std::unique_ptr<Layer> ReLU::Clone() const {
 
 Tensor Tanh::Forward(const Tensor& x, bool /*train*/) {
   Tensor y = x;
-  float* p = y.data();
-  for (int64_t i = 0; i < y.numel(); ++i) p[i] = std::tanh(p[i]);
+  kernels::TanhForward(x.data(), y.data(), y.numel());
   cached_output_ = y;
   return y;
 }
 
 Tensor Tanh::Backward(const Tensor& grad_out) {
   Tensor grad_in = grad_out;
-  const float* y = cached_output_.data();
-  float* g = grad_in.data();
-  for (int64_t i = 0; i < grad_in.numel(); ++i) g[i] *= 1.0f - y[i] * y[i];
+  kernels::TanhBackward(cached_output_.data(), grad_in.data(),
+                        grad_in.numel());
   return grad_in;
 }
 
@@ -258,28 +240,35 @@ Tensor MaxPool2d::Forward(const Tensor& x, bool /*train*/) {
   FS_CHECK_GT(out_w, 0);
   Tensor y({batch, channels, out_h, out_w});
   argmax_.assign(y.numel(), 0);
+  float* out = y.data();
   int64_t out_idx = 0;
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t c = 0; c < channels; ++c) {
-      for (int64_t oh = 0; oh < out_h; ++oh) {
-        for (int64_t ow = 0; ow < out_w; ++ow) {
-          float best = -std::numeric_limits<float>::infinity();
-          int64_t best_flat = 0;
-          for (int64_t dh = 0; dh < 2; ++dh) {
-            for (int64_t dw = 0; dw < 2; ++dw) {
-              const int64_t ih = oh * 2 + dh, iw = ow * 2 + dw;
-              const int64_t flat =
-                  ((n * channels + c) * in_h + ih) * in_w + iw;
-              if (x.at(flat) > best) {
-                best = x.at(flat);
-                best_flat = flat;
-              }
-            }
-          }
-          y.at(out_idx) = best;
-          argmax_[out_idx] = best_flat;
-          ++out_idx;
+  // Row-pointer scan over each 2x2 window; the (0,0),(0,1),(1,0),(1,1)
+  // strictly-greater visit order matches the original tie-breaking.
+  for (int64_t plane = 0; plane < batch * channels; ++plane) {
+    const int64_t plane_base = plane * in_h * in_w;
+    for (int64_t oh = 0; oh < out_h; ++oh) {
+      const int64_t row_base = plane_base + (oh * 2) * in_w;
+      const float* r0 = x.data() + row_base;
+      const float* r1 = r0 + in_w;
+      for (int64_t ow = 0; ow < out_w; ++ow) {
+        const int64_t i0 = ow * 2;
+        float best = r0[i0];
+        int64_t best_flat = row_base + i0;
+        if (r0[i0 + 1] > best) {
+          best = r0[i0 + 1];
+          best_flat = row_base + i0 + 1;
         }
+        if (r1[i0] > best) {
+          best = r1[i0];
+          best_flat = row_base + in_w + i0;
+        }
+        if (r1[i0 + 1] > best) {
+          best = r1[i0 + 1];
+          best_flat = row_base + in_w + i0 + 1;
+        }
+        out[out_idx] = best;
+        argmax_[out_idx] = best_flat;
+        ++out_idx;
       }
     }
   }

@@ -1,0 +1,325 @@
+#include "fedscope/tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace fedscope {
+namespace kernels {
+namespace {
+
+// Register-blocked micro-tile: MR rows of C by kNr columns, accumulators
+// held in registers across the whole k loop. A is addressed through strides
+// (as_i, as_k) so the same kernel serves Gemm (as_i=k, as_k=1) and
+// GemmTransA (as_i=1, as_k=m). Accumulation is ascending-k float adds per
+// output element — identical to the scalar reference chain.
+constexpr int64_t kMr = 8;
+constexpr int64_t kNr = 32;
+
+void MicroTile(const float* __restrict__ a, int64_t as_i, int64_t as_k,
+               const float* __restrict__ b, int64_t ldb,
+               float* __restrict__ c, int64_t ldc, int64_t k) {
+  float acc[kMr][kNr];
+  for (int64_t r = 0; r < kMr; ++r) {
+    for (int64_t j = 0; j < kNr; ++j) acc[r][j] = 0.0f;
+  }
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* brow = b + kk * ldb;
+    float bv[kNr];
+    for (int64_t j = 0; j < kNr; ++j) bv[j] = brow[j];
+    for (int64_t r = 0; r < kMr; ++r) {
+      const float av = a[r * as_i + kk * as_k];
+      for (int64_t j = 0; j < kNr; ++j) acc[r][j] += av * bv[j];
+    }
+  }
+  for (int64_t r = 0; r < kMr; ++r) {
+    float* crow = c + r * ldc;
+    for (int64_t j = 0; j < kNr; ++j) crow[j] += acc[r][j];
+  }
+}
+
+// Edge tile with runtime extents mr <= kMr, nr <= kNr; same chain order.
+void MicroTileEdge(const float* __restrict__ a, int64_t as_i, int64_t as_k,
+                   const float* __restrict__ b, int64_t ldb,
+                   float* __restrict__ c, int64_t ldc, int64_t k, int64_t mr,
+                   int64_t nr) {
+  float acc[kMr][kNr] = {};
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* brow = b + kk * ldb;
+    for (int64_t r = 0; r < mr; ++r) {
+      const float av = a[r * as_i + kk * as_k];
+      for (int64_t j = 0; j < nr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    for (int64_t j = 0; j < nr; ++j) crow[j] += acc[r][j];
+  }
+}
+
+// c[m, n] += A @ b where A(i, kk) = a[i*as_i + kk*as_k], b row-major [k, n].
+void GemmStrided(int64_t m, int64_t n, int64_t k, const float* a,
+                 int64_t as_i, int64_t as_k, const float* b, float* c) {
+  int64_t i = 0;
+  for (; i + kMr <= m; i += kMr) {
+    const float* ai = a + i * as_i;
+    int64_t j = 0;
+    for (; j + kNr <= n; j += kNr) {
+      MicroTile(ai, as_i, as_k, b + j, n, c + i * n + j, n, k);
+    }
+    if (j < n) {
+      MicroTileEdge(ai, as_i, as_k, b + j, n, c + i * n + j, n, k, kMr,
+                    n - j);
+    }
+  }
+  if (i < m) {
+    const float* ai = a + i * as_i;
+    const int64_t mr = m - i;
+    int64_t j = 0;
+    for (; j + kNr <= n; j += kNr) {
+      MicroTileEdge(ai, as_i, as_k, b + j, n, c + i * n + j, n, k, mr, kNr);
+    }
+    if (j < n) {
+      MicroTileEdge(ai, as_i, as_k, b + j, n, c + i * n + j, n, k, mr, n - j);
+    }
+  }
+}
+
+// Reusable packing buffer for GemmTransB (single-core; thread_local keeps
+// the threaded distributed hosts safe).
+std::vector<float>& PackBuffer() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+
+}  // namespace
+
+void Gemm(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+          float* c) {
+  GemmStrided(m, n, k, a, /*as_i=*/k, /*as_k=*/1, b, c);
+}
+
+void GemmTransA(int64_t m, int64_t n, int64_t k, const float* a,
+                const float* b, float* c) {
+  GemmStrided(m, n, k, a, /*as_i=*/1, /*as_k=*/m, b, c);
+}
+
+void GemmTransB(int64_t m, int64_t n, int64_t k, const float* a,
+                const float* b, float* c) {
+  // Pack b^T ([n, k] -> [k, n]) once, then reuse the row-streaming kernel.
+  // Packing moves values untouched, so the accumulation chain is unchanged.
+  std::vector<float>& bt = PackBuffer();
+  bt.resize(static_cast<size_t>(k) * n);
+  constexpr int64_t kBlock = 32;
+  for (int64_t j0 = 0; j0 < n; j0 += kBlock) {
+    const int64_t j1 = std::min(n, j0 + kBlock);
+    for (int64_t k0 = 0; k0 < k; k0 += kBlock) {
+      const int64_t k1 = std::min(k, k0 + kBlock);
+      for (int64_t j = j0; j < j1; ++j) {
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          bt[kk * n + j] = b[j * k + kk];
+        }
+      }
+    }
+  }
+  GemmStrided(m, n, k, a, /*as_i=*/k, /*as_k=*/1, bt.data(), c);
+}
+
+void GemmReference(int64_t m, int64_t n, int64_t k, const float* a,
+                   const float* b, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+void GemmTransAReference(int64_t m, int64_t n, int64_t k, const float* a,
+                         const float* b, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[kk * m + i] * b[kk * n + j];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+void GemmTransBReference(int64_t m, int64_t n, int64_t k, const float* a,
+                         const float* b, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[j * k + kk];
+      c[i * n + j] += acc;
+    }
+  }
+}
+
+void Im2Col(const float* im, int64_t channels, int64_t height, int64_t width,
+            int64_t kernel, int64_t padding, float* cols) {
+  const int64_t out_h = ConvOutDim(height, kernel, padding);
+  const int64_t out_w = ConvOutDim(width, kernel, padding);
+  float* out = cols;
+  for (int64_t ic = 0; ic < channels; ++ic) {
+    const float* plane = im + ic * height * width;
+    for (int64_t kh = 0; kh < kernel; ++kh) {
+      for (int64_t kw = 0; kw < kernel; ++kw) {
+        // Valid output columns map to input columns iw = ow + kw - padding.
+        const int64_t lo = std::max<int64_t>(0, padding - kw);
+        const int64_t hi = std::min(out_w, width - kw + padding);
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh + kh - padding;
+          if (ih < 0 || ih >= height || lo >= hi) {
+            std::memset(out, 0, out_w * sizeof(float));
+          } else {
+            if (lo > 0) std::memset(out, 0, lo * sizeof(float));
+            std::memcpy(out + lo, plane + ih * width + lo + kw - padding,
+                        (hi - lo) * sizeof(float));
+            if (hi < out_w) {
+              std::memset(out + hi, 0, (out_w - hi) * sizeof(float));
+            }
+          }
+          out += out_w;
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* cols, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel, int64_t padding, float* im) {
+  const int64_t out_h = ConvOutDim(height, kernel, padding);
+  const int64_t out_w = ConvOutDim(width, kernel, padding);
+  const float* in = cols;
+  for (int64_t ic = 0; ic < channels; ++ic) {
+    float* plane = im + ic * height * width;
+    for (int64_t kh = 0; kh < kernel; ++kh) {
+      for (int64_t kw = 0; kw < kernel; ++kw) {
+        const int64_t lo = std::max<int64_t>(0, padding - kw);
+        const int64_t hi = std::min(out_w, width - kw + padding);
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh + kh - padding;
+          if (ih >= 0 && ih < height && lo < hi) {
+            float* row = plane + ih * width + kw - padding;
+            for (int64_t ow = lo; ow < hi; ++ow) row[ow] += in[ow];
+          }
+          in += out_w;
+        }
+      }
+    }
+  }
+}
+
+void Conv2dForwardReference(const float* x, const float* weight,
+                            const float* bias, int64_t in_c, int64_t in_h,
+                            int64_t in_w, int64_t out_c, int64_t kernel,
+                            int64_t padding, float* y) {
+  const int64_t out_h = ConvOutDim(in_h, kernel, padding);
+  const int64_t out_w = ConvOutDim(in_w, kernel, padding);
+  for (int64_t oc = 0; oc < out_c; ++oc) {
+    for (int64_t oh = 0; oh < out_h; ++oh) {
+      for (int64_t ow = 0; ow < out_w; ++ow) {
+        double acc = bias[oc];
+        for (int64_t ic = 0; ic < in_c; ++ic) {
+          for (int64_t kh = 0; kh < kernel; ++kh) {
+            const int64_t ih = oh + kh - padding;
+            if (ih < 0 || ih >= in_h) continue;
+            for (int64_t kw = 0; kw < kernel; ++kw) {
+              const int64_t iw = ow + kw - padding;
+              if (iw < 0 || iw >= in_w) continue;
+              acc += x[(ic * in_h + ih) * in_w + iw] *
+                     weight[((oc * in_c + ic) * kernel + kh) * kernel + kw];
+            }
+          }
+        }
+        y[(oc * out_h + oh) * out_w + ow] = static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+void Conv2dBackwardReference(const float* x, const float* weight,
+                             const float* grad_out, int64_t in_c,
+                             int64_t in_h, int64_t in_w, int64_t out_c,
+                             int64_t kernel, int64_t padding,
+                             float* weight_grad, float* bias_grad,
+                             float* grad_in) {
+  const int64_t out_h = ConvOutDim(in_h, kernel, padding);
+  const int64_t out_w = ConvOutDim(in_w, kernel, padding);
+  for (int64_t oc = 0; oc < out_c; ++oc) {
+    for (int64_t oh = 0; oh < out_h; ++oh) {
+      for (int64_t ow = 0; ow < out_w; ++ow) {
+        const float g = grad_out[(oc * out_h + oh) * out_w + ow];
+        bias_grad[oc] += g;
+        for (int64_t ic = 0; ic < in_c; ++ic) {
+          for (int64_t kh = 0; kh < kernel; ++kh) {
+            const int64_t ih = oh + kh - padding;
+            if (ih < 0 || ih >= in_h) continue;
+            for (int64_t kw = 0; kw < kernel; ++kw) {
+              const int64_t iw = ow + kw - padding;
+              if (iw < 0 || iw >= in_w) continue;
+              const int64_t wi = ((oc * in_c + ic) * kernel + kh) * kernel + kw;
+              weight_grad[wi] += g * x[(ic * in_h + ih) * in_w + iw];
+              grad_in[(ic * in_h + ih) * in_w + iw] += g * weight[wi];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void ReluForward(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::max(x[i], 0.0f);
+}
+
+void ReluBackward(const float* x, float* grad, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) grad[i] = x[i] > 0.0f ? grad[i] : 0.0f;
+}
+
+void TanhForward(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void TanhBackward(const float* y, float* grad, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) grad[i] *= 1.0f - y[i] * y[i];
+}
+
+void AddColBias(float* y, const float* bias, int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = y + r * cols;
+    for (int64_t c = 0; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+void AddRowBias(float* y, const float* bias, int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float b = bias[r];
+    float* row = y + r * cols;
+    for (int64_t c = 0; c < cols; ++c) row[c] += b;
+  }
+}
+
+void ColSumsAccum(const float* x, int64_t rows, int64_t cols, float* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * cols;
+    for (int64_t c = 0; c < cols; ++c) out[c] += row[c];
+  }
+}
+
+void RowSumsAccum(const float* x, int64_t rows, int64_t cols, float* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * cols;
+    // Serial chain per row keeps the ascending-column order deterministic.
+    float acc = out[r];
+    for (int64_t c = 0; c < cols; ++c) acc += row[c];
+    out[r] = acc;
+  }
+}
+
+}  // namespace kernels
+}  // namespace fedscope

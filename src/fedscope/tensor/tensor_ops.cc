@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fedscope/tensor/kernels.h"
 #include "fedscope/util/logging.h"
 
 namespace fedscope {
@@ -87,19 +88,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   FS_CHECK_EQ(a.dim(1), b.dim(0));
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // ikj loop order: streams through b and c rows (cache friendly).
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  kernels::Gemm(m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -109,19 +98,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   FS_CHECK_EQ(a.dim(0), b.dim(0));
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  kernels::GemmTransA(m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -131,18 +108,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   FS_CHECK_EQ(a.dim(1), b.dim(1));
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      pc[i * n + j] = static_cast<float>(acc);
-    }
-  }
+  kernels::GemmTransB(m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -151,18 +117,20 @@ Tensor Softmax(const Tensor& logits) {
   const int64_t batch = logits.dim(0), classes = logits.dim(1);
   Tensor probs({batch, classes});
   for (int64_t i = 0; i < batch; ++i) {
-    float max_logit = logits.at(i, 0);
+    const float* in = logits.data() + i * classes;
+    float* out = probs.data() + i * classes;
+    float max_logit = in[0];
     for (int64_t c = 1; c < classes; ++c) {
-      max_logit = std::max(max_logit, logits.at(i, c));
+      max_logit = std::max(max_logit, in[c]);
     }
     double denom = 0.0;
     for (int64_t c = 0; c < classes; ++c) {
-      double e = std::exp(static_cast<double>(logits.at(i, c) - max_logit));
-      probs.at(i, c) = static_cast<float>(e);
+      double e = std::exp(static_cast<double>(in[c] - max_logit));
+      out[c] = static_cast<float>(e);
       denom += e;
     }
     for (int64_t c = 0; c < classes; ++c) {
-      probs.at(i, c) = static_cast<float>(probs.at(i, c) / denom);
+      out[c] = static_cast<float>(out[c] / denom);
     }
   }
   return probs;
@@ -170,11 +138,17 @@ Tensor Softmax(const Tensor& logits) {
 
 std::vector<int64_t> ArgmaxRows(const Tensor& scores) {
   FS_CHECK_EQ(scores.ndim(), 2);
-  std::vector<int64_t> out(scores.dim(0));
-  for (int64_t i = 0; i < scores.dim(0); ++i) {
+  const int64_t rows = scores.dim(0), classes = scores.dim(1);
+  std::vector<int64_t> out(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = scores.data() + i * classes;
     int64_t best = 0;
-    for (int64_t c = 1; c < scores.dim(1); ++c) {
-      if (scores.at(i, c) > scores.at(i, best)) best = c;
+    float best_val = row[0];
+    for (int64_t c = 1; c < classes; ++c) {
+      if (row[c] > best_val) {
+        best = c;
+        best_val = row[c];
+      }
     }
     out[i] = best;
   }

@@ -108,6 +108,19 @@ TEST(CodecTest, FourDimTensorShapePreserved) {
   EXPECT_EQ(t->shape(), (std::vector<int64_t>{2, 3, 4, 5}));
 }
 
+TEST(CodecTest, PrecomputedSizeMatchesEncodedBytes) {
+  const Message m = SampleMessage();
+  const auto bytes = EncodeMessage(m);
+  EXPECT_EQ(bytes.size(), EncodedMessageSize(m));
+  const auto payload_bytes = EncodePayload(m.payload);
+  EXPECT_EQ(payload_bytes.size(), EncodedPayloadSize(m.payload));
+
+  const Message empty;
+  EXPECT_EQ(EncodeMessage(empty).size(), EncodedMessageSize(empty));
+  EXPECT_EQ(EncodePayload(empty.payload).size(),
+            EncodedPayloadSize(empty.payload));
+}
+
 TEST(CodecTest, BadMagicRejected) {
   auto bytes = EncodeMessage(SampleMessage());
   bytes[0] = 'X';
