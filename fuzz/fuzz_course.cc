@@ -1,0 +1,165 @@
+// Deterministic course fuzzer (DESIGN.md §9): draws random valid courses
+// from the strategy × plug-in lattice, runs every invariant oracle on
+// each, and on the first failure shrinks the spec by config-field
+// bisection and prints a one-line repro:
+//
+//   fuzz_course --trials=200 --seed=1 [--distributed_every=25]
+//               [--out=failure.txt]
+//   fuzz_course --config="seed=7,strategy=async_goal,..."   # replay one
+//
+// Exit code 0 = every trial passed; 1 = invariant violation (repro
+// printed and, with --out, written to a file for CI artifact upload).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "fedscope/testing/course_gen.h"
+#include "fedscope/testing/oracles.h"
+#include "fedscope/testing/shrink.h"
+#include "fedscope/util/logging.h"
+
+namespace {
+
+using fedscope::testing::CheckCourse;
+using fedscope::testing::CourseGen;
+using fedscope::testing::CourseSpec;
+using fedscope::testing::OracleOptions;
+using fedscope::testing::Violation;
+
+struct Args {
+  int trials = 200;
+  uint64_t seed = 1;
+  std::string config;   // non-empty: replay this one spec instead
+  std::string out;      // non-empty: write failing repro line here
+  int distributed_every = 2;  // every Nth eligible trial runs the TCP diff
+  bool no_shrink = false;
+  bool print_specs = false;  // print each course line before running it
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "trials", &value)) {
+      args->trials = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "seed", &value)) {
+      args->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "config", &value)) {
+      args->config = value;
+    } else if (ParseFlag(arg, "out", &value)) {
+      args->out = value;
+    } else if (ParseFlag(arg, "distributed_every", &value)) {
+      args->distributed_every = std::atoi(value.c_str());
+    } else if (arg == "--no_shrink") {
+      args->no_shrink = true;
+    } else if (arg == "--print_specs") {
+      args->print_specs = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "usage: fuzz_course [--trials=N] [--seed=S] "
+                   "[--config=LINE] [--out=FILE] [--distributed_every=N] "
+                   "[--no_shrink]\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs one spec through every oracle; on failure prints the violations
+/// and the one-line repro (shrinking first unless disabled).
+int RunSpec(const CourseSpec& spec, const OracleOptions& options,
+            const Args& args) {
+  std::vector<Violation> violations = CheckCourse(spec, options);
+  if (violations.empty()) return 0;
+
+  std::cerr << "FAIL seed=" << spec.seed << "\n"
+            << fedscope::testing::FormatViolations(violations);
+
+  CourseSpec repro = spec;
+  if (!args.no_shrink) {
+    const auto result = fedscope::testing::ShrinkCourse(
+        spec,
+        [&options](const CourseSpec& candidate) {
+          return !CheckCourse(candidate, options).empty();
+        });
+    repro = result.spec;
+    std::cerr << "shrunk: " << result.fields_reset << " fields reset in "
+              << result.evals << " evals\n";
+  }
+
+  const std::string line =
+      "--seed=" + std::to_string(repro.seed) + " --config=\"" +
+      repro.ToString() + "\"";
+  std::cerr << "repro: fuzz_course " << line << "\n";
+  if (!args.out.empty()) {
+    std::ofstream out(args.out);
+    out << repro.ToString() << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  // Courses log per-round chatter at Info; fuzzing runs hundreds of them.
+  fedscope::Logging::set_min_level(fedscope::LogLevel::kWarning);
+
+  if (!args.config.empty()) {
+    auto spec = CourseSpec::FromString(args.config);
+    if (!spec.ok()) {
+      std::cerr << "bad --config: " << spec.status().ToString() << "\n";
+      return 2;
+    }
+    OracleOptions options;
+    options.run_distributed =
+        fedscope::testing::DistributedEligible(spec.value());
+    const int rc = RunSpec(spec.value(), options, args);
+    std::cout << (rc == 0 ? "OK" : "FAIL") << " (1 course replayed)\n";
+    return rc;
+  }
+
+  int eligible_seen = 0;
+  for (int t = 0; t < args.trials; ++t) {
+    const CourseSpec spec = CourseGen::Sample(args.seed + static_cast<uint64_t>(t));
+    if (args.print_specs) {
+      std::cout << "trial " << t << ": " << spec.ToString() << std::endl;
+    }
+    OracleOptions options;
+    if (fedscope::testing::DistributedEligible(spec)) {
+      ++eligible_seen;
+      // The first eligible trial always runs the TCP differential, then
+      // every Nth (eligibility is rare in the lattice — see
+      // DistributedEligible).
+      options.run_distributed =
+          args.distributed_every > 0 &&
+          (eligible_seen - 1) % args.distributed_every == 0;
+    }
+    const int rc = RunSpec(spec, options, args);
+    if (rc != 0) {
+      std::cerr << "after " << (t + 1) << " trials\n";
+      return rc;
+    }
+    if ((t + 1) % 50 == 0) {
+      std::cout << "  ..." << (t + 1) << "/" << args.trials
+                << " courses passed\n";
+    }
+  }
+  std::cout << "OK: " << args.trials << " courses, 0 invariant violations "
+            << "(seed " << args.seed << ", " << eligible_seen
+            << " distributed-eligible)\n";
+  return 0;
+}

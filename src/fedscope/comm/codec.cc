@@ -70,6 +70,19 @@ class Reader {
   size_t pos_ = 0;
 };
 
+// Payload keys and message types are names: NUL bytes are rejected at
+// decode time so a name can never smuggle an embedded terminator into
+// log lines, file paths, or downstream C string APIs.
+Status ReadName(Reader* r, const char* what, std::string* name) {
+  if (!r->Str(name)) {
+    return Status::DataLoss(std::string("truncated ") + what);
+  }
+  if (name->find('\0') != std::string::npos) {
+    return Status::DataLoss(std::string("NUL byte in ") + what);
+  }
+  return Status::Ok();
+}
+
 void WritePayload(const Payload& payload, Writer* w) {
   w->U32(static_cast<uint32_t>(payload.scalars().size()));
   for (const auto& [key, value] : payload.scalars()) {
@@ -99,10 +112,9 @@ Status ReadPayload(Reader* r, Payload* payload) {
   if (!r->U32(&n_scalars)) return Status::DataLoss("truncated scalar count");
   for (uint32_t i = 0; i < n_scalars; ++i) {
     std::string key;
+    FS_RETURN_IF_ERROR(ReadName(r, "scalar key", &key));
     uint8_t tag = 0;
-    if (!r->Str(&key) || !r->U8(&tag)) {
-      return Status::DataLoss("truncated scalar entry");
-    }
+    if (!r->U8(&tag)) return Status::DataLoss("truncated scalar entry");
     switch (tag) {
       case kTagInt: {
         int64_t v = 0;
@@ -130,15 +142,21 @@ Status ReadPayload(Reader* r, Payload* payload) {
   if (!r->U32(&n_tensors)) return Status::DataLoss("truncated tensor count");
   for (uint32_t i = 0; i < n_tensors; ++i) {
     std::string key;
+    FS_RETURN_IF_ERROR(ReadName(r, "tensor name", &key));
     uint8_t ndim = 0;
-    if (!r->Str(&key) || !r->U8(&ndim)) {
-      return Status::DataLoss("truncated tensor header");
-    }
+    if (!r->U8(&ndim)) return Status::DataLoss("truncated tensor header");
     std::vector<int64_t> shape(ndim);
+    // Guard the dim product against signed overflow before multiplying:
+    // any honest element count fits the buffer, so a product that cannot
+    // even be represented is malformed input, not a big tensor.
+    constexpr int64_t kMaxNumel = int64_t{1} << 40;
     int64_t numel = 1;
     for (uint8_t d = 0; d < ndim; ++d) {
       if (!r->I64(&shape[d])) return Status::DataLoss("truncated tensor dim");
       if (shape[d] < 0) return Status::DataLoss("negative tensor dim");
+      if (shape[d] > 0 && numel > kMaxNumel / shape[d]) {
+        return Status::DataLoss("tensor dims overflow element count");
+      }
       numel *= shape[d];
     }
     if (static_cast<size_t>(numel) * sizeof(float) > r->remaining()) {
@@ -210,8 +228,11 @@ Result<Message> DecodeMessage(const std::vector<uint8_t>& bytes) {
                                    std::to_string(version));
   }
   Message msg;
-  if (!r.I32(&msg.sender) || !r.I32(&msg.receiver) || !r.Str(&msg.msg_type) ||
-      !r.I32(&msg.state) || !r.F64(&msg.timestamp)) {
+  if (!r.I32(&msg.sender) || !r.I32(&msg.receiver)) {
+    return Status::DataLoss("truncated message header");
+  }
+  FS_RETURN_IF_ERROR(ReadName(&r, "msg_type", &msg.msg_type));
+  if (!r.I32(&msg.state) || !r.F64(&msg.timestamp)) {
     return Status::DataLoss("truncated message header");
   }
   FS_RETURN_IF_ERROR(ReadPayload(&r, &msg.payload));

@@ -47,6 +47,12 @@ void FedRunner::BuildWorkers() {
         std::make_unique<FaultInjectingChannel>(this, &fault_plan_);
     channel = fault_channel_.get();
   }
+  if (job_.send_tap) {
+    // The tap sits between the workers and the fault decorator so it sees
+    // every send as the worker issued it, before faults alter or drop it.
+    tap_channel_ = std::make_unique<TapChannel>(channel, &job_.send_tap);
+    channel = tap_channel_.get();
+  }
 
   ServerOptions server_options = job_.server;
   server_options.expected_clients = n;
@@ -171,7 +177,9 @@ RunResult FedRunner::Run() {
   int64_t delivered = 0;
   while (!queue_.Empty()) {
     Message msg = queue_.Pop();
+    if (job_.suppress_duplicates && dedup_.IsDuplicate(msg)) continue;
     ++delivered;
+    if (job_.delivery_tap) job_.delivery_tap(msg);
     if (msg.receiver == kServerId) {
       server_->HandleMessage(msg);
     } else if (msg.receiver >= 1 &&

@@ -9,6 +9,7 @@
 #include "fedscope/core/completeness.h"
 #include "fedscope/core/server.h"
 #include "fedscope/data/dataset.h"
+#include "fedscope/fault/dedup.h"
 #include "fedscope/fault/fault_channel.h"
 #include "fedscope/fault/fault_plan.h"
 #include "fedscope/obs/obs_context.h"
@@ -57,6 +58,19 @@ struct FedJob {
   /// is virtual, so same-seed runs produce identical metric snapshots,
   /// traces, and course logs.
   ObsContext obs;
+  /// Course-introspection taps for the fuzzing harness (testing/). Both
+  /// default to null (no overhead). `send_tap` observes every worker-side
+  /// Send *before* fault injection; `delivery_tap` observes every message
+  /// the pump dispatches (after duplicate suppression). Together they make
+  /// message conservation checkable: delivered == sent - faulted-away
+  /// + fault-duplicated - suppressed.
+  std::function<void(const Message&)> send_tap;
+  std::function<void(const Message&)> delivery_tap;
+  /// Suppress fault-injected duplicate deliveries in the pump — the
+  /// standalone analogue of the distributed server host's
+  /// DuplicateSuppressor. Off by default: behaviour is unchanged unless a
+  /// course opts in (fault plans with msg_duplicate_prob > 0).
+  bool suppress_duplicates = false;
   uint64_t seed = 1234;
 };
 
@@ -93,8 +107,26 @@ class FedRunner : public CommChannel {
   int num_clients() const { return static_cast<int>(clients_.size()); }
   /// The instantiated fault model (disabled when FedJob::fault is null).
   const FaultPlan& fault_plan() const { return fault_plan_; }
+  /// Deliveries suppressed by FedJob::suppress_duplicates (0 when off).
+  int64_t duplicates_suppressed() const { return dedup_.suppressed(); }
 
  private:
+  /// Observes worker-side sends (pre-fault) and forwards to `inner`.
+  /// Defined here so FedRunner can hold it without a custom destructor.
+  class TapChannel : public CommChannel {
+   public:
+    TapChannel(CommChannel* inner, const std::function<void(const Message&)>* tap)
+        : inner_(inner), tap_(tap) {}
+    void Send(const Message& msg) override {
+      (*tap_)(msg);
+      inner_->Send(msg);
+    }
+
+   private:
+    CommChannel* inner_;
+    const std::function<void(const Message&)>* tap_;
+  };
+
   void BuildWorkers();
   CompletenessReport CheckCompleteness() const;
 
@@ -102,6 +134,8 @@ class FedRunner : public CommChannel {
   EventQueue queue_;
   FaultPlan fault_plan_;
   std::unique_ptr<FaultInjectingChannel> fault_channel_;
+  std::unique_ptr<TapChannel> tap_channel_;
+  PairwiseDuplicateSuppressor dedup_;
   std::unique_ptr<Server> server_;
   std::vector<std::unique_ptr<Client>> clients_;  // index 0 -> client id 1
 };

@@ -1,0 +1,344 @@
+#include "fedscope/testing/oracles.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "fedscope/comm/socket_transport.h"
+#include "fedscope/core/distributed.h"
+#include "fedscope/personalization/fedbn.h"
+#include "fedscope/util/rng.h"
+
+namespace fedscope {
+namespace testing {
+namespace {
+
+bool Finite(double v) { return std::isfinite(v); }
+
+bool StateDictsBitEqual(const StateDict& a, const StateDict& b,
+                        std::string* detail) {
+  if (a.size() != b.size()) {
+    *detail = "parameter count differs";
+    return false;
+  }
+  for (const auto& [name, tensor] : a) {
+    const auto it = b.find(name);
+    if (it == b.end()) {
+      *detail = "missing parameter " + name;
+      return false;
+    }
+    if (tensor.shape() != it->second.shape()) {
+      *detail = "shape mismatch on " + name;
+      return false;
+    }
+    for (int64_t k = 0; k < tensor.numel(); ++k) {
+      // Bitwise comparison through memcmp semantics: NaN != NaN under
+      // operator== would hide a NaN-poisoned model from the oracle.
+      const float x = tensor.at(k);
+      const float y = it->second.at(k);
+      if (std::memcmp(&x, &y, sizeof(float)) != 0) {
+        std::ostringstream out;
+        out << name << "[" << k << "]: " << x << " vs " << y;
+        *detail = out.str();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Check(std::vector<Violation>* v, bool ok, const std::string& oracle,
+           const std::string& detail) {
+  if (!ok) v->push_back({oracle, detail});
+}
+
+template <typename T>
+std::string Vs(const char* what, T expected, T observed) {
+  std::ostringstream out;
+  out << what << ": expected " << expected << ", observed " << observed;
+  return out.str();
+}
+
+}  // namespace
+
+std::string FormatViolations(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  for (const Violation& v : violations) {
+    out << "  [" << v.oracle << "] " << v.detail << "\n";
+  }
+  return out.str();
+}
+
+CourseObservation RunInstrumentedCourse(const CourseSpec& spec) {
+  auto fixture = MakeCourseFixture(spec);
+  FedJob job = fixture->MakeJob();
+
+  CourseObservation obs;
+  double last_delivery_time = -1.0;
+  job.send_tap = [&obs](const Message&) { ++obs.sent; };
+  job.delivery_tap = [&obs, &last_delivery_time](const Message& msg) {
+    ++obs.delivered;
+    if (msg.timestamp < last_delivery_time && obs.time_regression.empty()) {
+      std::ostringstream out;
+      out << "delivery #" << obs.delivered << " (" << msg.msg_type << " "
+          << msg.sender << "->" << msg.receiver << ") at t=" << msg.timestamp
+          << " after t=" << last_delivery_time;
+      obs.time_regression = out.str();
+    }
+    last_delivery_time = std::max(last_delivery_time, msg.timestamp);
+  };
+
+  FedRunner runner(std::move(job));
+  obs.result = runner.Run();
+  obs.finished = runner.server()->finished();
+  obs.suppressed = runner.duplicates_suppressed();
+  obs.fault = runner.fault_plan().counters();
+  return obs;
+}
+
+bool DistributedEligible(const CourseSpec& spec) {
+  return spec.strategy == "sync_vanilla" &&
+         spec.concurrency == spec.num_clients &&
+         spec.receive_deadline == 0.0 && !spec.suppress_duplicates &&
+         spec.fault_dropout_frac == 0.0 && spec.fault_crash_prob == 0.0 &&
+         spec.fault_straggler_frac == 0.0 && spec.fault_msg_loss_prob == 0.0 &&
+         spec.fault_msg_duplicate_prob == 0.0 &&
+         spec.fault_msg_delay_prob == 0.0;
+}
+
+namespace {
+
+/// Runs the spec's course over loopback TCP with the exact worker wiring
+/// FedRunner uses (same client seeds, same factories) and returns the
+/// server stats. Requires DistributedEligible(spec).
+ServerStats RunDistributedCourse(const CourseSpec& spec, Status* status) {
+  auto fixture = MakeCourseFixture(spec);
+  FedJob job = fixture->MakeJob();
+  const int n = spec.num_clients;
+
+  auto listener = TcpListener::Bind(0);
+  if (!listener.ok()) {
+    *status = listener.status();
+    return {};
+  }
+  const int port = listener->port();
+
+  ServerOptions server_options = job.server;
+  server_options.expected_clients = n;
+  if (server_options.seed == 0) server_options.seed = job.seed;
+  if (!job.aggregator_factory) {
+    job.aggregator_factory = [&spec]() { return MakeSpecAggregator(spec); };
+  }
+  DistributedServerHost host(server_options, job.init_model,
+                             job.aggregator_factory(),
+                             std::move(listener.value()));
+  const Dataset* server_test = &fixture->data.server_test;
+  host.server()->set_evaluator([server_test](Model* model) {
+    return EvaluateClassifier(model, *server_test);
+  });
+
+  ServerStats stats;
+  std::thread server_thread([&] { stats = host.Run(); });
+
+  if (job.fleet.empty()) job.fleet.assign(n, DeviceProfile{});
+  if (!job.trainer_factory) {
+    job.trainer_factory = [](int) { return std::make_unique<GeneralTrainer>(); };
+  }
+  Rng seeder(job.seed);
+  std::vector<std::thread> client_threads;
+  std::vector<Status> client_status(n);
+  for (int id = 1; id <= n; ++id) {
+    client_threads.emplace_back([&, id] {
+      ClientOptions options = job.client;
+      options.device = job.fleet[id - 1];
+      options.seed = seeder.Fork(static_cast<uint64_t>(id)).Next();
+      if (job.client_customizer) job.client_customizer(id, &options);
+      DistributedClientHost client_host(
+          id, std::move(options), job.init_model,
+          fixture->data.clients[id - 1], job.trainer_factory(id), "127.0.0.1",
+          port);
+      client_status[id - 1] = client_host.Run();
+    });
+  }
+  for (auto& t : client_threads) t.join();
+  server_thread.join();
+
+  *status = Status::Ok();
+  for (const Status& s : client_status) {
+    if (!s.ok()) *status = s;
+  }
+  return stats;
+}
+
+}  // namespace
+
+std::vector<Violation> CheckAggregateWeightConservation(
+    const CourseSpec& spec) {
+  std::vector<Violation> v;
+  Rng rng(spec.seed ^ 0xa99ull);
+
+  StateDict global;
+  StateDict delta;
+  for (const char* name : {"fc.weight", "fc.bias"}) {
+    Tensor g({3, 2});
+    Tensor d({3, 2});
+    for (int64_t k = 0; k < g.numel(); ++k) {
+      g.at(k) = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      d.at(k) = static_cast<float>(rng.Uniform(-0.5, 0.5));
+    }
+    global.emplace(name, std::move(g));
+    delta.emplace(name, std::move(d));
+  }
+
+  // Identical deltas, equal local steps, varying sample counts and
+  // staleness: normalized weights must sum to one, so the aggregate is
+  // exactly global + delta (FedNova's tau_eff rescaling cancels too).
+  std::vector<ClientUpdate> updates;
+  const int k = 3;
+  for (int i = 0; i < k; ++i) {
+    ClientUpdate u;
+    u.client_id = i + 1;
+    u.staleness = i;
+    u.num_samples = static_cast<double>(rng.UniformInt(2, 40));
+    u.local_steps = 2;
+    u.delta = delta;
+    updates.push_back(std::move(u));
+  }
+
+  auto aggregator = MakeSpecAggregator(spec);
+  const StateDict next = aggregator->Aggregate(global, updates);
+  for (const auto& [name, tensor] : next) {
+    const Tensor& g = global.at(name);
+    const Tensor& d = delta.at(name);
+    for (int64_t idx = 0; idx < tensor.numel(); ++idx) {
+      const double expected = static_cast<double>(g.at(idx)) + d.at(idx);
+      const double observed = tensor.at(idx);
+      if (!Finite(observed) || std::abs(observed - expected) > 1e-4) {
+        std::ostringstream out;
+        out << spec.aggregator << " " << name << "[" << idx
+            << "]: expected global+delta=" << expected << ", got " << observed;
+        v.push_back({"aggregate_weight_conservation", out.str()});
+        return v;  // one coordinate is enough evidence
+      }
+    }
+  }
+  return v;
+}
+
+std::vector<Violation> CheckCourse(const CourseSpec& spec,
+                                   const OracleOptions& options) {
+  std::vector<Violation> v;
+
+  // -- oracle 1+2+3: one instrumented run ----------------------------------
+  // (non-const: Model::GetStateDict is a mutating accessor)
+  CourseObservation a = RunInstrumentedCourse(spec);
+
+  Check(&v, a.finished, "termination",
+        "course neither finished nor aborted (stalled event graph)");
+  const ServerStats& stats = a.result.server;
+  Check(&v, stats.rounds <= spec.max_rounds, "stats_sanity",
+        Vs("rounds > max_rounds", spec.max_rounds, stats.rounds));
+  Check(&v, stats.rounds > 0 || stats.aborted || spec.max_rounds == 0,
+        "stats_sanity", "zero rounds without an abort");
+  for (const auto& [t, acc] : stats.curve) {
+    Check(&v, Finite(acc) && acc >= 0.0 && acc <= 1.0, "stats_sanity",
+          Vs("curve accuracy out of [0,1]", 0.0, acc));
+    Check(&v, Finite(t) && t >= 0.0, "time_monotonicity",
+          Vs("negative/NaN curve time", 0.0, t));
+  }
+  for (size_t i = 1; i < stats.curve.size(); ++i) {
+    Check(&v, stats.curve[i].first >= stats.curve[i - 1].first,
+          "time_monotonicity",
+          Vs("curve time regressed", stats.curve[i - 1].first,
+             stats.curve[i].first));
+  }
+  for (int staleness : stats.staleness_log) {
+    Check(&v, staleness >= 0 && staleness <= spec.staleness_tolerance,
+          "stats_sanity",
+          Vs("aggregated staleness outside tolerance", spec.staleness_tolerance,
+             staleness));
+  }
+  for (double acc : a.result.client_test_accuracy) {
+    Check(&v, Finite(acc) && acc >= 0.0 && acc <= 1.0, "stats_sanity",
+          Vs("client accuracy out of [0,1]", 0.0, acc));
+  }
+  Check(&v, a.time_regression.empty(), "time_monotonicity", a.time_regression);
+
+  const int64_t vanished =
+      a.fault.dropout_suppressed + a.fault.crashes + a.fault.lost;
+  Check(&v, a.delivered == a.sent - vanished + a.fault.duplicated - a.suppressed,
+        "message_conservation",
+        Vs("delivered != sent - dropped + duplicated - suppressed",
+           a.sent - vanished + a.fault.duplicated - a.suppressed, a.delivered));
+  if (spec.suppress_duplicates) {
+    Check(&v, a.suppressed == a.fault.duplicated, "message_conservation",
+          Vs("suppressed != fault-duplicated", a.fault.duplicated,
+             a.suppressed));
+  } else {
+    Check(&v, a.suppressed == 0, "message_conservation",
+          Vs("suppression off but deliveries suppressed", int64_t{0},
+             a.suppressed));
+  }
+
+  // -- oracle 4: same-seed bit-reproducibility ------------------------------
+  CourseObservation b = RunInstrumentedCourse(spec);
+  std::string detail;
+  Check(&v,
+        StateDictsBitEqual(a.result.final_model.GetStateDict(),
+                           b.result.final_model.GetStateDict(), &detail),
+        "reproducibility", "same-seed final models differ: " + detail);
+  Check(&v, a.result.server.curve == b.result.server.curve, "reproducibility",
+        "same-seed accuracy curves differ");
+  Check(&v, a.sent == b.sent && a.delivered == b.delivered, "reproducibility",
+        Vs("same-seed message counts differ", a.sent, b.sent) + " / " +
+            Vs("delivered", a.delivered, b.delivered));
+  Check(&v,
+        a.result.client_test_accuracy == b.result.client_test_accuracy,
+        "reproducibility", "same-seed client accuracies differ");
+
+  // -- oracle 5: through_wire equivalence -----------------------------------
+  CourseSpec wired = spec;
+  wired.through_wire = !spec.through_wire;
+  CourseObservation w = RunInstrumentedCourse(wired);
+  Check(&v,
+        StateDictsBitEqual(a.result.final_model.GetStateDict(),
+                           w.result.final_model.GetStateDict(), &detail),
+        "through_wire", "codec round-trip changed the final model: " + detail);
+  Check(&v, a.result.server.curve == w.result.server.curve, "through_wire",
+        "codec round-trip changed the accuracy curve");
+  Check(&v, a.sent == w.sent && a.delivered == w.delivered, "through_wire",
+        Vs("codec round-trip changed message counts", a.sent, w.sent));
+
+  // -- oracle 6: aggregate-weight conservation ------------------------------
+  for (Violation& violation : CheckAggregateWeightConservation(spec)) {
+    v.push_back(std::move(violation));
+  }
+
+  // -- oracle 7: standalone-vs-distributed differential ---------------------
+  if (options.run_distributed && DistributedEligible(spec)) {
+    Status status = Status::Ok();
+    const ServerStats dist = RunDistributedCourse(spec, &status);
+    Check(&v, status.ok(), "distributed_differential",
+          "distributed run failed: " + status.ToString());
+    if (status.ok()) {
+      Check(&v, dist.rounds == stats.rounds, "distributed_differential",
+            Vs("round count differs", stats.rounds, dist.rounds));
+      Check(&v, dist.curve.size() == stats.curve.size(),
+            "distributed_differential",
+            Vs("curve length differs", stats.curve.size(), dist.curve.size()));
+      // Arrival order changes float summation order, so accuracies agree
+      // only approximately (the structure above must agree exactly).
+      Check(&v, std::abs(dist.final_accuracy - stats.final_accuracy) < 0.25,
+            "distributed_differential",
+            Vs("final accuracy diverged", stats.final_accuracy,
+               dist.final_accuracy));
+    }
+  }
+
+  return v;
+}
+
+}  // namespace testing
+}  // namespace fedscope

@@ -1,0 +1,72 @@
+#ifndef FEDSCOPE_TESTING_ORACLES_H_
+#define FEDSCOPE_TESTING_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "fedscope/core/fed_runner.h"
+#include "fedscope/fault/fault_plan.h"
+#include "fedscope/testing/course_gen.h"
+
+namespace fedscope {
+namespace testing {
+
+/// One broken invariant, attributed to the oracle that caught it.
+struct Violation {
+  std::string oracle;  ///< e.g. "reproducibility", "message_conservation"
+  std::string detail;  ///< human-readable evidence (expected vs observed)
+};
+
+std::string FormatViolations(const std::vector<Violation>& violations);
+
+/// One instrumented standalone run of a course: the result plus everything
+/// the delivery taps observed.
+struct CourseObservation {
+  RunResult result;
+  bool finished = false;
+  int64_t sent = 0;
+  int64_t delivered = 0;
+  int64_t suppressed = 0;
+  FaultPlan::Counters fault;
+  /// First delivery whose virtual timestamp regressed ("" if monotone).
+  std::string time_regression;
+};
+
+CourseObservation RunInstrumentedCourse(const CourseSpec& spec);
+
+struct OracleOptions {
+  /// Also run the standalone-vs-distributed differential when the spec is
+  /// eligible (threads + loopback TCP; ~50-200 ms per course).
+  bool run_distributed = false;
+};
+
+/// True when the spec can be compared against a distributed run: the TCP
+/// hosts support neither virtual-time strategies (kAsyncTime, receive
+/// deadlines) nor fault decorators, and only full-participation sync
+/// courses have an arrival-order-independent round structure.
+bool DistributedEligible(const CourseSpec& spec);
+
+/// Runs every invariant oracle against one course spec:
+///   1. termination + stats sanity (finished/aborted, bounded accuracies,
+///      staleness within tolerance, round count within max_rounds),
+///   2. virtual-time monotonicity of deliveries and of the accuracy curve,
+///   3. message conservation under the fault plan (delivered == sent
+///      - dropped + duplicated - suppressed; suppression exact),
+///   4. same-seed bit-reproducibility (final model, curve, counters),
+///   5. through_wire equivalence (flipping the codec flag is invisible),
+///   6. aggregate-weight conservation of the spec's aggregator,
+///   7. (optional) standalone-vs-distributed differential.
+/// Returns every violation found (empty = course passed).
+std::vector<Violation> CheckCourse(const CourseSpec& spec,
+                                   const OracleOptions& options = {});
+
+/// Oracle 6 stand-alone: with identical deltas and equal local step
+/// counts, any sane aggregation must return global + delta regardless of
+/// sample counts and staleness (weights are normalized). Exposed for
+/// direct property tests.
+std::vector<Violation> CheckAggregateWeightConservation(const CourseSpec& spec);
+
+}  // namespace testing
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_TESTING_ORACLES_H_

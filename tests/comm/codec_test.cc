@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 namespace fedscope {
 namespace {
 
@@ -71,24 +73,93 @@ TEST(CodecTest, ZeroElementTensorReencodesBitExactly) {
 }
 
 TEST(CodecTest, NamesWithSeparatorBytesRoundTrip) {
-  // Keys containing the StateDict prefix separator, NUL, high bytes, and
+  // Keys containing the StateDict prefix separator, high bytes, and
   // whitespace must survive the wire: the codec is length-prefixed, never
-  // delimiter-based.
+  // delimiter-based. (NUL bytes in names are the one exception — decode
+  // rejects them; see NulEmbeddedNamesRejected.) String *values* may
+  // contain any byte, including NUL.
   Message m;
   m.msg_type = "model/update\nweird";
   m.payload.SetTensor("delta/fc.weight/extra", Tensor::FromVector({1, 2}));
-  m.payload.SetTensor(std::string("nul\0inside", 10),
-                      Tensor::FromVector({3}));
   m.payload.SetTensor("high\xff\xfe bytes", Tensor::FromVector({4}));
-  m.payload.SetString(std::string("key with,comma\tand\0nul", 22),
+  m.payload.SetString("key with,comma\tand tab",
                       std::string("value\0with nul", 14));
   auto bytes = EncodeMessage(m);
   auto decoded = DecodeMessage(bytes);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded->msg_type, m.msg_type);
   EXPECT_TRUE(decoded->payload == m.payload);
-  ASSERT_TRUE(decoded->payload.GetTensor(std::string("nul\0inside", 10)).ok());
   EXPECT_EQ(EncodeMessage(*decoded), bytes);
+}
+
+TEST(CodecTest, NulEmbeddedNamesRejected) {
+  // A NUL inside a tensor name, scalar key, or msg_type must return a
+  // Status: names flow into logs and downstream C string APIs where an
+  // embedded terminator silently truncates.
+  {
+    Message m;
+    m.payload.SetTensor(std::string("nul\0inside", 10),
+                        Tensor::FromVector({3}));
+    EXPECT_FALSE(DecodeMessage(EncodeMessage(m)).ok());
+  }
+  {
+    Message m;
+    m.payload.SetInt(std::string("k\0ey", 4), 7);
+    EXPECT_FALSE(DecodeMessage(EncodeMessage(m)).ok());
+  }
+  {
+    Message m;
+    m.msg_type = std::string("model\0update", 12);
+    EXPECT_FALSE(DecodeMessage(EncodeMessage(m)).ok());
+  }
+}
+
+TEST(CodecTest, TruncatedHeaderRejected) {
+  // Every prefix of the fixed header (magic, version, ids, msg_type
+  // length) must be rejected without reading past the buffer.
+  auto bytes = EncodeMessage(SampleMessage());
+  for (size_t len = 0; len <= 18; ++len) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(DecodeMessage(truncated).ok()) << "len=" << len;
+  }
+}
+
+TEST(CodecTest, OversizedLengthPrefixRejected) {
+  // A string length prefix larger than the whole frame must be rejected
+  // by bounds-checking, with no allocation of the claimed size.
+  Message m;
+  m.msg_type = "x";
+  auto bytes = EncodeMessage(m);
+  // msg_type length prefix lives right after magic(4)+version(2)+ids(8).
+  const size_t len_pos = 14;
+  bytes[len_pos] = 0xFF;
+  bytes[len_pos + 1] = 0xFF;
+  bytes[len_pos + 2] = 0xFF;
+  bytes[len_pos + 3] = 0x7F;
+  EXPECT_FALSE(DecodeMessage(bytes).ok());
+}
+
+TEST(CodecTest, TensorDimProductOverflowRejected) {
+  // Dims whose product overflows int64 must be rejected before any
+  // allocation (previously UB: signed overflow in the dim product).
+  Message m;
+  m.payload.SetTensor("t", Tensor({1}, {0.0f}));
+  auto bytes = EncodeMessage(m);
+  // Rewrite the single dim (the last 12 bytes are dim i64 + one f32).
+  const size_t dim_pos = bytes.size() - 12;
+  const int64_t huge = int64_t{1} << 62;
+  std::memcpy(bytes.data() + dim_pos, &huge, sizeof(huge));
+  // One dim of 2^62 elements: caught by the buffer bound.
+  EXPECT_FALSE(DecodeMessage(bytes).ok());
+
+  // Two dims multiplying past int64: previously undefined behaviour.
+  Message m2;
+  m2.payload.SetTensor("t", Tensor({1, 1}, {0.0f}));
+  auto bytes2 = EncodeMessage(m2);
+  const size_t dims_pos = bytes2.size() - 20;
+  std::memcpy(bytes2.data() + dims_pos, &huge, sizeof(huge));
+  std::memcpy(bytes2.data() + dims_pos + 8, &huge, sizeof(huge));
+  EXPECT_FALSE(DecodeMessage(bytes2).ok());
 }
 
 TEST(CodecTest, ReencodeIsBitExactForRichPayload) {

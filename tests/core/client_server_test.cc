@@ -5,6 +5,7 @@
 #include "fedscope/core/server.h"
 #include "fedscope/nn/model_zoo.h"
 #include "fedscope/tensor/tensor_ops.h"
+#include "fedscope/util/logging.h"
 
 namespace fedscope {
 namespace {
@@ -294,6 +295,43 @@ Message UpdateFrom(int id, int round, Model* reference, float bump) {
   msg.payload.SetInt("num_samples", 10);
   msg.payload.SetInt("local_steps", 4);
   return msg;
+}
+
+TEST(ServerTest, CustomHandlerOverwritesStrategyHandlerWithWarning) {
+  // The paper's customization flow (§3.2): re-registering a built-in
+  // strategy event on a live worker logs a warning — captured via the
+  // sink, not stderr — and the latest handler takes effect.
+  QueueChannel channel;
+  ServerOptions options;
+  options.expected_clients = 2;
+  options.concurrency = 2;
+  auto server = MakeServer(&channel, options);
+  ASSERT_TRUE(server->registry().Has(events::kModelUpdate));
+
+  std::vector<std::string> warnings;
+  Logging::set_sink([&](LogLevel level, const std::string& text) {
+    if (level == LogLevel::kWarning) warnings.push_back(text);
+  });
+  int intercepted = 0;
+  const bool overwrote = server->registry().Register(
+      events::kModelUpdate, [&](const Message&) { ++intercepted; });
+  Logging::set_sink(nullptr);
+
+  EXPECT_TRUE(overwrote);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find(events::kModelUpdate), std::string::npos);
+  EXPECT_NE(warnings[0].find("overwrites"), std::string::npos);
+
+  // The stock aggregation path is gone: the intercept sees the update and
+  // the global model stays untouched.
+  server->HandleMessage(JoinFrom(1));
+  server->HandleMessage(JoinFrom(2));
+  const StateDict before = server->global_model()->GetStateDict();
+  Model ref = TestModel(7);
+  server->HandleMessage(UpdateFrom(1, 0, &ref, 0.25f));
+  server->HandleMessage(UpdateFrom(2, 0, &ref, 0.25f));
+  EXPECT_EQ(intercepted, 2);
+  EXPECT_TRUE(server->global_model()->GetStateDict() == before);
 }
 
 TEST(ServerTest, JoinFlowAcksAndStarts) {

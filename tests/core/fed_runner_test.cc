@@ -96,6 +96,46 @@ TEST(FedRunnerTest, ThroughWireProducesSameResult) {
               b.final_model.GetStateDict());
 }
 
+TEST(FedRunnerTest, ThroughWireSameResultWithDecoratorsStacked) {
+  // The wire flag must stay invisible with the full decorator stack in
+  // play: top-k compressed updates AND a FaultInjectingChannel dropping,
+  // duplicating and delaying messages. The fault Judge consumes its rng
+  // in send order, which the codec hop must not perturb.
+  FedDataset data = SmallData();
+  auto decorated = [&data](bool through_wire) {
+    FedJob job = FlattenedJob(&data, 7);
+    job.server.max_rounds = 4;
+    job.server.receive_deadline = 1.5;  // lossy sync needs the backstop
+    job.client.compression = "topk";
+    job.client.compression_keep_frac = 0.3;
+    job.fault.dropout_frac = 0.2;
+    job.fault.msg_loss_prob = 0.1;
+    job.fault.msg_duplicate_prob = 0.2;
+    job.fault.msg_delay_prob = 0.2;
+    job.fault.msg_delay_max = 0.3;
+    job.fault.seed = 99;
+    job.through_wire = through_wire;
+    return job;
+  };
+  FedRunner plain_runner(decorated(false));
+  FedRunner wired_runner(decorated(true));
+  RunResult a = plain_runner.Run();
+  RunResult b = wired_runner.Run();
+  EXPECT_TRUE(a.final_model.GetStateDict() == b.final_model.GetStateDict());
+  ASSERT_EQ(a.server.curve.size(), b.server.curve.size());
+  for (size_t i = 0; i < a.server.curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.server.curve[i].first, b.server.curve[i].first);
+    EXPECT_DOUBLE_EQ(a.server.curve[i].second, b.server.curve[i].second);
+  }
+  // The fault plan itself must have made identical judgements.
+  const auto& fa = plain_runner.fault_plan().counters();
+  const auto& fb = wired_runner.fault_plan().counters();
+  EXPECT_GT(fa.lost + fa.duplicated + fa.delayed, 0);
+  EXPECT_EQ(fa.lost, fb.lost);
+  EXPECT_EQ(fa.duplicated, fb.duplicated);
+  EXPECT_EQ(fa.delayed, fb.delayed);
+}
+
 TEST(FedRunnerTest, VirtualTimeAdvancesMonotonically) {
   FedDataset data = SmallData();
   RunResult result = FedRunner(FlattenedJob(&data)).Run();

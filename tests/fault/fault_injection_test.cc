@@ -176,6 +176,106 @@ TEST(FaultInjectionTest, AllDeadFleetAbortsViaBackstop) {
   EXPECT_GT(result.server.round_extensions, 0);
 }
 
+TEST(FaultInjectionTest, DeadlineWithExactlyMinReceivedAggregatesAtOnce) {
+  // Boundary of HandleReceiveDeadline's `buffer >= min_received`: when the
+  // deadline fires with EXACTLY min_received updates in the buffer, the
+  // round must aggregate immediately — no extension, no presumed-dead
+  // replacements.
+  FedDataset data = TinyData();
+  FedJob job = TinyJob(&data);
+  job.server.strategy = Strategy::kSyncVanilla;
+  job.server.concurrency = 8;  // full participation: fleet slots are fixed
+  job.server.min_received = 2;
+  job.server.max_rounds = 1;
+  job.server.receive_deadline = 60.0;
+  // Two fast devices answer in milliseconds; six are slow enough that
+  // their updates land far beyond the deadline (but are never "lost").
+  DeviceProfile fast;
+  fast.compute_speed = 1e6;
+  DeviceProfile slow;
+  slow.compute_speed = 0.01;
+  job.fleet = {fast, fast, slow, slow, slow, slow, slow, slow};
+  RunResult result = FedRunner(std::move(job)).Run();
+  EXPECT_EQ(result.server.rounds, 1);
+  EXPECT_FALSE(result.server.aborted);
+  EXPECT_EQ(result.server.round_extensions, 0);
+  EXPECT_EQ(result.server.dropouts, 0);
+  EXPECT_EQ(result.server.replacements, 0);
+}
+
+TEST(FaultInjectionTest, BackstopAbortsExactlyAfterLastAllowedExtension) {
+  // Boundary of CountExtensionAndCheckBackstop: with a fully dead cohort
+  // the server extends max_round_extensions times and gives up on the
+  // next deadline — the counter must read exactly max + 1, including the
+  // max = 0 degenerate case (abort on the very first starved deadline).
+  FedDataset data = TinyData();
+  for (int max_extensions : {0, 3}) {
+    FedJob job = TinyJob(&data);
+    job.server.strategy = Strategy::kSyncVanilla;
+    job.server.receive_deadline = 30.0;
+    job.server.max_round_extensions = max_extensions;
+    job.fault.dropout_frac = 1.0;
+    job.fault.seed = 9;
+    RunResult result = FedRunner(std::move(job)).Run();
+    EXPECT_TRUE(result.server.aborted) << "max=" << max_extensions;
+    EXPECT_EQ(result.server.rounds, 0) << "max=" << max_extensions;
+    EXPECT_EQ(result.server.round_extensions, max_extensions + 1)
+        << "max=" << max_extensions;
+  }
+}
+
+TEST(FaultInjectionTest, NoSurvivorsLeftInFlightAggregatesWithoutWaiting) {
+  // Full participation, one live client, seven that never respond: after
+  // the first starved deadline the whole outstanding cohort is presumed
+  // dead and there is nobody idle to replace it. With no update able to
+  // ever arrive, the server must aggregate the partial buffer right then
+  // instead of sleepwalking through the remaining allowed extensions.
+  FedDataset data = TinyData();
+  FedJob job = TinyJob(&data);
+  job.server.strategy = Strategy::kSyncVanilla;
+  job.server.concurrency = 8;
+  job.server.min_received = 3;
+  job.server.max_rounds = 1;
+  job.server.receive_deadline = 30.0;
+  job.server.max_round_extensions = 5;
+  DeviceProfile fast;
+  fast.compute_speed = 1e6;
+  DeviceProfile dead;
+  dead.crash_prob = 1.0;  // never responds, round after round
+  job.fleet = {fast, dead, dead, dead, dead, dead, dead, dead};
+  RunResult result = FedRunner(std::move(job)).Run();
+  EXPECT_FALSE(result.server.aborted);
+  EXPECT_EQ(result.server.rounds, 1);
+  EXPECT_EQ(result.server.round_extensions, 1);
+  EXPECT_EQ(result.server.dropouts, 7);
+}
+
+TEST(FaultInjectionTest, BackstopAggregatesPartialBufferInsteadOfAborting) {
+  // Replacement churn that never satisfies min_received: each starved
+  // deadline presumes the in-flight cohort dead and pulls in idle (but
+  // equally slow) replacements, so someone is always in flight. On the
+  // extension after the last allowed one, the backstop must aggregate the
+  // below-min_received buffer rather than abort the course.
+  FedDataset data = TinyData();
+  FedJob job = TinyJob(&data);
+  job.server.strategy = Strategy::kSyncVanilla;
+  job.server.concurrency = 4;
+  job.server.min_received = 3;
+  job.server.max_rounds = 1;
+  job.server.receive_deadline = 30.0;
+  job.server.max_round_extensions = 2;
+  DeviceProfile fast;
+  fast.compute_speed = 1e6;
+  DeviceProfile slow;
+  slow.compute_speed = 0.01;  // responds, but hours after the deadline
+  job.fleet = {fast, slow, slow, slow, slow, slow, slow, slow};
+  RunResult result = FedRunner(std::move(job)).Run();
+  EXPECT_FALSE(result.server.aborted);
+  EXPECT_EQ(result.server.rounds, 1);
+  EXPECT_EQ(result.server.round_extensions, 3);  // 2 allowed + the backstop
+  EXPECT_GT(result.server.replacements, 0);
+}
+
 TEST(FaultInjectionTest, OverselectToleratesCrashesWithoutDeadline) {
   // Over-selection absorbs crash-after-training losses by construction:
   // the trigger waits for `concurrency` updates out of an over-sampled

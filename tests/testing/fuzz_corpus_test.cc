@@ -1,0 +1,112 @@
+// Replays tests/fuzz/corpus/ (tier-1): every *.course spec must pass all
+// invariant oracles, every *_reject.hex frame must fail DecodeMessage
+// with a Status, and every *_roundtrip.hex frame must decode and
+// re-encode bit-identically. The corpus directory is baked in via the
+// FEDSCOPE_FUZZ_CORPUS_DIR compile definition.
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fedscope/comm/codec.h"
+#include "fedscope/testing/oracles.h"
+#include "fedscope/util/logging.h"
+#include "gtest/gtest.h"
+
+namespace fedscope {
+namespace testing {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> CorpusFiles(const std::string& extension,
+                                  const std::string& suffix = "") {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(FEDSCOPE_FUZZ_CORPUS_DIR)) {
+    const fs::path& p = entry.path();
+    if (p.extension() != extension) continue;
+    if (!suffix.empty() && p.stem().string().rfind(suffix) ==
+                               std::string::npos) {
+      continue;
+    }
+    files.push_back(p);
+  }
+  return files;
+}
+
+/// First non-comment, non-blank line of a .course file.
+std::string ReadSpecLine(const fs::path& path) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') return line;
+  }
+  return "";
+}
+
+std::vector<uint8_t> ReadHex(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<uint8_t> bytes;
+  std::string token;
+  int hi = -1;
+  char c;
+  while (in.get(c)) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) continue;
+    const int nibble = std::isdigit(static_cast<unsigned char>(c))
+                           ? c - '0'
+                           : std::tolower(c) - 'a' + 10;
+    if (hi < 0) {
+      hi = nibble;
+    } else {
+      bytes.push_back(static_cast<uint8_t>(hi << 4 | nibble));
+      hi = -1;
+    }
+  }
+  return bytes;
+}
+
+TEST(FuzzCorpusTest, EveryCourseSeedPassesAllOracles) {
+  Logging::set_min_level(LogLevel::kWarning);
+  const auto files = CorpusFiles(".course");
+  ASSERT_FALSE(files.empty()) << "corpus missing: " << FEDSCOPE_FUZZ_CORPUS_DIR;
+  for (const auto& file : files) {
+    const std::string line = ReadSpecLine(file);
+    ASSERT_FALSE(line.empty()) << file;
+    auto spec = CourseSpec::FromString(line);
+    ASSERT_TRUE(spec.ok()) << file << ": " << spec.status().ToString();
+    OracleOptions options;
+    options.run_distributed = DistributedEligible(spec.value());
+    const auto violations = CheckCourse(spec.value(), options);
+    EXPECT_TRUE(violations.empty())
+        << file << "\n" << FormatViolations(violations);
+  }
+  Logging::set_min_level(LogLevel::kInfo);
+}
+
+TEST(FuzzCorpusTest, RejectFramesReturnStatusNotCrash) {
+  const auto files = CorpusFiles(".hex", "_reject");
+  ASSERT_FALSE(files.empty());
+  for (const auto& file : files) {
+    const std::vector<uint8_t> bytes = ReadHex(file);
+    ASSERT_FALSE(bytes.empty()) << file;
+    const auto decoded = DecodeMessage(bytes);
+    EXPECT_FALSE(decoded.ok()) << file << " unexpectedly decoded";
+  }
+}
+
+TEST(FuzzCorpusTest, RoundtripFramesReencodeBitIdentically) {
+  const auto files = CorpusFiles(".hex", "_roundtrip");
+  ASSERT_FALSE(files.empty());
+  for (const auto& file : files) {
+    const std::vector<uint8_t> bytes = ReadHex(file);
+    auto decoded = DecodeMessage(bytes);
+    ASSERT_TRUE(decoded.ok()) << file << ": " << decoded.status().ToString();
+    EXPECT_EQ(EncodeMessage(decoded.value()), bytes) << file;
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace fedscope

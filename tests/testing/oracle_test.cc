@@ -1,0 +1,130 @@
+#include "fedscope/testing/oracles.h"
+
+#include "fedscope/testing/shrink.h"
+#include "fedscope/util/logging.h"
+#include "gtest/gtest.h"
+
+namespace fedscope {
+namespace testing {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Logging::set_min_level(LogLevel::kWarning); }
+  void TearDown() override { Logging::set_min_level(LogLevel::kInfo); }
+};
+
+TEST_F(OracleTest, FixedSeedCoursesPassEveryOracle) {
+  for (uint64_t seed : {1u, 2u, 7u, 20u}) {
+    const CourseSpec spec = CourseGen::Sample(seed);
+    const auto violations = CheckCourse(spec);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << "\n" << FormatViolations(violations);
+  }
+}
+
+TEST_F(OracleTest, DistributedEligibilityIsConservative) {
+  CourseSpec eligible;  // defaults are sync_vanilla, no faults
+  eligible.concurrency = eligible.num_clients;
+  eligible = CourseGen::Clamp(eligible);
+  EXPECT_TRUE(DistributedEligible(eligible));
+
+  CourseSpec faulty = eligible;
+  faulty.fault_msg_loss_prob = 0.1;
+  EXPECT_FALSE(DistributedEligible(CourseGen::Clamp(faulty)));
+
+  CourseSpec partial = eligible;
+  partial.concurrency = eligible.num_clients - 1;
+  EXPECT_FALSE(DistributedEligible(CourseGen::Clamp(partial)));
+}
+
+TEST_F(OracleTest, DistributedDifferentialPasses) {
+  CourseSpec spec;
+  spec.concurrency = spec.num_clients;
+  spec.max_rounds = 2;
+  spec = CourseGen::Clamp(spec);
+  ASSERT_TRUE(DistributedEligible(spec));
+  OracleOptions options;
+  options.run_distributed = true;
+  const auto violations = CheckCourse(spec, options);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+}
+
+TEST_F(OracleTest, MessageConservationHoldsUnderLossyFaultPlan) {
+  // Sampled seed with loss + duplication + delay (sync, deadline engaged).
+  CourseSpec spec = CourseGen::Sample(7);
+  ASSERT_TRUE(spec.HasLossyFaults());
+  ASSERT_GT(spec.fault_msg_duplicate_prob, 0.0);
+  CourseObservation obs = RunInstrumentedCourse(spec);
+  const int64_t vanished =
+      obs.fault.dropout_suppressed + obs.fault.crashes + obs.fault.lost;
+  EXPECT_EQ(obs.delivered,
+            obs.sent - vanished + obs.fault.duplicated - obs.suppressed);
+  EXPECT_GT(obs.sent, 0);
+  EXPECT_EQ(obs.time_regression, "");
+}
+
+TEST_F(OracleTest, DuplicateSuppressionIsExact) {
+  CourseSpec spec = CourseGen::Sample(7);
+  spec.fault_msg_duplicate_prob = 0.5;
+  spec.suppress_duplicates = true;
+  spec = CourseGen::Clamp(spec);
+  CourseObservation obs = RunInstrumentedCourse(spec);
+  EXPECT_GT(obs.fault.duplicated, 0);
+  // Every injected duplicate — and nothing else — is suppressed.
+  EXPECT_EQ(obs.suppressed, obs.fault.duplicated);
+
+  spec.suppress_duplicates = false;
+  spec = CourseGen::Clamp(spec);
+  obs = RunInstrumentedCourse(spec);
+  EXPECT_EQ(obs.suppressed, 0);
+}
+
+TEST_F(OracleTest, AggregateWeightConservationForEveryAggregator) {
+  for (const char* aggregator :
+       {"fedavg", "fedopt", "fednova", "median", "trimmed_mean"}) {
+    CourseSpec spec = CourseGen::Sample(1);
+    spec.aggregator = aggregator;
+    spec = CourseGen::Clamp(spec);
+    const auto violations = CheckAggregateWeightConservation(spec);
+    EXPECT_TRUE(violations.empty())
+        << aggregator << "\n" << FormatViolations(violations);
+  }
+}
+
+TEST_F(OracleTest, ShrinkReducesToThePredicateCore) {
+  // Synthetic failure: any async_time course with message duplication
+  // "fails". The shrinker must keep those two facts and reset the rest.
+  CourseSpec failing = CourseGen::Sample(20);
+  ASSERT_EQ(failing.strategy, "async_time");
+  ASSERT_GT(failing.fault_msg_duplicate_prob, 0.0);
+  const auto predicate = [](const CourseSpec& s) {
+    return s.strategy == "async_time" && s.fault_msg_duplicate_prob > 0.0;
+  };
+  const ShrinkResult result = ShrinkCourse(failing, predicate);
+  EXPECT_TRUE(predicate(result.spec));
+  EXPECT_TRUE(CourseGen::Validate(result.spec).ok());
+  EXPECT_GT(result.fields_reset, 0);
+  EXPECT_LE(result.evals, ShrinkOptions{}.max_evals);
+  // Load-free fields land on their benign defaults.
+  const CourseSpec defaults;
+  EXPECT_EQ(result.spec.personalization, defaults.personalization);
+  EXPECT_EQ(result.spec.compression, defaults.compression);
+  EXPECT_EQ(result.spec.heterogeneous_fleet, defaults.heterogeneous_fleet);
+  EXPECT_EQ(result.spec.broadcast, defaults.broadcast);
+}
+
+TEST_F(OracleTest, ShrinkIsDeterministic) {
+  const auto predicate = [](const CourseSpec& s) {
+    return s.strategy == "async_time" && s.fault_msg_duplicate_prob > 0.0;
+  };
+  const CourseSpec failing = CourseGen::Sample(20);
+  const ShrinkResult a = ShrinkCourse(failing, predicate);
+  const ShrinkResult b = ShrinkCourse(failing, predicate);
+  EXPECT_EQ(a.spec, b.spec);
+  EXPECT_EQ(a.evals, b.evals);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace fedscope
