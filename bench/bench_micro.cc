@@ -4,9 +4,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
 #include "fedscope/comm/channel.h"
 #include "fedscope/comm/codec.h"
 #include "fedscope/core/aggregator.h"
+#include "fedscope/core/checkpoint.h"
 #include "fedscope/nn/loss.h"
 #include "fedscope/nn/model_zoo.h"
 #include "fedscope/obs/obs_context.h"
@@ -275,6 +280,70 @@ void BM_SecretSharedSum(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10 * state.range(0));
 }
 BENCHMARK(BM_SecretSharedSum)->Arg(1000);
+
+// -- durable course snapshots (DESIGN.md §10) -------------------------------
+// Arg 0: the Twitter logistic regression (§5.2, ~120 params). Arg 1: the
+// FEMNIST ConvNet2 at paper scale (~1.8M params). Together they bracket the
+// per-round snapshot cost a recovering deployment pays.
+
+Checkpoint SnapshotCheckpoint(int which) {
+  Rng rng(12);
+  Model model = which == 0 ? MakeLogisticRegression(60, 2, &rng)
+                           : MakeConvNet2(1, 28, 62, 2048, 0.0, &rng);
+  Checkpoint ckpt;
+  ckpt.round = 42;
+  ckpt.virtual_time = 1234.5;
+  ckpt.best_accuracy = 0.9;
+  ckpt.global_state = model.GetStateDict();
+  SetPackedU64s(&ckpt.course, "rng", {1, 2, 3, 4, 5, 6, 7});
+  return ckpt;
+}
+
+void BM_SnapshotSerialize(benchmark::State& state) {
+  Checkpoint ckpt = SnapshotCheckpoint(static_cast<int>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::vector<uint8_t> frame = EncodeCheckpointFile(ckpt);
+    bytes = frame.size();
+    benchmark::DoNotOptimize(frame.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_SnapshotSerialize)->Arg(0)->Arg(1);
+
+void BM_SnapshotDeserialize(benchmark::State& state) {
+  const std::vector<uint8_t> frame =
+      EncodeCheckpointFile(SnapshotCheckpoint(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto decoded = DecodeCheckpointFile(frame);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(frame.size()));
+}
+BENCHMARK(BM_SnapshotDeserialize)->Arg(0)->Arg(1);
+
+void BM_SnapshotAtomicWrite(benchmark::State& state) {
+  // Full durability path: temp file + fsync + rename + directory fsync.
+  // Dominated by fsync latency, so expect the storage stack — not the
+  // codec — to set this number.
+  Checkpoint ckpt = SnapshotCheckpoint(static_cast<int>(state.range(0)));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fedscope_bench_snapshot.ckpt")
+          .string();
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto written = WriteCheckpointFileAtomic(path, ckpt);
+    if (!written.ok()) {
+      state.SkipWithError(written.status().ToString().c_str());
+      return;
+    }
+    bytes = written.value();
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotAtomicWrite)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace fedscope

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke drill (CI: crash-recovery-smoke). SIGKILLs a real
+# distributed server process mid-course, restarts it from the latest
+# durable snapshot, and asserts the course completes with the same final
+# accuracy as an uninterrupted reference run (within a float tolerance:
+# distributed aggregation folds updates in arrival order, so even two
+# uninterrupted runs differ in rounding — bit-identity is the standalone
+# simulator's contract, enforced by fuzz oracle 8).
+#
+# usage: crash_recovery_smoke.sh <path-to-crash_recovery-binary>
+set -euo pipefail
+
+BIN=${1:?usage: $0 <path-to-crash_recovery-binary>}
+PORT=$(( 20000 + RANDOM % 10000 ))
+# Rounds take a few hundred ms each (the demo sizes the task for that),
+# so the kill after the first snapshot lands mid-course with a wide
+# margin while the whole drill stays well under a minute.
+ROUNDS=20
+TOLERANCE=0.05
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+run_clients() {
+  local pids=()
+  for id in 1 2 3 4; do
+    "$BIN" client "$id" "$PORT" > "$WORK/client_$id.log" 2>&1 &
+    pids+=($!)
+  done
+  for pid in "${pids[@]}"; do wait "$pid"; done
+}
+
+extract() {  # extract <log> <field>
+  sed -n "s/.*FINAL rounds=\([0-9]*\) accuracy=\([0-9.]*\).*/\\$2/p" "$1"
+}
+
+# --- reference: uninterrupted course ---------------------------------------
+echo "== reference run (port $PORT) =="
+"$BIN" server "$PORT" "$WORK/ref_snapshots" "$ROUNDS" > "$WORK/ref.log" 2>&1 &
+SERVER=$!
+run_clients
+wait "$SERVER"
+REF_ACC=$(extract "$WORK/ref.log" 2)
+echo "reference: rounds=$(extract "$WORK/ref.log" 1) accuracy=$REF_ACC"
+
+# --- crash run: SIGKILL after the round-2 snapshot, restart from it --------
+PORT=$(( PORT + 1 ))
+echo "== crash run (port $PORT) =="
+"$BIN" server "$PORT" "$WORK/snapshots" "$ROUNDS" > "$WORK/crash1.log" 2>&1 &
+SERVER=$!
+run_clients &
+CLIENTS=$!
+
+for _ in $(seq 1 3000); do
+  compgen -G "$WORK/snapshots/snapshot-*.ckpt" > /dev/null && break
+  sleep 0.02
+done
+compgen -G "$WORK/snapshots/snapshot-*.ckpt" > /dev/null || {
+  echo "FAIL: no snapshot appeared"; exit 1; }
+
+kill -9 "$SERVER" 2>/dev/null || {
+  echo "FAIL: course finished before the kill landed"; exit 1; }
+wait "$SERVER" 2>/dev/null || true
+echo "server SIGKILLed after first snapshot; restarting with resume"
+
+"$BIN" server "$PORT" "$WORK/snapshots" "$ROUNDS" resume \
+  > "$WORK/crash2.log" 2>&1 &
+SERVER=$!
+wait "$CLIENTS"
+wait "$SERVER"
+
+CRASH_ROUNDS=$(extract "$WORK/crash2.log" 1)
+CRASH_ACC=$(extract "$WORK/crash2.log" 2)
+cat "$WORK/crash2.log"
+
+# --- verdict ---------------------------------------------------------------
+[[ "$CRASH_ROUNDS" == "$ROUNDS" ]] || {
+  echo "FAIL: recovered course ran $CRASH_ROUNDS/$ROUNDS rounds"; exit 1; }
+grep -q "re-joins" "$WORK"/client_*.log || {
+  echo "FAIL: no client reported a re-join cycle"; exit 1; }
+awk -v a="$REF_ACC" -v b="$CRASH_ACC" -v tol="$TOLERANCE" 'BEGIN {
+  d = a - b; if (d < 0) d = -d;
+  if (d > tol) { printf "FAIL: accuracy drifted %.4f vs %.4f\n", a, b; exit 1 }
+  printf "OK: recovered accuracy %.4f vs reference %.4f (|d|=%.4f <= %.2f)\n",
+         b, a, d, tol }'

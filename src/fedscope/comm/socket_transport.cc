@@ -105,6 +105,10 @@ Status TcpConnection::SetTimeouts(double send_seconds, double recv_seconds) {
 
 TcpConnection::~TcpConnection() { Close(); }
 
+void TcpConnection::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 void TcpConnection::Close() {
   if (fd_ >= 0) {
     ::shutdown(fd_, SHUT_RDWR);

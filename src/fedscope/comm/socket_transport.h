@@ -20,13 +20,22 @@ struct TransportOptions {
   /// Connection attempts before giving up (values < 1 behave as 1).
   /// Retries back off exponentially from `retry_base_delay_ms`, doubling
   /// per attempt up to `retry_max_delay_ms`; each delay is multiplied by a
-  /// seeded uniform jitter in [0.5, 1.5) so a fleet of clients does not
-  /// reconnect in lockstep.
+  /// seeded uniform jitter in [0.5, 1.5). The same backoff schedule drives
+  /// both initial connects (clients may start before the listener is
+  /// bound) and epoch-based re-joins after a server restart (DESIGN.md
+  /// §10), so a fleet reconnecting to a recovered server arrives spread
+  /// out, each client re-authenticating to the new session epoch.
   int connect_attempts = 1;
   int retry_base_delay_ms = 20;
   int retry_max_delay_ms = 1000;
   /// Seed of the jitter stream (vary per client for decorrelated retries).
   uint64_t retry_seed = 1;
+  /// How many times a DistributedClientHost re-joins after losing its
+  /// server connection mid-course (server crash + restart-from-snapshot).
+  /// Each re-join reconnects with the backoff above and re-sends join_in
+  /// to authenticate against the restarted server's session epoch. 0 (the
+  /// default) keeps the old behaviour: a lost connection ends the run.
+  int rejoin_attempts = 0;
   /// Socket send/recv timeouts in seconds; 0 keeps fully blocking I/O.
   /// A recv timeout between messages surfaces as DeadlineExceeded
   /// (retryable: the peer is just idle); a timeout mid-frame surfaces as
@@ -81,6 +90,13 @@ class TcpConnection {
 
   /// Overrides the frame-size cap (testing / small-memory deployments).
   void set_max_frame_bytes(uint32_t limit) { max_frame_bytes_ = limit; }
+
+  /// Half-close: wakes any thread blocked in recv on this connection
+  /// without invalidating the descriptor. Teardown of a connection shared
+  /// with a reader thread must be Shutdown() -> join the reader ->
+  /// Close(): closing while the reader is still in recv races with kernel
+  /// descriptor reuse.
+  void Shutdown();
 
   /// Shuts down and closes the socket (idempotent).
   void Close();

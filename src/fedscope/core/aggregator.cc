@@ -61,6 +61,22 @@ StateDict FedOptAggregator::Aggregate(
   return next;
 }
 
+void FedOptAggregator::SaveState(Payload* p,
+                                 const std::string& prefix) const {
+  // momentum_.empty() vs "momentum of all zeros" differ (first Aggregate
+  // *assigns* rather than decays), so emptiness is recorded explicitly.
+  p->SetInt(prefix + "/has_momentum", momentum_.empty() ? 0 : 1);
+  if (!momentum_.empty()) p->SetStateDict(prefix + "/momentum", momentum_);
+}
+
+void FedOptAggregator::LoadState(const Payload& p, const std::string& prefix) {
+  if (p.GetInt(prefix + "/has_momentum") != 0) {
+    momentum_ = p.GetStateDict(prefix + "/momentum");
+  } else {
+    momentum_.clear();
+  }
+}
+
 StateDict FedNovaAggregator::Aggregate(
     const StateDict& global, const std::vector<ClientUpdate>& updates) {
   FS_CHECK(!updates.empty());

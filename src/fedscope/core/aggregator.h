@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fedscope/comm/message.h"
 #include "fedscope/nn/model.h"
 
 namespace fedscope {
@@ -36,6 +37,15 @@ class Aggregator {
   virtual std::string Name() const = 0;
   virtual StateDict Aggregate(const StateDict& global,
                               const std::vector<ClientUpdate>& updates) = 0;
+
+  /// Persists aggregator-internal course state (e.g. server momentum) into
+  /// `p` under `prefix` for crash snapshots. Stateless aggregators write
+  /// nothing; constructor hyperparameters are rebuilt from the spec.
+  virtual void SaveState(Payload* /*p*/, const std::string& /*prefix*/) const {
+  }
+  /// Restores state written by SaveState onto a freshly built aggregator.
+  virtual void LoadState(const Payload& /*p*/,
+                         const std::string& /*prefix*/) {}
 };
 
 /// Options shared by the averaging-style aggregators.
@@ -73,6 +83,8 @@ class FedOptAggregator : public Aggregator {
   std::string Name() const override { return "fedopt"; }
   StateDict Aggregate(const StateDict& global,
                       const std::vector<ClientUpdate>& updates) override;
+  void SaveState(Payload* p, const std::string& prefix) const override;
+  void LoadState(const Payload& p, const std::string& prefix) override;
 
  private:
   double server_lr_;

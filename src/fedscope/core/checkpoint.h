@@ -2,8 +2,10 @@
 #define FEDSCOPE_CORE_CHECKPOINT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "fedscope/comm/message.h"
 #include "fedscope/nn/model.h"
 #include "fedscope/util/status.h"
 
@@ -12,7 +14,8 @@ namespace fedscope {
 /// A training-course snapshot (paper §4.3: "FederatedScope can export the
 /// snapshot of a training course to a corresponding checkpoint, from which
 /// another training course can restore") — the mechanism behind the
-/// multi-fidelity HPO methods (SHA, Hyperband, PBT).
+/// multi-fidelity HPO methods (SHA, Hyperband, PBT) and, since the crash
+/// recovery work (DESIGN.md §10), behind server restarts.
 ///
 /// Serialized through the same backend-independent wire format as
 /// messages, so checkpoints written by one backend restore on another.
@@ -21,13 +24,108 @@ struct Checkpoint {
   double virtual_time = 0.0;
   double best_accuracy = 0.0;
   StateDict global_state;
+  /// Full course state beyond the model: rng streams, sampler cursor,
+  /// aggregator accumulators, pending cohort, stats, transport epoch.
+  /// Empty for v1 checkpoints and for plain HPO model checkpoints; the
+  /// exact key schema is owned by Server::ExportSnapshot.
+  Payload course;
 };
 
+/// v2 adds the course section and an explicit parameter count (so empty
+/// state dicts round-trip); v1 files still deserialize, with an empty
+/// course section.
 std::vector<uint8_t> SerializeCheckpoint(const Checkpoint& checkpoint);
 Result<Checkpoint> DeserializeCheckpoint(const std::vector<uint8_t>& bytes);
 
 /// Applies a checkpoint's parameters to a model (architecture must match).
 Status RestoreModel(const Checkpoint& checkpoint, Model* model);
+
+// -- payload packing helpers ------------------------------------------------
+// Byte-exact packing of numeric vectors into binary-safe string scalars
+// (8-byte words, native layout like the wire codec). Doubles round-trip
+// bit-identically, which the codec's float32 tensors could not guarantee.
+
+void SetPackedU64s(Payload* p, const std::string& key,
+                   const std::vector<uint64_t>& v);
+std::vector<uint64_t> GetPackedU64s(const Payload& p, const std::string& key);
+void SetPackedInt64s(Payload* p, const std::string& key,
+                     const std::vector<int64_t>& v);
+std::vector<int64_t> GetPackedInt64s(const Payload& p, const std::string& key);
+void SetPackedDoubles(Payload* p, const std::string& key,
+                      const std::vector<double>& v);
+std::vector<double> GetPackedDoubles(const Payload& p, const std::string& key);
+
+/// Copies every entry of `src` into `dst` under "<prefix>/", preserving
+/// scalar types (int64 vs double matters for bit-exact restore).
+void MergePayloadWithPrefix(Payload* dst, const std::string& prefix,
+                            const Payload& src);
+/// Recovers the sub-payload stored under "<prefix>/" by
+/// MergePayloadWithPrefix.
+Payload ExtractPayloadPrefix(const Payload& src, const std::string& prefix);
+
+// -- durable snapshot files -------------------------------------------------
+
+/// Container framing for a checkpoint on disk: 20-byte header
+/// (magic "FSNP", u32 container version, u64 payload size, u32 CRC-32 of
+/// the payload) followed by the wire-encoded checkpoint payload. The CRC
+/// turns torn or bit-flipped files into a Status instead of garbage state.
+std::vector<uint8_t> EncodeCheckpointFile(const Checkpoint& checkpoint);
+/// Strict parse: rejects short headers, bad magic, unknown versions,
+/// size mismatches, trailing bytes, and checksum mismatches.
+Result<Checkpoint> DecodeCheckpointFile(const std::vector<uint8_t>& bytes);
+
+/// Crash-consistent write: encode to "<path>.tmp", fsync the file and its
+/// directory, then rename over `path` — a reader never observes a partial
+/// snapshot, and a crash mid-write leaves the previous snapshot intact.
+/// Returns the byte size written.
+Result<int64_t> WriteCheckpointFileAtomic(const std::string& path,
+                                          const Checkpoint& checkpoint);
+Result<Checkpoint> ReadCheckpointFile(const std::string& path);
+
+/// When/where the server persists course snapshots.
+struct SnapshotPolicy {
+  /// Snapshot directory; empty disables snapshotting entirely.
+  std::string directory;
+  /// Snapshot after every Nth aggregated round (1 = on every aggregate,
+  /// 0 disables).
+  int every_n_rounds = 1;
+  /// Retain only the newest N snapshot files (0 = keep all). Two is the
+  /// safe minimum: the newest may be mid-rename when the crash hits.
+  int keep_last = 2;
+};
+
+/// Applies a SnapshotPolicy: names files "snapshot-<round>.ckpt" inside
+/// policy.directory (created on first write), writes atomically, prunes
+/// old files, and counts writes/bytes for the obs satellite counters.
+class SnapshotWriter {
+ public:
+  SnapshotWriter() = default;
+  explicit SnapshotWriter(SnapshotPolicy policy) : policy_(std::move(policy)) {}
+
+  bool enabled() const {
+    return !policy_.directory.empty() && policy_.every_n_rounds > 0;
+  }
+  /// True when the policy calls for a snapshot after aggregation `round`.
+  bool ShouldSnapshot(int round) const {
+    return enabled() && round > 0 && round % policy_.every_n_rounds == 0;
+  }
+  /// Writes `checkpoint` and prunes; returns the bytes written.
+  Result<int64_t> Write(const Checkpoint& checkpoint);
+
+  const SnapshotPolicy& policy() const { return policy_; }
+  int64_t snapshots_written() const { return snapshots_written_; }
+  int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  SnapshotPolicy policy_;
+  int64_t snapshots_written_ = 0;
+  int64_t bytes_written_ = 0;
+};
+
+/// Loads the newest valid snapshot in `directory`, skipping (with a
+/// logged warning) files that fail the container checks — a torn newest
+/// file falls back to the previous one. NotFound when none is valid.
+Result<Checkpoint> LoadLatestSnapshot(const std::string& directory);
 
 }  // namespace fedscope
 

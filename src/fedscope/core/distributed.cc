@@ -47,6 +47,10 @@ class DistributedServerHost::Router : public CommChannel {
     if (msg.msg_type == events::kFinish) host_->course_finished_.store(true);
     Message stamped = msg;
     stamped.timestamp = NowSeconds();
+    // Every outgoing message carries the session epoch; clients adopt it
+    // and echo it, letting the ingress tell live traffic from messages
+    // produced against a dead incarnation of the course.
+    stamped.payload.SetInt(kSessionEpochKey, host_->session_epoch_);
     if (host_->obs_ != nullptr) host_->obs_->OnChannelSend(stamped);
     Status status = it->second.SendMessage(stamped);
     if (!status.ok()) {
@@ -77,17 +81,33 @@ DistributedServerHost::DistributedServerHost(
 }
 
 DistributedServerHost::~DistributedServerHost() {
+  // Shutdown -> join -> close: readers may still be blocked in recv on
+  // these descriptors (crash-path teardown); closing under them races
+  // with kernel descriptor reuse.
   {
     std::lock_guard<std::mutex> lock(send_mu_);
-    for (auto& [id, conn] : connections_) conn.Close();
+    for (auto& [id, conn] : connections_) conn.Shutdown();
   }
   for (auto& reader : readers_) {
     if (reader.joinable()) reader.join();
   }
+  std::lock_guard<std::mutex> lock(send_mu_);
+  for (auto& [id, conn] : connections_) conn.Close();
 }
 
 void DistributedServerHost::PushIncoming(Message msg) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Messages not authenticated to this incarnation's session epoch were
+  // produced against a dead one (pre-crash retransmits, updates trained on
+  // a pre-snapshot broadcast); reject them before the Server worker can
+  // see them. join_in is exempt — it is how a client learns the epoch.
+  if (msg.msg_type != events::kJoinIn &&
+      msg.payload.GetInt(kSessionEpochKey, -1) != session_epoch_) {
+    ++stale_epoch_rejected_;
+    FS_LOG(Warning) << "rejected stale-epoch message (session epoch "
+                    << session_epoch_ << "): " << MessageSummary(msg);
+    return;
+  }
   // At-least-once delivery makes retransmissions possible; suppress exact
   // repeats here so the Server worker never sees them.
   if (dedup_.IsDuplicate(msg)) return;
@@ -123,6 +143,9 @@ void DistributedServerHost::ReaderLoop(int client_id,
         failure.receiver = kServerId;
         failure.msg_type = events::kClientFailure;
         failure.timestamp = NowSeconds();
+        // Host-synthesized, so authenticate it to the live epoch (the
+        // ingress would otherwise reject it as stale).
+        failure.payload.SetInt(kSessionEpochKey, session_epoch_);
         PushIncoming(std::move(failure));
       }
       std::lock_guard<std::mutex> lock(mu_);
@@ -132,6 +155,50 @@ void DistributedServerHost::ReaderLoop(int client_id,
       return;
     }
     PushIncoming(std::move(msg.value()));
+  }
+}
+
+Status DistributedServerHost::RestoreFromCheckpoint(
+    const Checkpoint& checkpoint) {
+  FS_RETURN_IF_ERROR(server_->RestoreSnapshot(checkpoint));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (checkpoint.course.HasScalar("transport/dedup/count")) {
+      FS_RETURN_IF_ERROR(
+          dedup_.LoadState(checkpoint.course, "transport/dedup"));
+    }
+  }
+  // Bump past the snapshot's epoch: every message the dead incarnation
+  // produced (or that clients produced against it) is now stale.
+  session_epoch_ = checkpoint.course.GetInt("transport/epoch", 0) + 1;
+  if (obs_ != nullptr) obs_->Count("fs_recoveries_total");
+  FS_LOG(Info) << "restored from snapshot: round " << server_->round()
+               << ", session epoch " << session_epoch_;
+  return Status::Ok();
+}
+
+void DistributedServerHost::WriteSnapshot() {
+  Checkpoint snapshot;
+  server_->ExportSnapshot(&snapshot);
+  // Transport extras: what a restarted *host* needs beyond the worker.
+  snapshot.course.SetInt("transport/epoch", session_epoch_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dedup_.SaveState(&snapshot.course, "transport/dedup");
+  }
+  auto written = snapshot_writer_.Write(snapshot);
+  if (!written.ok()) {
+    FS_LOG(Warning) << "snapshot write failed: "
+                    << written.status().ToString();
+    return;
+  }
+  if (obs_ != nullptr) {
+    obs_->Count("fs_snapshots_written_total");
+    obs_->Count("fs_snapshot_bytes_total",
+                static_cast<double>(written.value()));
+    if (obs_->course_log != nullptr) {
+      obs_->course_log->AnnotateSnapshot(written.value());
+    }
   }
 }
 
@@ -180,6 +247,7 @@ ServerStats DistributedServerHost::Run() {
   }
 
   // Phase 2: event loop until the course finishes and clients hang up.
+  int last_seen_round = server_->round();
   while (true) {
     Message msg;
     {
@@ -198,6 +266,33 @@ ServerStats DistributedServerHost::Run() {
     msg.timestamp = NowSeconds();
     server_->HandleMessage(msg);
     if (server_->finished()) course_finished_.store(true);
+    if (server_->round() != last_seen_round) {
+      last_seen_round = server_->round();
+      if (snapshot_writer_.enabled() &&
+          snapshot_writer_.ShouldSnapshot(last_seen_round)) {
+        WriteSnapshot();
+      }
+      // Simulated crash (tests/CI): die abruptly — no finish broadcast;
+      // connections drop in the destructor, clients see mid-course EOF.
+      if (halt_after_round_ > 0 && last_seen_round >= halt_after_round_) {
+        FS_LOG(Warning) << "halting after round " << last_seen_round
+                        << " (simulated crash)";
+        return server_->stats();
+      }
+    }
+  }
+  // Obs sinks are confined to this thread; flush ingress counters that
+  // reader threads accumulated under the lock.
+  if (obs_ != nullptr) {
+    int64_t stale = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stale = stale_epoch_rejected_;
+    }
+    if (stale > 0) {
+      obs_->Count("fs_stale_epoch_rejected_total",
+                  static_cast<double>(stale));
+    }
   }
   return server_->stats();
 }
@@ -217,9 +312,22 @@ class DistributedClientHost::Uplink : public CommChannel {
     return Status::Ok();
   }
 
+  /// Drops the dead connection and reconnects with the same seeded
+  /// backoff. The session epoch is forgotten: the restarted server
+  /// teaches the new one through the re-join handshake.
+  Status Reopen(const std::string& host, int port,
+                const TransportOptions& transport) {
+    connection_.Close();
+    epoch_ = -1;
+    return Open(host, port, transport);
+  }
+
   void Send(const Message& msg) override {
     Message stamped = msg;
     stamped.timestamp = NowSeconds();
+    // Echo the session epoch the server taught us; join_in goes out
+    // unstamped (epoch unknown) and is exempt at the server's ingress.
+    if (epoch_ >= 0) stamped.payload.SetInt(kSessionEpochKey, epoch_);
     if (obs_ != nullptr) obs_->OnChannelSend(stamped);
     Status status = connection_.SendMessage(stamped);
     if (!status.ok()) {
@@ -228,6 +336,7 @@ class DistributedClientHost::Uplink : public CommChannel {
   }
 
   void set_obs(const ObsContext* obs) { obs_ = obs; }
+  void set_epoch(int64_t epoch) { epoch_ = epoch; }
 
   Result<Message> Receive() { return connection_.ReceiveMessage(); }
   void Close() { connection_.Close(); }
@@ -235,6 +344,8 @@ class DistributedClientHost::Uplink : public CommChannel {
  private:
   TcpConnection connection_{-1};
   const ObsContext* obs_ = nullptr;
+  /// Last session epoch adopted from an incoming message; -1 = unknown.
+  int64_t epoch_ = -1;
 };
 
 void DistributedClientHost::set_obs(const ObsContext* obs) {
@@ -246,7 +357,11 @@ DistributedClientHost::DistributedClientHost(
     int client_id, ClientOptions options, Model model, SplitDataset data,
     std::unique_ptr<BaseTrainer> trainer, const std::string& server_host,
     int server_port, TransportOptions transport)
-    : uplink_(new Uplink()) {
+    : client_id_(client_id),
+      server_host_(server_host),
+      server_port_(server_port),
+      transport_(transport),
+      uplink_(new Uplink()) {
   connect_status_ = uplink_->Open(server_host, server_port, transport);
   client_ = std::make_unique<Client>(client_id, std::move(options),
                                      std::move(model), std::move(data),
@@ -258,14 +373,40 @@ DistributedClientHost::~DistributedClientHost() = default;
 Status DistributedClientHost::Run() {
   FS_RETURN_IF_ERROR(connect_status_);
   client_->JoinIn();
+  int rejoins_left = transport_.rejoin_attempts;
   while (!client_->finished()) {
     auto msg = uplink_->Receive();
     if (!msg.ok()) {
       if (msg.status().code() == StatusCode::kDeadlineExceeded) {
         continue;  // idle between rounds (recv_timeout), keep waiting
       }
-      uplink_->Close();
-      return msg.status();
+      if (rejoins_left <= 0) {
+        uplink_->Close();
+        return msg.status();
+      }
+      // Mid-course connection loss: assume a server crash + restart from
+      // snapshot (DESIGN.md §10). Reconnect with the seeded backoff and
+      // re-join; the restarted server re-acks this client and, if it was
+      // mid-round at the snapshot, re-broadcasts the model. Any update
+      // trained against the dead incarnation is abandoned — the new
+      // incarnation would reject it as stale-epoch anyway.
+      --rejoins_left;
+      ++rejoins_;
+      FS_LOG(Warning) << "client " << client_id_ << " lost server ("
+                      << msg.status().ToString() << "); re-joining";
+      Status reopened =
+          uplink_->Reopen(server_host_, server_port_, transport_);
+      if (!reopened.ok()) {
+        uplink_->Close();
+        return reopened;
+      }
+      client_->JoinIn();
+      continue;
+    }
+    // Adopt the session epoch the server stamps on every message before
+    // handling it, so replies authenticate to the epoch they answer.
+    if (msg->payload.HasScalar(kSessionEpochKey)) {
+      uplink_->set_epoch(msg->payload.GetInt(kSessionEpochKey));
     }
     client_->HandleMessage(*msg);
   }

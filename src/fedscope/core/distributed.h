@@ -17,6 +17,15 @@
 
 namespace fedscope {
 
+/// Payload key carrying the server's session epoch. The epoch starts at 0
+/// and is bumped every time a restarted server restores from a snapshot
+/// (DESIGN.md §10). The server host stamps it on every outgoing message;
+/// clients adopt it from incoming messages and echo it on their uplink.
+/// Non-join messages carrying a different (or no) epoch are rejected at
+/// the transport ingress — they were produced against a dead incarnation
+/// of the course. join_in is exempt: it is how a client learns the epoch.
+inline constexpr char kSessionEpochKey[] = "session_epoch";
+
 /// Distributed mode: the same Server/Client workers as the standalone
 /// simulator, but messages travel over TCP between real processes (or
 /// threads). This is the paper's second deployment mode; the event-driven
@@ -70,16 +79,56 @@ class DistributedServerHost {
     server_->set_obs(obs);
   }
 
+  /// Restores a restarted server host from a durable snapshot: loads the
+  /// course section into the Server worker, restores the transport extras
+  /// (DuplicateSuppressor state), and bumps the session epoch past the
+  /// snapshot's. Must be called before Run(), on a host constructed with
+  /// the same options/model/aggregator shape as the crashed one. The next
+  /// Run() then accepts `expected_clients` *re-joins*: the Server worker
+  /// re-acks known clients and re-broadcasts to the interrupted cohort.
+  Status RestoreFromCheckpoint(const Checkpoint& checkpoint);
+
+  /// Enables durable snapshots (written right after each round that
+  /// matches the policy, with the session epoch and suppressor state as
+  /// transport extras). Must be set before Run(). Disabled by default.
+  void set_snapshot_policy(const SnapshotPolicy& policy) {
+    snapshot_writer_ = SnapshotWriter(policy);
+  }
+  const SnapshotWriter& snapshot_writer() const { return snapshot_writer_; }
+
+  /// Test knob simulating a crash: Run() returns abruptly (no finish
+  /// broadcast, connections dropped) once the server passes this round.
+  /// 0 disables. Clients observe a mid-course EOF — exactly what a
+  /// SIGKILLed server process produces.
+  void set_halt_after_round(int round) { halt_after_round_ = round; }
+
+  /// Session epoch of this incarnation (0 for a fresh course).
+  int64_t session_epoch() const { return session_epoch_; }
+
+  /// Messages rejected at the transport ingress for carrying a stale (or
+  /// missing) session epoch.
+  int64_t stale_epoch_rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stale_epoch_rejected_;
+  }
+
   /// Accepts clients, runs the course to completion, disconnects.
   /// Returns the server stats.
   ServerStats Run();
+
+  /// Transport ingress: epoch check + duplicate suppression, then enqueue
+  /// for the event loop. Public so protocol tests can inject frames
+  /// without a socket; real traffic arrives via reader threads.
+  void PushIncoming(Message msg);
 
  private:
   /// Outgoing channel: routes by msg.receiver over the TCP connections.
   class Router;
 
   void ReaderLoop(int client_id, TcpConnection* connection);
-  void PushIncoming(Message msg);
+  /// Exports a snapshot (Server course state + transport extras) and
+  /// writes it durably per the policy. Event-loop thread only.
+  void WriteSnapshot();
 
   TcpListener listener_;
   TransportOptions transport_;
@@ -91,11 +140,19 @@ class DistributedServerHost {
   /// use it to tell an orderly course-end hangup from a mid-course failure.
   std::atomic<bool> course_finished_{false};
 
+  /// Written only before Run() starts (constructor default or
+  /// RestoreFromCheckpoint); reader threads are created after, so plain
+  /// reads are race-free.
+  int64_t session_epoch_ = 0;
+  int halt_after_round_ = 0;
+  SnapshotWriter snapshot_writer_;
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> incoming_;
   DuplicateSuppressor dedup_;  // guarded by mu_
   int64_t failed_clients_ = 0;  // guarded by mu_
+  int64_t stale_epoch_rejected_ = 0;  // guarded by mu_
   int eof_count_ = 0;
 
   std::map<int, TcpConnection> connections_;
@@ -125,15 +182,26 @@ class DistributedClientHost {
   void set_obs(const ObsContext* obs);
 
   /// Joins the course and processes messages until "finish" (or the
-  /// connection drops). Returns Ok on a clean finish.
+  /// connection drops). A mid-course connection loss triggers up to
+  /// TransportOptions::rejoin_attempts reconnect + re-join cycles against
+  /// a restarted server (adopting its new session epoch) before giving
+  /// up. Returns Ok on a clean finish.
   Status Run();
+
+  /// Re-joins performed after mid-course connection losses.
+  int rejoins() const { return rejoins_; }
 
  private:
   class Uplink;
 
+  int client_id_;
+  std::string server_host_;
+  int server_port_;
+  TransportOptions transport_;
   std::unique_ptr<Uplink> uplink_;
   std::unique_ptr<Client> client_;
   Status connect_status_;
+  int rejoins_ = 0;
 };
 
 }  // namespace fedscope

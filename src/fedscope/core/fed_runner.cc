@@ -54,18 +54,9 @@ void FedRunner::BuildWorkers() {
     channel = tap_channel_.get();
   }
 
-  ServerOptions server_options = job_.server;
-  server_options.expected_clients = n;
-  if (server_options.seed == 0) server_options.seed = job_.seed;
-  server_ = std::make_unique<Server>(server_options, job_.init_model,
-                                     job_.aggregator_factory(), channel);
-  if (job_.evaluator) {
-    server_->set_evaluator(job_.evaluator);
-  } else {
-    const Dataset* test = &job_.data->server_test;
-    server_->set_evaluator(
-        [test](Model* model) { return EvaluateClassifier(model, *test); });
-  }
+  worker_channel_ = channel;
+  server_ = MakeServer();
+  snapshot_writer_ = SnapshotWriter(job_.snapshot);
 
   Rng seeder(job_.seed);
   clients_.clear();
@@ -86,6 +77,57 @@ void FedRunner::BuildWorkers() {
     server_->set_obs(&job_.obs);
     for (auto& client : clients_) client->set_obs(&job_.obs);
     if (fault_channel_ != nullptr) fault_channel_->set_obs(&job_.obs);
+  }
+}
+
+std::unique_ptr<Server> FedRunner::MakeServer() {
+  ServerOptions server_options = job_.server;
+  server_options.expected_clients = job_.data->num_clients();
+  if (server_options.seed == 0) server_options.seed = job_.seed;
+  auto server = std::make_unique<Server>(server_options, job_.init_model,
+                                         job_.aggregator_factory(),
+                                         worker_channel_);
+  if (job_.evaluator) {
+    server->set_evaluator(job_.evaluator);
+  } else {
+    const Dataset* test = &job_.data->server_test;
+    server->set_evaluator(
+        [test](Model* model) { return EvaluateClassifier(model, *test); });
+  }
+  return server;
+}
+
+void FedRunner::CrashAndRestoreServer() {
+  Checkpoint snapshot;
+  server_->ExportSnapshot(&snapshot);
+  const std::vector<uint8_t> bytes = SerializeCheckpoint(snapshot);
+  server_.reset();  // the server "process" dies; clients and queue survive
+  server_ = MakeServer();
+  if (job_.obs.enabled()) server_->set_obs(&job_.obs);
+  auto restored = DeserializeCheckpoint(bytes);
+  FS_CHECK(restored.ok()) << restored.status().ToString();
+  const Status status = server_->RestoreSnapshot(restored.value());
+  FS_CHECK(status.ok()) << status.ToString();
+  ++recoveries_;
+  job_.obs.Count("fs_recoveries_total");
+  FS_LOG(Info) << "server crash drill: restored at round "
+               << server_->round() << " t=" << server_->current_time();
+}
+
+void FedRunner::WriteSnapshot() {
+  Checkpoint snapshot;
+  server_->ExportSnapshot(&snapshot);
+  auto written = snapshot_writer_.Write(snapshot);
+  if (!written.ok()) {
+    FS_LOG(Warning) << "snapshot write failed: "
+                    << written.status().ToString();
+    return;
+  }
+  job_.obs.Count("fs_snapshots_written_total");
+  job_.obs.Count("fs_snapshot_bytes_total",
+                 static_cast<double>(written.value()));
+  if (job_.obs.course_log != nullptr) {
+    job_.obs.course_log->AnnotateSnapshot(written.value());
   }
 }
 
@@ -175,13 +217,23 @@ RunResult FedRunner::Run() {
   // are dropped. The loop ends when the course terminated and the queue
   // drained, or when nothing remains to deliver.
   int64_t delivered = 0;
+  int last_seen_round = server_->round();
   while (!queue_.Empty()) {
     Message msg = queue_.Pop();
     if (job_.suppress_duplicates && dedup_.IsDuplicate(msg)) continue;
+    // Crash drill: kill the server between deliveries — the instant a real
+    // process could die with a queued-up transport.
+    if (delivered == job_.fault.server_crash_at_event) {
+      CrashAndRestoreServer();
+    }
     ++delivered;
     if (job_.delivery_tap) job_.delivery_tap(msg);
     if (msg.receiver == kServerId) {
       server_->HandleMessage(msg);
+      if (snapshot_writer_.enabled() && server_->round() != last_seen_round) {
+        last_seen_round = server_->round();
+        if (snapshot_writer_.ShouldSnapshot(last_seen_round)) WriteSnapshot();
+      }
     } else if (msg.receiver >= 1 &&
                msg.receiver <= static_cast<int>(clients_.size())) {
       clients_[msg.receiver - 1]->HandleMessage(msg);

@@ -71,6 +71,10 @@ struct FedJob {
   /// DuplicateSuppressor. Off by default: behaviour is unchanged unless a
   /// course opts in (fault plans with msg_duplicate_prob > 0).
   bool suppress_duplicates = false;
+  /// Durable snapshot policy (DESIGN.md §10). Disabled by default (empty
+  /// directory): no snapshot is ever exported and behaviour is unchanged.
+  /// The crash drill is driven by fault.server_crash_at_event.
+  SnapshotPolicy snapshot;
   uint64_t seed = 1234;
 };
 
@@ -109,6 +113,10 @@ class FedRunner : public CommChannel {
   const FaultPlan& fault_plan() const { return fault_plan_; }
   /// Deliveries suppressed by FedJob::suppress_duplicates (0 when off).
   int64_t duplicates_suppressed() const { return dedup_.suppressed(); }
+  /// Server kill+restore drills performed (fault.server_crash_at_event).
+  int64_t recoveries() const { return recoveries_; }
+  /// Durable snapshots written under FedJob::snapshot.
+  const SnapshotWriter& snapshot_writer() const { return snapshot_writer_; }
 
  private:
   /// Observes worker-side sends (pre-fault) and forwards to `inner`.
@@ -128,6 +136,17 @@ class FedRunner : public CommChannel {
   };
 
   void BuildWorkers();
+  /// Constructs the server exactly as BuildWorkers does, wired to the same
+  /// decorated channel — shared with the crash-restore path so a rebuilt
+  /// server is indistinguishable from the original.
+  std::unique_ptr<Server> MakeServer();
+  /// The crash drill: exports a snapshot, serializes it through the wire
+  /// codec (what a restarted process would read from disk), destroys the
+  /// server, and restores a freshly built one from the bytes. Clients and
+  /// the event queue survive — they are the other processes / the network.
+  void CrashAndRestoreServer();
+  /// Exports and durably writes a snapshot per FedJob::snapshot.
+  void WriteSnapshot();
   CompletenessReport CheckCompleteness() const;
 
   FedJob job_;
@@ -138,6 +157,11 @@ class FedRunner : public CommChannel {
   PairwiseDuplicateSuppressor dedup_;
   std::unique_ptr<Server> server_;
   std::vector<std::unique_ptr<Client>> clients_;  // index 0 -> client id 1
+  /// The channel handed to workers (outermost decorator); kept so a
+  /// crash-restored server is wired identically to the original.
+  CommChannel* worker_channel_ = nullptr;
+  SnapshotWriter snapshot_writer_;
+  int64_t recoveries_ = 0;
 };
 
 }  // namespace fedscope

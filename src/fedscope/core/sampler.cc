@@ -86,6 +86,18 @@ std::vector<int> GroupSampler::Sample(const std::vector<int>& candidates,
   return out;
 }
 
+void GroupSampler::SaveState(Payload* p, const std::string& prefix) const {
+  p->SetInt(prefix + "/next_group", static_cast<int64_t>(next_group_));
+}
+
+void GroupSampler::LoadState(const Payload& p, const std::string& prefix) {
+  // The round-robin cursor is the only mutable state; groups_ themselves
+  // are rebuilt deterministically from the responsiveness scores.
+  if (groups_.empty()) return;
+  next_group_ = static_cast<size_t>(p.GetInt(prefix + "/next_group")) %
+                groups_.size();
+}
+
 std::unique_ptr<Sampler> MakeSampler(const std::string& name,
                                      const std::vector<double>& scores,
                                      int num_groups) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fedscope/comm/message.h"
 #include "fedscope/util/rng.h"
 
 namespace fedscope {
@@ -17,6 +18,14 @@ class Sampler {
   virtual std::string Name() const = 0;
   virtual std::vector<int> Sample(const std::vector<int>& candidates, int k,
                                   Rng* rng) = 0;
+
+  /// Persists sampler-internal course state into `p` under `prefix` (crash
+  /// snapshots, DESIGN.md §10). Construction-time inputs (scores, groups)
+  /// are rebuilt from ServerOptions on restore and are not written here.
+  virtual void SaveState(Payload* /*p*/, const std::string& /*prefix*/) const {}
+  /// Restores state written by SaveState onto a freshly built sampler.
+  virtual void LoadState(const Payload& /*p*/,
+                         const std::string& /*prefix*/) {}
 };
 
 /// Uniform sampling without replacement (vanilla FedAvg).
@@ -59,6 +68,8 @@ class GroupSampler : public Sampler {
   std::string Name() const override { return "group"; }
   std::vector<int> Sample(const std::vector<int>& candidates, int k,
                           Rng* rng) override;
+  void SaveState(Payload* p, const std::string& prefix) const override;
+  void LoadState(const Payload& p, const std::string& prefix) override;
 
  private:
   std::vector<std::vector<int>> groups_;

@@ -86,6 +86,26 @@ void Server::RegisterDefaultHandlers() {
 
 void Server::OnJoinIn(const Message& msg) {
   if (started_) {
+    if (clients_.count(msg.sender) > 0) {
+      // Re-join after a server restart (DESIGN.md §10): the sender is
+      // already a member. Re-ack its id so its transport adopts the new
+      // session epoch; if the snapshot has it mid-training, restart its
+      // round — any update it produced since the snapshot died with the
+      // old process or is rejected as stale-epoch.
+      FS_LOG(Info) << "client " << msg.sender << " re-joined at round "
+                   << round_;
+      Message ack;
+      ack.receiver = msg.sender;
+      ack.msg_type = events::kAssignId;
+      ack.timestamp = msg.timestamp;
+      ack.payload.SetInt("assigned_id", msg.sender);
+      Send(std::move(ack));
+      if (busy_.count(msg.sender) > 0) {
+        busy_.erase(msg.sender);
+        BroadcastModel({msg.sender}, msg.timestamp);
+      }
+      return;
+    }
     FS_LOG(Warning) << "client " << msg.sender << " joined after start";
     return;
   }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fedscope/core/aggregator.h"
+#include "fedscope/core/checkpoint.h"
 #include "fedscope/core/sampler.h"
 #include "fedscope/core/trainer.h"
 #include "fedscope/core/worker.h"
@@ -147,6 +148,19 @@ class Server : public BaseWorker {
   void set_feedback_consumer(FeedbackConsumer consumer) {
     feedback_consumer_ = std::move(consumer);
   }
+
+  /// Captures the complete course state into `checkpoint` (DESIGN.md §10):
+  /// model, rng stream position, sampler cursor, aggregator accumulators,
+  /// membership, the pending cohort with its buffered deltas, stats, and
+  /// the pending obs accumulators. Together with a surviving transport
+  /// this is sufficient for a bit-identical resume.
+  void ExportSnapshot(Checkpoint* checkpoint);
+  /// Restores a snapshot captured by ExportSnapshot onto a freshly
+  /// constructed Server whose options match the snapshotted course
+  /// (strategy and seed are cross-checked). Function hooks — evaluator,
+  /// config provider, feedback consumer, obs — are process-local, not part
+  /// of the snapshot, and must be reinstalled by the caller.
+  Status RestoreSnapshot(const Checkpoint& checkpoint);
 
   Model* global_model() { return &global_model_; }
   Aggregator* aggregator() { return aggregator_.get(); }

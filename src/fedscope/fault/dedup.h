@@ -26,6 +26,13 @@ class DuplicateSuppressor {
 
   int64_t suppressed() const { return suppressed_; }
 
+  /// Persists the per-sender last-seen table into `p` under `prefix`
+  /// (nested payloads ride as wire-encoded string scalars), so a restarted
+  /// server keeps suppressing retransmissions that straddle the crash.
+  void SaveState(Payload* p, const std::string& prefix) const;
+  /// Restores a table written by SaveState, replacing the current one.
+  Status LoadState(const Payload& p, const std::string& prefix);
+
  private:
   struct LastSeen {
     int state = 0;

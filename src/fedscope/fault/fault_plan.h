@@ -40,6 +40,14 @@ struct FaultPlanOptions {
   /// [0, msg_delay_max) virtual seconds.
   double msg_delay_prob = 0.0;
   double msg_delay_max = 0.0;
+  // -- server fault ---------------------------------------------------------
+  /// Crash-point injection for the standalone recovery drill (DESIGN.md
+  /// §10): the FedRunner kills its Server immediately before dispatching
+  /// the Nth delivered event (0-based) and restores it from a wire-codec
+  /// snapshot; clients and queued messages are the surviving transport.
+  /// -1 disables. Handled by the runner, not the channel decorator, so it
+  /// does not flip enabled() and adds no per-message rng draws.
+  int64_t server_crash_at_event = -1;
   /// Seed of the plan's private rng stream (0 picks a fixed default).
   uint64_t seed = 0;
 };

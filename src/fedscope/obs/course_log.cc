@@ -47,6 +47,12 @@ void CourseLog::Append(CourseRoundRecord record) {
   rounds_.push_back(std::move(record));
 }
 
+void CourseLog::AnnotateSnapshot(int64_t bytes) {
+  if (rounds_.empty()) return;
+  ++rounds_.back().snapshots;
+  rounds_.back().snapshot_bytes += bytes;
+}
+
 std::vector<int64_t> CourseLog::AggCountPerClient(int num_clients) const {
   std::vector<int64_t> counts(num_clients + 1, 0);
   for (const auto& round : rounds_) {
@@ -102,6 +108,12 @@ std::string CourseLog::ToJsonl() const {
       os << ",\"dropouts\":" << r.dropouts
          << ",\"replacements\":" << r.replacements;
     }
+    // Snapshot fields appear only on snapshotted rounds, keeping
+    // snapshot-free course logs byte-identical to the previous format.
+    if (r.snapshots != 0) {
+      os << ",\"snapshots\":" << r.snapshots
+         << ",\"snapshot_bytes\":" << r.snapshot_bytes;
+    }
     os << ",\"evaluated\":" << (r.evaluated ? "true" : "false");
     if (r.evaluated) {
       os << ",\"eval_accuracy\":" << FormatEval(r.eval_accuracy)
@@ -116,14 +128,15 @@ std::string CourseLog::ToCsv() const {
   std::ostringstream os;
   os << "round,trigger,time,contributors,staleness,uplink_bytes,"
         "downlink_bytes,broadcasts,dropped_stale,declined,dropouts,"
-        "replacements,evaluated,eval_accuracy,eval_loss\n";
+        "replacements,snapshots,snapshot_bytes,evaluated,eval_accuracy,"
+        "eval_loss\n";
   for (const auto& r : rounds_) {
     os << r.round << "," << r.trigger << "," << FormatTime(r.time) << ","
        << JoinInts(r.contributors, ";") << "," << JoinInts(r.staleness, ";")
        << "," << r.uplink_bytes << "," << r.downlink_bytes << ","
        << r.broadcasts << "," << r.dropped_stale << "," << r.declined << ","
-       << r.dropouts << "," << r.replacements << ","
-       << (r.evaluated ? 1 : 0) << ","
+       << r.dropouts << "," << r.replacements << "," << r.snapshots << ","
+       << r.snapshot_bytes << "," << (r.evaluated ? 1 : 0) << ","
        << (r.evaluated ? FormatEval(r.eval_accuracy) : "") << ","
        << (r.evaluated ? FormatEval(r.eval_loss) : "") << "\n";
   }

@@ -48,6 +48,10 @@ struct CourseRoundRecord {
   bool evaluated = false;
   double eval_accuracy = 0.0;
   double eval_loss = 0.0;
+  /// Durable snapshots written right after this aggregation and their
+  /// total byte size (0 when snapshotting is off — the default).
+  int snapshots = 0;
+  int64_t snapshot_bytes = 0;
 };
 
 /// Append-only per-round course record with JSONL/CSV export and the
@@ -56,6 +60,11 @@ struct CourseRoundRecord {
 class CourseLog {
  public:
   void Append(CourseRoundRecord record);
+
+  /// Marks the most recent round as snapshotted. Separate from Append
+  /// because the snapshot is written by the runner/host *after* the
+  /// aggregation's record is already in the log. No-op on an empty log.
+  void AnnotateSnapshot(int64_t bytes);
 
   const std::vector<CourseRoundRecord>& rounds() const { return rounds_; }
   int num_rounds() const { return static_cast<int>(rounds_.size()); }

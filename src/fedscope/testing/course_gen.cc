@@ -87,6 +87,7 @@ Config CourseSpec::ToConfig() const {
   c.Set("heterogeneous_fleet", heterogeneous_fleet);
   c.Set("through_wire", through_wire);
   c.Set("suppress_duplicates", suppress_duplicates);
+  c.Set("crash_frac", crash_frac);
   c.Set("fault.dropout_frac", fault_dropout_frac);
   c.Set("fault.crash_prob", fault_crash_prob);
   c.Set("fault.straggler_frac", fault_straggler_frac);
@@ -153,6 +154,7 @@ Result<CourseSpec> CourseSpec::FromConfig(const Config& config) {
   s.through_wire = config.GetBool("through_wire", s.through_wire);
   s.suppress_duplicates =
       config.GetBool("suppress_duplicates", s.suppress_duplicates);
+  s.crash_frac = config.GetDouble("crash_frac", s.crash_frac);
   s.fault_dropout_frac =
       config.GetDouble("fault.dropout_frac", s.fault_dropout_frac);
   s.fault_crash_prob = config.GetDouble("fault.crash_prob", s.fault_crash_prob);
@@ -275,6 +277,10 @@ CourseSpec CourseGen::Sample(uint64_t seed) {
   s.suppress_duplicates =
       s.fault_msg_duplicate_prob > 0.0 && rng.Bernoulli(0.5);
 
+  // Sampled last so older corpus seeds keep drawing the same spec for
+  // every pre-existing field.
+  s.crash_frac = rng.Uniform(0.0, 1.0);
+
   return Clamp(s);
 }
 
@@ -336,6 +342,7 @@ CourseSpec CourseGen::Clamp(CourseSpec s) {
   s.dp_noise = clamp_double(s.dp_noise, 0.0, 0.2);
   s.dp_clip = clamp_double(s.dp_clip, 0.1, 5.0);
 
+  s.crash_frac = clamp_double(s.crash_frac, 0.0, 1.0);
   s.fault_dropout_frac = clamp_double(s.fault_dropout_frac, 0.0, 1.0);
   s.fault_crash_prob = clamp_double(s.fault_crash_prob, 0.0, 0.5);
   s.fault_straggler_frac = clamp_double(s.fault_straggler_frac, 0.0, 1.0);

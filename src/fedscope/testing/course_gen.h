@@ -65,6 +65,14 @@ struct CourseSpec {
   bool through_wire = false;
   bool suppress_duplicates = false;
 
+  // -- crash-recovery drill (oracle 8) --------------------------------------
+  /// Where in the course the server is killed and restored from a
+  /// serialized snapshot, as a fraction of the uninterrupted run's
+  /// delivered-event count (0 = before the first delivery, 1 = before the
+  /// last). The resumed course must be bit-identical to the uninterrupted
+  /// one. Always exercised: courses cannot opt out of crash consistency.
+  double crash_frac = 0.5;
+
   // -- fault plan -----------------------------------------------------------
   double fault_dropout_frac = 0.0;
   double fault_crash_prob = 0.0;

@@ -71,9 +71,11 @@ std::string FormatViolations(const std::vector<Violation>& violations) {
   return out.str();
 }
 
-CourseObservation RunInstrumentedCourse(const CourseSpec& spec) {
+CourseObservation RunInstrumentedCourse(const CourseSpec& spec,
+                                        int64_t crash_at_event) {
   auto fixture = MakeCourseFixture(spec);
   FedJob job = fixture->MakeJob();
+  job.fault.server_crash_at_event = crash_at_event;
 
   CourseObservation obs;
   double last_delivery_time = -1.0;
@@ -94,6 +96,7 @@ CourseObservation RunInstrumentedCourse(const CourseSpec& spec) {
   obs.result = runner.Run();
   obs.finished = runner.server()->finished();
   obs.suppressed = runner.duplicates_suppressed();
+  obs.recoveries = runner.recoveries();
   obs.fault = runner.fault_plan().counters();
   return obs;
 }
@@ -335,6 +338,37 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
             Vs("final accuracy diverged", stats.final_accuracy,
                dist.final_accuracy));
     }
+  }
+
+  // -- oracle 8: crash-resume bit-identity ----------------------------------
+  // Kill the server between two deliveries at the spec's crash_frac point,
+  // restore a freshly built server from a wire-codec-serialized snapshot
+  // (exactly what a restarted process reads from disk), and require the
+  // resumed course to be indistinguishable from the uninterrupted run: any
+  // divergence means some server state escaped the snapshot schema.
+  if (a.delivered > 0) {
+    const int64_t crash_at = std::min<int64_t>(
+        a.delivered - 1,
+        static_cast<int64_t>(spec.crash_frac *
+                             static_cast<double>(a.delivered)));
+    CourseObservation c = RunInstrumentedCourse(spec, crash_at);
+    Check(&v, c.recoveries == 1, "crash_resume",
+          Vs("server restores performed", int64_t{1}, c.recoveries));
+    Check(&v,
+          StateDictsBitEqual(a.result.final_model.GetStateDict(),
+                             c.result.final_model.GetStateDict(), &detail),
+          "crash_resume", "crash-resume changed the final model: " + detail);
+    Check(&v, a.result.server.curve == c.result.server.curve, "crash_resume",
+          "crash-resume changed the accuracy curve");
+    Check(&v, a.sent == c.sent && a.delivered == c.delivered, "crash_resume",
+          Vs("crash-resume changed sent", a.sent, c.sent) + " / " +
+              Vs("delivered", a.delivered, c.delivered));
+    Check(&v, a.result.client_test_accuracy == c.result.client_test_accuracy,
+          "crash_resume", "crash-resume changed client accuracies");
+    Check(&v,
+          a.result.server.rounds == c.result.server.rounds &&
+              a.result.server.staleness_log == c.result.server.staleness_log,
+          "crash_resume", "crash-resume changed the round structure");
   }
 
   return v;

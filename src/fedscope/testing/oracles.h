@@ -27,12 +27,18 @@ struct CourseObservation {
   int64_t sent = 0;
   int64_t delivered = 0;
   int64_t suppressed = 0;
+  /// Server kill+restore drills performed (0 unless crash_at_event >= 0).
+  int64_t recoveries = 0;
   FaultPlan::Counters fault;
   /// First delivery whose virtual timestamp regressed ("" if monotone).
   std::string time_regression;
 };
 
-CourseObservation RunInstrumentedCourse(const CourseSpec& spec);
+/// `crash_at_event` >= 0 kills the server between the crash_at_event-th
+/// and the next delivery and restores it from a wire-codec-serialized
+/// snapshot (FaultPlanOptions::server_crash_at_event); -1 runs untouched.
+CourseObservation RunInstrumentedCourse(const CourseSpec& spec,
+                                        int64_t crash_at_event = -1);
 
 struct OracleOptions {
   /// Also run the standalone-vs-distributed differential when the spec is
@@ -55,7 +61,10 @@ bool DistributedEligible(const CourseSpec& spec);
 ///   4. same-seed bit-reproducibility (final model, curve, counters),
 ///   5. through_wire equivalence (flipping the codec flag is invisible),
 ///   6. aggregate-weight conservation of the spec's aggregator,
-///   7. (optional) standalone-vs-distributed differential.
+///   7. (optional) standalone-vs-distributed differential,
+///   8. crash-resume bit-identity: kill the server at the spec's
+///      crash_frac point, restore from a serialized snapshot, and require
+///      the resumed course to match the uninterrupted run bit for bit.
 /// Returns every violation found (empty = course passed).
 std::vector<Violation> CheckCourse(const CourseSpec& spec,
                                    const OracleOptions& options = {});

@@ -1,6 +1,7 @@
 #include "fedscope/util/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "fedscope/util/logging.h"
 
@@ -171,6 +172,30 @@ Rng Rng::Fork(uint64_t stream_id) const {
   // independent, reproducible child stream.
   uint64_t state = seed_ ^ (0x517cc1b727220a95ULL * (stream_id + 1));
   return Rng(SplitMix64(&state));
+}
+
+std::vector<uint64_t> Rng::SaveState() const {
+  uint64_t normal_bits;
+  static_assert(sizeof(normal_bits) == sizeof(cached_normal_));
+  std::memcpy(&normal_bits, &cached_normal_, sizeof(normal_bits));
+  return {s_[0],
+          s_[1],
+          s_[2],
+          s_[3],
+          seed_,
+          have_cached_normal_ ? 1ULL : 0ULL,
+          normal_bits};
+}
+
+Status Rng::LoadState(const std::vector<uint64_t>& words) {
+  if (words.size() != 7) {
+    return Status::InvalidArgument("rng state must be 7 words");
+  }
+  for (int i = 0; i < 4; ++i) s_[i] = words[i];
+  seed_ = words[4];
+  have_cached_normal_ = words[5] != 0;
+  std::memcpy(&cached_normal_, &words[6], sizeof(cached_normal_));
+  return Status::Ok();
 }
 
 }  // namespace fedscope

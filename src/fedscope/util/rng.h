@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "fedscope/util/status.h"
+
 namespace fedscope {
 
 /// Deterministic pseudo-random number generator (xoshiro256** seeded via
@@ -66,6 +68,13 @@ class Rng {
 
   /// Derives an independent child stream; deterministic in (seed, stream_id).
   Rng Fork(uint64_t stream_id) const;
+
+  /// Exact generator state as 7 words (xoshiro s[0..3], seed, Box-Muller
+  /// cache flag, cached normal bits): LoadState(SaveState()) resumes the
+  /// stream bit-identically, including a pending cached normal.
+  std::vector<uint64_t> SaveState() const;
+  /// Restores a state captured by SaveState. Rejects a wrong word count.
+  Status LoadState(const std::vector<uint64_t>& words);
 
  private:
   uint64_t s_[4];

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
 #include "fedscope/comm/codec.h"
 #include "fedscope/core/fed_runner.h"
 #include "fedscope/data/synthetic_twitter.h"
@@ -46,6 +50,149 @@ TEST(CheckpointTest, RejectsTruncation) {
     std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
     EXPECT_FALSE(DeserializeCheckpoint(cut).ok());
   }
+}
+
+TEST(CheckpointTest, NanAndInfRoundTripBitExactly) {
+  // A NaN-poisoned or overflowed model must survive checkpointing
+  // unmasked: recovery has to resume from what was actually there.
+  Checkpoint ckpt = SampleCheckpoint();
+  Tensor special({4});
+  special.at(0) = std::numeric_limits<float>::quiet_NaN();
+  special.at(1) = std::numeric_limits<float>::infinity();
+  special.at(2) = -std::numeric_limits<float>::infinity();
+  special.at(3) = -0.0f;
+  ckpt.global_state.emplace("special", std::move(special));
+  auto restored = DeserializeCheckpoint(SerializeCheckpoint(ckpt));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const Tensor& t = restored->global_state.at("special");
+  for (int64_t k = 0; k < 4; ++k) {
+    const float x = ckpt.global_state.at("special").at(k);
+    const float y = t.at(k);
+    EXPECT_EQ(std::memcmp(&x, &y, sizeof(float)), 0) << "index " << k;
+  }
+}
+
+TEST(CheckpointTest, EmptyStateDictRoundTrips) {
+  // A pre-start snapshot (round 0, no parameters exchanged yet) is legal;
+  // only the v1 format conflated "empty" with "corrupt".
+  Checkpoint ckpt;
+  ckpt.round = 0;
+  ckpt.course.SetInt("rng", 1);  // minimal course section marker
+  auto restored = DeserializeCheckpoint(SerializeCheckpoint(ckpt));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->global_state.empty());
+  EXPECT_EQ(restored->course.GetInt("rng"), 1);
+}
+
+TEST(CheckpointTest, CourseSectionRoundTrips) {
+  Checkpoint ckpt = SampleCheckpoint();
+  ckpt.course.SetInt("started", 1);
+  ckpt.course.SetDouble("stats/best_accuracy", 0.5);
+  SetPackedU64s(&ckpt.course, "rng", {1, 2, 3});
+  SetPackedDoubles(&ckpt.course, "stats/curve_times", {0.25, 1.5});
+  auto restored = DeserializeCheckpoint(SerializeCheckpoint(ckpt));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->course.GetInt("started"), 1);
+  EXPECT_DOUBLE_EQ(restored->course.GetDouble("stats/best_accuracy"), 0.5);
+  EXPECT_EQ(GetPackedU64s(restored->course, "rng"),
+            (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(GetPackedDoubles(restored->course, "stats/curve_times"),
+            (std::vector<double>{0.25, 1.5}));
+}
+
+TEST(CheckpointFileTest, AtomicWriteReadBack) {
+  const std::string path = ::testing::TempDir() + "/ckpt_roundtrip.ckpt";
+  Checkpoint ckpt = SampleCheckpoint();
+  auto written = WriteCheckpointFileAtomic(path, ckpt);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_GT(written.value(), 0);
+  auto read = ReadCheckpointFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->round, ckpt.round);
+  EXPECT_TRUE(read->global_state == ckpt.global_state);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, RejectsTruncatedFlippedAndWrongHeader) {
+  const std::vector<uint8_t> file = EncodeCheckpointFile(SampleCheckpoint());
+  // Truncation anywhere — header or payload — must reject, never crash.
+  for (size_t len = 0; len < file.size(); len += 13) {
+    std::vector<uint8_t> cut(file.begin(), file.begin() + len);
+    EXPECT_FALSE(DecodeCheckpointFile(cut).ok()) << "len " << len;
+  }
+  // Any single flipped byte lands in magic, version, size, CRC, or the
+  // CRC-protected payload; all must reject.
+  for (size_t pos = 0; pos < file.size(); pos += 7) {
+    std::vector<uint8_t> flipped = file;
+    flipped[pos] ^= 0x40;
+    EXPECT_FALSE(DecodeCheckpointFile(flipped).ok()) << "pos " << pos;
+  }
+  // Trailing garbage means the file is not what was written.
+  std::vector<uint8_t> padded = file;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeCheckpointFile(padded).ok());
+}
+
+TEST(CheckpointFileTest, SnapshotWriterCadenceAndPruning) {
+  const std::string dir = ::testing::TempDir() + "/snapshots_cadence";
+  SnapshotPolicy policy;
+  policy.directory = dir;
+  policy.every_n_rounds = 2;
+  policy.keep_last = 2;
+  SnapshotWriter writer(policy);
+  ASSERT_TRUE(writer.enabled());
+  EXPECT_FALSE(writer.ShouldSnapshot(0));
+  EXPECT_FALSE(writer.ShouldSnapshot(1));
+  EXPECT_TRUE(writer.ShouldSnapshot(2));
+  EXPECT_TRUE(writer.ShouldSnapshot(4));
+
+  Checkpoint ckpt = SampleCheckpoint();
+  for (int round : {2, 4, 6}) {
+    ckpt.round = round;
+    ASSERT_TRUE(writer.Write(ckpt).ok());
+  }
+  EXPECT_EQ(writer.snapshots_written(), 3);
+  // keep_last=2: the round-2 snapshot is pruned, the newest valid loads.
+  auto latest = LoadLatestSnapshot(dir);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest->round, 6);
+  ckpt.round = 2;
+  EXPECT_FALSE(ReadCheckpointFile(dir + "/snapshot-000002.ckpt").ok());
+
+  // Disabled policies never fire.
+  SnapshotWriter disabled{SnapshotPolicy{}};
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_FALSE(disabled.ShouldSnapshot(2));
+}
+
+TEST(CheckpointFileTest, LoadLatestSkipsCorruptSnapshots) {
+  const std::string dir = ::testing::TempDir() + "/snapshots_corrupt";
+  SnapshotPolicy policy;
+  policy.directory = dir;
+  SnapshotWriter writer(policy);
+  Checkpoint ckpt = SampleCheckpoint();
+  ckpt.round = 1;
+  ASSERT_TRUE(writer.Write(ckpt).ok());
+  ckpt.round = 2;
+  ASSERT_TRUE(writer.Write(ckpt).ok());
+  // Corrupt the newest snapshot (a crash mid-rename cannot produce this —
+  // the rename is atomic — but disks rot); recovery must fall back to the
+  // older valid one.
+  {
+    std::FILE* f = std::fopen((dir + "/snapshot-000002.ckpt").c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 30, SEEK_SET);
+    std::fputc(0xee, f);
+    std::fclose(f);
+  }
+  auto latest = LoadLatestSnapshot(dir);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest->round, 1);
+  // An empty/missing directory is NotFound, not a crash.
+  EXPECT_EQ(LoadLatestSnapshot(::testing::TempDir() + "/no_such_dir")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
 }
 
 TEST(CheckpointTest, RestoreModelLoadsParameters) {

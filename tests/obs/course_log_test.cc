@@ -96,8 +96,30 @@ TEST(CourseLogTest, CsvHeaderAndJoinedCells) {
   EXPECT_EQ(header,
             "round,trigger,time,contributors,staleness,uplink_bytes,"
             "downlink_bytes,broadcasts,dropped_stale,declined,dropouts,"
-            "replacements,evaluated,eval_accuracy,eval_loss");
-  EXPECT_EQ(row, "1,all_received,10.000000,1;2,0;3,100,200,2,0,0,0,0,0,,");
+            "replacements,snapshots,snapshot_bytes,evaluated,eval_accuracy,"
+            "eval_loss");
+  EXPECT_EQ(row,
+            "1,all_received,10.000000,1;2,0;3,100,200,2,0,0,0,0,0,0,0,,");
+}
+
+TEST(CourseLogTest, AnnotateSnapshotMarksLastRoundOnly) {
+  CourseLog log;
+  log.AnnotateSnapshot(123);  // empty log: no-op, no crash
+  log.Append(MakeRound(1, {1}, {0}));
+  log.Append(MakeRound(2, {2}, {0}));
+  log.AnnotateSnapshot(4096);
+  EXPECT_EQ(log.rounds()[0].snapshots, 0);
+  EXPECT_EQ(log.rounds()[1].snapshots, 1);
+  EXPECT_EQ(log.rounds()[1].snapshot_bytes, 4096);
+  const std::string jsonl = log.ToJsonl();
+  std::istringstream is(jsonl);
+  std::string line1, line2;
+  ASSERT_TRUE(std::getline(is, line1));
+  ASSERT_TRUE(std::getline(is, line2));
+  // Snapshot keys appear only on the snapshotted round.
+  EXPECT_EQ(line1.find("snapshots"), std::string::npos);
+  EXPECT_NE(line2.find("\"snapshots\":1,\"snapshot_bytes\":4096"),
+            std::string::npos);
 }
 
 TEST(CourseLogTest, IdenticalLogsExportIdentically) {

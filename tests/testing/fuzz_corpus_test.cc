@@ -1,8 +1,10 @@
 // Replays tests/fuzz/corpus/ (tier-1): every *.course spec must pass all
-// invariant oracles, every *_reject.hex frame must fail DecodeMessage
+// invariant oracles, every *_reject.hex frame must fail its decoder
 // with a Status, and every *_roundtrip.hex frame must decode and
-// re-encode bit-identically. The corpus directory is baked in via the
-// FEDSCOPE_FUZZ_CORPUS_DIR compile definition.
+// re-encode bit-identically. Frames whose stem starts with "ckptfile_"
+// exercise the durable checkpoint file codec (header + CRC); all others
+// exercise the message wire codec. The corpus directory is baked in via
+// the FEDSCOPE_FUZZ_CORPUS_DIR compile definition.
 
 #include <cctype>
 #include <filesystem>
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "fedscope/comm/codec.h"
+#include "fedscope/core/checkpoint.h"
 #include "fedscope/testing/oracles.h"
 #include "fedscope/util/logging.h"
 #include "gtest/gtest.h"
@@ -46,22 +49,31 @@ std::string ReadSpecLine(const fs::path& path) {
   return "";
 }
 
+/// True for frames targeting the checkpoint *file* codec rather than the
+/// message wire codec.
+bool IsCheckpointFileFrame(const fs::path& path) {
+  return path.stem().string().rfind("ckptfile_", 0) == 0;
+}
+
+/// Hex dump with optional `#` comment lines (same convention as .course).
 std::vector<uint8_t> ReadHex(const fs::path& path) {
   std::ifstream in(path);
   std::vector<uint8_t> bytes;
-  std::string token;
+  std::string line;
   int hi = -1;
-  char c;
-  while (in.get(c)) {
-    if (!std::isxdigit(static_cast<unsigned char>(c))) continue;
-    const int nibble = std::isdigit(static_cast<unsigned char>(c))
-                           ? c - '0'
-                           : std::tolower(c) - 'a' + 10;
-    if (hi < 0) {
-      hi = nibble;
-    } else {
-      bytes.push_back(static_cast<uint8_t>(hi << 4 | nibble));
-      hi = -1;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    for (const char c : line) {
+      if (!std::isxdigit(static_cast<unsigned char>(c))) continue;
+      const int nibble = std::isdigit(static_cast<unsigned char>(c))
+                             ? c - '0'
+                             : std::tolower(c) - 'a' + 10;
+      if (hi < 0) {
+        hi = nibble;
+      } else {
+        bytes.push_back(static_cast<uint8_t>(hi << 4 | nibble));
+        hi = -1;
+      }
     }
   }
   return bytes;
@@ -91,8 +103,13 @@ TEST(FuzzCorpusTest, RejectFramesReturnStatusNotCrash) {
   for (const auto& file : files) {
     const std::vector<uint8_t> bytes = ReadHex(file);
     ASSERT_FALSE(bytes.empty()) << file;
-    const auto decoded = DecodeMessage(bytes);
-    EXPECT_FALSE(decoded.ok()) << file << " unexpectedly decoded";
+    if (IsCheckpointFileFrame(file)) {
+      const auto decoded = DecodeCheckpointFile(bytes);
+      EXPECT_FALSE(decoded.ok()) << file << " unexpectedly decoded";
+    } else {
+      const auto decoded = DecodeMessage(bytes);
+      EXPECT_FALSE(decoded.ok()) << file << " unexpectedly decoded";
+    }
   }
 }
 
@@ -101,9 +118,15 @@ TEST(FuzzCorpusTest, RoundtripFramesReencodeBitIdentically) {
   ASSERT_FALSE(files.empty());
   for (const auto& file : files) {
     const std::vector<uint8_t> bytes = ReadHex(file);
-    auto decoded = DecodeMessage(bytes);
-    ASSERT_TRUE(decoded.ok()) << file << ": " << decoded.status().ToString();
-    EXPECT_EQ(EncodeMessage(decoded.value()), bytes) << file;
+    if (IsCheckpointFileFrame(file)) {
+      auto decoded = DecodeCheckpointFile(bytes);
+      ASSERT_TRUE(decoded.ok()) << file << ": " << decoded.status().ToString();
+      EXPECT_EQ(EncodeCheckpointFile(decoded.value()), bytes) << file;
+    } else {
+      auto decoded = DecodeMessage(bytes);
+      ASSERT_TRUE(decoded.ok()) << file << ": " << decoded.status().ToString();
+      EXPECT_EQ(EncodeMessage(decoded.value()), bytes) << file;
+    }
   }
 }
 
