@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Hierarchical failover smoke drill (CI: failover-smoke). Runs a 2-shard
+# course over real processes — root hub, a primary + hot standby
+# aggregator per shard, four clients — SIGKILLs shard 0's primary
+# aggregator mid-course, and asserts the root acknowledged a failover,
+# the standby promoted, and the course still completed every round. The
+# clients never reconnect: only a root crash forces re-joins; an
+# aggregator death is absorbed by the shard's standby.
+#
+# usage: failover_smoke.sh <path-to-hierarchical_failover-binary>
+set -euo pipefail
+
+BIN=${1:?usage: $0 <path-to-hierarchical_failover-binary>}
+PORT=$(( 20000 + RANDOM % 10000 ))
+# Enough rounds that the kill — delivered as soon as the victim's first
+# durable snapshot appears — lands mid-course with a wide margin while
+# the whole drill stays well under a minute.
+ROUNDS=20
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== failover run (port $PORT) =="
+"$BIN" server "$PORT" "$ROUNDS" > "$WORK/server.log" 2>&1 &
+SERVER=$!
+
+AGG_PIDS=()
+for shard in 0 1; do
+  for slot in 0 1; do
+    # Only the victim snapshots: the first file doubles as the
+    # "mid-course" signal for the kill below.
+    extra=()
+    [[ $shard == 0 && $slot == 0 ]] && extra=("$WORK/snapshots")
+    "$BIN" aggregator "$shard" "$slot" "$PORT" "${extra[@]}" \
+      > "$WORK/agg_${shard}_${slot}.log" 2>&1 &
+    AGG_PIDS+=($!)
+  done
+done
+VICTIM=${AGG_PIDS[0]}  # shard 0, slot 0
+
+CLIENT_PIDS=()
+for id in 1 2 3 4; do
+  "$BIN" client "$id" "$PORT" > "$WORK/client_$id.log" 2>&1 &
+  CLIENT_PIDS+=($!)
+done
+
+# Kill the shard-0 primary abruptly as soon as its first durable snapshot
+# proves it is mid-course. The kernel closes its socket; the root must
+# detect the EOF and wake the standby past its staggered deadline.
+for _ in $(seq 1 3000); do
+  compgen -G "$WORK/snapshots/s0-snapshot-*.ckpt" > /dev/null && break
+  sleep 0.02
+done
+compgen -G "$WORK/snapshots/s0-snapshot-*.ckpt" > /dev/null || {
+  echo "FAIL: no shard-0 snapshot appeared"; exit 1; }
+kill -9 "$VICTIM" 2>/dev/null || {
+  echo "FAIL: shard-0 primary exited before the kill landed"; exit 1; }
+wait "$VICTIM" 2>/dev/null || true
+echo "shard-0 primary SIGKILLed mid-course"
+
+for pid in "${CLIENT_PIDS[@]}"; do wait "$pid"; done
+wait "$SERVER"
+# The surviving aggregators exit on the finish broadcast.
+for pid in "${AGG_PIDS[@]:1}"; do wait "$pid" || true; done
+cat "$WORK/server.log"
+
+# --- verdict ---------------------------------------------------------------
+FINAL=$(sed -n 's/.*FINAL rounds=\([0-9]*\) accuracy=\([0-9.]*\) failovers=\([0-9]*\).*/\1 \3/p' "$WORK/server.log")
+FINAL_ROUNDS=${FINAL% *}
+FAILOVERS=${FINAL#* }
+[[ "$FINAL_ROUNDS" == "$ROUNDS" ]] || {
+  echo "FAIL: course ran ${FINAL_ROUNDS:-0}/$ROUNDS rounds"; exit 1; }
+[[ "${FAILOVERS:-0}" -ge 1 ]] || {
+  echo "FAIL: root acknowledged no failover"; exit 1; }
+grep -q "promotions)" "$WORK/agg_0_1.log" || {
+  echo "FAIL: shard-0 standby never reported in"; exit 1; }
+grep -q " 1 promotions" "$WORK/agg_0_1.log" || {
+  echo "FAIL: shard-0 standby did not promote"; exit 1; }
+echo "OK: $FAILOVERS failover(s), $FINAL_ROUNDS/$ROUNDS rounds completed"

@@ -1,0 +1,186 @@
+// Hierarchical sharded aggregation with hot failover over real processes
+// (DESIGN.md §11). Run one root server, one aggregator process per shard
+// slot, and `kClients` client processes; SIGKILL a primary aggregator
+// mid-course — the root sees the mid-course EOF, wakes the shard's hot
+// standby past its staggered deadline, the standby promotes under a
+// bumped shard epoch, and the course completes through it. Driven
+// end-to-end by examples/failover_smoke.sh (the CI failover-smoke job).
+//
+//   hierarchical_failover server <port> <max_rounds>
+//   hierarchical_failover aggregator <shard> <slot> <port> [snapshot_dir]
+//   hierarchical_failover client <id> <port>
+//
+// With a snapshot_dir the aggregator durably snapshots its shard state
+// after every forwarded partial ("s<shard>-" prefixed files) — the smoke
+// script waits for the first snapshot to know the victim is mid-course
+// before delivering the SIGKILL.
+//
+// The server prints `FINAL rounds=<n> accuracy=<a> failovers=<f>` on an
+// orderly finish. As in crash_recovery, the guarantee is completion with
+// conserved per-round client weight, not bit-identity: arrival order
+// differs across runs of the same distributed course.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "fedscope/core/distributed.h"
+#include "fedscope/core/distributed_aggregator.h"
+#include "fedscope/data/synthetic_twitter.h"
+#include "fedscope/nn/model_zoo.h"
+#include "fedscope/util/logging.h"
+
+using namespace fedscope;
+
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kShards = 2;
+constexpr int kStandbys = 1;
+/// Wall-clock silence (seconds) after which the root presumes a shard's
+/// aggregator dead. Short so the smoke script finishes fast; real
+/// deployments would use tens of seconds.
+constexpr double kFailureTimeout = 0.5;
+
+Topology MakeTopology() {
+  Topology topology;
+  topology.num_shards = kShards;
+  topology.standbys_per_shard = kStandbys;
+  topology.failure_timeout = kFailureTimeout;
+  return topology;
+}
+
+/// Both roles derive the same task from the same seeds, so separate
+/// processes agree on data and the initial model without any exchange.
+/// Sized so one round takes a few hundred ms: the smoke script's SIGKILL
+/// must land mid-course, not race the finish broadcast.
+FedDataset MakeData() {
+  SyntheticTwitterOptions options;
+  options.num_clients = kClients;
+  options.min_texts = 200;
+  options.max_texts = 300;
+  options.seed = 11;
+  return MakeSyntheticTwitter(options);
+}
+
+Model MakeInitModel() {
+  Rng rng(7);
+  return MakeMlp({60, 256, 64, 2}, &rng);
+}
+
+int RunServer(int port, int max_rounds) {
+  FedDataset data = MakeData();
+
+  ServerOptions options;
+  options.strategy = Strategy::kSyncVanilla;
+  options.concurrency = kClients;
+  options.expected_clients = kClients;
+  options.max_rounds = max_rounds;
+  options.seed = 7;
+  options.topology = MakeTopology();
+
+  auto listener = TcpListener::Bind(port);
+  FS_CHECK(listener.ok()) << listener.status().ToString();
+
+  DistributedServerHost host(options, MakeInitModel(),
+                             std::make_unique<FedAvgAggregator>(),
+                             std::move(listener.value()));
+  const Dataset* test = &data.server_test;
+  host.server()->set_evaluator(
+      [test](Model* model) { return EvaluateClassifier(model, *test); });
+
+  ServerStats stats = host.Run();
+  std::printf("FINAL rounds=%d accuracy=%.4f failovers=%lld\n", stats.rounds,
+              stats.final_accuracy,
+              static_cast<long long>(stats.shard_failovers));
+  std::fflush(stdout);
+  return 0;
+}
+
+int RunAggregator(int shard, int slot, int port,
+                  const std::string& snapshot_dir) {
+  EdgeAggregatorOptions options;
+  options.topology = MakeTopology();
+  options.shard = shard;
+  options.slot = slot;
+
+  // The smoke script launches everything at once: retry the connect until
+  // the root's listener is bound.
+  TransportOptions transport;
+  transport.connect_attempts = 500;
+  transport.retry_base_delay_ms = 5;
+  transport.retry_max_delay_ms = 100;
+  transport.retry_seed = 50 + shard * 10 + slot;
+
+  DistributedAggregatorHost host(options, "127.0.0.1", port, transport);
+  if (!snapshot_dir.empty()) {
+    SnapshotPolicy policy;
+    policy.directory = snapshot_dir;
+    policy.every_n_rounds = 1;
+    policy.keep_last = 3;
+    host.set_snapshot_policy(policy);
+  }
+  Status status = host.Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "aggregator s%d/%d: %s\n", shard, slot,
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("aggregator s%d/%d done (%lld partials, %lld promotions)\n",
+              shard, slot,
+              static_cast<long long>(host.aggregator()->partials_forwarded()),
+              static_cast<long long>(host.aggregator()->promotions()));
+  return 0;
+}
+
+int RunClient(int id, int port) {
+  FedDataset data = MakeData();
+
+  ClientOptions options;
+  options.train.lr = 0.1;
+  options.train.batch_size = 8;
+  options.train.local_steps = 100;
+  options.seed = 100 + id;
+
+  TransportOptions transport;
+  transport.connect_attempts = 500;
+  transport.retry_base_delay_ms = 5;
+  transport.retry_max_delay_ms = 100;
+  transport.retry_seed = 77 + id;
+
+  DistributedClientHost host(id, std::move(options), MakeInitModel(),
+                             data.clients[id - 1],
+                             std::make_unique<GeneralTrainer>(), "127.0.0.1",
+                             port, transport);
+  Status status = host.Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "client %d: %s\n", id, status.ToString().c_str());
+    return 1;
+  }
+  std::printf("client %d done\n", id);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 4 && std::strcmp(argv[1], "server") == 0) {
+    return RunServer(std::atoi(argv[2]), std::atoi(argv[3]));
+  }
+  if (argc >= 5 && std::strcmp(argv[1], "aggregator") == 0) {
+    return RunAggregator(std::atoi(argv[2]), std::atoi(argv[3]),
+                         std::atoi(argv[4]), argc >= 6 ? argv[5] : "");
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "client") == 0) {
+    return RunClient(std::atoi(argv[2]), std::atoi(argv[3]));
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s server <port> <max_rounds>\n"
+               "  %s aggregator <shard> <slot> <port>\n"
+               "  %s client <id> <port>\n",
+               argv[0], argv[0], argv[0]);
+  return 2;
+}

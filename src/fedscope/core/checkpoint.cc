@@ -284,6 +284,23 @@ Result<Checkpoint> ReadCheckpointFile(const std::string& path) {
   return DecodeCheckpointFile(bytes);
 }
 
+namespace {
+
+/// True iff `filename` is "<worker_prefix>snapshot-<round>.ckpt". The
+/// prefix must match exactly: an unprefixed reader ("") requires the name
+/// to START with "snapshot-", so it never picks up "s0-snapshot-...".
+bool MatchesSnapshotName(const std::string& filename,
+                         const std::string& worker_prefix) {
+  const std::string want = worker_prefix + kSnapshotPrefix;
+  return filename.rfind(want, 0) == 0 &&
+         filename.size() > want.size() + std::strlen(kSnapshotExtension) &&
+         filename.compare(filename.size() - std::strlen(kSnapshotExtension),
+                          std::strlen(kSnapshotExtension),
+                          kSnapshotExtension) == 0;
+}
+
+}  // namespace
+
 Result<int64_t> SnapshotWriter::Write(const Checkpoint& checkpoint) {
   namespace fs = std::filesystem;
   FS_CHECK(enabled()) << "SnapshotWriter::Write with snapshots disabled";
@@ -294,7 +311,8 @@ Result<int64_t> SnapshotWriter::Write(const Checkpoint& checkpoint) {
                                policy_.directory + ": " + ec.message());
   }
   char name[64];
-  std::snprintf(name, sizeof(name), "%s%06d%s", kSnapshotPrefix,
+  std::snprintf(name, sizeof(name), "%s%s%06d%s",
+                policy_.worker_prefix.c_str(), kSnapshotPrefix,
                 checkpoint.round, kSnapshotExtension);
   const std::string path =
       (fs::path(policy_.directory) / name).string();
@@ -306,8 +324,7 @@ Result<int64_t> SnapshotWriter::Write(const Checkpoint& checkpoint) {
     std::vector<fs::path> snapshots;
     for (const auto& entry : fs::directory_iterator(policy_.directory)) {
       const fs::path& p = entry.path();
-      if (p.extension() == kSnapshotExtension &&
-          p.filename().string().rfind(kSnapshotPrefix, 0) == 0) {
+      if (MatchesSnapshotName(p.filename().string(), policy_.worker_prefix)) {
         snapshots.push_back(p);
       }
     }
@@ -321,14 +338,14 @@ Result<int64_t> SnapshotWriter::Write(const Checkpoint& checkpoint) {
   return written;
 }
 
-Result<Checkpoint> LoadLatestSnapshot(const std::string& directory) {
+Result<Checkpoint> LoadLatestSnapshot(const std::string& directory,
+                                      const std::string& worker_prefix) {
   namespace fs = std::filesystem;
   std::vector<fs::path> snapshots;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(directory, ec)) {
     const fs::path& p = entry.path();
-    if (p.extension() == kSnapshotExtension &&
-        p.filename().string().rfind(kSnapshotPrefix, 0) == 0) {
+    if (MatchesSnapshotName(p.filename().string(), worker_prefix)) {
       snapshots.push_back(p);
     }
   }

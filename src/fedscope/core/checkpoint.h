@@ -92,6 +92,13 @@ struct SnapshotPolicy {
   /// Retain only the newest N snapshot files (0 = keep all). Two is the
   /// safe minimum: the newest may be mid-rename when the crash hits.
   int keep_last = 2;
+  /// Worker-id filename prefix ("" = legacy unprefixed names). Multiple
+  /// workers may share one snapshot directory (a shard's primary and its
+  /// standbys must); the prefix keeps their files disjoint: a writer with
+  /// prefix "s0-" names files "s0-snapshot-<round>.ckpt" and prunes only
+  /// its own, and LoadLatestSnapshot(dir, "s0-") never returns another
+  /// worker's state. Unprefixed readers never match prefixed files.
+  std::string worker_prefix;
 };
 
 /// Applies a SnapshotPolicy: names files "snapshot-<round>.ckpt" inside
@@ -122,10 +129,15 @@ class SnapshotWriter {
   int64_t bytes_written_ = 0;
 };
 
-/// Loads the newest valid snapshot in `directory`, skipping (with a
-/// logged warning) files that fail the container checks — a torn newest
-/// file falls back to the previous one. NotFound when none is valid.
-Result<Checkpoint> LoadLatestSnapshot(const std::string& directory);
+/// Loads the newest valid snapshot in `directory` whose filename is
+/// "<worker_prefix>snapshot-<round>.ckpt", skipping (with a logged
+/// warning) files that fail the container checks — a torn newest file
+/// falls back to the previous one. Files carrying a different worker
+/// prefix are never considered, so a standby restoring from a shared
+/// directory cannot pick up another shard's state. NotFound when none is
+/// valid.
+Result<Checkpoint> LoadLatestSnapshot(const std::string& directory,
+                                      const std::string& worker_prefix = "");
 
 }  // namespace fedscope
 

@@ -80,7 +80,9 @@ void Client::RegisterDefaultHandlers() {
         ++declined_count_;
         if (obs_ != nullptr) obs_->Count("fs_client_declines_total");
         Message reply;
-        reply.receiver = kServerId;
+        // Reply to whoever asked: the root server in flat topologies
+        // (sender 0 == kServerId), the shard's edge aggregator otherwise.
+        reply.receiver = msg.sender;
         reply.msg_type = events::kModelUpdate;
         reply.state = msg.state;
         reply.payload.SetInt("declined", 1);
@@ -124,6 +126,22 @@ void Client::PoisonTrainData(const std::function<void(Dataset*)>& poisoner) {
 
 void Client::OnModelPara(const Message& msg) {
   if (finished_) return;
+
+  // Hierarchical topologies stamp broadcasts with the shard's session
+  // epoch. A broadcast below the highest epoch seen comes from a
+  // superseded aggregator incarnation (the shard failed over); training
+  // on it would waste the round, so it is rejected outright. Flat
+  // broadcasts carry no epoch and skip this entirely.
+  if (msg.payload.HasScalar("shard_epoch")) {
+    const int64_t epoch = msg.payload.GetInt("shard_epoch", 0);
+    if (epoch < shard_epoch_) {
+      ++stale_epoch_rejected_;
+      FS_LOG(Debug) << "client " << id_ << " rejecting model_para at epoch "
+                    << epoch << " (current " << shard_epoch_ << ")";
+      return;
+    }
+    shard_epoch_ = epoch;
+  }
 
   // Bandwidth-aware behaviour: a client below its bandwidth threshold
   // declines every other training request (condition-checking event of
@@ -214,7 +232,9 @@ void Client::OnModelPara(const Message& msg) {
   const bool record_obs = obs_ != nullptr && obs_->metrics != nullptr;
 
   Message reply;
-  reply.receiver = kServerId;
+  // Reply to the sender: the root server in flat topologies (sender 0 ==
+  // kServerId), the shard's edge aggregator in hierarchical ones.
+  reply.receiver = msg.sender;
   reply.msg_type = events::kModelUpdate;
   reply.state = msg.state;  // the round this update is based on
   // Message-transform operator: optionally compress the update before it
@@ -293,7 +313,7 @@ void Client::OnModelPara(const Message& msg) {
 void Client::OnEvaluate(const Message& msg) {
   EvalResult test = trainer_->Evaluate(&model_, data_.test);
   Message reply;
-  reply.receiver = kServerId;
+  reply.receiver = msg.sender;
   reply.msg_type = events::kMetrics;
   reply.state = msg.state;
   reply.timestamp = msg.timestamp;

@@ -83,6 +83,11 @@ class Client : public BaseWorker {
   int rounds_trained() const { return rounds_trained_; }
   int perf_drop_count() const { return perf_drop_count_; }
   int declined_count() const { return declined_count_; }
+  /// Highest shard session epoch seen on a broadcast (hierarchical
+  /// topologies; 0 in flat courses) and the broadcasts rejected for
+  /// carrying an older epoch (a superseded aggregator incarnation).
+  int64_t shard_epoch() const { return shard_epoch_; }
+  int64_t stale_epoch_rejected() const { return stale_epoch_rejected_; }
 
   // -- attack-simulation hooks (participant plug-in, §4.2) ------------------
 
@@ -115,6 +120,8 @@ class Client : public BaseWorker {
   int declined_count_ = 0;
   int low_bandwidth_requests_ = 0;
   int rejected_globals_ = 0;
+  int64_t shard_epoch_ = 0;
+  int64_t stale_epoch_rejected_ = 0;
   double last_val_accuracy_ = -1.0;
   /// Pre-load snapshot valid while a performance_drop handler may want to
   /// roll back (set around UpdateModel in OnModelPara).

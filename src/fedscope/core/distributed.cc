@@ -1,8 +1,12 @@
 #include "fedscope/core/distributed.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
+#include <vector>
 
 #include "fedscope/core/events.h"
+#include "fedscope/core/topology.h"
 #include "fedscope/util/logging.h"
 
 namespace fedscope {
@@ -15,6 +19,38 @@ double NowSeconds() {
 }
 
 }  // namespace
+
+// --------------------------------------------------------------------------
+// EpochUplink
+// --------------------------------------------------------------------------
+
+Status EpochUplink::Open(const std::string& host, int port,
+                         const TransportOptions& transport) {
+  auto conn = TcpConnection::ConnectWithRetry(host, port, transport);
+  if (!conn.ok()) return conn.status();
+  connection_ = std::move(conn.value());
+  return Status::Ok();
+}
+
+Status EpochUplink::Reopen(const std::string& host, int port,
+                           const TransportOptions& transport) {
+  connection_.Close();
+  epoch_ = -1;
+  return Open(host, port, transport);
+}
+
+void EpochUplink::Send(const Message& msg) {
+  Message stamped = msg;
+  stamped.timestamp = NowSeconds();
+  // Echo the session epoch the server taught us; join_in goes out
+  // unstamped (epoch unknown) and is exempt at the server's ingress.
+  if (epoch_ >= 0) stamped.payload.SetInt(kSessionEpochKey, epoch_);
+  if (obs_ != nullptr) obs_->OnChannelSend(stamped);
+  Status status = connection_.SendMessage(stamped);
+  if (!status.ok()) {
+    FS_LOG(Warning) << "uplink send failed: " << status.ToString();
+  }
+}
 
 // --------------------------------------------------------------------------
 // DistributedServerHost
@@ -37,7 +73,7 @@ class DistributedServerHost::Router : public CommChannel {
     std::lock_guard<std::mutex> lock(host_->send_mu_);
     auto it = host_->connections_.find(msg.receiver);
     if (it == host_->connections_.end()) {
-      FS_LOG(Warning) << "no connection for client " << msg.receiver;
+      FS_LOG(Warning) << "no connection for worker " << msg.receiver;
       return;
     }
     // The first finish broadcast marks course end. The flag must be set
@@ -54,7 +90,7 @@ class DistributedServerHost::Router : public CommChannel {
     if (host_->obs_ != nullptr) host_->obs_->OnChannelSend(stamped);
     Status status = it->second.SendMessage(stamped);
     if (!status.ok()) {
-      FS_LOG(Warning) << "send to client " << msg.receiver
+      FS_LOG(Warning) << "send to worker " << msg.receiver
                       << " failed: " << status.ToString();
     }
   }
@@ -97,11 +133,16 @@ DistributedServerHost::~DistributedServerHost() {
 
 void DistributedServerHost::PushIncoming(Message msg) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Watchdog timers are wake signals, not course traffic: a standby
+  // re-arms its watchdog with byte-identical frames (the suppressor would
+  // eat the chain), and the deadline re-check they trigger is harmless
+  // whatever incarnation produced them — exempt from both checks.
+  const bool timer = msg.msg_type == events::kTimer;
   // Messages not authenticated to this incarnation's session epoch were
   // produced against a dead one (pre-crash retransmits, updates trained on
   // a pre-snapshot broadcast); reject them before the Server worker can
   // see them. join_in is exempt — it is how a client learns the epoch.
-  if (msg.msg_type != events::kJoinIn &&
+  if (!timer && msg.msg_type != events::kJoinIn &&
       msg.payload.GetInt(kSessionEpochKey, -1) != session_epoch_) {
     ++stale_epoch_rejected_;
     FS_LOG(Warning) << "rejected stale-epoch message (session epoch "
@@ -109,13 +150,18 @@ void DistributedServerHost::PushIncoming(Message msg) {
     return;
   }
   // At-least-once delivery makes retransmissions possible; suppress exact
-  // repeats here so the Server worker never sees them.
-  if (dedup_.IsDuplicate(msg)) return;
+  // repeats here so the Server worker never sees them. Root-addressed
+  // traffic only: the per-sender suppressor assumes consecutive frames
+  // from one sender differ, but a relaying aggregator fans byte-identical
+  // model_para frames out to every client of its shard. Relayed repeats
+  // are absorbed by the receiving workers' own idempotence instead (a
+  // client not in the sub-cohort is ignored; replication is monotonic).
+  if (!timer && msg.receiver == kServerId && dedup_.IsDuplicate(msg)) return;
   incoming_.push_back(std::move(msg));
   cv_.notify_one();
 }
 
-void DistributedServerHost::ReaderLoop(int client_id,
+void DistributedServerHost::ReaderLoop(int worker_id,
                                        TcpConnection* connection) {
   // std::map nodes are stable, so the pointer captured at accept time
   // stays valid while later clients are still being inserted.
@@ -127,34 +173,102 @@ void DistributedServerHost::ReaderLoop(int client_id,
       }
       const bool orderly = course_finished_.load();
       if (!orderly) {
-        // Mid-course EOF/corruption: treat the client as failed. Drop the
+        // Mid-course EOF/corruption: treat the worker as failed. Drop the
         // connection so the router stops addressing it, and report the
-        // failure to the Server worker as an event — the worker decides
-        // how to degrade; no obs calls from this thread (MetricsRegistry
-        // is confined to the event-loop thread).
-        FS_LOG(Warning) << "client " << client_id
+        // failure — to the Server worker for a client (the worker decides
+        // how to degrade), as a standby wake for an edge aggregator; no
+        // obs calls from this thread (MetricsRegistry is confined to the
+        // event-loop thread).
+        FS_LOG(Warning) << (IsAggregatorId(worker_id) ? "aggregator "
+                                                      : "client ")
+                        << worker_id
                         << " failed mid-course: " << msg.status().ToString();
         {
           std::lock_guard<std::mutex> lock(send_mu_);
-          connections_.erase(client_id);  // `connection` dangles hereafter
+          connections_.erase(worker_id);  // `connection` dangles hereafter
         }
-        Message failure;
-        failure.sender = client_id;
-        failure.receiver = kServerId;
-        failure.msg_type = events::kClientFailure;
-        failure.timestamp = NowSeconds();
-        // Host-synthesized, so authenticate it to the live epoch (the
-        // ingress would otherwise reject it as stale).
-        failure.payload.SetInt(kSessionEpochKey, session_epoch_);
-        PushIncoming(std::move(failure));
+        if (!IsAggregatorId(worker_id)) {
+          Message failure;
+          failure.sender = worker_id;
+          failure.receiver = kServerId;
+          failure.msg_type = events::kClientFailure;
+          failure.timestamp = NowSeconds();
+          // Host-synthesized, so authenticate it to the live epoch (the
+          // ingress would otherwise reject it as stale).
+          failure.payload.SetInt(kSessionEpochKey, session_epoch_);
+          PushIncoming(std::move(failure));
+        }
       }
-      std::lock_guard<std::mutex> lock(mu_);
-      ++eof_count_;
-      if (!orderly) ++failed_clients_;
-      cv_.notify_one();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++eof_count_;
+        if (!orderly) {
+          if (IsAggregatorId(worker_id)) {
+            ++failed_aggregators_;
+          } else {
+            ++failed_clients_;
+          }
+        }
+        cv_.notify_one();
+      }
+      // Failover runs on this thread (the dead connection's reader has
+      // nothing left to do) because it sleeps out the standby's deadline.
+      if (!orderly && IsAggregatorId(worker_id)) {
+        AggregatorFailover(worker_id);
+      }
       return;
     }
     PushIncoming(std::move(msg.value()));
+  }
+}
+
+void DistributedServerHost::AggregatorFailover(int aggregator_id) {
+  const Topology& topology = server_->options().topology;
+  const int shard = AggregatorShard(aggregator_id);
+  const double eof_time = NowSeconds();
+  // EOF is a definite death signal, but the standby's promotion guard
+  // compares the hub-stamped wall clock against its staggered replication
+  // deadline (failure_timeout × slot, DESIGN.md §11). Wait the target
+  // slot's deadline out before waking it so one wake suffices; should a
+  // late in-flight heartbeat still read as "alive", the worker re-arms
+  // its watchdog through the hub until the deadline truly lapses.
+  while (!course_finished_.load()) {
+    int standby = -1;
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      for (int slot = 0; slot <= topology.standbys_per_shard; ++slot) {
+        const int candidate = AggregatorId(shard, slot);
+        if (candidate != aggregator_id &&
+            connections_.find(candidate) != connections_.end()) {
+          standby = candidate;
+          break;
+        }
+      }
+    }
+    if (standby < 0) {
+      FS_LOG(Error) << "aggregator " << aggregator_id << " (shard " << shard
+                    << ") failed with no live standby; the shard's clients "
+                       "are stranded";
+      return;
+    }
+    const double wake_at =
+        eof_time + topology.failure_timeout * AggregatorSlot(standby);
+    const double wait = wake_at - NowSeconds();
+    if (wait <= 0.0) {
+      FS_LOG(Warning) << "shard " << shard << " lost aggregator "
+                      << aggregator_id << "; waking standby " << standby;
+      Message wake;
+      wake.sender = standby;
+      wake.receiver = standby;
+      wake.msg_type = events::kTimer;
+      wake.timestamp = NowSeconds();
+      wake.payload.SetInt(kSessionEpochKey, session_epoch_);
+      PushIncoming(std::move(wake));
+      return;
+    }
+    // Re-scan while waiting: the chosen standby may itself die.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(std::min(wait, 0.05)));
   }
 }
 
@@ -205,10 +319,25 @@ void DistributedServerHost::WriteSnapshot() {
 ServerStats DistributedServerHost::Run() {
   const int expected = server_->options().expected_clients;
   FS_CHECK_GT(expected, 0) << "set ServerOptions::expected_clients";
+  const Topology& topology = server_->options().topology;
+  const int aggregator_slots =
+      topology.hierarchical()
+          ? topology.num_shards * (topology.standbys_per_shard + 1)
+          : 0;
+  const int expected_connections = expected + aggregator_slots;
 
-  // Phase 1: accept every client. The first message on each connection
-  // must be join_in, announcing the client's id.
-  for (int i = 0; i < expected; ++i) {
+  // Phase 1: accept every participant. The first message on each
+  // connection must be join_in, announcing the worker's id. Client joins
+  // are delivered to the Server worker only once ALL connections are
+  // registered: the last client join triggers the first broadcast, which
+  // in hierarchical mode is addressed to edge aggregators — the router
+  // drops messages whose connection has not been accepted yet.
+  // Aggregator joins are a host-level handshake (which connection carries
+  // which worker id) and are never delivered to the Server worker:
+  // aggregators are infrastructure, not sampled participants.
+  std::vector<Message> client_joins;
+  client_joins.reserve(expected);
+  for (int i = 0; i < expected_connections; ++i) {
     auto conn = listener_.Accept();
     FS_CHECK(conn.ok()) << conn.status().ToString();
     auto hello = conn->ReceiveMessage();
@@ -217,36 +346,47 @@ ServerStats DistributedServerHost::Run() {
         << "first message must be join_in";
     const int id = hello->sender;
     FS_CHECK_GE(id, 1);
+    if (IsAggregatorId(id)) {
+      FS_CHECK_LT(AggregatorShard(id), topology.num_shards)
+          << "aggregator " << id << " outside the configured topology";
+      FS_CHECK_LE(AggregatorSlot(id), topology.standbys_per_shard)
+          << "aggregator " << id << " outside the configured topology";
+    }
     TcpConnection* connection = nullptr;
     {
       std::lock_guard<std::mutex> lock(send_mu_);
       FS_CHECK(connections_.find(id) == connections_.end())
-          << "duplicate client id " << id;
+          << "duplicate worker id " << id;
       connection = &connections_.emplace(id, std::move(conn.value()))
                         .first->second;
       Status timeouts = connection->SetTimeouts(transport_.send_timeout,
                                                 transport_.recv_timeout);
       if (!timeouts.ok()) {
-        FS_LOG(Warning) << "timeouts for client " << id
+        FS_LOG(Warning) << "timeouts for worker " << id
                         << " not applied: " << timeouts.ToString();
       }
     }
+    readers_.emplace_back(
+        [this, id, connection] { ReaderLoop(id, connection); });
+    if (!IsAggregatorId(id)) client_joins.push_back(std::move(hello.value()));
+  }
+  for (Message& join : client_joins) {
     // Deliver the join to the server worker (triggers assign_id and,
     // on the last join, all_joined_in -> first broadcast). Record it in
     // the suppressor first so a retransmitted join_in is caught.
-    Message join = std::move(hello.value());
     join.timestamp = NowSeconds();
     {
       std::lock_guard<std::mutex> lock(mu_);
       dedup_.IsDuplicate(join);
     }
-    readers_.emplace_back(
-        [this, id, connection] { ReaderLoop(id, connection); });
     server_->HandleMessage(join);
     if (server_->finished()) course_finished_.store(true);
   }
 
-  // Phase 2: event loop until the course finishes and clients hang up.
+  // Phase 2: event loop until the course finishes and participants hang
+  // up. Messages not addressed to the root worker are relayed to the
+  // receiver's connection (hub duty): aggregator->client model relays,
+  // client->aggregator updates, replication heartbeats, watchdog timers.
   int last_seen_round = server_->round();
   while (true) {
     Message msg;
@@ -254,14 +394,18 @@ ServerStats DistributedServerHost::Run() {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait_for(lock, std::chrono::milliseconds(200), [&] {
         return !incoming_.empty() ||
-               (server_->finished() && eof_count_ >= expected);
+               (server_->finished() && eof_count_ >= expected_connections);
       });
       if (incoming_.empty()) {
-        if (server_->finished() && eof_count_ >= expected) break;
+        if (server_->finished() && eof_count_ >= expected_connections) break;
         continue;
       }
       msg = std::move(incoming_.front());
       incoming_.pop_front();
+    }
+    if (msg.receiver != kServerId) {
+      router_->Send(msg);  // re-stamps wall time + live session epoch
+      continue;
     }
     msg.timestamp = NowSeconds();
     server_->HandleMessage(msg);
@@ -301,53 +445,6 @@ ServerStats DistributedServerHost::Run() {
 // DistributedClientHost
 // --------------------------------------------------------------------------
 
-/// CommChannel that writes the client's outgoing messages to the server.
-class DistributedClientHost::Uplink : public CommChannel {
- public:
-  Status Open(const std::string& host, int port,
-              const TransportOptions& transport) {
-    auto conn = TcpConnection::ConnectWithRetry(host, port, transport);
-    if (!conn.ok()) return conn.status();
-    connection_ = std::move(conn.value());
-    return Status::Ok();
-  }
-
-  /// Drops the dead connection and reconnects with the same seeded
-  /// backoff. The session epoch is forgotten: the restarted server
-  /// teaches the new one through the re-join handshake.
-  Status Reopen(const std::string& host, int port,
-                const TransportOptions& transport) {
-    connection_.Close();
-    epoch_ = -1;
-    return Open(host, port, transport);
-  }
-
-  void Send(const Message& msg) override {
-    Message stamped = msg;
-    stamped.timestamp = NowSeconds();
-    // Echo the session epoch the server taught us; join_in goes out
-    // unstamped (epoch unknown) and is exempt at the server's ingress.
-    if (epoch_ >= 0) stamped.payload.SetInt(kSessionEpochKey, epoch_);
-    if (obs_ != nullptr) obs_->OnChannelSend(stamped);
-    Status status = connection_.SendMessage(stamped);
-    if (!status.ok()) {
-      FS_LOG(Warning) << "client uplink send failed: " << status.ToString();
-    }
-  }
-
-  void set_obs(const ObsContext* obs) { obs_ = obs; }
-  void set_epoch(int64_t epoch) { epoch_ = epoch; }
-
-  Result<Message> Receive() { return connection_.ReceiveMessage(); }
-  void Close() { connection_.Close(); }
-
- private:
-  TcpConnection connection_{-1};
-  const ObsContext* obs_ = nullptr;
-  /// Last session epoch adopted from an incoming message; -1 = unknown.
-  int64_t epoch_ = -1;
-};
-
 void DistributedClientHost::set_obs(const ObsContext* obs) {
   uplink_->set_obs(obs);
   client_->set_obs(obs);
@@ -361,7 +458,7 @@ DistributedClientHost::DistributedClientHost(
       server_host_(server_host),
       server_port_(server_port),
       transport_(transport),
-      uplink_(new Uplink()) {
+      uplink_(new EpochUplink()) {
   connect_status_ = uplink_->Open(server_host, server_port, transport);
   client_ = std::make_unique<Client>(client_id, std::move(options),
                                      std::move(model), std::move(data),

@@ -38,10 +38,49 @@ inline constexpr char kSessionEpochKey[] = "session_epoch";
 ///
 /// Timestamps carry wall-clock seconds since the host started; they order
 /// messages but are not the virtual-time measurements of the simulator.
+///
+/// Hierarchical topologies (ServerOptions::topology, DESIGN.md §11) run
+/// the root host as a star-topology hub: edge-aggregator hosts
+/// (DistributedAggregatorHost) and clients all connect to it, and any
+/// incoming message not addressed to the root worker is relayed to the
+/// receiver's connection. Aggregator↔client traffic therefore costs two
+/// hops, but workers stay unchanged and every participant needs exactly
+/// one upstream address — the deployment shape the paper's edge setting
+/// assumes (NAT'd devices cannot accept inbound connections anyway).
 
-/// Hosts the FL server: accepts `expected_clients` connections, routes
-/// incoming messages into the Server worker, and routes the worker's
-/// outgoing messages to the right connection.
+/// CommChannel over one upstream TCP connection that echoes the session
+/// epoch the hub stamps on its traffic (see kSessionEpochKey). Shared by
+/// the client and edge-aggregator hosts.
+class EpochUplink : public CommChannel {
+ public:
+  Status Open(const std::string& host, int port,
+              const TransportOptions& transport);
+
+  /// Drops the dead connection and reconnects with the same seeded
+  /// backoff. The session epoch is forgotten: the restarted server
+  /// teaches the new one through the re-join handshake.
+  Status Reopen(const std::string& host, int port,
+                const TransportOptions& transport);
+
+  void Send(const Message& msg) override;
+
+  void set_obs(const ObsContext* obs) { obs_ = obs; }
+  void set_epoch(int64_t epoch) { epoch_ = epoch; }
+
+  Result<Message> Receive() { return connection_.ReceiveMessage(); }
+  void Close() { connection_.Close(); }
+
+ private:
+  TcpConnection connection_{-1};
+  const ObsContext* obs_ = nullptr;
+  /// Last session epoch adopted from an incoming message; -1 = unknown.
+  int64_t epoch_ = -1;
+};
+
+/// Hosts the FL server: accepts `expected_clients` connections (plus one
+/// per edge-aggregator slot in hierarchical topologies), routes incoming
+/// messages into the Server worker or — hub duty — relays them to the
+/// addressed participant's connection.
 class DistributedServerHost {
  public:
   /// The listener determines the port (use TcpListener::Bind(0) and
@@ -63,6 +102,14 @@ class DistributedServerHost {
   int64_t failed_clients() const {
     std::lock_guard<std::mutex> lock(mu_);
     return failed_clients_;
+  }
+
+  /// Edge-aggregator connections that dropped before the course finished.
+  /// Each one triggered a failover wake of its shard's lowest live standby
+  /// (or a logged error when the shard had none left).
+  int64_t failed_aggregators() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failed_aggregators_;
   }
 
   /// Retransmitted messages suppressed before reaching the Server worker.
@@ -125,7 +172,13 @@ class DistributedServerHost {
   /// Outgoing channel: routes by msg.receiver over the TCP connections.
   class Router;
 
-  void ReaderLoop(int client_id, TcpConnection* connection);
+  void ReaderLoop(int worker_id, TcpConnection* connection);
+  /// Mid-course EOF handling for an edge-aggregator connection (reader
+  /// thread of the dead connection): waits out the lowest live standby's
+  /// staggered replication deadline, then wakes it with a synthesized
+  /// watchdog timer — EOF is a definite death signal, so one wake fires
+  /// "late" by construction and the standby promotes on first delivery.
+  void AggregatorFailover(int aggregator_id);
   /// Exports a snapshot (Server course state + transport extras) and
   /// writes it durably per the policy. Event-loop thread only.
   void WriteSnapshot();
@@ -152,6 +205,7 @@ class DistributedServerHost {
   std::deque<Message> incoming_;
   DuplicateSuppressor dedup_;  // guarded by mu_
   int64_t failed_clients_ = 0;  // guarded by mu_
+  int64_t failed_aggregators_ = 0;  // guarded by mu_
   int64_t stale_epoch_rejected_ = 0;  // guarded by mu_
   int eof_count_ = 0;
 
@@ -192,13 +246,11 @@ class DistributedClientHost {
   int rejoins() const { return rejoins_; }
 
  private:
-  class Uplink;
-
   int client_id_;
   std::string server_host_;
   int server_port_;
   TransportOptions transport_;
-  std::unique_ptr<Uplink> uplink_;
+  std::unique_ptr<EpochUplink> uplink_;
   std::unique_ptr<Client> client_;
   Status connect_status_;
   int rejoins_ = 0;

@@ -1,0 +1,286 @@
+#include "fedscope/core/edge_aggregator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fedscope/comm/compression.h"
+#include "fedscope/core/events.h"
+#include "fedscope/obs/obs_context.h"
+#include "fedscope/util/logging.h"
+
+namespace fedscope {
+namespace {
+
+constexpr char kModelKey[] = "model";
+constexpr char kDeltaKey[] = "delta";
+
+}  // namespace
+
+EdgeAggregator::EdgeAggregator(EdgeAggregatorOptions options,
+                               CommChannel* channel)
+    : BaseWorker(AggregatorId(options.shard, options.slot), channel),
+      options_(std::move(options)),
+      active_(options_.slot == 0) {
+  FS_CHECK_OK(ValidateTopology(options_.topology));
+  FS_CHECK_GE(options_.shard, 0);
+  FS_CHECK_LT(options_.shard, options_.topology.num_shards);
+  FS_CHECK_GE(options_.slot, 0);
+  FS_CHECK_LE(options_.slot, options_.topology.standbys_per_shard);
+  RegisterDefaultHandlers();
+}
+
+void EdgeAggregator::RegisterDefaultHandlers() {
+  registry_.Register(
+      events::kModelPara, [this](const Message& msg) { OnModelPara(msg); },
+      /*emits=*/{events::kModelPara, events::kShardSnapshot});
+  registry_.Register(
+      events::kModelUpdate, [this](const Message& msg) { OnModelUpdate(msg); },
+      /*emits=*/{events::kPartialUpdate, events::kShardSnapshot});
+  registry_.Register(
+      events::kClientFailure,
+      [this](const Message& msg) { OnClientFailure(msg); },
+      /*emits=*/{events::kPartialUpdate, events::kShardSnapshot});
+  registry_.Register(
+      events::kShardSnapshot,
+      [this](const Message& msg) { OnShardSnapshot(msg); });
+  registry_.Register(
+      events::kTimer, [this](const Message& msg) { OnTimer(msg); },
+      /*emits=*/{events::kStandbyPromoted, events::kTimer});
+  registry_.Register(events::kFinish,
+                     [this](const Message& msg) { OnFinish(msg); });
+}
+
+void EdgeAggregator::StartWatchdog() {
+  if (options_.slot == 0 || active_ || finished_) return;
+  ScheduleWatchdog(last_heard_ + WatchdogDeadline());
+}
+
+void EdgeAggregator::ScheduleWatchdog(double fire_at) {
+  Message timer;
+  timer.receiver = id_;
+  timer.msg_type = events::kTimer;
+  timer.state = round_;
+  timer.timestamp = std::max(fire_at, current_time_);
+  Send(std::move(timer));
+}
+
+void EdgeAggregator::OnModelPara(const Message& msg) {
+  if (finished_) return;
+  // A broadcast addressed here means the root considers this slot active
+  // (promotion acknowledged, or initial primary duty).
+  active_ = true;
+  last_heard_ = msg.timestamp;
+  epoch_ = std::max(epoch_, msg.payload.GetInt("shard_epoch", 0));
+  if (msg.state > round_) {
+    // New round: whatever sub-cohort state is left over is stale.
+    round_ = msg.state;
+    outstanding_.clear();
+    deltas_.clear();
+    weights_.clear();
+    contributors_.clear();
+    declined_ids_.clear();
+    max_local_steps_ = 1;
+  }
+  const std::vector<int64_t> cohort = GetPackedInt64s(msg.payload, "cohort");
+  const StateDict model = msg.payload.GetStateDict(kModelKey);
+  for (int64_t id : cohort) {
+    outstanding_.insert(static_cast<int>(id));
+    Message relay;
+    relay.receiver = static_cast<int>(id);
+    relay.msg_type = events::kModelPara;
+    relay.state = msg.state;
+    relay.timestamp = msg.timestamp;
+    relay.payload.SetStateDict(kModelKey, model);
+    relay.payload.SetInt("shard_epoch", epoch_);
+    Send(std::move(relay));
+  }
+  ReplicateState(msg.timestamp);
+}
+
+void EdgeAggregator::OnModelUpdate(const Message& msg) {
+  if (finished_) return;
+  if (outstanding_.erase(msg.sender) == 0) {
+    // Not in the current sub-cohort: output of a superseded round or
+    // incarnation; the root's re-broadcast already re-covers its client.
+    FS_LOG(Warning) << "aggregator " << id_ << " ignoring unexpected update"
+                    << " from client " << msg.sender;
+    return;
+  }
+  ++updates_received_;
+  if (msg.payload.GetInt("declined", 0) != 0) {
+    declined_ids_.push_back(msg.sender);
+  } else {
+    // Transparent decompression, mirroring the root's model_update path,
+    // so per-client compression operators work under sharding too.
+    StateDict delta;
+    const std::string codec = msg.payload.GetString("codec");
+    if (codec == "quant8") {
+      auto decoded = DequantizeStateDict(msg.payload);
+      if (!decoded.ok()) {
+        FS_LOG(Warning) << "dropping undecodable quant8 update from "
+                        << msg.sender << ": " << decoded.status().ToString();
+        delta.clear();
+      } else {
+        delta = std::move(decoded.value());
+      }
+    } else if (codec == "topk") {
+      auto decoded = DesparsifyStateDict(msg.payload);
+      if (!decoded.ok()) {
+        FS_LOG(Warning) << "dropping undecodable topk update from "
+                        << msg.sender << ": " << decoded.status().ToString();
+        delta.clear();
+      } else {
+        delta = std::move(decoded.value());
+      }
+    } else {
+      delta = msg.payload.GetStateDict(kDeltaKey);
+    }
+    if (!delta.empty()) {
+      deltas_.push_back(std::move(delta));
+      weights_.push_back(
+          static_cast<double>(msg.payload.GetInt("num_samples", 1)));
+      contributors_.push_back(msg.sender);
+      max_local_steps_ =
+          std::max(max_local_steps_,
+                   static_cast<int>(msg.payload.GetInt("local_steps", 1)));
+    }
+  }
+  if (outstanding_.empty()) ForwardPartial(msg.timestamp);
+}
+
+void EdgeAggregator::OnClientFailure(const Message& msg) {
+  if (finished_) return;
+  if (outstanding_.erase(msg.sender) == 0) return;
+  FS_LOG(Debug) << "aggregator " << id_ << " saw client " << msg.sender
+                << " fail";
+  // The root handles the dropout itself (replacement sampling / cohort
+  // shrink); here the shard just stops waiting. Forward what is buffered:
+  // no further reply of this sub-cohort can arrive.
+  if (outstanding_.empty()) ForwardPartial(msg.timestamp);
+}
+
+void EdgeAggregator::ForwardPartial(double timestamp) {
+  if (contributors_.empty() && declined_ids_.empty()) return;
+  Message partial;
+  partial.receiver = kServerId;
+  partial.msg_type = events::kPartialUpdate;
+  partial.state = round_;
+  partial.timestamp = timestamp;
+  partial.payload.SetInt("shard", options_.shard);
+  partial.payload.SetInt("shard_epoch", epoch_);
+  SetPackedInt64s(&partial.payload, "contributors", contributors_);
+  SetPackedInt64s(&partial.payload, "declined_ids", declined_ids_);
+  if (!contributors_.empty()) {
+    std::vector<const StateDict*> dicts;
+    dicts.reserve(deltas_.size());
+    for (const StateDict& d : deltas_) dicts.push_back(&d);
+    partial.payload.SetStateDict(kDeltaKey,
+                                 SdWeightedAverage(dicts, weights_));
+    double total_weight = 0.0;
+    for (double w : weights_) total_weight += w;
+    partial.payload.SetDouble("total_weight", total_weight);
+    partial.payload.SetInt("local_steps", max_local_steps_);
+  }
+  Send(std::move(partial));
+  ++partials_forwarded_;
+  if (obs_ != nullptr && obs_->enabled()) {
+    obs_->Count("fs_aggregator_partial_updates_forwarded_total");
+  }
+  deltas_.clear();
+  weights_.clear();
+  contributors_.clear();
+  declined_ids_.clear();
+  max_local_steps_ = 1;
+  ReplicateState(timestamp);
+}
+
+void EdgeAggregator::ReplicateState(double timestamp) {
+  if (!active_) return;
+  for (int slot = 0; slot <= options_.topology.standbys_per_shard; ++slot) {
+    if (slot == options_.slot) continue;
+    Message snapshot;
+    snapshot.receiver = AggregatorId(options_.shard, slot);
+    snapshot.msg_type = events::kShardSnapshot;
+    snapshot.state = round_;
+    snapshot.timestamp = timestamp;
+    snapshot.payload = ExportSnapshot();
+    Send(std::move(snapshot));
+  }
+}
+
+void EdgeAggregator::OnShardSnapshot(const Message& msg) {
+  if (finished_ || active_) return;  // stale heartbeat of a superseded peer
+  RestoreSnapshot(msg.payload);
+  last_heard_ = msg.timestamp;
+}
+
+void EdgeAggregator::OnTimer(const Message& msg) {
+  if (finished_ || active_ || options_.slot == 0) return;
+  const double deadline = last_heard_ + WatchdogDeadline();
+  if (msg.timestamp >= deadline) {
+    Promote(msg.timestamp);
+    return;
+  }
+  ScheduleWatchdog(deadline);
+}
+
+void EdgeAggregator::Promote(double timestamp) {
+  FS_LOG(Warning) << "standby " << id_ << " (shard " << options_.shard
+                  << " slot " << options_.slot << ") heard nothing for "
+                  << WatchdogDeadline() << "s; promoting at epoch "
+                  << epoch_ + 1;
+  active_ = true;
+  ++epoch_;
+  ++promotions_;
+  // The dead incarnation's buffered sub-cohort is unknown here (only meta
+  // state replicates): discard local leftovers and let the root re-cover
+  // every in-flight client of the shard under the new epoch.
+  outstanding_.clear();
+  deltas_.clear();
+  weights_.clear();
+  contributors_.clear();
+  declined_ids_.clear();
+  max_local_steps_ = 1;
+  if (obs_ != nullptr && obs_->enabled()) {
+    obs_->Count("fs_aggregator_standby_promotions_total");
+  }
+  Message claim;
+  claim.receiver = kServerId;
+  claim.msg_type = events::kStandbyPromoted;
+  claim.state = round_;
+  claim.timestamp = timestamp;
+  claim.payload.SetInt("shard", options_.shard);
+  claim.payload.SetInt("shard_epoch", epoch_);
+  Send(std::move(claim));
+}
+
+void EdgeAggregator::OnFinish(const Message& msg) {
+  (void)msg;
+  finished_ = true;
+}
+
+Payload EdgeAggregator::ExportSnapshot() const {
+  Payload snapshot;
+  snapshot.SetInt("epoch", epoch_);
+  snapshot.SetInt("round", round_);
+  snapshot.SetInt("forwarded", partials_forwarded_);
+  return snapshot;
+}
+
+void EdgeAggregator::RestoreSnapshot(const Payload& snapshot) {
+  epoch_ = std::max(epoch_, snapshot.GetInt("epoch", 0));
+  round_ = std::max(round_,
+                    static_cast<int>(snapshot.GetInt("round", -1)));
+  partials_forwarded_ =
+      std::max(partials_forwarded_, snapshot.GetInt("forwarded", 0));
+}
+
+Checkpoint EdgeAggregator::MakeCheckpoint() const {
+  Checkpoint checkpoint;
+  checkpoint.round = std::max(round_, 0);
+  checkpoint.virtual_time = current_time_;
+  checkpoint.course = ExportSnapshot();
+  return checkpoint;
+}
+
+}  // namespace fedscope

@@ -1,0 +1,122 @@
+#ifndef FEDSCOPE_CORE_EDGE_AGGREGATOR_H_
+#define FEDSCOPE_CORE_EDGE_AGGREGATOR_H_
+
+#include <set>
+#include <vector>
+
+#include "fedscope/comm/message.h"
+#include "fedscope/core/checkpoint.h"
+#include "fedscope/core/topology.h"
+#include "fedscope/core/worker.h"
+#include "fedscope/nn/model.h"
+
+namespace fedscope {
+
+/// Configuration of one edge-aggregator incarnation (shard × slot).
+struct EdgeAggregatorOptions {
+  Topology topology;
+  /// Shard this aggregator serves (0-based, < topology.num_shards).
+  int shard = 0;
+  /// Slot within the shard: 0 is the initial primary, >= 1 are hot
+  /// standbys in promotion order.
+  int slot = 0;
+};
+
+/// Intermediate aggregation worker of a hierarchical topology: relays the
+/// root's model_para broadcasts to its client shard, collects the shard's
+/// model_update replies, pre-aggregates them into one weighted partial
+/// update (Δ = Σ nᵢδᵢ / Σ nᵢ with total weight Σ nᵢ), and forwards it to
+/// the root as a partial_update. An ordinary event-driven worker: all
+/// behaviour lives in registered handlers and all traffic flows through
+/// CommChannel::Send, so the same class runs unchanged under the
+/// standalone FedRunner and the TCP distributed hosts.
+///
+/// Hot failover: the active incarnation replicates its per-round state to
+/// the shard's standby slots after every round event (shard_snapshot, the
+/// in-band heartbeat). A standby arms a self-addressed watchdog timer
+/// (standalone-only, like kAsyncTime); when it has heard nothing for
+/// topology.failure_timeout × slot (staggered so slot 1 claims before
+/// slot 2), it promotes itself: bumps the shard's session epoch, announces
+/// standby_promoted to the root, and the root re-broadcasts the shard's
+/// in-flight cohort through it. Updates buffered by the dead incarnation
+/// are deliberately NOT replayed — the root's re-broadcast re-covers every
+/// in-flight client, and stale-epoch rejection keeps any late output of
+/// the superseded incarnation from double-counting.
+class EdgeAggregator : public BaseWorker {
+ public:
+  EdgeAggregator(EdgeAggregatorOptions options, CommChannel* channel);
+
+  /// Arms the failure watchdog (standby slots only; the runner calls this
+  /// once after course construction). No-op for the active slot.
+  void StartWatchdog();
+
+  /// Serializes the replicable shard state (session epoch, round,
+  /// forwarded count) — the payload of shard_snapshot replication and the
+  /// course section of this aggregator's durable checkpoints.
+  Payload ExportSnapshot() const;
+  /// Adopts replicated/restored shard state (monotonic: keeps the larger
+  /// epoch and round).
+  void RestoreSnapshot(const Payload& snapshot);
+  /// Durable checkpoint of the replicable state (global_state left empty:
+  /// the root re-broadcasts the model on promotion).
+  Checkpoint MakeCheckpoint() const;
+
+  const EdgeAggregatorOptions& options() const { return options_; }
+  int shard() const { return options_.shard; }
+  int slot() const { return options_.slot; }
+  bool active() const { return active_; }
+  bool finished() const { return finished_; }
+  /// Shard session epoch this incarnation currently operates under.
+  int64_t epoch() const { return epoch_; }
+  /// Latest root round relayed through this incarnation.
+  int round_seen() const { return round_; }
+  int64_t partials_forwarded() const { return partials_forwarded_; }
+  int64_t promotions() const { return promotions_; }
+  int64_t updates_received() const { return updates_received_; }
+
+ private:
+  void RegisterDefaultHandlers();
+  void OnModelPara(const Message& msg);
+  void OnModelUpdate(const Message& msg);
+  void OnClientFailure(const Message& msg);
+  void OnShardSnapshot(const Message& msg);
+  void OnTimer(const Message& msg);
+  void OnFinish(const Message& msg);
+
+  /// Sends the weighted partial (plus decline notices) for the current
+  /// sub-cohort to the root, then clears the accumulators and replicates.
+  void ForwardPartial(double timestamp);
+  /// Replicates ExportSnapshot() to every other slot of this shard.
+  void ReplicateState(double timestamp);
+  /// Schedules the next watchdog self-timer.
+  void ScheduleWatchdog(double fire_at);
+  /// Claims the shard: bumps the epoch and announces standby_promoted.
+  void Promote(double timestamp);
+
+  double WatchdogDeadline() const {
+    return options_.topology.failure_timeout * options_.slot;
+  }
+
+  EdgeAggregatorOptions options_;
+  bool active_ = false;
+  bool finished_ = false;
+  int64_t epoch_ = 0;
+  /// Round of the latest root broadcast relayed (-1 before the first).
+  int round_ = -1;
+  /// Clients of the current sub-cohort whose reply is still outstanding.
+  std::set<int> outstanding_;
+  /// Buffered shard updates of the current sub-cohort (parallel vectors).
+  std::vector<StateDict> deltas_;
+  std::vector<double> weights_;
+  std::vector<int64_t> contributors_;
+  std::vector<int64_t> declined_ids_;
+  int max_local_steps_ = 1;
+  double last_heard_ = 0.0;
+  int64_t partials_forwarded_ = 0;
+  int64_t promotions_ = 0;
+  int64_t updates_received_ = 0;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_CORE_EDGE_AGGREGATOR_H_

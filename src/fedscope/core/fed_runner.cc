@@ -20,6 +20,12 @@ Client* FedRunner::client(int id) {
   return clients_[id - 1].get();
 }
 
+EdgeAggregator* FedRunner::aggregator(int shard, int slot) {
+  auto it = aggregator_index_.find(AggregatorId(shard, slot));
+  return it == aggregator_index_.end() ? nullptr
+                                       : aggregators_[it->second].get();
+}
+
 void FedRunner::BuildWorkers() {
   const int n = job_.data->num_clients();
 
@@ -58,6 +64,34 @@ void FedRunner::BuildWorkers() {
   server_ = MakeServer();
   snapshot_writer_ = SnapshotWriter(job_.snapshot);
 
+  // Hierarchical topology: one EdgeAggregator per shard × slot, wired to
+  // the same decorated channel as every other worker (transport and
+  // behaviour stay decoupled).
+  aggregators_.clear();
+  aggregator_index_.clear();
+  dead_aggregators_.clear();
+  shard_writers_.clear();
+  const Topology& topo = job_.server.topology;
+  if (topo.hierarchical()) {
+    for (int shard = 0; shard < topo.num_shards; ++shard) {
+      for (int slot = 0; slot <= topo.standbys_per_shard; ++slot) {
+        EdgeAggregatorOptions options;
+        options.topology = topo;
+        options.shard = shard;
+        options.slot = slot;
+        aggregator_index_[AggregatorId(shard, slot)] = aggregators_.size();
+        aggregators_.push_back(
+            std::make_unique<EdgeAggregator>(options, channel));
+      }
+    }
+    shard_forwarded_.assign(topo.num_shards, 0);
+    for (int shard = 0; shard < topo.num_shards; ++shard) {
+      SnapshotPolicy policy = job_.snapshot;
+      policy.worker_prefix += "s" + std::to_string(shard) + "-";
+      shard_writers_.emplace_back(std::move(policy));
+    }
+  }
+
   Rng seeder(job_.seed);
   clients_.clear();
   clients_.reserve(n);
@@ -76,6 +110,7 @@ void FedRunner::BuildWorkers() {
     queue_.set_obs(&job_.obs);
     server_->set_obs(&job_.obs);
     for (auto& client : clients_) client->set_obs(&job_.obs);
+    for (auto& agg : aggregators_) agg->set_obs(&job_.obs);
     if (fault_channel_ != nullptr) fault_channel_->set_obs(&job_.obs);
   }
 }
@@ -129,6 +164,55 @@ void FedRunner::WriteSnapshot() {
   if (job_.obs.course_log != nullptr) {
     job_.obs.course_log->AnnotateSnapshot(written.value());
   }
+}
+
+void FedRunner::DeliverToAggregator(const Message& msg) {
+  const auto it = aggregator_index_.find(msg.receiver);
+  if (it == aggregator_index_.end()) {
+    FS_LOG(Warning) << "message to unknown aggregator " << msg.receiver;
+    return;
+  }
+  if (dead_aggregators_.count(msg.receiver) > 0) {
+    // A dead process silently eats its traffic — the standalone analogue
+    // of the distributed hosts' mid-course connection EOF.
+    fault_plan_.CountDeadAggregatorDrop();
+    return;
+  }
+  EdgeAggregator* agg = aggregators_[it->second].get();
+  const int crash_round =
+      fault_plan_.AggregatorCrashRound(agg->shard(), agg->slot());
+  if (crash_round >= 0 && msg.state >= crash_round) {
+    // The scheduled crash: the incarnation dies on (not after) the first
+    // delivery that would have had it act on round `crash_round`.
+    dead_aggregators_.insert(msg.receiver);
+    ++aggregators_killed_;
+    fault_plan_.CountDeadAggregatorDrop();
+    FS_LOG(Warning) << "fault plan killed aggregator " << msg.receiver
+                    << " (shard " << agg->shard() << " slot " << agg->slot()
+                    << ") at round " << msg.state;
+    return;
+  }
+  agg->HandleMessage(msg);
+  MaybeSnapshotAggregator(agg);
+}
+
+void FedRunner::MaybeSnapshotAggregator(EdgeAggregator* agg) {
+  const int shard = agg->shard();
+  if (shard >= static_cast<int>(shard_writers_.size()) ||
+      !shard_writers_[shard].enabled()) {
+    return;
+  }
+  if (agg->partials_forwarded() <= shard_forwarded_[shard]) return;
+  shard_forwarded_[shard] = agg->partials_forwarded();
+  auto written = shard_writers_[shard].Write(agg->MakeCheckpoint());
+  if (!written.ok()) {
+    FS_LOG(Warning) << "shard " << shard << " snapshot write failed: "
+                    << written.status().ToString();
+    return;
+  }
+  job_.obs.Count("fs_snapshots_written_total");
+  job_.obs.Count("fs_snapshot_bytes_total",
+                 static_cast<double>(written.value()));
 }
 
 void FedRunner::Send(const Message& msg) {
@@ -187,6 +271,16 @@ CompletenessReport FedRunner::CheckCompleteness() const {
     checker.MarkOptional(events::kTimeUp);
   }
   if (!deadline) checker.MarkOptional(events::kReceiveDeadline);
+  if (job_.server.topology.hierarchical() && !aggregators_.empty()) {
+    // The shard layer's flows join the graph; the root's partial_update
+    // handler raises the synchronous trigger internally.
+    checker.AddRegistry(aggregators_[0]->registry());
+    bridge(events::kPartialUpdate, events::kAllReceived);
+    // Replication heartbeats terminate at the standbys; the watchdog
+    // chain only fires on failures.
+    checker.MarkOptional(events::kShardSnapshot);
+    checker.MarkOptional(events::kStandbyPromoted);
+  }
   // Failure handling is registered but only exercised when faults occur.
   checker.MarkOptional(events::kClientFailure);
   // Built-in capabilities that a particular course may not exercise.
@@ -210,7 +304,9 @@ RunResult FedRunner::Run() {
   // server's final virtual time (inert when no tracer is attached).
   ScopedSpan course_span(job_.obs.tracer, "fl_course", 0.0, kServerId);
 
-  // Building up: every client requests to join at t = 0.
+  // Building up: every client requests to join at t = 0. Standby
+  // aggregators arm their failure watchdogs (no-op for active slots).
+  for (auto& agg : aggregators_) agg->StartWatchdog();
   for (auto& client : clients_) client->JoinIn();
 
   // Pump the virtual-time event loop. Messages to finished/unknown workers
@@ -237,6 +333,8 @@ RunResult FedRunner::Run() {
     } else if (msg.receiver >= 1 &&
                msg.receiver <= static_cast<int>(clients_.size())) {
       clients_[msg.receiver - 1]->HandleMessage(msg);
+    } else if (IsAggregatorId(msg.receiver)) {
+      DeliverToAggregator(msg);
     } else {
       FS_LOG(Warning) << "message to unknown receiver " << msg.receiver;
     }

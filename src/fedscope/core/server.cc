@@ -24,6 +24,23 @@ Server::Server(ServerOptions options, Model global_model,
       rng_(options_.seed != 0 ? options_.seed : 0x5E17E5) {
   FS_CHECK(aggregator_ != nullptr);
   FS_CHECK_GT(options_.concurrency, 0);
+  if (options_.topology.hierarchical()) {
+    FS_CHECK_OK(ValidateTopology(options_.topology));
+    // Partial updates cover whole cohort slices at once, which only the
+    // blocking synchronous trigger can account for; the async strategies,
+    // receive deadlines, and per-update rebroadcasts reason about
+    // individual client updates the root no longer sees.
+    FS_CHECK(options_.strategy == Strategy::kSyncVanilla)
+        << "hierarchical topologies require the sync_vanilla strategy";
+    FS_CHECK(options_.broadcast == BroadcastManner::kAfterAggregating)
+        << "hierarchical topologies require after-aggregating broadcasts";
+    FS_CHECK_LE(options_.receive_deadline, 0.0)
+        << "hierarchical topologies do not support receive deadlines";
+    FS_CHECK_GT(options_.expected_clients, 0)
+        << "hierarchical topologies need expected_clients to assign shards";
+    shard_epochs_.assign(options_.topology.num_shards, 0);
+    shard_active_slot_.assign(options_.topology.num_shards, 0);
+  }
   RegisterDefaultHandlers();
 }
 
@@ -43,6 +60,16 @@ void Server::RegisterDefaultHandlers() {
       events::kClientFailure,
       [this](const Message& msg) { OnClientFailure(msg); },
       /*emits=*/{events::kModelPara});
+  if (options_.topology.hierarchical()) {
+    registry_.Register(
+        events::kPartialUpdate,
+        [this](const Message& msg) { OnPartialUpdate(msg); },
+        /*emits=*/{events::kModelPara});
+    registry_.Register(
+        events::kStandbyPromoted,
+        [this](const Message& msg) { OnStandbyPromoted(msg); },
+        /*emits=*/{events::kModelPara});
+  }
 
   // Condition events of §3.3: which one fires is decided by the checks in
   // OnModelUpdate / OnTimer; what it does is a swappable handler.
@@ -157,6 +184,10 @@ std::vector<int> Server::SampleIdle(int k) {
 
 void Server::BroadcastModel(const std::vector<int>& client_ids,
                             double timestamp) {
+  if (options_.topology.hierarchical()) {
+    BroadcastModelSharded(client_ids, timestamp);
+    return;
+  }
   const StateDict shared = global_model_.GetStateDict(options_.share_filter);
   for (int id : client_ids) {
     Message msg;
@@ -179,6 +210,138 @@ void Server::BroadcastModel(const std::vector<int>& client_ids,
     }
     Send(std::move(msg));
   }
+}
+
+void Server::BroadcastModelSharded(const std::vector<int>& client_ids,
+                                   double timestamp) {
+  if (client_ids.empty()) return;
+  FS_CHECK(config_provider_ == nullptr)
+      << "hierarchical topologies do not support per-client HPO configs";
+  std::map<int, std::vector<int64_t>> by_shard;
+  for (int id : client_ids) {
+    by_shard[ShardOfClient(options_.topology, id, options_.expected_clients)]
+        .push_back(id);
+    busy_[id] = round_;
+  }
+  const StateDict shared = global_model_.GetStateDict(options_.share_filter);
+  const bool record_obs = obs_ != nullptr && obs_->enabled();
+  for (auto& [shard, cohort] : by_shard) {
+    Message msg;
+    msg.receiver = ActiveAggregatorId(shard);
+    msg.msg_type = events::kModelPara;
+    msg.state = round_;
+    msg.timestamp = timestamp;
+    msg.payload.SetStateDict(kModelKey, shared);
+    SetPackedInt64s(&msg.payload, "cohort", cohort);
+    msg.payload.SetInt("shard_epoch", shard_epochs_[shard]);
+    if (record_obs) {
+      pending_downlink_bytes_ += msg.payload.ByteSize();
+      pending_broadcasts_ += static_cast<int>(cohort.size());
+    }
+    Send(std::move(msg));
+  }
+}
+
+void Server::OnPartialUpdate(const Message& msg) {
+  if (finished_ || !started_) return;
+  const int shard = static_cast<int>(msg.payload.GetInt("shard", -1));
+  if (shard < 0 || shard >= options_.topology.num_shards) {
+    FS_LOG(Warning) << "partial_update with unknown shard " << shard
+                    << " from " << msg.sender;
+    return;
+  }
+  const bool record_obs = obs_ != nullptr && obs_->enabled();
+  const int64_t epoch = msg.payload.GetInt("shard_epoch", 0);
+  if (epoch != shard_epochs_[shard]) {
+    // A superseded incarnation of the shard's aggregator: its cohort was
+    // re-broadcast through the promoted standby, so accepting this would
+    // double-count those clients.
+    ++stats_.stale_partials;
+    if (record_obs) obs_->Count("fs_server_stale_partials_total");
+    FS_LOG(Info) << "rejecting shard " << shard << " partial at epoch "
+                 << epoch << " (current " << shard_epochs_[shard] << ")";
+    return;
+  }
+  if (record_obs) {
+    pending_uplink_bytes_ += msg.payload.ByteSize();
+    ++pending_partials_;
+    obs_->Count("fs_server_partial_updates_total");
+  }
+  std::vector<int> contributors;
+  for (int64_t id : GetPackedInt64s(msg.payload, "contributors")) {
+    contributors.push_back(static_cast<int>(id));
+    busy_.erase(static_cast<int>(id));
+  }
+  const std::vector<int64_t> declined =
+      GetPackedInt64s(msg.payload, "declined_ids");
+  for (int64_t id : declined) {
+    busy_.erase(static_cast<int>(id));
+    ++stats_.declined;
+    if (record_obs) {
+      ++pending_declined_;
+      obs_->Count("fs_server_declined_total");
+    }
+  }
+  covered_this_round_ +=
+      static_cast<int>(contributors.size() + declined.size());
+
+  if (!contributors.empty()) {
+    const int staleness = round_ - msg.state;
+    if (staleness > options_.staleness_tolerance) {
+      stats_.dropped_stale += static_cast<int64_t>(contributors.size());
+      if (record_obs) {
+        pending_dropped_ += static_cast<int64_t>(contributors.size());
+        obs_->Count("fs_server_dropped_stale_total",
+                    static_cast<double>(contributors.size()));
+      }
+    } else {
+      ClientUpdate update;
+      update.client_id = msg.sender;
+      update.round_started = msg.state;
+      update.staleness = staleness;
+      update.num_samples = msg.payload.GetDouble("total_weight", 1.0);
+      update.local_steps =
+          static_cast<int>(msg.payload.GetInt("local_steps", 1));
+      update.delta = msg.payload.GetStateDict(kDeltaKey);
+      buffer_.push_back(std::move(update));
+      buffer_contributors_.push_back(std::move(contributors));
+    }
+  }
+
+  if (covered_this_round_ >= sampled_this_round_) {
+    RaiseEvent(events::kAllReceived, msg);
+  }
+}
+
+void Server::OnStandbyPromoted(const Message& msg) {
+  if (finished_) return;
+  const int shard = static_cast<int>(msg.payload.GetInt("shard", -1));
+  if (shard < 0 || shard >= options_.topology.num_shards) {
+    FS_LOG(Warning) << "standby_promoted for unknown shard " << shard;
+    return;
+  }
+  const int64_t claimed = msg.payload.GetInt("shard_epoch", 0);
+  shard_epochs_[shard] = std::max(shard_epochs_[shard] + 1, claimed);
+  shard_active_slot_[shard] = AggregatorSlot(msg.sender);
+  ++stats_.shard_failovers;
+  if (obs_ != nullptr && obs_->enabled()) {
+    ++pending_failovers_;
+    obs_->Count("fs_server_shard_failovers_total");
+  }
+  FS_LOG(Warning) << "shard " << shard << " failed over to aggregator "
+                  << msg.sender << " (epoch " << shard_epochs_[shard] << ")";
+  if (!started_) return;
+  // Whatever the dead incarnation buffered or had in flight is lost:
+  // re-broadcast the shard's in-flight cohort through the new aggregator
+  // (stale-epoch rejection keeps any late survivor output out).
+  std::vector<int> inflight;
+  for (const auto& [id, round] : busy_) {
+    if (ShardOfClient(options_.topology, id, options_.expected_clients) ==
+        shard) {
+      inflight.push_back(id);
+    }
+  }
+  if (!inflight.empty()) BroadcastModelSharded(inflight, msg.timestamp);
 }
 
 void Server::Replenish(double timestamp) {
@@ -442,7 +605,14 @@ void Server::OnClientFailure(const Message& msg) {
     return;
   }
   if (sampled_this_round_ > 0) --sampled_this_round_;
-  if (options_.strategy == Strategy::kSyncVanilla && !buffer_.empty() &&
+  if (options_.strategy != Strategy::kSyncVanilla) return;
+  if (options_.topology.hierarchical()) {
+    if (covered_this_round_ >= sampled_this_round_ && !buffer_.empty()) {
+      RaiseEvent(events::kAllReceived, msg);
+    }
+    return;
+  }
+  if (!buffer_.empty() &&
       static_cast<int>(buffer_.size()) >= sampled_this_round_) {
     RaiseEvent(events::kAllReceived, msg);
   }
@@ -455,21 +625,34 @@ void Server::PerformAggregation(const std::string& trigger,
 
   // Staleness is measured against the version at aggregation time; updates
   // that aged beyond the toleration while buffered are dropped now.
+  const bool hierarchical = options_.topology.hierarchical();
   std::vector<ClientUpdate> usable;
+  std::vector<std::vector<int>> usable_contribs;
   usable.reserve(buffer_.size());
-  for (auto& update : buffer_) {
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    ClientUpdate& update = buffer_[i];
     update.staleness = round_ - update.round_started;
     if (update.staleness > options_.staleness_tolerance) {
-      ++stats_.dropped_stale;
+      const int64_t dropped =
+          hierarchical
+              ? static_cast<int64_t>(buffer_contributors_[i].size())
+              : 1;
+      stats_.dropped_stale += dropped;
       if (record_obs) {
-        ++pending_dropped_;
-        obs_->Count("fs_server_dropped_stale_total");
+        pending_dropped_ += dropped;
+        obs_->Count("fs_server_dropped_stale_total",
+                    static_cast<double>(dropped));
       }
       continue;
     }
     usable.push_back(std::move(update));
+    if (hierarchical) {
+      usable_contribs.push_back(std::move(buffer_contributors_[i]));
+    }
   }
   buffer_.clear();
+  buffer_contributors_.clear();
+  covered_this_round_ = 0;
   if (usable.empty()) {
     // Everything buffered had gone stale: keep the round's timer chain
     // alive so a deadline/budget-driven course cannot silently stall.
@@ -479,11 +662,24 @@ void Server::PerformAggregation(const std::string& trigger,
     return;
   }
 
-  for (const auto& update : usable) {
-    stats_.staleness_log.push_back(update.staleness);
-    if (update.client_id >= 1 &&
-        update.client_id < static_cast<int>(stats_.agg_count.size())) {
-      ++stats_.agg_count[update.client_id];
+  if (hierarchical) {
+    // Per-client attribution flows through the contributor lists the
+    // partials carried, so Figure-10-style stats match a flat course.
+    for (size_t i = 0; i < usable.size(); ++i) {
+      for (int id : usable_contribs[i]) {
+        stats_.staleness_log.push_back(usable[i].staleness);
+        if (id >= 1 && id < static_cast<int>(stats_.agg_count.size())) {
+          ++stats_.agg_count[id];
+        }
+      }
+    }
+  } else {
+    for (const auto& update : usable) {
+      stats_.staleness_log.push_back(update.staleness);
+      if (update.client_id >= 1 &&
+          update.client_id < static_cast<int>(stats_.agg_count.size())) {
+        ++stats_.agg_count[update.client_id];
+      }
     }
   }
 
@@ -499,7 +695,7 @@ void Server::PerformAggregation(const std::string& trigger,
   const size_t curve_size_before = stats_.curve.size();
   const bool stopped = EvaluateAndCheckStop(context);
   if (record_obs) {
-    RecordRound(trigger, context, usable,
+    RecordRound(trigger, context, usable, usable_contribs,
                 stats_.curve.size() > curve_size_before);
   }
   if (stopped) return;
@@ -514,13 +710,26 @@ void Server::PerformAggregation(const std::string& trigger,
 
 void Server::RecordRound(const std::string& trigger, const Message& context,
                          const std::vector<ClientUpdate>& usable,
+                         const std::vector<std::vector<int>>& usable_contribs,
                          bool evaluated) {
   const double now = context.timestamp;
-  for (const auto& update : usable) {
-    obs_->Observe("fs_server_staleness", StalenessBounds(),
-                  static_cast<double>(update.staleness));
-    obs_->Count("fs_server_agg_contributions_total", 1.0,
-                {{"client", std::to_string(update.client_id)}});
+  const bool hierarchical = options_.topology.hierarchical();
+  if (hierarchical) {
+    for (size_t i = 0; i < usable.size(); ++i) {
+      for (int id : usable_contribs[i]) {
+        obs_->Observe("fs_server_staleness", StalenessBounds(),
+                      static_cast<double>(usable[i].staleness));
+        obs_->Count("fs_server_agg_contributions_total", 1.0,
+                    {{"client", std::to_string(id)}});
+      }
+    }
+  } else {
+    for (const auto& update : usable) {
+      obs_->Observe("fs_server_staleness", StalenessBounds(),
+                    static_cast<double>(update.staleness));
+      obs_->Count("fs_server_agg_contributions_total", 1.0,
+                  {{"client", std::to_string(update.client_id)}});
+    }
   }
   obs_->Count("fs_server_aggregations_total", 1.0, {{"trigger", trigger}});
   obs_->Observe("fs_server_round_duration_seconds", LatencyBounds(),
@@ -536,11 +745,20 @@ void Server::RecordRound(const std::string& trigger, const Message& context,
     record.round = round_;
     record.trigger = trigger;
     record.time = now;
-    record.contributors.reserve(usable.size());
-    record.staleness.reserve(usable.size());
-    for (const auto& update : usable) {
-      record.contributors.push_back(update.client_id);
-      record.staleness.push_back(update.staleness);
+    if (hierarchical) {
+      for (size_t i = 0; i < usable.size(); ++i) {
+        for (int id : usable_contribs[i]) {
+          record.contributors.push_back(id);
+          record.staleness.push_back(usable[i].staleness);
+        }
+      }
+    } else {
+      record.contributors.reserve(usable.size());
+      record.staleness.reserve(usable.size());
+      for (const auto& update : usable) {
+        record.contributors.push_back(update.client_id);
+        record.staleness.push_back(update.staleness);
+      }
     }
     record.uplink_bytes = pending_uplink_bytes_;
     record.downlink_bytes = pending_downlink_bytes_;
@@ -549,6 +767,8 @@ void Server::RecordRound(const std::string& trigger, const Message& context,
     record.declined = pending_declined_;
     record.dropouts = pending_dropouts_;
     record.replacements = pending_replacements_;
+    record.partial_updates = pending_partials_;
+    record.shard_failovers = pending_failovers_;
     if (evaluated) {
       record.evaluated = true;
       record.eval_accuracy = stats_.curve.back().second;
@@ -564,6 +784,8 @@ void Server::RecordRound(const std::string& trigger, const Message& context,
   pending_declined_ = 0;
   pending_dropouts_ = 0;
   pending_replacements_ = 0;
+  pending_partials_ = 0;
+  pending_failovers_ = 0;
 }
 
 bool Server::EvaluateAndCheckStop(const Message& context) {
@@ -623,6 +845,17 @@ void Server::FinishCourse(const Message& context) {
     msg.state = round_;
     msg.timestamp = context.timestamp;
     Send(std::move(msg));
+  }
+  // Dismiss the edge aggregators too (stops standby watchdog timers).
+  for (int shard = 0; shard < options_.topology.num_shards; ++shard) {
+    for (int slot = 0; slot <= options_.topology.standbys_per_shard; ++slot) {
+      Message msg;
+      msg.receiver = AggregatorId(shard, slot);
+      msg.msg_type = events::kFinish;
+      msg.state = round_;
+      msg.timestamp = context.timestamp;
+      Send(std::move(msg));
+    }
   }
 }
 

@@ -11,6 +11,7 @@
 #include "fedscope/core/aggregator.h"
 #include "fedscope/core/checkpoint.h"
 #include "fedscope/core/sampler.h"
+#include "fedscope/core/topology.h"
 #include "fedscope/core/trainer.h"
 #include "fedscope/core/worker.h"
 #include "fedscope/nn/model.h"
@@ -79,6 +80,11 @@ struct ServerOptions {
   bool collect_client_metrics = false;
   /// The shared part of the model (must match the clients' share filter).
   NameFilter share_filter;
+  /// Aggregation topology (DESIGN.md §11). Flat by default; with shards,
+  /// the server broadcasts one grouped model_para per shard to the shard's
+  /// active edge aggregator and aggregates partial_update messages instead
+  /// of per-client model_update ones.
+  Topology topology;
   uint64_t seed = 0;
 
   ServerOptions() : share_filter(AcceptAll()) {}
@@ -111,6 +117,11 @@ struct ServerStats {
   /// Client-reported test accuracy from the final metrics round
   /// (client id -> accuracy); filled when collect_client_metrics is on.
   std::map<int, double> client_metrics;
+  /// Shard failovers acknowledged (standby_promoted messages accepted).
+  int64_t shard_failovers = 0;
+  /// Partial updates rejected for carrying a superseded shard epoch
+  /// (messages from a dead aggregator incarnation).
+  int64_t stale_partials = 0;
   int rounds = 0;
   bool reached_target = false;
   /// Virtual seconds to reach target accuracy (-1 if never).
@@ -178,6 +189,13 @@ class Server : public BaseWorker {
   void OnTimer(const Message& msg);
   void OnMetrics(const Message& msg);
   void OnClientFailure(const Message& msg);
+  /// Hierarchical topologies: one weighted pre-aggregated update from an
+  /// edge aggregator, covering (part of) its shard's cohort.
+  void OnPartialUpdate(const Message& msg);
+  /// Hierarchical topologies: a standby took over a shard. Bumps the
+  /// shard's epoch, reroutes to the new aggregator, and re-broadcasts the
+  /// shard's in-flight cohort through it.
+  void OnStandbyPromoted(const Message& msg);
   /// Sync-strategy receive-deadline expiry: partial aggregation when
   /// enough updates are buffered, otherwise replace the presumed-dead
   /// cohort and extend the round.
@@ -196,11 +214,23 @@ class Server : public BaseWorker {
   void FinishCourse(const Message& context);
   /// Flushes the pending-round observability accumulators into the course
   /// log / metrics / tracer after an aggregation (obs-attached runs only).
+  /// `usable_contribs` carries per-update contributor ids in hierarchical
+  /// mode (parallel to `usable`; empty in flat mode).
   void RecordRound(const std::string& trigger, const Message& context,
-                   const std::vector<ClientUpdate>& usable, bool evaluated);
+                   const std::vector<ClientUpdate>& usable,
+                   const std::vector<std::vector<int>>& usable_contribs,
+                   bool evaluated);
 
   /// Sends the current global model to the given clients at round round_.
+  /// Hierarchical topologies group the cohort by shard and send one
+  /// model_para per shard to its active edge aggregator instead.
   void BroadcastModel(const std::vector<int>& client_ids, double timestamp);
+  void BroadcastModelSharded(const std::vector<int>& client_ids,
+                             double timestamp);
+  /// Worker id of the aggregator currently serving `shard`.
+  int ActiveAggregatorId(int shard) const {
+    return AggregatorId(shard, shard_active_slot_[shard]);
+  }
   /// Samples up to `k` idle clients.
   std::vector<int> SampleIdle(int k);
   /// Brings the number of in-flight clients back up to the configured
@@ -233,6 +263,17 @@ class Server : public BaseWorker {
   std::map<int, int> busy_;      // in-flight clients -> round they work on
   std::vector<double> resp_scores_;  // by client id - 1
   std::vector<ClientUpdate> buffer_;
+  /// Hierarchical: client ids covered by the buffered partial at the same
+  /// index (per-client attribution of stats; empty vectors in flat mode).
+  std::vector<std::vector<int>> buffer_contributors_;
+  /// Hierarchical: cohort members accounted for this round (contributors
+  /// plus declines reported through partials) — the sync trigger compares
+  /// this against sampled_this_round_ because one partial covers many.
+  int covered_this_round_ = 0;
+  /// Hierarchical: per-shard session epoch (bumped on failover) and the
+  /// slot of the shard's currently active aggregator.
+  std::vector<int64_t> shard_epochs_;
+  std::vector<int> shard_active_slot_;
   int sampled_this_round_ = 0;   // cohort size for all_received
   int extensions_this_round_ = 0;  // consecutive extensions (backstop)
   int round_ = 0;
@@ -253,6 +294,8 @@ class Server : public BaseWorker {
   int64_t pending_declined_ = 0;
   int64_t pending_dropouts_ = 0;
   int64_t pending_replacements_ = 0;
+  int64_t pending_partials_ = 0;
+  int64_t pending_failovers_ = 0;
 };
 
 }  // namespace fedscope

@@ -76,6 +76,25 @@ void Server::ExportSnapshot(Checkpoint* checkpoint) {
     p.SetStateDict(BufferKey(i, "delta"), u.delta);
   }
 
+  // Topology keys exist only for hierarchical courses, keeping flat
+  // snapshots byte-identical to the pre-topology schema.
+  if (options_.topology.hierarchical()) {
+    SetPackedInt64s(&p, "topology/shard_epochs", shard_epochs_);
+    SetPackedInt64s(&p, "topology/active_slots",
+                    std::vector<int64_t>(shard_active_slot_.begin(),
+                                         shard_active_slot_.end()));
+    p.SetInt("topology/covered_this_round", covered_this_round_);
+    for (int64_t i = 0; i < static_cast<int64_t>(buffer_.size()); ++i) {
+      SetPackedInt64s(&p, BufferKey(i, "contributors"),
+                      std::vector<int64_t>(buffer_contributors_[i].begin(),
+                                           buffer_contributors_[i].end()));
+    }
+    p.SetInt("stats/shard_failovers", stats_.shard_failovers);
+    p.SetInt("stats/stale_partials", stats_.stale_partials);
+    p.SetInt("obs/pending_partials", pending_partials_);
+    p.SetInt("obs/pending_failovers", pending_failovers_);
+  }
+
   if (sampler_) {
     p.SetInt("has_sampler", 1);
     sampler_->SaveState(&p, "sampler");
@@ -175,6 +194,7 @@ Status Server::RestoreSnapshot(const Checkpoint& checkpoint) {
 
   const int64_t buffer_count = p.GetInt("buffer/count");
   buffer_.clear();
+  buffer_contributors_.clear();
   buffer_.reserve(buffer_count);
   for (int64_t i = 0; i < buffer_count; ++i) {
     ClientUpdate u;
@@ -189,6 +209,32 @@ Status Server::RestoreSnapshot(const Checkpoint& checkpoint) {
       return Status::DataLoss("snapshot buffered delta is incomplete");
     }
     buffer_.push_back(std::move(u));
+    if (options_.topology.hierarchical()) {
+      std::vector<int> contributors;
+      for (int64_t id : GetPackedInt64s(p, BufferKey(i, "contributors"))) {
+        contributors.push_back(static_cast<int>(id));
+      }
+      buffer_contributors_.push_back(std::move(contributors));
+    }
+  }
+
+  covered_this_round_ = 0;
+  if (options_.topology.hierarchical()) {
+    const std::vector<int64_t> epochs =
+        GetPackedInt64s(p, "topology/shard_epochs");
+    const std::vector<int64_t> slots =
+        GetPackedInt64s(p, "topology/active_slots");
+    if (static_cast<int>(epochs.size()) != options_.topology.num_shards ||
+        static_cast<int>(slots.size()) != options_.topology.num_shards) {
+      return Status::FailedPrecondition(
+          "snapshot shard layout does not match server topology");
+    }
+    shard_epochs_ = epochs;
+    for (int shard = 0; shard < options_.topology.num_shards; ++shard) {
+      shard_active_slot_[shard] = static_cast<int>(slots[shard]);
+    }
+    covered_this_round_ =
+        static_cast<int>(p.GetInt("topology/covered_this_round"));
   }
 
   // The sampler object is reconstructed from options + scores (fixed after
@@ -240,6 +286,11 @@ Status Server::RestoreSnapshot(const Checkpoint& checkpoint) {
   stats_.final_accuracy = p.GetDouble("stats/final_accuracy");
   stats_.finish_time = p.GetDouble("stats/finish_time");
 
+  if (options_.topology.hierarchical()) {
+    stats_.shard_failovers = p.GetInt("stats/shard_failovers");
+    stats_.stale_partials = p.GetInt("stats/stale_partials");
+  }
+
   last_agg_time_ = p.GetDouble("obs/last_agg_time");
   pending_uplink_bytes_ = p.GetInt("obs/pending_uplink_bytes");
   pending_downlink_bytes_ = p.GetInt("obs/pending_downlink_bytes");
@@ -248,6 +299,8 @@ Status Server::RestoreSnapshot(const Checkpoint& checkpoint) {
   pending_declined_ = p.GetInt("obs/pending_declined");
   pending_dropouts_ = p.GetInt("obs/pending_dropouts");
   pending_replacements_ = p.GetInt("obs/pending_replacements");
+  pending_partials_ = p.GetInt("obs/pending_partials");
+  pending_failovers_ = p.GetInt("obs/pending_failovers");
   return Status::Ok();
 }
 

@@ -1,0 +1,89 @@
+#ifndef FEDSCOPE_CORE_TOPOLOGY_H_
+#define FEDSCOPE_CORE_TOPOLOGY_H_
+
+#include <string>
+
+#include "fedscope/util/status.h"
+
+namespace fedscope {
+
+/// Aggregation topology of an FL course. The default (zero shards) is the
+/// paper's flat single-server topology and leaves every code path
+/// bit-identical to a build without this header. With `num_shards > 0`,
+/// clients are partitioned into shards, each served by an intermediate
+/// EdgeAggregator worker that pre-aggregates the shard's updates and
+/// forwards one weighted partial update to the root server.
+struct Topology {
+  /// Number of client shards; 0 = flat (no edge aggregators).
+  int num_shards = 0;
+  /// How client ids map to shards: "round_robin" (client id modulo shard
+  /// count) or "contiguous" (equal-width id ranges).
+  std::string assignment = "round_robin";
+  /// Hot standbys per shard (0 = no failover). Standby slot s presumes the
+  /// shard dead after `failure_timeout * s` seconds of replication silence
+  /// (staggered so lower slots always promote first).
+  int standbys_per_shard = 0;
+  /// Standby watchdog base timeout in virtual seconds (standalone runner).
+  /// Must be > 0 when standbys_per_shard > 0 and the course can fail over.
+  double failure_timeout = 30.0;
+
+  bool hierarchical() const { return num_shards > 0; }
+};
+
+/// Worker ids of edge aggregators live far above any client id so the two
+/// spaces never collide (clients are 1..N, the root server is 0).
+inline constexpr int kAggregatorIdBase = 100000;
+/// Slots per shard: slot 0 is the initial primary, 1.. are standbys.
+inline constexpr int kAggregatorSlotsPerShard = 100;
+
+/// Worker id of the aggregator serving `shard` in `slot`.
+inline int AggregatorId(int shard, int slot) {
+  return kAggregatorIdBase + shard * kAggregatorSlotsPerShard + slot;
+}
+inline bool IsAggregatorId(int id) { return id >= kAggregatorIdBase; }
+inline int AggregatorShard(int id) {
+  return (id - kAggregatorIdBase) / kAggregatorSlotsPerShard;
+}
+inline int AggregatorSlot(int id) {
+  return (id - kAggregatorIdBase) % kAggregatorSlotsPerShard;
+}
+
+/// Shard of `client_id` (1-based) under `topology`. `num_clients` is the
+/// course's total client count (used by the "contiguous" policy).
+inline int ShardOfClient(const Topology& topology, int client_id,
+                         int num_clients) {
+  if (topology.num_shards <= 1) return 0;
+  const int index = client_id - 1;  // client ids are 1-based
+  if (topology.assignment == "contiguous") {
+    const int width =
+        (num_clients + topology.num_shards - 1) / topology.num_shards;
+    const int shard = index / (width > 0 ? width : 1);
+    return shard < topology.num_shards ? shard : topology.num_shards - 1;
+  }
+  return index % topology.num_shards;  // round_robin (default)
+}
+
+/// Error iff the topology is internally inconsistent.
+inline Status ValidateTopology(const Topology& topology) {
+  if (topology.num_shards < 0) {
+    return Status::InvalidArgument("num_shards must be >= 0");
+  }
+  if (topology.assignment != "round_robin" &&
+      topology.assignment != "contiguous") {
+    return Status::InvalidArgument("unknown shard assignment policy: " +
+                                   topology.assignment);
+  }
+  if (topology.standbys_per_shard < 0 ||
+      topology.standbys_per_shard >= kAggregatorSlotsPerShard) {
+    return Status::InvalidArgument("standbys_per_shard out of range");
+  }
+  if (topology.standbys_per_shard > 0 && topology.failure_timeout <= 0.0) {
+    return Status::InvalidArgument(
+        "standbys need a positive failure_timeout");
+  }
+  return Status::Ok();
+}
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_CORE_TOPOLOGY_H_

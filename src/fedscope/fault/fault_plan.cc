@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "fedscope/core/events.h"
+#include "fedscope/core/topology.h"
 #include "fedscope/util/logging.h"
 
 namespace fedscope {
@@ -12,7 +13,8 @@ constexpr uint64_t kDefaultSeed = 0xFA017;
 
 bool IsDataPlane(const std::string& msg_type) {
   return msg_type == events::kModelPara || msg_type == events::kModelUpdate ||
-         msg_type == events::kEvaluate || msg_type == events::kMetrics;
+         msg_type == events::kEvaluate || msg_type == events::kMetrics ||
+         msg_type == events::kPartialUpdate;
 }
 
 bool IsUplink(const std::string& msg_type) {
@@ -38,13 +40,18 @@ FaultPlan::FaultPlan(const FaultPlanOptions& options, int num_clients)
   FS_CHECK_LE(options_.dropout_frac, 1.0);
   FS_CHECK_GE(options_.straggler_frac, 0.0);
   FS_CHECK_LE(options_.straggler_frac, 1.0);
+  for (const AggregatorCrash& crash : options_.aggregator_crashes) {
+    aggregator_crash_rounds_[{crash.shard, crash.slot}] = crash.round;
+  }
   enabled_ = options_.dropout_frac > 0.0 ||
              options_.crash_after_training_prob > 0.0 ||
              (options_.straggler_frac > 0.0 &&
               options_.straggler_delay > 0.0) ||
              options_.msg_loss_prob > 0.0 ||
              options_.msg_duplicate_prob > 0.0 ||
-             (options_.msg_delay_prob > 0.0 && options_.msg_delay_max > 0.0);
+             (options_.msg_delay_prob > 0.0 && options_.msg_delay_max > 0.0) ||
+             (options_.aggregator_straggler_shard >= 0 &&
+              options_.aggregator_straggler_delay > 0.0);
   if (!enabled_) return;
   const Rng seeder(options_.seed != 0 ? options_.seed : kDefaultSeed);
   Rng dropout_rng = seeder.Fork(1);
@@ -55,9 +62,25 @@ FaultPlan::FaultPlan(const FaultPlanOptions& options, int num_clients)
   rng_ = seeder.Fork(3);
 }
 
+int FaultPlan::AggregatorCrashRound(int shard, int slot) const {
+  auto it = aggregator_crash_rounds_.find({shard, slot});
+  return it != aggregator_crash_rounds_.end() ? it->second : -1;
+}
+
 FaultPlan::MessageFate FaultPlan::Judge(const Message& msg) {
   MessageFate fate;
   if (!enabled_ || !IsDataPlane(msg.msg_type)) return fate;
+
+  if (msg.msg_type == events::kPartialUpdate) {
+    if (options_.aggregator_straggler_shard >= 0 &&
+        options_.aggregator_straggler_delay > 0.0 &&
+        IsAggregatorId(msg.sender) &&
+        AggregatorShard(msg.sender) == options_.aggregator_straggler_shard) {
+      fate.extra_delay += options_.aggregator_straggler_delay;
+      ++counters_.delayed;
+    }
+    return fate;  // partials skip the per-client channel-fault draws
+  }
 
   if (IsUplink(msg.msg_type)) {
     if (IsDropped(msg.sender)) {

@@ -108,6 +108,12 @@ std::string CourseLog::ToJsonl() const {
       os << ",\"dropouts\":" << r.dropouts
          << ",\"replacements\":" << r.replacements;
     }
+    // Topology fields appear only in hierarchical courses, keeping flat
+    // course logs byte-identical to the pre-topology format.
+    if (r.partial_updates != 0 || r.shard_failovers != 0) {
+      os << ",\"partial_updates\":" << r.partial_updates
+         << ",\"shard_failovers\":" << r.shard_failovers;
+    }
     // Snapshot fields appear only on snapshotted rounds, keeping
     // snapshot-free course logs byte-identical to the previous format.
     if (r.snapshots != 0) {
@@ -125,19 +131,27 @@ std::string CourseLog::ToJsonl() const {
 }
 
 std::string CourseLog::ToCsv() const {
+  // Topology columns appear only when some round has topology activity,
+  // keeping flat course CSVs byte-identical to the pre-topology format.
+  bool topology = false;
+  for (const auto& r : rounds_) {
+    if (r.partial_updates != 0 || r.shard_failovers != 0) topology = true;
+  }
   std::ostringstream os;
   os << "round,trigger,time,contributors,staleness,uplink_bytes,"
         "downlink_bytes,broadcasts,dropped_stale,declined,dropouts,"
-        "replacements,snapshots,snapshot_bytes,evaluated,eval_accuracy,"
-        "eval_loss\n";
+        "replacements,";
+  if (topology) os << "partial_updates,shard_failovers,";
+  os << "snapshots,snapshot_bytes,evaluated,eval_accuracy,eval_loss\n";
   for (const auto& r : rounds_) {
     os << r.round << "," << r.trigger << "," << FormatTime(r.time) << ","
        << JoinInts(r.contributors, ";") << "," << JoinInts(r.staleness, ";")
        << "," << r.uplink_bytes << "," << r.downlink_bytes << ","
        << r.broadcasts << "," << r.dropped_stale << "," << r.declined << ","
-       << r.dropouts << "," << r.replacements << "," << r.snapshots << ","
-       << r.snapshot_bytes << "," << (r.evaluated ? 1 : 0) << ","
-       << (r.evaluated ? FormatEval(r.eval_accuracy) : "") << ","
+       << r.dropouts << "," << r.replacements << ",";
+    if (topology) os << r.partial_updates << "," << r.shard_failovers << ",";
+    os << r.snapshots << "," << r.snapshot_bytes << "," << (r.evaluated ? 1 : 0)
+       << "," << (r.evaluated ? FormatEval(r.eval_accuracy) : "") << ","
        << (r.evaluated ? FormatEval(r.eval_loss) : "") << "\n";
   }
   return os.str();

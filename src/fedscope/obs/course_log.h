@@ -44,6 +44,11 @@ struct CourseRoundRecord {
   int64_t dropouts = 0;
   /// Replacement clients sampled into vacated cohort slots this round.
   int64_t replacements = 0;
+  /// Pre-aggregated shard partials accepted this round (hierarchical
+  /// topologies; 0 in flat courses).
+  int64_t partial_updates = 0;
+  /// Standby promotions the root acknowledged this round.
+  int64_t shard_failovers = 0;
   /// True when the server evaluated the global model after this round.
   bool evaluated = false;
   double eval_accuracy = 0.0;

@@ -73,6 +73,21 @@ struct CourseSpec {
   /// one. Always exercised: courses cannot opt out of crash consistency.
   double crash_frac = 0.5;
 
+  // -- topology (hierarchical sharded aggregation, DESIGN.md §11) -----------
+  /// Shard count of the aggregation tree; 0 = flat (the default). Flat
+  /// specs collapse the whole topology axis to defaults under Clamp so
+  /// pre-topology corpus lines keep their historical repro form.
+  int topology_shards = 0;
+  /// Hot standbys per shard (slots 1..N behind the slot-0 primary).
+  int topology_standbys = 0;
+  std::string topology_assignment = "round_robin";  ///< | "contiguous"
+  /// Standby watchdog silence threshold (virtual seconds).
+  double topology_failure_timeout = 30.0;
+  /// Shard whose slot-0 primary is crash-scheduled mid-course; -1 = no
+  /// kill. A kill forces topology_standbys >= 1 (someone must take over).
+  int topology_kill_shard = -1;
+  int topology_kill_round = 0;
+
   // -- fault plan -----------------------------------------------------------
   double fault_dropout_frac = 0.0;
   double fault_crash_prob = 0.0;
@@ -91,6 +106,9 @@ struct CourseSpec {
     return fault_dropout_frac > 0.0 || fault_crash_prob > 0.0 ||
            fault_msg_loss_prob > 0.0;
   }
+
+  /// True when the spec runs a hierarchical (sharded) aggregation tree.
+  bool Hierarchical() const { return topology_shards > 0; }
 
   Config ToConfig() const;
   static Result<CourseSpec> FromConfig(const Config& config);

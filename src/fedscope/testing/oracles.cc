@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstring>
+#include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -78,6 +80,12 @@ CourseObservation RunInstrumentedCourse(const CourseSpec& spec,
   job.fault.server_crash_at_event = crash_at_event;
 
   CourseObservation obs;
+  if (spec.Hierarchical()) {
+    // Flat courses keep the all-null ObsContext (byte-identity with the
+    // uninstrumented build); hierarchical oracles need the per-round
+    // contributor record to check weight conservation across failovers.
+    job.obs.course_log = &obs.course_log;
+  }
   double last_delivery_time = -1.0;
   job.send_tap = [&obs](const Message&) { ++obs.sent; };
   job.delivery_tap = [&obs, &last_delivery_time](const Message& msg) {
@@ -98,11 +106,16 @@ CourseObservation RunInstrumentedCourse(const CourseSpec& spec,
   obs.suppressed = runner.duplicates_suppressed();
   obs.recoveries = runner.recoveries();
   obs.fault = runner.fault_plan().counters();
+  obs.aggregators_killed = runner.aggregators_killed();
+  for (const auto& agg : runner.aggregators()) {
+    obs.promotions += agg->promotions();
+    obs.partials_forwarded += agg->partials_forwarded();
+  }
   return obs;
 }
 
 bool DistributedEligible(const CourseSpec& spec) {
-  return spec.strategy == "sync_vanilla" &&
+  return spec.topology_shards == 0 && spec.strategy == "sync_vanilla" &&
          spec.concurrency == spec.num_clients &&
          spec.receive_deadline == 0.0 && !spec.suppress_duplicates &&
          spec.fault_dropout_frac == 0.0 && spec.fault_crash_prob == 0.0 &&
@@ -269,6 +282,10 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
   }
   Check(&v, a.time_regression.empty(), "time_monotonicity", a.time_regression);
 
+  // aggregator_dropped is deliberately absent from `vanished`: messages
+  // addressed to a crashed aggregator are dispatched by the pump (the
+  // delivery tap sees them) and then eaten by the dead endpoint, so at
+  // pump level they are delivered, not lost in transit.
   const int64_t vanished =
       a.fault.dropout_suppressed + a.fault.crashes + a.fault.lost;
   Check(&v, a.delivered == a.sent - vanished + a.fault.duplicated - a.suppressed,
@@ -369,6 +386,72 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
           a.result.server.rounds == c.result.server.rounds &&
               a.result.server.staleness_log == c.result.server.staleness_log,
           "crash_resume", "crash-resume changed the round structure");
+  }
+
+  // -- oracle 9: flat-vs-sharded equivalence --------------------------------
+  // FedAvg pre-aggregation is exact in real arithmetic: Σ_s (N_s/N)(Σ_i
+  // n_i δ_i / N_s) == Σ_i (n_i/N) δ_i. The flat twin (same spec, topology
+  // axis zeroed) must therefore produce the same round structure and the
+  // same per-client aggregation counts; accuracies agree only to float
+  // reassociation tolerance.
+  if (spec.Hierarchical() && spec.topology_kill_shard < 0) {
+    CourseSpec flat_spec = spec;
+    flat_spec.topology_shards = 0;
+    flat_spec = CourseGen::Clamp(std::move(flat_spec));
+    CourseObservation f = RunInstrumentedCourse(flat_spec);
+    Check(&v, f.finished, "sharding_equivalence", "flat twin stalled");
+    Check(&v, f.result.server.rounds == stats.rounds, "sharding_equivalence",
+          Vs("flat twin round count differs", stats.rounds,
+             f.result.server.rounds));
+    Check(&v, f.result.server.curve.size() == stats.curve.size(),
+          "sharding_equivalence",
+          Vs("flat twin curve length differs", stats.curve.size(),
+             f.result.server.curve.size()));
+    Check(&v, f.result.server.agg_count == stats.agg_count,
+          "sharding_equivalence",
+          "flat twin per-client aggregation counts differ");
+    Check(&v,
+          std::abs(f.result.server.final_accuracy - stats.final_accuracy) <
+              0.1,
+          "sharding_equivalence",
+          Vs("flat twin final accuracy diverged", f.result.server.final_accuracy,
+             stats.final_accuracy));
+    Check(&v, stats.shard_failovers == 0, "sharding_equivalence",
+          Vs("failover without a kill schedule", int64_t{0},
+             stats.shard_failovers));
+  }
+
+  // -- oracle 10: aggregator failover ---------------------------------------
+  if (spec.Hierarchical()) {
+    // Weight conservation across the failover boundary: a client may train
+    // twice (original broadcast + post-promotion re-broadcast) but only one
+    // of its updates may reach aggregation per round.
+    for (const CourseRoundRecord& r : a.course_log.rounds()) {
+      std::set<int> distinct(r.contributors.begin(), r.contributors.end());
+      Check(&v, distinct.size() == r.contributors.size(),
+            "aggregator_failover",
+            "round " + std::to_string(r.round) +
+                " aggregated a client twice (" +
+                std::to_string(r.contributors.size()) + " contributions, " +
+                std::to_string(distinct.size()) + " distinct)");
+      for (int id : r.contributors) {
+        Check(&v, id >= 1 && id <= spec.num_clients, "aggregator_failover",
+              Vs("contributor id out of fleet range", spec.num_clients, id));
+      }
+    }
+    if (spec.topology_kill_shard >= 0) {
+      Check(&v, a.aggregators_killed >= 1, "aggregator_failover",
+            Vs("kill scheduled but no aggregator died", int64_t{1},
+               a.aggregators_killed));
+      Check(&v, a.promotions >= 1, "aggregator_failover",
+            Vs("no standby promoted after the kill", int64_t{1},
+               a.promotions));
+      Check(&v, stats.shard_failovers >= 1, "aggregator_failover",
+            Vs("root acknowledged no failover", int64_t{1},
+               stats.shard_failovers));
+      Check(&v, !stats.aborted, "aggregator_failover",
+            "course aborted instead of failing over");
+    }
   }
 
   return v;

@@ -6,6 +6,7 @@
 
 #include "fedscope/core/fed_runner.h"
 #include "fedscope/fault/fault_plan.h"
+#include "fedscope/obs/course_log.h"
 #include "fedscope/testing/course_gen.h"
 
 namespace fedscope {
@@ -32,6 +33,15 @@ struct CourseObservation {
   FaultPlan::Counters fault;
   /// First delivery whose virtual timestamp regressed ("" if monotone).
   std::string time_regression;
+  /// Aggregator incarnations killed by the plan's crash schedule.
+  int64_t aggregators_killed = 0;
+  /// Standby promotions across all edge-aggregator incarnations.
+  int64_t promotions = 0;
+  /// Partial updates forwarded across all edge-aggregator incarnations.
+  int64_t partials_forwarded = 0;
+  /// Per-round course record; attached only for hierarchical specs (flat
+  /// courses run with the all-null ObsContext, preserving byte-identity).
+  CourseLog course_log;
 };
 
 /// `crash_at_event` >= 0 kills the server between the crash_at_event-th
@@ -64,7 +74,16 @@ bool DistributedEligible(const CourseSpec& spec);
 ///   7. (optional) standalone-vs-distributed differential,
 ///   8. crash-resume bit-identity: kill the server at the spec's
 ///      crash_frac point, restore from a serialized snapshot, and require
-///      the resumed course to match the uninterrupted run bit for bit.
+///      the resumed course to match the uninterrupted run bit for bit,
+///   9. flat-vs-sharded equivalence (hierarchical specs without a kill):
+///      the flat twin of the spec must produce the same round structure
+///      and per-client aggregation counts, and a final accuracy within
+///      float-reassociation tolerance (FedAvg pre-aggregation is exact in
+///      real arithmetic),
+///  10. aggregator failover (specs with a kill schedule): the course still
+///      finishes unaborted, a standby promotion is observed, and no client
+///      is aggregated twice in one round (weight conservation across the
+///      failover boundary).
 /// Returns every violation found (empty = course passed).
 std::vector<Violation> CheckCourse(const CourseSpec& spec,
                                    const OracleOptions& options = {});

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "fedscope/comm/socket_transport.h"
+#include "fedscope/core/distributed_aggregator.h"
 #include "fedscope/core/events.h"
 #include "fedscope/nn/model_zoo.h"
 #include "fedscope/obs/course_log.h"
@@ -288,6 +289,183 @@ TEST(DistributedTest, AsyncGoalStrategyOverTcp) {
   server_thread.join();
   EXPECT_EQ(stats.rounds, 8);
   EXPECT_GT(stats.final_accuracy, 0.8);
+}
+
+TEST(DistributedTest, HierarchicalCourseOverTcp) {
+  // Two-shard topology over real sockets: the root host doubles as the
+  // hub relaying aggregator<->client traffic; workers are unchanged.
+  constexpr int kClients = 4;
+  constexpr int kShards = 2;
+  Rng init_rng(1);
+  Model init = MakeLogisticRegression(2, 2, &init_rng);
+
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const int port = listener->port();
+
+  ServerOptions server_options;
+  server_options.strategy = Strategy::kSyncVanilla;
+  server_options.concurrency = kClients;
+  server_options.expected_clients = kClients;
+  server_options.max_rounds = 6;
+  server_options.seed = 2;
+  server_options.topology.num_shards = kShards;
+
+  DistributedServerHost server_host(
+      server_options, init, std::make_unique<FedAvgAggregator>(),
+      std::move(listener.value()));
+  Dataset server_test = Blobs(64, 99);
+  server_host.server()->set_evaluator([&server_test](Model* model) {
+    return EvaluateClassifier(model, server_test);
+  });
+
+  ServerStats stats;
+  std::thread server_thread([&] { stats = server_host.Run(); });
+
+  std::vector<std::unique_ptr<DistributedAggregatorHost>> agg_hosts;
+  for (int shard = 0; shard < kShards; ++shard) {
+    EdgeAggregatorOptions options;
+    options.topology = server_options.topology;
+    options.shard = shard;
+    agg_hosts.push_back(std::make_unique<DistributedAggregatorHost>(
+        options, "127.0.0.1", port));
+  }
+  std::vector<std::thread> agg_threads;
+  std::vector<Status> agg_statuses(kShards);
+  for (int shard = 0; shard < kShards; ++shard) {
+    agg_threads.emplace_back([&, shard] {
+      agg_statuses[shard] = agg_hosts[shard]->Run();
+    });
+  }
+
+  std::vector<std::thread> client_threads;
+  std::vector<Status> client_statuses(kClients);
+  for (int id = 1; id <= kClients; ++id) {
+    client_threads.emplace_back([&, id] {
+      ClientOptions options;
+      options.jitter_sigma = 0.0;
+      options.seed = 100 + id;
+      Rng split_rng(id);
+      SplitDataset data = Split(Blobs(40, id), 0.7, 0.1, &split_rng);
+      DistributedClientHost host(id, std::move(options), init,
+                                 std::move(data),
+                                 std::make_unique<GeneralTrainer>(),
+                                 "127.0.0.1", port);
+      client_statuses[id - 1] = host.Run();
+    });
+  }
+  for (auto& t : client_threads) t.join();
+  for (auto& t : agg_threads) t.join();
+  server_thread.join();
+
+  for (const auto& status : client_statuses) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  for (const auto& status : agg_statuses) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  EXPECT_EQ(stats.rounds, 6);
+  EXPECT_GT(stats.final_accuracy, 0.85);  // the course actually learned
+  EXPECT_EQ(stats.shard_failovers, 0);
+  EXPECT_EQ(server_host.failed_aggregators(), 0);
+  for (int id = 1; id <= kClients; ++id) {
+    EXPECT_EQ(stats.agg_count[id], 6) << "client " << id;
+  }
+  // Full participation: one partial per shard per round.
+  for (int shard = 0; shard < kShards; ++shard) {
+    EXPECT_EQ(agg_hosts[shard]->aggregator()->partials_forwarded(), 6)
+        << "shard " << shard;
+  }
+}
+
+TEST(DistributedTest, HierarchicalFailoverOverTcp) {
+  // Shard 0's primary halts mid-course (the socket drops exactly as a
+  // SIGKILL would); the hub wakes the shard's hot standby, which promotes
+  // under a bumped shard epoch, and the course completes through it.
+  constexpr int kClients = 4;
+  constexpr int kShards = 2;
+  Rng init_rng(1);
+  Model init = MakeLogisticRegression(2, 2, &init_rng);
+
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const int port = listener->port();
+
+  ServerOptions server_options;
+  server_options.strategy = Strategy::kSyncVanilla;
+  server_options.concurrency = kClients;
+  server_options.expected_clients = kClients;
+  server_options.max_rounds = 6;
+  server_options.seed = 2;
+  server_options.topology.num_shards = kShards;
+  server_options.topology.standbys_per_shard = 1;
+  server_options.topology.failure_timeout = 0.05;  // wall seconds here
+
+  DistributedServerHost server_host(
+      server_options, init, std::make_unique<FedAvgAggregator>(),
+      std::move(listener.value()));
+  Dataset server_test = Blobs(64, 99);
+  server_host.server()->set_evaluator([&server_test](Model* model) {
+    return EvaluateClassifier(model, server_test);
+  });
+
+  ServerStats stats;
+  std::thread server_thread([&] { stats = server_host.Run(); });
+
+  std::vector<std::unique_ptr<DistributedAggregatorHost>> agg_hosts;
+  for (int shard = 0; shard < kShards; ++shard) {
+    for (int slot = 0; slot <= 1; ++slot) {
+      EdgeAggregatorOptions options;
+      options.topology = server_options.topology;
+      options.shard = shard;
+      options.slot = slot;
+      agg_hosts.push_back(std::make_unique<DistributedAggregatorHost>(
+          options, "127.0.0.1", port));
+    }
+  }
+  agg_hosts[0]->set_halt_after_forwards(2);  // shard 0 primary dies
+  std::vector<std::thread> agg_threads;
+  for (auto& host : agg_hosts) {
+    agg_threads.emplace_back([&host] { host->Run().ok(); });
+  }
+
+  std::vector<std::thread> client_threads;
+  std::vector<Status> client_statuses(kClients);
+  for (int id = 1; id <= kClients; ++id) {
+    client_threads.emplace_back([&, id] {
+      ClientOptions options;
+      options.jitter_sigma = 0.0;
+      options.seed = 100 + id;
+      Rng split_rng(id);
+      SplitDataset data = Split(Blobs(40, id), 0.7, 0.1, &split_rng);
+      DistributedClientHost host(id, std::move(options), init,
+                                 std::move(data),
+                                 std::make_unique<GeneralTrainer>(),
+                                 "127.0.0.1", port);
+      client_statuses[id - 1] = host.Run();
+    });
+  }
+  for (auto& t : client_threads) t.join();
+  for (auto& t : agg_threads) t.join();
+  server_thread.join();
+
+  // Clients never lose their (root) connection during an aggregator
+  // failover — only a root crash forces the re-join protocol.
+  for (const auto& status : client_statuses) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  EXPECT_EQ(stats.rounds, 6);
+  EXPECT_EQ(server_host.failed_aggregators(), 1);
+  EXPECT_EQ(stats.shard_failovers, 1);
+  // agg_hosts[1] is shard 0 slot 1 — the standby that took over.
+  EXPECT_EQ(agg_hosts[1]->aggregator()->promotions(), 1);
+  EXPECT_TRUE(agg_hosts[1]->aggregator()->active());
+  EXPECT_GT(agg_hosts[1]->aggregator()->partials_forwarded(), 0);
+  // Every client of every round was aggregated exactly once despite the
+  // failover (weight conservation across the failover boundary).
+  for (int id = 1; id <= kClients; ++id) {
+    EXPECT_EQ(stats.agg_count[id], 6) << "client " << id;
+  }
 }
 
 TEST(DistributedTest, TimeStrategyRejected) {
