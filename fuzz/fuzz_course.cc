@@ -6,6 +6,8 @@
 //   fuzz_course --trials=200 --seed=1 [--distributed_every=25]
 //               [--out=failure.txt]
 //   fuzz_course --config="seed=7,strategy=async_goal,..."   # replay one
+//   fuzz_course --config="..." --threads=4   # replay under the threaded
+//                                            # execution backend
 //
 // Exit code 0 = every trial passed; 1 = invariant violation (repro
 // printed and, with --out, written to a file for CI artifact upload).
@@ -36,6 +38,7 @@ struct Args {
   std::string config;   // non-empty: replay this one spec instead
   std::string out;      // non-empty: write failing repro line here
   int distributed_every = 2;  // every Nth eligible trial runs the TCP diff
+  int threads = 0;  // > 0: run every base oracle pass under kThreaded
   bool no_shrink = false;
   bool print_specs = false;  // print each course line before running it
 };
@@ -62,6 +65,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->out = value;
     } else if (ParseFlag(arg, "distributed_every", &value)) {
       args->distributed_every = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "threads", &value)) {
+      args->threads = std::atoi(value.c_str());
     } else if (arg == "--no_shrink") {
       args->no_shrink = true;
     } else if (arg == "--print_specs") {
@@ -70,7 +75,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: fuzz_course [--trials=N] [--seed=S] "
                    "[--config=LINE] [--out=FILE] [--distributed_every=N] "
-                   "[--no_shrink]\n";
+                   "[--threads=N] [--no_shrink]\n";
       return false;
     }
   }
@@ -127,6 +132,7 @@ int main(int argc, char** argv) {
     OracleOptions options;
     options.run_distributed =
         fedscope::testing::DistributedEligible(spec.value());
+    options.exec_threads = args.threads;
     const int rc = RunSpec(spec.value(), options, args);
     std::cout << (rc == 0 ? "OK" : "FAIL") << " (1 course replayed)\n";
     return rc;
@@ -139,6 +145,7 @@ int main(int argc, char** argv) {
       std::cout << "trial " << t << ": " << spec.ToString() << std::endl;
     }
     OracleOptions options;
+    options.exec_threads = args.threads;
     if (fedscope::testing::DistributedEligible(spec)) {
       ++eligible_seen;
       // The first eligible trial always runs the TCP differential, then

@@ -229,7 +229,7 @@ void Client::OnModelPara(const Message& msg) {
     last_val_accuracy_ = trainer_->Evaluate(&model_, data_.val).accuracy;
   }
 
-  const bool record_obs = obs_ != nullptr && obs_->metrics != nullptr;
+  const bool record_obs = obs_ != nullptr && obs_->recording_metrics();
 
   Message reply;
   // Reply to the sender: the root server in flat topologies (sender 0 ==

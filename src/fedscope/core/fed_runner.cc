@@ -1,5 +1,7 @@
 #include "fedscope/core/fed_runner.h"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "fedscope/comm/codec.h"
@@ -95,15 +97,24 @@ void FedRunner::BuildWorkers() {
   Rng seeder(job_.seed);
   clients_.clear();
   clients_.reserve(n);
+  ports_.clear();
+  const bool threaded = job_.exec.backend == ExecutionBackend::kThreaded;
   for (int i = 0; i < n; ++i) {
     const int id = i + 1;
     ClientOptions options = job_.client;
     options.device = job_.fleet[i];
     options.seed = seeder.Fork(static_cast<uint64_t>(id)).Next();
     if (job_.client_customizer) job_.client_customizer(id, &options);
+    CommChannel* client_channel = channel;
+    if (threaded) {
+      // A pass-through port per client; the parallel stage opens capture
+      // windows on it so a task's sends drain at commit, not mid-task.
+      ports_.push_back(std::make_unique<BufferingChannel>(channel));
+      client_channel = ports_.back().get();
+    }
     clients_.push_back(std::make_unique<Client>(
         id, std::move(options), job_.init_model, job_.data->clients[i],
-        job_.trainer_factory(id), channel));
+        job_.trainer_factory(id), client_channel));
   }
 
   if (job_.obs.enabled()) {
@@ -226,6 +237,109 @@ void FedRunner::Send(const Message& msg) {
   }
 }
 
+size_t FedRunner::RunParallelStage(int64_t* delivered) {
+  // Candidate batch: the maximal prefix of the equal-virtual-time ready
+  // set whose receivers are clients. A server-, aggregator-, or
+  // unknown-targeted delivery ends the batch — that handling mutates
+  // shared state and stays on the pump thread (DESIGN.md §12).
+  const std::vector<const Message*> ready = queue_.PeekReadyBatch();
+  size_t limit = ready.size();
+  // Never batch across the crash drill: the kill must land between the
+  // same two deliveries as in a serial run.
+  const int64_t crash_at = job_.fault.server_crash_at_event;
+  if (crash_at >= *delivered) {
+    limit = std::min(limit, static_cast<size_t>(crash_at - *delivered));
+  }
+  size_t batch = 0;
+  while (batch < limit) {
+    const int receiver = ready[batch]->receiver;
+    if (receiver < 1 || receiver > static_cast<int>(clients_.size())) break;
+    ++batch;
+  }
+  if (batch < 2) return 0;  // nothing to overlap; a serial step is cheaper
+
+  // Duplicate suppression consumes per-pair state on every pop; run it at
+  // formation in pop order so the state evolves exactly as serially.
+  std::vector<char> duplicate(batch, 0);
+  if (job_.suppress_duplicates) {
+    for (size_t i = 0; i < batch; ++i) {
+      duplicate[i] = dedup_.IsDuplicate(*ready[i]) ? 1 : 0;
+    }
+  }
+
+  // Per-delivery capture: the emitted messages plus private obs sinks
+  // mirroring whichever sinks the job has. Tasks write only their own
+  // entries; everything is replayed on the pump thread at commit.
+  struct Capture {
+    const Message* msg = nullptr;
+    std::vector<Message> sends;
+    MetricsBuffer metrics;
+    std::unique_ptr<Tracer> tracer;
+    ObsContext obs;  // points at the two members above; course_log stays
+                     // null (no built-in client handler writes it)
+  };
+  const bool capture_obs =
+      job_.obs.metrics != nullptr || job_.obs.tracer != nullptr;
+  std::vector<Capture> captures(batch);
+  std::vector<int> receivers(batch);
+  // One task per client, preserving that client's delivery order (a
+  // client's second delivery must see the state its first one left).
+  std::map<int, std::vector<size_t>> by_client;
+  for (size_t i = 0; i < batch; ++i) {
+    receivers[i] = ready[i]->receiver;
+    if (duplicate[i]) continue;
+    Capture& c = captures[i];
+    c.msg = ready[i];
+    if (job_.obs.metrics != nullptr) c.obs.metrics_buffer = &c.metrics;
+    if (job_.obs.tracer != nullptr) {
+      c.tracer = std::make_unique<Tracer>();
+      c.obs.tracer = c.tracer.get();
+    }
+    by_client[receivers[i]].push_back(i);
+  }
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(by_client.size());
+  for (auto& [id, indices] : by_client) {
+    Client* client = clients_[id - 1].get();
+    BufferingChannel* port = ports_[id - 1].get();
+    const std::vector<size_t>* idx = &indices;  // map nodes are stable
+    tasks.push_back([client, port, &captures, idx, capture_obs] {
+      for (size_t i : *idx) {
+        Capture& c = captures[i];
+        if (capture_obs) client->set_obs(&c.obs);
+        port->BeginCapture(&c.sends);
+        client->HandleMessage(*c.msg);
+        port->EndCapture();
+      }
+    });
+  }
+  pool_->Run(&tasks);
+  if (capture_obs) {
+    for (const auto& entry : by_client) {
+      clients_[entry.first - 1]->set_obs(&job_.obs);
+    }
+  }
+
+  // Commit in canonical order — the serial pop order. Popping and then
+  // forwarding each delivery's sends replays the exact queue-op sequence
+  // of a serial run, so even the queue-depth gauges stay bit-identical.
+  for (size_t i = 0; i < batch; ++i) {
+    const Message msg = queue_.Pop();
+    // Worker sends carry timestamps >= the batch time and later push
+    // sequences, so the batch entries still pop first, in order.
+    FS_CHECK_EQ(msg.receiver, receivers[i]);
+    if (duplicate[i]) continue;
+    ++*delivered;
+    if (job_.delivery_tap) job_.delivery_tap(msg);
+    Capture& c = captures[i];
+    if (job_.obs.metrics != nullptr) c.metrics.ReplayInto(job_.obs.metrics);
+    if (c.tracer != nullptr) job_.obs.tracer->Append(*c.tracer);
+    for (const Message& send : c.sends) worker_channel_->Send(send);
+  }
+  return batch;
+}
+
 CompletenessReport FedRunner::CheckCompleteness() const {
   CompletenessChecker checker;
   checker.AddRegistry(server_->registry());
@@ -312,9 +426,22 @@ RunResult FedRunner::Run() {
   // Pump the virtual-time event loop. Messages to finished/unknown workers
   // are dropped. The loop ends when the course terminated and the queue
   // drained, or when nothing remains to deliver.
+  const bool threaded =
+      job_.exec.backend == ExecutionBackend::kThreaded && !clients_.empty();
+  if (threaded && pool_ == nullptr) {
+    int threads = job_.exec.num_threads;
+    if (threads <= 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    pool_ = std::make_unique<WorkerPool>(threads < 1 ? 1 : threads);
+  }
   int64_t delivered = 0;
   int last_seen_round = server_->round();
   while (!queue_.Empty()) {
+    if (threaded && RunParallelStage(&delivered) > 0) {
+      if (server_->finished() && queue_.Empty()) break;
+      continue;
+    }
     Message msg = queue_.Pop();
     if (job_.suppress_duplicates && dedup_.IsDuplicate(msg)) continue;
     // Crash drill: kill the server between deliveries — the instant a real

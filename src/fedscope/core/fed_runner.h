@@ -12,6 +12,9 @@
 #include "fedscope/core/edge_aggregator.h"
 #include "fedscope/core/server.h"
 #include "fedscope/data/dataset.h"
+#include "fedscope/exec/buffering_channel.h"
+#include "fedscope/exec/execution.h"
+#include "fedscope/exec/worker_pool.h"
 #include "fedscope/fault/dedup.h"
 #include "fedscope/fault/fault_channel.h"
 #include "fedscope/fault/fault_plan.h"
@@ -78,6 +81,11 @@ struct FedJob {
   /// directory): no snapshot is ever exported and behaviour is unchanged.
   /// The crash drill is driven by fault.server_crash_at_event.
   SnapshotPolicy snapshot;
+  /// Execution backend (DESIGN.md §12). kSerial (the default) pumps
+  /// everything on one thread; kThreaded trains equal-virtual-time client
+  /// deliveries on a worker pool and commits their effects in canonical
+  /// order, bit-identical to kSerial under the same seed.
+  ExecutionOptions exec;
   uint64_t seed = 1234;
 };
 
@@ -147,6 +155,14 @@ class FedRunner : public CommChannel {
   };
 
   void BuildWorkers();
+  /// Threaded backend: forms the maximal batch of equal-virtual-time
+  /// client-targeted deliveries at the queue front, handles them on the
+  /// worker pool with per-delivery capture (sends, metric ops, trace
+  /// events), then commits every captured effect in canonical order — the
+  /// serial pop order. Returns the number of queue entries consumed (0:
+  /// fewer than two batchable deliveries; the caller takes one serial
+  /// step). `delivered` advances exactly as the serial pump would.
+  size_t RunParallelStage(int64_t* delivered);
   /// Constructs the server exactly as BuildWorkers does, wired to the same
   /// decorated channel — shared with the crash-restore path so a rebuilt
   /// server is indistinguishable from the original.
@@ -188,6 +204,12 @@ class FedRunner : public CommChannel {
   /// The channel handed to workers (outermost decorator); kept so a
   /// crash-restored server is wired identically to the original.
   CommChannel* worker_channel_ = nullptr;
+  /// Threaded backend only: per-client send buffers (index 0 -> client 1)
+  /// between each client and worker_channel_, and the pool that runs the
+  /// batches. Both absent under kSerial — wiring is byte-identical to
+  /// before the backend existed.
+  std::vector<std::unique_ptr<BufferingChannel>> ports_;
+  std::unique_ptr<WorkerPool> pool_;
   SnapshotWriter snapshot_writer_;
   int64_t recoveries_ = 0;
 };

@@ -1,0 +1,44 @@
+#ifndef FEDSCOPE_EXEC_BUFFERING_CHANNEL_H_
+#define FEDSCOPE_EXEC_BUFFERING_CHANNEL_H_
+
+#include <vector>
+
+#include "fedscope/comm/channel.h"
+
+namespace fedscope {
+
+/// Per-worker channel decorator for the threaded execution backend.
+/// Outside a capture window it forwards to the inner channel unchanged
+/// (serial semantics). During a parallel client task the runner opens a
+/// capture window: Sends append to a per-delivery buffer (in the worker's
+/// send order) instead of reaching the channel, and the runner drains the
+/// buffers through `inner` in canonical commit order afterwards — so taps,
+/// fault injection, and the wire codec observe exactly the serial send
+/// sequence. Begin/EndCapture are called from the task thread; the
+/// pool's Run() barrier orders them against the pump thread's drain.
+class BufferingChannel : public CommChannel {
+ public:
+  explicit BufferingChannel(CommChannel* inner) : inner_(inner) {}
+
+  void Send(const Message& msg) override {
+    if (sink_ != nullptr) {
+      sink_->push_back(msg);
+    } else {
+      inner_->Send(msg);
+    }
+  }
+
+  /// Redirects subsequent Sends into `sink` (borrowed) until EndCapture.
+  void BeginCapture(std::vector<Message>* sink) { sink_ = sink; }
+  void EndCapture() { sink_ = nullptr; }
+
+  CommChannel* inner() const { return inner_; }
+
+ private:
+  CommChannel* inner_;
+  std::vector<Message>* sink_ = nullptr;
+};
+
+}  // namespace fedscope
+
+#endif  // FEDSCOPE_EXEC_BUFFERING_CHANNEL_H_

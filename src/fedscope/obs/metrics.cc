@@ -274,4 +274,46 @@ int64_t MetricsRegistry::num_series() const {
                               histograms_.size());
 }
 
+void MetricsBuffer::Count(const std::string& name, double delta,
+                          MetricLabels labels) {
+  ops_.push_back({OpKind::kCount, name, std::move(labels), delta, {}});
+}
+
+void MetricsBuffer::SetGauge(const std::string& name, double value,
+                             MetricLabels labels) {
+  ops_.push_back({OpKind::kGaugeSet, name, std::move(labels), value, {}});
+}
+
+void MetricsBuffer::MaxGauge(const std::string& name, double value,
+                             MetricLabels labels) {
+  ops_.push_back({OpKind::kGaugeMax, name, std::move(labels), value, {}});
+}
+
+void MetricsBuffer::Observe(const std::string& name,
+                            const std::vector<double>& bounds, double value,
+                            MetricLabels labels) {
+  ops_.push_back({OpKind::kObserve, name, std::move(labels), value, bounds});
+}
+
+void MetricsBuffer::ReplayInto(MetricsRegistry* registry) const {
+  FS_CHECK(registry != nullptr);
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kCount:
+        registry->GetCounter(op.name, op.labels)->Increment(op.value);
+        break;
+      case OpKind::kGaugeSet:
+        registry->GetGauge(op.name, op.labels)->Set(op.value);
+        break;
+      case OpKind::kGaugeMax:
+        registry->GetGauge(op.name, op.labels)->SetMax(op.value);
+        break;
+      case OpKind::kObserve:
+        registry->GetHistogram(op.name, op.bounds, op.labels)
+            ->Observe(op.value);
+        break;
+    }
+  }
+}
+
 }  // namespace fedscope

@@ -94,9 +94,11 @@ struct MetricsSnapshot {
 
 /// Registry of labeled metric families. Get* returns a stable pointer,
 /// creating the series on first use; re-using a family name with a
-/// different kind is a programmer error (FS_CHECK). Not thread-safe: in
-/// standalone simulation everything runs on one thread, and distributed
-/// hosts serialize sends through their router lock.
+/// different kind is a programmer error (FS_CHECK). Not thread-safe: the
+/// standalone pump mutates it only from the pump thread (the threaded
+/// execution backend gives parallel tasks private MetricsBuffers and
+/// replays them at commit), and distributed hosts serialize sends through
+/// their router lock.
 class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name, const MetricLabels& labels = {});
@@ -130,6 +132,40 @@ class MetricsRegistry {
   std::map<SeriesKey, std::unique_ptr<Counter>> counters_;
   std::map<SeriesKey, std::unique_ptr<Gauge>> gauges_;
   std::map<SeriesKey, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// Order-preserving log of metric mutations for later replay into a real
+/// registry. The threaded execution backend hands each parallel client
+/// task a private buffer (via ObsContext::metrics_buffer) and replays the
+/// buffers on the pump thread in canonical commit order, so the registry
+/// sees exactly the op sequence a serial run would have produced — counter
+/// sums, gauge last-writer values, and histogram float accumulation stay
+/// bit-identical. Not thread-safe; each buffer belongs to one task.
+class MetricsBuffer {
+ public:
+  void Count(const std::string& name, double delta, MetricLabels labels);
+  void SetGauge(const std::string& name, double value, MetricLabels labels);
+  void MaxGauge(const std::string& name, double value, MetricLabels labels);
+  void Observe(const std::string& name, const std::vector<double>& bounds,
+               double value, MetricLabels labels);
+
+  /// Applies the buffered ops to `registry`, in record order.
+  void ReplayInto(MetricsRegistry* registry) const;
+
+  bool empty() const { return ops_.empty(); }
+  int64_t num_ops() const { return static_cast<int64_t>(ops_.size()); }
+  void Clear() { ops_.clear(); }
+
+ private:
+  enum class OpKind { kCount, kGaugeSet, kGaugeMax, kObserve };
+  struct Op {
+    OpKind kind;
+    std::string name;
+    MetricLabels labels;
+    double value = 0.0;
+    std::vector<double> bounds;  // kObserve only
+  };
+  std::vector<Op> ops_;
 };
 
 /// Formats a metric value the way the expositions do: integers without a

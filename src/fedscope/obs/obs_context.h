@@ -20,30 +20,60 @@ struct ObsContext {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
   CourseLog* course_log = nullptr;
+  /// When set, the metric wrappers below record ops here instead of
+  /// mutating `metrics` — the threaded execution backend's per-task
+  /// capture (replayed into the real registry at commit, in canonical
+  /// order). Instrumentation sites must go through the wrappers (or gate
+  /// direct registry access on `metrics`, never on recording_metrics())
+  /// for the capture to be exact.
+  MetricsBuffer* metrics_buffer = nullptr;
 
   bool enabled() const {
-    return metrics != nullptr || tracer != nullptr || course_log != nullptr;
+    return metrics != nullptr || tracer != nullptr || course_log != nullptr ||
+           metrics_buffer != nullptr;
+  }
+  /// True when the metric wrappers will record anything — directly or into
+  /// a buffer. Use this (not `metrics != nullptr`) to skip work that only
+  /// feeds the wrappers, so sites behave identically under both execution
+  /// backends.
+  bool recording_metrics() const {
+    return metrics != nullptr || metrics_buffer != nullptr;
   }
 
   // -- null-safe convenience wrappers ---------------------------------------
-  // Each forwards to the registry when present; otherwise a no-op. They let
-  // instrumentation sites stay one-liners without null checks.
+  // Each forwards to the buffer or registry when present; otherwise a
+  // no-op. They let instrumentation sites stay one-liners without null
+  // checks.
 
   void Count(const std::string& name, double delta = 1.0,
              const MetricLabels& labels = {}) const {
-    if (metrics != nullptr) metrics->GetCounter(name, labels)->Increment(delta);
+    if (metrics_buffer != nullptr) {
+      metrics_buffer->Count(name, delta, labels);
+    } else if (metrics != nullptr) {
+      metrics->GetCounter(name, labels)->Increment(delta);
+    }
   }
   void SetGauge(const std::string& name, double value,
                 const MetricLabels& labels = {}) const {
-    if (metrics != nullptr) metrics->GetGauge(name, labels)->Set(value);
+    if (metrics_buffer != nullptr) {
+      metrics_buffer->SetGauge(name, value, labels);
+    } else if (metrics != nullptr) {
+      metrics->GetGauge(name, labels)->Set(value);
+    }
   }
   void MaxGauge(const std::string& name, double value,
                 const MetricLabels& labels = {}) const {
-    if (metrics != nullptr) metrics->GetGauge(name, labels)->SetMax(value);
+    if (metrics_buffer != nullptr) {
+      metrics_buffer->MaxGauge(name, value, labels);
+    } else if (metrics != nullptr) {
+      metrics->GetGauge(name, labels)->SetMax(value);
+    }
   }
   void Observe(const std::string& name, const std::vector<double>& bounds,
                double value, const MetricLabels& labels = {}) const {
-    if (metrics != nullptr) {
+    if (metrics_buffer != nullptr) {
+      metrics_buffer->Observe(name, bounds, value, labels);
+    } else if (metrics != nullptr) {
       metrics->GetHistogram(name, bounds, labels)->Observe(value);
     }
   }
@@ -53,11 +83,11 @@ struct ObsContext {
   /// (FedRunner's virtual-time queue, QueueChannel, TCP routers) so traffic
   /// accounting is transport-independent.
   void OnChannelSend(const Message& msg) const {
-    if (metrics == nullptr) return;
+    if (!recording_metrics()) return;
     const MetricLabels labels = {{"type", msg.msg_type}};
-    metrics->GetCounter("fs_comm_messages_total", labels)->Increment();
-    metrics->GetCounter("fs_comm_payload_bytes_total", labels)
-        ->Increment(static_cast<double>(msg.payload.ByteSize()));
+    Count("fs_comm_messages_total", 1.0, labels);
+    Count("fs_comm_payload_bytes_total",
+          static_cast<double>(msg.payload.ByteSize()), labels);
   }
 };
 

@@ -41,6 +41,14 @@ class Tracer {
   void Instant(const std::string& name, double at_seconds, int tid = 0,
                std::vector<std::pair<std::string, std::string>> args = {});
 
+  /// Appends every event of `other` in its record order. The threaded
+  /// execution backend gives each parallel client task a private Tracer
+  /// and appends the buffers at commit in canonical order, reproducing
+  /// the serial run's event sequence exactly.
+  void Append(const Tracer& other) {
+    events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  }
+
   const std::vector<TraceEvent>& events() const { return events_; }
   int64_t num_events() const { return static_cast<int64_t>(events_.size()); }
   void Clear() { events_.clear(); }

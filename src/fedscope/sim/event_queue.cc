@@ -1,37 +1,56 @@
 #include "fedscope/sim/event_queue.h"
 
+#include <algorithm>
+
 #include "fedscope/util/logging.h"
 
 namespace fedscope {
 
 void EventQueue::Push(Message msg) {
-  if (obs_ != nullptr && obs_->metrics != nullptr) {
+  if (obs_ != nullptr && obs_->recording_metrics()) {
     obs_->Count("fs_sim_events_pushed_total", 1.0, {{"type", msg.msg_type}});
     const double depth = static_cast<double>(heap_.size() + 1);
     obs_->SetGauge("fs_sim_queue_depth", depth);
     obs_->MaxGauge("fs_sim_queue_depth_peak", depth);
   }
-  heap_.push(Entry{msg.timestamp, seq_++, std::move(msg)});
+  heap_.push_back(Entry{msg.timestamp, seq_++, std::move(msg)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 double EventQueue::PeekTime() const {
   FS_CHECK(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 Message EventQueue::Pop() {
   FS_CHECK(!heap_.empty());
-  // priority_queue::top() is const; the copy here is acceptable because
-  // message payloads are shared-nothing value types and Pop is not on the
-  // inner training loop's critical path.
-  Message msg = heap_.top().msg;
-  heap_.pop();
-  if (obs_ != nullptr && obs_->metrics != nullptr) {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Message msg = std::move(heap_.back().msg);
+  heap_.pop_back();
+  if (obs_ != nullptr && obs_->recording_metrics()) {
     obs_->Count("fs_sim_events_dispatched_total", 1.0,
                 {{"type", msg.msg_type}});
     obs_->SetGauge("fs_sim_queue_depth", static_cast<double>(heap_.size()));
   }
   return msg;
+}
+
+std::vector<const Message*> EventQueue::PeekReadyBatch() const {
+  std::vector<const Message*> batch;
+  if (heap_.empty()) return batch;
+  const double t = heap_.front().time;
+  // Equal-time entries are scattered through the heap array; collect and
+  // order them by push sequence (== pop order). O(n log n) in the queue
+  // size, which stays small relative to one client training task.
+  std::vector<const Entry*> ready;
+  for (const Entry& entry : heap_) {
+    if (entry.time == t) ready.push_back(&entry);
+  }
+  std::sort(ready.begin(), ready.end(),
+            [](const Entry* a, const Entry* b) { return a->seq < b->seq; });
+  batch.reserve(ready.size());
+  for (const Entry* entry : ready) batch.push_back(&entry->msg);
+  return batch;
 }
 
 }  // namespace fedscope

@@ -2,8 +2,6 @@
 #define FEDSCOPE_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "fedscope/comm/message.h"
@@ -14,8 +12,14 @@ namespace fedscope {
 /// Discrete-event queue keyed by virtual timestamps. This implements the
 /// paper's measurement methodology (§5.3.1): the server "handles the
 /// received messages in the order of their timestamps", and broadcasts
-/// inherit the timestamp of the triggering message. Ties are broken by
-/// insertion sequence to keep runs deterministic.
+/// inherit the timestamp of the triggering message.
+///
+/// Tie-break contract: messages with equal timestamps pop in insertion
+/// order (FIFO by push sequence). This is load-bearing, not incidental —
+/// it makes same-seed runs deterministic, and the threaded execution
+/// backend's canonical commit order (DESIGN.md §12) is defined as exactly
+/// this pop order. EventQueueTest.EqualTimestampsPopInInsertionOrder pins
+/// it.
 class EventQueue {
  public:
   /// Enqueues a message for delivery at msg.timestamp.
@@ -27,8 +31,17 @@ class EventQueue {
   /// Virtual time of the earliest pending message.
   double PeekTime() const;
 
-  /// Removes and returns the earliest message.
+  /// Removes and returns the earliest message (FIFO among equal times).
   Message Pop();
+
+  /// Every message sharing the earliest virtual time, in pop (insertion)
+  /// order, without removing any. The returned pointers are invalidated
+  /// by the next Push or Pop. The threaded backend uses this to form a
+  /// parallel batch: as long as every interleaved Push carries a
+  /// timestamp >= the batch time (worker sends always do — BaseWorker
+  /// clamps), subsequent Pops return exactly these messages in exactly
+  /// this order.
+  std::vector<const Message*> PeekReadyBatch() const;
 
   /// Total number of messages ever pushed (diagnostics).
   int64_t total_pushed() const { return seq_; }
@@ -44,13 +57,17 @@ class EventQueue {
     int64_t seq;
     Message msg;
   };
+  /// Heap comparator: "a is later than b" — std::*_heap with this keeps
+  /// the earliest (time, seq) entry at the front.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Binary heap managed with std::push_heap/std::pop_heap (rather than
+  /// std::priority_queue) so PeekReadyBatch can scan the entries.
+  std::vector<Entry> heap_;
   int64_t seq_ = 0;
   const ObsContext* obs_ = nullptr;
 };

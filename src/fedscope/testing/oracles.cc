@@ -74,10 +74,15 @@ std::string FormatViolations(const std::vector<Violation>& violations) {
 }
 
 CourseObservation RunInstrumentedCourse(const CourseSpec& spec,
-                                        int64_t crash_at_event) {
+                                        int64_t crash_at_event,
+                                        int exec_threads) {
   auto fixture = MakeCourseFixture(spec);
   FedJob job = fixture->MakeJob();
   job.fault.server_crash_at_event = crash_at_event;
+  if (exec_threads > 0) {
+    job.exec.backend = ExecutionBackend::kThreaded;
+    job.exec.num_threads = exec_threads;
+  }
 
   CourseObservation obs;
   if (spec.Hierarchical()) {
@@ -249,7 +254,7 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
 
   // -- oracle 1+2+3: one instrumented run ----------------------------------
   // (non-const: Model::GetStateDict is a mutating accessor)
-  CourseObservation a = RunInstrumentedCourse(spec);
+  CourseObservation a = RunInstrumentedCourse(spec, -1, options.exec_threads);
 
   Check(&v, a.finished, "termination",
         "course neither finished nor aborted (stalled event graph)");
@@ -303,7 +308,7 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
   }
 
   // -- oracle 4: same-seed bit-reproducibility ------------------------------
-  CourseObservation b = RunInstrumentedCourse(spec);
+  CourseObservation b = RunInstrumentedCourse(spec, -1, options.exec_threads);
   std::string detail;
   Check(&v,
         StateDictsBitEqual(a.result.final_model.GetStateDict(),
@@ -321,7 +326,7 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
   // -- oracle 5: through_wire equivalence -----------------------------------
   CourseSpec wired = spec;
   wired.through_wire = !spec.through_wire;
-  CourseObservation w = RunInstrumentedCourse(wired);
+  CourseObservation w = RunInstrumentedCourse(wired, -1, options.exec_threads);
   Check(&v,
         StateDictsBitEqual(a.result.final_model.GetStateDict(),
                            w.result.final_model.GetStateDict(), &detail),
@@ -368,7 +373,7 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
         a.delivered - 1,
         static_cast<int64_t>(spec.crash_frac *
                              static_cast<double>(a.delivered)));
-    CourseObservation c = RunInstrumentedCourse(spec, crash_at);
+    CourseObservation c = RunInstrumentedCourse(spec, crash_at, options.exec_threads);
     Check(&v, c.recoveries == 1, "crash_resume",
           Vs("server restores performed", int64_t{1}, c.recoveries));
     Check(&v,
@@ -398,7 +403,7 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
     CourseSpec flat_spec = spec;
     flat_spec.topology_shards = 0;
     flat_spec = CourseGen::Clamp(std::move(flat_spec));
-    CourseObservation f = RunInstrumentedCourse(flat_spec);
+    CourseObservation f = RunInstrumentedCourse(flat_spec, -1, options.exec_threads);
     Check(&v, f.finished, "sharding_equivalence", "flat twin stalled");
     Check(&v, f.result.server.rounds == stats.rounds, "sharding_equivalence",
           Vs("flat twin round count differs", stats.rounds,
@@ -452,6 +457,49 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
       Check(&v, !stats.aborted, "aggregator_failover",
             "course aborted instead of failing over");
     }
+  }
+
+  // -- oracle 11: serial-vs-threaded differential ---------------------------
+  // The threaded backend commits parallel client work in canonical order
+  // (DESIGN.md §12), so at every worker count the course must reproduce
+  // the base run bit for bit — models, curve, counters, round structure.
+  for (int threads : options.parallel_threads) {
+    CourseObservation p = RunInstrumentedCourse(spec, -1, threads);
+    const std::string tag = "threads=" + std::to_string(threads) + ": ";
+    Check(&v, p.finished == a.finished, "parallel_differential",
+          tag + "termination differs");
+    Check(&v,
+          StateDictsBitEqual(a.result.final_model.GetStateDict(),
+                             p.result.final_model.GetStateDict(), &detail),
+          "parallel_differential",
+          tag + "threaded backend changed the final model: " + detail);
+    Check(&v, a.result.server.curve == p.result.server.curve,
+          "parallel_differential",
+          tag + "threaded backend changed the accuracy curve");
+    Check(&v, a.sent == p.sent && a.delivered == p.delivered,
+          "parallel_differential",
+          tag + Vs("message counts differ (sent)", a.sent, p.sent) + " / " +
+              Vs("delivered", a.delivered, p.delivered));
+    Check(&v, a.suppressed == p.suppressed, "parallel_differential",
+          tag + Vs("suppressed differs", a.suppressed, p.suppressed));
+    Check(&v,
+          a.fault.dropout_suppressed == p.fault.dropout_suppressed &&
+              a.fault.crashes == p.fault.crashes &&
+              a.fault.lost == p.fault.lost &&
+              a.fault.duplicated == p.fault.duplicated &&
+              a.fault.delayed == p.fault.delayed &&
+              a.fault.aggregator_dropped == p.fault.aggregator_dropped,
+          "parallel_differential",
+          tag + "fault-plan counters differ (fault rng consumed off-order)");
+    Check(&v, a.result.client_test_accuracy == p.result.client_test_accuracy,
+          "parallel_differential",
+          tag + "threaded backend changed client accuracies");
+    Check(&v,
+          a.result.server.rounds == p.result.server.rounds &&
+              a.result.server.staleness_log == p.result.server.staleness_log &&
+              a.result.server.agg_count == p.result.server.agg_count,
+          "parallel_differential",
+          tag + "threaded backend changed the round structure");
   }
 
   return v;

@@ -47,13 +47,24 @@ struct CourseObservation {
 /// `crash_at_event` >= 0 kills the server between the crash_at_event-th
 /// and the next delivery and restores it from a wire-codec-serialized
 /// snapshot (FaultPlanOptions::server_crash_at_event); -1 runs untouched.
+/// `exec_threads` > 0 runs the course under ExecutionBackend::kThreaded
+/// with that many pool workers; 0 keeps the serial default.
 CourseObservation RunInstrumentedCourse(const CourseSpec& spec,
-                                        int64_t crash_at_event = -1);
+                                        int64_t crash_at_event = -1,
+                                        int exec_threads = 0);
 
 struct OracleOptions {
   /// Also run the standalone-vs-distributed differential when the spec is
   /// eligible (threads + loopback TCP; ~50-200 ms per course).
   bool run_distributed = false;
+  /// Worker counts for the serial-vs-threaded differential (oracle 11):
+  /// each entry reruns the course under ExecutionBackend::kThreaded and
+  /// requires a bit-identical result. Empty disables the oracle.
+  std::vector<int> parallel_threads = {2, 4};
+  /// Backend for every base oracle run: 0 = serial (the default), > 0 =
+  /// kThreaded with that many workers. fuzz_course --threads sets this so
+  /// shrunk repros replay under either backend.
+  int exec_threads = 0;
 };
 
 /// True when the spec can be compared against a distributed run: the TCP
@@ -83,7 +94,11 @@ bool DistributedEligible(const CourseSpec& spec);
 ///  10. aggregator failover (specs with a kill schedule): the course still
 ///      finishes unaborted, a standby promotion is observed, and no client
 ///      is aggregated twice in one round (weight conservation across the
-///      failover boundary).
+///      failover boundary),
+///  11. serial-vs-threaded differential: the course rerun under
+///      ExecutionBackend::kThreaded at each OracleOptions::parallel_threads
+///      worker count must reproduce the base run bit for bit (final model,
+///      curve, client accuracies, message counts, round structure).
 /// Returns every violation found (empty = course passed).
 std::vector<Violation> CheckCourse(const CourseSpec& spec,
                                    const OracleOptions& options = {});

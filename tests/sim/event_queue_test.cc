@@ -51,6 +51,54 @@ TEST(EventQueueTest, SizeAndTotalPushed) {
   EXPECT_EQ(q.total_pushed(), 10);
 }
 
+TEST(EventQueueTest, EqualTimestampsPopInInsertionOrder) {
+  // The documented tie-break contract: FIFO by push sequence. The
+  // threaded backend's canonical commit order is defined as this pop
+  // order, so this test pins the determinism foundation it leans on.
+  EventQueue q;
+  q.Push(At(1.0, "first"));
+  q.Push(At(2.0, "later"));
+  q.Push(At(1.0, "second"));
+  q.Push(At(1.0, "third"));
+  EXPECT_EQ(q.Pop().msg_type, "first");
+  EXPECT_EQ(q.Pop().msg_type, "second");
+  EXPECT_EQ(q.Pop().msg_type, "third");
+  EXPECT_EQ(q.Pop().msg_type, "later");
+}
+
+TEST(EventQueueTest, PeekReadyBatchIsEqualTimeSetInPopOrder) {
+  EventQueue q;
+  q.Push(At(2.0, "late"));
+  q.Push(At(1.0, "a"));
+  q.Push(At(1.0, "b"));
+  q.Push(At(1.0, "c"));
+  const auto batch = q.PeekReadyBatch();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0]->msg_type, "a");
+  EXPECT_EQ(batch[1]->msg_type, "b");
+  EXPECT_EQ(batch[2]->msg_type, "c");
+  EXPECT_EQ(q.Size(), 4u);  // non-consuming
+  EXPECT_EQ(q.Pop().msg_type, "a");
+  EXPECT_EQ(q.Pop().msg_type, "b");
+  EXPECT_EQ(q.Pop().msg_type, "c");
+  EXPECT_EQ(q.Pop().msg_type, "late");
+}
+
+TEST(EventQueueTest, PeekReadyBatchAfterEqualTimePush) {
+  // A push at the same timestamp lands behind the existing ready set
+  // (larger sequence number) — the invariant that keeps a mid-commit
+  // reply from overtaking the rest of a batch.
+  EventQueue q;
+  q.Push(At(1.0, "a"));
+  q.Push(At(1.0, "b"));
+  EXPECT_EQ(q.Pop().msg_type, "a");
+  q.Push(At(1.0, "c"));
+  const auto batch = q.PeekReadyBatch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0]->msg_type, "b");
+  EXPECT_EQ(batch[1]->msg_type, "c");
+}
+
 TEST(EventQueueTest, PopEmptyDies) {
   EventQueue q;
   EXPECT_DEATH(q.Pop(), "");
