@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "fedscope/comm/compression.h"
+#include "fedscope/core/checkpoint.h"
 #include "fedscope/core/events.h"
 #include "fedscope/obs/obs_context.h"
 #include "fedscope/util/logging.h"
@@ -110,6 +111,52 @@ void Client::JoinIn() {
   msg.payload.SetDouble("resp_score", score);
   msg.payload.SetInt("num_train", data_.train.size());
   Send(std::move(msg));
+}
+
+void Client::ExportResume(Payload* p) {
+  SetPackedU64s(p, "rng", rng_.SaveState());
+  p->SetDouble("time", current_time_);
+  p->SetInt("finished", finished_ ? 1 : 0);
+  p->SetInt("rounds_trained", rounds_trained_);
+  p->SetInt("perf_drops", perf_drop_count_);
+  p->SetInt("declined", declined_count_);
+  // The every-other-request parity of the low_bandwidth behaviour lives in
+  // this counter — dropping it would flip which requests get declined.
+  p->SetInt("lb_requests", low_bandwidth_requests_);
+  p->SetInt("rejected_globals", rejected_globals_);
+  p->SetInt("shard_epoch", shard_epoch_);
+  p->SetInt("stale_epoch_rejected", stale_epoch_rejected_);
+  p->SetDouble("last_val_accuracy", last_val_accuracy_);
+  const StateDict model_state = model_.GetStateDict();
+  p->SetInt("model_params", static_cast<int64_t>(model_state.size()));
+  p->SetStateDict("model", model_state);
+  p->SetInt("trainer_saved", 1);
+  trainer_->SaveState(p, "trainer");
+}
+
+void Client::RestoreResume(const Payload& p) {
+  if (p.HasScalar("rng")) {
+    FS_CHECK_OK(rng_.LoadState(GetPackedU64s(p, "rng")));
+  }
+  current_time_ = p.GetDouble("time", current_time_);
+  finished_ = p.GetInt("finished", 0) != 0;
+  rounds_trained_ = static_cast<int>(p.GetInt("rounds_trained", 0));
+  perf_drop_count_ = static_cast<int>(p.GetInt("perf_drops", 0));
+  declined_count_ = static_cast<int>(p.GetInt("declined", 0));
+  low_bandwidth_requests_ = static_cast<int>(p.GetInt("lb_requests", 0));
+  rejected_globals_ = static_cast<int>(p.GetInt("rejected_globals", 0));
+  shard_epoch_ = p.GetInt("shard_epoch", 0);
+  stale_epoch_rejected_ = p.GetInt("stale_epoch_rejected", 0);
+  last_val_accuracy_ = p.GetDouble("last_val_accuracy", -1.0);
+  if (p.HasScalar("model_params")) {
+    const StateDict model_state = p.GetStateDict("model");
+    FS_CHECK_EQ(static_cast<int64_t>(model_state.size()),
+                p.GetInt("model_params"));
+    FS_CHECK_OK(model_.LoadStateDict(model_state, /*strict=*/true));
+  }
+  if (p.GetInt("trainer_saved", 0) != 0) {
+    trainer_->LoadState(p, "trainer", model_);
+  }
 }
 
 EvalResult Client::EvaluateLocalTest() {

@@ -68,6 +68,17 @@ class Client : public BaseWorker {
   /// of its responsiveness derived from device info).
   void JoinIn();
 
+  /// Captures the complete mutable client state — rng stream position,
+  /// virtual clock, behaviour counters, model and trainer state — so a
+  /// reclaimed virtual client can later be re-instantiated bit-identically
+  /// (DESIGN.md §13). Construction inputs (options, data, handlers) are
+  /// re-derived deterministically by the ClientCache and are not written.
+  void ExportResume(Payload* p);
+  /// Restores state captured by ExportResume onto a freshly constructed
+  /// client. Missing keys keep their fresh-construction values, so a
+  /// minimal payload (e.g. only `finished`) is valid.
+  void RestoreResume(const Payload& p);
+
   Model* model() { return &model_; }
   BaseTrainer* trainer() { return trainer_.get(); }
   const SplitDataset& data() const { return data_; }

@@ -1,6 +1,7 @@
 #include "fedscope/core/fed_runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
 #include <utility>
 
@@ -11,14 +12,32 @@
 namespace fedscope {
 
 FedRunner::FedRunner(FedJob job) : job_(std::move(job)) {
-  FS_CHECK(job_.data != nullptr);
-  FS_CHECK_GT(job_.data->num_clients(), 0);
+  FS_CHECK(job_.virtualize || job_.provider == nullptr)
+      << "FedJob::provider requires FedJob::virtualize";
+  if (job_.virtualize) {
+    if (job_.provider == nullptr) {
+      FS_CHECK(job_.data != nullptr);
+      owned_provider_ = std::make_unique<EagerDataProvider>(job_.data);
+      job_.provider = owned_provider_.get();
+    }
+    provider_ = job_.provider;
+    population_ = provider_->num_clients();
+  } else {
+    FS_CHECK(job_.data != nullptr);
+    population_ = job_.data->num_clients();
+  }
+  FS_CHECK_GT(population_, 0);
   BuildWorkers();
 }
 
 Client* FedRunner::client(int id) {
   FS_CHECK_GE(id, 1);
-  FS_CHECK_LE(id, static_cast<int>(clients_.size()));
+  FS_CHECK_LE(id, population_);
+  if (cache_ != nullptr) {
+    Client* live = cache_->Get(id);
+    cache_->Trim();  // `live` survives: Get marked it most recently used
+    return live;
+  }
   return clients_[id - 1].get();
 }
 
@@ -29,12 +48,16 @@ EdgeAggregator* FedRunner::aggregator(int shard, int slot) {
 }
 
 void FedRunner::BuildWorkers() {
-  const int n = job_.data->num_clients();
+  const int n = population_;
 
-  if (job_.fleet.empty()) {
+  // Virtualized courses keep an empty fleet empty (a homogeneous default
+  // profile per id) rather than allocating one entry per descriptor.
+  if (job_.fleet.empty() && !job_.virtualize) {
     job_.fleet.assign(n, DeviceProfile{});
   }
-  FS_CHECK_EQ(static_cast<int>(job_.fleet.size()), n);
+  if (!job_.fleet.empty()) {
+    FS_CHECK_EQ(static_cast<int>(job_.fleet.size()), n);
+  }
 
   if (!job_.trainer_factory) {
     job_.trainer_factory = [](int) { return std::make_unique<GeneralTrainer>(); };
@@ -94,27 +117,29 @@ void FedRunner::BuildWorkers() {
     }
   }
 
-  Rng seeder(job_.seed);
   clients_.clear();
-  clients_.reserve(n);
   ports_.clear();
+  cache_.reset();
   const bool threaded = job_.exec.backend == ExecutionBackend::kThreaded;
-  for (int i = 0; i < n; ++i) {
-    const int id = i + 1;
-    ClientOptions options = job_.client;
-    options.device = job_.fleet[i];
-    options.seed = seeder.Fork(static_cast<uint64_t>(id)).Next();
-    if (job_.client_customizer) job_.client_customizer(id, &options);
-    CommChannel* client_channel = channel;
-    if (threaded) {
-      // A pass-through port per client; the parallel stage opens capture
-      // windows on it so a task's sends drain at commit, not mid-task.
-      ports_.push_back(std::make_unique<BufferingChannel>(channel));
-      client_channel = ports_.back().get();
+  if (job_.virtualize) {
+    cache_ = std::make_unique<ClientCache>(
+        population_, CacheCapacity(),
+        [this](int id) { return MakeCacheEntry(id); });
+  } else {
+    clients_.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      const int id = i + 1;
+      CommChannel* client_channel = channel;
+      if (threaded) {
+        // A pass-through port per client; the parallel stage opens capture
+        // windows on it so a task's sends drain at commit, not mid-task.
+        ports_.push_back(std::make_unique<BufferingChannel>(channel));
+        client_channel = ports_.back().get();
+      }
+      clients_.push_back(std::make_unique<Client>(
+          id, DeriveClientOptions(id), job_.init_model, job_.data->clients[i],
+          job_.trainer_factory(id), client_channel));
     }
-    clients_.push_back(std::make_unique<Client>(
-        id, std::move(options), job_.init_model, job_.data->clients[i],
-        job_.trainer_factory(id), client_channel));
   }
 
   if (job_.obs.enabled()) {
@@ -126,9 +151,51 @@ void FedRunner::BuildWorkers() {
   }
 }
 
+ClientOptions FedRunner::DeriveClientOptions(int id) const {
+  ClientOptions options = job_.client;
+  options.device =
+      job_.fleet.empty() ? DeviceProfile{} : job_.fleet[id - 1];
+  // Same stream as a one-pass `seeder.Fork(1..n)` sweep: Fork is const and
+  // keyed on the id, so the per-client seed is re-derivable in isolation —
+  // the property virtualized re-instantiation depends on.
+  options.seed = Rng(job_.seed).Fork(static_cast<uint64_t>(id)).Next();
+  if (job_.client_customizer) job_.client_customizer(id, &options);
+  return options;
+}
+
+ClientCache::Entry FedRunner::MakeCacheEntry(int id) {
+  ClientCache::Entry entry;
+  CommChannel* client_channel = worker_channel_;
+  if (job_.exec.backend == ExecutionBackend::kThreaded) {
+    entry.port = std::make_unique<BufferingChannel>(worker_channel_);
+    client_channel = entry.port.get();
+  }
+  entry.client = std::make_unique<Client>(
+      id, DeriveClientOptions(id), job_.init_model,
+      provider_->MaterializeClient(id), job_.trainer_factory(id),
+      client_channel);
+  if (job_.obs.enabled()) entry.client->set_obs(&job_.obs);
+  if (job_.client_decorator) job_.client_decorator(id, entry.client.get());
+  return entry;
+}
+
+int FedRunner::CacheCapacity() const {
+  if (job_.client_cache_capacity > 0) return job_.client_cache_capacity;
+  // Auto bound: the cohort — `concurrency` clients in flight, inflated by
+  // the over-selection margin — plus slack for a replacement drawn while
+  // the vacated slot's client is still live. Capacity only bounds peak
+  // memory; any value >= 1 runs the identical course.
+  int cohort = job_.server.concurrency;
+  if (job_.server.strategy == Strategy::kSyncOverselect) {
+    cohort = static_cast<int>(
+        std::ceil(cohort * (1.0 + job_.server.overselect_frac)));
+  }
+  return std::max(cohort + 2, 1);
+}
+
 std::unique_ptr<Server> FedRunner::MakeServer() {
   ServerOptions server_options = job_.server;
-  server_options.expected_clients = job_.data->num_clients();
+  server_options.expected_clients = population_;
   if (server_options.seed == 0) server_options.seed = job_.seed;
   auto server = std::make_unique<Server>(server_options, job_.init_model,
                                          job_.aggregator_factory(),
@@ -136,7 +203,8 @@ std::unique_ptr<Server> FedRunner::MakeServer() {
   if (job_.evaluator) {
     server->set_evaluator(job_.evaluator);
   } else {
-    const Dataset* test = &job_.data->server_test;
+    const Dataset* test = provider_ != nullptr ? &provider_->server_test()
+                                               : &job_.data->server_test;
     server->set_evaluator(
         [test](Model* model) { return EvaluateClassifier(model, *test); });
   }
@@ -226,6 +294,26 @@ void FedRunner::MaybeSnapshotAggregator(EdgeAggregator* agg) {
                  static_cast<double>(written.value()));
 }
 
+void FedRunner::DeliverToVirtualClient(const Message& msg) {
+  if (!cache_->IsLive(msg.receiver) && !job_.client_decorator) {
+    // State-free deliveries to reclaimed clients skip instantiation.
+    // Safe because the default handlers make them unobservable: OnFinish
+    // only sets the finished flag (recorded in the cache), the assign_id
+    // handler is a no-op, and neither consumes the client rng. The
+    // virtual-clock advance is unobservable too — the queue delivers in
+    // non-decreasing timestamp order, so no later reply is ever clamped
+    // by it. A client_decorator may have overridden these handlers, so
+    // its presence disables the short-circuits.
+    if (msg.msg_type == events::kFinish) {
+      cache_->MarkFinished(msg.receiver);
+      return;
+    }
+    if (msg.msg_type == events::kAssignId) return;
+  }
+  cache_->Get(msg.receiver)->HandleMessage(msg);
+  cache_->Trim();
+}
+
 void FedRunner::Send(const Message& msg) {
   job_.obs.OnChannelSend(msg);
   if (job_.through_wire) {
@@ -253,7 +341,12 @@ size_t FedRunner::RunParallelStage(int64_t* delivered) {
   size_t batch = 0;
   while (batch < limit) {
     const int receiver = ready[batch]->receiver;
-    if (receiver < 1 || receiver > static_cast<int>(clients_.size())) break;
+    if (receiver < 1 || receiver > population_) break;
+    // Virtualized: a delivery to a reclaimed client stays on the pump
+    // thread (it may instantiate, restore, or short-circuit — all cache
+    // mutations). The serial step handles it; by the next stage the
+    // client is live and batchable.
+    if (cache_ != nullptr && !cache_->IsLive(receiver)) break;
     ++batch;
   }
   if (batch < 2) return 0;  // nothing to overlap; a serial step is cheaper
@@ -301,8 +394,10 @@ size_t FedRunner::RunParallelStage(int64_t* delivered) {
   std::vector<std::function<void()>> tasks;
   tasks.reserve(by_client.size());
   for (auto& [id, indices] : by_client) {
-    Client* client = clients_[id - 1].get();
-    BufferingChannel* port = ports_[id - 1].get();
+    Client* client =
+        cache_ != nullptr ? cache_->Get(id) : clients_[id - 1].get();
+    BufferingChannel* port =
+        cache_ != nullptr ? cache_->Port(id) : ports_[id - 1].get();
     const std::vector<size_t>* idx = &indices;  // map nodes are stable
     tasks.push_back([client, port, &captures, idx, capture_obs] {
       for (size_t i : *idx) {
@@ -317,7 +412,9 @@ size_t FedRunner::RunParallelStage(int64_t* delivered) {
   pool_->Run(&tasks);
   if (capture_obs) {
     for (const auto& entry : by_client) {
-      clients_[entry.first - 1]->set_obs(&job_.obs);
+      Client* client = cache_ != nullptr ? cache_->Get(entry.first)
+                                         : clients_[entry.first - 1].get();
+      client->set_obs(&job_.obs);
     }
   }
 
@@ -337,13 +434,21 @@ size_t FedRunner::RunParallelStage(int64_t* delivered) {
     if (c.tracer != nullptr) job_.obs.tracer->Append(*c.tracer);
     for (const Message& send : c.sends) worker_channel_->Send(send);
   }
+  // The batch is fully committed — a safe point to reclaim live clients.
+  if (cache_ != nullptr) cache_->Trim();
   return batch;
 }
 
-CompletenessReport FedRunner::CheckCompleteness() const {
+CompletenessReport FedRunner::CheckCompleteness() {
   CompletenessChecker checker;
   checker.AddRegistry(server_->registry());
-  if (!clients_.empty()) checker.AddRegistry(clients_[0]->registry());
+  if (cache_ != nullptr) {
+    // Client behaviour is uniform up to handler overrides; client 1's
+    // registry represents the population (it stays cached for the course).
+    checker.AddRegistry(cache_->Get(1)->registry());
+  } else if (!clients_.empty()) {
+    checker.AddRegistry(clients_[0]->registry());
+  }
   checker.MarkEntry(events::kJoinIn);
   checker.MarkTerminal(events::kFinish);
   // Bridge the server's internal condition chain: join_in completion leads
@@ -421,13 +526,32 @@ RunResult FedRunner::Run() {
   // Building up: every client requests to join at t = 0. Standby
   // aggregators arm their failure watchdogs (no-op for active slots).
   for (auto& agg : aggregators_) agg->StartWatchdog();
-  for (auto& client : clients_) client->JoinIn();
+  if (cache_ != nullptr) {
+    // Virtualized: joins are synthesized from the descriptors —
+    // byte-identical to Client::JoinIn (which consumes no client rng) —
+    // so announcing a 1M-client population instantiates no Client. The
+    // send enters at worker_channel_, the same decorator stack a live
+    // client's channel feeds.
+    for (int id = 1; id <= population_; ++id) {
+      Message msg;
+      msg.sender = id;
+      msg.receiver = kServerId;
+      msg.msg_type = events::kJoinIn;
+      msg.timestamp = 0.0;
+      const ClientOptions options = DeriveClientOptions(id);
+      msg.payload.SetDouble("resp_score",
+                            ResponsivenessScores({options.device})[0]);
+      msg.payload.SetInt("num_train", provider_->TrainSize(id));
+      worker_channel_->Send(std::move(msg));
+    }
+  } else {
+    for (auto& client : clients_) client->JoinIn();
+  }
 
   // Pump the virtual-time event loop. Messages to finished/unknown workers
   // are dropped. The loop ends when the course terminated and the queue
   // drained, or when nothing remains to deliver.
-  const bool threaded =
-      job_.exec.backend == ExecutionBackend::kThreaded && !clients_.empty();
+  const bool threaded = job_.exec.backend == ExecutionBackend::kThreaded;
   if (threaded && pool_ == nullptr) {
     int threads = job_.exec.num_threads;
     if (threads <= 0) {
@@ -457,9 +581,12 @@ RunResult FedRunner::Run() {
         last_seen_round = server_->round();
         if (snapshot_writer_.ShouldSnapshot(last_seen_round)) WriteSnapshot();
       }
-    } else if (msg.receiver >= 1 &&
-               msg.receiver <= static_cast<int>(clients_.size())) {
-      clients_[msg.receiver - 1]->HandleMessage(msg);
+    } else if (msg.receiver >= 1 && msg.receiver <= population_) {
+      if (cache_ != nullptr) {
+        DeliverToVirtualClient(msg);
+      } else {
+        clients_[msg.receiver - 1]->HandleMessage(msg);
+      }
     } else if (IsAggregatorId(msg.receiver)) {
       DeliverToAggregator(msg);
     } else {
@@ -492,15 +619,34 @@ RunResult FedRunner::Run() {
 
   // Deployment: push the final global (shared part) to every client —
   // including clients that were never sampled — then evaluate each
-  // client's deployment model on its local test split.
-  result.client_test_accuracy.reserve(clients_.size());
-  for (auto& client : clients_) {
-    const StateDict final_shared = server_->global_model()->GetStateDict(
-        client->options().share_filter);
-    client->trainer()->UpdateModel(client->model(), final_shared);
-    EvalResult eval = client->EvaluateLocalTest();
-    result.client_test_accuracy.push_back(eval.accuracy);
-    result.client_test_loss.push_back(eval.loss);
+  // client's deployment model on its local test split. This sweep is
+  // O(population); cross-device-scale courses turn it off.
+  if (job_.deploy_eval) {
+    result.client_test_accuracy.reserve(population_);
+    result.client_test_loss.reserve(population_);
+    for (int id = 1; id <= population_; ++id) {
+      Client* client =
+          cache_ != nullptr ? cache_->Get(id) : clients_[id - 1].get();
+      const StateDict final_shared = server_->global_model()->GetStateDict(
+          client->options().share_filter);
+      client->trainer()->UpdateModel(client->model(), final_shared);
+      EvalResult eval = client->EvaluateLocalTest();
+      result.client_test_accuracy.push_back(eval.accuracy);
+      result.client_test_loss.push_back(eval.loss);
+      if (cache_ != nullptr) cache_->Trim();
+    }
+  }
+
+  if (cache_ != nullptr && job_.obs.metrics != nullptr) {
+    const ClientCacheStats& cs = cache_->stats();
+    job_.obs.SetGauge("fs_virtual_clients_instantiated",
+                      static_cast<double>(cs.instantiations));
+    job_.obs.SetGauge("fs_virtual_clients_restored",
+                      static_cast<double>(cs.restores));
+    job_.obs.SetGauge("fs_virtual_clients_evicted",
+                      static_cast<double>(cs.evictions));
+    job_.obs.SetGauge("fs_virtual_clients_live_peak",
+                      static_cast<double>(cs.live_peak));
   }
   return result;
 }

@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "fedscope/core/client.h"
+#include "fedscope/core/client_cache.h"
 #include "fedscope/core/completeness.h"
 #include "fedscope/core/edge_aggregator.h"
 #include "fedscope/core/server.h"
+#include "fedscope/data/client_data_provider.h"
 #include "fedscope/data/dataset.h"
 #include "fedscope/exec/buffering_channel.h"
 #include "fedscope/exec/execution.h"
@@ -86,6 +88,33 @@ struct FedJob {
   /// deliveries on a worker pool and commits their effects in canonical
   /// order, bit-identical to kSerial under the same seed.
   ExecutionOptions exec;
+  /// Client virtualization (DESIGN.md §13). Off by default: all clients
+  /// are instantiated eagerly at construction, exactly as before. On: the
+  /// population exists as descriptors only; a bounded ClientCache
+  /// instantiates a Client when a message must be delivered to it and
+  /// reclaims it afterwards, so peak live clients is O(cohort) rather
+  /// than O(population). Bit-identical to the eager path under the same
+  /// seed (oracle 12).
+  bool virtualize = false;
+  /// Live-client bound for the virtualized cache. 0 = auto: the cohort
+  /// size (concurrency plus the over-selection margin) plus slack. A pure
+  /// performance knob — any capacity >= 1 yields the same course.
+  int client_cache_capacity = 0;
+  /// Run the end-of-course deployment evaluation over every client
+  /// (RunResult::client_test_accuracy). On by default (paper Figure 12);
+  /// turn off for cross-device-scale courses where the O(population)
+  /// final sweep dominates. Honoured by both eager and virtualized runs.
+  bool deploy_eval = true;
+  /// Lazy data source for virtualized courses (borrowed; must outlive the
+  /// runner). Null with virtualize on: `data` is wrapped in an
+  /// EagerDataProvider. Requires virtualize.
+  const ClientDataProvider* provider = nullptr;
+  /// Optional hook applied to every Client the virtualized cache
+  /// instantiates (handler overrides, poisoners). When set, deliveries
+  /// never short-circuit past instantiation — every targeted client is
+  /// materialized so the decorated behaviour runs. Eager runs ignore it
+  /// (decorate via runner.client(id) before Run()).
+  std::function<void(int, Client*)> client_decorator;
   uint64_t seed = 1234;
 };
 
@@ -118,8 +147,14 @@ class FedRunner : public CommChannel {
   void Send(const Message& msg) override;
 
   Server* server() { return server_.get(); }
+  /// The client with id `id` (1-based). Virtualized: instantiates it if
+  /// needed; the pointer stays valid until the next delivery to a
+  /// different client (which may reclaim it).
   Client* client(int id);
-  int num_clients() const { return static_cast<int>(clients_.size()); }
+  /// Population size (== live client count only in eager mode).
+  int num_clients() const { return population_; }
+  /// The virtualized client cache (null in eager mode).
+  const ClientCache* client_cache() const { return cache_.get(); }
   /// Edge aggregator of `shard` × `slot` (hierarchical topologies only;
   /// null when the incarnation does not exist).
   EdgeAggregator* aggregator(int shard, int slot);
@@ -155,6 +190,18 @@ class FedRunner : public CommChannel {
   };
 
   void BuildWorkers();
+  /// Client `id`'s effective options — base + fleet device + forked seed +
+  /// customizer — derived identically by the eager construction loop and
+  /// every virtualized (re-)instantiation.
+  ClientOptions DeriveClientOptions(int id) const;
+  /// Factory for the virtualized cache: builds client `id` wired exactly
+  /// as the eager path would (port included on the threaded backend).
+  ClientCache::Entry MakeCacheEntry(int id);
+  /// Effective cache capacity (client_cache_capacity, or the auto bound).
+  int CacheCapacity() const;
+  /// Delivers a pump-loop message to a (possibly non-live) virtual
+  /// client, short-circuiting state-free deliveries past instantiation.
+  void DeliverToVirtualClient(const Message& msg);
   /// Threaded backend: forms the maximal batch of equal-virtual-time
   /// client-targeted deliveries at the queue front, handles them on the
   /// worker pool with per-delivery capture (sends, metric ops, trace
@@ -181,9 +228,19 @@ class FedRunner : public CommChannel {
   /// Writes `agg`'s durable checkpoint when its forwarded count advanced
   /// (per-shard "s<N>-"-prefixed files under FedJob::snapshot.directory).
   void MaybeSnapshotAggregator(EdgeAggregator* agg);
-  CompletenessReport CheckCompleteness() const;
+  /// Non-const: a virtualized course instantiates client 1 to read its
+  /// handler registry.
+  CompletenessReport CheckCompleteness();
 
   FedJob job_;
+  /// Total participant count (descriptors in virtualized mode).
+  int population_ = 0;
+  /// Wraps job_.data when virtualize is on without an explicit provider.
+  std::unique_ptr<EagerDataProvider> owned_provider_;
+  /// Data source of virtualized courses (null in eager mode).
+  const ClientDataProvider* provider_ = nullptr;
+  /// Bounded live-client cache (null in eager mode).
+  std::unique_ptr<ClientCache> cache_;
   EventQueue queue_;
   FaultPlan fault_plan_;
   std::unique_ptr<FaultInjectingChannel> fault_channel_;

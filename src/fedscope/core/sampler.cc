@@ -9,12 +9,67 @@
 
 namespace fedscope {
 
+CandidateView::CandidateView(int population, std::vector<int> excluded)
+    : population_(population), excluded_(std::move(excluded)) {
+  FS_CHECK_GE(population_, 0);
+  for (size_t i = 0; i < excluded_.size(); ++i) {
+    FS_CHECK_GE(excluded_[i], 1);
+    FS_CHECK_LE(excluded_[i], population_);
+    if (i > 0) FS_CHECK_LT(excluded_[i - 1], excluded_[i]);
+  }
+}
+
+int CandidateView::IdAt(int idx) const {
+  FS_CHECK_GE(idx, 0);
+  FS_CHECK_LT(idx, size());
+  // The candidate at index idx is idx + 1 + e, where e counts the excluded
+  // ids below it. excluded_[e] - e is non-decreasing in e (strictly
+  // ascending exclusions), so e is found by binary search: the smallest e
+  // with excluded_[e] - e > idx + 1 (treating e == |excluded_| as +inf).
+  int lo = 0;
+  int hi = static_cast<int>(excluded_.size());
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (excluded_[mid] - mid > idx + 1) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return idx + 1 + lo;
+}
+
+std::vector<int> CandidateView::Materialize() const {
+  std::vector<int> out;
+  out.reserve(size());
+  size_t e = 0;
+  for (int id = 1; id <= population_; ++id) {
+    if (e < excluded_.size() && excluded_[e] == id) {
+      ++e;
+      continue;
+    }
+    out.push_back(id);
+  }
+  return out;
+}
+
 std::vector<int> UniformSampler::Sample(const std::vector<int>& candidates,
                                         int k, Rng* rng) {
   const int take = std::min<int>(k, candidates.size());
   auto idx = rng->SampleWithoutReplacement(candidates.size(), take);
   std::vector<int> out(take);
   for (int i = 0; i < take; ++i) out[i] = candidates[idx[i]];
+  return out;
+}
+
+std::vector<int> UniformSampler::SampleIds(const CandidateView& view, int k,
+                                           Rng* rng) {
+  const int take = std::min<int>(k, view.size());
+  auto idx = rng->SampleWithoutReplacement(view.size(), take);
+  std::vector<int> out(take);
+  for (int i = 0; i < take; ++i) {
+    out[i] = view.IdAt(static_cast<int>(idx[i]));
+  }
   return out;
 }
 

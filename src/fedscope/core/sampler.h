@@ -10,6 +10,29 @@
 
 namespace fedscope {
 
+/// An ascending candidate id set represented implicitly as the dense range
+/// [1, population] minus a small sorted exclusion list. Lets samplers draw
+/// from cross-device-scale populations in O(|excluded|) memory instead of
+/// materializing the id vector (DESIGN.md §13). `excluded` must be strictly
+/// ascending and within [1, population].
+class CandidateView {
+ public:
+  CandidateView(int population, std::vector<int> excluded);
+
+  /// Number of candidate ids.
+  int size() const {
+    return population_ - static_cast<int>(excluded_.size());
+  }
+  /// The idx-th smallest candidate id (idx in [0, size())).
+  int IdAt(int idx) const;
+  /// The explicit ascending id vector (for samplers without a sparse path).
+  std::vector<int> Materialize() const;
+
+ private:
+  int population_;
+  std::vector<int> excluded_;
+};
+
 /// Client sampling strategies (paper §3.3.1-ii). Candidates are the ids of
 /// currently *idle* clients; the sampler returns up to `k` of them.
 class Sampler {
@@ -18,6 +41,15 @@ class Sampler {
   virtual std::string Name() const = 0;
   virtual std::vector<int> Sample(const std::vector<int>& candidates, int k,
                                   Rng* rng) = 0;
+
+  /// Samples from an implicit candidate set. Must be bit-identical to
+  /// Sample(view.Materialize(), k, rng); the base implementation does
+  /// exactly that, and samplers with a sparse path (uniform) override it to
+  /// avoid the O(population) materialization.
+  virtual std::vector<int> SampleIds(const CandidateView& view, int k,
+                                     Rng* rng) {
+    return Sample(view.Materialize(), k, rng);
+  }
 
   /// Persists sampler-internal course state into `p` under `prefix` (crash
   /// snapshots, DESIGN.md §10). Construction-time inputs (scores, groups)
@@ -34,6 +66,10 @@ class UniformSampler : public Sampler {
   std::string Name() const override { return "uniform"; }
   std::vector<int> Sample(const std::vector<int>& candidates, int k,
                           Rng* rng) override;
+  /// O(k) draw straight from the implicit id range: consumes the same rng
+  /// sequence as the materialized path, so the cohort is bit-identical.
+  std::vector<int> SampleIds(const CandidateView& view, int k,
+                             Rng* rng) override;
 };
 
 /// Responsiveness-related sampling: inclusion probability proportional to

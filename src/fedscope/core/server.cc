@@ -137,6 +137,8 @@ void Server::OnJoinIn(const Message& msg) {
     return;
   }
   clients_.insert(msg.sender);
+  max_joined_ = std::max(max_joined_, msg.sender);
+  removed_.erase(msg.sender);
   const int idx = msg.sender - 1;
   if (idx >= 0) {
     if (idx >= static_cast<int>(resp_scores_.size())) {
@@ -174,6 +176,32 @@ void Server::StartTraining(const Message& context) {
 }
 
 std::vector<int> Server::SampleIdle(int k) {
+  // Dense membership: clients_ ∪ removed_ == [1, max_joined_] (disjoint by
+  // construction, so equal sizes imply exact coverage). The idle set is
+  // then the range minus busy minus removed, which the sampler can draw
+  // from without materializing the population.
+  const bool dense =
+      max_joined_ > 0 &&
+      (clients_.empty() || *clients_.begin() >= 1) &&
+      clients_.size() + removed_.size() == static_cast<size_t>(max_joined_);
+  if (dense) {
+    std::vector<int> excluded;
+    excluded.reserve(busy_.size() + removed_.size());
+    auto busy_it = busy_.begin();
+    auto removed_it = removed_.begin();
+    while (busy_it != busy_.end() || removed_it != removed_.end()) {
+      if (removed_it == removed_.end() ||
+          (busy_it != busy_.end() && busy_it->first < *removed_it)) {
+        excluded.push_back(busy_it->first);
+        ++busy_it;
+      } else {
+        excluded.push_back(*removed_it);
+        ++removed_it;
+      }
+    }
+    return sampler_->SampleIds(CandidateView(max_joined_, std::move(excluded)),
+                               k, &rng_);
+  }
   std::vector<int> idle;
   idle.reserve(clients_.size());
   for (int id : clients_) {
@@ -580,7 +608,9 @@ void Server::OnClientFailure(const Message& msg) {
   if (finished_) return;
   const int id = msg.sender;
   FS_LOG(Warning) << "client " << id << " failed; removed from the course";
-  clients_.erase(id);
+  if (clients_.erase(id) > 0 && id >= 1 && id <= max_joined_) {
+    removed_.insert(id);
+  }
   ++stats_.dropouts;
   const bool record_obs = obs_ != nullptr && obs_->enabled();
   if (record_obs) {

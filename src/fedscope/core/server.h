@@ -261,6 +261,14 @@ class Server : public BaseWorker {
 
   std::set<int> clients_;        // joined client ids
   std::map<int, int> busy_;      // in-flight clients -> round they work on
+  /// Largest client id ever joined, and the ids removed since (failures).
+  /// When clients_ ∪ removed_ is exactly [1, max_joined_] the idle set is a
+  /// dense range minus a small exclusion list, so SampleIdle can draw
+  /// through a CandidateView in O(cohort + |busy| + |removed_|) instead of
+  /// enumerating the population (DESIGN.md §13). Derived conservatively on
+  /// snapshot restore; both paths consume the rng identically.
+  int max_joined_ = 0;
+  std::set<int> removed_;
   std::vector<double> resp_scores_;  // by client id - 1
   std::vector<ClientUpdate> buffer_;
   /// Hierarchical: client ids covered by the buffered partial at the same

@@ -181,6 +181,22 @@ Status Server::RestoreSnapshot(const Checkpoint& checkpoint) {
   for (int64_t id : GetPackedInt64s(p, "clients")) {
     clients_.insert(static_cast<int>(id));
   }
+  // Dense-membership bookkeeping is not part of the schema: rebuild it as
+  // "every gap below the largest member was removed". When membership was
+  // in fact sparse this over-marks, but the resulting candidate set —
+  // range minus removed_ minus busy_ — still equals clients_ minus busy_,
+  // and SampleIdle's two paths consume the rng identically either way.
+  max_joined_ = clients_.empty() ? 0 : *clients_.rbegin();
+  removed_.clear();
+  if (max_joined_ > 0 && *clients_.begin() >= 1) {
+    int expect = 1;
+    for (int id : clients_) {
+      for (; expect < id; ++expect) removed_.insert(expect);
+      expect = id + 1;
+    }
+  } else {
+    max_joined_ = 0;  // out-of-range ids: keep the enumeration fallback
+  }
   const std::vector<int64_t> busy_ids = GetPackedInt64s(p, "busy/ids");
   const std::vector<int64_t> busy_rounds = GetPackedInt64s(p, "busy/rounds");
   if (busy_ids.size() != busy_rounds.size()) {

@@ -2,7 +2,9 @@
 #define FEDSCOPE_CORE_TRAINER_H_
 
 #include <memory>
+#include <string>
 
+#include "fedscope/comm/message.h"
 #include "fedscope/data/dataset.h"
 #include "fedscope/nn/loss.h"
 #include "fedscope/nn/model.h"
@@ -69,6 +71,18 @@ class BaseTrainer {
   /// share filter. Default: the model's filtered state dict. Trainers with
   /// internal state (e.g. FedEM's mixture components) override this.
   virtual StateDict GetShareableState(Model* model, const NameFilter& filter);
+
+  /// Persists trainer-internal per-client state (personalized models,
+  /// mixture weights) into `p` under `prefix`, so a reclaimed virtual
+  /// client re-instantiates bit-identically (DESIGN.md §13). Stateless
+  /// trainers keep the default no-op.
+  virtual void SaveState(Payload* /*p*/, const std::string& /*prefix*/) {
+  }
+  /// Restores state written by SaveState onto a freshly built trainer.
+  /// `reference` is the owning client's model — the architecture template
+  /// for reconstructing personalized model copies.
+  virtual void LoadState(const Payload& /*p*/, const std::string& /*prefix*/,
+                         const Model& /*reference*/) {}
 };
 
 /// Plain local SGD on softmax cross-entropy — the Trainer of vanilla

@@ -47,4 +47,27 @@ EvalResult DittoTrainer::Evaluate(Model* model, const Dataset& data) {
   return EvaluateClassifier(&personal_, data);
 }
 
+void DittoTrainer::SaveState(Payload* p, const std::string& prefix) {
+  p->SetInt(prefix + "/initialized", personal_initialized_ ? 1 : 0);
+  if (personal_initialized_) {
+    p->SetStateDict(prefix + "/personal", personal_.GetStateDict());
+  }
+  p->SetInt(prefix + "/received_params",
+            static_cast<int64_t>(received_global_.size()));
+  p->SetStateDict(prefix + "/received_global", received_global_);
+}
+
+void DittoTrainer::LoadState(const Payload& p, const std::string& prefix,
+                             const Model& reference) {
+  personal_initialized_ = p.GetInt(prefix + "/initialized") != 0;
+  if (personal_initialized_) {
+    personal_ = reference;
+    FS_CHECK_OK(personal_.LoadStateDict(p.GetStateDict(prefix + "/personal"),
+                                        /*strict=*/true));
+  }
+  received_global_ = p.GetStateDict(prefix + "/received_global");
+  FS_CHECK_EQ(static_cast<int64_t>(received_global_.size()),
+              p.GetInt(prefix + "/received_params"));
+}
+
 }  // namespace fedscope

@@ -32,6 +32,10 @@ class DittoTrainer : public GeneralTrainer {
   /// Evaluates the personal model.
   EvalResult Evaluate(Model* model, const Dataset& data) override;
 
+  void SaveState(Payload* p, const std::string& prefix) override;
+  void LoadState(const Payload& p, const std::string& prefix,
+                 const Model& reference) override;
+
   Model* personal_model() { return &personal_; }
 
  private:

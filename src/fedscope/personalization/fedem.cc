@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fedscope/core/checkpoint.h"
 #include "fedscope/nn/loss.h"
 #include "fedscope/nn/optimizer.h"
 #include "fedscope/tensor/tensor_ops.h"
@@ -118,6 +119,26 @@ StateDict FedEmTrainer::GetShareableState(Model* /*model*/,
     }
   }
   return out;
+}
+
+void FedEmTrainer::SaveState(Payload* p, const std::string& prefix) {
+  for (int k = 0; k < options_.num_components; ++k) {
+    p->SetStateDict(prefix + "/" + CompPrefix(k),
+                    components_[k].GetStateDict());
+  }
+  SetPackedDoubles(p, prefix + "/pi", pi_);
+}
+
+void FedEmTrainer::LoadState(const Payload& p, const std::string& prefix,
+                             const Model& /*reference*/) {
+  // components_ were rebuilt by the base factory in the constructor; only
+  // their parameters and the personal mixture weights ride in the payload.
+  for (int k = 0; k < options_.num_components; ++k) {
+    FS_CHECK_OK(components_[k].LoadStateDict(
+        p.GetStateDict(prefix + "/" + CompPrefix(k)), /*strict=*/true));
+  }
+  pi_ = GetPackedDoubles(p, prefix + "/pi");
+  FS_CHECK_EQ(static_cast<int>(pi_.size()), options_.num_components);
 }
 
 std::vector<double> FedEmTrainer::ComponentLosses(int k, const Dataset& data) {

@@ -51,6 +51,10 @@ class FedEmTrainer : public BaseTrainer {
   /// Shares all component parameters (prefixed), regardless of `model`.
   StateDict GetShareableState(Model* model, const NameFilter& filter) override;
 
+  void SaveState(Payload* p, const std::string& prefix) override;
+  void LoadState(const Payload& p, const std::string& prefix,
+                 const Model& reference) override;
+
   const std::vector<double>& mixture_weights() const { return pi_; }
 
  private:

@@ -51,4 +51,21 @@ EvalResult PFedMeTrainer::Evaluate(Model* model, const Dataset& data) {
   return EvaluateClassifier(&personalized_, data);
 }
 
+void PFedMeTrainer::SaveState(Payload* p, const std::string& prefix) {
+  p->SetInt(prefix + "/valid", personalized_valid_ ? 1 : 0);
+  if (personalized_valid_) {
+    p->SetStateDict(prefix + "/personalized", personalized_.GetStateDict());
+  }
+}
+
+void PFedMeTrainer::LoadState(const Payload& p, const std::string& prefix,
+                              const Model& reference) {
+  personalized_valid_ = p.GetInt(prefix + "/valid") != 0;
+  if (personalized_valid_) {
+    personalized_ = reference;
+    FS_CHECK_OK(personalized_.LoadStateDict(
+        p.GetStateDict(prefix + "/personalized"), /*strict=*/true));
+  }
+}
+
 }  // namespace fedscope

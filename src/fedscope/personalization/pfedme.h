@@ -31,6 +31,10 @@ class PFedMeTrainer : public BaseTrainer {
   /// Evaluates the personalized model theta* from the last round.
   EvalResult Evaluate(Model* model, const Dataset& data) override;
 
+  void SaveState(Payload* p, const std::string& prefix) override;
+  void LoadState(const Payload& p, const std::string& prefix,
+                 const Model& reference) override;
+
  private:
   PFedMeOptions options_;
   Model personalized_;

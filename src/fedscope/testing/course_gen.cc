@@ -88,6 +88,7 @@ Config CourseSpec::ToConfig() const {
   c.Set("through_wire", through_wire);
   c.Set("suppress_duplicates", suppress_duplicates);
   c.Set("crash_frac", crash_frac);
+  c.Set("population", population);
   c.Set("topology.shards", topology_shards);
   c.Set("topology.standbys", topology_standbys);
   c.Set("topology.assignment", topology_assignment);
@@ -161,6 +162,7 @@ Result<CourseSpec> CourseSpec::FromConfig(const Config& config) {
   s.suppress_duplicates =
       config.GetBool("suppress_duplicates", s.suppress_duplicates);
   s.crash_frac = config.GetDouble("crash_frac", s.crash_frac);
+  s.population = static_cast<int>(config.GetInt("population", s.population));
   s.topology_shards =
       static_cast<int>(config.GetInt("topology.shards", s.topology_shards));
   s.topology_standbys =
@@ -317,6 +319,11 @@ CourseSpec CourseGen::Sample(uint64_t seed) {
       s.topology_kill_round = rng.UniformInt(0, s.max_rounds - 1);
     }
   }
+
+  // Population axis (client virtualization, DESIGN.md §13), appended after
+  // the topology draws for corpus stability. A minority draw: it multiplies
+  // course size by ~3x, so most specs stay small and fast.
+  if (rng.Bernoulli(0.25)) s.population = rng.UniformInt(12, 28);
 
   return Clamp(s);
 }
@@ -475,6 +482,17 @@ CourseSpec CourseGen::Clamp(CourseSpec s) {
     // never sees under sharding.
     s.collect_client_metrics = false;
   }
+
+  // -- population rules -----------------------------------------------------
+  if (s.population <= 0) {
+    s.population = 0;  // canonical "use num_clients" form
+  } else {
+    s.population = clamp_int(s.population, 12, 32);
+    // Keep per-client partitions non-degenerate at the larger count (the
+    // result stays within the [12*num_clients, 400] window above, so this
+    // second clamp is idempotent).
+    s.pool_size = clamp_int(s.pool_size, 8 * s.population, 400);
+  }
   return s;
 }
 
@@ -510,20 +528,20 @@ std::unique_ptr<CourseFixture> MakeCourseFixture(const CourseSpec& spec) {
   auto fixture = std::make_unique<CourseFixture>();
   fixture->spec = CourseGen::Clamp(spec);
   const CourseSpec& s = fixture->spec;
+  const int n = s.EffectiveClients();
   if (s.dataset == "twitter") {
     SyntheticTwitterOptions opts;
-    opts.num_clients = s.num_clients;
+    opts.num_clients = n;
     opts.vocab = 24;
     opts.words_per_text = 10;
-    opts.min_texts = std::max(4, s.pool_size / (2 * s.num_clients));
-    opts.max_texts = std::max<int64_t>(opts.min_texts + 2,
-                                       s.pool_size / s.num_clients);
+    opts.min_texts = std::max(4, s.pool_size / (2 * n));
+    opts.max_texts = std::max<int64_t>(opts.min_texts + 2, s.pool_size / n);
     opts.server_test_size = 64;
     opts.seed = s.seed * 2 + 5;
     fixture->data = MakeSyntheticTwitter(opts);
   } else {
     SyntheticCifarOptions opts;
-    opts.num_clients = s.num_clients;
+    opts.num_clients = n;
     opts.classes = 4;
     opts.channels = 1;
     opts.image_size = 6;
@@ -611,7 +629,7 @@ FedJob CourseFixture::MakeJob() const {
     fleet_opts.straggler_frac = 0.2;
     fleet_opts.straggler_slowdown = 0.25;
     Rng fleet_rng(s.seed ^ 0xf1ee7ull);
-    job.fleet = MakeFleet(s.num_clients, fleet_opts, &fleet_rng);
+    job.fleet = MakeFleet(s.EffectiveClients(), fleet_opts, &fleet_rng);
   }
 
   job.server.topology.num_shards = s.topology_shards;

@@ -88,6 +88,15 @@ struct CourseSpec {
   int topology_kill_shard = -1;
   int topology_kill_round = 0;
 
+  // -- population (client virtualization, DESIGN.md §13) --------------------
+  /// Total participant count when it exceeds the dataset-diversity axis:
+  /// 0 = num_clients (the historical default; every pre-population corpus
+  /// line keeps its form). > 0 draws a population larger than any cohort
+  /// (clamped to [12, 32]), so virtualized runs exercise eviction and
+  /// re-instantiation. The eager-vs-virtualized differential (oracle 12)
+  /// runs on every spec either way.
+  int population = 0;
+
   // -- fault plan -----------------------------------------------------------
   double fault_dropout_frac = 0.0;
   double fault_crash_prob = 0.0;
@@ -109,6 +118,11 @@ struct CourseSpec {
 
   /// True when the spec runs a hierarchical (sharded) aggregation tree.
   bool Hierarchical() const { return topology_shards > 0; }
+
+  /// The participant count the course actually runs with.
+  int EffectiveClients() const {
+    return population > 0 ? population : num_clients;
+  }
 
   Config ToConfig() const;
   static Result<CourseSpec> FromConfig(const Config& config);

@@ -63,6 +63,32 @@ std::string Vs(const char* what, T expected, T observed) {
   return out.str();
 }
 
+/// Drops the fs_virtual_* series (and their TYPE headers) from a
+/// Prometheus exposition — the only lines a virtualized run may add.
+std::string StripVirtualSeries(const std::string& text) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("fs_virtual_") != std::string::npos) continue;
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+/// The cohort-derived auto capacity of the virtualized client cache
+/// (FedRunner::CacheCapacity) plus the one-client transient a delivery to
+/// a non-live client creates before Trim runs — the bound oracle 12 holds
+/// live_peak to.
+int64_t CohortCacheBound(const CourseSpec& spec) {
+  int cohort = spec.concurrency;
+  if (spec.strategy == "sync_overselect") {
+    cohort =
+        static_cast<int>(std::ceil(cohort * (1.0 + spec.overselect_frac)));
+  }
+  return cohort + 2 + 1;
+}
+
 }  // namespace
 
 std::string FormatViolations(const std::vector<Violation>& violations) {
@@ -75,7 +101,8 @@ std::string FormatViolations(const std::vector<Violation>& violations) {
 
 CourseObservation RunInstrumentedCourse(const CourseSpec& spec,
                                         int64_t crash_at_event,
-                                        int exec_threads) {
+                                        int exec_threads, bool virtualize,
+                                        std::string* metrics_export) {
   auto fixture = MakeCourseFixture(spec);
   FedJob job = fixture->MakeJob();
   job.fault.server_crash_at_event = crash_at_event;
@@ -83,8 +110,11 @@ CourseObservation RunInstrumentedCourse(const CourseSpec& spec,
     job.exec.backend = ExecutionBackend::kThreaded;
     job.exec.num_threads = exec_threads;
   }
+  job.virtualize = virtualize;
 
   CourseObservation obs;
+  MetricsRegistry metrics;
+  if (metrics_export != nullptr) job.obs.metrics = &metrics;
   if (spec.Hierarchical()) {
     // Flat courses keep the all-null ObsContext (byte-identity with the
     // uninstrumented build); hierarchical oracles need the per-round
@@ -116,11 +146,14 @@ CourseObservation RunInstrumentedCourse(const CourseSpec& spec,
     obs.promotions += agg->promotions();
     obs.partials_forwarded += agg->partials_forwarded();
   }
+  if (runner.client_cache() != nullptr) obs.cache = runner.client_cache()->stats();
+  if (metrics_export != nullptr) *metrics_export = metrics.PrometheusText();
   return obs;
 }
 
 bool DistributedEligible(const CourseSpec& spec) {
-  return spec.topology_shards == 0 && spec.strategy == "sync_vanilla" &&
+  return spec.population == 0 && spec.topology_shards == 0 &&
+         spec.strategy == "sync_vanilla" &&
          spec.concurrency == spec.num_clients &&
          spec.receive_deadline == 0.0 && !spec.suppress_duplicates &&
          spec.fault_dropout_frac == 0.0 && spec.fault_crash_prob == 0.0 &&
@@ -440,8 +473,10 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
                 std::to_string(r.contributors.size()) + " contributions, " +
                 std::to_string(distinct.size()) + " distinct)");
       for (int id : r.contributors) {
-        Check(&v, id >= 1 && id <= spec.num_clients, "aggregator_failover",
-              Vs("contributor id out of fleet range", spec.num_clients, id));
+        Check(&v, id >= 1 && id <= spec.EffectiveClients(),
+              "aggregator_failover",
+              Vs("contributor id out of fleet range", spec.EffectiveClients(),
+                 id));
       }
     }
     if (spec.topology_kill_shard >= 0) {
@@ -500,6 +535,96 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
               a.result.server.agg_count == p.result.server.agg_count,
           "parallel_differential",
           tag + "threaded backend changed the round structure");
+  }
+
+  // -- oracle 12: eager-vs-virtualized differential -------------------------
+  // Client virtualization (DESIGN.md §13) is a pure execution-strategy
+  // change: descriptors plus a bounded cache must reproduce the eager run
+  // bit for bit. Both sides re-run with a metrics registry attached so the
+  // full obs exposition is compared too — the virtualized run may add only
+  // its fs_virtual_* gauges, which are stripped before comparing.
+  {
+    std::string eager_metrics;
+    std::string virt_metrics;
+    CourseObservation e = RunInstrumentedCourse(spec, -1, options.exec_threads,
+                                                /*virtualize=*/false,
+                                                &eager_metrics);
+    CourseObservation vv = RunInstrumentedCourse(spec, -1, options.exec_threads,
+                                                 /*virtualize=*/true,
+                                                 &virt_metrics);
+    Check(&v, vv.finished == e.finished, "virtualization_differential",
+          "termination differs");
+    Check(&v,
+          StateDictsBitEqual(e.result.final_model.GetStateDict(),
+                             vv.result.final_model.GetStateDict(), &detail),
+          "virtualization_differential",
+          "virtualization changed the final model: " + detail);
+    Check(&v, e.result.server.curve == vv.result.server.curve,
+          "virtualization_differential",
+          "virtualization changed the accuracy curve");
+    Check(&v, e.sent == vv.sent && e.delivered == vv.delivered,
+          "virtualization_differential",
+          Vs("message counts differ (sent)", e.sent, vv.sent) + " / " +
+              Vs("delivered", e.delivered, vv.delivered));
+    Check(&v, e.suppressed == vv.suppressed, "virtualization_differential",
+          Vs("suppressed differs", e.suppressed, vv.suppressed));
+    Check(&v,
+          e.fault.dropout_suppressed == vv.fault.dropout_suppressed &&
+              e.fault.crashes == vv.fault.crashes &&
+              e.fault.lost == vv.fault.lost &&
+              e.fault.duplicated == vv.fault.duplicated &&
+              e.fault.delayed == vv.fault.delayed &&
+              e.fault.aggregator_dropped == vv.fault.aggregator_dropped,
+          "virtualization_differential",
+          "fault-plan counters differ (fault rng consumed off-order)");
+    Check(&v, e.result.client_test_accuracy == vv.result.client_test_accuracy,
+          "virtualization_differential",
+          "virtualization changed client accuracies");
+    Check(&v,
+          e.result.server.rounds == vv.result.server.rounds &&
+              e.result.server.staleness_log == vv.result.server.staleness_log &&
+              e.result.server.agg_count == vv.result.server.agg_count,
+          "virtualization_differential",
+          "virtualization changed the round structure");
+    Check(&v, StripVirtualSeries(virt_metrics) == eager_metrics,
+          "virtualization_differential",
+          "metrics exposition differs beyond the fs_virtual_ gauges");
+    const int64_t bound = CohortCacheBound(spec);
+    Check(&v, vv.cache.live_peak >= 1 && vv.cache.live_peak <= bound,
+          "virtualization_differential",
+          Vs("peak live clients outside [1, cohort bound]", bound,
+             vv.cache.live_peak));
+
+    // Virtualized crash drill — oracle 8 under virtualization: the cache
+    // (the "other processes") survives the server kill, and the resumed
+    // course must still match the eager uninterrupted run bit for bit.
+    if (e.delivered > 0) {
+      const int64_t crash_at = std::min<int64_t>(
+          e.delivered - 1,
+          static_cast<int64_t>(spec.crash_frac *
+                               static_cast<double>(e.delivered)));
+      CourseObservation vc = RunInstrumentedCourse(
+          spec, crash_at, options.exec_threads, /*virtualize=*/true);
+      Check(&v, vc.recoveries == 1, "virtualization_differential",
+            Vs("virtualized server restores performed", int64_t{1},
+               vc.recoveries));
+      Check(&v,
+            StateDictsBitEqual(e.result.final_model.GetStateDict(),
+                               vc.result.final_model.GetStateDict(), &detail),
+            "virtualization_differential",
+            "virtualized crash-resume changed the final model: " + detail);
+      Check(&v, e.result.server.curve == vc.result.server.curve,
+            "virtualization_differential",
+            "virtualized crash-resume changed the accuracy curve");
+      Check(&v, e.sent == vc.sent && e.delivered == vc.delivered,
+            "virtualization_differential",
+            Vs("virtualized crash-resume changed sent", e.sent, vc.sent) +
+                " / " + Vs("delivered", e.delivered, vc.delivered));
+      Check(&v,
+            e.result.client_test_accuracy == vc.result.client_test_accuracy,
+            "virtualization_differential",
+            "virtualized crash-resume changed client accuracies");
+    }
   }
 
   return v;

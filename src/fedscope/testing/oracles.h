@@ -42,16 +42,23 @@ struct CourseObservation {
   /// Per-round course record; attached only for hierarchical specs (flat
   /// courses run with the all-null ObsContext, preserving byte-identity).
   CourseLog course_log;
+  /// Virtualized runs only: the client-cache counters at course end.
+  ClientCacheStats cache;
 };
 
 /// `crash_at_event` >= 0 kills the server between the crash_at_event-th
 /// and the next delivery and restores it from a wire-codec-serialized
 /// snapshot (FaultPlanOptions::server_crash_at_event); -1 runs untouched.
 /// `exec_threads` > 0 runs the course under ExecutionBackend::kThreaded
-/// with that many pool workers; 0 keeps the serial default.
+/// with that many pool workers; 0 keeps the serial default. `virtualize`
+/// runs the course with FedJob::virtualize (client descriptors + bounded
+/// cache, DESIGN.md §13). A non-null `metrics_export` attaches a private
+/// MetricsRegistry and stores its Prometheus exposition after the run.
 CourseObservation RunInstrumentedCourse(const CourseSpec& spec,
                                         int64_t crash_at_event = -1,
-                                        int exec_threads = 0);
+                                        int exec_threads = 0,
+                                        bool virtualize = false,
+                                        std::string* metrics_export = nullptr);
 
 struct OracleOptions {
   /// Also run the standalone-vs-distributed differential when the spec is
@@ -98,7 +105,14 @@ bool DistributedEligible(const CourseSpec& spec);
 ///  11. serial-vs-threaded differential: the course rerun under
 ///      ExecutionBackend::kThreaded at each OracleOptions::parallel_threads
 ///      worker count must reproduce the base run bit for bit (final model,
-///      curve, client accuracies, message counts, round structure).
+///      curve, client accuracies, message counts, round structure),
+///  12. eager-vs-virtualized differential (DESIGN.md §13): the course
+///      rerun with FedJob::virtualize must reproduce the eager run bit for
+///      bit — final model, curve, client accuracies, message and fault
+///      counters, round structure, and the metrics exposition (up to the
+///      fs_virtual_* gauges only the virtualized run emits); peak live
+///      clients must stay within the cohort-derived cache bound, and the
+///      virtualized crash drill must resume bit-identically too.
 /// Returns every violation found (empty = course passed).
 std::vector<Violation> CheckCourse(const CourseSpec& spec,
                                    const OracleOptions& options = {});

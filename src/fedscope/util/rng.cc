@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <unordered_map>
 
 #include "fedscope/util/logging.h"
 
@@ -156,6 +157,26 @@ std::vector<int64_t> Rng::Permutation(int64_t n) {
 std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
   FS_CHECK_LE(k, n);
   FS_CHECK_GE(k, 0);
+  // Both branches draw UniformInt(i, n-1) for i in [0, k) and read the
+  // virtual array idx[] with the same swap semantics, so they produce
+  // bit-identical output for any (state, n, k); the sparse branch merely
+  // stores the O(k) displaced entries instead of all n.
+  if (n >= 1024 && k * 8 <= n) {
+    std::unordered_map<int64_t, int64_t> displaced;
+    displaced.reserve(static_cast<size_t>(2 * k));
+    auto at = [&displaced](int64_t pos) {
+      auto it = displaced.find(pos);
+      return it == displaced.end() ? pos : it->second;
+    };
+    std::vector<int64_t> out(k);
+    for (int64_t i = 0; i < k; ++i) {
+      int64_t j = UniformInt(i, n - 1);
+      const int64_t vi = at(i);
+      out[i] = at(j);
+      displaced[j] = vi;
+    }
+    return out;
+  }
   // Partial Fisher-Yates: O(n) memory, O(k) swaps.
   std::vector<int64_t> idx(n);
   for (int64_t i = 0; i < n; ++i) idx[i] = i;

@@ -86,6 +86,42 @@ TEST(CrashRecoveryTest, StandaloneCrashResumeIsBitIdentical) {
   }
 }
 
+TEST(CrashRecoveryTest, VirtualizedCrashResumeIsBitIdentical) {
+  SyntheticTwitterOptions options;
+  options.num_clients = 20;
+  options.seed = 4;
+  FedDataset data = MakeSyntheticTwitter(options);
+
+  RunResult baseline = FedRunner(MakeStandaloneJob(&data)).Run();
+
+  // The same drill with client virtualization (DESIGN.md §13): the server
+  // is killed and restored while the population exists only as descriptors
+  // plus a bounded live-client cache. Suspended clients are untouched by
+  // the server restore, so resume must still be bit-identical to the
+  // uninterrupted *eager* run.
+  for (const int64_t crash_at : {int64_t{0}, int64_t{7}, int64_t{51}}) {
+    FedJob job = MakeStandaloneJob(&data);
+    job.virtualize = true;
+    job.fault.server_crash_at_event = crash_at;
+    FedRunner runner(std::move(job));
+    RunResult resumed = runner.Run();
+    EXPECT_EQ(runner.recoveries(), 1) << "crash_at " << crash_at;
+    EXPECT_TRUE(BitEqual(baseline.final_model.GetStateDict(),
+                         resumed.final_model.GetStateDict()))
+        << "crash_at " << crash_at << " changed the final model";
+    EXPECT_EQ(baseline.server.curve, resumed.server.curve)
+        << "crash_at " << crash_at;
+    EXPECT_EQ(baseline.server.rounds, resumed.server.rounds);
+    EXPECT_EQ(baseline.client_test_accuracy, resumed.client_test_accuracy)
+        << "crash_at " << crash_at;
+    // The memory bound holds straight through the kill+restore: cohort
+    // (concurrency 8) plus cache slack and the pre-Trim transient, never
+    // all 20 clients.
+    EXPECT_LE(runner.client_cache()->stats().live_peak, 11)
+        << "crash_at " << crash_at;
+  }
+}
+
 TEST(CrashRecoveryTest, SnapshotPolicyWritesFilesAndLatestLoads) {
   SyntheticTwitterOptions options;
   options.num_clients = 20;

@@ -152,5 +152,101 @@ TEST(MakeSamplerTest, GroupFactoryGroupsBySpeed) {
   EXPECT_TRUE(fast_group || slow_group);
 }
 
+// ---------------------------------------------------------------------------
+// Cross-device scale (DESIGN.md §13): sparse sampling and CandidateView
+// ---------------------------------------------------------------------------
+
+/// The dense partial-Fisher-Yates Rng::SampleWithoutReplacement runs below
+/// its sparse-path threshold, reproduced as the reference the O(k)-memory
+/// sparse branch must match draw for draw.
+std::vector<int64_t> DenseReference(int64_t n, int64_t k, Rng* rng) {
+  std::vector<int64_t> pool(n);
+  for (int64_t i = 0; i < n; ++i) pool[i] = i;
+  const int64_t take = std::min(k, n);
+  for (int64_t i = 0; i < take; ++i) {
+    std::swap(pool[i], pool[rng->UniformInt(i, n - 1)]);
+  }
+  pool.resize(take);
+  return pool;
+}
+
+TEST(SamplerScaleTest, SparseSampleWithoutReplacementMatchesDense) {
+  // 100k ids trips the sparse branch; it must consume the identical rng
+  // sequence and return the identical indices.
+  for (const int64_t k : {int64_t{1}, int64_t{50}, int64_t{1000}}) {
+    Rng sparse_rng(42);
+    Rng dense_rng(42);
+    const auto sparse = sparse_rng.SampleWithoutReplacement(100000, k);
+    const auto dense = DenseReference(100000, k, &dense_rng);
+    EXPECT_EQ(sparse, dense) << "k=" << k;
+    EXPECT_EQ(sparse_rng.SaveState(), dense_rng.SaveState()) << "k=" << k;
+  }
+}
+
+TEST(SamplerScaleTest, CandidateViewIndexesAroundExclusions) {
+  const CandidateView view(10, {2, 5, 9});
+  const std::vector<int> want = {1, 3, 4, 6, 7, 8, 10};
+  ASSERT_EQ(view.size(), static_cast<int>(want.size()));
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(view.IdAt(static_cast<int>(i)), want[i]) << i;
+  }
+  EXPECT_EQ(view.Materialize(), want);
+}
+
+TEST(SamplerScaleTest, SampleIdsMatchesMaterializedEnumeration) {
+  // The implicit-view draw must be bit-identical to enumerating 100k ids
+  // and sampling the vector — same cohort, same rng consumption.
+  std::vector<int> excluded;
+  for (int id = 1000; id <= 100000; id += 997) excluded.push_back(id);
+  const CandidateView view(100000, excluded);
+  UniformSampler sampler;
+  Rng sparse_rng(7);
+  Rng dense_rng(7);
+  const auto via_view = sampler.SampleIds(view, 64, &sparse_rng);
+  const auto via_vector = sampler.Sample(view.Materialize(), 64, &dense_rng);
+  EXPECT_EQ(via_view, via_vector);
+  EXPECT_EQ(sparse_rng.SaveState(), dense_rng.SaveState());
+}
+
+TEST(SamplerScaleTest, HundredThousandIdDrawIsDeterministic) {
+  const CandidateView view(100000, {});
+  UniformSampler sampler;
+  Rng a(11);
+  Rng b(11);
+  const auto first = sampler.SampleIds(view, 128, &a);
+  const auto second = sampler.SampleIds(view, 128, &b);
+  EXPECT_EQ(first, second);
+  std::set<int> seen(first.begin(), first.end());
+  EXPECT_EQ(seen.size(), 128u);
+  for (int id : first) {
+    EXPECT_GE(id, 1);
+    EXPECT_LE(id, 100000);
+  }
+}
+
+TEST(SamplerScaleTest, CohortEqualsPopulationReturnsEveryone) {
+  const CandidateView view(100000, {});
+  UniformSampler sampler;
+  Rng rng(13);
+  const auto picked = sampler.SampleIds(view, 100000, &rng);
+  EXPECT_EQ(picked.size(), 100000u);
+  std::set<int> seen(picked.begin(), picked.end());
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(SamplerScaleTest, PopulationOfOne) {
+  const CandidateView view(1, {});
+  UniformSampler sampler;
+  Rng rng(14);
+  EXPECT_EQ(sampler.SampleIds(view, 1, &rng), std::vector<int>{1});
+  // Over-asking caps at the population, like the vector path.
+  Rng rng2(15);
+  EXPECT_EQ(sampler.SampleIds(view, 5, &rng2), std::vector<int>{1});
+  // A fully excluded population yields an empty cohort.
+  const CandidateView empty(1, {1});
+  Rng rng3(16);
+  EXPECT_TRUE(sampler.SampleIds(empty, 1, &rng3).empty());
+}
+
 }  // namespace
 }  // namespace fedscope
