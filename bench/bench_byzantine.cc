@@ -1,0 +1,317 @@
+// Byzantine tolerance (DESIGN.md §14): best test accuracy when a fraction
+// of the fleet attacks, for plain FedAvg and the robust aggregation rules
+// (Krum, trimmed mean, coordinate median), plus the ingress guard's
+// rescue of non-finite poison. Two attack surfaces, measured separately
+// because they are countered by different mechanisms:
+//
+// * scale(-10) — the hostile delta is the honest one negated and
+//   amplified (a model-replacement-style attack). It is finite and
+//   shape-correct, so a guard with no norm bound cannot see it (an
+//   operator-configured L2 bound would; this table runs guard-off to
+//   isolate the aggregation rule). One such update dominates a weighted
+//   average, so plain FedAvg collapses at any hostile fraction, while
+//   the selection/truncation rules hold until their breakdown point.
+// * nan — trivially fatal to any averaging rule, but caught by the
+//   guard's finiteness screen; the second table shows unguarded FedAvg
+//   destroyed and the guarded run finishing with the poison rejected and
+//   the attackers quarantined.
+//
+//   bench_byzantine [--out=BENCH_byzantine.json] [--smoke]
+//
+// --smoke shrinks to {0%, 30%} x {FedAvg, Median} and 15 rounds for the
+// CI byzantine-smoke job.
+//
+// Truthfulness notes:
+// * Hostile draws are per-update (hostile_prob = 1), so the attacked
+//   fraction of each cohort fluctuates round to round around the fleet
+//   fraction; Krum's f and the trimmed-mean fraction are provisioned for
+//   the expected cohort fraction plus slack, as a deployment would.
+// * The workload runs milder user skew (style 0.3) and denser local
+//   updates (8 steps, batch 8) than the Table 1 Twitter recipe: with the
+//   original highly non-IID sparse deltas, the coordinate median zeroes
+//   most coordinates and every rule (robust or not) sits near chance —
+//   measured, not hidden; see EXPERIMENTS.md.
+// * Cells report best accuracy over the course; a "model=nan" cell means
+//   the shared model itself went non-finite.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace fedscope {
+namespace bench {
+namespace {
+
+struct Args {
+  std::string out = "BENCH_byzantine.json";
+  bool smoke = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--out=";
+    if (arg.rfind(prefix, 0) == 0) {
+      args->out = arg.substr(prefix.size());
+    } else if (arg == "--smoke") {
+      args->smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_byzantine [--out=FILE] [--smoke]\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+struct AggregatorSpec {
+  std::string name;
+  /// Builds the rule provisioned for `hostile_frac` of a `concurrency`
+  /// cohort attacking.
+  std::function<std::unique_ptr<Aggregator>(double, int)> make;
+};
+
+std::vector<AggregatorSpec> Aggregators(bool smoke) {
+  std::vector<AggregatorSpec> all = {
+      {"FedAvg",
+       [](double, int) { return std::make_unique<FedAvgAggregator>(); }},
+      {"Krum",
+       [](double frac, int concurrency) {
+         const int f = std::max(
+             1, static_cast<int>(std::lround(frac * concurrency)) + 1);
+         const int multi_k = std::max(1, concurrency - f - 2);
+         return std::make_unique<KrumAggregator>(f, multi_k);
+       }},
+      {"TrimmedMean",
+       [](double frac, int) {
+         return std::make_unique<TrimmedMeanAggregator>(
+             std::min(0.45, frac + 0.1));
+       }},
+      {"Median",
+       [](double, int) { return std::make_unique<MedianAggregator>(); }},
+  };
+  if (!smoke) return all;
+  return {all[0], all[3]};
+}
+
+bool ModelFinite(Model* model) {
+  for (const auto& [name, t] : model->GetStateDict()) {
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      if (!std::isfinite(t.at(i))) return false;
+    }
+  }
+  return true;
+}
+
+struct CellResult {
+  double best_accuracy = 0.0;
+  bool model_finite = true;
+  int64_t rejected = 0;
+  int64_t quarantined = 0;
+  bool aborted = false;
+};
+
+CellResult RunCell(const Workload& w, const AggregatorSpec& agg,
+                   double hostile_frac, const std::string& mode,
+                   bool guard, uint64_t seed, int max_rounds) {
+  FedJob job;
+  job.data = &w.data;
+  job.init_model = w.model_factory(seed);
+  job.client.train = w.train;
+  job.server.concurrency = w.concurrency;
+  job.server.max_rounds = max_rounds;
+  job.server.strategy = Strategy::kSyncVanilla;
+  job.seed = seed;
+  const double frac = hostile_frac;
+  const int concurrency = w.concurrency;
+  job.aggregator_factory = [&agg, frac, concurrency] {
+    return agg.make(frac, concurrency);
+  };
+  if (hostile_frac > 0.0) {
+    job.fault.hostile_frac = hostile_frac;
+    job.fault.hostile_mode = mode;
+    job.fault.hostile_prob = 1.0;
+    // Negated + amplified honest update: the model-replacement direction.
+    if (mode == "scale") job.fault.hostile_scale = -10.0;
+    job.fault.seed = seed + 13;
+  }
+  if (guard) {
+    job.server.guard.enabled = true;
+    job.server.guard.quarantine_after = 1;
+    job.server.receive_deadline = 120.0;  // replace starved cohort slots
+  }
+  RunResult result = FedRunner(std::move(job)).Run();
+  CellResult cell;
+  cell.best_accuracy = result.server.best_accuracy;
+  cell.model_finite = ModelFinite(&result.final_model);
+  cell.rejected = result.server.updates_rejected;
+  cell.quarantined = static_cast<int64_t>(result.server.quarantined.size());
+  cell.aborted = result.server.aborted;
+  return cell;
+}
+
+std::string FormatCell(const CellResult& cell) {
+  char buf[96];
+  if (!cell.model_finite) {
+    std::snprintf(buf, sizeof(buf), "acc=%.2f model=nan",
+                  cell.best_accuracy);
+  } else if (cell.rejected > 0 || cell.quarantined > 0) {
+    std::snprintf(buf, sizeof(buf), "acc=%.2f (rej=%lld quar=%lld)",
+                  cell.best_accuracy,
+                  static_cast<long long>(cell.rejected),
+                  static_cast<long long>(cell.quarantined));
+  } else {
+    std::snprintf(buf, sizeof(buf), "acc=%.2f%s", cell.best_accuracy,
+                  cell.aborted ? " aborted" : "");
+  }
+  return buf;
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  QuietLogs();
+  PrintHeader(
+      "Byzantine tolerance: best accuracy under hostile clients, robust "
+      "aggregation rules vs the ingress guard (DESIGN.md §14)");
+
+  const uint64_t seed = 777;
+  const int max_rounds = args.smoke ? 15 : 60;
+  const std::vector<double> rates =
+      args.smoke ? std::vector<double>{0.0, 0.3}
+                 : std::vector<double>{0.0, 0.1, 0.3};
+
+  Workload w = MakeTwitterWorkload();
+  {
+    // Milder skew + denser local updates than the Table 1 recipe (see the
+    // truthfulness notes in the file header).
+    SyntheticTwitterOptions options;
+    options.num_clients = 80;
+    options.vocab = 60;
+    options.user_style_strength = 0.3;
+    options.words_per_text = 10;
+    options.seed = 3;
+    w.data = MakeSyntheticTwitter(options);
+    w.train.local_steps = 8;
+    w.train.batch_size = 8;
+  }
+  std::printf(
+      "workload=%s fleet=%d concurrency=%d rounds=%d attack=scale(-10) "
+      "(finite, shape-correct: invisible to a guard with no norm bound)\n",
+      w.name.c_str(), w.data.num_clients(), w.concurrency, max_rounds);
+
+  std::string json = "{\n  \"schema\": 1,\n";
+  json += "  \"workload\": \"" + w.name + "\",\n";
+  json += "  \"rounds\": " + std::to_string(max_rounds) + ",\n";
+  json += "  \"note\": \"best test accuracy; scale(-10) table runs guard "
+          "off to isolate the aggregation rule, nan table compares "
+          "guard off/on under FedAvg\",\n";
+
+  // -- Table 1: aggregation-rule robustness under sign_flip, guard off ----
+  std::vector<std::string> header = {"Aggregator"};
+  for (double rate : rates) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f%% hostile", 100.0 * rate);
+    header.push_back(label);
+  }
+  Table table(header);
+  json += "  \"scale_minus10\": {\n";
+  const auto aggregators = Aggregators(args.smoke);
+  for (size_t ai = 0; ai < aggregators.size(); ++ai) {
+    const auto& agg = aggregators[ai];
+    std::vector<std::string> row = {agg.name};
+    json += "    \"" + agg.name + "\": {";
+    for (size_t ri = 0; ri < rates.size(); ++ri) {
+      const CellResult cell = RunCell(w, agg, rates[ri], "scale",
+                                      /*guard=*/false, seed, max_rounds);
+      row.push_back(FormatCell(cell));
+      char entry[96];
+      std::snprintf(entry, sizeof(entry),
+                    "%s\"%.0f%%\": {\"best_acc\": %.4f, "
+                    "\"model_finite\": %s}",
+                    ri == 0 ? "" : ", ", 100.0 * rates[ri],
+                    cell.best_accuracy, cell.model_finite ? "true" : "false");
+      json += entry;
+      std::fflush(stdout);
+    }
+    json += ai + 1 < aggregators.size() ? "},\n" : "}\n";
+    table.AddRow(row);
+  }
+  json += "  },\n";
+  table.Print();
+
+  // -- Table 2: guard rescue of non-finite poison under plain FedAvg ------
+  std::printf(
+      "\nattack=nan (one poisoned update destroys any averaging rule; the "
+      "ingress guard rejects it and quarantines the sender)\n");
+  const AggregatorSpec fedavg = Aggregators(false)[0];
+  const double nan_rate = args.smoke ? 0.3 : 0.1;
+  Table guard_table({"Config", "Result"});
+  json += "  \"nan_fedavg\": {\n";
+  const CellResult unguarded = RunCell(w, fedavg, nan_rate, "nan",
+                                       /*guard=*/false, seed, max_rounds);
+  const CellResult guarded = RunCell(w, fedavg, nan_rate, "nan",
+                                     /*guard=*/true, seed, max_rounds);
+  char rate_label[48];
+  std::snprintf(rate_label, sizeof(rate_label), "FedAvg %.0f%% nan, guard",
+                100.0 * nan_rate);
+  guard_table.AddRow({std::string(rate_label) + " off",
+                      FormatCell(unguarded)});
+  guard_table.AddRow({std::string(rate_label) + " on", FormatCell(guarded)});
+  char guard_json[256];
+  std::snprintf(guard_json, sizeof(guard_json),
+                "    \"hostile_frac\": %.2f,\n"
+                "    \"guard_off\": {\"best_acc\": %.4f, \"model_finite\": "
+                "%s},\n"
+                "    \"guard_on\": {\"best_acc\": %.4f, \"model_finite\": "
+                "%s, \"rejected\": %lld, \"quarantined\": %lld}\n",
+                nan_rate, unguarded.best_accuracy,
+                unguarded.model_finite ? "true" : "false",
+                guarded.best_accuracy,
+                guarded.model_finite ? "true" : "false",
+                static_cast<long long>(guarded.rejected),
+                static_cast<long long>(guarded.quarantined));
+  json += guard_json;
+  json += "  }\n}\n";
+  guard_table.Print();
+
+  std::printf(
+      "\nReading: one negated-amplified update dominates a weighted "
+      "average, so plain FedAvg collapses to chance at every hostile "
+      "fraction, while the selection/truncation rules hold near their "
+      "benign accuracy until their breakdown point (Krum's f / the trim "
+      "fraction); the robust rules also pay a small benign-accuracy tax. "
+      "The guard is orthogonal: it cannot see a finite, shape-correct lie "
+      "without a norm bound, but it stops every non-finite or malformed "
+      "payload before aggregation — with it, even plain FedAvg survives "
+      "NaN poison that would otherwise zero the course.\n");
+
+  // The guard must have rescued the model and the unguarded run must show
+  // the damage, or the bench's thesis is wrong — fail loudly rather than
+  // print a misleading table.
+  if (!guarded.model_finite || guarded.rejected == 0) {
+    std::printf("\nFAIL: guarded run did not screen the poison\n");
+    return 1;
+  }
+  if (unguarded.model_finite) {
+    std::printf("\nFAIL: unguarded NaN control unexpectedly survived\n");
+    return 1;
+  }
+
+  if (!args.out.empty()) {
+    std::ofstream out(args.out);
+    out << json;
+    std::printf("wrote %s\n", args.out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fedscope
+
+int main(int argc, char** argv) { return fedscope::bench::Main(argc, argv); }

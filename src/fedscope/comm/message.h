@@ -46,6 +46,10 @@ class Payload {
   bool HasTensor(const std::string& key) const {
     return tensors_.count(key) > 0;
   }
+  /// Drops a tensor entry; returns true when it existed. Payload-mutating
+  /// decorators (e.g. hostile-client fault injection) rename entries by
+  /// remove + re-add.
+  bool RemoveTensor(const std::string& key) { return tensors_.erase(key) > 0; }
   Result<Tensor> GetTensor(const std::string& key) const;
 
   /// Stores a whole state dict under a key prefix ("<prefix>/<param-name>").

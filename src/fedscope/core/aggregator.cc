@@ -36,18 +36,22 @@ StateDict AverageDeltas(const std::vector<ClientUpdate>& updates,
 
 }  // namespace
 
-StateDict FedAvgAggregator::Aggregate(
+Result<StateDict> FedAvgAggregator::Aggregate(
     const StateDict& global, const std::vector<ClientUpdate>& updates) {
-  FS_CHECK(!updates.empty());
+  if (updates.empty()) {
+    return Status::FailedPrecondition("fedavg: no usable updates");
+  }
   StateDict avg = AverageDeltas(updates, options_.staleness_rho);
   StateDict next = global;
   SdAxpy(&next, static_cast<float>(options_.server_lr), avg);
   return next;
 }
 
-StateDict FedOptAggregator::Aggregate(
+Result<StateDict> FedOptAggregator::Aggregate(
     const StateDict& global, const std::vector<ClientUpdate>& updates) {
-  FS_CHECK(!updates.empty());
+  if (updates.empty()) {
+    return Status::FailedPrecondition("fedopt: no usable updates");
+  }
   StateDict avg = AverageDeltas(updates, staleness_rho_);
   if (momentum_.empty()) {
     momentum_ = avg;
@@ -77,9 +81,11 @@ void FedOptAggregator::LoadState(const Payload& p, const std::string& prefix) {
   }
 }
 
-StateDict FedNovaAggregator::Aggregate(
+Result<StateDict> FedNovaAggregator::Aggregate(
     const StateDict& global, const std::vector<ClientUpdate>& updates) {
-  FS_CHECK(!updates.empty());
+  if (updates.empty()) {
+    return Status::FailedPrecondition("fednova: no usable updates");
+  }
   // Normalize each delta by its local step count, average with sample
   // weights, then rescale by the weighted-average step count.
   std::vector<StateDict> normalized;
@@ -103,10 +109,10 @@ StateDict FedNovaAggregator::Aggregate(
   return next;
 }
 
-StateDict KrumAggregator::Aggregate(const StateDict& global,
-                                    const std::vector<ClientUpdate>& updates) {
+Result<StateDict> KrumAggregator::Aggregate(
+    const StateDict& global, const std::vector<ClientUpdate>& updates) {
   const int n = static_cast<int>(updates.size());
-  FS_CHECK_GT(n, 0);
+  if (n == 0) return Status::FailedPrecondition("krum: no usable updates");
   last_selection_.clear();
 
   std::vector<std::vector<float>> flat(n);
@@ -157,19 +163,27 @@ StateDict KrumAggregator::Aggregate(const StateDict& global,
 
 namespace {
 
-/// Applies a per-coordinate reducer over updates and adds to global.
+/// Applies a per-coordinate reducer over updates and adds to global. An
+/// update missing a delta key is hostile or corrupt input, not a
+/// programmer error, so it surfaces as a Status.
 template <typename Reducer>
-StateDict CoordinateWise(const StateDict& global,
-                         const std::vector<ClientUpdate>& updates,
-                         Reducer reduce) {
-  FS_CHECK(!updates.empty());
+Result<StateDict> CoordinateWise(const StateDict& global,
+                                 const std::vector<ClientUpdate>& updates,
+                                 Reducer reduce) {
+  if (updates.empty()) {
+    return Status::FailedPrecondition("coordinate-wise: no usable updates");
+  }
   StateDict next = global;
   std::vector<float> column(updates.size());
   for (auto& [name, tensor] : next) {
     for (int64_t k = 0; k < tensor.numel(); ++k) {
       for (size_t u = 0; u < updates.size(); ++u) {
         const auto it = updates[u].delta.find(name);
-        FS_CHECK(it != updates[u].delta.end()) << "missing delta key " << name;
+        if (it == updates[u].delta.end() || it->second.numel() != tensor.numel()) {
+          return Status::InvalidArgument("update from client " +
+                                         std::to_string(updates[u].client_id) +
+                                         " missing delta key " + name);
+        }
         column[u] = it->second.at(k);
       }
       tensor.at(k) += reduce(&column);
@@ -180,7 +194,7 @@ StateDict CoordinateWise(const StateDict& global,
 
 }  // namespace
 
-StateDict TrimmedMeanAggregator::Aggregate(
+Result<StateDict> TrimmedMeanAggregator::Aggregate(
     const StateDict& global, const std::vector<ClientUpdate>& updates) {
   const int n = static_cast<int>(updates.size());
   const int trim = std::min(static_cast<int>(trim_frac_ * n), (n - 1) / 2);
@@ -196,7 +210,7 @@ StateDict TrimmedMeanAggregator::Aggregate(
   });
 }
 
-StateDict MedianAggregator::Aggregate(
+Result<StateDict> MedianAggregator::Aggregate(
     const StateDict& global, const std::vector<ClientUpdate>& updates) {
   return CoordinateWise(global, updates, [](std::vector<float>* column) {
     std::sort(column->begin(), column->end());

@@ -7,6 +7,7 @@
 
 #include "fedscope/comm/message.h"
 #include "fedscope/nn/model.h"
+#include "fedscope/util/status.h"
 
 namespace fedscope {
 
@@ -30,13 +31,15 @@ struct ClientUpdate {
 /// Federated aggregation, decoupled from the server's behaviour
 /// (paper §3.6: "for the aggregator ... users only need to implement how
 /// to aggregate"). Takes the current global shared state and the buffered
-/// updates; returns the new global shared state.
+/// updates; returns the new global shared state, or an error Status when
+/// the buffer is unusable (empty cohort, update missing a delta key) —
+/// hostile input must surface as a recoverable error, never a crash.
 class Aggregator {
  public:
   virtual ~Aggregator() = default;
   virtual std::string Name() const = 0;
-  virtual StateDict Aggregate(const StateDict& global,
-                              const std::vector<ClientUpdate>& updates) = 0;
+  virtual Result<StateDict> Aggregate(
+      const StateDict& global, const std::vector<ClientUpdate>& updates) = 0;
 
   /// Persists aggregator-internal course state (e.g. server momentum) into
   /// `p` under `prefix` for crash snapshots. Stateless aggregators write
@@ -65,8 +68,9 @@ class FedAvgAggregator : public Aggregator {
  public:
   explicit FedAvgAggregator(FedAvgOptions options = {}) : options_(options) {}
   std::string Name() const override { return "fedavg"; }
-  StateDict Aggregate(const StateDict& global,
-                      const std::vector<ClientUpdate>& updates) override;
+  Result<StateDict> Aggregate(
+      const StateDict& global,
+      const std::vector<ClientUpdate>& updates) override;
 
  private:
   FedAvgOptions options_;
@@ -81,8 +85,9 @@ class FedOptAggregator : public Aggregator {
         server_momentum_(server_momentum),
         staleness_rho_(staleness_rho) {}
   std::string Name() const override { return "fedopt"; }
-  StateDict Aggregate(const StateDict& global,
-                      const std::vector<ClientUpdate>& updates) override;
+  Result<StateDict> Aggregate(
+      const StateDict& global,
+      const std::vector<ClientUpdate>& updates) override;
   void SaveState(Payload* p, const std::string& prefix) const override;
   void LoadState(const Payload& p, const std::string& prefix) override;
 
@@ -98,8 +103,9 @@ class FedOptAggregator : public Aggregator {
 class FedNovaAggregator : public Aggregator {
  public:
   std::string Name() const override { return "fednova"; }
-  StateDict Aggregate(const StateDict& global,
-                      const std::vector<ClientUpdate>& updates) override;
+  Result<StateDict> Aggregate(
+      const StateDict& global,
+      const std::vector<ClientUpdate>& updates) override;
 };
 
 /// Krum / Multi-Krum Byzantine-robust aggregation (paper §3.6,
@@ -111,8 +117,9 @@ class KrumAggregator : public Aggregator {
   KrumAggregator(int num_malicious, int multi_k = 1)
       : num_malicious_(num_malicious), multi_k_(multi_k) {}
   std::string Name() const override { return "krum"; }
-  StateDict Aggregate(const StateDict& global,
-                      const std::vector<ClientUpdate>& updates) override;
+  Result<StateDict> Aggregate(
+      const StateDict& global,
+      const std::vector<ClientUpdate>& updates) override;
 
   /// Indices of the updates selected in the last Aggregate call.
   const std::vector<int>& last_selection() const { return last_selection_; }
@@ -130,8 +137,9 @@ class TrimmedMeanAggregator : public Aggregator {
   explicit TrimmedMeanAggregator(double trim_frac)
       : trim_frac_(trim_frac) {}
   std::string Name() const override { return "trimmed_mean"; }
-  StateDict Aggregate(const StateDict& global,
-                      const std::vector<ClientUpdate>& updates) override;
+  Result<StateDict> Aggregate(
+      const StateDict& global,
+      const std::vector<ClientUpdate>& updates) override;
 
  private:
   double trim_frac_;
@@ -141,8 +149,9 @@ class TrimmedMeanAggregator : public Aggregator {
 class MedianAggregator : public Aggregator {
  public:
   std::string Name() const override { return "median"; }
-  StateDict Aggregate(const StateDict& global,
-                      const std::vector<ClientUpdate>& updates) override;
+  Result<StateDict> Aggregate(
+      const StateDict& global,
+      const std::vector<ClientUpdate>& updates) override;
 };
 
 /// Computes the per-update weights (num_samples x staleness discount) used

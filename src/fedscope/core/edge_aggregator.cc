@@ -26,6 +26,9 @@ EdgeAggregator::EdgeAggregator(EdgeAggregatorOptions options,
   FS_CHECK_LT(options_.shard, options_.topology.num_shards);
   FS_CHECK_GE(options_.slot, 0);
   FS_CHECK_LE(options_.slot, options_.topology.standbys_per_shard);
+  if (options_.guard.enabled) {
+    guard_ = std::make_unique<UpdateGuard>(options_.guard);
+  }
   RegisterDefaultHandlers();
 }
 
@@ -79,10 +82,12 @@ void EdgeAggregator::OnModelPara(const Message& msg) {
     weights_.clear();
     contributors_.clear();
     declined_ids_.clear();
+    rejected_ids_.clear();
     max_local_steps_ = 1;
   }
   const std::vector<int64_t> cohort = GetPackedInt64s(msg.payload, "cohort");
   const StateDict model = msg.payload.GetStateDict(kModelKey);
+  if (guard_ != nullptr) signature_ = model;
   for (int64_t id : cohort) {
     outstanding_.insert(static_cast<int>(id));
     Message relay;
@@ -135,7 +140,28 @@ void EdgeAggregator::OnModelUpdate(const Message& msg) {
     } else {
       delta = msg.payload.GetStateDict(kDeltaKey);
     }
-    if (!delta.empty()) {
+    bool usable = !delta.empty();
+    if (usable && guard_ != nullptr) {
+      // Violations are booked at the root (quarantine is course-global);
+      // the edge only screens so a poisoned member update never enters
+      // the forwarded partial.
+      const GuardDecision decision = guard_->Inspect(
+          msg.sender, signature_, &delta, /*track_violations=*/false);
+      if (decision.rejected()) {
+        usable = false;
+        rejected_ids_.push_back(msg.sender);
+        ++updates_rejected_;
+        FS_LOG(Warning) << "aggregator " << id_
+                        << " rejecting update from client " << msg.sender
+                        << " (" << GuardReasonLabel(decision.verdict)
+                        << "): " << decision.detail;
+        if (obs_ != nullptr && obs_->enabled()) {
+          obs_->Count("fs_aggregator_updates_rejected_total", 1.0,
+                      {{"reason", GuardReasonLabel(decision.verdict)}});
+        }
+      }
+    }
+    if (usable) {
       deltas_.push_back(std::move(delta));
       weights_.push_back(
           static_cast<double>(msg.payload.GetInt("num_samples", 1)));
@@ -160,7 +186,10 @@ void EdgeAggregator::OnClientFailure(const Message& msg) {
 }
 
 void EdgeAggregator::ForwardPartial(double timestamp) {
-  if (contributors_.empty() && declined_ids_.empty()) return;
+  if (contributors_.empty() && declined_ids_.empty() &&
+      rejected_ids_.empty()) {
+    return;
+  }
   Message partial;
   partial.receiver = kServerId;
   partial.msg_type = events::kPartialUpdate;
@@ -170,6 +199,12 @@ void EdgeAggregator::ForwardPartial(double timestamp) {
   partial.payload.SetInt("shard_epoch", epoch_);
   SetPackedInt64s(&partial.payload, "contributors", contributors_);
   SetPackedInt64s(&partial.payload, "declined_ids", declined_ids_);
+  // Key present only when something was rejected: partials of guard-off
+  // and of guarded-but-clean rounds stay byte-identical on the wire (the
+  // guard-transparency oracle compares payload-size metrics too).
+  if (!rejected_ids_.empty()) {
+    SetPackedInt64s(&partial.payload, "rejected_ids", rejected_ids_);
+  }
   if (!contributors_.empty()) {
     std::vector<const StateDict*> dicts;
     dicts.reserve(deltas_.size());
@@ -190,6 +225,7 @@ void EdgeAggregator::ForwardPartial(double timestamp) {
   weights_.clear();
   contributors_.clear();
   declined_ids_.clear();
+  rejected_ids_.clear();
   max_local_steps_ = 1;
   ReplicateState(timestamp);
 }
@@ -240,6 +276,7 @@ void EdgeAggregator::Promote(double timestamp) {
   weights_.clear();
   contributors_.clear();
   declined_ids_.clear();
+  rejected_ids_.clear();
   max_local_steps_ = 1;
   if (obs_ != nullptr && obs_->enabled()) {
     obs_->Count("fs_aggregator_standby_promotions_total");

@@ -1,12 +1,14 @@
 #ifndef FEDSCOPE_CORE_EDGE_AGGREGATOR_H_
 #define FEDSCOPE_CORE_EDGE_AGGREGATOR_H_
 
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "fedscope/comm/message.h"
 #include "fedscope/core/checkpoint.h"
 #include "fedscope/core/topology.h"
+#include "fedscope/core/update_guard.h"
 #include "fedscope/core/worker.h"
 #include "fedscope/nn/model.h"
 
@@ -20,6 +22,10 @@ struct EdgeAggregatorOptions {
   /// Slot within the shard: 0 is the initial primary, >= 1 are hot
   /// standbys in promotion order.
   int slot = 0;
+  /// Ingress validation for shard member updates, mirroring the root's
+  /// guard so a hostile shard member cannot poison the forwarded partial.
+  /// Disabled by default: guard-off partials are byte-identical.
+  UpdateGuardOptions guard;
 };
 
 /// Intermediate aggregation worker of a hierarchical topology: relays the
@@ -73,6 +79,7 @@ class EdgeAggregator : public BaseWorker {
   int64_t partials_forwarded() const { return partials_forwarded_; }
   int64_t promotions() const { return promotions_; }
   int64_t updates_received() const { return updates_received_; }
+  int64_t updates_rejected() const { return updates_rejected_; }
 
  private:
   void RegisterDefaultHandlers();
@@ -110,11 +117,21 @@ class EdgeAggregator : public BaseWorker {
   std::vector<double> weights_;
   std::vector<int64_t> contributors_;
   std::vector<int64_t> declined_ids_;
+  /// Members whose updates this incarnation's guard rejected since the
+  /// last forwarded partial; shipped to the root for violation booking.
+  std::vector<int64_t> rejected_ids_;
   int max_local_steps_ = 1;
+  /// Null unless options_.guard.enabled; violations are booked at the
+  /// root, so this instance only screens.
+  std::unique_ptr<UpdateGuard> guard_;
+  /// Broadcast model of the current round — the signature member updates
+  /// are validated against (tracked only when the guard is on).
+  StateDict signature_;
   double last_heard_ = 0.0;
   int64_t partials_forwarded_ = 0;
   int64_t promotions_ = 0;
   int64_t updates_received_ = 0;
+  int64_t updates_rejected_ = 0;
 };
 
 }  // namespace fedscope

@@ -104,6 +104,7 @@ void FedRunner::BuildWorkers() {
         options.topology = topo;
         options.shard = shard;
         options.slot = slot;
+        options.guard = job_.server.guard;
         aggregator_index_[AggregatorId(shard, slot)] = aggregators_.size();
         aggregators_.push_back(
             std::make_unique<EdgeAggregator>(options, channel));

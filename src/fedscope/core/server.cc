@@ -23,6 +23,9 @@ Server::Server(ServerOptions options, Model global_model,
       aggregator_(std::move(aggregator)),
       rng_(options_.seed != 0 ? options_.seed : 0x5E17E5) {
   FS_CHECK(aggregator_ != nullptr);
+  if (options_.guard.enabled) {
+    guard_ = std::make_unique<UpdateGuard>(options_.guard);
+  }
   FS_CHECK_GT(options_.concurrency, 0);
   if (options_.topology.hierarchical()) {
     FS_CHECK_OK(ValidateTopology(options_.topology));
@@ -310,8 +313,26 @@ void Server::OnPartialUpdate(const Message& msg) {
       obs_->Count("fs_server_declined_total");
     }
   }
-  covered_this_round_ +=
-      static_cast<int>(contributors.size() + declined.size());
+  // Members whose updates the edge aggregator's guard rejected: they
+  // covered their cohort slot (the shard saw their reply) but contributed
+  // nothing; the root books the violation so quarantine is course-global.
+  const std::vector<int64_t> rejected =
+      GetPackedInt64s(msg.payload, "rejected_ids");
+  for (int64_t id64 : rejected) {
+    const int id = static_cast<int>(id64);
+    busy_.erase(id);
+    ++stats_.updates_rejected;
+    if (record_obs) {
+      ++pending_rejected_;
+      obs_->Count("fs_server_updates_rejected_total", 1.0,
+                  {{"reason", "edge"}});
+    }
+    if (guard_ != nullptr && guard_->RecordViolation(id)) {
+      QuarantineClient(id);
+    }
+  }
+  covered_this_round_ += static_cast<int>(contributors.size() +
+                                          declined.size() + rejected.size());
 
   if (!contributors.empty()) {
     const int staleness = round_ - msg.state;
@@ -331,8 +352,37 @@ void Server::OnPartialUpdate(const Message& msg) {
       update.local_steps =
           static_cast<int>(msg.payload.GetInt("local_steps", 1));
       update.delta = msg.payload.GetStateDict(kDeltaKey);
-      buffer_.push_back(std::move(update));
-      buffer_contributors_.push_back(std::move(contributors));
+      bool usable = true;
+      if (guard_ != nullptr) {
+        // A hostile shard (or an in-flight corruption of the partial) must
+        // not poison the root. The sender is an aggregator, so violations
+        // are not tracked against it — its members were booked at the edge.
+        const StateDict signature =
+            global_model_.GetStateDict(options_.share_filter);
+        const GuardDecision decision = guard_->Inspect(
+            msg.sender, signature, &update.delta, /*track_violations=*/false);
+        if (decision.verdict == GuardVerdict::kClip) {
+          ++stats_.updates_clipped;
+          if (record_obs) obs_->Count("fs_server_updates_clipped_total");
+        }
+        if (decision.rejected()) {
+          usable = false;
+          ++stats_.updates_rejected;
+          if (record_obs) {
+            ++pending_rejected_;
+            obs_->Count("fs_server_updates_rejected_total", 1.0,
+                        {{"reason", GuardReasonLabel(decision.verdict)}});
+          }
+          FS_LOG(Warning) << "rejecting partial from aggregator "
+                          << msg.sender << " ("
+                          << GuardReasonLabel(decision.verdict)
+                          << "): " << decision.detail;
+        }
+      }
+      if (usable) {
+        buffer_.push_back(std::move(update));
+        buffer_contributors_.push_back(std::move(contributors));
+      }
     }
   }
 
@@ -438,7 +488,7 @@ void Server::OnModelUpdate(const Message& msg) {
   }
 
   const int staleness = round_ - msg.state;
-  if (staleness > options_.staleness_tolerance) {
+  if (guard_ == nullptr && staleness > options_.staleness_tolerance) {
     // Outdated beyond toleration: dropped entirely (§3.3.1-i).
     ++stats_.dropped_stale;
     if (record_obs) {
@@ -477,7 +527,34 @@ void Server::OnModelUpdate(const Message& msg) {
     } else {
       update.delta = msg.payload.GetStateDict(kDeltaKey);
     }
-    buffer_.push_back(std::move(update));
+    if (guard_ != nullptr) {
+      // Ingress validation precedes the staleness drop: malformed input is
+      // malformed whatever round it claims, which also keeps the
+      // delivered-poison accounting exact (fuzz oracle 14).
+      const StateDict signature =
+          global_model_.GetStateDict(options_.share_filter);
+      const GuardDecision decision =
+          guard_->Inspect(msg.sender, signature, &update.delta);
+      if (decision.verdict == GuardVerdict::kClip) {
+        ++stats_.updates_clipped;
+        if (record_obs) obs_->Count("fs_server_updates_clipped_total");
+      }
+      if (decision.rejected()) {
+        HandleRejectedUpdate(msg, decision);
+        return;
+      }
+    }
+    if (guard_ != nullptr && staleness > options_.staleness_tolerance) {
+      // Guard-accepted but outdated beyond toleration: dropped exactly as
+      // on the guard-off path (falls through to the trigger checks).
+      ++stats_.dropped_stale;
+      if (record_obs) {
+        ++pending_dropped_;
+        obs_->Count("fs_server_dropped_stale_total");
+      }
+    } else {
+      buffer_.push_back(std::move(update));
+    }
   }
 
   if (feedback_consumer_) {
@@ -553,12 +630,55 @@ bool Server::CountExtensionAndCheckBackstop(const std::string& aggregate_event,
     RaiseEvent(aggregate_event, msg);
     return true;
   }
+  if (aggregate_event == events::kTimeUp && stats_.updates_rejected > 0 &&
+      restaffs_this_round_ < kMaxStarvationRestaffs) {
+    // The course has rejected feedback, so the fleet is (or was) provably
+    // alive: the silence here is typically phantom in-flight slots — a
+    // rejection's replacement handed to a dead client, which Replenish
+    // then counts against concurrency forever. Presume the outstanding
+    // cohort dead and let the caller restaff it instead of giving the
+    // course up. A course that never rejected keeps the legacy abort
+    // bit-exactly (the guard-transparency oracle depends on that), and
+    // the per-round budget keeps a genuinely dead fleet terminating.
+    ++restaffs_this_round_;
+    std::vector<int> outstanding;
+    outstanding.reserve(busy_.size());
+    for (const auto& [id, round] : busy_) outstanding.push_back(id);
+    for (int id : outstanding) busy_.erase(id);
+    stats_.dropouts += static_cast<int64_t>(outstanding.size());
+    if (obs_ != nullptr && obs_->enabled()) {
+      pending_dropouts_ += static_cast<int64_t>(outstanding.size());
+      obs_->Count("fs_server_dropouts_total",
+                  static_cast<double>(outstanding.size()));
+    }
+    extensions_this_round_ = 0;
+    FS_LOG(Warning) << "round " << round_ << " starved after "
+                    << options_.max_round_extensions
+                    << " extensions with rejected feedback on record; "
+                    << "presuming " << outstanding.size()
+                    << " in-flight clients dead and restaffing the cohort ("
+                    << restaffs_this_round_ << "/" << kMaxStarvationRestaffs
+                    << ")";
+    return false;
+  }
   FS_LOG(Warning) << "round " << round_ << " starved after "
                   << options_.max_round_extensions
                   << " extensions with no feedback at all; aborting course";
   stats_.aborted = true;
   FinishCourse(msg);
   return true;
+}
+
+void Server::RestartStarvationBackstop() {
+  // A rejection is proof the fleet is alive, and the replacement broadcast
+  // just put fresh work in flight — the backstop must time the wait for
+  // *that* work, not charge it against the poisoned cohort's extensions
+  // (a whole-cohort attack late in a round would otherwise abort the
+  // course while honest replacements are still training). Bounded:
+  // quarantine exiles each offender after `quarantine_after` rejections,
+  // so the reset cannot recur forever. With quarantine disabled there is
+  // no such bound, so the backstop keeps its presumed-dead semantics.
+  if (options_.guard.quarantine_after > 0) extensions_this_round_ = 0;
 }
 
 void Server::HandleReceiveDeadline(const Message& msg) {
@@ -648,6 +768,72 @@ void Server::OnClientFailure(const Message& msg) {
   }
 }
 
+void Server::HandleRejectedUpdate(const Message& msg,
+                                  const GuardDecision& decision) {
+  const bool record_obs = obs_ != nullptr && obs_->enabled();
+  ++stats_.updates_rejected;
+  if (record_obs) {
+    ++pending_rejected_;
+    obs_->Count("fs_server_updates_rejected_total", 1.0,
+                {{"reason", GuardReasonLabel(decision.verdict)}});
+  }
+  FS_LOG(Warning) << "rejecting update from client " << msg.sender << " ("
+                  << GuardReasonLabel(decision.verdict) << "): "
+                  << decision.detail;
+  if (decision.quarantine) QuarantineClient(msg.sender);
+
+  if (options_.broadcast == BroadcastManner::kAfterReceiving) {
+    // The rebroadcast below refills the pipeline; shrink the cohort the
+    // synchronous trigger waits for, exactly like a declined round.
+    if (sampled_this_round_ > 0) --sampled_this_round_;
+    if (options_.strategy == Strategy::kSyncVanilla &&
+        static_cast<int>(buffer_.size()) >= sampled_this_round_) {
+      RaiseEvent(events::kAllReceived, msg);
+    }
+    if (!finished_) {
+      std::vector<int> refill = SampleIdle(1);
+      BroadcastModel(refill, msg.timestamp);
+      if (!refill.empty()) RestartStarvationBackstop();
+    }
+    return;
+  }
+  // After-aggregating broadcasts: hand the freed slot to an idle client so
+  // the cohort trigger stays whole. A persistent offender is re-drawable
+  // until quarantine exiles it, which bounds the retries at the violation
+  // bar; when nobody is idle the cohort shrinks like a declined round.
+  std::vector<int> replacement = SampleIdle(1);
+  if (!replacement.empty()) {
+    ++stats_.replacements;
+    if (record_obs) {
+      ++pending_replacements_;
+      obs_->Count("fs_server_replacements_total");
+    }
+    BroadcastModel(replacement, msg.timestamp);
+    RestartStarvationBackstop();
+    return;
+  }
+  if (sampled_this_round_ > 0) --sampled_this_round_;
+  if (options_.strategy == Strategy::kSyncVanilla && !buffer_.empty() &&
+      static_cast<int>(buffer_.size()) >= sampled_this_round_) {
+    RaiseEvent(events::kAllReceived, msg);
+  }
+}
+
+void Server::QuarantineClient(int id) {
+  if (clients_.erase(id) > 0 && id >= 1 && id <= max_joined_) {
+    removed_.insert(id);
+  }
+  busy_.erase(id);
+  stats_.quarantined.push_back(id);
+  if (obs_ != nullptr && obs_->enabled()) {
+    ++pending_quarantined_;
+    obs_->Count("fs_server_clients_quarantined_total");
+  }
+  FS_LOG(Warning) << "client " << id << " quarantined after "
+                  << options_.guard.quarantine_after
+                  << " guard violations; removed from the sampling pool";
+}
+
 void Server::PerformAggregation(const std::string& trigger,
                                 const Message& context) {
   if (finished_ || buffer_.empty()) return;
@@ -715,12 +901,25 @@ void Server::PerformAggregation(const std::string& trigger,
 
   const StateDict global_shared =
       global_model_.GetStateDict(options_.share_filter);
-  StateDict next = aggregator_->Aggregate(global_shared, usable);
-  FS_CHECK_OK(global_model_.LoadStateDict(next));
+  Result<StateDict> next = aggregator_->Aggregate(global_shared, usable);
+  if (!next.ok()) {
+    // A hostile or degenerate cohort must extend the round, not kill the
+    // course: keep the model, keep the timer chain alive, and let the
+    // deadline machinery resample (the extension backstop still bounds it).
+    FS_LOG(Warning) << "aggregation failed at round " << round_ << ": "
+                    << next.status().ToString();
+    if (record_obs) obs_->Count("fs_server_aggregation_failures_total");
+    if (options_.strategy == Strategy::kAsyncTime || deadline_active()) {
+      ScheduleTimer(context.timestamp);
+    }
+    return;
+  }
+  FS_CHECK_OK(global_model_.LoadStateDict(next.value()));
 
   ++round_;
   stats_.rounds = round_;
   extensions_this_round_ = 0;
+  restaffs_this_round_ = 0;
 
   const size_t curve_size_before = stats_.curve.size();
   const bool stopped = EvaluateAndCheckStop(context);
@@ -799,6 +998,8 @@ void Server::RecordRound(const std::string& trigger, const Message& context,
     record.replacements = pending_replacements_;
     record.partial_updates = pending_partials_;
     record.shard_failovers = pending_failovers_;
+    record.updates_rejected = pending_rejected_;
+    record.clients_quarantined = pending_quarantined_;
     if (evaluated) {
       record.evaluated = true;
       record.eval_accuracy = stats_.curve.back().second;
@@ -816,6 +1017,8 @@ void Server::RecordRound(const std::string& trigger, const Message& context,
   pending_replacements_ = 0;
   pending_partials_ = 0;
   pending_failovers_ = 0;
+  pending_rejected_ = 0;
+  pending_quarantined_ = 0;
 }
 
 bool Server::EvaluateAndCheckStop(const Message& context) {

@@ -13,6 +13,7 @@
 #include "fedscope/core/sampler.h"
 #include "fedscope/core/topology.h"
 #include "fedscope/core/trainer.h"
+#include "fedscope/core/update_guard.h"
 #include "fedscope/core/worker.h"
 #include "fedscope/nn/model.h"
 #include "fedscope/util/config.h"
@@ -85,6 +86,9 @@ struct ServerOptions {
   /// active edge aggregator and aggregates partial_update messages instead
   /// of per-client model_update ones.
   Topology topology;
+  /// Ingress update validation (DESIGN.md §14). Disabled by default:
+  /// guard-off courses are byte-identical to the pre-guard behaviour.
+  UpdateGuardOptions guard;
   uint64_t seed = 0;
 
   ServerOptions() : share_filter(AcceptAll()) {}
@@ -122,6 +126,14 @@ struct ServerStats {
   /// Partial updates rejected for carrying a superseded shard epoch
   /// (messages from a dead aggregator incarnation).
   int64_t stale_partials = 0;
+  /// Updates rejected by the ingress guard (DESIGN.md §14), including
+  /// edge-aggregator rejections reported through partials.
+  int64_t updates_rejected = 0;
+  /// Over-norm updates scaled down to the L2 bound (guard clip mode).
+  int64_t updates_clipped = 0;
+  /// Clients exiled from the sampling pool after reaching the guard's
+  /// violation bar, in quarantine order.
+  std::vector<int> quarantined;
   int rounds = 0;
   bool reached_target = false;
   /// Virtual seconds to reach target accuracy (-1 if never).
@@ -178,6 +190,8 @@ class Server : public BaseWorker {
   const ServerOptions& options() const { return options_; }
   const ServerStats& stats() const { return stats_; }
   bool finished() const { return finished_; }
+  /// Null unless options().guard.enabled.
+  const UpdateGuard* guard() const { return guard_.get(); }
   int round() const { return round_; }
   int joined_clients() const { return static_cast<int>(clients_.size()); }
   const std::vector<ClientUpdate>& buffer() const { return buffer_; }
@@ -192,6 +206,18 @@ class Server : public BaseWorker {
   /// Hierarchical topologies: one weighted pre-aggregated update from an
   /// edge aggregator, covering (part of) its shard's cohort.
   void OnPartialUpdate(const Message& msg);
+  /// Guard bookkeeping for one rejected update, then the declined-style
+  /// cohort repair: refill the freed slot (after-aggregating) or lean on
+  /// the after-receiving rebroadcast, so an all-rejected cohort extends
+  /// the round instead of stalling or crashing.
+  void HandleRejectedUpdate(const Message& msg, const GuardDecision& decision);
+  /// Resets the round-extension backstop after a rejection put a
+  /// replacement broadcast in flight; quarantine bounds the recurrence,
+  /// so the reset is skipped when quarantine is disabled.
+  void RestartStarvationBackstop();
+  /// Exiles a client via the presume-dead machinery (removed_): it leaves
+  /// the sampling pool for the rest of the course.
+  void QuarantineClient(int id);
   /// Hierarchical topologies: a standby took over a shard. Bumps the
   /// shard's epoch, reroutes to the new aggregator, and re-broadcasts the
   /// shard's in-flight cohort through it.
@@ -252,6 +278,8 @@ class Server : public BaseWorker {
   ServerOptions options_;
   Model global_model_;
   std::unique_ptr<Aggregator> aggregator_;
+  /// Constructed only when options_.guard.enabled (zero cost otherwise).
+  std::unique_ptr<UpdateGuard> guard_;
   std::unique_ptr<Sampler> sampler_;
   Rng rng_;
 
@@ -284,6 +312,13 @@ class Server : public BaseWorker {
   std::vector<int> shard_active_slot_;
   int sampled_this_round_ = 0;   // cohort size for all_received
   int extensions_this_round_ = 0;  // consecutive extensions (backstop)
+  /// Starved-round restaff cycles this round: once the course has
+  /// rejected feedback (so the fleet is provably alive), a starved
+  /// backstop presumes the in-flight cohort dead and restaffs it instead
+  /// of aborting — at most this many times per round, so a genuinely
+  /// dead fleet still terminates.
+  static constexpr int kMaxStarvationRestaffs = 3;
+  int restaffs_this_round_ = 0;
   int round_ = 0;
   bool started_ = false;
   bool finished_ = false;
@@ -304,6 +339,8 @@ class Server : public BaseWorker {
   int64_t pending_replacements_ = 0;
   int64_t pending_partials_ = 0;
   int64_t pending_failovers_ = 0;
+  int64_t pending_rejected_ = 0;
+  int64_t pending_quarantined_ = 0;
 };
 
 }  // namespace fedscope

@@ -5,8 +5,8 @@
 // Schema (all keys inside Checkpoint::course):
 //   strategy, seed, expected_clients        identity guard
 //   started, finished, sampled_this_round,
-//   extensions_this_round, evals_since_best,
-//   last_eval_loss                          progress scalars
+//   extensions_this_round, restaffs_this_round,
+//   evals_since_best, last_eval_loss        progress scalars
 //   rng                                     packed u64 words (Rng::SaveState)
 //   clients, busy/ids, busy/rounds,
 //   resp_scores                             membership
@@ -45,6 +45,7 @@ void Server::ExportSnapshot(Checkpoint* checkpoint) {
   p.SetInt("finished", finished_ ? 1 : 0);
   p.SetInt("sampled_this_round", sampled_this_round_);
   p.SetInt("extensions_this_round", extensions_this_round_);
+  p.SetInt("restaffs_this_round", restaffs_this_round_);
   p.SetInt("evals_since_best", evals_since_best_);
   p.SetDouble("last_eval_loss", last_eval_loss_);
 
@@ -93,6 +94,21 @@ void Server::ExportSnapshot(Checkpoint* checkpoint) {
     p.SetInt("stats/stale_partials", stats_.stale_partials);
     p.SetInt("obs/pending_partials", pending_partials_);
     p.SetInt("obs/pending_failovers", pending_failovers_);
+  }
+
+  // Guard keys exist only for guarded courses, keeping guard-off
+  // snapshots byte-identical to the pre-guard schema. Quarantined members
+  // need no membership key: they are gaps in `clients`, which restore
+  // already rebuilds into removed_.
+  if (guard_ != nullptr) {
+    guard_->SaveState(&p, "guard");
+    p.SetInt("stats/updates_rejected", stats_.updates_rejected);
+    p.SetInt("stats/updates_clipped", stats_.updates_clipped);
+    SetPackedInt64s(&p, "stats/quarantined",
+                    std::vector<int64_t>(stats_.quarantined.begin(),
+                                         stats_.quarantined.end()));
+    p.SetInt("obs/pending_rejected", pending_rejected_);
+    p.SetInt("obs/pending_quarantined", pending_quarantined_);
   }
 
   if (sampler_) {
@@ -171,6 +187,7 @@ Status Server::RestoreSnapshot(const Checkpoint& checkpoint) {
   finished_ = p.GetInt("finished") != 0;
   sampled_this_round_ = static_cast<int>(p.GetInt("sampled_this_round"));
   extensions_this_round_ = static_cast<int>(p.GetInt("extensions_this_round"));
+  restaffs_this_round_ = static_cast<int>(p.GetInt("restaffs_this_round"));
   evals_since_best_ = static_cast<int>(p.GetInt("evals_since_best"));
   last_eval_loss_ = p.GetDouble("last_eval_loss");
 
@@ -305,6 +322,18 @@ Status Server::RestoreSnapshot(const Checkpoint& checkpoint) {
   if (options_.topology.hierarchical()) {
     stats_.shard_failovers = p.GetInt("stats/shard_failovers");
     stats_.stale_partials = p.GetInt("stats/stale_partials");
+  }
+
+  if (guard_ != nullptr) {
+    guard_->LoadState(p, "guard");
+    stats_.updates_rejected = p.GetInt("stats/updates_rejected");
+    stats_.updates_clipped = p.GetInt("stats/updates_clipped");
+    stats_.quarantined.clear();
+    for (int64_t id : GetPackedInt64s(p, "stats/quarantined")) {
+      stats_.quarantined.push_back(static_cast<int>(id));
+    }
+    pending_rejected_ = p.GetInt("obs/pending_rejected");
+    pending_quarantined_ = p.GetInt("obs/pending_quarantined");
   }
 
   last_agg_time_ = p.GetDouble("obs/last_agg_time");

@@ -15,6 +15,23 @@ void FaultInjectingChannel::Send(const Message& msg) {
     }
     return;
   }
+  if (!fate.hostile.empty()) {
+    // The mutation happens in flight, after the honest worker produced its
+    // update, so both transports see the identical attack surface.
+    Message poisoned = msg;
+    ApplyHostileMutation(fate, &poisoned);
+    if (obs_ != nullptr) {
+      obs_->Count("fs_fault_messages_poisoned_total", 1.0,
+                  {{"kind", fate.hostile}});
+    }
+    Forward(fate, poisoned);
+    return;
+  }
+  Forward(fate, msg);
+}
+
+void FaultInjectingChannel::Forward(const FaultPlan::MessageFate& fate,
+                                    const Message& msg) {
   if (fate.extra_delay > 0.0) {
     if (obs_ != nullptr) {
       obs_->Count("fs_fault_messages_delayed_total", 1.0,

@@ -25,6 +25,10 @@ class FaultInjectingChannel : public CommChannel {
   void set_obs(const ObsContext* obs) { obs_ = obs; }
 
  private:
+  /// Applies the delay/duplicate parts of a fate and hands off to the
+  /// inner channel.
+  void Forward(const FaultPlan::MessageFate& fate, const Message& msg);
+
   CommChannel* inner_;
   FaultPlan* plan_;
   const ObsContext* obs_ = nullptr;

@@ -72,6 +72,22 @@ struct FaultPlanOptions {
   /// -1 disables.
   int aggregator_straggler_shard = -1;
   double aggregator_straggler_delay = 0.0;
+  // -- hostile clients (DESIGN.md §14) --------------------------------------
+  /// Fraction of the fleet acting as Byzantine attackers: their
+  /// model_update payloads are mutated in flight by the channel decorator,
+  /// so workers stay unchanged and both transports see identical attacks.
+  /// The hostile set is chosen once, seeded, at plan construction.
+  double hostile_frac = 0.0;
+  /// Attack applied to hostile uplinks: "nan" | "inf" (non-finite poison),
+  /// "sign_flip", "scale" (gradient scaling by `hostile_scale`),
+  /// "malformed" (renamed + reshaped tensor, still codec-valid), "replay"
+  /// (stale-round replay), or "mixed" (per-message seeded draw among the
+  /// six).
+  std::string hostile_mode = "nan";
+  /// Per-update probability that a hostile client actually attacks.
+  double hostile_prob = 1.0;
+  /// Multiplier used by the "scale" attack.
+  double hostile_scale = 1e6;
   /// Seed of the plan's private rng stream (0 picks a fixed default).
   uint64_t seed = 0;
 };
@@ -93,6 +109,10 @@ class FaultPlan {
     bool duplicate = false;
     /// Extra virtual seconds added to the delivery timestamp.
     double extra_delay = 0.0;
+    /// Resolved hostile mutation for this message ("" = none). Applied by
+    /// ApplyHostileMutation in the channel decorator.
+    std::string hostile;
+    double hostile_scale = 1.0;
   };
 
   /// Fault totals, by cause (for tests and the fault-tolerance bench).
@@ -108,6 +128,13 @@ class FaultPlan {
     /// Messages addressed to a crashed edge aggregator and dropped at
     /// delivery (counted by the runner via CountDeadAggregatorDrop).
     int64_t aggregator_dropped = 0;
+    /// Hostile mutations, by kind (what fuzz oracle 14 reconciles against
+    /// the server's rejection counts).
+    int64_t poisoned_nonfinite = 0;
+    int64_t sign_flipped = 0;
+    int64_t scaled = 0;
+    int64_t malformed = 0;
+    int64_t replayed = 0;
   };
 
   /// All-null plan: enabled() is false and Judge never faults.
@@ -122,6 +149,8 @@ class FaultPlan {
   }
   const std::set<int>& dropped_clients() const { return dropped_; }
   const std::set<int>& straggler_clients() const { return stragglers_; }
+  bool IsHostile(int client_id) const { return hostile_.count(client_id) > 0; }
+  const std::set<int>& hostile_clients() const { return hostile_; }
 
   /// Decides the fate of one in-flight message, consuming the plan's rng.
   /// Must be called in a deterministic message order for reproducibility
@@ -142,10 +171,21 @@ class FaultPlan {
   bool enabled_ = false;
   std::set<int> dropped_;
   std::set<int> stragglers_;
+  std::set<int> hostile_;
   std::map<std::pair<int, int>, int> aggregator_crash_rounds_;
   Rng rng_{0};
+  /// Separate stream for hostile draws so adding hostility never perturbs
+  /// the dropout/straggler/channel fault sequences of an existing seed.
+  Rng hostile_rng_{0};
   Counters counters_;
 };
+
+/// Applies the mutation `fate.hostile` resolved by Judge to `msg` in
+/// place. Every mutation stays wire-codec-valid (the through-wire check
+/// still round-trips): non-finite poison and sign flips rewrite tensor
+/// values, "malformed" renames and reshapes a tensor, "replay" rewinds the
+/// claimed round. No-op when `fate.hostile` is empty.
+void ApplyHostileMutation(const FaultPlan::MessageFate& fate, Message* msg);
 
 }  // namespace fedscope
 

@@ -114,6 +114,12 @@ std::string CourseLog::ToJsonl() const {
       os << ",\"partial_updates\":" << r.partial_updates
          << ",\"shard_failovers\":" << r.shard_failovers;
     }
+    // Guard fields appear only on rounds with guard activity, keeping
+    // guard-off course logs byte-identical to the pre-guard format.
+    if (r.updates_rejected != 0 || r.clients_quarantined != 0) {
+      os << ",\"updates_rejected\":" << r.updates_rejected
+         << ",\"clients_quarantined\":" << r.clients_quarantined;
+    }
     // Snapshot fields appear only on snapshotted rounds, keeping
     // snapshot-free course logs byte-identical to the previous format.
     if (r.snapshots != 0) {
@@ -134,14 +140,19 @@ std::string CourseLog::ToCsv() const {
   // Topology columns appear only when some round has topology activity,
   // keeping flat course CSVs byte-identical to the pre-topology format.
   bool topology = false;
+  // Guard columns likewise appear only when some round rejected or
+  // quarantined, keeping guard-off CSVs byte-identical to the old format.
+  bool guard = false;
   for (const auto& r : rounds_) {
     if (r.partial_updates != 0 || r.shard_failovers != 0) topology = true;
+    if (r.updates_rejected != 0 || r.clients_quarantined != 0) guard = true;
   }
   std::ostringstream os;
   os << "round,trigger,time,contributors,staleness,uplink_bytes,"
         "downlink_bytes,broadcasts,dropped_stale,declined,dropouts,"
         "replacements,";
   if (topology) os << "partial_updates,shard_failovers,";
+  if (guard) os << "updates_rejected,clients_quarantined,";
   os << "snapshots,snapshot_bytes,evaluated,eval_accuracy,eval_loss\n";
   for (const auto& r : rounds_) {
     os << r.round << "," << r.trigger << "," << FormatTime(r.time) << ","
@@ -150,6 +161,9 @@ std::string CourseLog::ToCsv() const {
        << r.broadcasts << "," << r.dropped_stale << "," << r.declined << ","
        << r.dropouts << "," << r.replacements << ",";
     if (topology) os << r.partial_updates << "," << r.shard_failovers << ",";
+    if (guard) {
+      os << r.updates_rejected << "," << r.clients_quarantined << ",";
+    }
     os << r.snapshots << "," << r.snapshot_bytes << "," << (r.evaluated ? 1 : 0)
        << "," << (r.evaluated ? FormatEval(r.eval_accuracy) : "") << ","
        << (r.evaluated ? FormatEval(r.eval_loss) : "") << "\n";

@@ -49,6 +49,11 @@ struct CourseRoundRecord {
   int64_t partial_updates = 0;
   /// Standby promotions the root acknowledged this round.
   int64_t shard_failovers = 0;
+  /// Updates the ingress guard rejected this round (signature / non-finite
+  /// / over-norm, plus edge-aggregator rejects); 0 when the guard is off.
+  int64_t updates_rejected = 0;
+  /// Clients quarantined out of the sampling pool this round.
+  int64_t clients_quarantined = 0;
   /// True when the server evaluated the global model after this round.
   bool evaluated = false;
   double eval_accuracy = 0.0;

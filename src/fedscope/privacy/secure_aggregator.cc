@@ -5,9 +5,11 @@
 
 namespace fedscope {
 
-StateDict SecureAverageAggregator::Aggregate(
+Result<StateDict> SecureAverageAggregator::Aggregate(
     const StateDict& global, const std::vector<ClientUpdate>& updates) {
-  FS_CHECK(!updates.empty());
+  if (updates.empty()) {
+    return Status::FailedPrecondition("secure_average: no usable updates");
+  }
   StateDict next = global;
   if (updates.size() == 1) {
     SdAxpy(&next, 1.0f, updates[0].delta);

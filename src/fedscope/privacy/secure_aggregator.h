@@ -22,8 +22,9 @@ class SecureAverageAggregator : public Aggregator {
       : rng_(seed), frac_bits_(frac_bits) {}
 
   std::string Name() const override { return "secure_average"; }
-  StateDict Aggregate(const StateDict& global,
-                      const std::vector<ClientUpdate>& updates) override;
+  Result<StateDict> Aggregate(
+      const StateDict& global,
+      const std::vector<ClientUpdate>& updates) override;
 
  private:
   Rng rng_;

@@ -2,6 +2,7 @@
 #define FEDSCOPE_TENSOR_TENSOR_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -67,8 +68,17 @@ class Tensor {
 
   std::string ShapeString() const;
 
+  /// Bitwise, not arithmetic: equality means "same bits", so a NaN equals
+  /// its own retransmission. IEEE `==` (NaN != NaN) would let a poisoned
+  /// update defeat duplicate suppression — the dedup tables compare
+  /// payloads, and a hostile client that planted a NaN would have every
+  /// retransmitted copy of the same frame treated as fresh (and billed as
+  /// a fresh guard violation).
   bool operator==(const Tensor& other) const {
-    return shape_ == other.shape_ && data_ == other.data_;
+    return shape_ == other.shape_ && data_.size() == other.data_.size() &&
+           (data_.empty() ||
+            std::memcmp(data_.data(), other.data_.data(),
+                        data_.size() * sizeof(float)) == 0);
   }
 
  private:

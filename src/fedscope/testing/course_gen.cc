@@ -103,6 +103,14 @@ Config CourseSpec::ToConfig() const {
   c.Set("fault.msg_duplicate_prob", fault_msg_duplicate_prob);
   c.Set("fault.msg_delay_prob", fault_msg_delay_prob);
   c.Set("fault.msg_delay_max", fault_msg_delay_max);
+  c.Set("guard.enabled", guard);
+  c.Set("guard.l2", guard_l2);
+  c.Set("guard.clip", guard_clip);
+  c.Set("guard.quarantine_after", guard_k);
+  c.Set("fault.hostile_frac", hostile_frac);
+  c.Set("fault.hostile_mode", hostile_mode);
+  c.Set("fault.hostile_prob", hostile_prob);
+  c.Set("fault.hostile_scale", hostile_scale);
   return c;
 }
 
@@ -190,6 +198,15 @@ Result<CourseSpec> CourseSpec::FromConfig(const Config& config) {
       config.GetDouble("fault.msg_delay_prob", s.fault_msg_delay_prob);
   s.fault_msg_delay_max =
       config.GetDouble("fault.msg_delay_max", s.fault_msg_delay_max);
+  s.guard = config.GetBool("guard.enabled", s.guard);
+  s.guard_l2 = config.GetDouble("guard.l2", s.guard_l2);
+  s.guard_clip = config.GetBool("guard.clip", s.guard_clip);
+  s.guard_k =
+      static_cast<int>(config.GetInt("guard.quarantine_after", s.guard_k));
+  s.hostile_frac = config.GetDouble("fault.hostile_frac", s.hostile_frac);
+  s.hostile_mode = config.GetString("fault.hostile_mode", s.hostile_mode);
+  s.hostile_prob = config.GetDouble("fault.hostile_prob", s.hostile_prob);
+  s.hostile_scale = config.GetDouble("fault.hostile_scale", s.hostile_scale);
   FS_RETURN_IF_ERROR(CourseGen::Validate(s));
   return s;
 }
@@ -325,6 +342,26 @@ CourseSpec CourseGen::Sample(uint64_t seed) {
   // course size by ~3x, so most specs stay small and fast.
   if (rng.Bernoulli(0.25)) s.population = rng.UniformInt(12, 28);
 
+  // Hostility axis (ingress guard + Byzantine clients, DESIGN.md §14),
+  // appended last for the same corpus-stability reason. A minority draw:
+  // Clamp projects hostile specs onto the guarded robust-aggregator
+  // sub-lattice, so a frequent draw would erode benign diversity. A second
+  // small draw turns the guard on for benign courses, so the
+  // guard-transparency oracle also sees guards that never fire.
+  if (rng.Bernoulli(0.2)) {
+    s.hostile_frac = rng.Uniform(0.1, 0.35);
+    s.hostile_mode = PickOne<std::string>(
+        &rng, {"nan", "inf", "sign_flip", "scale", "malformed", "replay",
+               "mixed"});
+    s.hostile_prob = rng.Uniform(0.5, 1.0);
+    s.hostile_scale = PickOne<double>(&rng, {1e3, 1e6});
+    s.guard_k = rng.UniformInt(1, 3);
+    s.guard_l2 = rng.Bernoulli(0.3) ? 50.0 : 0.0;
+    s.guard_clip = s.guard_l2 > 0.0 && rng.Bernoulli(0.5);
+  } else if (rng.Bernoulli(0.15)) {
+    s.guard = true;
+  }
+
   return Clamp(s);
 }
 
@@ -348,8 +385,8 @@ CourseSpec CourseGen::Clamp(CourseSpec s) {
   if (!OneOf(s.sampler, {"uniform", "responsiveness", "group"})) {
     s.sampler = "uniform";
   }
-  if (!OneOf(s.aggregator,
-             {"fedavg", "fedopt", "fednova", "median", "trimmed_mean"})) {
+  if (!OneOf(s.aggregator, {"fedavg", "fedopt", "fednova", "median",
+                            "trimmed_mean", "krum"})) {
     s.aggregator = "fedavg";
   }
   if (!OneOf(s.personalization, {"none", "fedbn", "ditto", "pfedme"})) {
@@ -493,6 +530,75 @@ CourseSpec CourseGen::Clamp(CourseSpec s) {
     // second clamp is idempotent).
     s.pool_size = clamp_int(s.pool_size, 8 * s.population, 400);
   }
+
+  // -- hostility + guard rules (DESIGN.md §14) ------------------------------
+  if (!OneOf(s.hostile_mode, {"nan", "inf", "sign_flip", "scale", "malformed",
+                              "replay", "mixed"})) {
+    s.hostile_mode = "nan";
+  }
+  s.hostile_frac = clamp_double(s.hostile_frac, 0.0, 0.35);
+  if (!s.Hostile()) {
+    // Benign: the hostile knobs collapse to canonical defaults so every
+    // pre-guard corpus line keeps its historical repro form.
+    s.hostile_mode = "nan";
+    s.hostile_prob = 1.0;
+    s.hostile_scale = 1e6;
+  } else {
+    s.hostile_prob = clamp_double(s.hostile_prob, 0.1, 1.0);
+    s.hostile_scale = clamp_double(s.hostile_scale, 2.0, 1e8);
+    // Every hostile course runs guarded: malformed payloads must be
+    // screened at ingress or aggregation itself becomes the failure point.
+    s.guard = true;
+    // Poisoned quantized/sparse payloads would fail transport decoding
+    // instead of ingress validation; hostile courses pin the raw encoding
+    // so the guard, not the codec, is what the attack meets.
+    s.compression = "none";
+    // Leave idle benign capacity to replace quarantined attackers.
+    s.concurrency = clamp_int(s.concurrency, 2,
+                              std::max(2, (s.EffectiveClients() * 3) / 5));
+    s.aggregation_goal = std::min(s.aggregation_goal, s.concurrency);
+    s.min_received = std::min(s.min_received, s.concurrency);
+    if (!s.Hierarchical()) {
+      // The root aggregates raw cohorts: it needs a Byzantine-robust
+      // aggregator. (Hierarchical roots see edge-guarded partials and stay
+      // on the weighted mean the topology lattice requires.)
+      if (s.aggregator == "fedavg") {
+        s.aggregator = "median";
+      } else if (s.aggregator == "fedopt") {
+        s.aggregator = "trimmed_mean";
+      } else if (s.aggregator == "fednova") {
+        s.aggregator = "krum";
+      }
+      if (s.aggregator == "trimmed_mean") {
+        // The trim must out-vote the hostile share, or the attack sits
+        // inside the aggregator's breakdown point by construction.
+        s.trim_frac = clamp_double(s.trim_frac, s.hostile_frac + 0.05, 0.45);
+      }
+      if (s.strategy == "async_goal") {
+        // Rejected updates never fill the goal; the rebroadcast-per-reply
+        // cycle keeps feedback flowing until quarantine exiles attackers.
+        s.broadcast = "after_receiving";
+      }
+      const bool hostile_sync = s.strategy == "sync_vanilla" ||
+                                s.strategy == "sync_overselect";
+      if (hostile_sync && s.receive_deadline <= 0.0) {
+        // Same backstop as lossy faults: a rejection can shrink a
+        // synchronous cohort mid-round.
+        s.receive_deadline = 0.75;
+      }
+    }
+  }
+  if (!s.guard) {
+    // Guard-off canonical form (pre-guard corpus lines keep their shape).
+    s.guard_l2 = 0.0;
+    s.guard_clip = false;
+    s.guard_k = 3;
+  } else {
+    s.guard_k = clamp_int(s.guard_k, 1, 5);
+    s.guard_l2 =
+        s.guard_l2 <= 0.0 ? 0.0 : clamp_double(s.guard_l2, 10.0, 1e4);
+    if (s.guard_l2 <= 0.0) s.guard_clip = false;
+  }
   return s;
 }
 
@@ -519,6 +625,15 @@ std::unique_ptr<Aggregator> MakeSpecAggregator(const CourseSpec& spec) {
   }
   if (spec.aggregator == "trimmed_mean") {
     return std::make_unique<TrimmedMeanAggregator>(spec.trim_frac);
+  }
+  if (spec.aggregator == "krum") {
+    // Budget f from the spec's own hostile share of one cohort; Krum wants
+    // at least n - f - 2 honest-majority neighbours, so multi_k shrinks
+    // with the cohort rather than going negative.
+    const int f = std::max(
+        1, static_cast<int>(std::lround(spec.hostile_frac * spec.concurrency)));
+    const int multi_k = std::max(1, spec.concurrency - f - 2);
+    return std::make_unique<KrumAggregator>(f, multi_k);
   }
   return std::make_unique<FedAvgAggregator>(
       FedAvgOptions{1.0, spec.staleness_rho});
@@ -653,6 +768,15 @@ FedJob CourseFixture::MakeJob() const {
   job.fault.msg_delay_prob = s.fault_msg_delay_prob;
   job.fault.msg_delay_max = s.fault_msg_delay_max;
   job.fault.seed = s.seed ^ 0xfa017ull;
+
+  job.server.guard.enabled = s.guard;
+  job.server.guard.l2_bound = s.guard_l2;
+  job.server.guard.clip_to_bound = s.guard_clip;
+  job.server.guard.quarantine_after = s.guard_k;
+  job.fault.hostile_frac = s.hostile_frac;
+  job.fault.hostile_mode = s.hostile_mode;
+  job.fault.hostile_prob = s.hostile_prob;
+  job.fault.hostile_scale = s.hostile_scale;
 
   if (s.personalization == "fedbn") ApplyFedBn(&job);
   return job;

@@ -53,7 +53,7 @@ struct CourseSpec {
 
   // -- plug-ins -------------------------------------------------------------
   std::string aggregator = "fedavg";
-  ///< "fedavg" | "fedopt" | "fednova" | "median" | "trimmed_mean"
+  ///< "fedavg"|"fedopt"|"fednova"|"median"|"trimmed_mean"|"krum"
   double trim_frac = 0.2;
   std::string personalization = "none";  ///< "none"|"fedbn"|"ditto"|"pfedme"
   std::string compression = "none";      ///< "none" | "quant8" | "topk"
@@ -107,6 +107,25 @@ struct CourseSpec {
   double fault_msg_delay_prob = 0.0;
   double fault_msg_delay_max = 0.0;
 
+  // -- ingress guard + hostile clients (DESIGN.md §14) ----------------------
+  /// Server-side ingress validation of every received update (shape
+  /// signature, finiteness, optional L2 bound). Forced on whenever
+  /// hostile_frac > 0; may also be on for benign courses (oracle 13 checks
+  /// that a guard which never fires is bit-invisible).
+  bool guard = false;
+  /// L2-norm bound on accepted deltas; 0 disables the norm screen.
+  double guard_l2 = 0.0;
+  /// Clip over-norm deltas to the bound instead of rejecting them.
+  bool guard_clip = false;
+  /// Violations before a client is quarantined out of the sampling pool.
+  int guard_k = 3;
+  /// Fraction of the fleet mutated in flight by the fault plan (0 = none).
+  double hostile_frac = 0.0;
+  std::string hostile_mode = "nan";
+  ///< "nan"|"inf"|"sign_flip"|"scale"|"malformed"|"replay"|"mixed"
+  double hostile_prob = 1.0;
+  double hostile_scale = 1e6;
+
   bool operator==(const CourseSpec& other) const;
   bool operator!=(const CourseSpec& other) const { return !(*this == other); }
 
@@ -118,6 +137,9 @@ struct CourseSpec {
 
   /// True when the spec runs a hierarchical (sharded) aggregation tree.
   bool Hierarchical() const { return topology_shards > 0; }
+
+  /// True when part of the fleet attacks (hostile-client axis active).
+  bool Hostile() const { return hostile_frac > 0.0; }
 
   /// The participant count the course actually runs with.
   int EffectiveClients() const {

@@ -10,6 +10,7 @@
 
 #include "fedscope/comm/socket_transport.h"
 #include "fedscope/core/distributed.h"
+#include "fedscope/core/events.h"
 #include "fedscope/personalization/fedbn.h"
 #include "fedscope/util/rng.h"
 
@@ -54,6 +55,27 @@ bool StateDictsBitEqual(const StateDict& a, const StateDict& b,
 void Check(std::vector<Violation>* v, bool ok, const std::string& oracle,
            const std::string& detail) {
   if (!ok) v->push_back({oracle, detail});
+}
+
+bool StateDictFinite(const StateDict& sd, std::string* detail) {
+  for (const auto& [name, tensor] : sd) {
+    for (int64_t k = 0; k < tensor.numel(); ++k) {
+      if (!std::isfinite(tensor.at(k))) {
+        *detail = name + "[" + std::to_string(k) + "] is non-finite";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool PayloadHasNonFiniteTensor(const Payload& payload) {
+  for (const auto& [name, tensor] : payload.tensors()) {
+    for (int64_t k = 0; k < tensor.numel(); ++k) {
+      if (!std::isfinite(tensor.at(k))) return true;
+    }
+  }
+  return false;
 }
 
 template <typename T>
@@ -122,8 +144,14 @@ CourseObservation RunInstrumentedCourse(const CourseSpec& spec,
     job.obs.course_log = &obs.course_log;
   }
   double last_delivery_time = -1.0;
+  // Oracle 14 reconciles delivered poison against ingress rejections; the
+  // scan only runs for hostile specs, and reads the live server through the
+  // runner so the crash drill's server replacement cannot dangle it.
+  const bool hostile_watch = spec.Hostile();
+  FedRunner* live_runner = nullptr;
   job.send_tap = [&obs](const Message&) { ++obs.sent; };
-  job.delivery_tap = [&obs, &last_delivery_time](const Message& msg) {
+  job.delivery_tap = [&obs, &last_delivery_time, hostile_watch,
+                      &live_runner](const Message& msg) {
     ++obs.delivered;
     if (msg.timestamp < last_delivery_time && obs.time_regression.empty()) {
       std::ostringstream out;
@@ -133,14 +161,21 @@ CourseObservation RunInstrumentedCourse(const CourseSpec& spec,
       obs.time_regression = out.str();
     }
     last_delivery_time = std::max(last_delivery_time, msg.timestamp);
+    if (hostile_watch && msg.msg_type == events::kModelUpdate &&
+        live_runner != nullptr && !live_runner->server()->finished() &&
+        PayloadHasNonFiniteTensor(msg.payload)) {
+      ++obs.nonfinite_updates_delivered;
+    }
   };
 
   FedRunner runner(std::move(job));
+  live_runner = &runner;
   obs.result = runner.Run();
   obs.finished = runner.server()->finished();
   obs.suppressed = runner.duplicates_suppressed();
   obs.recoveries = runner.recoveries();
   obs.fault = runner.fault_plan().counters();
+  obs.hostile = runner.fault_plan().hostile_clients();
   obs.aggregators_killed = runner.aggregators_killed();
   for (const auto& agg : runner.aggregators()) {
     obs.promotions += agg->promotions();
@@ -159,7 +194,7 @@ bool DistributedEligible(const CourseSpec& spec) {
          spec.fault_dropout_frac == 0.0 && spec.fault_crash_prob == 0.0 &&
          spec.fault_straggler_frac == 0.0 && spec.fault_msg_loss_prob == 0.0 &&
          spec.fault_msg_duplicate_prob == 0.0 &&
-         spec.fault_msg_delay_prob == 0.0;
+         spec.fault_msg_delay_prob == 0.0 && spec.hostile_frac == 0.0;
 }
 
 namespace {
@@ -262,7 +297,14 @@ std::vector<Violation> CheckAggregateWeightConservation(
   }
 
   auto aggregator = MakeSpecAggregator(spec);
-  const StateDict next = aggregator->Aggregate(global, updates);
+  const Result<StateDict> aggregated = aggregator->Aggregate(global, updates);
+  if (!aggregated.ok()) {
+    v.push_back({"aggregate_weight_conservation",
+                 "aggregation of a benign cohort failed: " +
+                     aggregated.status().ToString()});
+    return v;
+  }
+  const StateDict& next = *aggregated;
   for (const auto& [name, tensor] : next) {
     const Tensor& g = global.at(name);
     const Tensor& d = delta.at(name);
@@ -432,7 +474,11 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
   // axis zeroed) must therefore produce the same round structure and the
   // same per-client aggregation counts; accuracies agree only to float
   // reassociation tolerance.
-  if (spec.Hierarchical() && spec.topology_kill_shard < 0) {
+  // Hostile specs are excluded: the hostile draws consume the plan's rng in
+  // send order, and the sharded and flat message sequences differ, so the
+  // two runs are attacked differently (and a flat root replaces rejected
+  // senders where an edge only covers them) — no equivalence to check.
+  if (spec.Hierarchical() && spec.topology_kill_shard < 0 && !spec.Hostile()) {
     CourseSpec flat_spec = spec;
     flat_spec.topology_shards = 0;
     flat_spec = CourseGen::Clamp(std::move(flat_spec));
@@ -624,6 +670,106 @@ std::vector<Violation> CheckCourse(const CourseSpec& spec,
             e.result.client_test_accuracy == vc.result.client_test_accuracy,
             "virtualization_differential",
             "virtualized crash-resume changed client accuracies");
+    }
+  }
+
+  // -- oracle 13: guard transparency ----------------------------------------
+  // A pure-screening ingress guard (no norm bound) over a benign course
+  // inspects every update and rejects none; it must be bit-invisible. The
+  // norm-bound/clip knobs are active interventions and are normalized out
+  // of both twins — transparency is a claim about screening only.
+  if (!spec.Hostile()) {
+    CourseSpec on = spec;
+    on.guard = true;
+    on.guard_l2 = 0.0;
+    on.guard_clip = false;
+    on.guard_k = 3;
+    CourseSpec off = on;
+    off.guard = false;
+    std::string on_metrics;
+    std::string off_metrics;
+    CourseObservation gon = RunInstrumentedCourse(
+        on, -1, options.exec_threads, /*virtualize=*/false, &on_metrics);
+    CourseObservation goff = RunInstrumentedCourse(
+        off, -1, options.exec_threads, /*virtualize=*/false, &off_metrics);
+    Check(&v, gon.finished == goff.finished, "guard_transparency",
+          "guard toggle changed termination");
+    Check(&v,
+          StateDictsBitEqual(gon.result.final_model.GetStateDict(),
+                             goff.result.final_model.GetStateDict(), &detail),
+          "guard_transparency",
+          "benign guard changed the final model: " + detail);
+    Check(&v, gon.result.server.curve == goff.result.server.curve,
+          "guard_transparency", "benign guard changed the accuracy curve");
+    Check(&v, gon.sent == goff.sent && gon.delivered == goff.delivered,
+          "guard_transparency",
+          Vs("benign guard changed message counts (sent)", goff.sent,
+             gon.sent) +
+              " / " + Vs("delivered", goff.delivered, gon.delivered));
+    Check(&v, gon.result.client_test_accuracy ==
+                  goff.result.client_test_accuracy,
+          "guard_transparency", "benign guard changed client accuracies");
+    Check(&v,
+          gon.result.server.rounds == goff.result.server.rounds &&
+              gon.result.server.staleness_log ==
+                  goff.result.server.staleness_log &&
+              gon.result.server.agg_count == goff.result.server.agg_count,
+          "guard_transparency", "benign guard changed the round structure");
+    Check(&v, on_metrics == off_metrics, "guard_transparency",
+          "benign guard changed the metrics exposition");
+    Check(&v,
+          gon.result.server.updates_rejected == 0 &&
+              gon.result.server.updates_clipped == 0 &&
+              gon.result.server.quarantined.empty(),
+          "guard_transparency",
+          "benign guard rejected, clipped, or quarantined");
+  }
+
+  // -- oracle 14: Byzantine tolerance ---------------------------------------
+  // Under a minority of plan-hostile clients and an active guard, the
+  // course completes, the shared model stays finite, honest clients are
+  // never quarantined, and every non-finite update delivered while the
+  // course was live was rejected at ingress. (Sign-flip/scale attacks
+  // inside the norm bound are the robust aggregator's job; finiteness of
+  // the final model is what witnesses that they stayed outvoted.)
+  if (spec.Hostile()) {
+    // Clean completion is owed only once the guard has rejected something:
+    // the plan draws hostile *clients*, but heavy benign faults
+    // (crash/loss/dropout) can silence the fleet before any hostile member
+    // lands in a cohort — such a run is bit-identical to its benign twin,
+    // and an abort there is a benign-fault outcome this oracle has no
+    // business blaming on the adversary. Accepted mutations (sign-flip or
+    // scale inside the norm bound) are counted like honest updates and
+    // cannot stall a round either, so rejections are the exact signal that
+    // hostility touched liveness — the same condition that arms the
+    // server's starved-round restaff escape, making this check the mirror
+    // of that guarantee. Finiteness, quarantine soundness, and the
+    // delivered-vs-rejected reconciliation below still bind
+    // unconditionally.
+    if (stats.updates_rejected > 0) {
+      Check(&v, a.finished && !stats.aborted, "byzantine_tolerance",
+            "hostile course did not complete cleanly");
+    }
+    Check(&v,
+          StateDictFinite(a.result.final_model.GetStateDict(), &detail),
+          "byzantine_tolerance",
+          "poison reached the final model: " + detail);
+    for (int id : stats.quarantined) {
+      Check(&v, a.hostile.count(id) > 0, "byzantine_tolerance",
+            "honest client " + std::to_string(id) + " was quarantined");
+    }
+    const std::set<int> distinct_quarantined(stats.quarantined.begin(),
+                                             stats.quarantined.end());
+    Check(&v, distinct_quarantined.size() == stats.quarantined.size(),
+          "byzantine_tolerance", "a client was quarantined twice");
+    if (spec.topology_kill_shard < 0) {
+      // With a kill schedule a poisoned update can be eaten by the dead
+      // aggregator incarnation before any guard sees it, so the exact
+      // reconciliation only holds without one.
+      Check(&v, a.nonfinite_updates_delivered <= stats.updates_rejected,
+            "byzantine_tolerance",
+            Vs("non-finite updates delivered vs rejected at ingress",
+               stats.updates_rejected, a.nonfinite_updates_delivered));
     }
   }
 

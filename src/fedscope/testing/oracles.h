@@ -1,6 +1,8 @@
 #ifndef FEDSCOPE_TESTING_ORACLES_H_
 #define FEDSCOPE_TESTING_ORACLES_H_
 
+#include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,12 @@ struct CourseObservation {
   CourseLog course_log;
   /// Virtualized runs only: the client-cache counters at course end.
   ClientCacheStats cache;
+  /// Hostile-client set drawn by the fault plan (empty for benign specs).
+  std::set<int> hostile;
+  /// model_update deliveries carrying a non-finite tensor while the course
+  /// was still live (late post-finish arrivals excluded); counted only for
+  /// hostile specs, 0 otherwise.
+  int64_t nonfinite_updates_delivered = 0;
 };
 
 /// `crash_at_event` >= 0 kills the server between the crash_at_event-th
@@ -112,7 +120,17 @@ bool DistributedEligible(const CourseSpec& spec);
 ///      counters, round structure, and the metrics exposition (up to the
 ///      fs_virtual_* gauges only the virtualized run emits); peak live
 ///      clients must stay within the cohort-derived cache bound, and the
-///      virtualized crash drill must resume bit-identically too.
+///      virtualized crash drill must resume bit-identically too,
+///  13. guard transparency (benign specs, DESIGN.md §14): a pure-screening
+///      ingress guard (no norm bound) over a course with zero hostile
+///      clients must be bit-invisible — final model, curve, counters,
+///      round structure, and the full metrics exposition all match the
+///      guard-off twin, and nothing is rejected or quarantined,
+///  14. Byzantine tolerance (hostile specs): the course completes without
+///      aborting, the final shared model is finite, only plan-hostile
+///      clients are ever quarantined (each at most once), and every
+///      non-finite update delivered while the course was live was rejected
+///      at ingress (delivered-poison count <= rejection count).
 /// Returns every violation found (empty = course passed).
 std::vector<Violation> CheckCourse(const CourseSpec& spec,
                                    const OracleOptions& options = {});

@@ -162,6 +162,54 @@ TEST(CodecTest, TensorDimProductOverflowRejected) {
   EXPECT_FALSE(DecodeMessage(bytes2).ok());
 }
 
+TEST(CodecTest, TensorCountExceedingRemainingBytesRejected) {
+  // A hostile frame can claim an element count that is individually sane
+  // (no overflow) but promises far more data than the frame holds. The
+  // decoder must reconcile the count against the remaining bytes before
+  // allocating — a lying count is a rejection, not a 4 KB read past the
+  // buffer or a giant allocation.
+  Message m;
+  m.payload.SetTensor("t", Tensor({1}, {0.0f}));
+  auto bytes = EncodeMessage(m);
+  const size_t dim_pos = bytes.size() - 12;  // dim i64 + one f32
+  const int64_t lying = 1024;
+  std::memcpy(bytes.data() + dim_pos, &lying, sizeof(lying));
+  auto result = DecodeMessage(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(result.status().message().find("exceeds buffer"),
+            std::string::npos);
+}
+
+TEST(CodecTest, NegativeTensorDimRejected) {
+  Message m;
+  m.payload.SetTensor("t", Tensor({1}, {0.0f}));
+  auto bytes = EncodeMessage(m);
+  const size_t dim_pos = bytes.size() - 12;
+  const int64_t negative = -4;
+  std::memcpy(bytes.data() + dim_pos, &negative, sizeof(negative));
+  auto result = DecodeMessage(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("negative tensor dim"),
+            std::string::npos);
+}
+
+TEST(CodecTest, ElementCountJustPastCapRejectedBeforeAllocation) {
+  // Dims whose product stays within int64 but exceeds the decoder's
+  // element cap must be rejected by the cap (not by the ensuing
+  // multiplication, which could already have wrapped for larger dims).
+  Message m;
+  m.payload.SetTensor("t", Tensor({1, 1}, {0.0f}));
+  auto bytes = EncodeMessage(m);
+  const size_t dims_pos = bytes.size() - 20;  // two i64 dims + one f32
+  const int64_t big = int64_t{1} << 21;       // 2^21 * 2^21 = 2^42 > cap
+  std::memcpy(bytes.data() + dims_pos, &big, sizeof(big));
+  std::memcpy(bytes.data() + dims_pos + 8, &big, sizeof(big));
+  auto result = DecodeMessage(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("overflow"), std::string::npos);
+}
+
 TEST(CodecTest, ReencodeIsBitExactForRichPayload) {
   auto bytes = EncodeMessage(SampleMessage());
   auto decoded = DecodeMessage(bytes);

@@ -302,7 +302,7 @@ TEST(FedRunnerTest, EventDrivenMatchesProceduralFedAvg) {
       update.delta = SdSub(model.GetStateDict(), before);
       updates.push_back(std::move(update));
     }
-    StateDict next = aggregator.Aggregate(global.GetStateDict(), updates);
+    StateDict next = aggregator.Aggregate(global.GetStateDict(), updates).value();
     ASSERT_TRUE(global.LoadStateDict(next).ok());
   }
 

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <thread>
 
 #include "fedscope/comm/socket_transport.h"
@@ -330,6 +332,120 @@ TEST(TransportFaultTest, CleanFinishCountsNoFailures) {
   EXPECT_EQ(stats.dropouts, 0);
   EXPECT_EQ(server_host.failed_clients(), 0);
   EXPECT_EQ(server_host.duplicates_suppressed(), 0);
+}
+
+TEST(TransportFaultTest, HostilePeerQuarantinedCourseCompletes) {
+  // A Byzantine participant speaks the wire protocol correctly but lies in
+  // the payload: first a malformed update (renamed tensors), then NaN
+  // poison. The ingress guard must reject both, quarantine the peer after
+  // the second violation, and the honest cohort must finish the course —
+  // no crash, no corrupted model.
+  constexpr int kClients = 4;
+  Rng init_rng(11);
+  Model init = MakeLogisticRegression(2, 2, &init_rng);
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const int port = listener->port();
+
+  ServerOptions server_options;
+  server_options.strategy = Strategy::kSyncVanilla;
+  server_options.concurrency = kClients;
+  server_options.expected_clients = kClients;
+  server_options.max_rounds = 4;
+  server_options.seed = 3;
+  server_options.guard.enabled = true;
+  server_options.guard.quarantine_after = 2;
+
+  DistributedServerHost server_host(
+      server_options, init, std::make_unique<FedAvgAggregator>(),
+      std::move(listener.value()));
+  Dataset server_test = Blobs(64, 97);
+  server_host.server()->set_evaluator([&server_test](Model* model) {
+    return EvaluateClassifier(model, server_test);
+  });
+
+  ServerStats stats;
+  std::thread server_thread([&] { stats = server_host.Run(); });
+
+  // The hostile participant. It closes its socket after the second attack:
+  // a quarantined client gets no finish broadcast, so lingering would
+  // stall the host's teardown (which waits for every connection to EOF).
+  std::thread hostile_thread([port] {
+    auto conn = TcpConnection::Connect("127.0.0.1", port);
+    if (!conn.ok()) return;
+    Message join;
+    join.sender = kClients;
+    join.receiver = kServerId;
+    join.msg_type = events::kJoinIn;
+    conn->SendMessage(join).ok();
+    int attacks = 0;
+    while (attacks < 2) {
+      auto msg = conn->ReceiveMessage();
+      if (!msg.ok()) return;
+      if (msg->msg_type == events::kFinish) return;
+      if (msg->msg_type != events::kModelPara) continue;
+      StateDict delta = msg->payload.GetStateDict("model");
+      Message reply;
+      reply.sender = kClients;
+      reply.receiver = kServerId;
+      reply.msg_type = events::kModelUpdate;
+      reply.state = msg->state;
+      reply.payload.SetInt(kSessionEpochKey,
+                           msg->payload.GetInt(kSessionEpochKey, 0));
+      if (attacks == 0) {
+        StateDict renamed;  // right tensors, wrong names
+        for (const auto& [name, tensor] : delta) {
+          renamed[name + "#"] = tensor;
+        }
+        reply.payload.SetStateDict("delta", renamed);
+      } else {
+        delta.begin()->second.at(0) =
+            std::numeric_limits<float>::quiet_NaN();
+        reply.payload.SetStateDict("delta", delta);
+      }
+      reply.payload.SetInt("num_samples", 4);
+      reply.payload.SetInt("local_steps", 1);
+      conn->SendMessage(reply).ok();
+      ++attacks;
+    }
+    conn->Close();
+  });
+
+  std::vector<std::thread> client_threads;
+  std::vector<Status> client_statuses(kClients - 1);
+  for (int id = 1; id <= kClients - 1; ++id) {
+    client_threads.emplace_back([&, id] {
+      ClientOptions options;
+      options.jitter_sigma = 0.0;
+      options.seed = 200 + id;
+      Rng split_rng(id);
+      SplitDataset data = Split(Blobs(40, 50 + id), 0.7, 0.1, &split_rng);
+      DistributedClientHost host(id, std::move(options), init,
+                                 std::move(data),
+                                 std::make_unique<GeneralTrainer>(),
+                                 "127.0.0.1", port);
+      client_statuses[id - 1] = host.Run();
+    });
+  }
+  hostile_thread.join();
+  for (auto& t : client_threads) t.join();
+  server_thread.join();
+
+  for (const auto& status : client_statuses) {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  EXPECT_EQ(stats.rounds, 4);
+  EXPECT_FALSE(stats.aborted);
+  EXPECT_EQ(stats.updates_rejected, 2);
+  ASSERT_EQ(stats.quarantined.size(), 1u);
+  EXPECT_EQ(stats.quarantined[0], kClients);
+  // The poison never reached an aggregation: the shared model is finite.
+  for (const auto& [name, tensor] :
+       server_host.server()->global_model()->GetStateDict()) {
+    for (int64_t i = 0; i < tensor.numel(); ++i) {
+      EXPECT_TRUE(std::isfinite(tensor.at(i))) << name << "[" << i << "]";
+    }
+  }
 }
 
 TEST(TransportFaultTest, ReceiveDeadlineRejectedInDistributedMode) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "fedscope/comm/channel.h"
 #include "fedscope/core/events.h"
 #include "fedscope/core/topology.h"
@@ -223,6 +225,27 @@ TEST(DuplicateSuppressorTest, FreshPayloadSameKeyPasses) {
   msg.payload.SetInt("x", 2);
   EXPECT_FALSE(dedup.IsDuplicate(msg));
   EXPECT_EQ(dedup.suppressed(), 0);
+}
+
+TEST(DuplicateSuppressorTest, NanPoisonedRepeatIsStillSuppressed) {
+  // Tensor equality is bitwise, so a NaN-poisoned frame equals its own
+  // retransmission. Under IEEE `==` (NaN != NaN) a hostile client could
+  // defeat dedup by planting a NaN: every duplicated copy of the same
+  // uplink would read as fresh — and each copy would bill a fresh guard
+  // violation, quarantining the sender off a single logical update.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Message msg = Make(events::kModelUpdate, 3, 0, 5);
+  msg.payload.SetTensor("w", Tensor({2}, {nan, 1.0f}));
+
+  DuplicateSuppressor per_sender;
+  EXPECT_FALSE(per_sender.IsDuplicate(msg));
+  EXPECT_TRUE(per_sender.IsDuplicate(msg));
+  EXPECT_EQ(per_sender.suppressed(), 1);
+
+  PairwiseDuplicateSuppressor pairwise;
+  EXPECT_FALSE(pairwise.IsDuplicate(msg));
+  EXPECT_TRUE(pairwise.IsDuplicate(msg));
+  EXPECT_EQ(pairwise.suppressed(), 1);
 }
 
 TEST(FaultPlanTest, AggregatorCrashScheduleDoesNotFlipEnabled) {

@@ -93,7 +93,7 @@ TEST(SecureAverageAggregatorTest, MatchesPlainUnweightedMean) {
     updates[c].delta["w"] =
         Tensor::FromVector({0.5f * (c + 1), -0.25f * (c + 1)});
   }
-  StateDict next = secure.Aggregate(global, updates);
+  StateDict next = secure.Aggregate(global, updates).value();
   // mean delta = (0.5+1.0+1.5)/3 = 1.0 and (-0.25-0.5-0.75)/3 = -0.5.
   EXPECT_NEAR(next.at("w").at(0), 2.0f, 1e-4);
   EXPECT_NEAR(next.at("w").at(1), -1.5f, 1e-4);
@@ -105,7 +105,7 @@ TEST(SecureAverageAggregatorTest, SingleUpdatePassesThrough) {
   global["w"] = Tensor::FromVector({0.0f});
   ClientUpdate update;
   update.delta["w"] = Tensor::FromVector({3.0f});
-  StateDict next = secure.Aggregate(global, {update});
+  StateDict next = secure.Aggregate(global, {update}).value();
   EXPECT_NEAR(next.at("w").at(0), 3.0f, 1e-6);
 }
 

@@ -30,6 +30,7 @@ TEST(CourseGenTest, SamplingCoversTheStrategyMatrix) {
   std::set<std::string> strategies, personalizations, compressions,
       aggregators;
   bool saw_wire = false, saw_faults = false, saw_dp = false;
+  bool saw_hostile = false;
   for (uint64_t seed = 1; seed <= 120; ++seed) {
     const CourseSpec s = CourseGen::Sample(seed);
     strategies.insert(s.strategy);
@@ -39,14 +40,19 @@ TEST(CourseGenTest, SamplingCoversTheStrategyMatrix) {
     saw_wire |= s.through_wire;
     saw_dp |= s.dp_enable;
     saw_faults |= s.HasLossyFaults() || s.fault_msg_duplicate_prob > 0.0;
+    saw_hostile |= s.Hostile();
   }
   EXPECT_EQ(strategies.size(), 4u);
   EXPECT_EQ(personalizations.size(), 4u);
   EXPECT_EQ(compressions.size(), 3u);
-  EXPECT_EQ(aggregators.size(), 5u);
+  // 5 sampled rules plus krum, which enters via Clamp's hostile remap
+  // (fednova -> krum on hostile specs).
+  EXPECT_EQ(aggregators.size(), 6u);
+  EXPECT_TRUE(aggregators.count("krum"));
   EXPECT_TRUE(saw_wire);
   EXPECT_TRUE(saw_dp);
   EXPECT_TRUE(saw_faults);
+  EXPECT_TRUE(saw_hostile);
 }
 
 TEST(CourseGenTest, ConfigRoundTripPreservesEverySpec) {
